@@ -1,0 +1,136 @@
+//! Criterion benchmarks for the design choices DESIGN.md calls out for
+//! ablation: the outlier-detection method, the candidate tolerance, the
+//! autocorrelation refinement, and the online window strategy. These measure
+//! the *cost* of each alternative; the accuracy comparison lives in the
+//! integration tests and the fig binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftio_core::{detect_trace, FtioConfig, OnlinePredictor, OutlierMethod, WindowStrategy};
+use ftio_synth::ior::PhaseLibrary;
+use ftio_synth::semi::{generate as generate_semi, SemiSyntheticConfig};
+
+fn test_trace() -> ftio_trace::AppTrace {
+    let library = PhaseLibrary::paper_default(0xAB);
+    generate_semi(&SemiSyntheticConfig::default(), &library, 0xAB).trace
+}
+
+fn bench_outlier_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_outlier_method");
+    group.sample_size(15);
+    let trace = test_trace();
+    let methods: [(&str, OutlierMethod); 5] = [
+        ("zscore", OutlierMethod::ZScore { threshold: 3.0 }),
+        (
+            "dbscan",
+            OutlierMethod::DbScan {
+                eps_factor: 0.5,
+                min_pts: 4,
+            },
+        ),
+        ("lof", OutlierMethod::Lof { k: 10, threshold: 1.5 }),
+        (
+            "isolation_forest",
+            OutlierMethod::IsolationForest {
+                threshold: 0.6,
+                seed: 1,
+            },
+        ),
+        (
+            "peak_detection",
+            OutlierMethod::PeakDetection {
+                prominence_factor: 0.3,
+            },
+        ),
+    ];
+    for (name, method) in methods {
+        let config = FtioConfig {
+            sampling_freq: 1.0,
+            outlier_method: method,
+            use_autocorrelation: false,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| black_box(detect_trace(black_box(t), &config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_autocorrelation_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_acf_refinement");
+    group.sample_size(15);
+    let trace = test_trace();
+    for (name, use_acf) in [("with_acf", true), ("without_acf", false)] {
+        let config = FtioConfig {
+            sampling_freq: 1.0,
+            use_autocorrelation: use_acf,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| black_box(detect_trace(black_box(t), &config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_window_strategy");
+    group.sample_size(15);
+    let trace = test_trace();
+    let flush_points: Vec<f64> = (1..=10).map(|i| i as f64 * 45.0).collect();
+    let strategies = [
+        ("full_history", WindowStrategy::FullHistory),
+        ("adaptive_3", WindowStrategy::Adaptive { multiple: 3 }),
+        ("fixed_120s", WindowStrategy::Fixed { length: 120.0 }),
+    ];
+    for (name, strategy) in strategies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter(|| {
+                let config = FtioConfig {
+                    sampling_freq: 1.0,
+                    use_autocorrelation: false,
+                    ..Default::default()
+                };
+                let mut predictor = OnlinePredictor::new(config, strategy);
+                predictor.ingest(t.requests().iter().copied());
+                for &flush in &flush_points {
+                    black_box(predictor.predict(flush));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tolerance_values(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_tolerance");
+    group.sample_size(15);
+    let trace = test_trace();
+    for tolerance in [0.45, 0.6, 0.8, 0.95] {
+        let config = FtioConfig {
+            sampling_freq: 1.0,
+            tolerance,
+            use_autocorrelation: false,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("tol_{tolerance}")),
+            &trace,
+            |b, t| {
+                b.iter(|| black_box(detect_trace(black_box(t), &config)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_outlier_methods,
+    bench_autocorrelation_refinement,
+    bench_window_strategies,
+    bench_tolerance_values
+);
+criterion_main!(benches);

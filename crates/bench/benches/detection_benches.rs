@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the full FTIO detection and prediction pipeline.
+//!
+//! These measure the end-to-end cost the paper discusses in §III-C (the
+//! analysis runtime, which "was negligible" and "does not represent overhead
+//! to applications"): offline detection over case-study-sized traces and one
+//! online prediction step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftio_core::{detect_trace, FtioConfig, OnlinePredictor, WindowStrategy};
+use ftio_synth::hacc::{generate as generate_hacc, HaccConfig};
+use ftio_synth::ior::{generate_benchmark_downsampled, IorBenchmarkConfig, PhaseLibrary};
+use ftio_synth::lammps::{generate as generate_lammps, LammpsConfig};
+use ftio_synth::semi::{generate as generate_semi, SemiSyntheticConfig};
+
+fn bench_offline_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_detection");
+    group.sample_size(20);
+
+    let ior = generate_benchmark_downsampled(&IorBenchmarkConfig::default(), 32, 1);
+    let lammps = generate_lammps(&LammpsConfig::default(), 2).trace;
+    let hacc = generate_hacc(&HaccConfig::default(), 3).trace;
+    let cases = [
+        ("ior_fs10", &ior, 10.0),
+        ("lammps_fs10", &lammps, 10.0),
+        ("hacc_fs10", &hacc, 10.0),
+        ("ior_fs1", &ior, 1.0),
+    ];
+    for (name, trace, fs) in cases {
+        let config = FtioConfig {
+            sampling_freq: fs,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), trace, |b, t| {
+            b.iter(|| black_box(detect_trace(black_box(t), &config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_semi_synthetic_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semi_synthetic_detection");
+    group.sample_size(15);
+    let library = PhaseLibrary::paper_default(9);
+    let trace = generate_semi(&SemiSyntheticConfig::default(), &library, 17);
+    let config = FtioConfig {
+        sampling_freq: 1.0,
+        use_autocorrelation: false,
+        ..Default::default()
+    };
+    group.bench_function("single_trace_fs1", |b| {
+        b.iter(|| black_box(detect_trace(black_box(&trace.trace), &config)));
+    });
+    group.finish();
+}
+
+fn bench_online_prediction_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_prediction");
+    group.sample_size(20);
+    let workload = generate_hacc(&HaccConfig::default(), 5);
+    let config = FtioConfig {
+        sampling_freq: 10.0,
+        use_autocorrelation: false,
+        ..Default::default()
+    };
+    group.bench_function("hacc_prediction_step", |b| {
+        b.iter(|| {
+            let mut predictor = OnlinePredictor::new(config, WindowStrategy::Adaptive { multiple: 3 });
+            predictor.ingest(workload.trace.requests().iter().copied());
+            for &flush in &workload.flush_points {
+                black_box(predictor.predict(flush));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_offline_detection,
+    bench_semi_synthetic_batch,
+    bench_online_prediction_step
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figure 2 / §II-C practical example: FTIO on an IOR run.
+//!
+//! The paper runs IOR with 9216 ranks (8 iterations, 2 segments, 2 MB
+//! transfers, 10 MB blocks) on the Lichtenberg cluster, analyses the 781 s
+//! window at fs = 10 Hz (7817 samples, abstraction error 0.03) and finds a
+//! period of 111.67 s (0.01 Hz) with a confidence of 60.5 % (62.5 % when the
+//! tolerance is lowered to 0.45 and the 0.02 Hz harmonic is recognised).
+//!
+//! This binary generates the IOR-shaped workload on the simulated cluster,
+//! runs the same analysis, and prints the measured values next to the paper's.
+
+use ftio_bench::experiments;
+use ftio_core::{detect_trace, report, FtioConfig};
+use ftio_synth::ior::{generate_benchmark_downsampled, IorBenchmarkConfig};
+
+fn main() {
+    let _ = experiments::traces_per_point_from_args(0); // uniform CLI handling
+    let workload = IorBenchmarkConfig::default();
+    // Represent the 9216 ranks by 64 writer processes; the application-level
+    // bandwidth signal (what FTIO sees) is identical.
+    let trace = generate_benchmark_downsampled(&workload, 64, 0x0902);
+
+    let config = FtioConfig {
+        sampling_freq: 10.0,
+        ..Default::default()
+    };
+    let result = detect_trace(&trace, &config);
+
+    println!("=== Fig. 2: FTIO on IOR (spectrum & period) ===");
+    println!("{}", report::render(&result));
+    println!("--- paper vs. measured ---");
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "quantity", "paper", "measured"
+    );
+    println!(
+        "{:<38} {:>14} {:>14.2}",
+        "time window (s)", "781", result.window_length
+    );
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "samples", "7817", result.num_samples
+    );
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "inspected frequencies", "3809", result.num_frequencies
+    );
+    println!(
+        "{:<38} {:>14} {:>14.4}",
+        "mean contribution per frequency (%)", "0.025", result.mean_contribution * 100.0
+    );
+    let period = result.period().unwrap_or(f64::NAN);
+    println!(
+        "{:<38} {:>14} {:>14.2}",
+        "detected period (s)", "111.67", period
+    );
+    println!(
+        "{:<38} {:>14} {:>14.1}",
+        "confidence c_d (%)", "60.5", result.confidence() * 100.0
+    );
+
+    // The paper's second reading: lowering the tolerance to 0.45 exposes the
+    // 0.02 Hz harmonic, which is then ignored, raising the confidence to 62.5%.
+    let low_tolerance = FtioConfig {
+        tolerance: 0.45,
+        ..config
+    };
+    let result_low = detect_trace(&trace, &low_tolerance);
+    println!(
+        "{:<38} {:>14} {:>14.1}",
+        "confidence with tolerance 0.45 (%)", "62.5", result_low.confidence() * 100.0
+    );
+    println!(
+        "{:<38} {:>14} {:>14}",
+        "harmonics dropped (tolerance 0.45)", ">=1", result_low.dominant.dropped_harmonics.len()
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 3 / §II-C: the autocorrelation refinement on the IOR example.
+//!
+//! For the same IOR signal as Fig. 2, the paper detects 17 peaks in the ACF,
+//! filters 12 outliers, keeps 5 period candidates, and obtains an ACF period
+//! of 104.8 s with a confidence of 99.58 %; the similarity to the DFT result
+//! is 97.6 % and the refined confidence (average of the three) is 86.5 %.
+
+use ftio_core::{detect_trace, FtioConfig};
+use ftio_synth::ior::{generate_benchmark_downsampled, IorBenchmarkConfig};
+
+fn main() {
+    let workload = IorBenchmarkConfig::default();
+    let trace = generate_benchmark_downsampled(&workload, 64, 0x0902);
+    let config = FtioConfig {
+        sampling_freq: 10.0,
+        ..Default::default()
+    };
+    let result = detect_trace(&trace, &config);
+    let acf = result.acf.as_ref().expect("autocorrelation enabled by default");
+    let dft_period = result.period().unwrap_or(f64::NAN);
+    let dft_confidence = result.confidence();
+
+    println!("=== Fig. 3: autocorrelation on the IOR signal ===");
+    println!("ACF peaks detected              : {}", acf.peak_lags.len());
+    println!("raw period candidates           : {}", acf.raw_candidates.len());
+    println!("candidates after outlier filter : {}", acf.candidates.len());
+    println!(
+        "ACF period                      : {:.2} s (paper: 104.8 s)",
+        acf.period.unwrap_or(f64::NAN)
+    );
+    println!(
+        "ACF confidence c_a              : {:.2} % (paper: 99.58 %)",
+        acf.confidence * 100.0
+    );
+    println!(
+        "similarity to DFT period c_s    : {:.2} % (paper: 97.6 %)",
+        acf.similarity_to(dft_period) * 100.0
+    );
+    println!(
+        "DFT confidence c_d              : {:.2} % (paper: 62.5 %)",
+        dft_confidence * 100.0
+    );
+    println!(
+        "refined confidence              : {:.2} % (paper: 86.5 %)",
+        result.refined_confidence() * 100.0
+    );
+
+    // Print the first part of the ACF as the series behind the figure.
+    println!("\nlag(samples)  acf");
+    let step = (acf.acf.len() / 40).max(1);
+    for (lag, value) in acf.acf.iter().enumerate().step_by(step) {
+        println!("{lag:>12}  {value:+.4}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 10 / §III-B(a): LAMMPS with low I/O bandwidth.
+//!
+//! Paper finding: on LAMMPS (3072 ranks, 2-d LJ flow, dumps every 20 runs)
+//! FTIO finds a single dominant frequency at 0.039 Hz (25.73 s) with 55 %
+//! confidence; the autocorrelation refinement raises it to 84.9 % (single ACF
+//! peak at 25.6 s); the real mean period of the run was 27.38 s.
+
+use ftio_core::{detect_trace, report, FtioConfig};
+use ftio_synth::lammps::{generate, LammpsConfig};
+
+fn main() {
+    let workload = generate(&LammpsConfig::default(), 0x10);
+    let config = FtioConfig {
+        sampling_freq: 10.0,
+        ..Default::default()
+    };
+    let result = detect_trace(&workload.trace, &config);
+
+    println!("=== Fig. 10: FTIO on the LAMMPS-shaped workload ===");
+    println!("{}", report::render(&result));
+    println!("--- paper vs. measured ---");
+    println!("{:<40} {:>12} {:>12}", "quantity", "paper", "measured");
+    println!(
+        "{:<40} {:>12} {:>12.2}",
+        "ground-truth mean period (s)", "27.38", workload.mean_period
+    );
+    println!(
+        "{:<40} {:>12} {:>12.2}",
+        "detected period (s)", "25.73", result.period().unwrap_or(f64::NAN)
+    );
+    println!(
+        "{:<40} {:>12} {:>12.1}",
+        "DFT confidence (%)", "55.0", result.confidence() * 100.0
+    );
+    println!(
+        "{:<40} {:>12} {:>12.1}",
+        "refined confidence (%)", "84.9", result.refined_confidence() * 100.0
+    );
+    let error = (result.period().unwrap_or(f64::NAN) - workload.mean_period).abs() / workload.mean_period;
+    println!(
+        "{:<40} {:>12} {:>12.3}",
+        "relative error vs. ground truth", "0.060", error
+    );
+}

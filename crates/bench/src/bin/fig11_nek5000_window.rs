@@ -1,0 +1,63 @@
+//! Figure 11 / §III-B(b): Nek5000 Darshan heatmap and time-window adaptation.
+//!
+//! Paper finding: over the full 86,000 s window the Nek5000 profile is not
+//! periodic (irregular 30 GB phases at ~57,000 s and ~85,000 s spoil the
+//! spectrum), but restricted to Δt = 56,000 s FTIO detects a period of
+//! 4642.1 s with a confidence of 85.4 %. The sampling frequency is taken from
+//! the heatmap bins (fs ≈ 0.006 Hz).
+
+use ftio_core::{detect_heatmap, FtioConfig};
+use ftio_synth::nek5000::{generate, NekConfig};
+
+fn main() {
+    let heatmap = generate(&NekConfig::default(), 0x11);
+    let config = FtioConfig::default();
+
+    println!("=== Fig. 11: Nek5000 Darshan heatmap, full window vs. reduced window ===");
+    println!(
+        "heatmap: {} bins of {:.1} s (fs = {:.4} Hz), {:.1} GB total",
+        heatmap.len(),
+        heatmap.bin_width,
+        heatmap.sampling_freq(),
+        heatmap.total_volume() / 1e9
+    );
+
+    let full = detect_heatmap(&heatmap, &config);
+    println!("\n--- full window (dt = 86,000 s) ---");
+    println!(
+        "verdict: {:?}   candidates: {}   (paper: not periodic)",
+        full.verdict(),
+        full.candidates().len()
+    );
+
+    let reduced = detect_heatmap(&heatmap.window(0.0, 56_000.0), &config);
+    println!("\n--- reduced window (dt = 56,000 s) ---");
+    println!(
+        "verdict: {:?}   period: {} s   confidence: {:.1} %",
+        reduced.verdict(),
+        reduced
+            .period()
+            .map(|p| format!("{p:.1}"))
+            .unwrap_or_else(|| "-".into()),
+        reduced.confidence() * 100.0
+    );
+    println!("(paper: period 4642.1 s with 85.4 % confidence)");
+
+    println!("\n--- paper vs. measured ---");
+    println!("{:<44} {:>12} {:>12}", "quantity", "paper", "measured");
+    println!(
+        "{:<44} {:>12} {:>12}",
+        "full window periodic?", "no",
+        if full.is_periodic() { "yes" } else { "no" }
+    );
+    println!(
+        "{:<44} {:>12} {:>12.1}",
+        "reduced-window period (s)", "4642.1",
+        reduced.period().unwrap_or(f64::NAN)
+    );
+    println!(
+        "{:<44} {:>12} {:>12.1}",
+        "reduced-window confidence (%)", "85.4",
+        reduced.refined_confidence() * 100.0
+    );
+}

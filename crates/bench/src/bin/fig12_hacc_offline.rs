@@ -1,0 +1,68 @@
+//! Figures 12–14 / §III-B(c): offline detection on HACC-IO.
+//!
+//! Paper finding: the offline evaluation of the looped HACC-IO run (3072
+//! ranks, fs = 10 Hz) yields two close dominant-frequency candidates,
+//! 0.1206 Hz (c = 51 %) and 0.1326 Hz (c = 48.9 %); the stronger one gives a
+//! period of 8.29 s against a true average of 8.7 s (7.7 s without the
+//! prolonged first phase). Summing the two candidates' cosine waves (Fig. 14)
+//! describes the drifting behaviour better than either wave alone.
+
+use ftio_core::{detect_trace, reconstruct_candidates, report, sample_trace, FtioConfig};
+use ftio_synth::hacc::{generate, HaccConfig};
+
+fn main() {
+    let workload = generate(&HaccConfig::default(), 0x12);
+    let config = FtioConfig {
+        sampling_freq: 10.0,
+        tolerance: 0.8,
+        ..Default::default()
+    };
+    let result = detect_trace(&workload.trace, &config);
+
+    println!("=== Fig. 12/13: offline detection on HACC-IO ===");
+    println!("{}", report::render(&result));
+    println!("--- paper vs. measured ---");
+    println!("{:<44} {:>12} {:>12}", "quantity", "paper", "measured");
+    println!(
+        "{:<44} {:>12} {:>12.2}",
+        "true mean period (s)", "8.7", workload.mean_period()
+    );
+    println!(
+        "{:<44} {:>12} {:>12.2}",
+        "true mean period w/o first phase (s)", "7.7", workload.mean_period_without_first()
+    );
+    println!(
+        "{:<44} {:>12} {:>12.2}",
+        "detected period (s)", "8.29", result.period().unwrap_or(f64::NAN)
+    );
+    println!(
+        "{:<44} {:>12} {:>12}",
+        "dominant-frequency candidates", "2", result.candidates().len()
+    );
+    if let Some(c) = result.candidates().first() {
+        println!(
+            "{:<44} {:>12} {:>12.1}",
+            "confidence of the strongest candidate (%)", "51.0", c.confidence * 100.0
+        );
+    }
+    if let Some(c) = result.candidates().get(1) {
+        println!(
+            "{:<44} {:>12} {:>12.1}",
+            "confidence of the second candidate (%)", "48.9", c.confidence * 100.0
+        );
+    }
+
+    // Fig. 14: merging the two candidates improves the reconstruction.
+    let signal = sample_trace(&workload.trace, config.sampling_freq);
+    let single = reconstruct_candidates(&signal, &result, 1);
+    let merged = reconstruct_candidates(&signal, &result, 2);
+    if let (Some(single), Some(merged)) = (single, merged) {
+        println!("\n=== Fig. 14: reconstruction from the dominant candidates ===");
+        println!("RMSE with the strongest candidate only : {:.3e} B/s", single.rmse);
+        println!("RMSE with both candidates merged       : {:.3e} B/s", merged.rmse);
+        println!(
+            "improvement                             : {:.1} %  (paper: the merged wave describes the behaviour more accurately)",
+            (1.0 - merged.rmse / single.rmse) * 100.0
+        );
+    }
+}

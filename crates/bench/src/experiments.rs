@@ -1,0 +1,256 @@
+//! Shared experiment machinery used by the `fig*` binaries and the tests.
+//!
+//! Every figure of the paper's evaluation has a binary in `src/bin/` that
+//! prints the corresponding rows/series; the heavy lifting (generating trace
+//! batches, running FTIO on them, aggregating detection errors) lives here so
+//! the binaries stay small and the integration tests can reuse the exact same
+//! code paths.
+
+use ftio_core::{detect_trace, FtioConfig};
+use ftio_dsp::stats::BoxStats;
+use ftio_synth::ior::PhaseLibrary;
+use ftio_synth::semi::{generate_batch, SemiSyntheticTrace};
+use ftio_synth::sweep::SweepPoint;
+
+/// Default number of traces generated per sweep point. The paper uses 100;
+/// the experiment binaries accept an override on the command line.
+pub const DEFAULT_TRACES_PER_POINT: usize = 100;
+
+/// Aggregated detection-error statistics of one sweep point (one box of Fig. 8).
+#[derive(Clone, Debug)]
+pub struct ErrorPoint {
+    /// Label of the sweep point (x-axis label).
+    pub label: String,
+    /// Numeric value of the swept parameter.
+    pub value: f64,
+    /// Detection errors (|T_d − T̄| / T̄) of the individual traces.
+    pub errors: Vec<f64>,
+    /// σ_vol of the individual traces (when a period was detected).
+    pub sigma_vol: Vec<f64>,
+    /// σ_time of the individual traces (when a period was detected).
+    pub sigma_time: Vec<f64>,
+    /// Periodicity scores of the individual traces.
+    pub periodicity_scores: Vec<f64>,
+    /// DFT confidences of the individual traces.
+    pub confidences: Vec<f64>,
+    /// Number of traces where no dominant frequency was found.
+    pub undetected: usize,
+}
+
+impl ErrorPoint {
+    /// Box-plot summary of the detection errors.
+    pub fn error_box(&self) -> BoxStats {
+        BoxStats::from(&self.errors)
+    }
+
+    /// Mean detection error.
+    pub fn mean_error(&self) -> f64 {
+        ftio_dsp::stats::mean(&self.errors)
+    }
+
+    /// Median detection error.
+    pub fn median_error(&self) -> f64 {
+        ftio_dsp::stats::median(&self.errors)
+    }
+
+    /// Median periodicity score.
+    pub fn median_periodicity_score(&self) -> f64 {
+        ftio_dsp::stats::median(&self.periodicity_scores)
+    }
+
+    /// Median confidence.
+    pub fn median_confidence(&self) -> f64 {
+        ftio_dsp::stats::median(&self.confidences)
+    }
+}
+
+/// Runs FTIO on one semi-synthetic trace and returns its detection error
+/// (the true mean period is used when no dominant frequency is found, which
+/// yields an error of 0 only if the estimate is exact — in practice the
+/// undetected case is counted separately by [`evaluate_point`]).
+pub fn detection_error(trace: &SemiSyntheticTrace, config: &FtioConfig) -> Option<(f64, ftio_core::DetectionResult)> {
+    let result = detect_trace(&trace.trace, config);
+    result.period().map(|period| (trace.detection_error(period), result))
+}
+
+/// Evaluates one sweep point: generates `traces_per_point` traces and runs the
+/// detection on each.
+pub fn evaluate_point(
+    point: &SweepPoint,
+    library: &PhaseLibrary,
+    traces_per_point: usize,
+    config: &FtioConfig,
+    base_seed: u64,
+) -> ErrorPoint {
+    let traces = generate_batch(&point.config, library, traces_per_point, base_seed);
+    let mut errors = Vec::with_capacity(traces.len());
+    let mut sigma_vol = Vec::new();
+    let mut sigma_time = Vec::new();
+    let mut scores = Vec::new();
+    let mut confidences = Vec::new();
+    let mut undetected = 0;
+    for trace in &traces {
+        match detection_error(trace, config) {
+            Some((error, result)) => {
+                errors.push(error);
+                confidences.push(result.confidence());
+                if let Some(c) = result.characterization {
+                    sigma_vol.push(c.sigma_vol);
+                    sigma_time.push(c.sigma_time);
+                    scores.push(c.periodicity_score);
+                }
+            }
+            None => undetected += 1,
+        }
+    }
+    ErrorPoint {
+        label: point.label.clone(),
+        value: point.value,
+        errors,
+        sigma_vol,
+        sigma_time,
+        periodicity_scores: scores,
+        confidences,
+        undetected,
+    }
+}
+
+/// Evaluates a whole sweep (one Fig. 8 sub-plot).
+pub fn evaluate_sweep(
+    points: &[SweepPoint],
+    library: &PhaseLibrary,
+    traces_per_point: usize,
+    config: &FtioConfig,
+) -> Vec<ErrorPoint> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, point)| {
+            evaluate_point(point, library, traces_per_point, config, 1000 + 101 * i as u64)
+        })
+        .collect()
+}
+
+/// The FTIO configuration used throughout the accuracy study
+/// (fs = 1 Hz, as in the paper's §III-A).
+pub fn accuracy_config() -> FtioConfig {
+    FtioConfig {
+        sampling_freq: 1.0,
+        use_autocorrelation: false,
+        ..Default::default()
+    }
+}
+
+/// Parses the first command-line argument as the number of traces per point,
+/// falling back to `default` when absent or unparsable.
+pub fn traces_per_point_from_args(default: usize) -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Formats one row of a box-plot table.
+pub fn format_error_row(point: &ErrorPoint) -> String {
+    let b = point.error_box();
+    format!(
+        "{:<28} {:>6} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>6}",
+        point.label,
+        point.errors.len(),
+        point.mean_error(),
+        b.q1,
+        b.median,
+        b.q3,
+        b.max,
+        point.undetected
+    )
+}
+
+/// Header matching [`format_error_row`].
+pub fn error_table_header() -> String {
+    format!(
+        "{:<28} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6}",
+        "parameter", "n", "mean", "Q1", "median", "Q3", "max", "none"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftio_synth::ior::IorPhaseConfig;
+    use ftio_synth::sweep;
+
+    fn tiny_library() -> PhaseLibrary {
+        PhaseLibrary::generate(
+            &IorPhaseConfig {
+                num_processes: 8,
+                bytes_per_process: 800_000_000,
+                requests_per_process: 8,
+                ..Default::default()
+            },
+            12,
+            0xE1,
+        )
+    }
+
+    #[test]
+    fn ideal_sweep_point_has_tiny_errors() {
+        // δ = 0, σ = 0, no noise: the paper reports errors below 1%.
+        let library = tiny_library();
+        let points = sweep::cpu_ratio_sweep(11.0);
+        let no_noise_point = points
+            .iter()
+            .find(|p| p.value == 1.0 && p.noise == ftio_synth::NoiseLevel::None)
+            .unwrap();
+        let result = evaluate_point(no_noise_point, &library, 8, &accuracy_config(), 5);
+        assert!(result.errors.len() + result.undetected == 8);
+        assert!(result.errors.len() >= 6, "too many undetected: {}", result.undetected);
+        assert!(
+            result.median_error() < 0.05,
+            "median error {}",
+            result.median_error()
+        );
+        assert!(result.mean_error() < 0.1, "mean error {}", result.mean_error());
+    }
+
+    #[test]
+    fn variability_degrades_accuracy() {
+        let library = tiny_library();
+        let points = sweep::variability_sweep();
+        let stable = evaluate_point(&points[0], &library, 6, &accuracy_config(), 11);
+        let unstable = evaluate_point(points.last().unwrap(), &library, 6, &accuracy_config(), 11);
+        // σ/µ = 2 produces clearly worse medians and periodicity scores than σ = 0.
+        assert!(
+            unstable.median_error() > stable.median_error(),
+            "unstable {} vs stable {}",
+            unstable.median_error(),
+            stable.median_error()
+        );
+        assert!(
+            unstable.median_periodicity_score() < stable.median_periodicity_score(),
+            "scores {} vs {}",
+            unstable.median_periodicity_score(),
+            stable.median_periodicity_score()
+        );
+    }
+
+    #[test]
+    fn table_rows_are_well_formed() {
+        let library = tiny_library();
+        let points = sweep::desync_sweep();
+        let result = evaluate_point(&points[0], &library, 4, &accuracy_config(), 3);
+        let header = error_table_header();
+        let row = format_error_row(&result);
+        assert!(header.contains("median"));
+        assert!(row.contains(&points[0].label));
+        // Columns align: both strings are long enough to hold all eight fields.
+        assert!(header.len() > 80);
+        assert!(row.len() > 80);
+    }
+
+    #[test]
+    fn traces_per_point_parsing_falls_back() {
+        // No CLI argument in the test harness (or an unparsable one): default wins.
+        assert_eq!(traces_per_point_from_args(42), 42);
+    }
+}

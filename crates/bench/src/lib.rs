@@ -1,0 +1,18 @@
+//! # ftio-bench
+//!
+//! Experiment harness for FTIO-rs: one binary per figure of the paper's
+//! evaluation (see `src/bin/fig*.rs` and the experiment index in DESIGN.md),
+//! plus Criterion micro-benchmarks of the analysis itself (`benches/`).
+//!
+//! The binaries print the same rows/series the paper's figures report —
+//! detection-error box plots over the parameter sweeps, case-study spectra and
+//! periods, the tracing-overhead curves, and the Set-10 scheduling comparison —
+//! next to the values the paper states, so the shape of every result can be
+//! compared directly. `EXPERIMENTS.md` records one such comparison.
+
+pub mod experiments;
+
+pub use experiments::{
+    accuracy_config, detection_error, error_table_header, evaluate_point, evaluate_sweep,
+    format_error_row, ErrorPoint, DEFAULT_TRACES_PER_POINT,
+};

@@ -1,0 +1,80 @@
+//! `ftio` — offline detection of periodic I/O from a trace file.
+//!
+//! Usage:
+//!
+//! ```text
+//! ftio <trace-file> [options]
+//! ftio --demo [options]
+//!
+//! options:
+//!   --format jsonl|msgpack|recorder|darshan   input format (default: by extension)
+//!   --freq <hz>                               sampling frequency (default 10)
+//!   --tolerance <0..1>                        candidate tolerance (default 0.8)
+//!   --no-autocorrelation                      skip the ACF refinement
+//!   --window <t0> <t1>                        restrict the analysis window (seconds)
+//!   --demo                                    analyse a generated demo trace instead of a file
+//! ```
+//!
+//! The tool mirrors the reference implementation's offline mode: it reads the
+//! trace produced by the collector (JSON Lines or MessagePack), a
+//! Recorder-style text trace, or a Darshan-style heatmap, and prints the FTIO
+//! detection report.
+
+use std::process::ExitCode;
+
+use ftio_cli::{load_trace, parse_common_options, print_usage_and_exit};
+use ftio_core::{detect_heatmap, detect_signal, report, sample_trace, sample_trace_window};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage_and_exit("ftio");
+    }
+    let options = match parse_common_options(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let input = match load_trace(&options) {
+        Ok(input) => input,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match &input {
+        ftio_cli::LoadedInput::Heatmap(heatmap) => detect_heatmap(heatmap, &options.config),
+        ftio_cli::LoadedInput::Trace(trace) => {
+            println!(
+                "trace: {} requests, {} ranks, {:.1} s, {:.2} GB",
+                trace.len(),
+                trace.active_ranks().len(),
+                trace.duration(),
+                trace.total_volume() as f64 / 1e9
+            );
+            let signal = match options.window {
+                Some((t0, t1)) => sample_trace_window(trace, t0, t1, options.config.sampling_freq),
+                None => sample_trace(trace, options.config.sampling_freq),
+            };
+            detect_signal(&signal, &options.config)
+        }
+    };
+
+    println!("{}", report::render(&result));
+    match result.period() {
+        Some(period) => {
+            println!("==> period: {period:.2} s  (confidence {:.1} %, refined {:.1} %)",
+                result.confidence() * 100.0,
+                result.refined_confidence() * 100.0);
+            ExitCode::SUCCESS
+        }
+        None => {
+            println!("==> no dominant frequency found (signal not periodic)");
+            ExitCode::SUCCESS
+        }
+    }
+}

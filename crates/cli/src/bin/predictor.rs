@@ -1,0 +1,124 @@
+//! `predictor` — online period prediction, replaying a trace file as if the
+//! application were still running.
+//!
+//! Usage:
+//!
+//! ```text
+//! predictor <trace-file> [options] [--step <seconds>]
+//! predictor --demo [options]
+//! ```
+//!
+//! The tool ingests the trace incrementally (one analysis step every `--step`
+//! seconds of trace time, default: one step per I/O burst for the demo, 60 s
+//! otherwise), runs an FTIO prediction at every step — exactly what the online
+//! mode does at every flush — and prints the evolving period, confidence, and
+//! adaptive analysis window, followed by the merged frequency intervals.
+
+use std::process::ExitCode;
+
+use ftio_cli::{demo_flush_points, load_trace, parse_common_options, print_usage_and_exit, LoadedInput};
+use ftio_core::{OnlinePredictor, WindowStrategy};
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage_and_exit("predictor");
+    }
+
+    // Extract the predictor-specific `--step` option before the common parsing.
+    let mut step: Option<f64> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--step") {
+        if pos + 1 >= args.len() {
+            eprintln!("error: missing value for --step");
+            return ExitCode::FAILURE;
+        }
+        step = match args[pos + 1].parse() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                eprintln!("error: invalid value for --step");
+                return ExitCode::FAILURE;
+            }
+        };
+        args.drain(pos..=pos + 1);
+    }
+
+    let options = match parse_common_options(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match load_trace(&options) {
+        Ok(LoadedInput::Trace(trace)) => trace,
+        Ok(LoadedInput::Heatmap(_)) => {
+            eprintln!("error: the online predictor needs a request-level trace, not a heatmap");
+            return ExitCode::FAILURE;
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Prediction points: demo flush points, or a fixed cadence over the trace.
+    let prediction_points: Vec<f64> = if options.demo && step.is_none() {
+        demo_flush_points()
+    } else {
+        let step = step.unwrap_or(60.0);
+        let mut points = Vec::new();
+        let mut t = trace.start_time() + step;
+        while t < trace.end_time() + step {
+            points.push(t);
+            t += step;
+        }
+        points
+    };
+
+    let mut predictor = OnlinePredictor::new(options.config, WindowStrategy::Adaptive { multiple: 3 });
+    let mut requests: Vec<ftio_trace::IoRequest> = trace.requests().to_vec();
+    requests.sort_by(|a, b| a.end.partial_cmp(&b.end).expect("NaN request time"));
+    let mut next_request = 0;
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "step", "time (s)", "period (s)", "conf (%)", "window (s)", "requests"
+    );
+    for (i, &now) in prediction_points.iter().enumerate() {
+        // Feed everything that has completed by `now` — the data the
+        // application would have flushed so far.
+        let mut batch = Vec::new();
+        while next_request < requests.len() && requests[next_request].end <= now {
+            batch.push(requests[next_request]);
+            next_request += 1;
+        }
+        predictor.ingest(batch);
+        let prediction = predictor.predict(now);
+        println!(
+            "{:>6} {:>12.1} {:>12} {:>12.1} {:>14.1} {:>12}",
+            i + 1,
+            now,
+            prediction
+                .period()
+                .map(|p| format!("{p:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            prediction.confidence() * 100.0,
+            prediction.window_end - prediction.window_start,
+            predictor.collected_requests()
+        );
+    }
+
+    println!("\nmerged frequency intervals (probability = share of predictions):");
+    let intervals = predictor.merged_intervals();
+    if intervals.is_empty() {
+        println!("  (none — no dominant frequency was found often enough)");
+    }
+    for interval in intervals {
+        let (lo, hi) = interval.period_bounds();
+        println!(
+            "  {:.4}-{:.4} Hz  (period {:.2}-{:.2} s)  p = {:.2}",
+            interval.min_freq, interval.max_freq, lo, hi, interval.probability
+        );
+    }
+    ExitCode::SUCCESS
+}

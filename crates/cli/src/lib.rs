@@ -1,0 +1,329 @@
+//! # ftio-cli
+//!
+//! Shared plumbing of the command-line tools `ftio` (offline detection) and
+//! `predictor` (online prediction): argument parsing, trace-file loading for
+//! the supported formats (JSON Lines, MessagePack, Recorder text, Darshan
+//! heatmap), and a generated demo workload for quick experimentation.
+
+use std::path::Path;
+
+use ftio_core::FtioConfig;
+use ftio_synth::hacc::{generate as generate_hacc, HaccConfig};
+use ftio_trace::{jsonl, msgpack, recorder, AppTrace, Heatmap};
+
+/// Input trace formats supported by the tools.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputFormat {
+    /// One JSON object per request per line (TMIO online format).
+    JsonLines,
+    /// MessagePack array of request arrays (TMIO binary format).
+    MessagePack,
+    /// Recorder-style text trace.
+    Recorder,
+    /// Darshan-style heatmap text file.
+    Darshan,
+}
+
+impl InputFormat {
+    /// Parses a `--format` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "jsonl" | "json" | "jsonlines" => Some(InputFormat::JsonLines),
+            "msgpack" | "messagepack" | "mp" => Some(InputFormat::MessagePack),
+            "recorder" | "rec" => Some(InputFormat::Recorder),
+            "darshan" | "heatmap" => Some(InputFormat::Darshan),
+            _ => None,
+        }
+    }
+
+    /// Guesses the format from a file extension.
+    pub fn from_extension(path: &str) -> Option<Self> {
+        let ext = Path::new(path).extension()?.to_str()?.to_ascii_lowercase();
+        match ext.as_str() {
+            "jsonl" | "json" => Some(InputFormat::JsonLines),
+            "msgpack" | "mp" | "bin" => Some(InputFormat::MessagePack),
+            "txt" | "recorder" => Some(InputFormat::Recorder),
+            "darshan" | "heatmap" | "csv" => Some(InputFormat::Darshan),
+            _ => None,
+        }
+    }
+}
+
+/// Options shared by both tools.
+#[derive(Clone, Debug)]
+pub struct CliOptions {
+    /// Path of the input trace, or `None` when `--demo` was given.
+    pub input: Option<String>,
+    /// Explicit input format (otherwise derived from the extension).
+    pub format: Option<InputFormat>,
+    /// Analysis configuration (sampling frequency, tolerance, ACF, ...).
+    pub config: FtioConfig,
+    /// Optional analysis window `[t0, t1)`.
+    pub window: Option<(f64, f64)>,
+    /// Whether to analyse the built-in demo workload.
+    pub demo: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            input: None,
+            format: None,
+            config: FtioConfig::default(),
+            window: None,
+            demo: false,
+        }
+    }
+}
+
+/// A successfully loaded input.
+#[derive(Debug)]
+pub enum LoadedInput {
+    /// Request-level trace.
+    Trace(AppTrace),
+    /// Darshan-style heatmap.
+    Heatmap(Heatmap),
+}
+
+/// Prints the usage text of `tool` and exits.
+pub fn print_usage_and_exit(tool: &str) -> ! {
+    println!(
+        "usage: {tool} <trace-file> [options]\n\
+         \n\
+         options:\n\
+         \x20 --format jsonl|msgpack|recorder|darshan   input format (default: by extension)\n\
+         \x20 --freq <hz>                               sampling frequency (default 10)\n\
+         \x20 --tolerance <0..1>                        candidate tolerance (default 0.8)\n\
+         \x20 --no-autocorrelation                      skip the ACF refinement\n\
+         \x20 --window <t0> <t1>                        restrict the analysis window (seconds)\n\
+         \x20 --demo                                    analyse a generated demo trace instead of a file"
+    );
+    std::process::exit(0);
+}
+
+/// Parses the options shared by both tools.
+pub fn parse_common_options(args: &[String]) -> Result<CliOptions, String> {
+    let mut options = CliOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--demo" => options.demo = true,
+            "--no-autocorrelation" => options.config.use_autocorrelation = false,
+            "--format" => {
+                let value = next_value(args, &mut i, "--format")?;
+                options.format =
+                    Some(InputFormat::parse(&value).ok_or(format!("unknown format `{value}`"))?);
+            }
+            "--freq" => {
+                let value = next_value(args, &mut i, "--freq")?;
+                options.config.sampling_freq = value
+                    .parse()
+                    .map_err(|_| format!("invalid sampling frequency `{value}`"))?;
+            }
+            "--tolerance" => {
+                let value = next_value(args, &mut i, "--tolerance")?;
+                options.config.tolerance = value
+                    .parse()
+                    .map_err(|_| format!("invalid tolerance `{value}`"))?;
+            }
+            "--window" => {
+                let t0: f64 = next_value(args, &mut i, "--window")?
+                    .parse()
+                    .map_err(|_| "invalid window start".to_string())?;
+                let t1: f64 = next_value(args, &mut i, "--window")?
+                    .parse()
+                    .map_err(|_| "invalid window end".to_string())?;
+                if t1 <= t0 {
+                    return Err("window end must be after window start".into());
+                }
+                options.window = Some((t0, t1));
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            path => {
+                if options.input.is_some() {
+                    return Err(format!("unexpected extra argument `{path}`"));
+                }
+                options.input = Some(path.to_string());
+            }
+        }
+        i += 1;
+    }
+    if !options.demo && options.input.is_none() {
+        return Err("no input file given (or use --demo)".into());
+    }
+    options.config.validate()?;
+    Ok(options)
+}
+
+fn next_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or(format!("missing value for {flag}"))
+}
+
+/// Loads the input described by the options (or builds the demo workload).
+pub fn load_trace(options: &CliOptions) -> Result<LoadedInput, String> {
+    if options.demo {
+        return Ok(LoadedInput::Trace(demo_trace()));
+    }
+    let path = options.input.as_ref().expect("validated by parse_common_options");
+    let format = options
+        .format
+        .or_else(|| InputFormat::from_extension(path))
+        .ok_or_else(|| format!("cannot determine the format of `{path}`; pass --format"))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    match format {
+        InputFormat::JsonLines => {
+            let text = String::from_utf8(bytes).map_err(|_| "trace is not valid UTF-8".to_string())?;
+            let requests = jsonl::decode_requests(&text).map_err(|e| e.to_string())?;
+            Ok(LoadedInput::Trace(requests_to_trace(path, requests)))
+        }
+        InputFormat::MessagePack => {
+            let requests = msgpack::decode_requests(&bytes).map_err(|e| e.to_string())?;
+            Ok(LoadedInput::Trace(requests_to_trace(path, requests)))
+        }
+        InputFormat::Recorder => {
+            let text = String::from_utf8(bytes).map_err(|_| "trace is not valid UTF-8".to_string())?;
+            let requests = recorder::decode_requests(&text).map_err(|e| e.to_string())?;
+            Ok(LoadedInput::Trace(requests_to_trace(path, requests)))
+        }
+        InputFormat::Darshan => {
+            let text = String::from_utf8(bytes).map_err(|_| "heatmap is not valid UTF-8".to_string())?;
+            let heatmap = Heatmap::from_text(&text).map_err(|e| e.to_string())?;
+            Ok(LoadedInput::Heatmap(heatmap))
+        }
+    }
+}
+
+fn requests_to_trace(path: &str, requests: Vec<ftio_trace::IoRequest>) -> AppTrace {
+    let ranks = requests.iter().map(|r| r.rank + 1).max().unwrap_or(0);
+    AppTrace::from_requests(path, ranks, requests)
+}
+
+/// The demo workload: a HACC-IO-shaped run with ten periodic I/O phases.
+pub fn demo_trace() -> AppTrace {
+    generate_hacc(&HaccConfig::default(), 0xDE30).trace
+}
+
+/// The flush points of the demo workload (used by the `predictor` tool).
+pub fn demo_flush_points() -> Vec<f64> {
+    generate_hacc(&HaccConfig::default(), 0xDE30).flush_points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn format_parsing_and_extensions() {
+        assert_eq!(InputFormat::parse("jsonl"), Some(InputFormat::JsonLines));
+        assert_eq!(InputFormat::parse("MSGPACK"), Some(InputFormat::MessagePack));
+        assert_eq!(InputFormat::parse("darshan"), Some(InputFormat::Darshan));
+        assert_eq!(InputFormat::parse("nope"), None);
+        assert_eq!(InputFormat::from_extension("a/b/trace.jsonl"), Some(InputFormat::JsonLines));
+        assert_eq!(InputFormat::from_extension("trace.msgpack"), Some(InputFormat::MessagePack));
+        assert_eq!(InputFormat::from_extension("trace.heatmap"), Some(InputFormat::Darshan));
+        assert_eq!(InputFormat::from_extension("trace"), None);
+    }
+
+    #[test]
+    fn options_are_parsed() {
+        let options = parse_common_options(&strings(&[
+            "trace.jsonl",
+            "--freq",
+            "2.5",
+            "--tolerance",
+            "0.6",
+            "--no-autocorrelation",
+            "--window",
+            "10",
+            "200",
+        ]))
+        .unwrap();
+        assert_eq!(options.input.as_deref(), Some("trace.jsonl"));
+        assert_eq!(options.config.sampling_freq, 2.5);
+        assert_eq!(options.config.tolerance, 0.6);
+        assert!(!options.config.use_autocorrelation);
+        assert_eq!(options.window, Some((10.0, 200.0)));
+    }
+
+    #[test]
+    fn demo_needs_no_input_file() {
+        let options = parse_common_options(&strings(&["--demo"])).unwrap();
+        assert!(options.demo);
+        assert!(options.input.is_none());
+        let loaded = load_trace(&options).unwrap();
+        match loaded {
+            LoadedInput::Trace(trace) => assert!(!trace.is_empty()),
+            LoadedInput::Heatmap(_) => panic!("demo should be a request trace"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_common_options(&strings(&[])).is_err());
+        assert!(parse_common_options(&strings(&["--freq", "abc", "t.jsonl"])).is_err());
+        assert!(parse_common_options(&strings(&["--format", "weird", "t.jsonl"])).is_err());
+        assert!(parse_common_options(&strings(&["--window", "5", "1", "t.jsonl"])).is_err());
+        assert!(parse_common_options(&strings(&["--unknown", "t.jsonl"])).is_err());
+        assert!(parse_common_options(&strings(&["a.jsonl", "b.jsonl"])).is_err());
+        // Invalid configuration values are caught by validation.
+        assert!(parse_common_options(&strings(&["--tolerance", "3.0", "t.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn loading_round_trips_through_the_codecs() {
+        let demo = demo_trace();
+        let dir = std::env::temp_dir();
+
+        let jsonl_path = dir.join("ftio_cli_test.jsonl");
+        std::fs::write(&jsonl_path, jsonl::encode_requests(demo.requests())).unwrap();
+        let options = parse_common_options(&strings(&[jsonl_path.to_str().unwrap()])).unwrap();
+        match load_trace(&options).unwrap() {
+            LoadedInput::Trace(trace) => assert_eq!(trace.len(), demo.len()),
+            _ => panic!("expected a trace"),
+        }
+
+        let mp_path = dir.join("ftio_cli_test.msgpack");
+        std::fs::write(&mp_path, msgpack::encode_requests(demo.requests())).unwrap();
+        let options = parse_common_options(&strings(&[mp_path.to_str().unwrap()])).unwrap();
+        match load_trace(&options).unwrap() {
+            LoadedInput::Trace(trace) => assert_eq!(trace.len(), demo.len()),
+            _ => panic!("expected a trace"),
+        }
+
+        let heatmap = Heatmap::new(0.0, 60.0, vec![1.0e9, 0.0, 2.0e9]);
+        let hm_path = dir.join("ftio_cli_test.heatmap");
+        std::fs::write(&hm_path, heatmap.to_text()).unwrap();
+        let options = parse_common_options(&strings(&[hm_path.to_str().unwrap()])).unwrap();
+        match load_trace(&options).unwrap() {
+            LoadedInput::Heatmap(h) => assert_eq!(h, heatmap),
+            _ => panic!("expected a heatmap"),
+        }
+
+        let _ = std::fs::remove_file(jsonl_path);
+        let _ = std::fs::remove_file(mp_path);
+        let _ = std::fs::remove_file(hm_path);
+    }
+
+    #[test]
+    fn missing_file_is_a_readable_error() {
+        let options = parse_common_options(&strings(&["/does/not/exist.jsonl"])).unwrap();
+        let err = load_trace(&options).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn demo_flush_points_are_increasing() {
+        let points = demo_flush_points();
+        assert_eq!(points.len(), 10);
+        for pair in points.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Autocorrelation-based period estimation and confidence refinement
+//! (paper §II-C).
+//!
+//! The ACF of the sampled bandwidth signal is computed, its peaks are located
+//! (height threshold 0.15 in the paper), and the gaps between consecutive
+//! peaks — divided by the sampling frequency — become period candidates. The
+//! candidates are filtered with a weighted Z-score (weights taken from the ACF
+//! peak values) and averaged into the ACF period estimate. Three confidences
+//! come out of this:
+//!
+//! * `c_a = 1 − σ/µ` over the retained candidates (how consistent the ACF
+//!   peaks are among themselves),
+//! * `c_s` — the similarity between the DFT period and the ACF candidates,
+//! * the refined confidence `(c_d + c_a + c_s) / 3`.
+
+use ftio_dsp::correlation::{autocorrelation_with, Normalization};
+use ftio_dsp::peaks::{find_peaks, PeakConfig};
+use ftio_dsp::stats;
+use ftio_dsp::zscore::weighted_z_scores;
+
+/// Result of the autocorrelation analysis.
+#[derive(Clone, Debug)]
+pub struct AcfAnalysis {
+    /// The autocorrelation function (lag 0 ..= N-1), normalised to 1 at lag 0.
+    pub acf: Vec<f64>,
+    /// Lags (in samples) of the detected peaks.
+    pub peak_lags: Vec<usize>,
+    /// Period candidates in seconds (gaps between consecutive peaks / fs),
+    /// *before* outlier filtering.
+    pub raw_candidates: Vec<f64>,
+    /// Period candidates retained after the weighted Z-score filter.
+    pub candidates: Vec<f64>,
+    /// The ACF period estimate: the mean of the retained candidates (seconds).
+    pub period: Option<f64>,
+    /// Confidence `c_a = 1 − σ/µ` of the ACF estimate.
+    pub confidence: f64,
+}
+
+impl AcfAnalysis {
+    /// Similarity `c_s` between a DFT-provided period and the ACF candidates:
+    /// one minus the coefficient of variation of the candidate set extended by
+    /// the DFT period. Close agreement yields a value near 1.
+    pub fn similarity_to(&self, dft_period: f64) -> f64 {
+        if self.candidates.is_empty() || dft_period <= 0.0 {
+            return 0.0;
+        }
+        let mut extended = self.candidates.clone();
+        extended.push(dft_period);
+        (1.0 - stats::coefficient_of_variation(&extended)).clamp(0.0, 1.0)
+    }
+
+    /// The refined confidence `(c_d + c_a + c_s) / 3` for a DFT result with
+    /// confidence `c_d` and period `dft_period`.
+    pub fn refined_confidence(&self, dft_confidence: f64, dft_period: f64) -> f64 {
+        let cs = self.similarity_to(dft_period);
+        ((dft_confidence + self.confidence + cs) / 3.0).clamp(0.0, 1.0)
+    }
+}
+
+/// Runs the autocorrelation analysis on a sampled signal.
+///
+/// `peak_height` is the minimum ACF value for a peak (0.15 in the paper);
+/// `outlier_threshold` is the Z-score magnitude beyond which a period
+/// candidate is discarded.
+pub fn analyze_acf(
+    samples: &[f64],
+    sampling_freq: f64,
+    peak_height: f64,
+    outlier_threshold: f64,
+) -> AcfAnalysis {
+    assert!(sampling_freq > 0.0, "sampling frequency must be positive");
+    if samples.len() < 4 {
+        return AcfAnalysis {
+            acf: vec![1.0; samples.len().min(1)],
+            peak_lags: Vec::new(),
+            raw_candidates: Vec::new(),
+            candidates: Vec::new(),
+            period: None,
+            confidence: 0.0,
+        };
+    }
+
+    let acf = autocorrelation_with(samples, Normalization::Biased);
+
+    // Peaks above the height threshold; lag 0 is excluded automatically since
+    // peak detection never reports boundary samples. A minimum peak distance
+    // of 1% of the signal length suppresses the sampling-rate ripple that high
+    // fs values superimpose on the main ACF lobes (it would otherwise flood
+    // the candidate list with sub-sample gaps).
+    let config = PeakConfig {
+        min_height: Some(peak_height),
+        min_distance: Some((samples.len() / 100).max(2)),
+        ..Default::default()
+    };
+    let peaks = find_peaks(&acf, &config);
+    let peak_lags: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+
+    // Period candidates from the gaps between consecutive peaks (the first
+    // peak's lag itself is also a candidate: it is the gap to lag 0).
+    let mut raw_candidates = Vec::new();
+    let mut weights = Vec::new();
+    let mut prev_lag = 0usize;
+    for peak in &peaks {
+        let gap = peak.index - prev_lag;
+        if gap > 0 {
+            raw_candidates.push(gap as f64 / sampling_freq);
+            weights.push(peak.height.max(0.0));
+        }
+        prev_lag = peak.index;
+    }
+
+    // Weighted Z-score filter over the candidates.
+    let candidates: Vec<f64> = if raw_candidates.len() > 2 {
+        let scores = weighted_z_scores(&raw_candidates, &weights);
+        raw_candidates
+            .iter()
+            .zip(scores)
+            .filter_map(|(&c, z)| if z.abs() < outlier_threshold { Some(c) } else { None })
+            .collect()
+    } else {
+        raw_candidates.clone()
+    };
+
+    let (period, confidence) = if candidates.is_empty() {
+        (None, 0.0)
+    } else {
+        let mean = stats::mean(&candidates);
+        let cv = stats::coefficient_of_variation(&candidates);
+        (Some(mean), (1.0 - cv).clamp(0.0, 1.0))
+    };
+
+    AcfAnalysis {
+        acf,
+        peak_lags,
+        raw_candidates,
+        candidates,
+        period,
+        confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse_train(n: usize, period: usize, width: usize, amp: f64) -> Vec<f64> {
+        (0..n).map(|i| if i % period < width { amp } else { 0.0 }).collect()
+    }
+
+    #[test]
+    fn periodic_signal_period_is_recovered() {
+        let signal = pulse_train(600, 30, 6, 10.0);
+        let acf = analyze_acf(&signal, 1.0, 0.15, 3.0);
+        let period = acf.period.expect("period");
+        assert!((period - 30.0).abs() < 1.5, "period {period}");
+        assert!(acf.confidence > 0.9, "confidence {}", acf.confidence);
+        assert!(!acf.peak_lags.is_empty());
+        // Peaks should be spaced by the signal period.
+        for pair in acf.peak_lags.windows(2) {
+            let gap = pair[1] - pair[0];
+            assert!((gap as isize - 30).unsigned_abs() <= 2, "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn sampling_frequency_scales_the_period() {
+        let signal = pulse_train(600, 30, 6, 10.0);
+        let at_1hz = analyze_acf(&signal, 1.0, 0.15, 3.0).period.unwrap();
+        let at_10hz = analyze_acf(&signal, 10.0, 0.15, 3.0).period.unwrap();
+        assert!((at_1hz / at_10hz - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_periodic_signal_yields_low_confidence_or_no_period() {
+        // A single burst: the ACF decays monotonically, no strong peaks.
+        let mut signal = vec![0.0; 400];
+        for s in signal.iter_mut().take(25) {
+            *s = 5.0;
+        }
+        let acf = analyze_acf(&signal, 1.0, 0.15, 3.0);
+        assert!(acf.period.is_none() || acf.confidence < 0.6);
+    }
+
+    #[test]
+    fn short_signals_return_no_period() {
+        let acf = analyze_acf(&[1.0, 2.0], 1.0, 0.15, 3.0);
+        assert!(acf.period.is_none());
+        assert_eq!(acf.confidence, 0.0);
+        assert!(acf.candidates.is_empty());
+    }
+
+    #[test]
+    fn similarity_is_high_when_dft_agrees() {
+        let signal = pulse_train(600, 30, 6, 10.0);
+        let acf = analyze_acf(&signal, 1.0, 0.15, 3.0);
+        let close = acf.similarity_to(30.0);
+        let far = acf.similarity_to(90.0);
+        assert!(close > 0.9, "close similarity {close}");
+        assert!(far < close, "far {far} should be below close {close}");
+    }
+
+    #[test]
+    fn refined_confidence_averages_the_three_terms() {
+        let signal = pulse_train(600, 30, 6, 10.0);
+        let acf = analyze_acf(&signal, 1.0, 0.15, 3.0);
+        let cd = 0.6;
+        let refined = acf.refined_confidence(cd, 30.0);
+        let expected = (cd + acf.confidence + acf.similarity_to(30.0)) / 3.0;
+        assert!((refined - expected).abs() < 1e-12);
+        assert!(refined > cd, "ACF agreement should raise the confidence");
+    }
+
+    #[test]
+    fn similarity_of_empty_candidates_is_zero() {
+        let acf = analyze_acf(&[0.0; 10], 1.0, 0.15, 3.0);
+        assert_eq!(acf.similarity_to(10.0), 0.0);
+        assert_eq!(acf.refined_confidence(0.9, 10.0), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling frequency must be positive")]
+    fn zero_sampling_frequency_panics() {
+        analyze_acf(&[1.0; 10], 0.0, 0.15, 3.0);
+    }
+
+    #[test]
+    fn jittered_periodic_signal_still_close() {
+        // Period alternates between 28 and 32 samples: the mean period is 30.
+        let mut signal = vec![0.0; 0];
+        let mut period = 28;
+        while signal.len() < 600 {
+            for i in 0..period {
+                signal.push(if i < 6 { 8.0 } else { 0.0 });
+            }
+            period = if period == 28 { 32 } else { 28 };
+        }
+        let acf = analyze_acf(&signal, 1.0, 0.15, 3.0);
+        let p = acf.period.expect("period");
+        assert!((p - 30.0).abs() < 3.0, "period {p}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Further characterisation of the I/O behaviour given the detected period
+//! (paper §II-C, "Further characterization", and Fig. 4/9).
+//!
+//! All metrics are computed on the discretised bandwidth signal:
+//!
+//! * the **substantial-I/O threshold** is the average data rate
+//!   `V(T) / L(T)`;
+//! * `R_IO` — the fraction of time the signal is above that threshold;
+//! * `B_IO` — the average bandwidth during that substantial I/O;
+//! * `σ_vol` — the standard deviation of the per-period volumes, normalised by
+//!   the largest per-period volume;
+//! * `σ_time` — the standard deviation of the per-period fraction of time
+//!   spent on substantial I/O, relative to `R_IO` (Eq. (4));
+//! * the **periodicity score** `1 − σ_vol − σ_time`;
+//! * the **volume per period** `V(S) / (L(T) · f_d)`, the natural prediction
+//!   of how much data the next I/O phase will move.
+
+use crate::sampling::SampledSignal;
+
+/// The characterisation metrics FTIO reports next to the detected period.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Characterization {
+    /// Threshold separating substantial I/O from noise, in bytes/second.
+    pub threshold: f64,
+    /// Fraction of time spent on substantial I/O (`R_IO ∈ [0, 1]`).
+    pub io_time_ratio: f64,
+    /// Average bandwidth of the substantial I/O, bytes/second (`B_IO`).
+    pub io_bandwidth: f64,
+    /// Standard deviation of normalised per-period volumes (`σ_vol ∈ [0, 0.5]`).
+    pub sigma_vol: f64,
+    /// Standard deviation of per-period I/O time fractions (`σ_time ∈ [0, 0.5]`).
+    pub sigma_time: f64,
+    /// Periodicity score `1 − σ_vol − σ_time` (clamped to `[0, 1]`).
+    pub periodicity_score: f64,
+    /// Average volume transferred per period, bytes.
+    pub volume_per_period: f64,
+    /// Number of whole periods the signal was split into.
+    pub num_periods: usize,
+}
+
+/// Computes `R_IO`, `B_IO` and the threshold, independent of any period.
+pub fn io_ratio(signal: &SampledSignal) -> (f64, f64, f64) {
+    let samples = &signal.samples;
+    if samples.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let threshold = signal.mean_bandwidth();
+    if threshold <= 0.0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let above: Vec<f64> = samples.iter().copied().filter(|&x| x > threshold).collect();
+    let r_io = above.len() as f64 / samples.len() as f64;
+    let b_io = if above.is_empty() {
+        0.0
+    } else {
+        above.iter().sum::<f64>() / above.len() as f64
+    };
+    (r_io, b_io, threshold)
+}
+
+/// Computes the full characterisation for a detected dominant frequency
+/// `dominant_freq` (Hz). Returns `None` when the frequency or the signal is
+/// degenerate (fewer than one full period of samples).
+pub fn characterize(signal: &SampledSignal, dominant_freq: f64) -> Option<Characterization> {
+    if dominant_freq <= 0.0 || signal.is_empty() {
+        return None;
+    }
+    let period_samples = (signal.sampling_freq / dominant_freq).round() as usize;
+    if period_samples == 0 || period_samples > signal.len() {
+        return None;
+    }
+    let num_periods = signal.len() / period_samples;
+    if num_periods == 0 {
+        return None;
+    }
+
+    let (r_io, b_io, threshold) = io_ratio(signal);
+    let dt = 1.0 / signal.sampling_freq;
+
+    // Per-period volumes and I/O-time fractions.
+    let mut volumes = Vec::with_capacity(num_periods);
+    let mut time_fractions = Vec::with_capacity(num_periods);
+    for p in 0..num_periods {
+        let chunk = &signal.samples[p * period_samples..(p + 1) * period_samples];
+        let volume: f64 = chunk.iter().map(|bw| bw * dt).sum();
+        volumes.push(volume);
+        let above = chunk.iter().filter(|&&x| x > threshold).count();
+        time_fractions.push(above as f64 / period_samples as f64);
+    }
+
+    // σ_vol: std of V(T_i) / max V(T_i).
+    let max_volume = volumes.iter().cloned().fold(0.0, f64::max);
+    let sigma_vol = if max_volume > 0.0 {
+        let normalised: Vec<f64> = volumes.iter().map(|v| v / max_volume).collect();
+        ftio_dsp::stats::std_dev(&normalised)
+    } else {
+        0.0
+    };
+
+    // σ_time: sqrt(mean over periods of (fraction_i − R_IO)^2), Eq. (4).
+    let sigma_time = (time_fractions
+        .iter()
+        .map(|f| (f - r_io) * (f - r_io))
+        .sum::<f64>()
+        / num_periods as f64)
+        .sqrt();
+
+    // Volume of the substantial I/O across the whole window.
+    let substantial_volume: f64 = signal
+        .samples
+        .iter()
+        .filter(|&&x| x > threshold)
+        .map(|bw| bw * dt)
+        .sum();
+    let volume_per_period = substantial_volume / num_periods as f64;
+
+    Some(Characterization {
+        threshold,
+        io_time_ratio: r_io,
+        io_bandwidth: b_io,
+        sigma_vol,
+        sigma_time,
+        periodicity_score: (1.0 - sigma_vol - sigma_time).clamp(0.0, 1.0),
+        volume_per_period,
+        num_periods,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::SampledSignal;
+
+    fn pulse_signal(periods: usize, period_len: usize, burst_len: usize, amp: f64) -> SampledSignal {
+        let samples: Vec<f64> = (0..periods * period_len)
+            .map(|i| if i % period_len < burst_len { amp } else { 0.0 })
+            .collect();
+        SampledSignal::from_samples(samples, 1.0, 0.0)
+    }
+
+    #[test]
+    fn perfectly_periodic_signal_has_near_zero_sigmas_and_high_score() {
+        let signal = pulse_signal(10, 20, 5, 8.0);
+        let c = characterize(&signal, 1.0 / 20.0).expect("characterization");
+        assert_eq!(c.num_periods, 10);
+        assert!(c.sigma_vol < 1e-9, "sigma_vol {}", c.sigma_vol);
+        assert!(c.sigma_time < 1e-9, "sigma_time {}", c.sigma_time);
+        assert!(c.periodicity_score > 0.99);
+        // 25% of the time is spent above the mean (5 of 20 samples per period).
+        assert!((c.io_time_ratio - 0.25).abs() < 1e-9);
+        assert!((c.io_bandwidth - 8.0).abs() < 1e-9);
+        // Volume per period: 5 samples × 8 B/s × 1 s.
+        assert!((c.volume_per_period - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uneven_volumes_raise_sigma_vol_but_not_sigma_time() {
+        // Same burst lengths, alternating amplitudes: time-periodic but not volume-periodic.
+        let mut samples = Vec::new();
+        for p in 0..10 {
+            let amp = if p % 2 == 0 { 10.0 } else { 4.0 };
+            for i in 0..20 {
+                samples.push(if i < 5 { amp } else { 0.0 });
+            }
+        }
+        let signal = SampledSignal::from_samples(samples, 1.0, 0.0);
+        let c = characterize(&signal, 0.05).unwrap();
+        assert!(c.sigma_vol > 0.2, "sigma_vol {}", c.sigma_vol);
+        assert!(c.sigma_time < 0.05, "sigma_time {}", c.sigma_time);
+        assert!(c.periodicity_score < 0.8);
+    }
+
+    #[test]
+    fn uneven_phase_lengths_raise_sigma_time() {
+        // Alternating burst lengths (2 and 8 samples out of 20).
+        let mut samples = Vec::new();
+        for p in 0..10 {
+            let width = if p % 2 == 0 { 2 } else { 8 };
+            for i in 0..20 {
+                samples.push(if i < width { 6.0 } else { 0.0 });
+            }
+        }
+        let signal = SampledSignal::from_samples(samples, 1.0, 0.0);
+        let c = characterize(&signal, 0.05).unwrap();
+        assert!(c.sigma_time > 0.1, "sigma_time {}", c.sigma_time);
+    }
+
+    #[test]
+    fn wrong_period_lowers_the_score() {
+        let signal = pulse_signal(12, 20, 5, 8.0);
+        let right = characterize(&signal, 1.0 / 20.0).unwrap();
+        let wrong = characterize(&signal, 1.0 / 13.0).unwrap();
+        assert!(right.periodicity_score > wrong.periodicity_score + 0.05);
+    }
+
+    #[test]
+    fn io_ratio_of_constant_signal() {
+        // A constant signal is never *above* its mean, so R_IO is 0 — the
+        // "all noise" caveat the paper discusses.
+        let signal = SampledSignal::from_samples(vec![5.0; 100], 1.0, 0.0);
+        let (r_io, b_io, threshold) = io_ratio(&signal);
+        assert_eq!(r_io, 0.0);
+        assert_eq!(b_io, 0.0);
+        assert_eq!(threshold, 5.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        let signal = pulse_signal(4, 10, 2, 1.0);
+        assert!(characterize(&signal, 0.0).is_none());
+        assert!(characterize(&signal, -1.0).is_none());
+        // Period longer than the whole signal.
+        assert!(characterize(&signal, 1.0 / 1000.0).is_none());
+        let empty = SampledSignal::from_samples(Vec::new(), 1.0, 0.0);
+        assert!(characterize(&empty, 0.1).is_none());
+    }
+
+    #[test]
+    fn rio_matches_paper_style_example() {
+        // Bursts of 13.6 s every 20 s (68% duty) well above the noise floor.
+        let mut samples = Vec::new();
+        for _ in 0..5 {
+            for i in 0..100 {
+                samples.push(if i < 68 { 11.0e9 } else { 0.5e9 });
+            }
+        }
+        let signal = SampledSignal::from_samples(samples, 5.0, 0.0);
+        let (r_io, b_io, _) = io_ratio(&signal);
+        assert!((r_io - 0.68).abs() < 0.01, "R_IO {r_io}");
+        assert!((b_io - 11.0e9).abs() / 11.0e9 < 0.01, "B_IO {b_io}");
+    }
+
+    #[test]
+    fn sigma_bounds_hold_for_mixed_signals() {
+        let mut samples = Vec::new();
+        for p in 0..8 {
+            for i in 0..25 {
+                let on = i < 5 + (p % 3) * 4;
+                samples.push(if on { 3.0 + p as f64 } else { 0.0 });
+            }
+        }
+        let signal = SampledSignal::from_samples(samples, 1.0, 0.0);
+        let c = characterize(&signal, 1.0 / 25.0).unwrap();
+        assert!(c.sigma_vol >= 0.0 && c.sigma_vol <= 0.5 + 1e-9);
+        assert!(c.sigma_time >= 0.0 && c.sigma_time <= 0.5 + 1e-9);
+        assert!(c.periodicity_score >= 0.0 && c.periodicity_score <= 1.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Configuration of the FTIO analysis.
+//!
+//! The defaults follow the paper: a Z-score threshold of 3, a candidate
+//! tolerance of 0.8 relative to the largest Z-score, an ACF peak height of
+//! 0.15, and volume-preserving sampling of the bandwidth signal.
+
+/// Outlier-detection strategy applied to the power spectrum (paper §II-B2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OutlierMethod {
+    /// Z-score against the mean power (the paper's default, Eq. (2)).
+    ZScore {
+        /// Minimum Z-score for a frequency to count as an outlier (3.0).
+        threshold: f64,
+    },
+    /// DBSCAN over the power values; outliers are the noise points with the
+    /// highest powers. `eps_factor` scales the power spread used as `eps`.
+    DbScan {
+        /// Fraction of the power standard deviation used as the neighbourhood radius.
+        eps_factor: f64,
+        /// Core-point threshold.
+        min_pts: usize,
+    },
+    /// Local outlier factor; powers with a LOF score above `threshold` are outliers.
+    Lof {
+        /// Number of neighbours.
+        k: usize,
+        /// LOF score cut-off (≈ 1.5).
+        threshold: f64,
+    },
+    /// Isolation forest; powers with an anomaly score above `threshold` are outliers.
+    IsolationForest {
+        /// Anomaly-score cut-off (≈ 0.6).
+        threshold: f64,
+        /// RNG seed for the forest.
+        seed: u64,
+    },
+    /// SciPy-style peak detection on the power spectrum; peaks whose
+    /// prominence exceeds `prominence_factor` times the maximum power count.
+    PeakDetection {
+        /// Fraction of the maximum power required as prominence.
+        prominence_factor: f64,
+    },
+}
+
+impl Default for OutlierMethod {
+    fn default() -> Self {
+        OutlierMethod::ZScore { threshold: 3.0 }
+    }
+}
+
+/// Full configuration of a detection / prediction run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FtioConfig {
+    /// Sampling frequency `fs` in Hz used to discretise the bandwidth signal.
+    pub sampling_freq: f64,
+    /// Outlier-detection method.
+    pub outlier_method: OutlierMethod,
+    /// Tolerance for dominant-frequency candidates: a frequency joins the
+    /// candidate set if its Z-score is within this fraction of the largest
+    /// Z-score (0.8 in the paper, adjustable — the §II-C example lowers it to 0.45).
+    pub tolerance: f64,
+    /// Whether to run the autocorrelation refinement (paper §II-C).
+    pub use_autocorrelation: bool,
+    /// Minimum ACF value for a lag to count as a peak (0.15 in the paper).
+    pub acf_peak_height: f64,
+    /// Z-score threshold used when filtering ACF period candidates.
+    pub acf_outlier_threshold: f64,
+    /// Whether harmonics (candidates that are ×2 multiples of a lower
+    /// candidate) are dropped from the candidate set.
+    pub filter_harmonics: bool,
+    /// Relative tolerance when deciding whether one frequency is a ×2 harmonic
+    /// of another.
+    pub harmonic_tolerance: f64,
+    /// Whether to skip everything before the end of the first I/O activity
+    /// burst (HACC-IO's prolonged first phase, paper §III-B).
+    pub skip_first_phase: bool,
+}
+
+impl Default for FtioConfig {
+    fn default() -> Self {
+        FtioConfig {
+            sampling_freq: 10.0,
+            outlier_method: OutlierMethod::default(),
+            tolerance: 0.8,
+            use_autocorrelation: true,
+            acf_peak_height: 0.15,
+            acf_outlier_threshold: 3.0,
+            filter_harmonics: true,
+            harmonic_tolerance: 0.05,
+            skip_first_phase: false,
+        }
+    }
+}
+
+impl FtioConfig {
+    /// Configuration with a different sampling frequency and paper defaults otherwise.
+    pub fn with_sampling_freq(sampling_freq: f64) -> Self {
+        FtioConfig {
+            sampling_freq,
+            ..Default::default()
+        }
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.sampling_freq > 0.0) {
+            return Err(format!("sampling_freq must be positive, got {}", self.sampling_freq));
+        }
+        if !(0.0..=1.0).contains(&self.tolerance) {
+            return Err(format!("tolerance must be in [0, 1], got {}", self.tolerance));
+        }
+        if !(0.0..=1.0).contains(&self.acf_peak_height) {
+            return Err(format!(
+                "acf_peak_height must be in [0, 1], got {}",
+                self.acf_peak_height
+            ));
+        }
+        if self.harmonic_tolerance < 0.0 || self.harmonic_tolerance > 0.5 {
+            return Err(format!(
+                "harmonic_tolerance must be in [0, 0.5], got {}",
+                self.harmonic_tolerance
+            ));
+        }
+        match self.outlier_method {
+            OutlierMethod::ZScore { threshold } if threshold <= 0.0 => {
+                Err(format!("Z-score threshold must be positive, got {threshold}"))
+            }
+            OutlierMethod::DbScan { min_pts, .. } if min_pts == 0 => {
+                Err("DBSCAN min_pts must be at least 1".to_string())
+            }
+            OutlierMethod::Lof { k, .. } if k == 0 => Err("LOF k must be at least 1".to_string()),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = FtioConfig::default();
+        assert_eq!(c.outlier_method, OutlierMethod::ZScore { threshold: 3.0 });
+        assert_eq!(c.tolerance, 0.8);
+        assert_eq!(c.acf_peak_height, 0.15);
+        assert!(c.use_autocorrelation);
+        assert!(c.filter_harmonics);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn with_sampling_freq_overrides_only_fs() {
+        let c = FtioConfig::with_sampling_freq(1.0);
+        assert_eq!(c.sampling_freq, 1.0);
+        assert_eq!(c.tolerance, 0.8);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut c = FtioConfig::default();
+        c.sampling_freq = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = FtioConfig::default();
+        c.tolerance = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = FtioConfig::default();
+        c.acf_peak_height = -0.1;
+        assert!(c.validate().is_err());
+
+        let mut c = FtioConfig::default();
+        c.outlier_method = OutlierMethod::ZScore { threshold: 0.0 };
+        assert!(c.validate().is_err());
+
+        let mut c = FtioConfig::default();
+        c.outlier_method = OutlierMethod::DbScan {
+            eps_factor: 1.0,
+            min_pts: 0,
+        };
+        assert!(c.validate().is_err());
+
+        let mut c = FtioConfig::default();
+        c.outlier_method = OutlierMethod::Lof { k: 0, threshold: 1.5 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn alternative_outlier_methods_validate() {
+        for method in [
+            OutlierMethod::DbScan {
+                eps_factor: 0.5,
+                min_pts: 3,
+            },
+            OutlierMethod::Lof { k: 10, threshold: 1.5 },
+            OutlierMethod::IsolationForest {
+                threshold: 0.6,
+                seed: 1,
+            },
+            OutlierMethod::PeakDetection {
+                prominence_factor: 0.3,
+            },
+        ] {
+            let c = FtioConfig {
+                outlier_method: method,
+                ..Default::default()
+            };
+            assert!(c.validate().is_ok(), "{method:?}");
+        }
+    }
+}

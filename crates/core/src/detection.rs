@@ -1,0 +1,355 @@
+//! The FTIO detection pipeline (offline mode, paper §II).
+//!
+//! Detection glues the building blocks together:
+//!
+//! 1. discretise the bandwidth signal ([`crate::sampling`]),
+//! 2. compute the single-sided power spectrum ([`crate::spectrum_info`]),
+//! 3. find outlier frequencies ([`crate::outlier`]),
+//! 4. select dominant-frequency candidates, filter harmonics and derive the
+//!    verdict and the confidence `c_d` ([`crate::dominant`]),
+//! 5. optionally refine the confidence with the autocorrelation
+//!    ([`crate::autocorrelation`]),
+//! 6. characterise the signal given the detected period
+//!    ([`crate::characterize`]).
+
+use ftio_trace::{AppTrace, Heatmap};
+
+use crate::autocorrelation::{analyze_acf, AcfAnalysis};
+use crate::characterize::{characterize, Characterization};
+use crate::config::FtioConfig;
+use crate::dominant::{select_dominant, DominantAnalysis, FrequencyCandidate, PeriodicityVerdict};
+use crate::outlier::detect_outliers;
+use crate::sampling::{sample_heatmap, sample_trace, sample_trace_window, SampledSignal};
+use crate::spectrum_info::SpectrumInfo;
+
+/// The complete result of one FTIO detection run.
+#[derive(Clone, Debug)]
+pub struct DetectionResult {
+    /// Sampling frequency used for the analysis, Hz.
+    pub sampling_freq: f64,
+    /// Number of samples `N` analysed.
+    pub num_samples: usize,
+    /// Absolute time of the first analysed sample, seconds.
+    pub window_start: f64,
+    /// Length of the analysed window `Δt`, seconds.
+    pub window_length: f64,
+    /// Relative volume error introduced by the discretisation.
+    pub abstraction_error: f64,
+    /// Frequency resolution of the spectrum, Hz.
+    pub freq_resolution: f64,
+    /// Number of inspected (non-DC single-sided) frequencies.
+    pub num_frequencies: usize,
+    /// Mean contribution of one frequency to the total power.
+    pub mean_contribution: f64,
+    /// Candidate selection, verdict and confidence (`c_d`).
+    pub dominant: DominantAnalysis,
+    /// Autocorrelation analysis, when enabled.
+    pub acf: Option<AcfAnalysis>,
+    /// Characterisation metrics for the detected period, when one exists.
+    pub characterization: Option<Characterization>,
+}
+
+impl DetectionResult {
+    /// The dominant frequency in Hz, if the signal was found to be periodic.
+    pub fn dominant_frequency(&self) -> Option<f64> {
+        self.dominant.dominant.map(|c| c.frequency)
+    }
+
+    /// The detected period `1 / f_d` in seconds, if any.
+    pub fn period(&self) -> Option<f64> {
+        self.dominant.dominant.map(|c| c.period())
+    }
+
+    /// The DFT confidence `c_d` of the dominant frequency (0 when not periodic).
+    pub fn confidence(&self) -> f64 {
+        self.dominant.dominant.map(|c| c.confidence).unwrap_or(0.0)
+    }
+
+    /// The refined confidence `(c_d + c_a + c_s)/3`, when the autocorrelation
+    /// analysis ran and a dominant frequency exists; otherwise falls back to
+    /// the DFT confidence.
+    pub fn refined_confidence(&self) -> f64 {
+        match (&self.acf, self.dominant.dominant) {
+            (Some(acf), Some(dom)) if acf.period.is_some() => {
+                acf.refined_confidence(dom.confidence, dom.period())
+            }
+            _ => self.confidence(),
+        }
+    }
+
+    /// The periodicity verdict.
+    pub fn verdict(&self) -> PeriodicityVerdict {
+        self.dominant.verdict
+    }
+
+    /// All dominant-frequency candidates (post harmonic filtering).
+    pub fn candidates(&self) -> &[FrequencyCandidate] {
+        &self.dominant.candidates
+    }
+
+    /// Whether a dominant frequency was found.
+    pub fn is_periodic(&self) -> bool {
+        self.dominant.dominant.is_some()
+    }
+}
+
+/// Runs the full detection pipeline on an already-sampled signal.
+pub fn detect_signal(signal: &SampledSignal, config: &FtioConfig) -> DetectionResult {
+    config.validate().expect("invalid FTIO configuration");
+
+    let samples = if config.skip_first_phase {
+        skip_first_phase(&signal.samples)
+    } else {
+        signal.samples.clone()
+    };
+
+    let spectrum = SpectrumInfo::from_samples(&samples, signal.sampling_freq);
+    let zscore_threshold = match config.outlier_method {
+        crate::config::OutlierMethod::ZScore { threshold } => threshold,
+        _ => 3.0,
+    };
+    let outliers = detect_outliers(spectrum.non_dc_powers(), &config.outlier_method);
+    let dominant = select_dominant(
+        &spectrum,
+        &outliers,
+        zscore_threshold,
+        config.tolerance,
+        config.filter_harmonics,
+        config.harmonic_tolerance,
+    );
+
+    let acf = if config.use_autocorrelation {
+        Some(analyze_acf(
+            &samples,
+            signal.sampling_freq,
+            config.acf_peak_height,
+            config.acf_outlier_threshold,
+        ))
+    } else {
+        None
+    };
+
+    let characterization = dominant
+        .dominant
+        .and_then(|dom| characterize(signal, dom.frequency));
+
+    DetectionResult {
+        sampling_freq: signal.sampling_freq,
+        num_samples: samples.len(),
+        window_start: signal.start_time,
+        window_length: samples.len() as f64 / signal.sampling_freq,
+        abstraction_error: signal.abstraction_error,
+        freq_resolution: spectrum.freq_resolution(),
+        num_frequencies: spectrum.num_bins().saturating_sub(1),
+        mean_contribution: spectrum.mean_non_dc_contribution(),
+        dominant,
+        acf,
+        characterization,
+    }
+}
+
+/// Offline detection over a full application trace.
+pub fn detect_trace(trace: &AppTrace, config: &FtioConfig) -> DetectionResult {
+    let signal = sample_trace(trace, config.sampling_freq);
+    detect_signal(&signal, config)
+}
+
+/// Offline detection over the window `[t0, t1)` of an application trace
+/// (the Δt-adaptation shown in the Nek5000 case study).
+pub fn detect_trace_window(trace: &AppTrace, t0: f64, t1: f64, config: &FtioConfig) -> DetectionResult {
+    let signal = sample_trace_window(trace, t0, t1, config.sampling_freq);
+    detect_signal(&signal, config)
+}
+
+/// Detection on a Darshan-style heatmap: the sampling frequency is taken from
+/// the heatmap bins, overriding the configured one (paper §III-B).
+pub fn detect_heatmap(heatmap: &Heatmap, config: &FtioConfig) -> DetectionResult {
+    let signal = sample_heatmap(heatmap);
+    detect_signal(&signal, config)
+}
+
+/// Removes everything up to and including the first activity burst, which is
+/// often prolonged by initialization overheads (paper §III-B: "as the first
+/// phase is often prolonged due to initialization overheads, FTIO provides an
+/// option to skip it").
+fn skip_first_phase(samples: &[f64]) -> Vec<f64> {
+    let mut in_burst = false;
+    for (i, &s) in samples.iter().enumerate() {
+        if s > 0.0 {
+            in_burst = true;
+        } else if in_burst {
+            // First burst just ended.
+            return samples[i..].to_vec();
+        }
+    }
+    samples.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OutlierMethod;
+    use ftio_trace::IoRequest;
+
+    /// A strictly periodic trace: `count` bursts of `burst` seconds every
+    /// `period` seconds, `bytes` per burst.
+    fn periodic_trace(period: f64, burst: f64, count: usize, bytes: u64) -> AppTrace {
+        let mut trace = AppTrace::named("periodic", 4);
+        for i in 0..count {
+            let start = 5.0 + i as f64 * period;
+            for rank in 0..4 {
+                trace.push(IoRequest::write(rank, start, start + burst, bytes / 4));
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn detects_the_period_of_a_periodic_trace() {
+        let trace = periodic_trace(30.0, 6.0, 20, 4_000_000_000);
+        let config = FtioConfig::with_sampling_freq(1.0);
+        let result = detect_trace(&trace, &config);
+        assert!(result.is_periodic());
+        let period = result.period().unwrap();
+        assert!((period - 30.0).abs() < 1.5, "period {period}");
+        assert!(result.confidence() > 0.2);
+        assert!(result.refined_confidence() > 0.5);
+        assert!(result.num_samples > 500);
+        assert_eq!(result.sampling_freq, 1.0);
+        let c = result.characterization.expect("characterization");
+        assert!(c.periodicity_score > 0.8, "score {}", c.periodicity_score);
+        // The paper's Fig. 2-style summary quantities are populated.
+        assert!(result.freq_resolution > 0.0);
+        assert!(result.num_frequencies > 0);
+        assert!(result.mean_contribution > 0.0);
+    }
+
+    #[test]
+    fn non_periodic_trace_is_flagged_as_such() {
+        // Three interleaved I/O streams with incommensurate periods and similar
+        // volumes: no single frequency dominates, so the candidate set exceeds
+        // two entries and the verdict is "not periodic".
+        let mut trace = AppTrace::named("irregular", 3);
+        let streams = [(0usize, 36.0), (1, 60.0), (2, 100.0)];
+        for &(rank, period) in &streams {
+            let mut t = 0.0;
+            while t + period <= 900.0 {
+                // Equal duty cycle (30%) and bandwidth per stream, so the three
+                // fundamentals contribute similar power while their harmonics
+                // stay weak and none is a x2 multiple of another.
+                let burst = period * 0.3;
+                trace.push(IoRequest::write(rank, t, t + burst, (3.0e8 * burst) as u64));
+                t += period;
+            }
+        }
+        // Analyse exactly 900 s so every stream has an integer number of periods
+        // in the window and the three fundamentals keep comparable power.
+        let result = detect_trace_window(&trace, 0.0, 900.0, &FtioConfig::with_sampling_freq(1.0));
+        assert_eq!(result.verdict(), PeriodicityVerdict::NotPeriodic);
+        assert!(!result.is_periodic());
+        assert!(result.period().is_none());
+        assert_eq!(result.confidence(), 0.0);
+        assert!(result.dominant.candidates.len() > 2 || result.dominant.candidates.is_empty());
+    }
+
+    #[test]
+    fn window_restriction_changes_the_verdict() {
+        // Periodic for the first 300 s, then two huge irregular bursts.
+        let mut trace = periodic_trace(30.0, 5.0, 10, 2_000_000_000);
+        trace.push(IoRequest::write(0, 431.0, 445.0, 30_000_000_000));
+        trace.push(IoRequest::write(0, 583.0, 600.0, 30_000_000_000));
+        let config = FtioConfig::with_sampling_freq(1.0);
+        let full = detect_trace(&trace, &config);
+        let windowed = detect_trace_window(&trace, 0.0, 300.0, &config);
+        assert!(windowed.is_periodic());
+        let period = windowed.period().unwrap();
+        assert!((period - 30.0).abs() < 2.0, "period {period}");
+        // The full trace either loses the period or reports it with a lower
+        // (refined) confidence than the clean window.
+        if full.is_periodic() {
+            assert!(full.refined_confidence() <= windowed.refined_confidence() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn heatmap_detection_uses_bin_frequency() {
+        // 40 bins of 100 s, bursts every 4 bins (period 400 s).
+        let bins: Vec<f64> = (0..40).map(|i| if i % 4 == 0 { 8.0e9 } else { 0.0 }).collect();
+        let heatmap = Heatmap::new(0.0, 100.0, bins);
+        let result = detect_heatmap(&heatmap, &FtioConfig::default());
+        assert_eq!(result.sampling_freq, 0.01);
+        assert!(result.is_periodic());
+        let period = result.period().unwrap();
+        assert!((period - 400.0).abs() < 10.0, "period {period}");
+    }
+
+    #[test]
+    fn disabling_autocorrelation_removes_the_refinement() {
+        let trace = periodic_trace(20.0, 4.0, 25, 1_000_000_000);
+        let config = FtioConfig {
+            sampling_freq: 1.0,
+            use_autocorrelation: false,
+            ..Default::default()
+        };
+        let result = detect_trace(&trace, &config);
+        assert!(result.acf.is_none());
+        assert_eq!(result.refined_confidence(), result.confidence());
+    }
+
+    #[test]
+    fn alternative_outlier_methods_agree_on_an_obviously_periodic_trace() {
+        let trace = periodic_trace(25.0, 5.0, 24, 3_000_000_000);
+        for method in [
+            OutlierMethod::ZScore { threshold: 3.0 },
+            OutlierMethod::DbScan {
+                eps_factor: 0.5,
+                min_pts: 4,
+            },
+            OutlierMethod::IsolationForest {
+                threshold: 0.6,
+                seed: 3,
+            },
+        ] {
+            let config = FtioConfig {
+                sampling_freq: 1.0,
+                outlier_method: method,
+                ..Default::default()
+            };
+            let result = detect_trace(&trace, &config);
+            assert!(result.is_periodic(), "{method:?} missed the period");
+            let period = result.period().unwrap();
+            assert!((period - 25.0).abs() < 2.0, "{method:?}: period {period}");
+        }
+    }
+
+    #[test]
+    fn skip_first_phase_removes_the_prolonged_start() {
+        let samples = vec![0.0, 0.0, 5.0, 5.0, 5.0, 0.0, 1.0, 0.0, 1.0];
+        let trimmed = skip_first_phase(&samples);
+        assert_eq!(trimmed, vec![0.0, 1.0, 0.0, 1.0]);
+        // No burst at all: unchanged.
+        assert_eq!(skip_first_phase(&[0.0, 0.0]), vec![0.0, 0.0]);
+        // Burst that never ends: unchanged.
+        assert_eq!(skip_first_phase(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_trace_detection_is_graceful() {
+        let trace = AppTrace::named("empty", 1);
+        let result = detect_trace(&trace, &FtioConfig::default());
+        assert!(!result.is_periodic());
+        assert_eq!(result.num_samples, 0);
+        assert_eq!(result.verdict(), PeriodicityVerdict::NotPeriodic);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FTIO configuration")]
+    fn invalid_config_panics() {
+        let signal = SampledSignal::from_samples(vec![1.0; 10], 1.0, 0.0);
+        let bad = FtioConfig {
+            tolerance: 2.0,
+            ..Default::default()
+        };
+        detect_signal(&signal, &bad);
+    }
+}

@@ -1,0 +1,325 @@
+//! Dominant-frequency candidate selection, harmonic filtering and the
+//! periodicity verdict (paper §II-B2) plus the confidence metric (§II-C).
+//!
+//! Given the Z-scores of the non-DC powers, the candidate set is
+//!
+//! ```text
+//! D_f = { f_k | z_k ≥ 3  and  z_k / z_max ≥ tolerance }
+//! ```
+//!
+//! and the verdict depends on |D_f|: one candidate means a confidently
+//! periodic signal, two candidates mean a periodic signal with some variation
+//! (the higher-power one is reported), anything else means no dominant
+//! frequency — except when the extra candidates are ×2 harmonics of a lower
+//! candidate, which are ignored (their presence even indicates periodic I/O
+//! *bursts*).
+
+use crate::outlier::OutlierAnalysis;
+use crate::spectrum_info::SpectrumInfo;
+
+/// One dominant-frequency candidate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrequencyCandidate {
+    /// Bin index in the single-sided spectrum (1-based relative to DC; this is
+    /// the index `k` such that the frequency is `k · fs / N`).
+    pub bin: usize,
+    /// Frequency in Hz.
+    pub frequency: f64,
+    /// Power `|X_k|^2 / N` of the bin.
+    pub power: f64,
+    /// Share of the total signal power contributed by this bin.
+    pub normalized_power: f64,
+    /// Z-score of the bin's power.
+    pub z_score: f64,
+    /// Confidence `c_k` of the candidate (Eq. in §II-C).
+    pub confidence: f64,
+}
+
+impl FrequencyCandidate {
+    /// The period `1 / f_k` in seconds.
+    pub fn period(&self) -> f64 {
+        if self.frequency > 0.0 {
+            1.0 / self.frequency
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// How periodic the signal looks according to the candidate count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeriodicityVerdict {
+    /// Exactly one candidate: high confidence that the signal is periodic.
+    Periodic,
+    /// Two candidates: periodic with some variation in the behaviour.
+    PeriodicWithVariation,
+    /// No candidate or more than two: most likely not periodic.
+    NotPeriodic,
+}
+
+/// Result of the candidate-selection step.
+#[derive(Clone, Debug)]
+pub struct DominantAnalysis {
+    /// All candidates in `D_f` (after harmonic filtering), sorted by
+    /// descending power.
+    pub candidates: Vec<FrequencyCandidate>,
+    /// Candidates that were dropped because they are ×2 harmonics of a
+    /// retained candidate. Their presence hints at periodic I/O bursts.
+    pub dropped_harmonics: Vec<FrequencyCandidate>,
+    /// All outlier frequencies (z ≥ threshold), regardless of the tolerance.
+    pub outliers: Vec<FrequencyCandidate>,
+    /// The verdict derived from the candidate count.
+    pub verdict: PeriodicityVerdict,
+    /// The dominant frequency, if the verdict is (possibly weakly) periodic.
+    pub dominant: Option<FrequencyCandidate>,
+}
+
+impl DominantAnalysis {
+    /// Convenience accessor: the dominant period in seconds, if any.
+    pub fn dominant_period(&self) -> Option<f64> {
+        self.dominant.map(|c| c.period())
+    }
+}
+
+/// Computes the confidence `c_k` of Eq. (§II-C):
+///
+/// `c_k = ½ (z_k / Σ_{i∈I1} z_i  +  z_k / Σ_{i∈I2} z_i)`
+///
+/// with `I1 = {i | z_i ≥ threshold}` and `I2 = {i | z_i / z_max ≥ tolerance}`.
+pub fn candidate_confidence(
+    z_k: f64,
+    z_scores: &[f64],
+    zscore_threshold: f64,
+    tolerance: f64,
+) -> f64 {
+    let z_max = z_scores.iter().cloned().fold(0.0, f64::max);
+    if z_max <= 0.0 {
+        return 0.0;
+    }
+    let sum_i1: f64 = z_scores.iter().filter(|&&z| z >= zscore_threshold).sum();
+    let sum_i2: f64 = z_scores.iter().filter(|&&z| z / z_max >= tolerance).sum();
+    let a = if sum_i1 > 0.0 { z_k / sum_i1 } else { 0.0 };
+    let b = if sum_i2 > 0.0 { z_k / sum_i2 } else { 0.0 };
+    0.5 * (a + b)
+}
+
+/// Selects the dominant-frequency candidates and derives the verdict.
+///
+/// `zscore_threshold` and `tolerance` are the `3` and `0.8` of the paper;
+/// harmonics filtering removes candidates that are ×2 multiples of a retained
+/// lower frequency when `filter_harmonics` is set.
+pub fn select_dominant(
+    spectrum: &SpectrumInfo,
+    outliers: &OutlierAnalysis,
+    zscore_threshold: f64,
+    tolerance: f64,
+    filter_harmonics: bool,
+    harmonic_tolerance: f64,
+) -> DominantAnalysis {
+    let z_max = outliers.max_z_score();
+    let make_candidate = |idx: usize| -> FrequencyCandidate {
+        // idx indexes the non-DC powers; bin = idx + 1 in the single-sided spectrum.
+        let bin = idx + 1;
+        FrequencyCandidate {
+            bin,
+            frequency: spectrum.frequency(bin),
+            power: spectrum.power(bin),
+            normalized_power: spectrum.normalized_power(bin),
+            z_score: outliers.z_scores[idx],
+            confidence: candidate_confidence(
+                outliers.z_scores[idx],
+                &outliers.z_scores,
+                zscore_threshold,
+                tolerance,
+            ),
+        }
+    };
+
+    let all_outliers: Vec<FrequencyCandidate> =
+        outliers.outlier_indices.iter().map(|&i| make_candidate(i)).collect();
+
+    // Tolerance filter relative to the maximum Z-score.
+    let mut candidates: Vec<FrequencyCandidate> = all_outliers
+        .iter()
+        .copied()
+        .filter(|c| z_max > 0.0 && c.z_score / z_max >= tolerance)
+        .collect();
+    candidates.sort_by(|a, b| b.power.partial_cmp(&a.power).expect("NaN power"));
+
+    // Harmonic filtering: drop candidates whose frequency is a ×2 (or ×4, ×8…)
+    // multiple of a lower-frequency candidate.
+    let mut dropped = Vec::new();
+    if filter_harmonics && candidates.len() > 1 {
+        let mut by_freq = candidates.clone();
+        by_freq.sort_by(|a, b| a.frequency.partial_cmp(&b.frequency).expect("NaN frequency"));
+        let mut keep: Vec<FrequencyCandidate> = Vec::new();
+        for c in by_freq {
+            let is_harmonic = keep.iter().any(|base| {
+                if base.frequency <= 0.0 {
+                    return false;
+                }
+                let ratio = c.frequency / base.frequency;
+                let nearest_pow2 = ratio.log2().round();
+                nearest_pow2 >= 1.0 && {
+                    let snapped = 2f64.powf(nearest_pow2);
+                    (ratio - snapped).abs() / snapped <= harmonic_tolerance
+                }
+            });
+            if is_harmonic {
+                dropped.push(c);
+            } else {
+                keep.push(c);
+            }
+        }
+        keep.sort_by(|a, b| b.power.partial_cmp(&a.power).expect("NaN power"));
+        candidates = keep;
+    }
+
+    let verdict = match candidates.len() {
+        1 => PeriodicityVerdict::Periodic,
+        2 => PeriodicityVerdict::PeriodicWithVariation,
+        _ => PeriodicityVerdict::NotPeriodic,
+    };
+    let dominant = match verdict {
+        PeriodicityVerdict::NotPeriodic => None,
+        _ => candidates.first().copied(),
+    };
+
+    DominantAnalysis {
+        candidates,
+        dropped_harmonics: dropped,
+        outliers: all_outliers,
+        verdict,
+        dominant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OutlierMethod;
+    use crate::outlier::detect_outliers;
+    use crate::spectrum_info::SpectrumInfo;
+
+    /// Builds a SpectrumInfo for a synthetic periodic signal.
+    fn spectrum_for(signal: &[f64], fs: f64) -> SpectrumInfo {
+        SpectrumInfo::from_samples(signal, fs)
+    }
+
+    fn pulse_train(n: usize, period: usize, width: usize, amp: f64) -> Vec<f64> {
+        (0..n).map(|i| if i % period < width { amp } else { 0.0 }).collect()
+    }
+
+    fn analyse(signal: &[f64], fs: f64, tolerance: f64, filter_harmonics: bool) -> DominantAnalysis {
+        let spectrum = spectrum_for(signal, fs);
+        let outliers = detect_outliers(
+            spectrum.non_dc_powers(),
+            &OutlierMethod::ZScore { threshold: 3.0 },
+        );
+        select_dominant(&spectrum, &outliers, 3.0, tolerance, filter_harmonics, 0.05)
+    }
+
+    #[test]
+    fn pure_cosine_yields_single_candidate_and_periodic_verdict() {
+        let n = 400;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| 5.0 + (2.0 * std::f64::consts::PI * i as f64 / 40.0).cos())
+            .collect();
+        let analysis = analyse(&signal, 1.0, 0.8, true);
+        assert_eq!(analysis.verdict, PeriodicityVerdict::Periodic);
+        let dom = analysis.dominant.expect("dominant frequency");
+        assert!((dom.frequency - 0.025).abs() < 1e-9);
+        assert!((dom.period() - 40.0).abs() < 1e-6);
+        assert!(dom.confidence > 0.4, "confidence {}", dom.confidence);
+        assert_eq!(analysis.candidates.len(), 1);
+    }
+
+    #[test]
+    fn pulse_train_keeps_fundamental_and_drops_harmonics() {
+        // Period 50 samples, bursts of 10: rich in harmonics at 2x, 3x, ...
+        let signal = pulse_train(1000, 50, 10, 8.0);
+        let analysis = analyse(&signal, 1.0, 0.5, true);
+        let dom = analysis.dominant.expect("dominant");
+        assert!((dom.period() - 50.0).abs() < 1.0, "period {}", dom.period());
+        // The 2x harmonic was seen but dropped.
+        assert!(
+            !analysis.dropped_harmonics.is_empty(),
+            "expected harmonics to be dropped"
+        );
+        for h in &analysis.dropped_harmonics {
+            assert!(h.frequency > dom.frequency);
+        }
+        assert_ne!(analysis.verdict, PeriodicityVerdict::NotPeriodic);
+    }
+
+    #[test]
+    fn without_harmonic_filtering_the_same_signal_may_report_more_candidates() {
+        let signal = pulse_train(1000, 50, 10, 8.0);
+        let with = analyse(&signal, 1.0, 0.5, true);
+        let without = analyse(&signal, 1.0, 0.5, false);
+        assert!(without.candidates.len() >= with.candidates.len());
+    }
+
+    #[test]
+    fn non_periodic_signal_has_no_dominant_frequency() {
+        // A single isolated burst is not periodic.
+        let mut signal = vec![0.0; 500];
+        for s in signal.iter_mut().take(20) {
+            *s = 10.0;
+        }
+        let analysis = analyse(&signal, 1.0, 0.8, true);
+        assert_eq!(analysis.verdict, PeriodicityVerdict::NotPeriodic);
+        assert!(analysis.dominant.is_none());
+        assert!(analysis.dominant_period().is_none());
+    }
+
+    #[test]
+    fn two_close_frequencies_yield_variation_verdict() {
+        // Two non-harmonic cosines with similar amplitude (periods 125 and 50
+        // samples, ratio 2.5 so the harmonic filter does not merge them).
+        let n = 1000;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                10.0 + (2.0 * std::f64::consts::PI * t / 125.0).cos()
+                    + 0.95 * (2.0 * std::f64::consts::PI * t / 50.0).cos()
+            })
+            .collect();
+        let analysis = analyse(&signal, 1.0, 0.8, true);
+        assert_eq!(analysis.verdict, PeriodicityVerdict::PeriodicWithVariation);
+        assert_eq!(analysis.candidates.len(), 2);
+        // The dominant one is the higher-power (larger amplitude) component.
+        let dom = analysis.dominant.unwrap();
+        assert!((dom.period() - 125.0).abs() < 1e-6, "period {}", dom.period());
+    }
+
+    #[test]
+    fn confidence_formula_matches_hand_computation() {
+        // z-scores: one clear winner (6.0), one other outlier (4.0), rest small.
+        let z = vec![0.1, 6.0, 0.2, 4.0, 0.3];
+        // I1 = {6.0, 4.0} (>= 3), I2 with tolerance 0.8: z/zmax >= 0.8 -> only 6.0.
+        // c = 0.5 * (6/(6+4) + 6/6) = 0.5 * (0.6 + 1.0) = 0.8
+        let c = candidate_confidence(6.0, &z, 3.0, 0.8);
+        assert!((c - 0.8).abs() < 1e-12);
+        // For the weaker outlier: 0.5 * (4/10 + 0/..) -> I2 does not contain it,
+        // but the denominator is still the sum over I2 (6.0), so 0.5*(0.4+4/6).
+        let c2 = candidate_confidence(4.0, &z, 3.0, 0.8);
+        assert!((c2 - 0.5 * (0.4 + 4.0 / 6.0)).abs() < 1e-12);
+        assert!(c > c2);
+    }
+
+    #[test]
+    fn confidence_is_zero_for_flat_spectra() {
+        assert_eq!(candidate_confidence(0.0, &[0.0, 0.0], 3.0, 0.8), 0.0);
+        assert_eq!(candidate_confidence(1.0, &[], 3.0, 0.8), 0.0);
+    }
+
+    #[test]
+    fn lowering_tolerance_admits_more_candidates() {
+        let signal = pulse_train(1000, 50, 10, 8.0);
+        let strict = analyse(&signal, 1.0, 0.95, false);
+        let loose = analyse(&signal, 1.0, 0.3, false);
+        assert!(loose.candidates.len() >= strict.candidates.len());
+        assert!(loose.outliers.len() >= loose.candidates.len());
+    }
+}

@@ -1,0 +1,201 @@
+//! Merging consecutive online predictions into frequency intervals with
+//! probabilities (paper §II-D, enhancement 2).
+//!
+//! Consecutive FTIO evaluations use different time windows, so their frequency
+//! resolution changes; instead of comparing point estimates, the dominant
+//! frequencies of all evaluations are clustered with DBSCAN (with `eps`
+//! derived from the resolution difference between the windows) and every
+//! cluster becomes an interval `[min, max]` whose probability is the share of
+//! predictions falling into it.
+
+use ftio_dsp::dbscan::cluster_intervals;
+
+/// A dominant-frequency prediction from one online evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrequencyPrediction {
+    /// Time at which the prediction was made, seconds.
+    pub time: f64,
+    /// Predicted dominant frequency, Hz.
+    pub frequency: f64,
+    /// Confidence `c_d` of that prediction.
+    pub confidence: f64,
+    /// Length of the time window the prediction was computed over, seconds.
+    pub window_length: f64,
+}
+
+impl FrequencyPrediction {
+    /// The predicted period in seconds.
+    pub fn period(&self) -> f64 {
+        if self.frequency > 0.0 {
+            1.0 / self.frequency
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A merged group of predictions, expressed as a frequency interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrequencyInterval {
+    /// Lower bound of the interval, Hz.
+    pub min_freq: f64,
+    /// Upper bound of the interval, Hz.
+    pub max_freq: f64,
+    /// Mean frequency of the members, Hz.
+    pub center_freq: f64,
+    /// Number of predictions in the interval.
+    pub count: usize,
+    /// Share of all predictions that fall into this interval.
+    pub probability: f64,
+}
+
+impl FrequencyInterval {
+    /// Period interval corresponding to the frequency interval
+    /// (`[1/max_freq, 1/min_freq]` in seconds).
+    pub fn period_bounds(&self) -> (f64, f64) {
+        let lo = if self.max_freq > 0.0 { 1.0 / self.max_freq } else { f64::INFINITY };
+        let hi = if self.min_freq > 0.0 { 1.0 / self.min_freq } else { f64::INFINITY };
+        (lo, hi)
+    }
+
+    /// Whether a frequency lies inside the closed interval.
+    pub fn contains(&self, freq: f64) -> bool {
+        freq >= self.min_freq && freq <= self.max_freq
+    }
+}
+
+/// Derives the DBSCAN `eps` from the frequency resolutions of the windows the
+/// predictions were computed over: the largest difference between any two
+/// resolutions (`1/Δt`), with a floor of the finest resolution. This mirrors
+/// the paper's "eps set to the difference between the time windows".
+pub fn resolution_eps(predictions: &[FrequencyPrediction]) -> f64 {
+    let resolutions: Vec<f64> = predictions
+        .iter()
+        .filter(|p| p.window_length > 0.0)
+        .map(|p| 1.0 / p.window_length)
+        .collect();
+    if resolutions.is_empty() {
+        return 1e-6;
+    }
+    let max = resolutions.iter().cloned().fold(f64::MIN, f64::max);
+    let min = resolutions.iter().cloned().fold(f64::MAX, f64::min);
+    ((max - min).abs()).max(min).max(1e-9)
+}
+
+/// Merges predictions into frequency intervals, sorted by descending probability.
+///
+/// Predictions with non-positive frequency are ignored. `min_cluster_size`
+/// controls how many predictions must agree to form an interval (2 by default
+/// in the online engine).
+pub fn merge_predictions(
+    predictions: &[FrequencyPrediction],
+    min_cluster_size: usize,
+) -> Vec<FrequencyInterval> {
+    let valid: Vec<&FrequencyPrediction> =
+        predictions.iter().filter(|p| p.frequency > 0.0).collect();
+    if valid.is_empty() {
+        return Vec::new();
+    }
+    let freqs: Vec<f64> = valid.iter().map(|p| p.frequency).collect();
+    let owned: Vec<FrequencyPrediction> = valid.iter().map(|&&p| p).collect();
+    let eps = resolution_eps(&owned);
+    cluster_intervals(&freqs, eps, min_cluster_size.max(1))
+        .into_iter()
+        .map(|c| FrequencyInterval {
+            min_freq: c.min,
+            max_freq: c.max,
+            center_freq: c.center,
+            count: c.count,
+            probability: c.probability,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prediction(freq: f64, window: f64) -> FrequencyPrediction {
+        FrequencyPrediction {
+            time: 0.0,
+            frequency: freq,
+            confidence: 0.5,
+            window_length: window,
+        }
+    }
+
+    #[test]
+    fn consistent_predictions_form_one_high_probability_interval() {
+        let preds: Vec<FrequencyPrediction> = (0..8)
+            .map(|i| prediction(0.125 + 0.001 * (i % 3) as f64, 60.0 + i as f64 * 8.0))
+            .collect();
+        let intervals = merge_predictions(&preds, 2);
+        assert_eq!(intervals.len(), 1);
+        let main = &intervals[0];
+        assert_eq!(main.count, 8);
+        assert!((main.probability - 1.0).abs() < 1e-12);
+        assert!(main.contains(0.125));
+        let (lo, hi) = main.period_bounds();
+        assert!(lo <= 8.0 && hi >= 7.9, "period bounds {lo}..{hi}");
+    }
+
+    #[test]
+    fn outlier_prediction_lowers_the_main_probability() {
+        let mut preds: Vec<FrequencyPrediction> =
+            (0..9).map(|_| prediction(0.1, 100.0)).collect();
+        preds.push(prediction(0.5, 100.0));
+        let intervals = merge_predictions(&preds, 2);
+        let main = &intervals[0];
+        assert_eq!(main.count, 9);
+        assert!((main.probability - 0.9).abs() < 1e-12);
+        // The lone 0.5 Hz prediction does not form an interval of its own.
+        assert!(intervals.iter().all(|i| !i.contains(0.5)));
+    }
+
+    #[test]
+    fn behaviour_change_yields_two_intervals() {
+        let mut preds: Vec<FrequencyPrediction> =
+            (0..5).map(|_| prediction(0.05, 200.0)).collect();
+        preds.extend((0..5).map(|_| prediction(0.2, 200.0)));
+        let intervals = merge_predictions(&preds, 2);
+        assert_eq!(intervals.len(), 2);
+        assert!((intervals[0].probability - 0.5).abs() < 1e-12);
+        assert!((intervals[1].probability - 0.5).abs() < 1e-12);
+        let freqs: Vec<f64> = intervals.iter().map(|i| i.center_freq).collect();
+        assert!(freqs.iter().any(|&f| (f - 0.05).abs() < 1e-9));
+        assert!(freqs.iter().any(|&f| (f - 0.2).abs() < 1e-9));
+    }
+
+    #[test]
+    fn invalid_and_empty_predictions_are_handled() {
+        assert!(merge_predictions(&[], 2).is_empty());
+        let preds = vec![prediction(0.0, 100.0), prediction(-1.0, 100.0)];
+        assert!(merge_predictions(&preds, 2).is_empty());
+    }
+
+    #[test]
+    fn eps_reflects_window_resolution_differences() {
+        // Windows of 10 s and 100 s: resolutions 0.1 and 0.01 Hz -> eps ≈ 0.09.
+        let preds = vec![prediction(0.1, 10.0), prediction(0.1, 100.0)];
+        let eps = resolution_eps(&preds);
+        assert!((eps - 0.09).abs() < 1e-9);
+        // Identical windows: eps falls back to the resolution itself.
+        let preds = vec![prediction(0.1, 50.0), prediction(0.1, 50.0)];
+        assert!((resolution_eps(&preds) - 0.02).abs() < 1e-9);
+        assert!(resolution_eps(&[]) > 0.0);
+    }
+
+    #[test]
+    fn period_bounds_invert_the_frequency_interval() {
+        let interval = FrequencyInterval {
+            min_freq: 0.1,
+            max_freq: 0.2,
+            center_freq: 0.15,
+            count: 3,
+            probability: 1.0,
+        };
+        let (lo, hi) = interval.period_bounds();
+        assert!((lo - 5.0).abs() < 1e-12);
+        assert!((hi - 10.0).abs() < 1e-12);
+    }
+}

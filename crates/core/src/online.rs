@@ -1,0 +1,415 @@
+//! Online period prediction (paper §II-D and Fig. 5/15).
+//!
+//! In the online mode the application appends newly collected I/O data to its
+//! trace after every I/O phase; FTIO is then run on the data gathered so far
+//! to predict the period of the *next* phases. Two enhancements deal with
+//! changing behaviour:
+//!
+//! 1. **Adaptive time windows** — once a dominant frequency has been found `k`
+//!    times in a row, the analysis window shrinks to `k` times the last found
+//!    period, so stale behaviour stops influencing the prediction.
+//! 2. **Frequency-interval merging** — the dominant frequencies of all
+//!    evaluations are merged with DBSCAN into intervals with probabilities
+//!    (see [`crate::freq_merge`]).
+//!
+//! [`OnlinePredictor`] is the synchronous core used by the benchmarks;
+//! [`PredictionEngine`] wraps it in a worker thread fed through a channel,
+//! mirroring the paper's "new child process every time new I/O measurements
+//! are appended" deployment.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use ftio_trace::{AppTrace, IoRequest};
+
+use crate::config::FtioConfig;
+use crate::detection::{detect_trace_window, DetectionResult};
+use crate::freq_merge::{merge_predictions, FrequencyInterval, FrequencyPrediction};
+
+/// How the analysis time window is chosen for each prediction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WindowStrategy {
+    /// Always analyse everything collected so far.
+    FullHistory,
+    /// Shrink the window to `multiple × last period` once a dominant frequency
+    /// has been found `multiple` times in a row (the paper's default with
+    /// `multiple = 3`).
+    Adaptive {
+        /// The `k` in "k times the last found period".
+        multiple: usize,
+    },
+    /// Always analyse the last `length` seconds.
+    Fixed {
+        /// Window length in seconds.
+        length: f64,
+    },
+}
+
+impl Default for WindowStrategy {
+    fn default() -> Self {
+        WindowStrategy::Adaptive { multiple: 3 }
+    }
+}
+
+/// One online prediction.
+#[derive(Clone, Debug)]
+pub struct OnlinePrediction {
+    /// Time at which the prediction was made, seconds.
+    pub time: f64,
+    /// Start of the analysis window, seconds.
+    pub window_start: f64,
+    /// End of the analysis window (equals `time`), seconds.
+    pub window_end: f64,
+    /// The full detection result for that window.
+    pub result: DetectionResult,
+}
+
+impl OnlinePrediction {
+    /// The predicted period, if a dominant frequency was found.
+    pub fn period(&self) -> Option<f64> {
+        self.result.period()
+    }
+
+    /// The confidence of the prediction.
+    pub fn confidence(&self) -> f64 {
+        self.result.confidence()
+    }
+}
+
+/// Synchronous online predictor: accumulate requests, predict on demand.
+#[derive(Debug)]
+pub struct OnlinePredictor {
+    config: FtioConfig,
+    strategy: WindowStrategy,
+    trace: AppTrace,
+    history: Vec<FrequencyPrediction>,
+    consecutive_dominant: usize,
+    last_period: Option<f64>,
+}
+
+impl OnlinePredictor {
+    /// Creates a predictor with the given analysis configuration and window strategy.
+    pub fn new(config: FtioConfig, strategy: WindowStrategy) -> Self {
+        config.validate().expect("invalid FTIO configuration");
+        OnlinePredictor {
+            config,
+            strategy,
+            trace: AppTrace::named("online", 0),
+            history: Vec::new(),
+            consecutive_dominant: 0,
+            last_period: None,
+        }
+    }
+
+    /// Appends newly flushed requests (the data the application just wrote to
+    /// its trace file).
+    pub fn ingest<I: IntoIterator<Item = IoRequest>>(&mut self, requests: I) {
+        self.trace.extend(requests);
+    }
+
+    /// Appends all requests of another trace snapshot.
+    pub fn ingest_trace(&mut self, trace: &AppTrace) {
+        self.trace.merge(trace);
+    }
+
+    /// Number of requests collected so far.
+    pub fn collected_requests(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// The analysis window that would be used for a prediction at time `now`.
+    pub fn window_at(&self, now: f64) -> (f64, f64) {
+        let start = match self.strategy {
+            WindowStrategy::FullHistory => self.trace.start_time(),
+            WindowStrategy::Fixed { length } => (now - length).max(self.trace.start_time()),
+            WindowStrategy::Adaptive { multiple } => {
+                match self.last_period {
+                    Some(period) if self.consecutive_dominant >= multiple.max(1) => {
+                        (now - multiple as f64 * period).max(self.trace.start_time())
+                    }
+                    _ => self.trace.start_time(),
+                }
+            }
+        };
+        (start.min(now), now)
+    }
+
+    /// Runs a prediction over the data collected up to `now`.
+    pub fn predict(&mut self, now: f64) -> OnlinePrediction {
+        let (start, end) = self.window_at(now);
+        let result = detect_trace_window(&self.trace, start, end, &self.config);
+
+        match result.dominant_frequency() {
+            Some(freq) => {
+                self.consecutive_dominant += 1;
+                self.last_period = Some(1.0 / freq);
+                self.history.push(FrequencyPrediction {
+                    time: now,
+                    frequency: freq,
+                    confidence: result.confidence(),
+                    window_length: end - start,
+                });
+            }
+            None => {
+                self.consecutive_dominant = 0;
+            }
+        }
+
+        OnlinePrediction {
+            time: now,
+            window_start: start,
+            window_end: end,
+            result,
+        }
+    }
+
+    /// All successful (dominant-frequency) predictions so far.
+    pub fn history(&self) -> &[FrequencyPrediction] {
+        &self.history
+    }
+
+    /// Merges the prediction history into frequency intervals with probabilities.
+    pub fn merged_intervals(&self) -> Vec<FrequencyInterval> {
+        merge_predictions(&self.history, 2)
+    }
+
+    /// Number of consecutive predictions that found a dominant frequency.
+    pub fn consecutive_dominant(&self) -> usize {
+        self.consecutive_dominant
+    }
+}
+
+/// A request to the background prediction engine.
+enum EngineMessage {
+    /// New trace data followed by a prediction at the given time.
+    Predict { requests: Vec<IoRequest>, now: f64 },
+    /// Stop the worker.
+    Shutdown,
+}
+
+/// Asynchronous wrapper around [`OnlinePredictor`]: a worker thread receives
+/// flushed data through a channel, runs the prediction, and appends the result
+/// to a shared store — the Rust equivalent of the paper's per-evaluation child
+/// process with shared memory between processes.
+pub struct PredictionEngine {
+    sender: Sender<EngineMessage>,
+    results: Arc<Mutex<Vec<OnlinePrediction>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PredictionEngine {
+    /// Spawns the engine with the given configuration and window strategy.
+    pub fn spawn(config: FtioConfig, strategy: WindowStrategy) -> Self {
+        let (sender, receiver): (Sender<EngineMessage>, Receiver<EngineMessage>) = unbounded();
+        let results: Arc<Mutex<Vec<OnlinePrediction>>> = Arc::new(Mutex::new(Vec::new()));
+        let results_for_worker = results.clone();
+        let handle = std::thread::spawn(move || {
+            let mut predictor = OnlinePredictor::new(config, strategy);
+            while let Ok(message) = receiver.recv() {
+                match message {
+                    EngineMessage::Predict { requests, now } => {
+                        predictor.ingest(requests);
+                        let prediction = predictor.predict(now);
+                        results_for_worker.lock().push(prediction);
+                    }
+                    EngineMessage::Shutdown => break,
+                }
+            }
+        });
+        PredictionEngine {
+            sender,
+            results,
+            handle: Some(handle),
+        }
+    }
+
+    /// Submits newly flushed requests and asks for a prediction at time `now`.
+    /// Returns immediately; the result appears in [`PredictionEngine::predictions`].
+    pub fn submit(&self, requests: Vec<IoRequest>, now: f64) {
+        let _ = self.sender.send(EngineMessage::Predict { requests, now });
+    }
+
+    /// Snapshot of all predictions computed so far, in submission order.
+    pub fn predictions(&self) -> Vec<OnlinePrediction> {
+        self.results.lock().clone()
+    }
+
+    /// Stops the worker and returns all predictions.
+    pub fn finish(mut self) -> Vec<OnlinePrediction> {
+        let _ = self.sender.send(EngineMessage::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        let results = self.results.lock().clone();
+        results
+    }
+}
+
+impl Drop for PredictionEngine {
+    fn drop(&mut self) {
+        let _ = self.sender.send(EngineMessage::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Requests for a burst of `duration` seconds starting at `start`.
+    fn burst(start: f64, duration: f64, bytes: u64) -> Vec<IoRequest> {
+        (0..4)
+            .map(|rank| IoRequest::write(rank, start, start + duration, bytes / 4))
+            .collect()
+    }
+
+    fn config() -> FtioConfig {
+        FtioConfig {
+            sampling_freq: 2.0,
+            use_autocorrelation: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn predictions_converge_to_the_true_period() {
+        let period = 12.0;
+        let mut predictor = OnlinePredictor::new(config(), WindowStrategy::FullHistory);
+        let mut last: Option<OnlinePrediction> = None;
+        for i in 0..12 {
+            let start = i as f64 * period;
+            predictor.ingest(burst(start, 2.0, 2_000_000_000));
+            let now = start + 2.0;
+            last = Some(predictor.predict(now));
+        }
+        let final_prediction = last.unwrap();
+        let detected = final_prediction.period().expect("period detected");
+        assert!((detected - period).abs() < 1.5, "period {detected}");
+        assert!(!predictor.history().is_empty());
+        assert!(predictor.collected_requests() > 0);
+    }
+
+    #[test]
+    fn adaptive_strategy_shrinks_the_window() {
+        let period = 10.0;
+        let mut predictor = OnlinePredictor::new(config(), WindowStrategy::Adaptive { multiple: 3 });
+        let mut shrunk = false;
+        for i in 0..10 {
+            let start = i as f64 * period;
+            predictor.ingest(burst(start, 2.0, 2_000_000_000));
+            let now = start + 2.0;
+            let prediction = predictor.predict(now);
+            let window_len = prediction.window_end - prediction.window_start;
+            if i >= 4 && predictor.consecutive_dominant() >= 3 && window_len < now - 0.5 {
+                // Once adapted, the window is a few periods long, not the full history.
+                shrunk = true;
+                assert!(
+                    window_len <= 6.0 * period,
+                    "window {window_len} too long at iteration {i}"
+                );
+            }
+        }
+        assert!(shrunk, "the adaptive window never shrank below the full history");
+    }
+
+    #[test]
+    fn fixed_strategy_limits_the_window_length() {
+        let mut predictor = OnlinePredictor::new(config(), WindowStrategy::Fixed { length: 25.0 });
+        for i in 0..8 {
+            predictor.ingest(burst(i as f64 * 10.0, 2.0, 1_000_000_000));
+        }
+        let prediction = predictor.predict(72.0);
+        assert!((prediction.window_end - prediction.window_start) <= 25.0 + 1e-9);
+        assert!((prediction.window_start - 47.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_never_starts_before_the_first_request() {
+        let mut predictor = OnlinePredictor::new(config(), WindowStrategy::Fixed { length: 1000.0 });
+        predictor.ingest(burst(50.0, 1.0, 1_000_000));
+        let (start, end) = predictor.window_at(60.0);
+        assert_eq!(start, 50.0);
+        assert_eq!(end, 60.0);
+    }
+
+    #[test]
+    fn history_and_intervals_reflect_consistent_predictions() {
+        let period = 8.0;
+        let mut predictor = OnlinePredictor::new(config(), WindowStrategy::FullHistory);
+        for i in 0..14 {
+            let start = i as f64 * period;
+            predictor.ingest(burst(start, 1.5, 1_500_000_000));
+            predictor.predict(start + 1.5);
+        }
+        let history = predictor.history();
+        assert!(history.len() >= 5, "history too short: {}", history.len());
+        let intervals = predictor.merged_intervals();
+        assert!(!intervals.is_empty());
+        let main = &intervals[0];
+        let (lo, hi) = main.period_bounds();
+        // Early predictions run on short windows, so the interval sits near the
+        // true period rather than containing it exactly.
+        assert!(lo <= period * 1.15 && hi >= period * 0.85, "bounds {lo}..{hi}");
+        assert!(main.probability > 0.5);
+    }
+
+    #[test]
+    fn non_periodic_data_resets_the_consecutive_counter() {
+        let mut predictor = OnlinePredictor::new(config(), WindowStrategy::Adaptive { multiple: 2 });
+        // Periodic part.
+        for i in 0..6 {
+            predictor.ingest(burst(i as f64 * 10.0, 2.0, 1_000_000_000));
+            predictor.predict(i as f64 * 10.0 + 2.0);
+        }
+        assert!(predictor.consecutive_dominant() >= 2);
+        // A long stretch of irregular data.
+        predictor.ingest(burst(90.0, 37.0, 500_000));
+        predictor.ingest(burst(131.0, 3.0, 800_000_000));
+        predictor.ingest(burst(139.0, 22.0, 200_000));
+        let p = predictor.predict(170.0);
+        if p.period().is_none() {
+            assert_eq!(predictor.consecutive_dominant(), 0);
+        }
+    }
+
+    #[test]
+    fn engine_runs_predictions_in_the_background() {
+        let engine = PredictionEngine::spawn(config(), WindowStrategy::FullHistory);
+        let period = 9.0;
+        for i in 0..10 {
+            let start = i as f64 * period;
+            engine.submit(burst(start, 1.5, 1_200_000_000), start + 1.5);
+        }
+        let predictions = engine.finish();
+        assert_eq!(predictions.len(), 10);
+        let last = predictions.last().unwrap();
+        let detected = last.period().expect("dominant frequency");
+        assert!((detected - period).abs() < 1.5, "period {detected}");
+        // Predictions were processed in submission order.
+        for pair in predictions.windows(2) {
+            assert!(pair[1].time > pair[0].time);
+        }
+    }
+
+    #[test]
+    fn engine_predictions_snapshot_is_monotone() {
+        let engine = PredictionEngine::spawn(config(), WindowStrategy::FullHistory);
+        engine.submit(burst(0.0, 1.0, 1_000_000_000), 1.0);
+        engine.submit(burst(10.0, 1.0, 1_000_000_000), 11.0);
+        // Wait for the worker to drain the queue.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if engine.predictions().len() == 2 || std::time::Instant::now() > deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(engine.predictions().len(), 2);
+        drop(engine);
+    }
+}

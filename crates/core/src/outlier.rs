@@ -1,0 +1,237 @@
+//! Outlier detection on the power spectrum.
+//!
+//! FTIO's key step is deciding which frequencies stand out from the rest of
+//! the power spectrum. The paper's default is the Z-score (Eq. (2)); DBSCAN,
+//! local outlier factor, isolation forest and peak detection are supported as
+//! alternatives (§II-B2). All methods are given the *non-DC* powers
+//! `p_1 ... p_{N/2}` and return indices into that slice together with a
+//! Z-score-like strength value used by the confidence metric.
+
+use ftio_dsp::dbscan::dbscan_1d;
+use ftio_dsp::isolation_forest::{ForestConfig, IsolationForest};
+use ftio_dsp::lof::local_outlier_factor;
+use ftio_dsp::peaks::{find_peaks, PeakConfig};
+use ftio_dsp::stats;
+use ftio_dsp::zscore::z_scores;
+
+use crate::config::OutlierMethod;
+
+/// Outcome of outlier detection on the non-DC power spectrum.
+#[derive(Clone, Debug, Default)]
+pub struct OutlierAnalysis {
+    /// Z-scores of every non-DC power (always computed — the confidence metric
+    /// needs them even when another detection method selects the outliers).
+    pub z_scores: Vec<f64>,
+    /// Indices (into the non-DC powers) flagged as outliers, sorted ascending.
+    pub outlier_indices: Vec<usize>,
+}
+
+impl OutlierAnalysis {
+    /// Largest Z-score among all powers (0.0 if the spectrum is empty).
+    pub fn max_z_score(&self) -> f64 {
+        self.z_scores.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Whether index `i` was flagged as an outlier.
+    pub fn is_outlier(&self, i: usize) -> bool {
+        self.outlier_indices.binary_search(&i).is_ok()
+    }
+}
+
+/// Runs the configured outlier detection on the non-DC powers.
+pub fn detect_outliers(powers: &[f64], method: &OutlierMethod) -> OutlierAnalysis {
+    let scores = z_scores(powers);
+    let mut indices = match *method {
+        OutlierMethod::ZScore { threshold } => scores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &z)| if z >= threshold { Some(i) } else { None })
+            .collect::<Vec<_>>(),
+        OutlierMethod::DbScan { eps_factor, min_pts } => dbscan_outliers(powers, eps_factor, min_pts),
+        OutlierMethod::Lof { k, threshold } => {
+            let lof = local_outlier_factor(powers, k);
+            high_value_filter(powers, &lof.outliers(threshold))
+        }
+        OutlierMethod::IsolationForest { threshold, seed } => {
+            if powers.is_empty() {
+                Vec::new()
+            } else {
+                let forest = IsolationForest::fit(
+                    powers,
+                    &ForestConfig {
+                        seed,
+                        ..Default::default()
+                    },
+                );
+                high_value_filter(powers, &forest.outliers(powers, threshold))
+            }
+        }
+        OutlierMethod::PeakDetection { prominence_factor } => {
+            let max_power = stats::max(powers);
+            let config = PeakConfig {
+                min_prominence: Some(max_power * prominence_factor),
+                ..Default::default()
+            };
+            find_peaks(powers, &config).into_iter().map(|p| p.index).collect()
+        }
+    };
+    indices.sort_unstable();
+    indices.dedup();
+    OutlierAnalysis {
+        z_scores: scores,
+        outlier_indices: indices,
+    }
+}
+
+/// DBSCAN-based outliers: the powers that end up as noise points *above* the
+/// bulk of the distribution. `eps` is derived from the power spread, which
+/// plays the role the paper assigns to the frequency step for spectra.
+fn dbscan_outliers(powers: &[f64], eps_factor: f64, min_pts: usize) -> Vec<usize> {
+    if powers.len() < 3 {
+        return Vec::new();
+    }
+    let spread = stats::std_dev(powers).max(f64::MIN_POSITIVE);
+    let eps = spread * eps_factor.max(1e-6);
+    let clustering = dbscan_1d(powers, eps, min_pts.max(1));
+    high_value_filter(powers, &clustering.noise())
+}
+
+/// Keeps only the candidate indices whose value is above the mean — outlier
+/// detectors flag unusually *small* values too, but FTIO only cares about
+/// frequencies with unusually *large* power contributions.
+fn high_value_filter(powers: &[f64], candidates: &[usize]) -> Vec<usize> {
+    let mean = stats::mean(powers);
+    candidates.iter().copied().filter(|&i| powers[i] > mean).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Power spectrum with one strong component at index 20 and mild noise elsewhere.
+    fn spiky_powers(n: usize, spike_at: usize, spike: f64) -> Vec<f64> {
+        let mut p: Vec<f64> = (0..n).map(|i| 0.5 + 0.1 * ((i * 7 % 13) as f64 / 13.0)).collect();
+        p[spike_at] = spike;
+        p
+    }
+
+    #[test]
+    fn zscore_method_flags_the_spike() {
+        let powers = spiky_powers(200, 20, 100.0);
+        let analysis = detect_outliers(&powers, &OutlierMethod::ZScore { threshold: 3.0 });
+        assert_eq!(analysis.outlier_indices, vec![20]);
+        assert!(analysis.is_outlier(20));
+        assert!(!analysis.is_outlier(21));
+        assert!(analysis.max_z_score() > 3.0);
+        assert_eq!(analysis.z_scores.len(), 200);
+    }
+
+    #[test]
+    fn all_methods_find_an_obvious_dominant_frequency() {
+        let powers = spiky_powers(300, 42, 500.0);
+        let methods = [
+            OutlierMethod::ZScore { threshold: 3.0 },
+            OutlierMethod::DbScan {
+                eps_factor: 0.5,
+                min_pts: 4,
+            },
+            OutlierMethod::Lof {
+                k: 10,
+                threshold: 1.5,
+            },
+            OutlierMethod::IsolationForest {
+                threshold: 0.6,
+                seed: 1,
+            },
+            OutlierMethod::PeakDetection {
+                prominence_factor: 0.5,
+            },
+        ];
+        for method in methods {
+            let analysis = detect_outliers(&powers, &method);
+            assert!(
+                analysis.outlier_indices.contains(&42),
+                "{method:?} missed the spike: {:?}",
+                analysis.outlier_indices
+            );
+        }
+    }
+
+    #[test]
+    fn flat_spectrum_has_no_outliers() {
+        let powers = vec![1.0; 100];
+        for method in [
+            OutlierMethod::ZScore { threshold: 3.0 },
+            OutlierMethod::DbScan {
+                eps_factor: 0.5,
+                min_pts: 4,
+            },
+            OutlierMethod::PeakDetection {
+                prominence_factor: 0.3,
+            },
+        ] {
+            let analysis = detect_outliers(&powers, &method);
+            assert!(
+                analysis.outlier_indices.is_empty(),
+                "{method:?} flagged outliers in a flat spectrum"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_spectrum_is_handled() {
+        for method in [
+            OutlierMethod::ZScore { threshold: 3.0 },
+            OutlierMethod::DbScan {
+                eps_factor: 0.5,
+                min_pts: 3,
+            },
+            OutlierMethod::Lof {
+                k: 5,
+                threshold: 1.5,
+            },
+            OutlierMethod::IsolationForest {
+                threshold: 0.6,
+                seed: 2,
+            },
+            OutlierMethod::PeakDetection {
+                prominence_factor: 0.3,
+            },
+        ] {
+            let analysis = detect_outliers(&[], &method);
+            assert!(analysis.outlier_indices.is_empty());
+            assert_eq!(analysis.max_z_score(), 0.0);
+        }
+    }
+
+    #[test]
+    fn two_spikes_are_both_reported_by_zscore() {
+        let mut powers = spiky_powers(200, 20, 80.0);
+        powers[55] = 75.0;
+        let analysis = detect_outliers(&powers, &OutlierMethod::ZScore { threshold: 3.0 });
+        assert_eq!(analysis.outlier_indices, vec![20, 55]);
+    }
+
+    #[test]
+    fn low_value_noise_points_are_not_outliers() {
+        // A single unusually *small* value must not be reported.
+        let mut powers = vec![10.0; 100];
+        powers[30] = 0.001;
+        for method in [
+            OutlierMethod::DbScan {
+                eps_factor: 0.2,
+                min_pts: 4,
+            },
+            OutlierMethod::Lof {
+                k: 8,
+                threshold: 1.5,
+            },
+        ] {
+            let analysis = detect_outliers(&powers, &method);
+            assert!(
+                !analysis.outlier_indices.contains(&30),
+                "{method:?} reported the low point as an outlier"
+            );
+        }
+    }
+}

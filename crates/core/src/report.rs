@@ -1,0 +1,210 @@
+//! Human-readable rendering of detection results.
+//!
+//! The CLI and the experiment binaries print detection results in a compact
+//! text form modelled on the reference tool's console output: the dominant
+//! frequency and period, the confidence(s), the candidate table, and the
+//! characterisation metrics.
+
+use crate::detection::DetectionResult;
+use crate::dominant::PeriodicityVerdict;
+
+/// Formats a frequency in Hz with a sensible number of digits.
+pub fn format_frequency(freq: f64) -> String {
+    if freq >= 1.0 {
+        format!("{freq:.3} Hz")
+    } else if freq >= 1e-3 {
+        format!("{freq:.4} Hz")
+    } else {
+        format!("{freq:.3e} Hz")
+    }
+}
+
+/// Formats a duration in seconds.
+pub fn format_period(seconds: f64) -> String {
+    if seconds.is_infinite() {
+        "inf".to_string()
+    } else if seconds >= 1000.0 {
+        format!("{seconds:.1} s")
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Formats a bandwidth in bytes/second using binary-ish SI steps (paper plots
+/// use GB/s).
+pub fn format_bandwidth(bytes_per_sec: f64) -> String {
+    const UNITS: [(&str, f64); 4] = [
+        ("GB/s", 1e9),
+        ("MB/s", 1e6),
+        ("KB/s", 1e3),
+        ("B/s", 1.0),
+    ];
+    for (unit, scale) in UNITS {
+        if bytes_per_sec >= scale {
+            return format!("{:.2} {unit}", bytes_per_sec / scale);
+        }
+    }
+    format!("{bytes_per_sec:.2} B/s")
+}
+
+/// Renders a detection result as a multi-line report.
+pub fn render(result: &DetectionResult) -> String {
+    let mut out = String::new();
+    out.push_str("=== FTIO detection report ===\n");
+    out.push_str(&format!(
+        "window        : start {:.2} s, length {:.2} s ({} samples @ {} )\n",
+        result.window_start,
+        result.window_length,
+        result.num_samples,
+        format_frequency(result.sampling_freq)
+    ));
+    out.push_str(&format!(
+        "spectrum      : {} frequencies, resolution {}, mean contribution {:.4}%\n",
+        result.num_frequencies,
+        format_frequency(result.freq_resolution),
+        result.mean_contribution * 100.0
+    ));
+    if result.abstraction_error > 0.0 {
+        out.push_str(&format!(
+            "abstraction   : error {:.3} (volume mismatch of the discretisation)\n",
+            result.abstraction_error
+        ));
+    }
+
+    match result.verdict() {
+        PeriodicityVerdict::NotPeriodic => {
+            out.push_str("verdict       : NOT periodic (no dominant frequency)\n");
+        }
+        verdict => {
+            let dom = result.dominant.dominant.expect("dominant exists for periodic verdicts");
+            let label = match verdict {
+                PeriodicityVerdict::Periodic => "periodic",
+                PeriodicityVerdict::PeriodicWithVariation => "periodic (with variation)",
+                PeriodicityVerdict::NotPeriodic => unreachable!(),
+            };
+            out.push_str(&format!("verdict       : {label}\n"));
+            out.push_str(&format!(
+                "dominant      : {} (period {}), confidence {:.1}%\n",
+                format_frequency(dom.frequency),
+                format_period(dom.period()),
+                dom.confidence * 100.0
+            ));
+            if result.acf.is_some() {
+                out.push_str(&format!(
+                    "refined conf. : {:.1}% (with autocorrelation)\n",
+                    result.refined_confidence() * 100.0
+                ));
+            }
+        }
+    }
+
+    if !result.dominant.candidates.is_empty() {
+        out.push_str("candidates    :\n");
+        for c in &result.dominant.candidates {
+            out.push_str(&format!(
+                "  bin {:>5}  f = {:>12}  period = {:>10}  power share = {:>6.2}%  z = {:>6.2}  conf = {:>5.1}%\n",
+                c.bin,
+                format_frequency(c.frequency),
+                format_period(c.period()),
+                c.normalized_power * 100.0,
+                c.z_score,
+                c.confidence * 100.0
+            ));
+        }
+    }
+    if !result.dominant.dropped_harmonics.is_empty() {
+        out.push_str(&format!(
+            "harmonics     : {} candidate(s) dropped as x2 multiples (periodic bursts)\n",
+            result.dominant.dropped_harmonics.len()
+        ));
+    }
+
+    if let Some(acf) = &result.acf {
+        match acf.period {
+            Some(period) => out.push_str(&format!(
+                "autocorr      : period {} from {} candidate(s), confidence {:.1}%\n",
+                format_period(period),
+                acf.candidates.len(),
+                acf.confidence * 100.0
+            )),
+            None => out.push_str("autocorr      : no period found\n"),
+        }
+    }
+
+    if let Some(c) = &result.characterization {
+        out.push_str(&format!(
+            "characterize  : R_IO = {:.2}, B_IO = {}, sigma_vol = {:.3}, sigma_time = {:.3}, score = {:.2}\n",
+            c.io_time_ratio,
+            format_bandwidth(c.io_bandwidth),
+            c.sigma_vol,
+            c.sigma_time,
+            c.periodicity_score
+        ));
+        out.push_str(&format!(
+            "per period    : {:.2} MB over {} periods\n",
+            c.volume_per_period / 1e6,
+            c.num_periods
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FtioConfig;
+    use crate::detection::detect_signal;
+    use crate::sampling::SampledSignal;
+
+    fn periodic_signal() -> SampledSignal {
+        let samples: Vec<f64> = (0..600)
+            .map(|i| if i % 30 < 6 { 5.0e9 } else { 0.0 })
+            .collect();
+        SampledSignal::from_samples(samples, 1.0, 0.0)
+    }
+
+    #[test]
+    fn report_of_a_periodic_signal_mentions_the_period() {
+        let signal = periodic_signal();
+        let result = detect_signal(&signal, &FtioConfig::with_sampling_freq(1.0));
+        let report = render(&result);
+        assert!(report.contains("FTIO detection report"));
+        assert!(report.contains("periodic"));
+        assert!(report.contains("30.00 s") || report.contains("30.0 s"), "{report}");
+        assert!(report.contains("confidence"));
+        assert!(report.contains("candidates"));
+        assert!(report.contains("R_IO"));
+    }
+
+    #[test]
+    fn report_of_a_non_periodic_signal_says_so() {
+        // Three equally strong incommensurate tones: more than two candidates,
+        // hence no dominant frequency.
+        let samples: Vec<f64> = (0..900)
+            .map(|i| {
+                let t = i as f64;
+                30.0 + 9.0 * (2.0 * std::f64::consts::PI * t / 225.0).cos()
+                    + 9.0 * (2.0 * std::f64::consts::PI * t / 90.0).cos()
+                    + 9.0 * (2.0 * std::f64::consts::PI * t / 36.0).cos()
+            })
+            .collect();
+        let signal = SampledSignal::from_samples(samples, 1.0, 0.0);
+        let result = detect_signal(&signal, &FtioConfig::with_sampling_freq(1.0));
+        let report = render(&result);
+        assert!(report.contains("NOT periodic"), "{report}");
+    }
+
+    #[test]
+    fn formatting_helpers_cover_their_ranges() {
+        assert_eq!(format_frequency(2.5), "2.500 Hz");
+        assert_eq!(format_frequency(0.0125), "0.0125 Hz");
+        assert!(format_frequency(1e-5).contains('e'));
+        assert_eq!(format_period(111.674), "111.67 s");
+        assert_eq!(format_period(4642.1), "4642.1 s");
+        assert_eq!(format_period(f64::INFINITY), "inf");
+        assert_eq!(format_bandwidth(11.0e9), "11.00 GB/s");
+        assert_eq!(format_bandwidth(500.0e6), "500.00 MB/s");
+        assert_eq!(format_bandwidth(3.2e3), "3.20 KB/s");
+        assert_eq!(format_bandwidth(0.5), "0.50 B/s");
+    }
+}

@@ -1,0 +1,234 @@
+//! Discretisation of the bandwidth signal and the abstraction error.
+//!
+//! FTIO samples the application-level bandwidth `x(t)` with a sampling
+//! frequency `fs`, producing `N = Δt · fs` samples (paper §II-B1). The choice
+//! of `fs` matters: too low and the discrete signal no longer represents the
+//! original one ("aliasing", paper §II-E and Fig. 6). The *abstraction error*
+//! quantifies that mismatch as the relative volume difference between the
+//! continuous signal and its discretisation.
+
+use ftio_trace::{AppTrace, BandwidthTimeline, Heatmap};
+
+/// A discretised bandwidth signal plus the context needed to interpret it.
+#[derive(Clone, Debug)]
+pub struct SampledSignal {
+    /// Bandwidth samples in bytes/second.
+    pub samples: Vec<f64>,
+    /// Sampling frequency in Hz.
+    pub sampling_freq: f64,
+    /// Absolute time of the first sample in seconds.
+    pub start_time: f64,
+    /// Relative volume difference between the discrete and the original
+    /// signal (0 = perfect, larger = the discretisation cannot be trusted).
+    pub abstraction_error: f64,
+}
+
+impl SampledSignal {
+    /// Number of samples `N`.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the signal holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Covered time window `Δt = N / fs` in seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / self.sampling_freq
+    }
+
+    /// Total volume represented by the samples (bytes).
+    pub fn volume(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.sampling_freq
+    }
+
+    /// Mean bandwidth over the window, `V/Δt` in bytes/second.
+    pub fn mean_bandwidth(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Builds the signal directly from raw samples (no abstraction error known).
+    pub fn from_samples(samples: Vec<f64>, sampling_freq: f64, start_time: f64) -> Self {
+        assert!(sampling_freq > 0.0, "sampling frequency must be positive");
+        SampledSignal {
+            samples,
+            sampling_freq,
+            start_time,
+            abstraction_error: 0.0,
+        }
+    }
+}
+
+/// Samples a bandwidth timeline over `[t0, t1)` at `sampling_freq` Hz.
+///
+/// Two discretisations are computed: the volume-preserving averaged one that
+/// the analysis uses, and a point-sampled one; the abstraction error reported
+/// is the relative volume difference of the *point-sampled* signal, which is
+/// what degrades when `fs` is too low for the burst lengths in the trace
+/// (Fig. 6).
+pub fn sample_timeline(
+    timeline: &BandwidthTimeline,
+    t0: f64,
+    t1: f64,
+    sampling_freq: f64,
+) -> SampledSignal {
+    let samples = timeline.sample(t0, t1, sampling_freq);
+    let point_samples = timeline.sample_instantaneous(t0, t1, sampling_freq);
+    let true_volume = timeline.volume_in(t0, t1);
+    let point_volume: f64 = point_samples.iter().map(|bw| bw / sampling_freq).sum();
+    let abstraction_error = if true_volume > 0.0 {
+        (point_volume - true_volume).abs() / true_volume
+    } else {
+        0.0
+    };
+    SampledSignal {
+        samples,
+        sampling_freq,
+        start_time: t0,
+        abstraction_error,
+    }
+}
+
+/// Samples a whole application trace (from its first to its last request).
+pub fn sample_trace(trace: &AppTrace, sampling_freq: f64) -> SampledSignal {
+    let timeline = BandwidthTimeline::from_trace(trace);
+    let t0 = timeline.start();
+    let t1 = timeline.end();
+    sample_timeline(&timeline, t0, t1, sampling_freq)
+}
+
+/// Samples a trace restricted to the window `[t0, t1)`.
+pub fn sample_trace_window(trace: &AppTrace, t0: f64, t1: f64, sampling_freq: f64) -> SampledSignal {
+    let timeline = BandwidthTimeline::from_trace(trace);
+    sample_timeline(&timeline, t0, t1, sampling_freq)
+}
+
+/// Converts a Darshan-style heatmap into a sampled signal. The sampling
+/// frequency is taken from the bin width (`fs = 1 / bin_width`), exactly as
+/// FTIO does when ingesting Darshan profiles (paper §III-B).
+pub fn sample_heatmap(heatmap: &Heatmap) -> SampledSignal {
+    SampledSignal {
+        samples: heatmap.bandwidth_signal(),
+        sampling_freq: heatmap.sampling_freq(),
+        start_time: heatmap.start,
+        abstraction_error: 0.0,
+    }
+}
+
+/// Recommends a sampling frequency for a trace: the reciprocal of the shortest
+/// request duration (capped to `max_freq`), so that even the fastest change in
+/// bandwidth is resolved (paper §II-E: "we can find the smallest change in
+/// bandwidth over time and use it to calculate fs").
+pub fn recommend_sampling_freq(trace: &AppTrace, max_freq: f64) -> f64 {
+    let shortest = trace
+        .requests()
+        .iter()
+        .map(|r| r.duration())
+        .filter(|&d| d > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    if !shortest.is_finite() {
+        return 1.0_f64.min(max_freq);
+    }
+    (1.0 / shortest).min(max_freq).max(1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftio_trace::IoRequest;
+
+    fn bursty_trace(period: f64, burst: f64, count: usize, bytes: u64) -> AppTrace {
+        let mut trace = AppTrace::named("bursty", 1);
+        for i in 0..count {
+            let start = i as f64 * period;
+            trace.push(IoRequest::write(0, start, start + burst, bytes));
+        }
+        trace
+    }
+
+    #[test]
+    fn sample_trace_covers_the_activity_window() {
+        let trace = bursty_trace(10.0, 2.0, 5, 1000);
+        let signal = sample_trace(&trace, 1.0);
+        // Activity spans 0 .. 42 s; sampling covers floor(42) samples.
+        assert_eq!(signal.len(), 42);
+        assert_eq!(signal.start_time, 0.0);
+        assert!((signal.duration() - 42.0).abs() < 1e-9);
+        assert!(signal.mean_bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn volume_is_preserved_by_averaged_sampling() {
+        let trace = bursty_trace(10.0, 2.0, 5, 1000);
+        let signal = sample_trace_window(&trace, 0.0, 50.0, 2.0);
+        assert!((signal.volume() - 5000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn abstraction_error_grows_when_fs_is_too_low() {
+        // 5 ms bursts every second: 1 Hz point sampling misses nearly all of them.
+        let trace = bursty_trace(1.0, 0.005, 50, 1_000_000);
+        let coarse = sample_trace_window(&trace, 0.0, 51.0, 1.0);
+        let fine = sample_trace_window(&trace, 0.0, 51.0, 1000.0);
+        assert!(
+            coarse.abstraction_error > 0.5,
+            "coarse error {}",
+            coarse.abstraction_error
+        );
+        assert!(fine.abstraction_error < 0.05, "fine error {}", fine.abstraction_error);
+    }
+
+    #[test]
+    fn heatmap_sampling_uses_bin_width_as_fs() {
+        let heatmap = Heatmap::new(100.0, 50.0, vec![500.0, 0.0, 1000.0]);
+        let signal = sample_heatmap(&heatmap);
+        assert_eq!(signal.sampling_freq, 0.02);
+        assert_eq!(signal.start_time, 100.0);
+        assert_eq!(signal.samples, vec![10.0, 0.0, 20.0]);
+        assert_eq!(signal.abstraction_error, 0.0);
+    }
+
+    #[test]
+    fn recommended_fs_resolves_the_shortest_request() {
+        let mut trace = AppTrace::named("x", 1);
+        trace.push(IoRequest::write(0, 0.0, 0.01, 100)); // 10 ms
+        trace.push(IoRequest::write(0, 1.0, 2.0, 100));
+        let fs = recommend_sampling_freq(&trace, 1000.0);
+        assert!((fs - 100.0).abs() < 1e-9);
+        // Capped at max_freq.
+        assert_eq!(recommend_sampling_freq(&trace, 20.0), 20.0);
+        // Empty trace falls back to 1 Hz.
+        assert_eq!(recommend_sampling_freq(&AppTrace::named("e", 1), 10.0), 1.0);
+    }
+
+    #[test]
+    fn from_samples_constructor() {
+        let s = SampledSignal::from_samples(vec![1.0, 2.0, 3.0], 2.0, 5.0);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.duration(), 1.5);
+        assert_eq!(s.mean_bandwidth(), 2.0);
+        assert_eq!(s.volume(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling frequency must be positive")]
+    fn zero_fs_panics() {
+        SampledSignal::from_samples(vec![1.0], 0.0, 0.0);
+    }
+
+    #[test]
+    fn empty_window_has_no_samples_and_no_error() {
+        let trace = bursty_trace(10.0, 1.0, 3, 100);
+        let signal = sample_trace_window(&trace, 100.0, 100.0, 1.0);
+        assert!(signal.is_empty());
+        assert_eq!(signal.abstraction_error, 0.0);
+        assert_eq!(signal.mean_bandwidth(), 0.0);
+    }
+}

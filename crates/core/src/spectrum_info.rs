@@ -1,0 +1,157 @@
+//! A thin wrapper around the single-sided spectrum with the accessors the
+//! FTIO pipeline needs (powers, normalised powers, frequencies, DC offset).
+//!
+//! Keeping this separate from `ftio_dsp::Spectrum` lets the detection code
+//! cache the derived power vectors once instead of recomputing them for every
+//! candidate, and gives the report/bench code a stable, small surface.
+
+use ftio_dsp::spectrum::Spectrum;
+
+/// Cached spectral quantities of a sampled bandwidth signal.
+#[derive(Clone, Debug)]
+pub struct SpectrumInfo {
+    spectrum: Spectrum,
+    powers: Vec<f64>,
+    normalized: Vec<f64>,
+}
+
+impl SpectrumInfo {
+    /// Computes the spectrum of `samples` taken at `sampling_freq` Hz.
+    pub fn from_samples(samples: &[f64], sampling_freq: f64) -> Self {
+        let spectrum = Spectrum::from_signal(samples, sampling_freq);
+        let powers = spectrum.powers();
+        let normalized = spectrum.normalized_powers();
+        SpectrumInfo {
+            spectrum,
+            powers,
+            normalized,
+        }
+    }
+
+    /// Number of single-sided bins (`N/2 + 1`).
+    pub fn num_bins(&self) -> usize {
+        self.spectrum.num_bins()
+    }
+
+    /// Length `N` of the underlying time-domain signal.
+    pub fn signal_len(&self) -> usize {
+        self.spectrum.signal_len()
+    }
+
+    /// Sampling frequency in Hz.
+    pub fn sampling_freq(&self) -> f64 {
+        self.spectrum.sampling_freq()
+    }
+
+    /// Frequency resolution `fs / N` in Hz.
+    pub fn freq_resolution(&self) -> f64 {
+        self.spectrum.freq_resolution()
+    }
+
+    /// Frequency of bin `k` in Hz.
+    pub fn frequency(&self, bin: usize) -> f64 {
+        self.spectrum.frequency(bin)
+    }
+
+    /// Power of bin `k`.
+    pub fn power(&self, bin: usize) -> f64 {
+        self.powers.get(bin).copied().unwrap_or(0.0)
+    }
+
+    /// Normalised power (contribution to the total signal power) of bin `k`.
+    pub fn normalized_power(&self, bin: usize) -> f64 {
+        self.normalized.get(bin).copied().unwrap_or(0.0)
+    }
+
+    /// All powers including the DC bin.
+    pub fn powers(&self) -> &[f64] {
+        &self.powers
+    }
+
+    /// Normalised powers including the DC bin.
+    pub fn normalized_powers(&self) -> &[f64] {
+        &self.normalized
+    }
+
+    /// The powers of the non-DC bins (`k >= 1`) — the input to outlier detection.
+    pub fn non_dc_powers(&self) -> &[f64] {
+        if self.powers.is_empty() {
+            &[]
+        } else {
+            &self.powers[1..]
+        }
+    }
+
+    /// Mean contribution of a single non-DC frequency to the total power
+    /// (the "on average, each frequency contributed X%" figure of §II-C).
+    pub fn mean_non_dc_contribution(&self) -> f64 {
+        let n = self.num_bins().saturating_sub(1);
+        if n == 0 {
+            return 0.0;
+        }
+        self.normalized[1..].iter().sum::<f64>() / n as f64
+    }
+
+    /// DC offset (mean bandwidth of the signal).
+    pub fn dc_offset(&self) -> f64 {
+        self.spectrum.dc_offset()
+    }
+
+    /// Access to the underlying spectrum (for reconstruction).
+    pub fn spectrum(&self) -> &Spectrum {
+        &self.spectrum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_are_consistent_with_the_underlying_spectrum() {
+        let signal: Vec<f64> = (0..200)
+            .map(|i| 3.0 + (2.0 * std::f64::consts::PI * i as f64 / 20.0).cos())
+            .collect();
+        let info = SpectrumInfo::from_samples(&signal, 2.0);
+        assert_eq!(info.num_bins(), 101);
+        assert_eq!(info.signal_len(), 200);
+        assert_eq!(info.sampling_freq(), 2.0);
+        assert!((info.freq_resolution() - 0.01).abs() < 1e-12);
+        assert!((info.frequency(10) - 0.1).abs() < 1e-12);
+        assert!((info.dc_offset() - 3.0).abs() < 1e-9);
+        assert_eq!(info.powers().len(), 101);
+        assert_eq!(info.non_dc_powers().len(), 100);
+        // Bin 10 carries the cosine (period 20 samples = 10 s at 2 Hz).
+        let max_bin = (1..info.num_bins())
+            .max_by(|&a, &b| info.power(a).partial_cmp(&info.power(b)).unwrap())
+            .unwrap();
+        assert_eq!(max_bin, 10);
+    }
+
+    #[test]
+    fn out_of_range_bins_report_zero_power() {
+        let info = SpectrumInfo::from_samples(&[1.0, 2.0, 3.0, 4.0], 1.0);
+        assert_eq!(info.power(1000), 0.0);
+        assert_eq!(info.normalized_power(1000), 0.0);
+    }
+
+    #[test]
+    fn mean_contribution_of_a_flat_normalised_spectrum() {
+        // For any signal the normalised non-DC contributions sum to 1 - DC share,
+        // so the mean is that divided by the number of non-DC bins.
+        let signal: Vec<f64> = (0..100).map(|i| (i % 9) as f64).collect();
+        let info = SpectrumInfo::from_samples(&signal, 1.0);
+        let non_dc_total: f64 = info.normalized_powers()[1..].iter().sum();
+        let expected = non_dc_total / 50.0;
+        assert!((info.mean_non_dc_contribution() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_signal_is_safe() {
+        let info = SpectrumInfo::from_samples(&[], 1.0);
+        assert_eq!(info.num_bins(), 0);
+        assert!(info.non_dc_powers().is_empty());
+        assert_eq!(info.mean_non_dc_contribution(), 0.0);
+        assert_eq!(info.dc_offset(), 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Autocorrelation and cross-correlation.
+//!
+//! FTIO's confidence refinement (paper §II-C) computes the autocorrelation
+//! function (ACF) of the discretised bandwidth signal, finds its peaks, and
+//! derives period candidates from the gaps between consecutive peaks. The
+//! paper uses NumPy's `correlate` for this; here both a direct `O(N^2)`
+//! implementation and an FFT-based `O(N log N)` implementation are provided,
+//! with the FFT path chosen automatically for long signals.
+
+use crate::complex::Complex;
+use crate::fft::{Direction, Fft};
+
+/// How to scale the autocorrelation output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Normalization {
+    /// Raw sums of lagged products.
+    None,
+    /// Divide every lag by the zero-lag value so the ACF starts at 1 and lies in `[-1, 1]`.
+    ZeroLag,
+    /// Subtract the signal mean before correlating and divide by the zero-lag
+    /// value (the statistician's ACF as used by `statsmodels`).
+    Biased,
+}
+
+/// Autocorrelation for lags `0 .. signal.len()`, normalised so that lag 0 equals 1.
+///
+/// This is the variant used by FTIO: it mirrors `np.correlate(x, x, "full")`
+/// restricted to non-negative lags and divided by the maximum.
+pub fn autocorrelation(signal: &[f64]) -> Vec<f64> {
+    autocorrelation_with(signal, Normalization::ZeroLag)
+}
+
+/// Autocorrelation with an explicit normalisation mode.
+pub fn autocorrelation_with(signal: &[f64], normalization: Normalization) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let centered: Vec<f64>;
+    let input: &[f64] = match normalization {
+        Normalization::Biased => {
+            let mean = signal.iter().sum::<f64>() / n as f64;
+            centered = signal.iter().map(|x| x - mean).collect();
+            &centered
+        }
+        _ => signal,
+    };
+
+    let mut acf = if n * n <= 1 << 18 {
+        autocorrelation_direct(input)
+    } else {
+        autocorrelation_fft(input)
+    };
+
+    match normalization {
+        Normalization::None => {}
+        Normalization::ZeroLag | Normalization::Biased => {
+            let r0 = acf[0];
+            if r0 != 0.0 {
+                for v in acf.iter_mut() {
+                    *v /= r0;
+                }
+            }
+        }
+    }
+    acf
+}
+
+/// Direct `O(N^2)` autocorrelation (non-negative lags, no normalisation).
+pub fn autocorrelation_direct(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    let mut out = vec![0.0; n];
+    for (lag, out_lag) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for i in 0..n - lag {
+            acc += signal[i] * signal[i + lag];
+        }
+        *out_lag = acc;
+    }
+    out
+}
+
+/// FFT-based autocorrelation via the Wiener–Khinchin theorem
+/// (non-negative lags, no normalisation). Zero-pads to avoid circular wrap-around.
+pub fn autocorrelation_fft(signal: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let padded = (2 * n).next_power_of_two();
+    let mut buf: Vec<Complex> = signal
+        .iter()
+        .map(|&x| Complex::from_real(x))
+        .chain(std::iter::repeat(Complex::ZERO))
+        .take(padded)
+        .collect();
+    let plan = Fft::new(padded);
+    plan.process(&mut buf, Direction::Forward);
+    for x in buf.iter_mut() {
+        *x = Complex::from_real(x.norm_sqr());
+    }
+    plan.process(&mut buf, Direction::Inverse);
+    buf.into_iter().take(n).map(|x| x.re).collect()
+}
+
+/// Full linear cross-correlation of `a` and `b` (equivalent to
+/// `np.correlate(a, b, mode="full")`), returned for lags
+/// `-(b.len()-1) ..= a.len()-1` in increasing lag order.
+pub fn cross_correlation_full(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let mut out = vec![0.0; out_len];
+    // lag index l in output corresponds to shift s = l - (b.len() - 1)
+    for (l, out_l) in out.iter_mut().enumerate() {
+        let s = l as isize - (b.len() as isize - 1);
+        let mut acc = 0.0;
+        for (j, &bj) in b.iter().enumerate() {
+            let i = j as isize + s;
+            if i >= 0 && (i as usize) < a.len() {
+                acc += a[i as usize] * bj;
+            }
+        }
+        *out_l = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lag_is_one_after_normalisation() {
+        let signal: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin() + 2.0).collect();
+        let acf = autocorrelation(&signal);
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        assert!(acf.iter().all(|&v| v <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn direct_and_fft_paths_agree() {
+        let signal: Vec<f64> = (0..600).map(|i| ((i % 13) as f64) - 4.0).collect();
+        let direct = autocorrelation_direct(&signal);
+        let fast = autocorrelation_fft(&signal);
+        for (a, b) in direct.iter().zip(fast.iter()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn periodic_signal_has_peak_at_its_period() {
+        let period = 25usize;
+        let n = 500;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| if i % period < 5 { 10.0 } else { 0.0 })
+            .collect();
+        let acf = autocorrelation_with(&signal, Normalization::Biased);
+        // The ACF at the true period must exceed the ACF at nearby non-multiple lags.
+        assert!(acf[period] > acf[period - 7]);
+        assert!(acf[period] > acf[period + 7]);
+        assert!(acf[period] > 0.5);
+    }
+
+    #[test]
+    fn white_noise_acf_decays_quickly() {
+        // Deterministic pseudo-noise via a simple LCG to keep the test reproducible.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let signal: Vec<f64> = (0..2000).map(|_| next()).collect();
+        let acf = autocorrelation_with(&signal, Normalization::Biased);
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        let tail_max = acf[10..500].iter().cloned().fold(f64::MIN, f64::max);
+        assert!(tail_max < 0.2, "noise ACF should be small, got {tail_max}");
+    }
+
+    #[test]
+    fn empty_signal_yields_empty_acf() {
+        assert!(autocorrelation(&[]).is_empty());
+        assert!(autocorrelation_fft(&[]).is_empty());
+        assert!(cross_correlation_full(&[], &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn all_zero_signal_does_not_divide_by_zero() {
+        let acf = autocorrelation(&vec![0.0; 16]);
+        assert!(acf.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn cross_correlation_matches_numpy_example() {
+        // np.correlate([1,2,3],[0,1,0.5],'full') == [0.5, 2., 3.5, 3., 0.]
+        let out = cross_correlation_full(&[1.0, 2.0, 3.0], &[0.0, 1.0, 0.5]);
+        let expect = [0.5, 2.0, 3.5, 3.0, 0.0];
+        assert_eq!(out.len(), expect.len());
+        for (a, b) in out.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_none_matches_direct_sum() {
+        let signal = [1.0, 2.0, 3.0, 4.0];
+        let acf = autocorrelation_with(&signal, Normalization::None);
+        // lag 0: 1+4+9+16 = 30; lag 1: 2+6+12 = 20; lag 2: 3+8 = 11; lag 3: 4
+        let expect = [30.0, 20.0, 11.0, 4.0];
+        for (a, b) in acf.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! DBSCAN clustering for one-dimensional data.
+//!
+//! FTIO uses DBSCAN in two places (paper §II-B2 and §II-D):
+//!
+//! * as an alternative outlier detector on the power spectrum, where `eps` can
+//!   be derived from the frequency-bin spacing, and
+//! * to merge dominant-frequency predictions from consecutive online
+//!   evaluations into frequency intervals with associated probabilities.
+//!
+//! The implementation is a textbook region-growing DBSCAN specialised to 1-D
+//! points, which keeps neighbourhood queries simple and fast (sorting +
+//! binary-search windows).
+
+/// Label assigned to each input point by [`dbscan_1d`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Label {
+    /// Point belongs to the cluster with the given id (0-based).
+    Cluster(usize),
+    /// Point is noise: not density-reachable from any core point.
+    Noise,
+}
+
+impl Label {
+    /// The cluster id, if the point was clustered.
+    pub fn cluster_id(self) -> Option<usize> {
+        match self {
+            Label::Cluster(id) => Some(id),
+            Label::Noise => None,
+        }
+    }
+
+    /// Whether the point was labelled noise.
+    pub fn is_noise(self) -> bool {
+        matches!(self, Label::Noise)
+    }
+}
+
+/// Result of a DBSCAN run.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Per-point labels, in input order.
+    pub labels: Vec<Label>,
+    /// Number of clusters found.
+    pub num_clusters: usize,
+}
+
+impl Clustering {
+    /// Indices of the members of cluster `id`.
+    pub fn members(&self, id: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| (l.cluster_id() == Some(id)).then_some(i))
+            .collect()
+    }
+
+    /// Indices of all noise points.
+    pub fn noise(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.is_noise().then_some(i))
+            .collect()
+    }
+}
+
+/// Runs DBSCAN on 1-D `points` with neighbourhood radius `eps` and core-point
+/// threshold `min_pts` (a point counts itself among its neighbours, as in the
+/// standard formulation).
+///
+/// # Panics
+///
+/// Panics if `eps` is negative or `min_pts` is zero.
+pub fn dbscan_1d(points: &[f64], eps: f64, min_pts: usize) -> Clustering {
+    assert!(eps >= 0.0, "eps must be non-negative");
+    assert!(min_pts >= 1, "min_pts must be at least 1");
+    let n = points.len();
+    if n == 0 {
+        return Clustering {
+            labels: Vec::new(),
+            num_clusters: 0,
+        };
+    }
+
+    // Sort indices by value so neighbourhoods are contiguous windows.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| points[a].partial_cmp(&points[b]).expect("NaN in DBSCAN input"));
+    let sorted: Vec<f64> = order.iter().map(|&i| points[i]).collect();
+
+    let neighbours = |pos: usize| -> Vec<usize> {
+        let v = sorted[pos];
+        let lo = sorted.partition_point(|&x| x < v - eps);
+        let hi = sorted.partition_point(|&x| x <= v + eps);
+        (lo..hi).collect()
+    };
+
+    const UNVISITED: isize = -2;
+    const NOISE: isize = -1;
+    let mut labels = vec![UNVISITED; n]; // indexed by sorted position
+    let mut cluster = 0isize;
+
+    for pos in 0..n {
+        if labels[pos] != UNVISITED {
+            continue;
+        }
+        let nbrs = neighbours(pos);
+        if nbrs.len() < min_pts {
+            labels[pos] = NOISE;
+            continue;
+        }
+        labels[pos] = cluster;
+        let mut queue: Vec<usize> = nbrs;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let q = queue[qi];
+            qi += 1;
+            if labels[q] == NOISE {
+                labels[q] = cluster;
+            }
+            if labels[q] != UNVISITED {
+                continue;
+            }
+            labels[q] = cluster;
+            let qn = neighbours(q);
+            if qn.len() >= min_pts {
+                queue.extend(qn);
+            }
+        }
+        cluster += 1;
+    }
+
+    // Map back to the original point order.
+    let mut out = vec![Label::Noise; n];
+    for (pos, &orig) in order.iter().enumerate() {
+        out[orig] = match labels[pos] {
+            NOISE => Label::Noise,
+            c => Label::Cluster(c as usize),
+        };
+    }
+    Clustering {
+        labels: out,
+        num_clusters: cluster as usize,
+    }
+}
+
+/// A cluster of 1-D values summarised as an interval, used when merging online
+/// frequency predictions (paper §II-D).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterInterval {
+    /// Smallest value in the cluster.
+    pub min: f64,
+    /// Largest value in the cluster.
+    pub max: f64,
+    /// Arithmetic mean of the cluster members.
+    pub center: f64,
+    /// Number of members.
+    pub count: usize,
+    /// `count` divided by the total number of points given to [`cluster_intervals`].
+    pub probability: f64,
+}
+
+impl ClusterInterval {
+    /// Whether `value` lies inside the closed interval `[min, max]`.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.min && value <= self.max
+    }
+}
+
+/// Clusters `points` with DBSCAN and summarises every cluster as an interval
+/// `[min, max]` with a probability equal to its share of all points (noise
+/// points count towards the total but form no interval). Intervals are sorted
+/// by descending probability.
+pub fn cluster_intervals(points: &[f64], eps: f64, min_pts: usize) -> Vec<ClusterInterval> {
+    let clustering = dbscan_1d(points, eps, min_pts);
+    let total = points.len();
+    let mut intervals = Vec::new();
+    for id in 0..clustering.num_clusters {
+        let members = clustering.members(id);
+        if members.is_empty() {
+            continue;
+        }
+        let values: Vec<f64> = members.iter().map(|&i| points[i]).collect();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Clamp the mean into [min, max]: with nearly identical members the
+        // floating-point sum can otherwise land a hair outside the bounds.
+        let center = (values.iter().sum::<f64>() / values.len() as f64).clamp(min, max);
+        intervals.push(ClusterInterval {
+            min,
+            max,
+            center,
+            count: values.len(),
+            probability: values.len() as f64 / total as f64,
+        });
+    }
+    intervals.sort_by(|a, b| b.probability.partial_cmp(&a.probability).expect("NaN probability"));
+    intervals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_well_separated_groups_form_two_clusters() {
+        let points = [1.0, 1.1, 0.9, 1.05, 10.0, 10.2, 9.9, 10.1];
+        let c = dbscan_1d(&points, 0.5, 2);
+        assert_eq!(c.num_clusters, 2);
+        let a = c.labels[0].cluster_id().unwrap();
+        let b = c.labels[4].cluster_id().unwrap();
+        assert_ne!(a, b);
+        for i in 0..4 {
+            assert_eq!(c.labels[i].cluster_id(), Some(a));
+        }
+        for i in 4..8 {
+            assert_eq!(c.labels[i].cluster_id(), Some(b));
+        }
+    }
+
+    #[test]
+    fn isolated_point_is_noise() {
+        let points = [1.0, 1.1, 0.9, 50.0];
+        let c = dbscan_1d(&points, 0.5, 2);
+        assert_eq!(c.num_clusters, 1);
+        assert!(c.labels[3].is_noise());
+        assert_eq!(c.noise(), vec![3]);
+    }
+
+    #[test]
+    fn min_pts_one_clusters_everything() {
+        let points = [1.0, 5.0, 9.0];
+        let c = dbscan_1d(&points, 0.5, 1);
+        assert_eq!(c.num_clusters, 3);
+        assert!(c.labels.iter().all(|l| !l.is_noise()));
+    }
+
+    #[test]
+    fn chain_of_points_forms_one_cluster() {
+        // Each point is within eps of the next, so density-reachability chains them.
+        let points: Vec<f64> = (0..20).map(|i| i as f64 * 0.4).collect();
+        let c = dbscan_1d(&points, 0.5, 2);
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.members(0).len(), 20);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = dbscan_1d(&[], 1.0, 2);
+        assert_eq!(c.num_clusters, 0);
+        assert!(c.labels.is_empty());
+        assert!(cluster_intervals(&[], 1.0, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_pts")]
+    fn zero_min_pts_panics() {
+        dbscan_1d(&[1.0], 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn negative_eps_panics() {
+        dbscan_1d(&[1.0], -1.0, 1);
+    }
+
+    #[test]
+    fn intervals_report_bounds_and_probability() {
+        // 6 points near 0.12 Hz, 2 points near 0.2 Hz, 2 noise points.
+        let points = [0.12, 0.121, 0.119, 0.122, 0.118, 0.12, 0.2, 0.201, 0.5, 0.9];
+        let intervals = cluster_intervals(&points, 0.005, 2);
+        assert_eq!(intervals.len(), 2);
+        assert_eq!(intervals[0].count, 6);
+        assert!((intervals[0].probability - 0.6).abs() < 1e-12);
+        assert!(intervals[0].contains(0.12));
+        assert!(!intervals[0].contains(0.2));
+        assert_eq!(intervals[1].count, 2);
+        assert!((intervals[1].probability - 0.2).abs() < 1e-12);
+        assert!(intervals[0].probability >= intervals[1].probability);
+    }
+
+    #[test]
+    fn interval_center_is_mean_of_members() {
+        let points = [1.0, 2.0, 3.0];
+        let intervals = cluster_intervals(&points, 1.5, 2);
+        assert_eq!(intervals.len(), 1);
+        assert!((intervals[0].center - 2.0).abs() < 1e-12);
+        assert_eq!(intervals[0].min, 1.0);
+        assert_eq!(intervals[0].max, 3.0);
+    }
+
+    #[test]
+    fn duplicate_points_cluster_together() {
+        let points = [5.0; 10];
+        let c = dbscan_1d(&points, 0.0, 3);
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.members(0).len(), 10);
+    }
+}

@@ -1,0 +1,589 @@
+//! Fast Fourier transform implemented from scratch.
+//!
+//! Three algorithms are provided and selected automatically by [`Fft`]:
+//!
+//! * an iterative **radix-2 Cooley–Tukey** transform for power-of-two lengths,
+//! * a recursive **mixed-radix Cooley–Tukey** transform for lengths whose prime
+//!   factors are all small (2, 3, 5, 7),
+//! * **Bluestein's algorithm** (chirp-z transform) for every other length,
+//!   which reduces an arbitrary-length DFT to a power-of-two convolution.
+//!
+//! All transforms are unnormalised in the forward direction and divide by `N`
+//! in the inverse direction, so `ifft(fft(x)) == x`.
+//!
+//! The FTIO pipeline (see `ftio-core`) applies the DFT to bandwidth signals
+//! whose length `N = Δt · fs` is rarely a power of two, which is why
+//! arbitrary-length support matters here.
+
+use crate::complex::Complex;
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Time domain to frequency domain (negative exponent).
+    Forward,
+    /// Frequency domain to time domain (positive exponent, output scaled by `1/N`).
+    Inverse,
+}
+
+impl Direction {
+    #[inline]
+    fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+}
+
+/// A reusable FFT plan for a fixed transform length.
+///
+/// Creating a plan precomputes twiddle factors; executing it does not
+/// allocate for power-of-two lengths and allocates scratch only for the
+/// Bluestein path.
+///
+/// # Examples
+///
+/// ```
+/// use ftio_dsp::{Complex, Fft, Direction};
+///
+/// let fft = Fft::new(8);
+/// let mut data: Vec<Complex> = (0..8).map(|i| Complex::from_real(i as f64)).collect();
+/// let original = data.clone();
+/// fft.process(&mut data, Direction::Forward);
+/// fft.process(&mut data, Direction::Inverse);
+/// for (a, b) in data.iter().zip(original.iter()) {
+///     assert!((a.re - b.re).abs() < 1e-9);
+///     assert!(a.im.abs() < 1e-9);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fft {
+    len: usize,
+    kind: PlanKind,
+}
+
+#[derive(Clone, Debug)]
+enum PlanKind {
+    /// Lengths 0 and 1 are identity transforms.
+    Trivial,
+    /// Iterative radix-2 with precomputed forward twiddles.
+    Radix2 { twiddles: Vec<Complex> },
+    /// Recursive mixed-radix over the stored factorisation (factors all <= 7).
+    MixedRadix { factors: Vec<usize> },
+    /// Bluestein chirp-z transform via a power-of-two convolution.
+    Bluestein {
+        /// Convolution length (power of two >= 2*len - 1).
+        conv_len: usize,
+        /// Chirp sequence `exp(-i*pi*n^2/len)` for n in 0..len (forward sign).
+        chirp: Vec<Complex>,
+        /// Forward FFT of the zero-padded, conjugated chirp filter.
+        filter_fft: Vec<Complex>,
+        /// Inner power-of-two plan used for the convolution.
+        inner: Box<Fft>,
+    },
+}
+
+impl Fft {
+    /// Creates a plan for transforms of length `len`.
+    pub fn new(len: usize) -> Self {
+        let kind = if len <= 1 {
+            PlanKind::Trivial
+        } else if len.is_power_of_two() {
+            PlanKind::Radix2 {
+                twiddles: radix2_twiddles(len),
+            }
+        } else {
+            let factors = factorize(len);
+            if factors.iter().all(|&f| f <= 7) {
+                PlanKind::MixedRadix { factors }
+            } else {
+                Self::new_bluestein(len)
+            }
+        };
+        Fft { len, kind }
+    }
+
+    fn new_bluestein(len: usize) -> PlanKind {
+        let conv_len = (2 * len - 1).next_power_of_two();
+        // Chirp: c_n = exp(-i * pi * n^2 / len). Computed with n^2 mod 2*len to
+        // keep the argument small and avoid precision loss for large n.
+        let chirp: Vec<Complex> = (0..len)
+            .map(|n| {
+                let sq = ((n as u128 * n as u128) % (2 * len as u128)) as f64;
+                Complex::cis(-std::f64::consts::PI * sq / len as f64)
+            })
+            .collect();
+        // Filter b_n = conj(chirp), wrapped so that negative indices map to the
+        // end of the buffer (circular convolution).
+        let mut filter = vec![Complex::ZERO; conv_len];
+        for n in 0..len {
+            filter[n] = chirp[n].conj();
+            if n != 0 {
+                filter[conv_len - n] = chirp[n].conj();
+            }
+        }
+        let inner = Box::new(Fft::new(conv_len));
+        let mut filter_fft = filter;
+        inner.process(&mut filter_fft, Direction::Forward);
+        PlanKind::Bluestein {
+            conv_len,
+            chirp,
+            filter_fft,
+            inner,
+        }
+    }
+
+    /// The transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the plan length is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Executes the transform in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn process(&self, data: &mut [Complex], direction: Direction) {
+        assert_eq!(
+            data.len(),
+            self.len,
+            "FFT plan length {} does not match buffer length {}",
+            self.len,
+            data.len()
+        );
+        match &self.kind {
+            PlanKind::Trivial => {}
+            PlanKind::Radix2 { twiddles } => {
+                radix2_in_place(data, twiddles, direction);
+                if direction == Direction::Inverse {
+                    normalize(data);
+                }
+            }
+            PlanKind::MixedRadix { factors } => {
+                let out = mixed_radix_recursive(data, factors, direction.sign());
+                data.copy_from_slice(&out);
+                if direction == Direction::Inverse {
+                    normalize(data);
+                }
+            }
+            PlanKind::Bluestein {
+                conv_len,
+                chirp,
+                filter_fft,
+                inner,
+            } => {
+                bluestein(data, *conv_len, chirp, filter_fft, inner, direction);
+            }
+        }
+    }
+
+    /// Convenience wrapper: forward-transform a copy of `data` and return it.
+    pub fn forward(&self, data: &[Complex]) -> Vec<Complex> {
+        let mut buf = data.to_vec();
+        self.process(&mut buf, Direction::Forward);
+        buf
+    }
+
+    /// Convenience wrapper: inverse-transform a copy of `data` and return it.
+    pub fn inverse(&self, data: &[Complex]) -> Vec<Complex> {
+        let mut buf = data.to_vec();
+        self.process(&mut buf, Direction::Inverse);
+        buf
+    }
+}
+
+/// Forward DFT of a real-valued signal, returning the full complex spectrum.
+///
+/// This is the entry point used by FTIO: the discretised bandwidth signal is
+/// real, so the spectrum is conjugate-symmetric and only bins `0..=N/2` carry
+/// independent information (see [`crate::spectrum`]).
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    let plan = Fft::new(buf.len());
+    plan.process(&mut buf, Direction::Forward);
+    buf
+}
+
+/// Forward FFT of a complex buffer (allocating convenience function).
+pub fn fft(signal: &[Complex]) -> Vec<Complex> {
+    Fft::new(signal.len()).forward(signal)
+}
+
+/// Inverse FFT of a complex buffer (allocating convenience function).
+pub fn ifft(spectrum: &[Complex]) -> Vec<Complex> {
+    Fft::new(spectrum.len()).inverse(spectrum)
+}
+
+/// Naive `O(N^2)` DFT used as a cross-check in tests and for very short inputs.
+pub fn dft_naive(signal: &[Complex], direction: Direction) -> Vec<Complex> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = direction.sign();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, out_k) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (t, &x) in signal.iter().enumerate() {
+            let angle = sign * 2.0 * std::f64::consts::PI * (k as f64) * (t as f64) / n as f64;
+            acc += x * Complex::cis(angle);
+        }
+        *out_k = acc;
+    }
+    if direction == Direction::Inverse {
+        normalize(&mut out);
+    }
+    out
+}
+
+/// Returns the prime factorisation of `n` in non-decreasing order.
+pub fn factorize(mut n: usize) -> Vec<usize> {
+    let mut factors = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        while n % d == 0 {
+            factors.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+fn normalize(data: &mut [Complex]) {
+    let inv = 1.0 / data.len() as f64;
+    for x in data.iter_mut() {
+        *x = x.scale(inv);
+    }
+}
+
+fn radix2_twiddles(len: usize) -> Vec<Complex> {
+    // Forward twiddles for each butterfly stage, flattened: stage sizes
+    // 2, 4, 8, ..., len with half-size twiddle tables each.
+    let mut twiddles = Vec::with_capacity(len);
+    let mut size = 2;
+    while size <= len {
+        let half = size / 2;
+        for j in 0..half {
+            let angle = -2.0 * std::f64::consts::PI * j as f64 / size as f64;
+            twiddles.push(Complex::cis(angle));
+        }
+        size *= 2;
+    }
+    twiddles
+}
+
+fn radix2_in_place(data: &mut [Complex], twiddles: &[Complex], direction: Direction) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let conj = direction == Direction::Inverse;
+    let mut size = 2;
+    let mut tw_offset = 0;
+    while size <= n {
+        let half = size / 2;
+        for start in (0..n).step_by(size) {
+            for j in 0..half {
+                let mut w = twiddles[tw_offset + j];
+                if conj {
+                    w = w.conj();
+                }
+                let a = data[start + j];
+                let b = data[start + j + half] * w;
+                data[start + j] = a + b;
+                data[start + j + half] = a - b;
+            }
+        }
+        tw_offset += half;
+        size *= 2;
+    }
+}
+
+/// Recursive mixed-radix Cooley–Tukey decimation-in-time.
+///
+/// `factors` must multiply to `data.len()`. Returns a newly allocated output
+/// buffer; the caller copies it back. `sign` is -1 for forward, +1 for inverse.
+fn mixed_radix_recursive(data: &[Complex], factors: &[usize], sign: f64) -> Vec<Complex> {
+    let n = data.len();
+    if n <= 1 || factors.is_empty() {
+        return data.to_vec();
+    }
+    let radix = factors[0];
+    let rest = &factors[1..];
+    let m = n / radix;
+
+    // Split into `radix` decimated sub-sequences and transform each.
+    let mut subs: Vec<Vec<Complex>> = Vec::with_capacity(radix);
+    for r in 0..radix {
+        let sub: Vec<Complex> = (0..m).map(|j| data[j * radix + r]).collect();
+        subs.push(mixed_radix_recursive(&sub, rest, sign));
+    }
+
+    // Combine: X[k + q*m] = sum_r subs[r][k] * W_N^{r*(k + q*m)}
+    let mut out = vec![Complex::ZERO; n];
+    for q in 0..radix {
+        for k in 0..m {
+            let idx = k + q * m;
+            let mut acc = Complex::ZERO;
+            for (r, sub) in subs.iter().enumerate() {
+                let angle = sign * 2.0 * std::f64::consts::PI * (r * idx) as f64 / n as f64;
+                acc += sub[k] * Complex::cis(angle);
+            }
+            out[idx] = acc;
+        }
+    }
+    out
+}
+
+fn bluestein(
+    data: &mut [Complex],
+    conv_len: usize,
+    chirp: &[Complex],
+    filter_fft: &[Complex],
+    inner: &Fft,
+    direction: Direction,
+) {
+    let n = data.len();
+    let conj_input = direction == Direction::Inverse;
+
+    // a_n = x_n * chirp_n (use conjugated chirp for the inverse transform).
+    let mut a = vec![Complex::ZERO; conv_len];
+    for i in 0..n {
+        let c = if conj_input { chirp[i].conj() } else { chirp[i] };
+        a[i] = data[i] * c;
+    }
+    inner.process(&mut a, Direction::Forward);
+    if conj_input {
+        // The precomputed filter is for the forward chirp; the inverse chirp's
+        // filter is its conjugate, and conj(FFT(x)) = FFT(conj(x)) reversed.
+        // Instead of storing a second table we convolve with the conjugate
+        // spectrum of the reversed filter, which equals conj(filter_fft) here
+        // because the filter is conjugate-symmetric by construction.
+        for (ai, fi) in a.iter_mut().zip(filter_fft.iter()) {
+            *ai = *ai * fi.conj();
+        }
+    } else {
+        for (ai, fi) in a.iter_mut().zip(filter_fft.iter()) {
+            *ai = *ai * *fi;
+        }
+    }
+    inner.process(&mut a, Direction::Inverse);
+
+    for i in 0..n {
+        let c = if conj_input { chirp[i].conj() } else { chirp[i] };
+        data[i] = a[i] * c;
+    }
+    if direction == Direction::Inverse {
+        normalize(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_spectra_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!(
+                (x.re - y.re).abs() <= tol && (x.im - y.im).abs() <= tol,
+                "bin {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    fn impulse(n: usize) -> Vec<Complex> {
+        let mut v = vec![Complex::ZERO; n];
+        v[0] = Complex::ONE;
+        v
+    }
+
+    #[test]
+    fn factorize_small_numbers() {
+        assert_eq!(factorize(1), Vec::<usize>::new());
+        assert_eq!(factorize(2), vec![2]);
+        assert_eq!(factorize(12), vec![2, 2, 3]);
+        assert_eq!(factorize(97), vec![97]);
+        assert_eq!(factorize(360), vec![2, 2, 2, 3, 3, 5]);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        for &n in &[4usize, 8, 12, 15, 97, 128] {
+            let spec = fft(&impulse(n));
+            for x in spec {
+                assert!((x.re - 1.0).abs() < 1e-9 && x.im.abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_signal_concentrates_in_dc() {
+        let n = 64;
+        let signal = vec![Complex::from_real(2.5); n];
+        let spec = fft(&signal);
+        assert!((spec[0].re - 2.5 * n as f64).abs() < 1e-9);
+        for x in &spec[1..] {
+            assert!(x.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_cosine_peaks_at_its_frequency() {
+        let n = 128;
+        let k0 = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&signal);
+        // Energy concentrated at bins k0 and N-k0, each with amplitude N/2.
+        assert!((spec[k0].abs() - n as f64 / 2.0).abs() < 1e-6);
+        assert!((spec[n - k0].abs() - n as f64 / 2.0).abs() < 1e-6);
+        for (k, x) in spec.iter().enumerate() {
+            if k != k0 && k != n - k0 {
+                assert!(x.abs() < 1e-6, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix2_matches_naive_dft() {
+        let n = 32;
+        let signal: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let fast = fft(&signal);
+        let slow = dft_naive(&signal, Direction::Forward);
+        assert_spectra_close(&fast, &slow, 1e-9);
+    }
+
+    #[test]
+    fn mixed_radix_matches_naive_dft() {
+        for &n in &[6usize, 12, 15, 20, 21, 35, 60, 105] {
+            let signal: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 1.1).sin(), (i as f64 * 0.2).cos()))
+                .collect();
+            let fast = fft(&signal);
+            let slow = dft_naive(&signal, Direction::Forward);
+            assert_spectra_close(&fast, &slow, 1e-8);
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft_for_prime_lengths() {
+        for &n in &[11usize, 13, 17, 97, 101, 211] {
+            let signal: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let fast = fft(&signal);
+            let slow = dft_naive(&signal, Direction::Forward);
+            assert_spectra_close(&fast, &slow, 1e-7);
+        }
+    }
+
+    #[test]
+    fn large_composite_with_big_prime_factor_uses_bluestein() {
+        // 2 * 509 has a prime factor > 7 and must go through Bluestein.
+        let n = 1018;
+        let signal: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_real((i % 10) as f64))
+            .collect();
+        let fast = fft(&signal);
+        let slow = dft_naive(&signal, Direction::Forward);
+        assert_spectra_close(&fast, &slow, 1e-6);
+    }
+
+    #[test]
+    fn inverse_recovers_original_for_all_plan_kinds() {
+        for &n in &[8usize, 12, 97, 100, 1018] {
+            let signal: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), (i as f64 / 3.0).cos()))
+                .collect();
+            let roundtrip = ifft(&fft(&signal));
+            assert_spectra_close(&roundtrip, &signal, 1e-7);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 240;
+        let signal: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let spec = fft_real(&signal);
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let freq_energy: f64 = spec.iter().map(|x| x.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-9);
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_conjugate_symmetric() {
+        let n = 90;
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin() + 0.3).collect();
+        let spec = fft_real(&signal);
+        for k in 1..n / 2 {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_length_transforms_are_identity() {
+        assert!(fft(&[]).is_empty());
+        let single = vec![Complex::new(3.0, -1.0)];
+        assert_eq!(fft(&single), single);
+        assert_eq!(ifft(&single), single);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match buffer length")]
+    fn mismatched_plan_length_panics() {
+        let plan = Fft::new(8);
+        let mut buf = vec![Complex::ZERO; 4];
+        plan.process(&mut buf, Direction::Forward);
+    }
+
+    #[test]
+    fn plan_reuse_gives_identical_results() {
+        let n = 100;
+        let signal: Vec<Complex> = (0..n).map(|i| Complex::from_real(i as f64)).collect();
+        let plan = Fft::new(n);
+        let a = plan.forward(&signal);
+        let b = plan.forward(&signal);
+        assert_spectra_close(&a, &b, 0.0);
+    }
+
+    #[test]
+    fn linearity_of_the_transform() {
+        let n = 64;
+        let x: Vec<Complex> = (0..n).map(|i| Complex::from_real((i as f64).sin())).collect();
+        let y: Vec<Complex> = (0..n).map(|i| Complex::from_real((i as f64).cos())).collect();
+        let sum: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let fsum = fft(&sum);
+        for k in 0..n {
+            let expect = fx[k] + fy[k];
+            assert!((fsum[k].re - expect.re).abs() < 1e-9);
+            assert!((fsum[k].im - expect.im).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Isolation forest for one-dimensional data.
+//!
+//! An isolation forest flags outliers as points that are easy to isolate with
+//! random axis-aligned splits: anomalous values end up in shallow leaves. FTIO
+//! lists it among the alternative outlier detectors that can be applied to the
+//! power spectrum instead of (or merged with) the Z-score. The implementation
+//! follows Liu et al.'s original formulation, specialised to scalar samples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`IsolationForest`].
+#[derive(Clone, Copy, Debug)]
+pub struct ForestConfig {
+    /// Number of isolation trees.
+    pub num_trees: usize,
+    /// Sub-sample size used to build each tree (256 in the original paper,
+    /// clamped to the data size).
+    pub sample_size: usize,
+    /// RNG seed for reproducible forests.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            num_trees: 100,
+            sample_size: 256,
+            seed: 0xF710,
+        }
+    }
+}
+
+enum Node {
+    Internal {
+        split: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    Leaf {
+        size: usize,
+    },
+}
+
+/// A trained isolation forest over scalar samples.
+pub struct IsolationForest {
+    trees: Vec<Node>,
+    sample_size: usize,
+}
+
+impl IsolationForest {
+    /// Fits a forest on `data`. An empty input produces a forest that scores
+    /// everything as 0.5 (neither inlier nor outlier).
+    pub fn fit(data: &[f64], config: &ForestConfig) -> Self {
+        if data.is_empty() {
+            return IsolationForest {
+                trees: Vec::new(),
+                sample_size: 0,
+            };
+        }
+        let sample_size = config.sample_size.min(data.len()).max(1);
+        let height_limit = (sample_size as f64).log2().ceil().max(1.0) as usize;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut trees = Vec::with_capacity(config.num_trees);
+        for _ in 0..config.num_trees {
+            let sample: Vec<f64> = (0..sample_size)
+                .map(|_| data[rng.gen_range(0..data.len())])
+                .collect();
+            trees.push(build_tree(&sample, 0, height_limit, &mut rng));
+        }
+        IsolationForest { trees, sample_size }
+    }
+
+    /// Anomaly score of `value` in `[0, 1]`; scores near 1 indicate outliers,
+    /// scores well below 0.5 indicate inliers.
+    pub fn score(&self, value: f64) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        let avg_path: f64 = self
+            .trees
+            .iter()
+            .map(|t| path_length(t, value, 0))
+            .sum::<f64>()
+            / self.trees.len() as f64;
+        let c = average_path_length(self.sample_size);
+        if c == 0.0 {
+            return 0.5;
+        }
+        2f64.powf(-avg_path / c)
+    }
+
+    /// Scores every element of `data`.
+    pub fn scores(&self, data: &[f64]) -> Vec<f64> {
+        data.iter().map(|&x| self.score(x)).collect()
+    }
+
+    /// Indices of `data` whose anomaly score is at least `threshold`
+    /// (0.6–0.7 are common cut-offs).
+    pub fn outliers(&self, data: &[f64], threshold: f64) -> Vec<usize> {
+        data.iter()
+            .enumerate()
+            .filter_map(|(i, &x)| if self.score(x) >= threshold { Some(i) } else { None })
+            .collect()
+    }
+}
+
+/// Convenience function: fit a forest with default parameters and return the
+/// indices whose anomaly score reaches `threshold`.
+pub fn isolation_forest_outliers(data: &[f64], threshold: f64, seed: u64) -> Vec<usize> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let config = ForestConfig {
+        seed,
+        ..Default::default()
+    };
+    IsolationForest::fit(data, &config).outliers(data, threshold)
+}
+
+fn build_tree(sample: &[f64], depth: usize, limit: usize, rng: &mut StdRng) -> Node {
+    let min = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if sample.len() <= 1 || depth >= limit || min == max {
+        return Node::Leaf { size: sample.len() };
+    }
+    let split = rng.gen_range(min..max);
+    let left: Vec<f64> = sample.iter().copied().filter(|&x| x < split).collect();
+    let right: Vec<f64> = sample.iter().copied().filter(|&x| x >= split).collect();
+    Node::Internal {
+        split,
+        left: Box::new(build_tree(&left, depth + 1, limit, rng)),
+        right: Box::new(build_tree(&right, depth + 1, limit, rng)),
+    }
+}
+
+fn path_length(node: &Node, value: f64, depth: usize) -> f64 {
+    match node {
+        Node::Leaf { size } => depth as f64 + average_path_length(*size),
+        Node::Internal { split, left, right } => {
+            if value < *split {
+                path_length(left, value, depth + 1)
+            } else {
+                path_length(right, value, depth + 1)
+            }
+        }
+    }
+}
+
+/// Expected path length of an unsuccessful BST search over `n` items,
+/// the normalisation constant `c(n)` from the isolation-forest paper.
+fn average_path_length(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let harmonic = (nf - 1.0).ln() + 0.577_215_664_901_532_9;
+    2.0 * harmonic - 2.0 * (nf - 1.0) / nf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obvious_outlier_scores_higher_than_cluster() {
+        let mut data: Vec<f64> = (0..200).map(|i| 10.0 + (i % 10) as f64 * 0.01).collect();
+        data.push(1000.0);
+        let forest = IsolationForest::fit(&data, &ForestConfig::default());
+        let outlier_score = forest.score(1000.0);
+        let inlier_score = forest.score(10.05);
+        assert!(
+            outlier_score > inlier_score + 0.1,
+            "outlier {outlier_score} vs inlier {inlier_score}"
+        );
+        assert!(outlier_score > 0.6);
+    }
+
+    #[test]
+    fn outliers_helper_flags_the_spike() {
+        let mut data = vec![1.0; 100];
+        data[37] = 500.0;
+        let idx = isolation_forest_outliers(&data, 0.6, 42);
+        assert_eq!(idx, vec![37]);
+    }
+
+    #[test]
+    fn constant_data_has_no_outliers() {
+        let data = vec![3.0; 64];
+        let idx = isolation_forest_outliers(&data, 0.6, 7);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn empty_data_is_fine() {
+        assert!(isolation_forest_outliers(&[], 0.6, 1).is_empty());
+    }
+
+    #[test]
+    fn scores_are_probability_like() {
+        let data: Vec<f64> = (0..500).map(|i| (i % 25) as f64).collect();
+        let forest = IsolationForest::fit(&data, &ForestConfig::default());
+        for &x in &[0.0, 5.0, 12.0, 24.0] {
+            let s = forest.score(x);
+            assert!((0.0..=1.0).contains(&s), "score {s} out of range");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut data = vec![2.0; 50];
+        data[10] = 80.0;
+        let cfg = ForestConfig {
+            seed: 99,
+            ..Default::default()
+        };
+        let a = IsolationForest::fit(&data, &cfg).scores(&data);
+        let b = IsolationForest::fit(&data, &cfg).scores(&data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn average_path_length_is_monotone() {
+        assert_eq!(average_path_length(0), 0.0);
+        assert_eq!(average_path_length(1), 0.0);
+        let mut prev = 0.0;
+        for n in [2usize, 4, 16, 256, 4096] {
+            let c = average_path_length(n);
+            assert!(c > prev);
+            prev = c;
+        }
+    }
+}

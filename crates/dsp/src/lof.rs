@@ -1,0 +1,190 @@
+//! Local outlier factor (LOF) for one-dimensional data.
+//!
+//! LOF compares the local density around a point with the local densities
+//! around its neighbours; scores well above 1 indicate that the point sits in
+//! a sparser region than its neighbours and is therefore an outlier. The FTIO
+//! paper lists LOF among the alternative outlier-detection strategies that can
+//! replace or complement the Z-score on the power spectrum.
+
+/// Result of a LOF computation.
+#[derive(Clone, Debug)]
+pub struct LofResult {
+    /// LOF score per input point (values near 1 are inliers).
+    pub scores: Vec<f64>,
+    /// The `k` used for the k-nearest-neighbour queries.
+    pub k: usize,
+}
+
+impl LofResult {
+    /// Indices whose LOF score is at least `threshold` (1.5 is a common choice).
+    pub fn outliers(&self, threshold: f64) -> Vec<usize> {
+        self.scores
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| if s >= threshold { Some(i) } else { None })
+            .collect()
+    }
+}
+
+/// Computes the local outlier factor of every point with `k` neighbours.
+///
+/// `k` is clamped to `points.len() - 1`. For fewer than three points every
+/// score is 1 (no meaningful density estimate is possible).
+pub fn local_outlier_factor(points: &[f64], k: usize) -> LofResult {
+    let n = points.len();
+    if n < 3 || k == 0 {
+        return LofResult {
+            scores: vec![1.0; n],
+            k,
+        };
+    }
+    let k = k.min(n - 1);
+
+    // k-nearest neighbours per point (1-D: sort and scan around each rank).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| points[a].partial_cmp(&points[b]).expect("NaN in LOF input"));
+    let rank_of: Vec<usize> = {
+        let mut r = vec![0; n];
+        for (rank, &idx) in order.iter().enumerate() {
+            r[idx] = rank;
+        }
+        r
+    };
+
+    let knn = |i: usize| -> Vec<(usize, f64)> {
+        // Merge outward from the point's rank position to collect the k closest.
+        let rank = rank_of[i];
+        let mut lo = rank;
+        let mut hi = rank;
+        let mut result: Vec<(usize, f64)> = Vec::with_capacity(k);
+        while result.len() < k {
+            let left = if lo > 0 {
+                Some((order[lo - 1], (points[order[lo - 1]] - points[i]).abs()))
+            } else {
+                None
+            };
+            let right = if hi + 1 < n {
+                Some((order[hi + 1], (points[order[hi + 1]] - points[i]).abs()))
+            } else {
+                None
+            };
+            match (left, right) {
+                (Some(l), Some(r)) => {
+                    if l.1 <= r.1 {
+                        result.push(l);
+                        lo -= 1;
+                    } else {
+                        result.push(r);
+                        hi += 1;
+                    }
+                }
+                (Some(l), None) => {
+                    result.push(l);
+                    lo -= 1;
+                }
+                (None, Some(r)) => {
+                    result.push(r);
+                    hi += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        result
+    };
+
+    let neighbours: Vec<Vec<(usize, f64)>> = (0..n).map(knn).collect();
+    let k_distance: Vec<f64> = neighbours
+        .iter()
+        .map(|nb| nb.iter().map(|&(_, d)| d).fold(0.0, f64::max))
+        .collect();
+
+    // Local reachability density. Duplicate points make the reachability sum
+    // zero; instead of an infinite density (which would poison the ratios) a
+    // very large finite density is used, so clusters of duplicates score ~1
+    // while genuinely isolated points still get huge LOF values.
+    const MAX_DENSITY: f64 = 1e15;
+    let lrd: Vec<f64> = (0..n)
+        .map(|i| {
+            let sum_reach: f64 = neighbours[i]
+                .iter()
+                .map(|&(j, d)| d.max(k_distance[j]))
+                .sum();
+            if sum_reach == 0.0 {
+                MAX_DENSITY
+            } else {
+                (neighbours[i].len() as f64 / sum_reach).min(MAX_DENSITY)
+            }
+        })
+        .collect();
+
+    // LOF = average ratio of neighbour densities to own density.
+    let scores: Vec<f64> = (0..n)
+        .map(|i| {
+            let avg_neighbour_lrd: f64 = neighbours[i]
+                .iter()
+                .map(|&(j, _)| lrd[j])
+                .sum::<f64>()
+                / neighbours[i].len() as f64;
+            avg_neighbour_lrd / lrd[i]
+        })
+        .collect();
+
+    LofResult { scores, k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_cluster_members_score_near_one() {
+        let points: Vec<f64> = (0..30).map(|i| 1.0 + i as f64 * 0.01).collect();
+        let lof = local_outlier_factor(&points, 5);
+        for &s in &lof.scores {
+            assert!(s < 1.3, "inlier score too high: {s}");
+        }
+    }
+
+    #[test]
+    fn far_away_point_gets_high_score() {
+        let mut points: Vec<f64> = (0..30).map(|i| 1.0 + i as f64 * 0.01).collect();
+        points.push(100.0);
+        let lof = local_outlier_factor(&points, 5);
+        let outliers = lof.outliers(1.5);
+        assert_eq!(outliers, vec![30]);
+        assert!(lof.scores[30] > 5.0);
+    }
+
+    #[test]
+    fn tiny_inputs_are_all_inliers() {
+        let lof = local_outlier_factor(&[1.0, 2.0], 3);
+        assert_eq!(lof.scores, vec![1.0, 1.0]);
+        let lof = local_outlier_factor(&[], 3);
+        assert!(lof.scores.is_empty());
+    }
+
+    #[test]
+    fn identical_points_do_not_blow_up() {
+        let lof = local_outlier_factor(&[4.0; 20], 4);
+        assert!(lof.scores.iter().all(|&s| (s - 1.0).abs() < 1e-9));
+        assert!(lof.outliers(1.5).is_empty());
+    }
+
+    #[test]
+    fn k_is_clamped_to_population() {
+        let points = [1.0, 1.1, 0.9, 10.0];
+        let lof = local_outlier_factor(&points, 100);
+        assert_eq!(lof.k, 3);
+        assert_eq!(lof.scores.len(), 4);
+    }
+
+    #[test]
+    fn outlier_between_two_clusters_is_detected() {
+        let mut points: Vec<f64> = (0..15).map(|i| i as f64 * 0.05).collect();
+        points.extend((0..15).map(|i| 20.0 + i as f64 * 0.05));
+        points.push(10.0); // lonely point between the clusters
+        let lof = local_outlier_factor(&points, 5);
+        let outliers = lof.outliers(1.5);
+        assert!(outliers.contains(&30));
+    }
+}

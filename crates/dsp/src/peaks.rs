@@ -1,0 +1,266 @@
+//! Peak detection modelled on SciPy's `find_peaks`.
+//!
+//! FTIO uses peak detection twice: on the autocorrelation function to find
+//! period candidates (paper §II-C, with a height threshold of 0.15), and as an
+//! alternative outlier-detection strategy on the power spectrum.
+
+/// Configuration for [`find_peaks`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PeakConfig {
+    /// Minimum absolute height a sample must reach to qualify as a peak.
+    pub min_height: Option<f64>,
+    /// Minimum vertical distance to the immediate neighbouring samples
+    /// (SciPy's `threshold` parameter).
+    pub min_threshold: Option<f64>,
+    /// Minimum horizontal distance (in samples) between retained peaks.
+    /// Smaller peaks are removed first, as in SciPy.
+    pub min_distance: Option<usize>,
+    /// Minimum prominence: the height of the peak above the higher of the two
+    /// bases found by descending to the lowest point before a higher peak (or
+    /// the signal edge) on each side.
+    pub min_prominence: Option<f64>,
+}
+
+impl PeakConfig {
+    /// A configuration with only a minimum-height constraint (the common FTIO case).
+    pub fn with_height(height: f64) -> Self {
+        PeakConfig {
+            min_height: Some(height),
+            ..Default::default()
+        }
+    }
+}
+
+/// A detected peak.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Peak {
+    /// Sample index of the local maximum.
+    pub index: usize,
+    /// Signal value at the peak.
+    pub height: f64,
+    /// Topographic prominence of the peak.
+    pub prominence: f64,
+}
+
+/// Finds local maxima of `signal` subject to the constraints in `config`,
+/// returned in increasing index order.
+///
+/// A sample is a local maximum if it is strictly greater than its left
+/// neighbour and greater than or equal to its right neighbour; for plateaus
+/// the left-most plateau sample whose right edge eventually drops is used
+/// (plateau midpoints, as SciPy computes them, are not needed here).
+pub fn find_peaks(signal: &[f64], config: &PeakConfig) -> Vec<Peak> {
+    let n = signal.len();
+    if n < 3 {
+        return Vec::new();
+    }
+
+    // 1. Local maxima (with plateau handling: take the plateau's midpoint).
+    let mut candidates: Vec<usize> = Vec::new();
+    let mut i = 1;
+    while i < n - 1 {
+        if signal[i] > signal[i - 1] {
+            // Walk over a potential plateau.
+            let mut j = i;
+            while j + 1 < n && signal[j + 1] == signal[i] {
+                j += 1;
+            }
+            if j < n - 1 && signal[j + 1] < signal[i] {
+                candidates.push((i + j) / 2);
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+
+    // 2. Height filter.
+    if let Some(h) = config.min_height {
+        candidates.retain(|&idx| signal[idx] >= h);
+    }
+
+    // 3. Neighbour-threshold filter.
+    if let Some(t) = config.min_threshold {
+        candidates.retain(|&idx| {
+            let left = signal[idx] - signal[idx - 1];
+            let right = signal[idx] - signal[idx + 1];
+            left >= t && right >= t
+        });
+    }
+
+    // 4. Prominence filter (prominences always computed for the output).
+    let mut peaks: Vec<Peak> = candidates
+        .iter()
+        .map(|&idx| Peak {
+            index: idx,
+            height: signal[idx],
+            prominence: prominence(signal, idx),
+        })
+        .collect();
+    if let Some(p) = config.min_prominence {
+        peaks.retain(|peak| peak.prominence >= p);
+    }
+
+    // 5. Distance filter: greedily keep the highest peaks.
+    if let Some(d) = config.min_distance {
+        if d > 1 {
+            let mut order: Vec<usize> = (0..peaks.len()).collect();
+            order.sort_by(|&a, &b| {
+                peaks[b]
+                    .height
+                    .partial_cmp(&peaks[a].height)
+                    .expect("NaN peak height")
+            });
+            let mut keep = vec![true; peaks.len()];
+            for &oi in &order {
+                if !keep[oi] {
+                    continue;
+                }
+                for (oj, keep_j) in keep.iter_mut().enumerate() {
+                    if oj != oi
+                        && *keep_j
+                        && peaks[oj].index.abs_diff(peaks[oi].index) < d
+                        && peaks[oj].height <= peaks[oi].height
+                    {
+                        *keep_j = false;
+                    }
+                }
+            }
+            peaks = peaks
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(p, k)| if k { Some(p) } else { None })
+                .collect();
+        }
+    }
+
+    peaks
+}
+
+/// Convenience wrapper returning only the peak indices.
+pub fn find_peak_indices(signal: &[f64], config: &PeakConfig) -> Vec<usize> {
+    find_peaks(signal, config).into_iter().map(|p| p.index).collect()
+}
+
+/// Topographic prominence of the local maximum at `idx`.
+fn prominence(signal: &[f64], idx: usize) -> f64 {
+    let h = signal[idx];
+    // Walk left until a sample higher than h (or the boundary); the base is the
+    // minimum encountered. Same on the right. Prominence is h minus the higher base.
+    let mut left_base = h;
+    for i in (0..idx).rev() {
+        if signal[i] > h {
+            break;
+        }
+        left_base = left_base.min(signal[i]);
+    }
+    let mut right_base = h;
+    for &v in &signal[idx + 1..] {
+        if v > h {
+            break;
+        }
+        right_base = right_base.min(v);
+    }
+    h - left_base.max(right_base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_simple_peaks() {
+        let signal = [0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0];
+        let peaks = find_peak_indices(&signal, &PeakConfig::default());
+        assert_eq!(peaks, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn height_filter_removes_small_peaks() {
+        let signal = [0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0];
+        let peaks = find_peak_indices(&signal, &PeakConfig::with_height(1.5));
+        assert_eq!(peaks, vec![3, 5]);
+    }
+
+    #[test]
+    fn no_peaks_at_boundaries() {
+        let signal = [5.0, 1.0, 0.5, 0.2, 7.0];
+        let peaks = find_peak_indices(&signal, &PeakConfig::default());
+        assert!(peaks.is_empty());
+    }
+
+    #[test]
+    fn plateau_returns_midpoint() {
+        let signal = [0.0, 1.0, 2.0, 2.0, 2.0, 1.0, 0.0];
+        let peaks = find_peak_indices(&signal, &PeakConfig::default());
+        assert_eq!(peaks, vec![3]);
+    }
+
+    #[test]
+    fn threshold_filter_requires_sharp_peaks() {
+        // The peak at index 1 rises only 0.1 above its right neighbour.
+        let signal = [0.0, 1.0, 0.9, 0.0, 2.0, 0.0];
+        let cfg = PeakConfig {
+            min_threshold: Some(0.5),
+            ..Default::default()
+        };
+        let peaks = find_peak_indices(&signal, &cfg);
+        assert_eq!(peaks, vec![4]);
+    }
+
+    #[test]
+    fn distance_filter_keeps_highest() {
+        let signal = [0.0, 1.0, 0.5, 2.0, 0.5, 1.5, 0.0];
+        let cfg = PeakConfig {
+            min_distance: Some(3),
+            ..Default::default()
+        };
+        let peaks = find_peak_indices(&signal, &cfg);
+        // Peak at 3 (height 2.0) wins over neighbours at 1 and 5.
+        assert_eq!(peaks, vec![3]);
+    }
+
+    #[test]
+    fn prominence_of_isolated_peak_equals_height_above_floor() {
+        let signal = [0.0, 0.0, 5.0, 0.0, 0.0];
+        let peaks = find_peaks(&signal, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1);
+        assert!((peaks[0].prominence - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prominence_filter_drops_shoulder_peaks() {
+        // Small bump riding on the side of a big peak has low prominence.
+        let signal = [0.0, 1.0, 4.0, 3.9, 4.05, 0.5, 0.0];
+        let cfg = PeakConfig {
+            min_prominence: Some(1.0),
+            ..Default::default()
+        };
+        let peaks = find_peak_indices(&signal, &cfg);
+        assert_eq!(peaks, vec![4]);
+        let all = find_peaks(&signal, &PeakConfig::default());
+        assert_eq!(all.len(), 2);
+        assert!(all[0].prominence < 0.2);
+    }
+
+    #[test]
+    fn short_signals_have_no_peaks() {
+        assert!(find_peaks(&[], &PeakConfig::default()).is_empty());
+        assert!(find_peaks(&[1.0], &PeakConfig::default()).is_empty());
+        assert!(find_peaks(&[1.0, 2.0], &PeakConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn periodic_signal_peak_spacing_matches_period() {
+        let period = 20usize;
+        let n = 200;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / period as f64).cos())
+            .collect();
+        let peaks = find_peak_indices(&signal, &PeakConfig::with_height(0.5));
+        assert!(peaks.len() >= 8);
+        for pair in peaks.windows(2) {
+            assert_eq!(pair[1] - pair[0], period);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Window (taper) functions.
+//!
+//! FTIO's default analysis uses a rectangular window (it transforms the raw
+//! bandwidth samples), but windowing is the standard countermeasure against
+//! spectral leakage when the observation interval does not contain an integer
+//! number of periods, so the common tapers are provided for the ablation
+//! benchmarks and for downstream users of the DSP crate.
+
+/// Supported window shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowKind {
+    /// No taper (all ones).
+    Rectangular,
+    /// Hann window `0.5 - 0.5 cos(2πn/(N-1))`.
+    Hann,
+    /// Hamming window `0.54 - 0.46 cos(2πn/(N-1))`.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+    /// Triangular (Bartlett) window.
+    Bartlett,
+}
+
+impl WindowKind {
+    /// Generates the window coefficients for a window of length `n`.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / m;
+                match self {
+                    WindowKind::Rectangular => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (2.0 * std::f64::consts::PI * x).cos()
+                            + 0.08 * (4.0 * std::f64::consts::PI * x).cos()
+                    }
+                    WindowKind::Bartlett => 1.0 - (2.0 * x - 1.0).abs(),
+                }
+            })
+            .collect()
+    }
+
+    /// Applies the window to `signal`, returning the tapered copy.
+    pub fn apply(self, signal: &[f64]) -> Vec<f64> {
+        let coeffs = self.coefficients(signal.len());
+        signal.iter().zip(coeffs).map(|(x, w)| x * w).collect()
+    }
+
+    /// Coherent gain of the window (mean of its coefficients), used to rescale
+    /// amplitudes measured through a taper.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let coeffs = self.coefficients(n);
+        if coeffs.is_empty() {
+            return 0.0;
+        }
+        coeffs.iter().sum::<f64>() / coeffs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        let w = WindowKind::Rectangular.coefficients(16);
+        assert!(w.iter().all(|&x| x == 1.0));
+        assert_eq!(WindowKind::Rectangular.coherent_gain(16), 1.0);
+    }
+
+    #[test]
+    fn hann_starts_and_ends_at_zero() {
+        let w = WindowKind::Hann.coefficients(64);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[63].abs() < 1e-12);
+        assert!((w[31] - 1.0).abs() < 0.01 || (w[32] - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for kind in [
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+            WindowKind::Bartlett,
+        ] {
+            let w = kind.coefficients(33);
+            for i in 0..w.len() {
+                assert!(
+                    (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                    "{kind:?} not symmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coefficients_are_in_unit_range() {
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+            WindowKind::Bartlett,
+        ] {
+            for &x in &kind.coefficients(100) {
+                assert!((-1e-12..=1.0 + 1e-12).contains(&x), "{kind:?}: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_scales_the_signal() {
+        let signal = vec![2.0; 8];
+        let tapered = WindowKind::Hann.apply(&signal);
+        assert_eq!(tapered.len(), 8);
+        assert!(tapered[0].abs() < 1e-12);
+        assert!(tapered[4] > 1.5);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(WindowKind::Hann.coefficients(0).is_empty());
+        assert_eq!(WindowKind::Hann.coefficients(1), vec![1.0]);
+        assert_eq!(WindowKind::Blackman.coherent_gain(0), 0.0);
+    }
+
+    #[test]
+    fn hamming_coherent_gain_near_054() {
+        let g = WindowKind::Hamming.coherent_gain(1000);
+        assert!((g - 0.54).abs() < 0.01);
+    }
+}

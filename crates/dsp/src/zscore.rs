@@ -1,0 +1,183 @@
+//! Z-score based outlier detection (paper §II-B2, Eq. (2)).
+//!
+//! The Z-score of a value tells how many standard deviations it lies from the
+//! mean of all values; a score above 3 conventionally flags an outlier. FTIO
+//! applies it to the power spectrum to decide whether the highest-power
+//! frequency is genuinely dominant or merely the largest among equals.
+
+use crate::stats::{mean, std_dev, weighted_mean};
+
+/// Z-scores `z_k = (|x_k| - |x̄|) / σ` for each element (population σ).
+///
+/// Returns an all-zero vector when the standard deviation is zero (constant
+/// input), which correctly reports "no outliers".
+pub fn z_scores(data: &[f64]) -> Vec<f64> {
+    let abs: Vec<f64> = data.iter().map(|x| x.abs()).collect();
+    let m = mean(&abs);
+    let sd = std_dev(&abs);
+    if sd == 0.0 {
+        return vec![0.0; data.len()];
+    }
+    abs.iter().map(|x| (x - m) / sd).collect()
+}
+
+/// Z-scores computed against a weighted mean (used on autocorrelation period
+/// candidates, where the ACF peak heights act as weights, paper §II-C).
+///
+/// The deviation is still divided by the unweighted standard deviation, which
+/// matches the reference implementation's behaviour.
+///
+/// # Panics
+///
+/// Panics if `data` and `weights` differ in length.
+pub fn weighted_z_scores(data: &[f64], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(data.len(), weights.len(), "data and weights must match");
+    let abs: Vec<f64> = data.iter().map(|x| x.abs()).collect();
+    let m = weighted_mean(&abs, weights);
+    let sd = std_dev(&abs);
+    if sd == 0.0 {
+        return vec![0.0; data.len()];
+    }
+    abs.iter().map(|x| (x - m) / sd).collect()
+}
+
+/// Indices whose Z-score is at least `threshold` (3.0 in the paper).
+pub fn outlier_indices(data: &[f64], threshold: f64) -> Vec<usize> {
+    z_scores(data)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, z)| if z >= threshold { Some(i) } else { None })
+        .collect()
+}
+
+/// Indices whose Z-score magnitude is at least `threshold`, catching both
+/// unusually large and unusually small values.
+pub fn outlier_indices_two_sided(data: &[f64], threshold: f64) -> Vec<usize> {
+    z_scores(data)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, z)| if z.abs() >= threshold { Some(i) } else { None })
+        .collect()
+}
+
+/// Removes elements whose Z-score magnitude exceeds `threshold`, returning the
+/// retained values (used to filter period candidates from the ACF).
+pub fn filter_outliers(data: &[f64], threshold: f64) -> Vec<f64> {
+    let scores = z_scores(data);
+    data.iter()
+        .zip(scores)
+        .filter_map(|(&x, z)| if z.abs() < threshold { Some(x) } else { None })
+        .collect()
+}
+
+/// Removes elements whose weighted Z-score magnitude exceeds `threshold`.
+pub fn filter_outliers_weighted(data: &[f64], weights: &[f64], threshold: f64) -> Vec<f64> {
+    let scores = weighted_z_scores(data, weights);
+    data.iter()
+        .zip(scores)
+        .filter_map(|(&x, z)| if z.abs() < threshold { Some(x) } else { None })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_data_has_zero_scores() {
+        let scores = z_scores(&[5.0; 10]);
+        assert!(scores.iter().all(|&z| z == 0.0));
+        assert!(outlier_indices(&[5.0; 10], 3.0).is_empty());
+    }
+
+    #[test]
+    fn single_spike_is_an_outlier() {
+        let mut data = vec![1.0; 40];
+        data[17] = 100.0;
+        let idx = outlier_indices(&data, 3.0);
+        assert_eq!(idx, vec![17]);
+        let scores = z_scores(&data);
+        assert!(scores[17] > 3.0);
+        assert!(scores[0] < 0.0);
+    }
+
+    #[test]
+    fn scores_use_absolute_values() {
+        // A strongly negative value counts through its magnitude (Eq. 2 uses |p_k|).
+        let mut data = vec![1.0; 40];
+        data[5] = -100.0;
+        let idx = outlier_indices(&data, 3.0);
+        assert_eq!(idx, vec![5]);
+    }
+
+    #[test]
+    fn two_similar_spikes_are_both_outliers() {
+        let mut data = vec![0.5; 60];
+        data[10] = 50.0;
+        data[40] = 52.0;
+        let idx = outlier_indices(&data, 3.0);
+        assert_eq!(idx, vec![10, 40]);
+    }
+
+    #[test]
+    fn uniform_data_with_no_structure_has_no_outliers() {
+        let data: Vec<f64> = (0..50).map(|i| (i % 5) as f64).collect();
+        assert!(outlier_indices(&data, 3.0).is_empty());
+    }
+
+    #[test]
+    fn filter_outliers_removes_the_spike() {
+        let mut data = vec![2.0; 30];
+        data[3] = 500.0;
+        let kept = filter_outliers(&data, 3.0);
+        assert_eq!(kept.len(), 29);
+        assert!(kept.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn two_sided_detection_catches_low_outliers() {
+        // With |x| used, a "low outlier" means an unusually small magnitude.
+        let mut data = vec![10.0; 50];
+        data[7] = 0.0;
+        let one_sided = outlier_indices(&data, 3.0);
+        assert!(one_sided.is_empty());
+        let two_sided = outlier_indices_two_sided(&data, 3.0);
+        assert_eq!(two_sided, vec![7]);
+    }
+
+    #[test]
+    fn weighted_scores_shift_with_weights() {
+        let data = [1.0, 1.0, 1.0, 10.0];
+        let w_uniform = [1.0, 1.0, 1.0, 1.0];
+        let w_biased = [0.0, 0.0, 0.0, 1.0];
+        let zu = weighted_z_scores(&data, &w_uniform);
+        let zb = weighted_z_scores(&data, &w_biased);
+        // With all the weight on the spike the mean moves to 10, so the spike's
+        // score drops to zero and the small values become negative outliers.
+        assert!(zu[3] > zb[3]);
+        assert!((zb[3] - 0.0).abs() < 1e-12);
+        assert!(zb[0] < 0.0);
+    }
+
+    #[test]
+    fn weighted_filtering_respects_acf_style_weights() {
+        let periods = [10.0, 10.2, 9.8, 10.1, 30.0];
+        let weights = [1.0, 0.9, 0.8, 0.85, 0.1];
+        let kept = filter_outliers_weighted(&periods, &weights, 1.5);
+        assert!(kept.contains(&10.0));
+        assert!(!kept.contains(&30.0));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(z_scores(&[]).is_empty());
+        assert!(outlier_indices(&[], 3.0).is_empty());
+        assert!(filter_outliers(&[], 3.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn weighted_scores_length_mismatch_panics() {
+        weighted_z_scores(&[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,241 @@
+//! The Set-10 scheduling experiment (paper §IV, Fig. 17).
+//!
+//! Four configurations are compared on the same 16-job workload (one
+//! high-frequency and fifteen low-frequency IOR-like applications):
+//!
+//! * `Set-10 + clairv.` — the scheduler receives the ideal isolated periods;
+//! * `Set-10 + FTIO` — the scheduler uses FTIO's most recent online prediction;
+//! * `Set-10 + error` — FTIO's predictions are perturbed by ±50 %;
+//! * `Original` — no scheduling (plain fair sharing of the file system).
+//!
+//! Each configuration is executed `repetitions` times with different
+//! start-time jitter, and stretch / I/O slowdown / utilisation are reported
+//! per execution, mirroring the box plots of Fig. 17.
+
+use ftio_core::FtioConfig;
+use ftio_sim::{
+    set10_true_periods, set10_workload, FairSharePolicy, FileSystem, Set10WorkloadConfig,
+    SimulationResult, Simulator,
+};
+
+use crate::metrics::{AggregatedMetrics, ExecutionMetrics};
+use crate::set10::{PeriodSource, Set10Policy};
+
+/// The four configurations of Fig. 17.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerVariant {
+    /// Set-10 with the true periods provided in advance.
+    Clairvoyant,
+    /// Set-10 fed by FTIO's online predictions.
+    Ftio,
+    /// Set-10 fed by FTIO predictions perturbed by ±50 %.
+    FtioWithError,
+    /// No scheduling: the unmanaged file system (fair sharing).
+    Original,
+}
+
+impl SchedulerVariant {
+    /// The label used in reports, matching the paper's figure legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerVariant::Clairvoyant => "Set-10 + clairv.",
+            SchedulerVariant::Ftio => "Set-10 + FTIO",
+            SchedulerVariant::FtioWithError => "Set-10 + error",
+            SchedulerVariant::Original => "Original",
+        }
+    }
+
+    /// All four variants in the order the paper presents them.
+    pub fn all() -> [SchedulerVariant; 4] {
+        [
+            SchedulerVariant::Clairvoyant,
+            SchedulerVariant::Ftio,
+            SchedulerVariant::FtioWithError,
+            SchedulerVariant::Original,
+        ]
+    }
+}
+
+/// Configuration of the whole experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Workload parameters (periods, job counts, I/O fraction).
+    pub workload: Set10WorkloadConfig,
+    /// Shared file-system bandwidth, bytes/second.
+    pub filesystem_bandwidth: f64,
+    /// Number of repetitions per configuration (10 in the paper).
+    pub repetitions: usize,
+    /// FTIO configuration used by the FTIO-fed variants.
+    pub ftio_config: FtioConfig,
+    /// Base seed; repetition `r` uses `base_seed + r`.
+    pub base_seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            workload: Set10WorkloadConfig::default(),
+            // The workload is designed to contend: 16 jobs × 2 GB/s isolated
+            // bandwidth against a 4 GB/s file system.
+            filesystem_bandwidth: 4.0e9,
+            repetitions: 10,
+            ftio_config: FtioConfig {
+                sampling_freq: 1.0,
+                use_autocorrelation: false,
+                ..Default::default()
+            },
+            base_seed: 0x5E7_10,
+        }
+    }
+}
+
+/// Runs one execution of one variant and returns the raw simulation result.
+pub fn run_once(config: &ExperimentConfig, variant: SchedulerVariant, seed: u64) -> SimulationResult {
+    let jobs = set10_workload(&config.workload, seed);
+    let fs = FileSystem::with_bandwidth(config.filesystem_bandwidth);
+    match variant {
+        SchedulerVariant::Original => {
+            let mut policy = FairSharePolicy;
+            Simulator::new(fs, jobs, &mut policy).run()
+        }
+        SchedulerVariant::Clairvoyant => {
+            let mut policy = Set10Policy::new(
+                jobs.len(),
+                PeriodSource::Clairvoyant(set10_true_periods(&config.workload)),
+            );
+            Simulator::new(fs, jobs, &mut policy).run()
+        }
+        SchedulerVariant::Ftio => {
+            let mut policy = Set10Policy::new(
+                jobs.len(),
+                PeriodSource::Ftio {
+                    config: config.ftio_config,
+                },
+            );
+            Simulator::new(fs, jobs, &mut policy).run()
+        }
+        SchedulerVariant::FtioWithError => {
+            let mut policy = Set10Policy::new(
+                jobs.len(),
+                PeriodSource::FtioWithError {
+                    config: config.ftio_config,
+                    error: 0.5,
+                    seed,
+                },
+            );
+            Simulator::new(fs, jobs, &mut policy).run()
+        }
+    }
+}
+
+/// Runs all repetitions of one variant.
+pub fn run_variant(config: &ExperimentConfig, variant: SchedulerVariant) -> AggregatedMetrics {
+    let executions: Vec<ExecutionMetrics> = (0..config.repetitions)
+        .map(|r| {
+            let result = run_once(config, variant, config.base_seed + r as u64);
+            ExecutionMetrics::from_simulation(&result)
+        })
+        .collect();
+    AggregatedMetrics::new(variant.label(), executions)
+}
+
+/// Runs the full Fig. 17 experiment: all four variants.
+pub fn run_experiment(config: &ExperimentConfig) -> Vec<AggregatedMetrics> {
+    SchedulerVariant::all()
+        .into_iter()
+        .map(|variant| run_variant(config, variant))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced experiment configuration so the tests stay fast: fewer
+    /// low-frequency jobs and iterations, fewer repetitions.
+    fn small_config() -> ExperimentConfig {
+        ExperimentConfig {
+            workload: Set10WorkloadConfig {
+                low_freq_jobs: 7,
+                low_freq_iterations: 3,
+                ..Default::default()
+            },
+            filesystem_bandwidth: 4.0e9,
+            repetitions: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn original_configuration_suffers_more_io_slowdown_than_set10() {
+        let config = small_config();
+        let original = run_variant(&config, SchedulerVariant::Original);
+        let clairvoyant = run_variant(&config, SchedulerVariant::Clairvoyant);
+        assert!(
+            original.mean_io_slowdown() > clairvoyant.mean_io_slowdown(),
+            "original {} vs clairvoyant {}",
+            original.mean_io_slowdown(),
+            clairvoyant.mean_io_slowdown()
+        );
+        assert!(
+            original.mean_utilization() <= clairvoyant.mean_utilization() + 1e-9,
+            "original {} vs clairvoyant {}",
+            original.mean_utilization(),
+            clairvoyant.mean_utilization()
+        );
+    }
+
+    #[test]
+    fn ftio_fed_set10_is_close_to_clairvoyant() {
+        let config = small_config();
+        let clairvoyant = run_variant(&config, SchedulerVariant::Clairvoyant);
+        let ftio = run_variant(&config, SchedulerVariant::Ftio);
+        // "Close" in the paper means within a few percent for stretch and
+        // utilisation; allow a modest band here.
+        let stretch_gap = (ftio.mean_stretch() - clairvoyant.mean_stretch()).abs()
+            / clairvoyant.mean_stretch();
+        assert!(stretch_gap < 0.15, "stretch gap {stretch_gap}");
+        let util_gap =
+            (ftio.mean_utilization() - clairvoyant.mean_utilization()).abs() / clairvoyant.mean_utilization();
+        assert!(util_gap < 0.15, "utilization gap {util_gap}");
+    }
+
+    #[test]
+    fn run_once_produces_all_jobs() {
+        let config = small_config();
+        let result = run_once(&config, SchedulerVariant::Ftio, 1);
+        assert_eq!(result.jobs.len(), 8);
+        assert!(result.jobs.iter().all(|j| j.completion_time > 0.0));
+        assert!(result.jobs.iter().all(|j| !j.trace.is_empty()));
+    }
+
+    #[test]
+    fn variant_labels_match_the_figure_legend() {
+        assert_eq!(SchedulerVariant::Clairvoyant.label(), "Set-10 + clairv.");
+        assert_eq!(SchedulerVariant::Ftio.label(), "Set-10 + FTIO");
+        assert_eq!(SchedulerVariant::FtioWithError.label(), "Set-10 + error");
+        assert_eq!(SchedulerVariant::Original.label(), "Original");
+        assert_eq!(SchedulerVariant::all().len(), 4);
+    }
+
+    #[test]
+    fn full_experiment_returns_all_variants() {
+        let config = ExperimentConfig {
+            repetitions: 1,
+            workload: Set10WorkloadConfig {
+                low_freq_jobs: 3,
+                low_freq_iterations: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let results = run_experiment(&config);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].executions.len(), 1);
+        let labels: Vec<&str> = results.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["Set-10 + clairv.", "Set-10 + FTIO", "Set-10 + error", "Original"]
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! # ftio-sched
+//!
+//! The Set-10 I/O scheduling heuristic coupled with FTIO, plus the metrics and
+//! the experiment harness behind the paper's use-case study (§IV, Fig. 17).
+//!
+//! Set-10 mitigates file-system contention by grouping jobs according to the
+//! order of magnitude of their I/O period: small-period groups receive most of
+//! the bandwidth, and inside a group only one job accesses the file system at
+//! a time. The period can be supplied in advance (clairvoyant), predicted
+//! online by FTIO, or deliberately corrupted (error injection) — the
+//! comparison of those variants against an unmanaged file system is what
+//! Fig. 17 reports.
+//!
+//! * [`set10`] — the [`set10::Set10Policy`] arbitration policy and its period
+//!   sources;
+//! * [`metrics`] — stretch, I/O slowdown and utilisation;
+//! * [`experiment`] — the full four-variant experiment.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ftio_sched::experiment::{run_once, ExperimentConfig, SchedulerVariant};
+//! use ftio_sched::metrics::ExecutionMetrics;
+//! use ftio_sim::Set10WorkloadConfig;
+//!
+//! let config = ExperimentConfig {
+//!     workload: Set10WorkloadConfig {
+//!         low_freq_jobs: 3,
+//!         low_freq_iterations: 2,
+//!         ..Default::default()
+//!     },
+//!     repetitions: 1,
+//!     ..Default::default()
+//! };
+//! let managed = run_once(&config, SchedulerVariant::Clairvoyant, 0);
+//! let unmanaged = run_once(&config, SchedulerVariant::Original, 0);
+//! let managed_metrics = ExecutionMetrics::from_simulation(&managed);
+//! let unmanaged_metrics = ExecutionMetrics::from_simulation(&unmanaged);
+//! assert!(managed_metrics.io_slowdown <= unmanaged_metrics.io_slowdown + 1e-9);
+//! ```
+
+pub mod experiment;
+pub mod metrics;
+pub mod set10;
+
+pub use experiment::{run_experiment, run_once, run_variant, ExperimentConfig, SchedulerVariant};
+pub use metrics::{relative_increase, relative_reduction, AggregatedMetrics, ExecutionMetrics};
+pub use set10::{PeriodSource, Set10Policy};
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use ftio_sim::{CompletedPhase, IoDemand, IoPolicy};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Set-10 weights: at most one job per set receives bandwidth, weights
+        /// are non-negative, and smaller-period sets get strictly larger weights.
+        #[test]
+        fn set10_arbitration_invariants(
+            periods in prop::collection::vec(1.0f64..5000.0, 1..10),
+            starts in prop::collection::vec(0.0f64..100.0, 1..10),
+        ) {
+            let n = periods.len().min(starts.len());
+            let periods = &periods[..n];
+            let starts = &starts[..n];
+            let mut policy = Set10Policy::new(n, PeriodSource::Clairvoyant(periods.to_vec()));
+            let demands: Vec<IoDemand> = (0..n)
+                .map(|i| IoDemand {
+                    job: i,
+                    remaining_bytes: 1.0e9,
+                    phase_start: starts[i],
+                    iteration: 0,
+                })
+                .collect();
+            let weights = policy.arbitrate(200.0, &demands);
+            prop_assert_eq!(weights.len(), n);
+            // Group by set and check exclusivity within a set.
+            let mut per_set: std::collections::HashMap<i32, usize> = std::collections::HashMap::new();
+            for (i, &w) in weights.iter().enumerate() {
+                prop_assert!(w >= 0.0);
+                if w > 0.0 {
+                    let set = Set10Policy::set_index(periods[i]);
+                    *per_set.entry(set).or_insert(0) += 1;
+                    prop_assert!((w - Set10Policy::set_weight(set)).abs() < 1e-12);
+                }
+            }
+            for (&_set, &count) in &per_set {
+                prop_assert_eq!(count, 1);
+            }
+            // Every set with at least one demand has exactly one transferring job.
+            let distinct_sets: std::collections::HashSet<i32> =
+                periods.iter().map(|&p| Set10Policy::set_index(p)).collect();
+            prop_assert_eq!(per_set.len(), distinct_sets.len());
+        }
+
+        /// Feeding arbitrary (increasing) phase completions never breaks the
+        /// period estimate: it stays positive and finite.
+        #[test]
+        fn period_estimates_stay_sane(
+            gaps in prop::collection::vec(1.0f64..200.0, 2..12),
+        ) {
+            let mut policy = Set10Policy::new(1, PeriodSource::Ftio {
+                config: ftio_core::FtioConfig {
+                    sampling_freq: 1.0,
+                    use_autocorrelation: false,
+                    ..Default::default()
+                },
+            });
+            let mut t = 0.0;
+            for (i, gap) in gaps.iter().enumerate() {
+                policy.on_phase_complete(&CompletedPhase {
+                    job: 0,
+                    iteration: i,
+                    phase_start: t,
+                    phase_end: t + 0.5,
+                    bytes: 1.0e9,
+                });
+                t += gap;
+            }
+            let period = policy.period_of(0);
+            prop_assert!(period.is_finite());
+            prop_assert!(period > 0.0);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Evaluation metrics of the scheduling experiments (paper §IV, Fig. 17).
+//!
+//! * **Stretch** — how much slower a job ran compared to running in isolation;
+//!   aggregated over the jobs of one execution with the geometric mean.
+//! * **I/O slowdown** — how much slower the job's I/O was compared to
+//!   isolation; also aggregated with the geometric mean.
+//! * **Utilisation** — the fraction of occupied node time spent computing
+//!   rather than doing (or waiting for) I/O.
+
+use ftio_dsp::stats::{geometric_mean, BoxStats};
+use ftio_sim::SimulationResult;
+
+/// The three metrics of one simulated execution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecutionMetrics {
+    /// Geometric mean of the per-job stretches.
+    pub stretch: f64,
+    /// Geometric mean of the per-job I/O slowdowns.
+    pub io_slowdown: f64,
+    /// System utilisation in `[0, 1]`.
+    pub utilization: f64,
+}
+
+impl ExecutionMetrics {
+    /// Computes the metrics of one simulation result.
+    pub fn from_simulation(result: &SimulationResult) -> Self {
+        let stretches: Vec<f64> = result.jobs.iter().map(|j| j.stretch()).collect();
+        let slowdowns: Vec<f64> = result.jobs.iter().map(|j| j.io_slowdown()).collect();
+        ExecutionMetrics {
+            stretch: geometric_mean(&stretches),
+            io_slowdown: geometric_mean(&slowdowns),
+            utilization: result.utilization(),
+        }
+    }
+}
+
+/// Aggregated metrics over the repetitions of one configuration (one box of
+/// Fig. 17 per metric).
+#[derive(Clone, Debug)]
+pub struct AggregatedMetrics {
+    /// Name of the configuration ("Set-10 + clairv.", "Set-10 + FTIO", ...).
+    pub label: String,
+    /// Per-execution metrics.
+    pub executions: Vec<ExecutionMetrics>,
+}
+
+impl AggregatedMetrics {
+    /// Creates the aggregate from per-execution metrics.
+    pub fn new(label: &str, executions: Vec<ExecutionMetrics>) -> Self {
+        AggregatedMetrics {
+            label: label.to_string(),
+            executions,
+        }
+    }
+
+    /// Mean stretch over the executions.
+    pub fn mean_stretch(&self) -> f64 {
+        mean(self.executions.iter().map(|e| e.stretch))
+    }
+
+    /// Mean I/O slowdown over the executions.
+    pub fn mean_io_slowdown(&self) -> f64 {
+        mean(self.executions.iter().map(|e| e.io_slowdown))
+    }
+
+    /// Mean utilisation over the executions.
+    pub fn mean_utilization(&self) -> f64 {
+        mean(self.executions.iter().map(|e| e.utilization))
+    }
+
+    /// Box-plot summary of the stretch values.
+    pub fn stretch_box(&self) -> BoxStats {
+        BoxStats::from(&self.executions.iter().map(|e| e.stretch).collect::<Vec<_>>())
+    }
+
+    /// Box-plot summary of the I/O-slowdown values.
+    pub fn io_slowdown_box(&self) -> BoxStats {
+        BoxStats::from(&self.executions.iter().map(|e| e.io_slowdown).collect::<Vec<_>>())
+    }
+
+    /// Box-plot summary of the utilisation values.
+    pub fn utilization_box(&self) -> BoxStats {
+        BoxStats::from(&self.executions.iter().map(|e| e.utilization).collect::<Vec<_>>())
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let collected: Vec<f64> = values.collect();
+    if collected.is_empty() {
+        0.0
+    } else {
+        collected.iter().sum::<f64>() / collected.len() as f64
+    }
+}
+
+/// Relative improvement of `better` over `baseline` for a lower-is-better
+/// metric, as a fraction (0.56 = 56 % lower).
+pub fn relative_reduction(baseline: f64, better: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (baseline - better) / baseline
+    }
+}
+
+/// Relative increase of `better` over `baseline` for a higher-is-better
+/// metric, as a fraction (0.26 = 26 % higher).
+pub fn relative_increase(baseline: f64, better: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (better - baseline) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftio_sim::{FairSharePolicy, FileSystem, JobSpec, Simulator};
+
+    fn run_two_jobs() -> SimulationResult {
+        let jobs = vec![
+            JobSpec::periodic("a", 8, 1, 20.0, 0.4, 4, 1.0e9),
+            JobSpec::periodic("b", 8, 1, 20.0, 0.4, 4, 1.0e9),
+        ];
+        let mut policy = FairSharePolicy;
+        Simulator::new(FileSystem::with_bandwidth(1.0e9), jobs, &mut policy).run()
+    }
+
+    #[test]
+    fn execution_metrics_reflect_contention() {
+        let result = run_two_jobs();
+        let metrics = ExecutionMetrics::from_simulation(&result);
+        assert!(metrics.stretch > 1.0);
+        assert!(metrics.io_slowdown > 1.5);
+        assert!(metrics.utilization > 0.0 && metrics.utilization < 1.0);
+    }
+
+    #[test]
+    fn aggregation_and_boxes() {
+        let executions = vec![
+            ExecutionMetrics {
+                stretch: 1.1,
+                io_slowdown: 2.0,
+                utilization: 0.8,
+            },
+            ExecutionMetrics {
+                stretch: 1.3,
+                io_slowdown: 3.0,
+                utilization: 0.7,
+            },
+            ExecutionMetrics {
+                stretch: 1.2,
+                io_slowdown: 2.5,
+                utilization: 0.75,
+            },
+        ];
+        let agg = AggregatedMetrics::new("test", executions);
+        assert!((agg.mean_stretch() - 1.2).abs() < 1e-12);
+        assert!((agg.mean_io_slowdown() - 2.5).abs() < 1e-12);
+        assert!((agg.mean_utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(agg.stretch_box().median, 1.2);
+        assert_eq!(agg.io_slowdown_box().max, 3.0);
+        assert_eq!(agg.utilization_box().min, 0.7);
+        assert_eq!(agg.label, "test");
+    }
+
+    #[test]
+    fn empty_aggregate_is_zero() {
+        let agg = AggregatedMetrics::new("empty", Vec::new());
+        assert_eq!(agg.mean_stretch(), 0.0);
+        assert_eq!(agg.mean_io_slowdown(), 0.0);
+        assert_eq!(agg.mean_utilization(), 0.0);
+    }
+
+    #[test]
+    fn relative_changes() {
+        assert!((relative_reduction(2.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!((relative_increase(0.5, 0.63) - 0.26).abs() < 1e-12);
+        assert_eq!(relative_reduction(0.0, 1.0), 0.0);
+        assert_eq!(relative_increase(0.0, 1.0), 0.0);
+    }
+}

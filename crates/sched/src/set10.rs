@@ -1,0 +1,349 @@
+//! The Set-10 I/O scheduling heuristic (paper §IV, after Boito et al.'s
+//! IO-Sets), coupled with FTIO.
+//!
+//! Set-10 groups jobs into *sets* by the order of magnitude (powers of ten) of
+//! their I/O period. Sets with smaller periods receive higher priority and
+//! therefore most of the bandwidth; jobs inside the same set access the file
+//! system one at a time (mutually exclusive), while jobs from different sets
+//! may share it according to the set priorities.
+//!
+//! The period each job is grouped by can come from three sources, matching the
+//! four configurations of Fig. 17 (the fourth being "no scheduling at all"):
+//!
+//! * **Clairvoyant** — the ideal isolated periods are known in advance;
+//! * **FTIO** — the period is predicted at runtime by FTIO from the phases the
+//!   job has completed so far (the most recent prediction is used);
+//! * **Error-injected** — the FTIO prediction is randomly increased or
+//!   decreased by 50 % before being handed to Set-10.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ftio_core::{FtioConfig, OnlinePredictor, WindowStrategy};
+use ftio_sim::{CompletedPhase, IoDemand, IoPolicy};
+use ftio_trace::IoRequest;
+
+/// Where the per-job period estimates come from.
+pub enum PeriodSource {
+    /// The true isolated periods, provided up front (one per job).
+    Clairvoyant(Vec<f64>),
+    /// Periods predicted online by FTIO from each job's completed phases.
+    Ftio {
+        /// FTIO configuration used for the per-job predictors.
+        config: FtioConfig,
+    },
+    /// FTIO predictions perturbed by ±`error` (0.5 in the paper) at every update.
+    FtioWithError {
+        /// FTIO configuration used for the per-job predictors.
+        config: FtioConfig,
+        /// Relative error magnitude (0.5 = ±50 %).
+        error: f64,
+        /// RNG seed for the perturbation.
+        seed: u64,
+    },
+}
+
+struct JobPeriodState {
+    predictor: Option<OnlinePredictor>,
+    phase_starts: Vec<f64>,
+    estimate: Option<f64>,
+}
+
+/// The Set-10 bandwidth-arbitration policy.
+pub struct Set10Policy {
+    source: PeriodSource,
+    jobs: Vec<JobPeriodState>,
+    rng: StdRng,
+    /// Fallback period used before anything is known about a job, seconds.
+    fallback_period: f64,
+    name: String,
+}
+
+impl Set10Policy {
+    /// Creates the policy for `num_jobs` jobs with the given period source.
+    pub fn new(num_jobs: usize, source: PeriodSource) -> Self {
+        let name = match &source {
+            PeriodSource::Clairvoyant(_) => "set10-clairvoyant",
+            PeriodSource::Ftio { .. } => "set10-ftio",
+            PeriodSource::FtioWithError { .. } => "set10-error",
+        }
+        .to_string();
+        let seed = match &source {
+            PeriodSource::FtioWithError { seed, .. } => *seed,
+            _ => 0,
+        };
+        let jobs = (0..num_jobs)
+            .map(|_| {
+                let predictor = match &source {
+                    PeriodSource::Clairvoyant(_) => None,
+                    PeriodSource::Ftio { config } | PeriodSource::FtioWithError { config, .. } => {
+                        Some(OnlinePredictor::new(*config, WindowStrategy::Adaptive { multiple: 3 }))
+                    }
+                };
+                JobPeriodState {
+                    predictor,
+                    phase_starts: Vec::new(),
+                    estimate: None,
+                }
+            })
+            .collect();
+        Set10Policy {
+            source,
+            jobs,
+            rng: StdRng::seed_from_u64(seed ^ 0x5E710),
+            fallback_period: 100.0,
+            name,
+        }
+    }
+
+    /// The period currently attributed to `job`.
+    pub fn period_of(&self, job: usize) -> f64 {
+        match &self.source {
+            PeriodSource::Clairvoyant(periods) => {
+                periods.get(job).copied().unwrap_or(self.fallback_period)
+            }
+            _ => self.jobs[job].estimate.unwrap_or(self.fallback_period),
+        }
+    }
+
+    /// The Set-10 set index of a period: `floor(log10(period))`.
+    pub fn set_index(period: f64) -> i32 {
+        if period <= 0.0 || !period.is_finite() {
+            return 6; // effectively the lowest priority
+        }
+        period.log10().floor() as i32
+    }
+
+    /// The priority weight of a set: `10^(-set_index)`, so jobs with periods
+    /// in the tens of seconds outrank jobs with periods in the hundreds.
+    pub fn set_weight(set_index: i32) -> f64 {
+        10f64.powi(-set_index)
+    }
+
+    fn update_estimate(&mut self, phase: &CompletedPhase) {
+        let state = &mut self.jobs[phase.job];
+        state.phase_starts.push(phase.phase_start);
+
+        let raw_estimate = if let Some(predictor) = state.predictor.as_mut() {
+            // Feed the completed phase as one request and re-run the prediction,
+            // exactly like the online mode triggered at every flush point.
+            predictor.ingest(std::iter::once(IoRequest::write(
+                0,
+                phase.phase_start,
+                phase.phase_end,
+                phase.bytes.max(1.0) as u64,
+            )));
+            let prediction = predictor.predict(phase.phase_end);
+            prediction.period().or_else(|| mean_gap(&state.phase_starts))
+        } else {
+            mean_gap(&state.phase_starts)
+        };
+
+        let adjusted = match (&self.source, raw_estimate) {
+            (PeriodSource::FtioWithError { error, .. }, Some(period)) => {
+                let factor = if self.rng.gen_bool(0.5) {
+                    1.0 + *error
+                } else {
+                    1.0 - *error
+                };
+                Some(period * factor)
+            }
+            (_, estimate) => estimate,
+        };
+        if let Some(period) = adjusted {
+            if period.is_finite() && period > 0.0 {
+                self.jobs[phase.job].estimate = Some(period);
+            }
+        }
+    }
+}
+
+/// Mean gap between consecutive phase starts (a crude period estimate used
+/// before FTIO has enough data).
+fn mean_gap(starts: &[f64]) -> Option<f64> {
+    if starts.len() < 2 {
+        return None;
+    }
+    let gaps: Vec<f64> = starts.windows(2).map(|w| w[1] - w[0]).collect();
+    Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
+}
+
+impl IoPolicy for Set10Policy {
+    fn arbitrate(&mut self, _now: f64, demands: &[IoDemand]) -> Vec<f64> {
+        if demands.is_empty() {
+            return Vec::new();
+        }
+        // 1. Group the demands by set.
+        let set_of: Vec<i32> = demands
+            .iter()
+            .map(|d| Set10Policy::set_index(self.period_of(d.job)))
+            .collect();
+
+        // 2. Within each set, only the longest-waiting demand is eligible
+        //    (mutually exclusive access inside a set).
+        let mut weights = vec![0.0; demands.len()];
+        let mut sets: Vec<i32> = set_of.clone();
+        sets.sort_unstable();
+        sets.dedup();
+        for &set in &sets {
+            let eligible = demands
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| set_of[*i] == set)
+                .min_by(|a, b| {
+                    a.1.phase_start
+                        .partial_cmp(&b.1.phase_start)
+                        .expect("NaN phase start")
+                        .then(a.1.job.cmp(&b.1.job))
+                })
+                .map(|(i, _)| i);
+            if let Some(i) = eligible {
+                weights[i] = Set10Policy::set_weight(set);
+            }
+        }
+        weights
+    }
+
+    fn on_phase_complete(&mut self, phase: &CompletedPhase) {
+        self.update_estimate(phase);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(job: usize, start: f64) -> IoDemand {
+        IoDemand {
+            job,
+            remaining_bytes: 1.0e9,
+            phase_start: start,
+            iteration: 0,
+        }
+    }
+
+    fn ftio_config() -> FtioConfig {
+        FtioConfig {
+            sampling_freq: 1.0,
+            use_autocorrelation: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn set_index_groups_by_powers_of_ten() {
+        assert_eq!(Set10Policy::set_index(19.2), 1);
+        assert_eq!(Set10Policy::set_index(384.0), 2);
+        assert_eq!(Set10Policy::set_index(5.0), 0);
+        assert_eq!(Set10Policy::set_index(1000.0), 3);
+        assert_eq!(Set10Policy::set_index(0.0), 6);
+        assert_eq!(Set10Policy::set_index(f64::INFINITY), 6);
+        assert!(Set10Policy::set_weight(1) > Set10Policy::set_weight(2));
+    }
+
+    #[test]
+    fn clairvoyant_prioritises_the_high_frequency_job() {
+        let periods = vec![19.2, 384.0, 384.0];
+        let mut policy = Set10Policy::new(3, PeriodSource::Clairvoyant(periods));
+        let weights = policy.arbitrate(50.0, &[demand(0, 10.0), demand(1, 5.0), demand(2, 8.0)]);
+        // Job 0 (set 1) outweighs the low-frequency set-2 winner (job 1, earliest).
+        assert!(weights[0] > weights[1]);
+        assert_eq!(weights[2], 0.0, "only one job per set may transfer");
+        assert!(weights[1] > 0.0);
+        assert_eq!(policy.name(), "set10-clairvoyant");
+    }
+
+    #[test]
+    fn within_a_set_access_is_exclusive_and_fifo() {
+        let periods = vec![300.0, 400.0, 500.0];
+        let mut policy = Set10Policy::new(3, PeriodSource::Clairvoyant(periods));
+        let weights = policy.arbitrate(50.0, &[demand(0, 30.0), demand(1, 10.0), demand(2, 20.0)]);
+        assert_eq!(weights[0], 0.0);
+        assert!(weights[1] > 0.0);
+        assert_eq!(weights[2], 0.0);
+    }
+
+    #[test]
+    fn ftio_source_learns_the_period_from_phases() {
+        let mut policy = Set10Policy::new(
+            1,
+            PeriodSource::Ftio {
+                config: ftio_config(),
+            },
+        );
+        // Ten phases every 20 s, 1 s long.
+        for i in 0..10 {
+            let start = i as f64 * 20.0;
+            policy.on_phase_complete(&CompletedPhase {
+                job: 0,
+                iteration: i,
+                phase_start: start,
+                phase_end: start + 1.0,
+                bytes: 1.0e9,
+            });
+        }
+        let period = policy.period_of(0);
+        assert!((period - 20.0).abs() < 3.0, "period {period}");
+        assert_eq!(Set10Policy::set_index(period), 1);
+        assert_eq!(policy.name(), "set10-ftio");
+    }
+
+    #[test]
+    fn unknown_jobs_use_the_fallback_period() {
+        let policy = Set10Policy::new(
+            2,
+            PeriodSource::Ftio {
+                config: ftio_config(),
+            },
+        );
+        assert_eq!(policy.period_of(0), 100.0);
+        assert_eq!(policy.period_of(1), 100.0);
+    }
+
+    #[test]
+    fn error_injection_perturbs_the_estimate_by_half() {
+        let mut policy = Set10Policy::new(
+            1,
+            PeriodSource::FtioWithError {
+                config: ftio_config(),
+                error: 0.5,
+                seed: 7,
+            },
+        );
+        for i in 0..10 {
+            let start = i as f64 * 20.0;
+            policy.on_phase_complete(&CompletedPhase {
+                job: 0,
+                iteration: i,
+                phase_start: start,
+                phase_end: start + 1.0,
+                bytes: 1.0e9,
+            });
+        }
+        let period = policy.period_of(0);
+        // The estimate is either ~30 s (+50%) or ~10 s (−50%), never ~20 s.
+        assert!(
+            (period - 30.0).abs() < 5.0 || (period - 10.0).abs() < 5.0,
+            "period {period}"
+        );
+        assert!((period - 20.0).abs() > 4.0, "period {period} too close to the truth");
+        assert_eq!(policy.name(), "set10-error");
+    }
+
+    #[test]
+    fn mean_gap_requires_two_phases() {
+        assert_eq!(mean_gap(&[]), None);
+        assert_eq!(mean_gap(&[5.0]), None);
+        assert_eq!(mean_gap(&[0.0, 10.0, 20.0]), Some(10.0));
+    }
+
+    #[test]
+    fn empty_demands_produce_empty_weights() {
+        let mut policy = Set10Policy::new(1, PeriodSource::Clairvoyant(vec![10.0]));
+        assert!(policy.arbitrate(0.0, &[]).is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Job models for the cluster simulation.
+//!
+//! A job alternates compute phases and I/O phases (the structure FTIO
+//! exploits). For the Set-10 use case the jobs are IOR-derived: in isolation
+//! they have a fixed period and spend a fixed fraction of it on I/O
+//! (6.25 % in the paper's workload, with periods of 19.2 s or 384 s).
+
+/// One iteration of a job: compute for `compute_seconds`, then write
+/// `io_bytes` to the shared file system.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Iteration {
+    /// Length of the compute phase in seconds.
+    pub compute_seconds: f64,
+    /// Volume written in the subsequent I/O phase, bytes.
+    pub io_bytes: f64,
+}
+
+/// Static description of a job submitted to the simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Job name (used in reports and traces).
+    pub name: String,
+    /// Number of ranks/processes of the job (bookkeeping for utilisation).
+    pub ranks: usize,
+    /// Number of compute nodes the job occupies.
+    pub nodes: usize,
+    /// Time at which the job is submitted/started, seconds.
+    pub start_time: f64,
+    /// The iterations the job executes, in order.
+    pub iterations: Vec<Iteration>,
+    /// Bandwidth the job achieves when it has the file system for itself,
+    /// bytes/second (its I/O-phase length in isolation is `io_bytes / this`).
+    pub isolated_bandwidth: f64,
+}
+
+impl JobSpec {
+    /// Builds a periodic job: `count` iterations, each computing for
+    /// `period * (1 - io_fraction)` seconds and then writing
+    /// `period * io_fraction * isolated_bandwidth` bytes — i.e. in isolation
+    /// every iteration takes exactly `period` seconds.
+    pub fn periodic(
+        name: &str,
+        ranks: usize,
+        nodes: usize,
+        period: f64,
+        io_fraction: f64,
+        count: usize,
+        isolated_bandwidth: f64,
+    ) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        assert!((0.0..1.0).contains(&io_fraction), "io_fraction must be in [0, 1)");
+        assert!(isolated_bandwidth > 0.0, "isolated bandwidth must be positive");
+        let compute = period * (1.0 - io_fraction);
+        let io_bytes = period * io_fraction * isolated_bandwidth;
+        JobSpec {
+            name: name.to_string(),
+            ranks,
+            nodes,
+            start_time: 0.0,
+            iterations: vec![
+                Iteration {
+                    compute_seconds: compute,
+                    io_bytes,
+                };
+                count
+            ],
+            isolated_bandwidth,
+        }
+    }
+
+    /// Total volume the job writes over its lifetime, bytes.
+    pub fn total_volume(&self) -> f64 {
+        self.iterations.iter().map(|i| i.io_bytes).sum()
+    }
+
+    /// Total compute time of the job, seconds.
+    pub fn total_compute(&self) -> f64 {
+        self.iterations.iter().map(|i| i.compute_seconds).sum()
+    }
+
+    /// Total I/O time when running alone on the file system, seconds.
+    pub fn isolated_io_time(&self) -> f64 {
+        self.total_volume() / self.isolated_bandwidth
+    }
+
+    /// Makespan when running alone (compute + isolated I/O), seconds.
+    pub fn isolated_makespan(&self) -> f64 {
+        self.total_compute() + self.isolated_io_time()
+    }
+
+    /// The period of the job in isolation (mean iteration length), seconds.
+    pub fn isolated_period(&self) -> f64 {
+        if self.iterations.is_empty() {
+            return 0.0;
+        }
+        self.iterations
+            .iter()
+            .map(|i| i.compute_seconds + i.io_bytes / self.isolated_bandwidth)
+            .sum::<f64>()
+            / self.iterations.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_job_matches_its_period_in_isolation() {
+        let job = JobSpec::periodic("high", 96, 1, 19.2, 0.0625, 10, 5.0e9);
+        assert_eq!(job.iterations.len(), 10);
+        assert!((job.isolated_period() - 19.2).abs() < 1e-9);
+        // 6.25% of the period is I/O.
+        assert!((job.isolated_io_time() - 10.0 * 19.2 * 0.0625).abs() < 1e-6);
+        assert!((job.isolated_makespan() - 192.0).abs() < 1e-6);
+        assert!((job.total_compute() - 180.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let job = JobSpec {
+            name: "mix".into(),
+            ranks: 4,
+            nodes: 1,
+            start_time: 0.0,
+            iterations: vec![
+                Iteration {
+                    compute_seconds: 5.0,
+                    io_bytes: 1.0e9,
+                },
+                Iteration {
+                    compute_seconds: 7.0,
+                    io_bytes: 3.0e9,
+                },
+            ],
+            isolated_bandwidth: 1.0e9,
+        };
+        assert_eq!(job.total_volume(), 4.0e9);
+        assert_eq!(job.total_compute(), 12.0);
+        assert_eq!(job.isolated_io_time(), 4.0);
+        assert_eq!(job.isolated_makespan(), 16.0);
+        assert_eq!(job.isolated_period(), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "io_fraction")]
+    fn invalid_io_fraction_panics() {
+        JobSpec::periodic("x", 1, 1, 10.0, 1.5, 1, 1.0e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn invalid_period_panics() {
+        JobSpec::periodic("x", 1, 1, 0.0, 0.5, 1, 1.0e9);
+    }
+
+    #[test]
+    fn empty_job_has_zero_metrics() {
+        let job = JobSpec {
+            name: "empty".into(),
+            ranks: 1,
+            nodes: 1,
+            start_time: 0.0,
+            iterations: Vec::new(),
+            isolated_bandwidth: 1.0,
+        };
+        assert_eq!(job.total_volume(), 0.0);
+        assert_eq!(job.isolated_period(), 0.0);
+        assert_eq!(job.isolated_makespan(), 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! # ftio-sim
+//!
+//! Discrete-event cluster and parallel-file-system simulation substrate for
+//! FTIO-rs.
+//!
+//! The paper's evaluation runs on production clusters (Lichtenberg, PlaFRIM)
+//! and a BeeGFS deployment; this crate provides the simulated equivalent the
+//! reproduction needs: jobs alternating compute and I/O phases, a shared file
+//! system with finite aggregate bandwidth, pluggable bandwidth-arbitration
+//! policies (the hook the Set-10 scheduler uses), per-job I/O traces that feed
+//! FTIO, and the tracing-overhead model behind Fig. 16.
+//!
+//! * [`pfs`] — the shared file system (aggregate bandwidth, fair splitting,
+//!   per-job caps);
+//! * [`job`] — job specifications (iterations of compute + I/O);
+//! * [`policy`] — the [`policy::IoPolicy`] arbitration trait with fair-share
+//!   and FIFO-exclusive baselines;
+//! * [`engine`] — the event-driven simulator producing per-job makespans,
+//!   I/O times and traces;
+//! * [`workload`] — the Set-10 experiment workload (1 high-frequency +
+//!   15 low-frequency IOR-like jobs) and helpers;
+//! * [`overhead`] — the TMIO tracing-overhead model.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ftio_sim::{FairSharePolicy, FileSystem, JobSpec, Simulator};
+//!
+//! let jobs = vec![
+//!     JobSpec::periodic("a", 32, 1, 20.0, 0.25, 5, 1.0e9),
+//!     JobSpec::periodic("b", 32, 1, 20.0, 0.25, 5, 1.0e9),
+//! ];
+//! let mut policy = FairSharePolicy;
+//! let result = Simulator::new(FileSystem::with_bandwidth(1.0e9), jobs, &mut policy).run();
+//! // Two identical jobs competing for the same bandwidth slow each other down.
+//! assert!(result.jobs.iter().all(|j| j.io_slowdown() > 1.0));
+//! ```
+
+pub mod engine;
+pub mod job;
+pub mod overhead;
+pub mod pfs;
+pub mod policy;
+pub mod workload;
+
+pub use engine::{JobResult, SimulationResult, Simulator};
+pub use job::{Iteration, JobSpec};
+pub use overhead::{OverheadModel, OverheadReport};
+pub use pfs::FileSystem;
+pub use policy::{CompletedPhase, FairSharePolicy, FifoExclusivePolicy, IoDemand, IoPolicy};
+pub use workload::{mixed_workload, set10_true_periods, set10_workload, Set10WorkloadConfig};
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Invariants of the simulator for arbitrary small workloads under fair
+        /// sharing: stretch and I/O slowdown are at least 1 (within numerical
+        /// slack), utilisation lies in [0, 1], and every job completes.
+        #[test]
+        fn fair_share_simulation_invariants(
+            job_count in 1usize..6,
+            period in 10.0f64..60.0,
+            io_fraction in 0.05f64..0.6,
+            iterations in 1usize..6,
+            bandwidth_gb in 1.0f64..20.0,
+        ) {
+            let jobs: Vec<JobSpec> = (0..job_count)
+                .map(|i| {
+                    let mut job = JobSpec::periodic(
+                        &format!("j{i}"),
+                        16,
+                        1,
+                        period + i as f64,
+                        io_fraction,
+                        iterations,
+                        1.0e9,
+                    );
+                    job.start_time = i as f64 * 0.5;
+                    job
+                })
+                .collect();
+            let mut policy = FairSharePolicy;
+            let fs = FileSystem::with_bandwidth(bandwidth_gb * 1.0e9);
+            let result = Simulator::new(fs, jobs, &mut policy).run();
+            prop_assert_eq!(result.jobs.len(), job_count);
+            for job in &result.jobs {
+                prop_assert!(job.completion_time > job.start_time);
+                prop_assert!(job.stretch() >= 1.0 - 1e-6, "stretch {}", job.stretch());
+                prop_assert!(job.io_slowdown() >= 1.0 - 1e-6, "slowdown {}", job.io_slowdown());
+                prop_assert_eq!(job.trace.len(), iterations);
+            }
+            let u = result.utilization();
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+        }
+
+        /// The file-system allocator never hands out more than the aggregate
+        /// bandwidth and never gives a zero-weight job anything.
+        #[test]
+        fn allocation_conserves_bandwidth(
+            weights in prop::collection::vec(0.0f64..10.0, 0..12),
+            bandwidth in 1.0f64..100.0,
+            cap in 0.5f64..50.0,
+        ) {
+            let fs = FileSystem {
+                aggregate_bandwidth: bandwidth,
+                per_job_cap: cap,
+            };
+            let shares = fs.allocate(&weights);
+            prop_assert_eq!(shares.len(), weights.len());
+            let total: f64 = shares.iter().sum();
+            prop_assert!(total <= bandwidth + 1e-6);
+            for (share, weight) in shares.iter().zip(&weights) {
+                prop_assert!(*share >= 0.0);
+                prop_assert!(*share <= cap + 1e-6);
+                if *weight == 0.0 {
+                    prop_assert_eq!(*share, 0.0);
+                }
+            }
+        }
+
+        /// The overhead model is monotone in ranks, requests and flushes.
+        #[test]
+        fn overhead_model_is_monotone(
+            ranks in 1usize..20_000,
+            requests in 1usize..10_000,
+            flushes in 1usize..64,
+        ) {
+            let model = OverheadModel::default();
+            let base = model.estimate(ranks, 500.0, requests, flushes);
+            let more_ranks = model.estimate(ranks * 2, 500.0, requests, flushes);
+            let more_requests = model.estimate(ranks, 500.0, requests * 2, flushes);
+            let more_flushes = model.estimate(ranks, 500.0, requests, flushes * 2);
+            prop_assert!(more_ranks.rank0_overhead >= base.rank0_overhead);
+            prop_assert!(more_requests.aggregated_overhead >= base.aggregated_overhead);
+            prop_assert!(more_flushes.rank0_overhead >= base.rank0_overhead);
+            prop_assert!(base.aggregated_fraction() >= 0.0 && base.aggregated_fraction() < 1.0);
+            prop_assert!(base.rank0_fraction() >= 0.0 && base.rank0_fraction() < 1.0);
+        }
+    }
+}

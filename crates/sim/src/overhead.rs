@@ -1,0 +1,206 @@
+//! Tracing-library overhead model (paper §III-C, Fig. 16).
+//!
+//! The paper measures the overhead of the TMIO tracing library on IOR runs
+//! from 96 to 10,752 ranks, separately for the aggregated time over all ranks
+//! and for MPI rank 0, and separately for the online and offline modes. The
+//! dominant cost is gathering the per-rank data at flush time (rank 0 collects
+//! from everybody), plus a small per-request bookkeeping cost on every rank.
+//!
+//! The model here charges:
+//!
+//! * `per_request_cost` seconds on the issuing rank for every intercepted call,
+//! * `per_rank_gather_cost` seconds on rank 0 for every rank at every flush
+//!   (the online mode flushes after every I/O phase, the offline mode once),
+//! * `per_flush_base_cost` seconds of fixed cost per flush on rank 0.
+//!
+//! With the defaults below the resulting relative overheads match the orders
+//! of magnitude reported in the paper (aggregated ≤ 0.6 %, rank 0 ≤ 6.9 % for
+//! the online mode at 10k+ ranks; offline well below that).
+
+use ftio_trace::{CollectorStats, FlushMode};
+
+/// Cost parameters of the tracing library.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverheadModel {
+    /// Seconds of bookkeeping per intercepted request (on the issuing rank).
+    pub per_request_cost: f64,
+    /// Seconds rank 0 spends gathering one rank's data at one flush.
+    pub per_rank_gather_cost: f64,
+    /// Fixed seconds per flush (serialisation + file append) on rank 0.
+    pub per_flush_base_cost: f64,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel {
+            per_request_cost: 2.0e-6,
+            per_rank_gather_cost: 1.5e-4,
+            per_flush_base_cost: 5.0e-3,
+        }
+    }
+}
+
+/// Overhead of one traced run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OverheadReport {
+    /// Number of ranks of the run.
+    pub ranks: usize,
+    /// Application time (without tracing) aggregated over all ranks, seconds.
+    pub aggregated_app_time: f64,
+    /// Tracing overhead aggregated over all ranks, seconds.
+    pub aggregated_overhead: f64,
+    /// Application time of rank 0, seconds.
+    pub rank0_app_time: f64,
+    /// Tracing overhead of rank 0, seconds.
+    pub rank0_overhead: f64,
+}
+
+impl OverheadReport {
+    /// Aggregated overhead as a fraction of the aggregated total time.
+    pub fn aggregated_fraction(&self) -> f64 {
+        let total = self.aggregated_app_time + self.aggregated_overhead;
+        if total > 0.0 {
+            self.aggregated_overhead / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Rank-0 overhead as a fraction of rank 0's total time.
+    pub fn rank0_fraction(&self) -> f64 {
+        let total = self.rank0_app_time + self.rank0_overhead;
+        if total > 0.0 {
+            self.rank0_overhead / total
+        } else {
+            0.0
+        }
+    }
+}
+
+impl OverheadModel {
+    /// Estimates the overhead of a run with `ranks` ranks, a per-rank
+    /// application time of `app_time_per_rank` seconds, `requests_per_rank`
+    /// intercepted calls per rank, and `flushes` flush operations (1 for the
+    /// offline mode, one per I/O phase for the online mode).
+    pub fn estimate(
+        &self,
+        ranks: usize,
+        app_time_per_rank: f64,
+        requests_per_rank: usize,
+        flushes: usize,
+    ) -> OverheadReport {
+        if ranks == 0 {
+            return OverheadReport::default();
+        }
+        let per_rank_request_overhead = requests_per_rank as f64 * self.per_request_cost;
+        let gather_overhead =
+            flushes as f64 * (ranks as f64 * self.per_rank_gather_cost + self.per_flush_base_cost);
+        OverheadReport {
+            ranks,
+            aggregated_app_time: app_time_per_rank * ranks as f64,
+            aggregated_overhead: per_rank_request_overhead * ranks as f64 + gather_overhead,
+            rank0_app_time: app_time_per_rank,
+            rank0_overhead: per_rank_request_overhead + gather_overhead,
+        }
+    }
+
+    /// Estimates the overhead from actual collector statistics (requests and
+    /// flushes counted by `ftio-trace`'s [`ftio_trace::Collector`]).
+    pub fn estimate_from_stats(
+        &self,
+        ranks: usize,
+        app_time_per_rank: f64,
+        stats: &CollectorStats,
+        mode: FlushMode,
+    ) -> OverheadReport {
+        let requests_per_rank = if ranks == 0 { 0 } else { stats.recorded / ranks };
+        let flushes = match mode {
+            FlushMode::Offline => stats.flushes.max(1),
+            FlushMode::Online => stats.flushes,
+        };
+        self.estimate(ranks, app_time_per_rank, requests_per_rank, flushes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_overhead_stays_within_paper_bounds() {
+        // IOR-like run: ~160 requests per rank, 16 online flushes, ~780 s per rank.
+        let model = OverheadModel::default();
+        for &ranks in &[96usize, 384, 1536, 4608, 10752] {
+            let report = model.estimate(ranks, 780.0, 160, 16);
+            assert!(
+                report.aggregated_fraction() < 0.006,
+                "{} ranks: aggregated {}",
+                ranks,
+                report.aggregated_fraction()
+            );
+            assert!(
+                report.rank0_fraction() < 0.069,
+                "{} ranks: rank0 {}",
+                ranks,
+                report.rank0_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn rank0_overhead_grows_with_rank_count() {
+        let model = OverheadModel::default();
+        let small = model.estimate(96, 780.0, 160, 16);
+        let large = model.estimate(10752, 780.0, 160, 16);
+        assert!(large.rank0_fraction() > small.rank0_fraction() * 5.0);
+        assert!(large.rank0_overhead > small.rank0_overhead * 50.0);
+    }
+
+    #[test]
+    fn offline_mode_is_cheaper_than_online() {
+        let model = OverheadModel::default();
+        let online = model.estimate(4608, 780.0, 160, 16);
+        let offline = model.estimate(4608, 780.0, 160, 1);
+        assert!(offline.rank0_overhead < online.rank0_overhead);
+        assert!(offline.aggregated_overhead < online.aggregated_overhead);
+    }
+
+    #[test]
+    fn aggregated_fraction_is_nearly_rank_independent() {
+        // The gather cost on rank 0 is amortised over all ranks in the
+        // aggregated view, so the aggregated fraction stays within one order
+        // of magnitude across a 100x rank difference.
+        let model = OverheadModel::default();
+        let small = model.estimate(96, 780.0, 160, 16);
+        let large = model.estimate(9216, 780.0, 160, 16);
+        assert!(large.aggregated_fraction() < small.aggregated_fraction() * 10.0);
+    }
+
+    #[test]
+    fn estimate_from_collector_stats() {
+        let model = OverheadModel::default();
+        let stats = CollectorStats {
+            recorded: 96 * 160,
+            flushes: 16,
+            flushed_requests: 96 * 160,
+            serialized_bytes: 1_000_000,
+        };
+        let online = model.estimate_from_stats(96, 780.0, &stats, FlushMode::Online);
+        assert_eq!(online.ranks, 96);
+        assert!(online.rank0_overhead > 0.0);
+        let offline_stats = CollectorStats {
+            flushes: 0,
+            ..stats
+        };
+        let offline = model.estimate_from_stats(96, 780.0, &offline_stats, FlushMode::Offline);
+        assert!(offline.rank0_overhead < online.rank0_overhead);
+    }
+
+    #[test]
+    fn zero_rank_run_reports_zero() {
+        let model = OverheadModel::default();
+        let report = model.estimate(0, 100.0, 10, 1);
+        assert_eq!(report.aggregated_app_time, 0.0);
+        assert_eq!(report.aggregated_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The shared parallel file system model.
+//!
+//! The evaluation platforms of the paper (Lichtenberg's IBM Spectrum Scale,
+//! the BeeGFS deployment of the Set-10 experiments) expose one property that
+//! matters for the reproduced experiments: a *finite aggregate bandwidth*
+//! shared by all concurrently running jobs, which is what creates I/O
+//! contention and what an I/O scheduler arbitrates. The model here is
+//! deliberately simple — an aggregate bandwidth pool with optional per-job
+//! caps — because the paper's claims are about relative behaviour under
+//! contention, not about absolute file-system throughput.
+
+/// Static description of the shared file system.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FileSystem {
+    /// Aggregate bandwidth available to all jobs together, bytes/second.
+    pub aggregate_bandwidth: f64,
+    /// Optional per-job bandwidth cap, bytes/second (e.g. limited by the
+    /// number of I/O nodes a job can reach). `f64::INFINITY` disables the cap.
+    pub per_job_cap: f64,
+}
+
+impl FileSystem {
+    /// A file system with the given aggregate bandwidth and no per-job cap.
+    pub fn with_bandwidth(aggregate_bandwidth: f64) -> Self {
+        assert!(aggregate_bandwidth > 0.0, "bandwidth must be positive");
+        FileSystem {
+            aggregate_bandwidth,
+            per_job_cap: f64::INFINITY,
+        }
+    }
+
+    /// The Lichtenberg-like configuration used by the case-study experiments
+    /// (≈ 106 GB/s writes).
+    pub fn lichtenberg_like() -> Self {
+        FileSystem::with_bandwidth(106.0e9)
+    }
+
+    /// A small BeeGFS-like configuration for the Set-10 experiments, where the
+    /// workload is designed to saturate the file system.
+    pub fn beegfs_like() -> Self {
+        FileSystem::with_bandwidth(10.0e9)
+    }
+
+    /// Splits the aggregate bandwidth among jobs according to non-negative
+    /// weights. Jobs with zero weight receive nothing; the shares of the
+    /// others are proportional to their weights, each clamped to the per-job
+    /// cap, and the bandwidth freed by capped jobs is redistributed.
+    pub fn allocate(&self, weights: &[f64]) -> Vec<f64> {
+        let n = weights.len();
+        let mut shares = vec![0.0; n];
+        if n == 0 {
+            return shares;
+        }
+        let mut remaining_bw = self.aggregate_bandwidth;
+        let mut active: Vec<usize> = (0..n).filter(|&i| weights[i] > 0.0).collect();
+        // Iteratively hand out bandwidth, honouring the per-job cap: capped
+        // jobs leave the pool and their leftover is redistributed.
+        while !active.is_empty() && remaining_bw > 0.0 {
+            let total_weight: f64 = active.iter().map(|&i| weights[i]).sum();
+            if total_weight <= 0.0 {
+                break;
+            }
+            let mut next_active = Vec::new();
+            let mut handed_out = 0.0;
+            for &i in &active {
+                let proportional = remaining_bw * weights[i] / total_weight;
+                let target = shares[i] + proportional;
+                if target >= self.per_job_cap {
+                    handed_out += self.per_job_cap - shares[i];
+                    shares[i] = self.per_job_cap;
+                } else {
+                    shares[i] = target;
+                    handed_out += proportional;
+                    next_active.push(i);
+                }
+            }
+            remaining_bw -= handed_out;
+            if next_active.len() == active.len() {
+                // Nobody hit the cap: the proportional split is final.
+                break;
+            }
+            active = next_active;
+        }
+        shares
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_share_equally() {
+        let fs = FileSystem::with_bandwidth(9.0e9);
+        let shares = fs.allocate(&[1.0, 1.0, 1.0]);
+        for s in shares {
+            assert!((s - 3.0e9).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_jobs_receive_nothing() {
+        let fs = FileSystem::with_bandwidth(8.0e9);
+        let shares = fs.allocate(&[1.0, 0.0, 3.0]);
+        assert_eq!(shares[1], 0.0);
+        assert!((shares[0] - 2.0e9).abs() < 1.0);
+        assert!((shares[2] - 6.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_job_cap_redistributes_leftover() {
+        let fs = FileSystem {
+            aggregate_bandwidth: 10.0e9,
+            per_job_cap: 3.0e9,
+        };
+        let shares = fs.allocate(&[1.0, 1.0]);
+        // Each job is capped at 3 GB/s even though 5 GB/s would be available.
+        assert!((shares[0] - 3.0e9).abs() < 1.0);
+        assert!((shares[1] - 3.0e9).abs() < 1.0);
+
+        // With one small and one large weight the capped job's leftover goes
+        // to the other until it hits its own cap.
+        let shares = fs.allocate(&[9.0, 1.0]);
+        assert!(shares[0] <= 3.0e9 + 1.0);
+        assert!(shares[1] <= 3.0e9 + 1.0);
+    }
+
+    #[test]
+    fn total_allocation_never_exceeds_aggregate() {
+        let fs = FileSystem {
+            aggregate_bandwidth: 7.0e9,
+            per_job_cap: 2.0e9,
+        };
+        for weights in [vec![1.0; 2], vec![1.0; 5], vec![0.5, 2.0, 0.1, 4.0]] {
+            let shares = fs.allocate(&weights);
+            let total: f64 = shares.iter().sum();
+            assert!(total <= 7.0e9 + 1e-3, "total {total}");
+            for (s, w) in shares.iter().zip(&weights) {
+                if *w == 0.0 {
+                    assert_eq!(*s, 0.0);
+                }
+                assert!(*s <= 2.0e9 + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_all_zero_weights() {
+        let fs = FileSystem::with_bandwidth(5.0e9);
+        assert!(fs.allocate(&[]).is_empty());
+        assert_eq!(fs.allocate(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        FileSystem::with_bandwidth(0.0);
+    }
+
+    #[test]
+    fn named_presets_have_expected_magnitudes() {
+        assert!((FileSystem::lichtenberg_like().aggregate_bandwidth - 106.0e9).abs() < 1.0);
+        assert!(FileSystem::beegfs_like().aggregate_bandwidth < 20.0e9);
+    }
+}

@@ -1,0 +1,145 @@
+//! Bandwidth-arbitration policies.
+//!
+//! When several jobs want to perform I/O at the same time, something has to
+//! decide who gets how much of the shared file system. The baseline behaviour
+//! of an unmanaged file system is fair sharing (every active job gets an equal
+//! slice); the Set-10 scheduler of the paper's §IV replaces this with
+//! period-based priorities and is implemented in the `ftio-sched` crate on top
+//! of the [`IoPolicy`] trait defined here.
+
+/// The I/O demand of one job at an arbitration point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IoDemand {
+    /// Index of the job in the simulation's job list.
+    pub job: usize,
+    /// Bytes still to transfer in the current I/O phase.
+    pub remaining_bytes: f64,
+    /// Time at which the current I/O phase became ready (compute finished).
+    pub phase_start: f64,
+    /// Index of the current iteration of the job.
+    pub iteration: usize,
+}
+
+/// A completed I/O phase, reported to the policy so that schedulers which
+/// learn the jobs' periods online (Set-10 + FTIO) can update their estimates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompletedPhase {
+    /// Index of the job.
+    pub job: usize,
+    /// Iteration index of the completed phase.
+    pub iteration: usize,
+    /// Time at which the phase became ready for I/O.
+    pub phase_start: f64,
+    /// Time at which the phase finished transferring.
+    pub phase_end: f64,
+    /// Transferred volume in bytes.
+    pub bytes: f64,
+}
+
+/// Decides how the shared bandwidth is split among the demanding jobs.
+pub trait IoPolicy {
+    /// Returns one non-negative weight per demand (in the same order). The
+    /// simulator converts weights into bandwidth shares through
+    /// [`crate::pfs::FileSystem::allocate`]; a zero weight blocks the job for
+    /// this arbitration round.
+    fn arbitrate(&mut self, now: f64, demands: &[IoDemand]) -> Vec<f64>;
+
+    /// Called whenever a job finishes an I/O phase.
+    fn on_phase_complete(&mut self, _phase: &CompletedPhase) {}
+
+    /// Human-readable policy name used in experiment reports.
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+/// The unmanaged baseline: every demanding job gets an equal share
+/// ("Original" in the paper's Fig. 17).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FairSharePolicy;
+
+impl IoPolicy for FairSharePolicy {
+    fn arbitrate(&mut self, _now: f64, demands: &[IoDemand]) -> Vec<f64> {
+        vec![1.0; demands.len()]
+    }
+
+    fn name(&self) -> &str {
+        "fair-share"
+    }
+}
+
+/// First-come-first-served exclusive access: only the job whose phase has been
+/// waiting the longest transfers at any time. Used as a sanity baseline in
+/// tests and ablations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FifoExclusivePolicy;
+
+impl IoPolicy for FifoExclusivePolicy {
+    fn arbitrate(&mut self, _now: f64, demands: &[IoDemand]) -> Vec<f64> {
+        if demands.is_empty() {
+            return Vec::new();
+        }
+        let first = demands
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.phase_start
+                    .partial_cmp(&b.1.phase_start)
+                    .expect("NaN phase start")
+                    .then(a.1.job.cmp(&b.1.job))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty demands");
+        let mut weights = vec![0.0; demands.len()];
+        weights[first] = 1.0;
+        weights
+    }
+
+    fn name(&self) -> &str {
+        "fifo-exclusive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(job: usize, start: f64) -> IoDemand {
+        IoDemand {
+            job,
+            remaining_bytes: 1.0e9,
+            phase_start: start,
+            iteration: 0,
+        }
+    }
+
+    #[test]
+    fn fair_share_gives_equal_weights() {
+        let mut policy = FairSharePolicy;
+        let weights = policy.arbitrate(10.0, &[demand(0, 1.0), demand(1, 2.0), demand(2, 3.0)]);
+        assert_eq!(weights, vec![1.0, 1.0, 1.0]);
+        assert!(policy.arbitrate(0.0, &[]).is_empty());
+        assert_eq!(policy.name(), "fair-share");
+    }
+
+    #[test]
+    fn fifo_exclusive_picks_the_longest_waiting_job() {
+        let mut policy = FifoExclusivePolicy;
+        let weights = policy.arbitrate(10.0, &[demand(3, 5.0), demand(1, 2.0), demand(2, 9.0)]);
+        assert_eq!(weights, vec![0.0, 1.0, 0.0]);
+        assert_eq!(policy.name(), "fifo-exclusive");
+    }
+
+    #[test]
+    fn fifo_breaks_ties_by_job_index() {
+        let mut policy = FifoExclusivePolicy;
+        let weights = policy.arbitrate(10.0, &[demand(7, 2.0), demand(3, 2.0)]);
+        assert_eq!(weights, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn fifo_on_empty_demands() {
+        let mut policy = FifoExclusivePolicy;
+        assert!(policy.arbitrate(0.0, &[]).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Workload builders for the simulation experiments.
+//!
+//! The Set-10 use case (paper §IV) runs a workload of 16 IOR-derived jobs:
+//! one *high-frequency* application with a period of 19.2 s and fifteen
+//! *low-frequency* applications with a period of 384 s, each spending 6.25 %
+//! of its period on I/O. The jobs are started together and run long enough
+//! for the contention patterns to emerge. This module builds that workload
+//! (with optional start-time jitter so repetitions differ) plus smaller
+//! workloads used in tests and ablations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::job::JobSpec;
+
+/// Parameters of the Set-10 experiment workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Set10WorkloadConfig {
+    /// Number of high-frequency jobs (1 in the paper).
+    pub high_freq_jobs: usize,
+    /// Number of low-frequency jobs (15 in the paper).
+    pub low_freq_jobs: usize,
+    /// Period of the high-frequency jobs in isolation, seconds (19.2 s).
+    pub high_freq_period: f64,
+    /// Period of the low-frequency jobs in isolation, seconds (384 s).
+    pub low_freq_period: f64,
+    /// Fraction of each period spent on I/O (0.0625).
+    pub io_fraction: f64,
+    /// Number of iterations of each low-frequency job.
+    pub low_freq_iterations: usize,
+    /// Bandwidth a single job achieves when alone, bytes/second.
+    pub isolated_bandwidth: f64,
+    /// Ranks per job (bookkeeping).
+    pub ranks_per_job: usize,
+    /// Nodes per job (bookkeeping, enters the utilisation metric).
+    pub nodes_per_job: usize,
+    /// Maximum random jitter added to the job start times, seconds.
+    pub start_jitter: f64,
+}
+
+impl Default for Set10WorkloadConfig {
+    fn default() -> Self {
+        Set10WorkloadConfig {
+            high_freq_jobs: 1,
+            low_freq_jobs: 15,
+            high_freq_period: 19.2,
+            low_freq_period: 384.0,
+            io_fraction: 0.0625,
+            low_freq_iterations: 5,
+            isolated_bandwidth: 2.0e9,
+            ranks_per_job: 96,
+            nodes_per_job: 1,
+            start_jitter: 5.0,
+        }
+    }
+}
+
+/// Builds the Set-10 workload. The high-frequency job runs enough iterations
+/// to cover the low-frequency jobs' runtime, so contention persists throughout.
+pub fn set10_workload(config: &Set10WorkloadConfig, seed: u64) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jobs = Vec::new();
+    let low_runtime = config.low_freq_period * config.low_freq_iterations as f64;
+    let high_iterations = (low_runtime / config.high_freq_period).ceil() as usize;
+
+    for h in 0..config.high_freq_jobs {
+        let mut job = JobSpec::periodic(
+            &format!("high-{h}"),
+            config.ranks_per_job,
+            config.nodes_per_job,
+            config.high_freq_period,
+            config.io_fraction,
+            high_iterations,
+            config.isolated_bandwidth,
+        );
+        job.start_time = rng.gen_range(0.0..config.start_jitter.max(1e-9));
+        jobs.push(job);
+    }
+    for l in 0..config.low_freq_jobs {
+        let mut job = JobSpec::periodic(
+            &format!("low-{l}"),
+            config.ranks_per_job,
+            config.nodes_per_job,
+            config.low_freq_period,
+            config.io_fraction,
+            config.low_freq_iterations,
+            config.isolated_bandwidth,
+        );
+        job.start_time = rng.gen_range(0.0..config.start_jitter.max(1e-9));
+        jobs.push(job);
+    }
+    jobs
+}
+
+/// The ground-truth periods of the Set-10 workload jobs, in the same order as
+/// [`set10_workload`] returns them — this is what the *clairvoyant* variant of
+/// the scheduler receives.
+pub fn set10_true_periods(config: &Set10WorkloadConfig) -> Vec<f64> {
+    let mut periods = vec![config.high_freq_period; config.high_freq_jobs];
+    periods.extend(vec![config.low_freq_period; config.low_freq_jobs]);
+    periods
+}
+
+/// A small mixed workload used by tests: `count` jobs with periods spread
+/// between `min_period` and `max_period`.
+pub fn mixed_workload(
+    count: usize,
+    min_period: f64,
+    max_period: f64,
+    iterations: usize,
+    isolated_bandwidth: f64,
+    seed: u64,
+) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let period = if count > 1 {
+                min_period + (max_period - min_period) * i as f64 / (count - 1) as f64
+            } else {
+                min_period
+            };
+            let mut job = JobSpec::periodic(
+                &format!("job-{i}"),
+                32,
+                1,
+                period,
+                0.1,
+                iterations,
+                isolated_bandwidth,
+            );
+            job.start_time = rng.gen_range(0.0..1.0);
+            job
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set10_workload_matches_paper_structure() {
+        let config = Set10WorkloadConfig::default();
+        let jobs = set10_workload(&config, 1);
+        assert_eq!(jobs.len(), 16);
+        let high: Vec<&JobSpec> = jobs.iter().filter(|j| j.name.starts_with("high")).collect();
+        let low: Vec<&JobSpec> = jobs.iter().filter(|j| j.name.starts_with("low")).collect();
+        assert_eq!(high.len(), 1);
+        assert_eq!(low.len(), 15);
+        assert!((high[0].isolated_period() - 19.2).abs() < 1e-9);
+        assert!((low[0].isolated_period() - 384.0).abs() < 1e-9);
+        // 6.25% of the time is I/O for every job.
+        for job in &jobs {
+            let ratio = job.isolated_io_time() / job.isolated_makespan();
+            assert!((ratio - 0.0625).abs() < 1e-9, "ratio {ratio}");
+        }
+        // The high-frequency job runs long enough to cover the low-frequency ones.
+        assert!(high[0].isolated_makespan() >= low[0].isolated_makespan() - 1e-6);
+    }
+
+    #[test]
+    fn true_periods_align_with_workload_order() {
+        let config = Set10WorkloadConfig::default();
+        let jobs = set10_workload(&config, 2);
+        let periods = set10_true_periods(&config);
+        assert_eq!(jobs.len(), periods.len());
+        for (job, period) in jobs.iter().zip(&periods) {
+            assert!((job.isolated_period() - period).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn start_jitter_is_bounded_and_seed_dependent() {
+        let config = Set10WorkloadConfig::default();
+        let a = set10_workload(&config, 10);
+        let b = set10_workload(&config, 11);
+        assert!(a.iter().all(|j| j.start_time < config.start_jitter));
+        let starts_a: Vec<f64> = a.iter().map(|j| j.start_time).collect();
+        let starts_b: Vec<f64> = b.iter().map(|j| j.start_time).collect();
+        assert_ne!(starts_a, starts_b);
+    }
+
+    #[test]
+    fn mixed_workload_spreads_periods() {
+        let jobs = mixed_workload(5, 10.0, 100.0, 3, 1.0e9, 3);
+        assert_eq!(jobs.len(), 5);
+        assert!((jobs[0].isolated_period() - 10.0).abs() < 1e-9);
+        assert!((jobs[4].isolated_period() - 100.0).abs() < 1e-9);
+        let single = mixed_workload(1, 42.0, 99.0, 2, 1.0e9, 4);
+        assert!((single[0].isolated_period() - 42.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,161 @@
+//! Random distributions used by the trace generators.
+//!
+//! The semi-synthetic methodology of the paper (§III-A) needs two specific
+//! distributions that `rand`'s core API does not provide directly:
+//!
+//! * a **truncated normal** for the compute-phase lengths (`t_cpu` is drawn
+//!   from `N(µ, σ)` "truncated to only select positive values"), and
+//! * an **exponential** for the per-process desynchronisation delays `δ_k`
+//!   ("drawn from an exponential distribution of average ϕ").
+//!
+//! Both are implemented here from uniform samples so the crate needs only the
+//! `rand` core traits.
+
+use rand::Rng;
+
+/// Draws from the standard normal distribution using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would make ln(0) = -inf.
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws from `N(mean, std_dev)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws from `N(mean, std_dev)` truncated to non-negative values by rejection
+/// sampling (the paper's `t_cpu` distribution). Falls back to clamping at zero
+/// when the acceptance probability is tiny (mean strongly negative), so the
+/// function always terminates.
+pub fn truncated_normal_non_negative<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    if std_dev <= 0.0 {
+        return mean.max(0.0);
+    }
+    for _ in 0..256 {
+        let x = normal(rng, mean, std_dev);
+        if x >= 0.0 {
+            return x;
+        }
+    }
+    0.0
+}
+
+/// Draws from an exponential distribution with the given mean (`ϕ` in the
+/// paper). A non-positive mean always yields 0, which encodes "no
+/// desynchronisation".
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    -mean * u.ln()
+}
+
+/// Draws a uniform value in `[lo, hi)` (degenerate ranges return `lo`).
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        return lo;
+    }
+    rng.gen_range(lo..hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5EED)
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut r, 11.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 11.0).abs() < 0.1);
+        assert!((var - 4.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn truncated_normal_is_never_negative() {
+        let mut r = rng();
+        for _ in 0..5000 {
+            assert!(truncated_normal_non_negative(&mut r, 1.0, 5.0) >= 0.0);
+        }
+        // Degenerate σ returns the clamped mean.
+        assert_eq!(truncated_normal_non_negative(&mut r, 7.0, 0.0), 7.0);
+        assert_eq!(truncated_normal_non_negative(&mut r, -3.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn truncated_normal_with_extreme_negative_mean_terminates() {
+        let mut r = rng();
+        let x = truncated_normal_non_negative(&mut r, -1e9, 1.0);
+        assert_eq!(x, 0.0);
+    }
+
+    #[test]
+    fn exponential_mean_matches_parameter() {
+        let mut r = rng();
+        let mean_param = 22.0;
+        let samples: Vec<f64> = (0..50_000).map(|_| exponential(&mut r, mean_param)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - mean_param).abs() / mean_param < 0.03, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn exponential_with_zero_mean_is_always_zero() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(exponential(&mut r, 0.0), 0.0);
+            assert_eq!(exponential(&mut r, -1.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = uniform(&mut r, 2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+        assert_eq!(uniform(&mut r, 5.0, 5.0), 5.0);
+        assert_eq!(uniform(&mut r, 5.0, 4.0), 5.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

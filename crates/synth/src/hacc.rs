@@ -1,0 +1,219 @@
+//! HACC-IO-shaped workload (paper §III-B, case study c).
+//!
+//! HACC-IO mimics one I/O phase of HACC; the paper wraps it in a loop so the
+//! four steps (compute, write, read, verify) repeat periodically, flushing the
+//! collected trace data after every iteration. Key properties reproduced here:
+//!
+//! * ten I/O phases starting on average every 8.7 s,
+//! * the **first phase is significantly delayed and prolonged** (it lasts from
+//!   4.1 s to 15.3 s in the paper), which drops the average period from 8.7 s
+//!   to 7.7 s when it is excluded and splits the dominant frequency into two
+//!   close candidates (0.1206 Hz and 0.1326 Hz),
+//! * high I/O bandwidth phases that are short relative to the period,
+//! * a flush point at the end of every loop iteration, which is what the
+//!   online prediction mode hooks into (Fig. 15).
+
+use ftio_trace::{AppTrace, IoRequest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::distributions::uniform;
+
+/// Configuration of the HACC-IO-shaped workload.
+#[derive(Clone, Copy, Debug)]
+pub struct HaccConfig {
+    /// Number of MPI ranks (3072 in the paper).
+    pub num_ranks: usize,
+    /// Writer processes representing the rank population in the generated trace.
+    pub writers: usize,
+    /// Number of loop iterations, i.e. I/O phases (10 in the paper).
+    pub iterations: usize,
+    /// Nominal gap between I/O phase starts in seconds (≈ 8 s; with the
+    /// prolonged first phase the observed average start distance is ≈ 8.7 s).
+    pub nominal_period: f64,
+    /// Duration of a regular I/O phase in seconds.
+    pub io_duration: f64,
+    /// Extra delay and stretching applied to the first phase in seconds.
+    pub first_phase_delay: f64,
+    /// Bytes transferred per phase across all writers (write + read + verify).
+    pub bytes_per_phase: u64,
+}
+
+impl Default for HaccConfig {
+    fn default() -> Self {
+        HaccConfig {
+            num_ranks: 3072,
+            writers: 64,
+            iterations: 10,
+            nominal_period: 7.8,
+            io_duration: 2.6,
+            first_phase_delay: 4.0,
+            bytes_per_phase: 60_000_000_000, // high-bandwidth phases (~20 GB/s)
+        }
+    }
+}
+
+/// The generated workload plus ground truth and flush points.
+#[derive(Clone, Debug)]
+pub struct HaccWorkload {
+    /// The request trace.
+    pub trace: AppTrace,
+    /// Ground-truth start time of every I/O phase.
+    pub phase_starts: Vec<f64>,
+    /// Ground-truth end time of every I/O phase.
+    pub phase_ends: Vec<f64>,
+    /// Times at which the application flushes its trace data (end of each loop
+    /// iteration) — the online prediction points of Fig. 15.
+    pub flush_points: Vec<f64>,
+}
+
+impl HaccWorkload {
+    /// Average distance between consecutive phase starts (the paper's 8.7 s).
+    pub fn mean_period(&self) -> f64 {
+        if self.phase_starts.len() < 2 {
+            return 0.0;
+        }
+        let diffs: Vec<f64> = self.phase_starts.windows(2).map(|w| w[1] - w[0]).collect();
+        diffs.iter().sum::<f64>() / diffs.len() as f64
+    }
+
+    /// Average period when the first (delayed) phase is excluded
+    /// (the paper's 7.7 s).
+    pub fn mean_period_without_first(&self) -> f64 {
+        if self.phase_starts.len() < 3 {
+            return 0.0;
+        }
+        let diffs: Vec<f64> = self.phase_starts[1..].windows(2).map(|w| w[1] - w[0]).collect();
+        diffs.iter().sum::<f64>() / diffs.len() as f64
+    }
+}
+
+/// Generates the HACC-IO-shaped trace.
+pub fn generate(config: &HaccConfig, seed: u64) -> HaccWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = AppTrace::named("HACC-IO", config.num_ranks);
+    let mut phase_starts = Vec::with_capacity(config.iterations);
+    let mut phase_ends = Vec::with_capacity(config.iterations);
+    let mut flush_points = Vec::with_capacity(config.iterations);
+
+    let bytes_per_writer = (config.bytes_per_phase / config.writers.max(1) as u64).max(1);
+    let mut t = 0.0;
+    for i in 0..config.iterations {
+        // Compute step before the I/O of this iteration.
+        let compute = (config.nominal_period - config.io_duration).max(0.5)
+            * uniform(&mut rng, 0.95, 1.05);
+        t += compute;
+
+        // The first phase is delayed by initialization overheads and prolonged.
+        let (start, duration) = if i == 0 {
+            (
+                t + config.first_phase_delay * 0.0,
+                config.io_duration + config.first_phase_delay,
+            )
+        } else {
+            (t, config.io_duration * uniform(&mut rng, 0.9, 1.1))
+        };
+
+        // Write / read / verify sub-steps share the phase duration 60/25/15;
+        // HACC-IO's checkpoint write dominates the transferred volume.
+        let sub = [(0.60, true), (0.25, false), (0.15, false)];
+        let mut sub_t = start;
+        for (frac, is_write) in sub {
+            let sub_dur = duration * frac;
+            let slice = sub_dur; // all writers active concurrently
+            for w in 0..config.writers {
+                let bytes = (bytes_per_writer as f64 * frac) as u64;
+                let req = if is_write {
+                    IoRequest::write(w, sub_t, sub_t + slice, bytes)
+                } else {
+                    IoRequest::read(w, sub_t, sub_t + slice, bytes)
+                };
+                trace.push(req);
+            }
+            sub_t += sub_dur;
+        }
+
+        phase_starts.push(start);
+        phase_ends.push(start + duration);
+        t = start + duration;
+        flush_points.push(t);
+    }
+
+    HaccWorkload {
+        trace,
+        phase_starts,
+        phase_ends,
+        flush_points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftio_trace::IoKind;
+
+    #[test]
+    fn workload_matches_paper_shape() {
+        let w = generate(&HaccConfig::default(), 1);
+        assert_eq!(w.phase_starts.len(), 10);
+        assert_eq!(w.flush_points.len(), 10);
+        // First phase is much longer than the others.
+        let first_len = w.phase_ends[0] - w.phase_starts[0];
+        let second_len = w.phase_ends[1] - w.phase_starts[1];
+        assert!(first_len > 2.0 * second_len);
+        // Mean period with the prolonged first phase exceeds the one without it.
+        let with_first = w.mean_period();
+        let without = w.mean_period_without_first();
+        assert!(with_first > without, "{with_first} vs {without}");
+        assert!(with_first > 8.0 && with_first < 10.0, "{with_first}");
+        assert!(without > 7.0 && without < 8.6, "{without}");
+    }
+
+    #[test]
+    fn phases_interleave_reads_and_writes() {
+        let w = generate(&HaccConfig::default(), 2);
+        let writes = w.trace.volume_of_kind(IoKind::Write);
+        let reads = w.trace.volume_of_kind(IoKind::Read);
+        assert!(writes > 0);
+        assert!(reads > 0);
+        assert!(writes > reads, "write volume should dominate");
+    }
+
+    #[test]
+    fn flush_points_follow_phase_ends() {
+        let w = generate(&HaccConfig::default(), 3);
+        for (flush, end) in w.flush_points.iter().zip(w.phase_ends.iter()) {
+            assert!((flush - end).abs() < 1e-9);
+        }
+        for pair in w.flush_points.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+
+    #[test]
+    fn phase_starts_are_increasing_and_roughly_periodic() {
+        let w = generate(&HaccConfig::default(), 4);
+        let gaps: Vec<f64> = w.phase_starts.windows(2).map(|g| g[1] - g[0]).collect();
+        for w2 in w.phase_starts.windows(2) {
+            assert!(w2[1] > w2[0]);
+        }
+        // After the first (prolonged) gap the remaining gaps are close to the
+        // nominal period.
+        for &g in &gaps[1..] {
+            assert!(g > 6.0 && g < 10.0, "gap {g}");
+        }
+        assert!(gaps[0] > gaps[1], "first gap includes the prolonged phase");
+    }
+
+    #[test]
+    fn high_bandwidth_phases() {
+        let config = HaccConfig::default();
+        let w = generate(&config, 5);
+        // The second phase transfers bytes_per_phase over io_duration => >10 GB/s.
+        let tl = ftio_trace::BandwidthTimeline::from_trace(&w.trace);
+        let start = w.phase_starts[1];
+        let end = w.phase_ends[1];
+        let bw = tl.volume_in(start, end) / (end - start);
+        assert!(bw > 10.0e9, "bandwidth {bw}");
+    }
+}

@@ -1,0 +1,405 @@
+//! IOR-like I/O phase generation.
+//!
+//! The paper builds its semi-synthetic traces out of *real IOR phases*: "we
+//! traced IOR runs that represent a single I/O phase. [...] IOR was executed
+//! 100 times on the PlaFRIM cluster using 32 processes on four nodes. Each of
+//! them writes a 3.5 GB file in 1 MB contiguous requests", giving phases of
+//! 10.22–13.34 s (≈ 10 GB/s aggregate). Since the actual PlaFRIM traces are
+//! not available, this module generates statistically equivalent phases: the
+//! same per-process volume, the same duration range, and per-request timing
+//! jitter so that the aggregate bandwidth is not perfectly flat.
+//!
+//! The module also models a full IOR *benchmark run* (iterations × segments ×
+//! block/transfer size) as used in the paper's §II-C scalability example.
+
+use ftio_trace::{AppTrace, IoRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::uniform;
+
+/// One I/O phase: a set of per-process requests with times relative to the
+/// phase start.
+#[derive(Clone, Debug, Default)]
+pub struct IoPhase {
+    /// Requests with start/end relative to the phase start (seconds).
+    pub requests: Vec<IoRequest>,
+    /// Number of processes participating in the phase.
+    pub num_processes: usize,
+    /// Phase duration: the latest request end, in seconds.
+    pub duration: f64,
+}
+
+impl IoPhase {
+    /// Total volume of the phase in bytes.
+    pub fn volume(&self) -> u64 {
+        self.requests.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Aggregate bandwidth of the phase in bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        if self.duration > 0.0 {
+            self.volume() as f64 / self.duration
+        } else {
+            0.0
+        }
+    }
+
+    /// Instantiates the phase at absolute time `start`, applying an extra
+    /// per-process delay (`delays[k]` seconds for process `k`, missing entries
+    /// meaning no delay), and appends the requests to `trace`.
+    ///
+    /// Returns the end time of the instantiated phase.
+    pub fn emit(&self, trace: &mut AppTrace, start: f64, delays: &[f64]) -> f64 {
+        let mut end = start;
+        for r in &self.requests {
+            let delay = delays.get(r.rank).copied().unwrap_or(0.0);
+            let shifted = r.shifted(start + delay);
+            end = end.max(shifted.end);
+            trace.push(shifted);
+        }
+        end
+    }
+}
+
+/// Configuration of a single generated IOR-like phase.
+#[derive(Clone, Copy, Debug)]
+pub struct IorPhaseConfig {
+    /// Number of writer processes (32 in the paper's phase library).
+    pub num_processes: usize,
+    /// Bytes written per process (3.5 GB in the paper).
+    pub bytes_per_process: u64,
+    /// Number of requests each process issues. The paper's runs issue 3,500
+    /// one-megabyte requests; for analysis at 1–10 Hz a few tens of requests
+    /// per process produce an indistinguishable bandwidth signal at a fraction
+    /// of the memory cost, so this is configurable.
+    pub requests_per_process: usize,
+    /// Minimum phase duration in seconds (10.22 s in the paper's library).
+    pub min_duration: f64,
+    /// Maximum phase duration in seconds (13.34 s in the paper's library).
+    pub max_duration: f64,
+    /// Relative per-request timing jitter (0.0 = perfectly even spacing).
+    pub jitter: f64,
+}
+
+impl Default for IorPhaseConfig {
+    fn default() -> Self {
+        IorPhaseConfig {
+            num_processes: 32,
+            bytes_per_process: 3_500_000_000,
+            requests_per_process: 35,
+            min_duration: 10.22,
+            max_duration: 13.34,
+            jitter: 0.05,
+        }
+    }
+}
+
+/// Generates one IOR-like I/O phase.
+pub fn generate_phase(config: &IorPhaseConfig, rng: &mut StdRng) -> IoPhase {
+    let duration = uniform(rng, config.min_duration, config.max_duration);
+    generate_phase_with_duration(config, duration, rng)
+}
+
+/// Generates one IOR-like phase with an explicit duration (used by tests and
+/// by workloads that need exact phase lengths).
+pub fn generate_phase_with_duration(
+    config: &IorPhaseConfig,
+    duration: f64,
+    rng: &mut StdRng,
+) -> IoPhase {
+    let reqs_per_proc = config.requests_per_process.max(1);
+    let bytes_per_request = (config.bytes_per_process / reqs_per_proc as u64).max(1);
+    let slot = duration / reqs_per_proc as f64;
+    let mut requests = Vec::with_capacity(config.num_processes * reqs_per_proc);
+    let mut max_end: f64 = 0.0;
+    for rank in 0..config.num_processes {
+        for i in 0..reqs_per_proc {
+            let jitter = if config.jitter > 0.0 {
+                slot * config.jitter * (rng.gen::<f64>() - 0.5)
+            } else {
+                0.0
+            };
+            let start = (i as f64 * slot + jitter).max(0.0);
+            let end = (start + slot * (1.0 - config.jitter * rng.gen::<f64>() * 0.5)).min(duration);
+            let end = end.max(start);
+            requests.push(IoRequest::write(rank, start, end, bytes_per_request));
+            max_end = max_end.max(end);
+        }
+    }
+    IoPhase {
+        requests,
+        num_processes: config.num_processes,
+        duration: max_end,
+    }
+}
+
+/// A library of pre-generated phases, standing in for the paper's 99 traced
+/// IOR phases. Phases are drawn from it at random during semi-synthetic trace
+/// generation.
+#[derive(Clone, Debug)]
+pub struct PhaseLibrary {
+    phases: Vec<IoPhase>,
+}
+
+impl PhaseLibrary {
+    /// Generates a library of `count` phases.
+    pub fn generate(config: &IorPhaseConfig, count: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phases = (0..count).map(|_| generate_phase(config, &mut rng)).collect();
+        PhaseLibrary { phases }
+    }
+
+    /// Library matching the paper's description: 99 phases, 32 processes,
+    /// 3.5 GB per process, durations in [10.22, 13.34] s.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::generate(&IorPhaseConfig::default(), 99, seed)
+    }
+
+    /// Number of phases in the library.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// All phases.
+    pub fn phases(&self) -> &[IoPhase] {
+        &self.phases
+    }
+
+    /// Picks a phase uniformly at random.
+    pub fn pick<'a>(&'a self, rng: &mut StdRng) -> &'a IoPhase {
+        &self.phases[rng.gen_range(0..self.phases.len())]
+    }
+
+    /// Mean phase duration across the library.
+    pub fn mean_duration(&self) -> f64 {
+        if self.phases.is_empty() {
+            return 0.0;
+        }
+        self.phases.iter().map(|p| p.duration).sum::<f64>() / self.phases.len() as f64
+    }
+}
+
+/// Configuration of a full IOR benchmark run (the §II-C example): every rank
+/// performs `iterations × segments` write phases of `block_size` bytes in
+/// `transfer_size` chunks, separated by compute/barrier gaps.
+#[derive(Clone, Copy, Debug)]
+pub struct IorBenchmarkConfig {
+    /// Number of MPI ranks (9216 in the paper's example).
+    pub num_ranks: usize,
+    /// IOR iterations (8 in the paper's example).
+    pub iterations: usize,
+    /// Segments per iteration (2 in the paper's example).
+    pub segments: usize,
+    /// Block size per rank and segment in bytes (10 MB in the paper).
+    pub block_size: u64,
+    /// Transfer size per request in bytes (2 MB in the paper).
+    pub transfer_size: u64,
+    /// Aggregate file-system bandwidth available to the run, bytes/second.
+    pub aggregate_bandwidth: f64,
+    /// Gap between consecutive phases (compute / barrier time), seconds.
+    pub gap_between_phases: f64,
+    /// Time of the first phase start, seconds.
+    pub start_offset: f64,
+}
+
+impl Default for IorBenchmarkConfig {
+    fn default() -> Self {
+        // Defaults shaped after the §II-C example: 9216 ranks, 8 iterations,
+        // 2 segments, 10 MB blocks in 2 MB transfers, ~111.67 s period over a
+        // 781 s window starting at ~65 s.
+        IorBenchmarkConfig {
+            num_ranks: 9216,
+            iterations: 8,
+            segments: 2,
+            block_size: 10 * 1024 * 1024,
+            transfer_size: 2 * 1024 * 1024,
+            aggregate_bandwidth: 20.0e9,
+            gap_between_phases: 107.0,
+            start_offset: 64.97,
+        }
+    }
+}
+
+/// Generates the trace of a full IOR benchmark run.
+///
+/// Each of the `iterations` iterations writes `segments` segments back to
+/// back; every rank contributes `block_size / transfer_size` requests per
+/// segment. The phase duration follows from the aggregate volume divided by
+/// `aggregate_bandwidth`, with a small per-phase variation.
+pub fn generate_benchmark(config: &IorBenchmarkConfig, seed: u64) -> AppTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = AppTrace::named("IOR", config.num_ranks);
+    let requests_per_rank_per_segment = (config.block_size / config.transfer_size).max(1) as usize;
+    let phase_volume = config.block_size as f64 * config.num_ranks as f64 * config.segments as f64;
+    let nominal_phase_duration = phase_volume / config.aggregate_bandwidth;
+
+    let mut t = config.start_offset;
+    for _ in 0..config.iterations {
+        let phase_duration = nominal_phase_duration * uniform(&mut rng, 0.9, 1.15);
+        let request_slot = phase_duration / (config.segments * requests_per_rank_per_segment) as f64;
+        for rank in 0..config.num_ranks {
+            for s in 0..config.segments {
+                for i in 0..requests_per_rank_per_segment {
+                    let idx = s * requests_per_rank_per_segment + i;
+                    let start = t + idx as f64 * request_slot;
+                    let end = start + request_slot;
+                    trace.push(IoRequest::write(rank, start, end, config.transfer_size));
+                }
+            }
+        }
+        t += phase_duration + config.gap_between_phases * uniform(&mut rng, 0.95, 1.05);
+    }
+    trace
+}
+
+/// A reduced-rank variant of [`generate_benchmark`] that keeps the aggregate
+/// bandwidth signal identical but represents all ranks by `represented_ranks`
+/// writer processes, so experiments that only consume the application-level
+/// signal do not need millions of request records.
+pub fn generate_benchmark_downsampled(
+    config: &IorBenchmarkConfig,
+    represented_ranks: usize,
+    seed: u64,
+) -> AppTrace {
+    let scale = (config.num_ranks as f64 / represented_ranks as f64).max(1.0);
+    let reduced = IorBenchmarkConfig {
+        num_ranks: represented_ranks,
+        block_size: (config.block_size as f64 * scale) as u64,
+        transfer_size: (config.transfer_size as f64 * scale) as u64,
+        ..*config
+    };
+    let mut trace = generate_benchmark(&reduced, seed);
+    trace.metadata_mut().num_ranks = config.num_ranks;
+    trace.metadata_mut().notes = format!(
+        "downsampled from {} ranks to {} writer processes",
+        config.num_ranks, represented_ranks
+    );
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftio_trace::BandwidthTimeline;
+
+    #[test]
+    fn phase_volume_and_duration_match_config() {
+        let config = IorPhaseConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let phase = generate_phase(&config, &mut rng);
+        assert_eq!(phase.num_processes, 32);
+        let expected_volume = 32u64 * (3_500_000_000 / 35) * 35;
+        assert_eq!(phase.volume(), expected_volume);
+        assert!(phase.duration >= 9.0 && phase.duration <= 13.34 + 1e-9);
+        // Aggregate bandwidth is in the right ballpark (~10 GB/s).
+        assert!(phase.bandwidth() > 7.0e9 && phase.bandwidth() < 12.0e9);
+    }
+
+    #[test]
+    fn phase_requests_are_within_duration() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let phase = generate_phase(&IorPhaseConfig::default(), &mut rng);
+        for r in &phase.requests {
+            assert!(r.start >= 0.0);
+            assert!(r.end <= phase.duration + 1e-9);
+            assert!(r.is_valid());
+        }
+    }
+
+    #[test]
+    fn library_has_requested_size_and_duration_spread() {
+        let lib = PhaseLibrary::paper_default(7);
+        assert_eq!(lib.len(), 99);
+        assert!(!lib.is_empty());
+        let mean = lib.mean_duration();
+        assert!(mean > 10.0 && mean < 13.5, "mean duration {mean}");
+        let min = lib.phases().iter().map(|p| p.duration).fold(f64::INFINITY, f64::min);
+        let max = lib.phases().iter().map(|p| p.duration).fold(0.0, f64::max);
+        assert!(min >= 10.0);
+        assert!(max <= 13.34 + 1e-9);
+        assert!(max - min > 0.5, "durations should vary across the library");
+    }
+
+    #[test]
+    fn emit_applies_offset_and_delays() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = IorPhaseConfig {
+            num_processes: 2,
+            bytes_per_process: 100,
+            requests_per_process: 2,
+            min_duration: 1.0,
+            max_duration: 1.0,
+            jitter: 0.0,
+        };
+        let phase = generate_phase(&config, &mut rng);
+        let mut trace = AppTrace::named("x", 2);
+        let end = phase.emit(&mut trace, 100.0, &[0.0, 5.0]);
+        assert_eq!(trace.len(), 4);
+        assert!(trace.requests().iter().all(|r| r.start >= 100.0));
+        let rank1_start = trace
+            .requests()
+            .iter()
+            .filter(|r| r.rank == 1)
+            .map(|r| r.start)
+            .fold(f64::INFINITY, f64::min);
+        assert!(rank1_start >= 105.0);
+        assert!(end >= 106.0 - 1e-9);
+    }
+
+    #[test]
+    fn benchmark_phase_count_and_periodicity() {
+        let config = IorBenchmarkConfig {
+            num_ranks: 64,
+            aggregate_bandwidth: 2.0e9,
+            gap_between_phases: 20.0,
+            start_offset: 0.0,
+            ..Default::default()
+        };
+        let trace = generate_benchmark(&config, 11);
+        // 8 iterations × 2 segments × (10 MB / 2 MB) requests × 64 ranks
+        assert_eq!(trace.len(), 8 * 2 * 5 * 64);
+        // The bandwidth signal should show 8 distinct bursts.
+        let tl = BandwidthTimeline::from_trace(&trace);
+        let samples = tl.sample(0.0, trace.end_time().ceil(), 1.0);
+        let mean_bw = samples.iter().sum::<f64>() / samples.len() as f64;
+        let bursts = count_bursts(&samples, mean_bw);
+        assert_eq!(bursts, 8, "expected 8 I/O bursts");
+    }
+
+    #[test]
+    fn downsampled_benchmark_preserves_volume_and_rank_metadata() {
+        let config = IorBenchmarkConfig {
+            num_ranks: 1024,
+            aggregate_bandwidth: 10.0e9,
+            start_offset: 0.0,
+            ..Default::default()
+        };
+        let full = generate_benchmark(&config, 5);
+        let small = generate_benchmark_downsampled(&config, 32, 5);
+        assert_eq!(small.metadata().num_ranks, 1024);
+        assert!(small.len() < full.len());
+        let rel_diff = (full.total_volume() as f64 - small.total_volume() as f64).abs()
+            / full.total_volume() as f64;
+        assert!(rel_diff < 0.01, "volume mismatch {rel_diff}");
+    }
+
+    fn count_bursts(samples: &[f64], threshold: f64) -> usize {
+        let mut bursts = 0;
+        let mut in_burst = false;
+        for &s in samples {
+            if s > threshold && !in_burst {
+                bursts += 1;
+                in_burst = true;
+            } else if s <= threshold {
+                in_burst = false;
+            }
+        }
+        bursts
+    }
+}

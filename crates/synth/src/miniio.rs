@@ -1,0 +1,137 @@
+//! miniIO-shaped workload (paper §II-E, Fig. 6 — the aliasing example).
+//!
+//! The paper uses the `unstruct` mini-app of miniIO (144 ranks, 1000 points
+//! per task) to illustrate what happens when the sampling frequency is too
+//! low: the I/O consists of *very short bursts*, so even fs = 100 Hz produces
+//! a discrete signal that "does not match the original one at all" and the
+//! abstraction error (volume difference between the continuous and the
+//! discretised signal on a point-sampling basis) becomes large.
+//!
+//! The generator reproduces that structure: many extremely short, dense
+//! bursts with long quiet gaps, so point sampling misses most of the volume
+//! unless the sampling frequency is far above the burst rate.
+
+use ftio_trace::{AppTrace, IoRequest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::distributions::uniform;
+
+/// Configuration of the miniIO-shaped workload.
+#[derive(Clone, Copy, Debug)]
+pub struct MiniIoConfig {
+    /// Number of ranks (144 in the paper).
+    pub num_ranks: usize,
+    /// Number of writer processes represented in the trace.
+    pub writers: usize,
+    /// Number of output steps (each step produces one burst train).
+    pub steps: usize,
+    /// Gap between output steps in seconds.
+    pub step_gap: f64,
+    /// Number of micro-bursts per step.
+    pub bursts_per_step: usize,
+    /// Duration of one micro-burst in seconds (well below 10 ms).
+    pub burst_duration: f64,
+    /// Gap between micro-bursts within a step in seconds.
+    pub burst_gap: f64,
+    /// Bytes per micro-burst across all writers.
+    pub bytes_per_burst: u64,
+}
+
+impl Default for MiniIoConfig {
+    fn default() -> Self {
+        MiniIoConfig {
+            num_ranks: 144,
+            writers: 16,
+            steps: 6,
+            step_gap: 4.0,
+            bursts_per_step: 40,
+            burst_duration: 0.002,
+            burst_gap: 0.03,
+            bytes_per_burst: 20_000_000,
+        }
+    }
+}
+
+/// Generates the miniIO-shaped trace.
+pub fn generate(config: &MiniIoConfig, seed: u64) -> AppTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = AppTrace::named("miniIO", config.num_ranks);
+    let bytes_per_writer = (config.bytes_per_burst / config.writers.max(1) as u64).max(1);
+    let mut t = 1.0;
+    for _ in 0..config.steps {
+        for _ in 0..config.bursts_per_step {
+            let duration = config.burst_duration * uniform(&mut rng, 0.5, 1.5);
+            for w in 0..config.writers {
+                trace.push(IoRequest::write(w, t, t + duration, bytes_per_writer));
+            }
+            t += duration + config.burst_gap * uniform(&mut rng, 0.8, 1.2);
+        }
+        t += config.step_gap * uniform(&mut rng, 0.9, 1.1);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftio_trace::BandwidthTimeline;
+
+    #[test]
+    fn bursts_are_sub_10ms() {
+        let trace = generate(&MiniIoConfig::default(), 1);
+        for r in trace.requests() {
+            assert!(r.duration() < 0.01, "burst too long: {}", r.duration());
+        }
+        assert_eq!(trace.len(), 6 * 40 * 16);
+    }
+
+    #[test]
+    fn point_sampling_at_low_fs_loses_most_volume() {
+        let trace = generate(&MiniIoConfig::default(), 2);
+        let tl = BandwidthTimeline::from_trace(&trace);
+        let t0 = tl.start();
+        let t1 = tl.end() + 1.0;
+        let total = tl.total_volume();
+
+        // Point sampling at 10 Hz: each sample holds the instantaneous
+        // bandwidth; integrating it badly misrepresents the volume.
+        let fs = 10.0;
+        let instant = tl.sample_instantaneous(t0, t1, fs);
+        let instant_volume: f64 = instant.iter().map(|bw| bw / fs).sum();
+        let rel_err = (instant_volume - total).abs() / total;
+        assert!(rel_err > 0.1, "expected a large abstraction error, got {rel_err}");
+
+        // Volume-preserving (averaging) sampling keeps the volume even at 10 Hz.
+        let averaged = tl.sample(t0, t1, fs);
+        let averaged_volume: f64 = averaged.iter().map(|bw| bw / fs).sum();
+        assert!((averaged_volume - total).abs() / total < 0.05);
+    }
+
+    #[test]
+    fn step_structure_is_visible_at_coarse_granularity() {
+        let config = MiniIoConfig::default();
+        let trace = generate(&config, 3);
+        let tl = BandwidthTimeline::from_trace(&trace);
+        let samples = tl.sample(0.0, trace.end_time().ceil() + 1.0, 1.0);
+        // Steps of ~1.3 s activity separated by ~4 s of silence: count active runs.
+        let mut runs = 0;
+        let mut active = false;
+        for &s in &samples {
+            if s > 0.0 && !active {
+                runs += 1;
+                active = true;
+            } else if s == 0.0 {
+                active = false;
+            }
+        }
+        assert_eq!(runs, config.steps);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&MiniIoConfig::default(), 9);
+        let b = generate(&MiniIoConfig::default(), 9);
+        assert_eq!(a.requests(), b.requests());
+    }
+}

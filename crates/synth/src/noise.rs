@@ -1,0 +1,205 @@
+//! Background-noise I/O generation.
+//!
+//! For the robustness experiments the paper adds noise to the application
+//! traces: "we generated 200 traces from IOR on a single process in two
+//! configurations: low noise of nearly 500 MB/s and high noise of nearly
+//! 1 GB/s. The noise traces have 10 periods of approximately 2.2 s each.
+//! Noise is emulated by randomly selecting a sequence of noise traces and
+//! adding them to the application trace." (§III-A)
+//!
+//! A noise trace is therefore itself periodic but with a small amplitude and a
+//! short period compared to the application's I/O phases, which is exactly the
+//! kind of high-frequency content the power-spectrum analysis must not mistake
+//! for the dominant frequency.
+
+use ftio_trace::{AppTrace, IoRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::uniform;
+
+/// Intensity of the injected background noise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum NoiseLevel {
+    /// No noise is added.
+    #[default]
+    None,
+    /// ~500 MB/s single-process noise.
+    Low,
+    /// ~1 GB/s single-process noise.
+    High,
+}
+
+impl NoiseLevel {
+    /// Nominal bandwidth of the noise stream in bytes/second.
+    pub fn bandwidth(self) -> f64 {
+        match self {
+            NoiseLevel::None => 0.0,
+            NoiseLevel::Low => 500.0e6,
+            NoiseLevel::High => 1.0e9,
+        }
+    }
+}
+
+/// Configuration of one noise trace (mirroring the paper's noise IOR runs).
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseConfig {
+    /// Noise intensity.
+    pub level: NoiseLevel,
+    /// Number of noise periods per noise trace (10 in the paper).
+    pub periods: usize,
+    /// Approximate period length in seconds (≈ 2.2 s in the paper).
+    pub period_length: f64,
+    /// Fraction of each period during which the noise process performs I/O.
+    pub duty_cycle: f64,
+    /// Rank id used for the noise requests (a single extra process).
+    pub rank: usize,
+}
+
+impl NoiseConfig {
+    /// The paper's noise configuration at the given level.
+    pub fn paper_default(level: NoiseLevel) -> Self {
+        NoiseConfig {
+            level,
+            periods: 10,
+            period_length: 2.2,
+            duty_cycle: 0.8,
+            rank: usize::MAX - 1,
+        }
+    }
+
+    /// Duration of one noise trace in seconds.
+    pub fn trace_duration(&self) -> f64 {
+        self.periods as f64 * self.period_length
+    }
+}
+
+/// Generates a single noise trace starting at time 0 (requests only).
+pub fn generate_noise_trace(config: &NoiseConfig, rng: &mut StdRng) -> Vec<IoRequest> {
+    if config.level == NoiseLevel::None || config.periods == 0 {
+        return Vec::new();
+    }
+    let mut requests = Vec::with_capacity(config.periods);
+    let mut t = 0.0;
+    for _ in 0..config.periods {
+        let period = config.period_length * uniform(rng, 0.9, 1.1);
+        let busy = period * config.duty_cycle.clamp(0.05, 1.0);
+        let bandwidth = config.level.bandwidth() * uniform(rng, 0.85, 1.15);
+        let bytes = (bandwidth * busy) as u64;
+        requests.push(IoRequest::write(config.rank, t, t + busy, bytes));
+        t += period;
+    }
+    requests
+}
+
+/// Adds background noise to `trace`, covering its whole duration by chaining
+/// randomly generated noise traces back to back (the paper's "randomly
+/// selecting a sequence of noise traces").
+pub fn add_noise(trace: &mut AppTrace, level: NoiseLevel, seed: u64) {
+    if level == NoiseLevel::None || trace.is_empty() {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA015E);
+    let config = NoiseConfig::paper_default(level);
+    let start = trace.start_time();
+    let end = trace.end_time();
+    let mut t = start;
+    while t < end {
+        let noise = generate_noise_trace(&config, &mut rng);
+        let chunk_end = t + config.trace_duration();
+        for r in noise {
+            let shifted = r.shifted(t);
+            if shifted.start < end {
+                trace.push(shifted);
+            }
+        }
+        t = chunk_end;
+        // Occasionally skip a little so noise chunks do not align perfectly.
+        if rng.gen::<f64>() < 0.2 {
+            t += uniform(&mut rng, 0.0, 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_levels_have_expected_bandwidth() {
+        assert_eq!(NoiseLevel::None.bandwidth(), 0.0);
+        assert_eq!(NoiseLevel::Low.bandwidth(), 500.0e6);
+        assert_eq!(NoiseLevel::High.bandwidth(), 1.0e9);
+    }
+
+    #[test]
+    fn noise_trace_has_requested_periods() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = NoiseConfig::paper_default(NoiseLevel::Low);
+        let reqs = generate_noise_trace(&config, &mut rng);
+        assert_eq!(reqs.len(), 10);
+        for r in &reqs {
+            assert!(r.is_valid());
+            // Bandwidth near 500 MB/s (within the ±15% generator band).
+            let bw = r.bandwidth();
+            assert!(bw > 350.0e6 && bw < 650.0e6, "noise bandwidth {bw}");
+        }
+        // Total duration near 10 × 2.2 s.
+        let last_end = reqs.iter().map(|r| r.end).fold(0.0, f64::max);
+        assert!(last_end > 17.0 && last_end < 27.0);
+    }
+
+    #[test]
+    fn none_level_generates_nothing() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = NoiseConfig::paper_default(NoiseLevel::None);
+        assert!(generate_noise_trace(&config, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn add_noise_covers_the_trace_duration() {
+        let mut trace = AppTrace::named("app", 4);
+        for i in 0..5 {
+            trace.push(IoRequest::write(0, i as f64 * 30.0, i as f64 * 30.0 + 5.0, 1_000_000_000));
+        }
+        let before = trace.len();
+        let end = trace.end_time();
+        add_noise(&mut trace, NoiseLevel::High, 3);
+        assert!(trace.len() > before);
+        // Noise requests exist both early and late in the trace.
+        let noise_reqs: Vec<_> = trace
+            .requests()
+            .iter()
+            .filter(|r| r.rank == usize::MAX - 1)
+            .collect();
+        assert!(!noise_reqs.is_empty());
+        assert!(noise_reqs.iter().any(|r| r.start < end * 0.25));
+        assert!(noise_reqs.iter().any(|r| r.start > end * 0.75));
+        // Noise volume per second is ~1 GB/s × duty cycle, far below the app's bursts.
+        let noise_volume: u64 = noise_reqs.iter().map(|r| r.bytes).sum();
+        assert!(noise_volume > 0);
+    }
+
+    #[test]
+    fn add_noise_to_empty_or_none_is_a_noop() {
+        let mut empty = AppTrace::named("x", 1);
+        add_noise(&mut empty, NoiseLevel::High, 1);
+        assert!(empty.is_empty());
+
+        let mut trace = AppTrace::named("x", 1);
+        trace.push(IoRequest::write(0, 0.0, 1.0, 100));
+        add_noise(&mut trace, NoiseLevel::None, 1);
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn noise_is_deterministic_for_a_seed() {
+        let build = || {
+            let mut trace = AppTrace::named("x", 1);
+            trace.push(IoRequest::write(0, 0.0, 100.0, 1_000_000));
+            add_noise(&mut trace, NoiseLevel::Low, 42);
+            trace.len()
+        };
+        assert_eq!(build(), build());
+    }
+}

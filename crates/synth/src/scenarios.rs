@@ -1,0 +1,179 @@
+//! Small illustrative scenarios from the paper's motivation (Figs. 1 and 4).
+//!
+//! Figure 1 shows why drawing I/O-phase boundaries is hard: several processes
+//! write bursts whose requests interleave (is burst B one phase or two? where
+//! does A end?), and Figure 4 overlays the substantial-I/O threshold
+//! `V(T)/L(T)` on the same trace to derive `R_IO` and `B_IO`. This module
+//! generates traces with exactly those ingredients:
+//!
+//! * a handful of large, multi-process bursts of uneven size and spacing,
+//! * a single process writing a small log file at a much higher frequency
+//!   (the "noise" activity whose period is *not* the one of interest),
+//! * optional gaps inside a burst, so a naive inter-request-gap threshold
+//!   would split it in two.
+
+use ftio_trace::{AppTrace, IoRequest};
+
+/// Configuration of the phase-boundary scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioConfig {
+    /// Number of processes writing the large bursts.
+    pub processes: usize,
+    /// Number of large bursts.
+    pub bursts: usize,
+    /// Period between burst starts in seconds.
+    pub burst_period: f64,
+    /// Duration of one burst in seconds.
+    pub burst_duration: f64,
+    /// Aggregate bandwidth during a burst in bytes/second.
+    pub burst_bandwidth: f64,
+    /// Whether every second burst is split in two by an internal gap
+    /// (the "is B one or two phases?" question of Fig. 1).
+    pub split_bursts: bool,
+    /// Period of the small log writes in seconds (0 disables them).
+    pub log_period: f64,
+    /// Bytes per log write.
+    pub log_bytes: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            processes: 10,
+            bursts: 6,
+            burst_period: 30.0,
+            burst_duration: 8.0,
+            burst_bandwidth: 16.0e9,
+            split_bursts: true,
+            log_period: 2.0,
+            log_bytes: 4_096,
+        }
+    }
+}
+
+/// Generates the Fig. 1 / Fig. 4 style trace.
+pub fn generate(config: &ScenarioConfig) -> AppTrace {
+    let mut trace = AppTrace::named("phase-boundary-scenario", config.processes + 1);
+    let bytes_per_process_burst =
+        (config.burst_bandwidth * config.burst_duration / config.processes.max(1) as f64) as u64;
+
+    let mut t = 5.0;
+    for b in 0..config.bursts {
+        if config.split_bursts && b % 2 == 1 {
+            // Split the burst in two halves separated by a short gap.
+            let half = config.burst_duration / 2.0;
+            let gap = config.burst_duration * 0.25;
+            for p in 0..config.processes {
+                trace.push(IoRequest::write(p, t, t + half, bytes_per_process_burst / 2));
+                trace.push(IoRequest::write(
+                    p,
+                    t + half + gap,
+                    t + config.burst_duration + gap,
+                    bytes_per_process_burst / 2,
+                ));
+            }
+        } else {
+            // One contiguous burst, but each process issues two back-to-back
+            // requests (the "sequence of two 512 MB write requests" of §I).
+            let half = config.burst_duration / 2.0;
+            for p in 0..config.processes {
+                trace.push(IoRequest::write(p, t, t + half, bytes_per_process_burst / 2));
+                trace.push(IoRequest::write(
+                    p,
+                    t + half,
+                    t + config.burst_duration,
+                    bytes_per_process_burst / 2,
+                ));
+            }
+        }
+        t += config.burst_period;
+    }
+
+    // The low-volume periodic log writer (one extra process).
+    if config.log_period > 0.0 {
+        let log_rank = config.processes;
+        let end = trace.end_time();
+        let mut lt = 1.0;
+        while lt < end {
+            trace.push(IoRequest::write(log_rank, lt, lt + 0.05, config.log_bytes));
+            lt += config.log_period;
+        }
+    }
+
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftio_trace::BandwidthTimeline;
+
+    #[test]
+    fn default_scenario_has_bursts_and_log_writes() {
+        let config = ScenarioConfig::default();
+        let trace = generate(&config);
+        let log_requests = trace
+            .requests()
+            .iter()
+            .filter(|r| r.rank == config.processes)
+            .count();
+        let burst_requests = trace.len() - log_requests;
+        assert_eq!(burst_requests, 6 * 10 * 2);
+        assert!(log_requests > 50, "log writer should fire often");
+    }
+
+    #[test]
+    fn burst_volume_dwarfs_log_volume() {
+        let config = ScenarioConfig::default();
+        let trace = generate(&config);
+        let log_volume: u64 = trace
+            .requests()
+            .iter()
+            .filter(|r| r.rank == config.processes)
+            .map(|r| r.bytes)
+            .sum();
+        let burst_volume = trace.total_volume() - log_volume;
+        assert!(burst_volume > log_volume * 1000);
+    }
+
+    #[test]
+    fn bursts_reach_the_configured_bandwidth() {
+        let config = ScenarioConfig {
+            split_bursts: false,
+            log_period: 0.0,
+            ..Default::default()
+        };
+        let trace = generate(&config);
+        let tl = BandwidthTimeline::from_trace(&trace);
+        // Middle of the first burst.
+        let bw = tl.bandwidth_at(7.0);
+        assert!((bw - config.burst_bandwidth).abs() / config.burst_bandwidth < 0.01);
+        // Middle of the first gap.
+        assert_eq!(tl.bandwidth_at(20.0), 0.0);
+    }
+
+    #[test]
+    fn split_bursts_have_an_internal_gap() {
+        let config = ScenarioConfig {
+            log_period: 0.0,
+            ..Default::default()
+        };
+        let trace = generate(&config);
+        let tl = BandwidthTimeline::from_trace(&trace);
+        // Second burst starts at 35 s and is split: its two halves are
+        // separated by a 2 s gap starting at 39 s.
+        assert!(tl.bandwidth_at(37.0) > 0.0);
+        assert_eq!(tl.bandwidth_at(40.0), 0.0);
+        assert!(tl.bandwidth_at(42.0) > 0.0);
+    }
+
+    #[test]
+    fn disabled_log_writer_leaves_only_burst_ranks() {
+        let config = ScenarioConfig {
+            log_period: 0.0,
+            ..Default::default()
+        };
+        let trace = generate(&config);
+        assert!(trace.active_ranks().iter().all(|&r| r < config.processes));
+    }
+}

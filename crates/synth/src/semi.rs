@@ -1,0 +1,351 @@
+//! Semi-synthetic application traces (paper §III-A).
+//!
+//! The accuracy/limitations study of the paper evaluates FTIO on traces built
+//! from real IOR phases stitched together with synthetic compute gaps:
+//!
+//! > "An application is considered to be a sequence of J non-overlapping
+//! > iterations. Each iteration j ≤ J has a compute phase of length t_cpu^(j)
+//! > followed by an I/O phase (of length t_io^(j)) where each of the P
+//! > processes writes an amount of data v to the file system."
+//!
+//! Per iteration the generator:
+//! 1. draws `t_cpu` from a truncated normal `N(µ, σ)`,
+//! 2. picks a random phase from the [`PhaseLibrary`],
+//! 3. adds an exponential per-process delay `δ_k` (with `δ_0 = 0`) to model
+//!    desynchronisation and I/O variability,
+//!
+//! and finally optionally overlays background noise. The generator also keeps
+//! the ground truth (`phase start times`, mean period `T̄`) that the detection
+//! error `|T_d − T̄| / T̄` of Figure 8 is computed against.
+
+use ftio_trace::AppTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::distributions::{exponential, truncated_normal_non_negative};
+use crate::ior::PhaseLibrary;
+use crate::noise::{add_noise, NoiseLevel};
+
+/// Parameters of one semi-synthetic application trace.
+#[derive(Clone, Copy, Debug)]
+pub struct SemiSyntheticConfig {
+    /// Number of iterations `J` (20 in the paper's experiments).
+    pub iterations: usize,
+    /// Number of processes `P` (32, matching the IOR phase library).
+    pub processes: usize,
+    /// Mean `µ` of the compute-phase length in seconds.
+    pub tcpu_mean: f64,
+    /// Standard deviation `σ` of the compute-phase length in seconds.
+    pub tcpu_std: f64,
+    /// Average `ϕ` of the exponential per-process delay in seconds
+    /// (0 disables desynchronisation).
+    pub desync_avg: f64,
+    /// Background noise level.
+    pub noise: NoiseLevel,
+}
+
+impl Default for SemiSyntheticConfig {
+    fn default() -> Self {
+        SemiSyntheticConfig {
+            iterations: 20,
+            processes: 32,
+            tcpu_mean: 11.0,
+            tcpu_std: 0.0,
+            desync_avg: 0.0,
+            noise: NoiseLevel::None,
+        }
+    }
+}
+
+/// A generated semi-synthetic trace together with its ground truth.
+#[derive(Clone, Debug)]
+pub struct SemiSyntheticTrace {
+    /// The request trace handed to FTIO.
+    pub trace: AppTrace,
+    /// Start time of every I/O phase (ground truth, not available to FTIO).
+    pub phase_starts: Vec<f64>,
+    /// Effective duration of every I/O phase (including desynchronisation).
+    pub phase_durations: Vec<f64>,
+    /// Compute-phase length drawn for every iteration.
+    pub tcpu: Vec<f64>,
+    /// The configuration the trace was generated from.
+    pub config: SemiSyntheticConfig,
+}
+
+impl SemiSyntheticTrace {
+    /// The ground-truth mean period `T̄`: the average distance between the
+    /// start times of consecutive I/O phases.
+    pub fn mean_period(&self) -> f64 {
+        if self.phase_starts.len() < 2 {
+            return 0.0;
+        }
+        let diffs: Vec<f64> = self
+            .phase_starts
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect();
+        diffs.iter().sum::<f64>() / diffs.len() as f64
+    }
+
+    /// The detection error of a period estimate `detected` against the ground
+    /// truth: `|T_d − T̄| / T̄` (paper §III-A). Returns `f64::INFINITY` when the
+    /// ground truth is degenerate.
+    pub fn detection_error(&self, detected_period: f64) -> f64 {
+        let truth = self.mean_period();
+        if truth <= 0.0 {
+            return f64::INFINITY;
+        }
+        (detected_period - truth).abs() / truth
+    }
+
+    /// Ground-truth ratio of time spent on I/O (mean of phase duration over period).
+    pub fn io_time_ratio(&self) -> f64 {
+        let period = self.mean_period();
+        if period <= 0.0 || self.phase_durations.is_empty() {
+            return 0.0;
+        }
+        let mean_io: f64 =
+            self.phase_durations.iter().sum::<f64>() / self.phase_durations.len() as f64;
+        (mean_io / period).min(1.0)
+    }
+}
+
+/// Generates one semi-synthetic trace.
+pub fn generate(
+    config: &SemiSyntheticConfig,
+    library: &PhaseLibrary,
+    seed: u64,
+) -> SemiSyntheticTrace {
+    assert!(config.iterations > 0, "at least one iteration is required");
+    assert!(!library.is_empty(), "phase library must not be empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = AppTrace::named("semi-synthetic", config.processes);
+    let mut phase_starts = Vec::with_capacity(config.iterations);
+    let mut phase_durations = Vec::with_capacity(config.iterations);
+    let mut tcpu_all = Vec::with_capacity(config.iterations);
+
+    let mut t = 0.0;
+    for _ in 0..config.iterations {
+        // 1. Compute phase.
+        let tcpu = truncated_normal_non_negative(&mut rng, config.tcpu_mean, config.tcpu_std);
+        tcpu_all.push(tcpu);
+        t += tcpu;
+
+        // 2. Random I/O phase from the library.
+        let phase = library.pick(&mut rng);
+
+        // 3. Per-process delays δ_k (δ_0 = 0 keeps the phase's left boundary).
+        let delays: Vec<f64> = (0..config.processes)
+            .map(|k| {
+                if k == 0 {
+                    0.0
+                } else {
+                    exponential(&mut rng, config.desync_avg)
+                }
+            })
+            .collect();
+
+        let phase_start = t;
+        let phase_end = phase.emit(&mut trace, phase_start, &delays);
+        phase_starts.push(phase_start);
+        phase_durations.push(phase_end - phase_start);
+        t = phase_end;
+    }
+
+    add_noise(&mut trace, config.noise, seed);
+
+    SemiSyntheticTrace {
+        trace,
+        phase_starts,
+        phase_durations,
+        tcpu: tcpu_all,
+        config: *config,
+    }
+}
+
+/// Generates `count` traces with consecutive seeds, the "100 traces per
+/// parameter combination" batch of the paper's accuracy study.
+pub fn generate_batch(
+    config: &SemiSyntheticConfig,
+    library: &PhaseLibrary,
+    count: usize,
+    base_seed: u64,
+) -> Vec<SemiSyntheticTrace> {
+    (0..count)
+        .map(|i| generate(config, library, base_seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ior::IorPhaseConfig;
+    use ftio_trace::BandwidthTimeline;
+
+    fn small_library(seed: u64) -> PhaseLibrary {
+        PhaseLibrary::generate(
+            &IorPhaseConfig {
+                num_processes: 8,
+                bytes_per_process: 800_000_000,
+                requests_per_process: 10,
+                ..Default::default()
+            },
+            20,
+            seed,
+        )
+    }
+
+    #[test]
+    fn trace_has_expected_phase_count_and_monotone_starts() {
+        let library = small_library(1);
+        let config = SemiSyntheticConfig {
+            iterations: 10,
+            processes: 8,
+            ..Default::default()
+        };
+        let result = generate(&config, &library, 42);
+        assert_eq!(result.phase_starts.len(), 10);
+        assert_eq!(result.phase_durations.len(), 10);
+        assert_eq!(result.tcpu.len(), 10);
+        for w in result.phase_starts.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(!result.trace.is_empty());
+    }
+
+    #[test]
+    fn mean_period_matches_construction_for_fixed_tcpu() {
+        let library = small_library(2);
+        let config = SemiSyntheticConfig {
+            iterations: 20,
+            processes: 8,
+            tcpu_mean: 15.0,
+            tcpu_std: 0.0,
+            ..Default::default()
+        };
+        let result = generate(&config, &library, 7);
+        // With σ = 0 and no desync, each period is 15 s + phase duration
+        // (10.22–13.34 s), so the mean period lies in [25, 29].
+        let mean = result.mean_period();
+        assert!(mean > 25.0 && mean < 29.0, "mean period {mean}");
+        // Ground-truth error of the true value is 0.
+        assert!(result.detection_error(mean) < 1e-12);
+        // An estimate off by 10% reports a 10% error.
+        assert!((result.detection_error(mean * 1.1) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn desynchronisation_extends_phase_durations() {
+        let library = small_library(3);
+        let base = SemiSyntheticConfig {
+            iterations: 10,
+            processes: 8,
+            tcpu_mean: 11.0,
+            ..Default::default()
+        };
+        let no_desync = generate(&base, &library, 9);
+        let desync = generate(
+            &SemiSyntheticConfig {
+                desync_avg: 22.0,
+                ..base
+            },
+            &library,
+            9,
+        );
+        let mean_len = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean_len(&desync.phase_durations) > mean_len(&no_desync.phase_durations) + 5.0,
+            "desynchronised phases should be much longer"
+        );
+    }
+
+    #[test]
+    fn sigma_increases_period_variability() {
+        let library = small_library(4);
+        let spread = |sigma: f64| {
+            let config = SemiSyntheticConfig {
+                iterations: 20,
+                processes: 8,
+                tcpu_mean: 11.0,
+                tcpu_std: sigma,
+                ..Default::default()
+            };
+            let result = generate(&config, &library, 13);
+            let periods: Vec<f64> = result.phase_starts.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = periods.iter().sum::<f64>() / periods.len() as f64;
+            let var = periods.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / periods.len() as f64;
+            var.sqrt()
+        };
+        assert!(spread(22.0) > spread(0.0) + 3.0);
+    }
+
+    #[test]
+    fn noise_adds_low_bandwidth_background_activity() {
+        let library = small_library(5);
+        let config = SemiSyntheticConfig {
+            iterations: 5,
+            processes: 8,
+            noise: NoiseLevel::Low,
+            ..Default::default()
+        };
+        let with_noise = generate(&config, &library, 21);
+        let without = generate(
+            &SemiSyntheticConfig {
+                noise: NoiseLevel::None,
+                ..config
+            },
+            &library,
+            21,
+        );
+        assert!(with_noise.trace.len() > without.trace.len());
+        // The noise keeps some volume flowing during the compute phase that
+        // precedes the second I/O burst (where the clean trace has none).
+        let tl_noise = BandwidthTimeline::from_trace(&with_noise.trace);
+        let tl_clean = BandwidthTimeline::from_trace(&without.trace);
+        let gap_start = with_noise.phase_starts[0] + with_noise.phase_durations[0] + 0.5;
+        let gap_end = with_noise.phase_starts[1] - 0.5;
+        assert!(gap_end > gap_start);
+        assert!(tl_noise.volume_in(gap_start, gap_end) > 0.0);
+        assert_eq!(tl_clean.volume_in(gap_start, gap_end), 0.0);
+    }
+
+    #[test]
+    fn io_time_ratio_is_a_fraction() {
+        let library = small_library(6);
+        let result = generate(
+            &SemiSyntheticConfig {
+                iterations: 10,
+                processes: 8,
+                tcpu_mean: 11.0,
+                ..Default::default()
+            },
+            &library,
+            3,
+        );
+        let ratio = result.io_time_ratio();
+        assert!(ratio > 0.3 && ratio <= 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn batch_generation_varies_across_seeds() {
+        let library = small_library(7);
+        let batch = generate_batch(&SemiSyntheticConfig::default(), &library, 5, 100);
+        assert_eq!(batch.len(), 5);
+        let first = batch[0].mean_period();
+        assert!(batch.iter().skip(1).any(|t| (t.mean_period() - first).abs() > 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panics() {
+        let library = small_library(8);
+        generate(
+            &SemiSyntheticConfig {
+                iterations: 0,
+                ..Default::default()
+            },
+            &library,
+            1,
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Parameter sweeps for the accuracy study (paper Fig. 8 and Fig. 9).
+//!
+//! The paper evaluates FTIO's detection error over three sweeps, each with 100
+//! semi-synthetic traces per parameter combination:
+//!
+//! * **Fig. 8a** — the ratio between compute time and I/O-phase length, with
+//!   and without background noise (`δ_k = 0`, `σ = 0`);
+//! * **Fig. 8b** — the average per-process delay `ϕ` (desynchronisation and
+//!   I/O variability), with `t_cpu = 11 s`;
+//! * **Fig. 8c** — the variability of the compute time, `σ/µ` with
+//!   `µ = 11 s` (Fig. 9 reports σ_vol and σ_time for the same sweep).
+//!
+//! This module produces the list of configurations for each sweep so the
+//! benchmark harness and the tests iterate over exactly the same grids.
+
+use crate::noise::NoiseLevel;
+use crate::semi::SemiSyntheticConfig;
+
+/// One point of a sweep: a label for reporting plus the generator configuration.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Human-readable parameter description (used as the x-axis label).
+    pub label: String,
+    /// Numeric value of the swept parameter.
+    pub value: f64,
+    /// Noise level of this point.
+    pub noise: NoiseLevel,
+    /// Generator configuration.
+    pub config: SemiSyntheticConfig,
+}
+
+/// Base configuration shared by all sweeps (J = 20 iterations, P = 32
+/// processes, fs = 1 Hz on the analysis side).
+pub fn base_config() -> SemiSyntheticConfig {
+    SemiSyntheticConfig {
+        iterations: 20,
+        processes: 32,
+        tcpu_mean: 11.0,
+        tcpu_std: 0.0,
+        desync_avg: 0.0,
+        noise: NoiseLevel::None,
+    }
+}
+
+/// Fig. 8a sweep: `t_cpu` as a multiple of the mean I/O-phase duration
+/// (≈ 11 s), crossed with the three noise levels.
+///
+/// `ratios` in the paper are 1/4, 1/2, 1, 2 and 4.
+pub fn cpu_ratio_sweep(mean_io_duration: f64) -> Vec<SweepPoint> {
+    let ratios = [0.25, 0.5, 1.0, 2.0, 4.0];
+    let noises = [NoiseLevel::None, NoiseLevel::Low, NoiseLevel::High];
+    let mut points = Vec::new();
+    for &ratio in &ratios {
+        for &noise in &noises {
+            let tcpu = ratio * mean_io_duration;
+            points.push(SweepPoint {
+                label: format!("tcpu={ratio}x io, noise={noise:?}"),
+                value: ratio,
+                noise,
+                config: SemiSyntheticConfig {
+                    tcpu_mean: tcpu,
+                    noise,
+                    ..base_config()
+                },
+            });
+        }
+    }
+    points
+}
+
+/// Fig. 8b sweep: the average desynchronisation delay `ϕ` with `t_cpu = 11 s`.
+pub fn desync_sweep() -> Vec<SweepPoint> {
+    let phis = [0.0, 2.75, 5.5, 11.0, 16.5, 22.0, 33.0];
+    phis.iter()
+        .map(|&phi| SweepPoint {
+            label: format!("phi={phi}s"),
+            value: phi,
+            noise: NoiseLevel::None,
+            config: SemiSyntheticConfig {
+                desync_avg: phi,
+                ..base_config()
+            },
+        })
+        .collect()
+}
+
+/// Fig. 8c / Fig. 9 sweep: the compute-time variability `σ` with `µ = 11 s`,
+/// expressed through the ratio `σ/µ`.
+pub fn variability_sweep() -> Vec<SweepPoint> {
+    let sigma_over_mu = [0.0, 0.25, 0.5, 0.55, 1.0, 1.5, 2.0];
+    sigma_over_mu
+        .iter()
+        .map(|&r| SweepPoint {
+            label: format!("sigma/mu={r}"),
+            value: r,
+            noise: NoiseLevel::None,
+            config: SemiSyntheticConfig {
+                tcpu_std: r * 11.0,
+                ..base_config()
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_config_matches_paper_parameters() {
+        let c = base_config();
+        assert_eq!(c.iterations, 20);
+        assert_eq!(c.processes, 32);
+        assert_eq!(c.tcpu_mean, 11.0);
+        assert_eq!(c.tcpu_std, 0.0);
+        assert_eq!(c.desync_avg, 0.0);
+    }
+
+    #[test]
+    fn cpu_ratio_sweep_crosses_ratios_and_noise() {
+        let points = cpu_ratio_sweep(11.0);
+        assert_eq!(points.len(), 15);
+        assert!(points.iter().any(|p| p.value == 0.25 && p.noise == NoiseLevel::High));
+        assert!(points.iter().any(|p| p.value == 4.0 && p.noise == NoiseLevel::None));
+        // t_cpu scales with the ratio.
+        let quarter = points.iter().find(|p| p.value == 0.25).unwrap();
+        assert!((quarter.config.tcpu_mean - 2.75).abs() < 1e-12);
+        let four = points.iter().find(|p| p.value == 4.0).unwrap();
+        assert!((four.config.tcpu_mean - 44.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn desync_sweep_keeps_tcpu_fixed() {
+        let points = desync_sweep();
+        assert_eq!(points.len(), 7);
+        assert!(points.iter().all(|p| p.config.tcpu_mean == 11.0));
+        assert!(points.iter().all(|p| p.config.tcpu_std == 0.0));
+        assert_eq!(points[0].config.desync_avg, 0.0);
+        assert_eq!(points.last().unwrap().config.desync_avg, 33.0);
+    }
+
+    #[test]
+    fn variability_sweep_spans_sigma_over_mu_up_to_two() {
+        let points = variability_sweep();
+        assert_eq!(points.len(), 7);
+        assert_eq!(points[0].config.tcpu_std, 0.0);
+        let last = points.last().unwrap();
+        assert_eq!(last.value, 2.0);
+        assert!((last.config.tcpu_std - 22.0).abs() < 1e-12);
+        assert!(points.iter().all(|p| p.config.desync_avg == 0.0));
+        assert!(points.iter().all(|p| p.noise == NoiseLevel::None));
+    }
+}

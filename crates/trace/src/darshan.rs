@@ -1,0 +1,307 @@
+//! Darshan-style heatmap ingestion.
+//!
+//! FTIO also works on profiles produced by other tools (paper §II-A and the
+//! Nek5000 case study in §III-B): a Darshan DXT/heatmap profile reports the
+//! transferred volume per *time bin* rather than individual requests. FTIO
+//! "extracts the heatmap from the Darshan profile and automatically sets the
+//! sampling frequency to the bin widths" — the same behaviour is reproduced
+//! here: a [`Heatmap`] converts directly into an evenly-sampled bandwidth
+//! signal whose sampling frequency is `1 / bin_width`.
+
+use crate::app_trace::AppTrace;
+use crate::errors::{TraceError, TraceResult};
+use crate::request::IoRequest;
+
+/// A binned I/O volume profile (one row of a Darshan heatmap, aggregated over
+/// ranks): `bins[i]` is the number of bytes transferred during
+/// `[start + i*bin_width, start + (i+1)*bin_width)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Heatmap {
+    /// Time of the first bin's left edge, in seconds.
+    pub start: f64,
+    /// Width of each bin in seconds.
+    pub bin_width: f64,
+    /// Transferred bytes per bin.
+    pub bins: Vec<f64>,
+}
+
+impl Heatmap {
+    /// Creates a heatmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is not strictly positive.
+    pub fn new(start: f64, bin_width: f64, bins: Vec<f64>) -> Self {
+        assert!(bin_width > 0.0, "bin width must be positive");
+        Heatmap {
+            start,
+            bin_width,
+            bins,
+        }
+    }
+
+    /// Builds a heatmap by binning an application trace. Each request's volume
+    /// is spread uniformly over its duration, so a request spanning several
+    /// bins contributes proportionally to each.
+    pub fn from_trace(trace: &AppTrace, bin_width: f64) -> Self {
+        assert!(bin_width > 0.0, "bin width must be positive");
+        let start = trace.start_time();
+        let duration = trace.duration();
+        let num_bins = if duration <= 0.0 {
+            1
+        } else {
+            (duration / bin_width).ceil() as usize
+        };
+        let mut bins = vec![0.0; num_bins.max(1)];
+        for r in trace.requests() {
+            spread_volume(&mut bins, start, bin_width, r);
+        }
+        Heatmap {
+            start,
+            bin_width,
+            bins,
+        }
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether the heatmap has no bins.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Total volume in bytes.
+    pub fn total_volume(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Total covered duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.bins.len() as f64 * self.bin_width
+    }
+
+    /// The sampling frequency FTIO derives from the heatmap: `1 / bin_width`.
+    pub fn sampling_freq(&self) -> f64 {
+        1.0 / self.bin_width
+    }
+
+    /// Converts the bins to a bandwidth signal in bytes/second (volume per bin
+    /// divided by the bin width). This is the signal handed to the DFT step.
+    pub fn bandwidth_signal(&self) -> Vec<f64> {
+        self.bins.iter().map(|v| v / self.bin_width).collect()
+    }
+
+    /// Restricts the heatmap to bins whose left edge lies in `[t0, t1)`,
+    /// used to shrink the analysis time window (Nek5000 case study).
+    pub fn window(&self, t0: f64, t1: f64) -> Heatmap {
+        let mut bins = Vec::new();
+        let mut new_start = t0.max(self.start);
+        let mut first = true;
+        for (i, &v) in self.bins.iter().enumerate() {
+            let left = self.start + i as f64 * self.bin_width;
+            if left >= t0 && left < t1 {
+                if first {
+                    new_start = left;
+                    first = false;
+                }
+                bins.push(v);
+            }
+        }
+        Heatmap {
+            start: new_start,
+            bin_width: self.bin_width,
+            bins,
+        }
+    }
+
+    /// Serialises the heatmap in the simple CSV-like text format used by the
+    /// CLI (`# start, bin_width` header followed by one volume per line).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("# darshan-heatmap start={} bin_width={}\n", self.start, self.bin_width);
+        for v in &self.bins {
+            out.push_str(&format!("{v}\n"));
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Heatmap::to_text`].
+    pub fn from_text(text: &str) -> TraceResult<Heatmap> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or(TraceError::UnexpectedEof)?;
+        if !header.starts_with("# darshan-heatmap") {
+            return Err(TraceError::malformed("missing darshan-heatmap header", 1));
+        }
+        let mut start = 0.0;
+        let mut bin_width = 0.0;
+        for token in header.split_whitespace() {
+            if let Some(v) = token.strip_prefix("start=") {
+                start = v
+                    .parse()
+                    .map_err(|_| TraceError::invalid("start", format!("not a number: {v}")))?;
+            } else if let Some(v) = token.strip_prefix("bin_width=") {
+                bin_width = v
+                    .parse()
+                    .map_err(|_| TraceError::invalid("bin_width", format!("not a number: {v}")))?;
+            }
+        }
+        if bin_width <= 0.0 {
+            return Err(TraceError::invalid("bin_width", "must be positive"));
+        }
+        let mut bins = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let v: f64 = trimmed
+                .parse()
+                .map_err(|_| TraceError::malformed(format!("invalid bin value `{trimmed}`"), i + 2))?;
+            if v < 0.0 {
+                return Err(TraceError::invalid("bin", "volume must be non-negative"));
+            }
+            bins.push(v);
+        }
+        Ok(Heatmap {
+            start,
+            bin_width,
+            bins,
+        })
+    }
+}
+
+fn spread_volume(bins: &mut [f64], start: f64, bin_width: f64, r: &IoRequest) {
+    if bins.is_empty() || r.bytes == 0 {
+        return;
+    }
+    let duration = r.duration();
+    let total = r.bytes as f64;
+    if duration <= 0.0 {
+        // Instantaneous request: charge the whole volume to its bin.
+        let idx = (((r.start - start) / bin_width).floor() as isize).clamp(0, bins.len() as isize - 1);
+        bins[idx as usize] += total;
+        return;
+    }
+    let rate = total / duration;
+    let first_bin = (((r.start - start) / bin_width).floor() as isize).max(0) as usize;
+    let last_bin = ((((r.end - start) / bin_width).ceil() as isize).max(1) as usize).min(bins.len());
+    for (i, bin) in bins.iter_mut().enumerate().take(last_bin).skip(first_bin) {
+        let lo = (start + i as f64 * bin_width).max(r.start);
+        let hi = (start + (i + 1) as f64 * bin_width).min(r.end);
+        if hi > lo {
+            *bin += rate * (hi - lo);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_signal_divides_by_bin_width() {
+        let h = Heatmap::new(0.0, 2.0, vec![100.0, 0.0, 50.0]);
+        assert_eq!(h.bandwidth_signal(), vec![50.0, 0.0, 25.0]);
+        assert_eq!(h.sampling_freq(), 0.5);
+        assert_eq!(h.duration(), 6.0);
+        assert_eq!(h.total_volume(), 150.0);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn from_trace_preserves_volume() {
+        let trace = AppTrace::from_requests(
+            "x",
+            2,
+            vec![
+                IoRequest::write(0, 0.0, 4.0, 400),
+                IoRequest::write(1, 6.0, 7.0, 100),
+            ],
+        );
+        let h = Heatmap::from_trace(&trace, 1.0);
+        assert!((h.total_volume() - 500.0).abs() < 1e-9);
+        assert_eq!(h.len(), 7);
+        assert!((h.bins[0] - 100.0).abs() < 1e-9);
+        assert!((h.bins[6] - 100.0).abs() < 1e-9);
+        assert_eq!(h.bins[5], 0.0);
+    }
+
+    #[test]
+    fn request_spanning_bins_is_spread_proportionally() {
+        // The heatmap starts at the trace's first request (0.5 s), so the
+        // 2-second request at 100 B/s fills two bins with 100 bytes each.
+        let trace = AppTrace::from_requests("x", 1, vec![IoRequest::write(0, 0.5, 2.5, 200)]);
+        let h = Heatmap::from_trace(&trace, 1.0);
+        assert_eq!(h.start, 0.5);
+        assert_eq!(h.len(), 2);
+        assert!((h.bins[0] - 100.0).abs() < 1e-9);
+        assert!((h.bins[1] - 100.0).abs() < 1e-9);
+
+        // Two requests pinning the heatmap origin at 0: the spanning request
+        // is split 50 / 100 / 50 across bins 0–2.
+        let trace = AppTrace::from_requests(
+            "x",
+            1,
+            vec![
+                IoRequest::write(0, 0.0, 0.0, 0),
+                IoRequest::write(0, 0.5, 2.5, 200),
+            ],
+        );
+        let h = Heatmap::from_trace(&trace, 1.0);
+        assert_eq!(h.start, 0.0);
+        assert!((h.bins[0] - 50.0).abs() < 1e-9);
+        assert!((h.bins[1] - 100.0).abs() < 1e-9);
+        assert!((h.bins[2] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instantaneous_request_is_charged_to_one_bin() {
+        let trace = AppTrace::from_requests("x", 1, vec![IoRequest::write(0, 3.2, 3.2, 77.0 as u64)]);
+        let h = Heatmap::from_trace(&trace, 1.0);
+        assert!((h.total_volume() - 77.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_yields_single_empty_bin() {
+        let h = Heatmap::from_trace(&AppTrace::named("x", 1), 10.0);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.total_volume(), 0.0);
+    }
+
+    #[test]
+    fn windowing_selects_bins() {
+        let h = Heatmap::new(0.0, 10.0, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let w = h.window(10.0, 40.0);
+        assert_eq!(w.bins, vec![2.0, 3.0, 4.0]);
+        assert_eq!(w.start, 10.0);
+        let all = h.window(0.0, 1000.0);
+        assert_eq!(all.bins.len(), 5);
+        let none = h.window(100.0, 200.0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let h = Heatmap::new(5.0, 2.5, vec![10.0, 0.0, 3.25]);
+        let text = h.to_text();
+        let back = Heatmap::from_text(&text).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn bad_text_is_rejected() {
+        assert!(Heatmap::from_text("").is_err());
+        assert!(Heatmap::from_text("not a header\n1.0\n").is_err());
+        assert!(Heatmap::from_text("# darshan-heatmap start=0 bin_width=0\n").is_err());
+        assert!(Heatmap::from_text("# darshan-heatmap start=0 bin_width=1\nabc\n").is_err());
+        assert!(Heatmap::from_text("# darshan-heatmap start=0 bin_width=1\n-5\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn zero_bin_width_panics() {
+        Heatmap::new(0.0, 0.0, vec![]);
+    }
+}

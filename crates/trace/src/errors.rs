@@ -1,0 +1,102 @@
+//! Error types for trace encoding, decoding and collection.
+
+use std::fmt;
+
+/// Errors produced while parsing or encoding trace files.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The input ended unexpectedly or a record was truncated.
+    UnexpectedEof,
+    /// A line or record did not match the expected format.
+    Malformed {
+        /// Human-readable description of what went wrong.
+        reason: String,
+        /// Line (JSONL/Recorder) or byte offset (MessagePack) of the problem.
+        position: usize,
+    },
+    /// A field carried a value outside its valid domain.
+    InvalidValue {
+        /// The offending field name.
+        field: &'static str,
+        /// Description of the invalid value.
+        reason: String,
+    },
+    /// An underlying I/O error while reading or writing a trace file.
+    Io(std::io::Error),
+}
+
+impl TraceError {
+    /// Convenience constructor for [`TraceError::Malformed`].
+    pub fn malformed(reason: impl Into<String>, position: usize) -> Self {
+        TraceError::Malformed {
+            reason: reason.into(),
+            position,
+        }
+    }
+
+    /// Convenience constructor for [`TraceError::InvalidValue`].
+    pub fn invalid(field: &'static str, reason: impl Into<String>) -> Self {
+        TraceError::InvalidValue {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnexpectedEof => write!(f, "unexpected end of trace data"),
+            TraceError::Malformed { reason, position } => {
+                write!(f, "malformed trace record at position {position}: {reason}")
+            }
+            TraceError::InvalidValue { field, reason } => {
+                write!(f, "invalid value for field `{field}`: {reason}")
+            }
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Shorthand result type used across the trace crate.
+pub type TraceResult<T> = Result<T, TraceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TraceError::malformed("missing field", 12);
+        assert!(e.to_string().contains("position 12"));
+        assert!(e.to_string().contains("missing field"));
+        let e = TraceError::invalid("bytes", "negative");
+        assert!(e.to_string().contains("bytes"));
+        let e = TraceError::UnexpectedEof;
+        assert!(e.to_string().contains("unexpected end"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: TraceError = io.into();
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&TraceError::UnexpectedEof).is_none());
+    }
+}

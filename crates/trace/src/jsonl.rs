@@ -1,0 +1,355 @@
+//! JSON Lines trace format.
+//!
+//! TMIO's online mode appends one JSON object per flushed request to a trace
+//! file (paper §II-A: "JSON Lines or MessagePack"). This module implements the
+//! same idea with a small, hand-written encoder and parser — one request per
+//! line, no external JSON dependency. Lines look like:
+//!
+//! ```text
+//! {"rank":3,"start":1.25,"end":1.75,"bytes":1048576,"kind":"write","api":"sync"}
+//! ```
+//!
+//! The parser is deliberately forgiving about key order and whitespace but
+//! strict about required fields, and skips blank lines.
+
+use crate::errors::{TraceError, TraceResult};
+use crate::request::{IoApi, IoKind, IoRequest};
+
+/// Encodes a single request as one JSON line (without the trailing newline).
+pub fn encode_request(r: &IoRequest) -> String {
+    format!(
+        "{{\"rank\":{},\"start\":{},\"end\":{},\"bytes\":{},\"kind\":\"{}\",\"api\":\"{}\"}}",
+        r.rank,
+        fmt_f64(r.start),
+        fmt_f64(r.end),
+        r.bytes,
+        r.kind.as_str(),
+        r.api.as_str()
+    )
+}
+
+/// Encodes a batch of requests as a JSON Lines document (one line per request,
+/// each terminated by `\n`).
+pub fn encode_requests(requests: &[IoRequest]) -> String {
+    let mut out = String::new();
+    for r in requests {
+        out.push_str(&encode_request(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses one JSON line into a request.
+pub fn decode_request(line: &str, line_number: usize) -> TraceResult<IoRequest> {
+    let fields = parse_flat_object(line, line_number)?;
+    let get = |key: &str| -> TraceResult<&JsonValue> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| TraceError::malformed(format!("missing field `{key}`"), line_number))
+    };
+
+    let rank = get("rank")?.as_u64().ok_or_else(|| TraceError::invalid("rank", "not an integer"))?;
+    let start = get("start")?.as_f64().ok_or_else(|| TraceError::invalid("start", "not a number"))?;
+    let end = get("end")?.as_f64().ok_or_else(|| TraceError::invalid("end", "not a number"))?;
+    let bytes = get("bytes")?.as_u64().ok_or_else(|| TraceError::invalid("bytes", "not an integer"))?;
+    let kind_str = get("kind")?.as_str().ok_or_else(|| TraceError::invalid("kind", "not a string"))?;
+    let kind = IoKind::parse(kind_str)
+        .ok_or_else(|| TraceError::invalid("kind", format!("unknown kind `{kind_str}`")))?;
+    // `api` is optional; default to sync.
+    let api = match fields.iter().find(|(k, _)| k == "api") {
+        Some((_, v)) => {
+            let s = v.as_str().ok_or_else(|| TraceError::invalid("api", "not a string"))?;
+            IoApi::parse(s).ok_or_else(|| TraceError::invalid("api", format!("unknown api `{s}`")))?
+        }
+        None => IoApi::Sync,
+    };
+
+    Ok(IoRequest {
+        rank: rank as usize,
+        start,
+        end,
+        bytes,
+        kind,
+        api,
+    })
+}
+
+/// Parses a whole JSON Lines document. Blank lines are skipped; the first
+/// malformed line aborts with an error naming its line number.
+pub fn decode_requests(text: &str) -> TraceResult<Vec<IoRequest>> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        out.push(decode_request(trimmed, i + 1)?);
+    }
+    Ok(out)
+}
+
+/// Formats an `f64` so it parses back exactly and never uses exponent notation
+/// for the magnitudes that occur in traces.
+fn fmt_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{:.1}", x)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// A scalar JSON value as found in flat trace records.
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    Number(f64),
+    String(String),
+    Bool(bool),
+    Null,
+}
+
+impl JsonValue {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a flat (non-nested) JSON object into key/value pairs.
+fn parse_flat_object(line: &str, line_number: usize) -> TraceResult<Vec<(String, JsonValue)>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut pairs = Vec::new();
+
+    expect_char(&mut chars, '{', line_number)?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        return Ok(pairs);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars, line_number)?;
+        skip_ws(&mut chars);
+        expect_char(&mut chars, ':', line_number)?;
+        skip_ws(&mut chars);
+        let value = parse_value(&mut chars, line_number)?;
+        pairs.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            Some(c) => {
+                return Err(TraceError::malformed(
+                    format!("expected `,` or `}}`, found `{c}`"),
+                    line_number,
+                ))
+            }
+            None => return Err(TraceError::UnexpectedEof),
+        }
+    }
+    Ok(pairs)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect_char(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    expected: char,
+    line_number: usize,
+) -> TraceResult<()> {
+    match chars.next() {
+        Some(c) if c == expected => Ok(()),
+        Some(c) => Err(TraceError::malformed(
+            format!("expected `{expected}`, found `{c}`"),
+            line_number,
+        )),
+        None => Err(TraceError::UnexpectedEof),
+    }
+}
+
+fn parse_string(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    line_number: usize,
+) -> TraceResult<String> {
+    expect_char(chars, '"', line_number)?;
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(s),
+            Some('\\') => match chars.next() {
+                Some('"') => s.push('"'),
+                Some('\\') => s.push('\\'),
+                Some('n') => s.push('\n'),
+                Some('t') => s.push('\t'),
+                Some(c) => s.push(c),
+                None => return Err(TraceError::UnexpectedEof),
+            },
+            Some(c) => s.push(c),
+            None => return Err(TraceError::UnexpectedEof),
+        }
+    }
+}
+
+fn parse_value(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    line_number: usize,
+) -> TraceResult<JsonValue> {
+    match chars.peek() {
+        Some('"') => Ok(JsonValue::String(parse_string(chars, line_number)?)),
+        Some('t') | Some('f') | Some('n') => {
+            let mut word = String::new();
+            while matches!(chars.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                word.push(chars.next().unwrap());
+            }
+            match word.as_str() {
+                "true" => Ok(JsonValue::Bool(true)),
+                "false" => Ok(JsonValue::Bool(false)),
+                "null" => Ok(JsonValue::Null),
+                other => Err(TraceError::malformed(
+                    format!("unknown literal `{other}`"),
+                    line_number,
+                )),
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == '-' || *c == '+' => {
+            let mut num = String::new();
+            while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+            {
+                num.push(chars.next().unwrap());
+            }
+            num.parse::<f64>()
+                .map(JsonValue::Number)
+                .map_err(|_| TraceError::malformed(format!("invalid number `{num}`"), line_number))
+        }
+        Some(c) => Err(TraceError::malformed(
+            format!("unexpected character `{c}`"),
+            line_number,
+        )),
+        None => Err(TraceError::UnexpectedEof),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_request() {
+        let r = IoRequest::write(7, 1.25, 2.5, 1_048_576);
+        let line = encode_request(&r);
+        let back = decode_request(&line, 1).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn roundtrip_many_requests() {
+        let requests: Vec<IoRequest> = (0..50)
+            .map(|i| {
+                if i % 2 == 0 {
+                    IoRequest::write(i, i as f64 * 0.5, i as f64 * 0.5 + 0.1, 1000 + i as u64)
+                } else {
+                    IoRequest::read(i, i as f64, i as f64 + 1.0, 42)
+                }
+            })
+            .collect();
+        let doc = encode_requests(&requests);
+        assert_eq!(doc.lines().count(), 50);
+        let back = decode_requests(&doc).unwrap();
+        assert_eq!(back, requests);
+    }
+
+    #[test]
+    fn decoder_accepts_whitespace_and_reordered_keys() {
+        let line = r#" { "bytes": 10 , "kind" : "read", "end": 2.0, "start": 1.0, "rank": 4 } "#;
+        let r = decode_request(line.trim(), 1).unwrap();
+        assert_eq!(r.rank, 4);
+        assert_eq!(r.kind, IoKind::Read);
+        assert_eq!(r.api, IoApi::Sync);
+        assert_eq!(r.bytes, 10);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let doc = format!(
+            "\n{}\n\n{}\n",
+            encode_request(&IoRequest::write(0, 0.0, 1.0, 1)),
+            encode_request(&IoRequest::write(1, 1.0, 2.0, 2))
+        );
+        let back = decode_requests(&doc).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let line = r#"{"rank":1,"start":0.0,"end":1.0,"kind":"write"}"#;
+        let err = decode_request(line, 3).unwrap_err();
+        assert!(err.to_string().contains("bytes"));
+        assert!(err.to_string().contains("position 3"));
+    }
+
+    #[test]
+    fn invalid_kind_is_an_error() {
+        let line = r#"{"rank":1,"start":0.0,"end":1.0,"bytes":5,"kind":"scribble"}"#;
+        let err = decode_request(line, 1).unwrap_err();
+        assert!(err.to_string().contains("kind"));
+    }
+
+    #[test]
+    fn negative_bytes_is_an_error() {
+        let line = r#"{"rank":1,"start":0.0,"end":1.0,"bytes":-5,"kind":"write"}"#;
+        assert!(decode_request(line, 1).is_err());
+    }
+
+    #[test]
+    fn garbage_line_reports_its_line_number() {
+        let doc = format!(
+            "{}\nnot json at all\n",
+            encode_request(&IoRequest::write(0, 0.0, 1.0, 1))
+        );
+        let err = decode_requests(&doc).unwrap_err();
+        assert!(err.to_string().contains("position 2"));
+    }
+
+    #[test]
+    fn scientific_notation_and_fractions_parse() {
+        let line = r#"{"rank":0,"start":1.5e2,"end":151.25,"bytes":1000000,"kind":"write","api":"async"}"#;
+        let r = decode_request(line, 1).unwrap();
+        assert_eq!(r.start, 150.0);
+        assert_eq!(r.end, 151.25);
+        assert_eq!(r.api, IoApi::Async);
+    }
+
+    #[test]
+    fn float_formatting_round_trips_integers_and_fractions() {
+        for &x in &[0.0, 1.0, 1.5, 123456.789, 0.0001, 781.3] {
+            let s = fmt_f64(x);
+            assert_eq!(s.parse::<f64>().unwrap(), x, "formatting {x} as {s}");
+        }
+    }
+
+    #[test]
+    fn empty_document_decodes_to_empty_vec() {
+        assert!(decode_requests("").unwrap().is_empty());
+        assert!(decode_requests("\n\n").unwrap().is_empty());
+    }
+}

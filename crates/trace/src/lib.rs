@@ -1,0 +1,168 @@
+//! # ftio-trace
+//!
+//! I/O-tracing substrate for FTIO-rs — the Rust analog of the paper's TMIO
+//! tracing library plus the trace-ingestion paths FTIO supports.
+//!
+//! The crate models what an MPI-IO interposition layer would record and what
+//! the analysis consumes:
+//!
+//! * [`request`] — rank-level I/O request records (start, end, bytes, kind);
+//! * [`app_trace`] — the merged application-level trace with windowing and
+//!   volume/duration queries;
+//! * [`bandwidth`] — the application-level bandwidth-over-time signal derived
+//!   from overlapping requests, with volume-preserving sampling;
+//! * [`collector`] — the offline/online collector with flush hooks and
+//!   activity counters (feeds the tracing-overhead experiment);
+//! * [`jsonl`] / [`msgpack`] — the two trace file formats of the reference
+//!   tool, both hand-written;
+//! * [`darshan`] — binned heatmap profiles (Darshan-style) and their
+//!   conversion into bandwidth signals;
+//! * [`recorder`] — Recorder-style per-call text traces.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ftio_trace::{AppTrace, BandwidthTimeline, IoRequest};
+//!
+//! let mut trace = AppTrace::named("demo", 2);
+//! trace.push(IoRequest::write(0, 0.0, 1.0, 1_000_000));
+//! trace.push(IoRequest::write(1, 0.5, 1.5, 1_000_000));
+//!
+//! let timeline = BandwidthTimeline::from_trace(&trace);
+//! assert_eq!(timeline.bandwidth_at(0.75), 2_000_000.0);
+//! let samples = timeline.sample(0.0, 2.0, 10.0);
+//! assert_eq!(samples.len(), 20);
+//! ```
+
+pub mod app_trace;
+pub mod bandwidth;
+pub mod collector;
+pub mod darshan;
+pub mod errors;
+pub mod jsonl;
+pub mod msgpack;
+pub mod recorder;
+pub mod request;
+
+pub use app_trace::{AppTrace, TraceMetadata};
+pub use bandwidth::BandwidthTimeline;
+pub use collector::{Collector, CollectorStats, FlushMode, MemorySink, TraceFormat, TraceSink};
+pub use darshan::Heatmap;
+pub use errors::{TraceError, TraceResult};
+pub use request::{IoApi, IoKind, IoRequest};
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arbitrary_request() -> impl Strategy<Value = IoRequest> {
+        (
+            0usize..64,
+            0.0f64..1000.0,
+            0.0f64..10.0,
+            1u64..10_000_000,
+            prop::bool::ANY,
+        )
+            .prop_map(|(rank, start, dur, bytes, is_write)| {
+                if is_write {
+                    IoRequest::write(rank, start, start + dur, bytes)
+                } else {
+                    IoRequest::read(rank, start, start + dur, bytes)
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// JSONL and MessagePack round-trips are lossless for any valid request set.
+        #[test]
+        fn codecs_round_trip(requests in prop::collection::vec(arbitrary_request(), 0..60)) {
+            let text = jsonl::encode_requests(&requests);
+            prop_assert_eq!(jsonl::decode_requests(&text).unwrap(), requests.clone());
+            let packed = msgpack::encode_requests(&requests);
+            prop_assert_eq!(msgpack::decode_requests(&packed).unwrap(), requests);
+        }
+
+        /// The bandwidth timeline preserves total volume.
+        #[test]
+        fn timeline_preserves_volume(requests in prop::collection::vec(arbitrary_request(), 1..40)) {
+            let timeline = BandwidthTimeline::from_requests(&requests);
+            let expected: f64 = requests.iter().map(|r| r.bytes as f64).sum();
+            let measured = timeline.total_volume();
+            prop_assert!((measured - expected).abs() / expected < 1e-6,
+                "expected {}, measured {}", expected, measured);
+        }
+
+        /// Sampling never produces negative bandwidth, and summing the sampled
+        /// volume over a window that covers everything recovers the total volume.
+        #[test]
+        fn sampling_is_non_negative_and_volume_preserving(
+            requests in prop::collection::vec(arbitrary_request(), 1..30),
+            fs in 1.0f64..20.0,
+        ) {
+            let timeline = BandwidthTimeline::from_requests(&requests);
+            let t0 = timeline.start().floor();
+            let t1 = timeline.end().ceil() + 1.0;
+            let samples = timeline.sample(t0, t1, fs);
+            prop_assert!(samples.iter().all(|&x| x >= 0.0));
+            let dt = 1.0 / fs;
+            let covered = samples.len() as f64 * dt;
+            // Only claim exact volume preservation when the sampling grid covers
+            // the whole activity interval.
+            if t0 + covered >= timeline.end() {
+                let volume: f64 = samples.iter().map(|bw| bw * dt).sum();
+                let expected: f64 = requests.iter().map(|r| r.bytes as f64).sum();
+                prop_assert!((volume - expected).abs() / expected < 1e-6);
+            }
+        }
+
+        /// Heatmaps preserve total volume no matter the bin width.
+        #[test]
+        fn heatmap_preserves_volume(
+            requests in prop::collection::vec(arbitrary_request(), 1..30),
+            bin_width in 0.5f64..30.0,
+        ) {
+            let trace = AppTrace::from_requests("prop", 64, requests.clone());
+            let heatmap = Heatmap::from_trace(&trace, bin_width);
+            let expected: f64 = requests.iter().map(|r| r.bytes as f64).sum();
+            prop_assert!((heatmap.total_volume() - expected).abs() / expected < 1e-6);
+        }
+
+        /// Windowing a trace never increases its size and keeps only overlapping requests.
+        #[test]
+        fn windowing_is_a_filter(
+            requests in prop::collection::vec(arbitrary_request(), 0..40),
+            t0 in 0.0f64..500.0,
+            span in 1.0f64..500.0,
+        ) {
+            let trace = AppTrace::from_requests("prop", 64, requests);
+            let window = trace.window(t0, t0 + span);
+            prop_assert!(window.len() <= trace.len());
+            for r in window.requests() {
+                prop_assert!(r.overlaps(t0, t0 + span));
+            }
+            for r in trace.requests() {
+                if r.overlaps(t0, t0 + span) {
+                    prop_assert!(window.requests().contains(r));
+                }
+            }
+        }
+
+        /// The Recorder text format round-trips sync/async/posix reads and writes.
+        #[test]
+        fn recorder_round_trips(requests in prop::collection::vec(arbitrary_request(), 0..40)) {
+            let text = recorder::encode_requests(&requests);
+            let back = recorder::decode_requests(&text).unwrap();
+            prop_assert_eq!(back.len(), requests.len());
+            for (a, b) in back.iter().zip(requests.iter()) {
+                prop_assert_eq!(a.rank, b.rank);
+                prop_assert_eq!(a.bytes, b.bytes);
+                prop_assert_eq!(a.kind, b.kind);
+                prop_assert!((a.start - b.start).abs() < 1e-5);
+                prop_assert!((a.end - b.end).abs() < 1e-5);
+            }
+        }
+    }
+}

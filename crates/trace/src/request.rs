@@ -1,0 +1,211 @@
+//! Individual I/O request records.
+//!
+//! The tracing library of the paper (TMIO) intercepts MPI-IO calls and records
+//! *rank-level* requests: start time, end time and the number of transferred
+//! bytes. This module defines that record. Everything downstream — bandwidth
+//! signals, DFT analysis, scheduling — is derived from collections of these.
+
+/// Whether a request moved data into or out of the application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// Data written to the file system.
+    Write,
+    /// Data read from the file system.
+    Read,
+}
+
+impl IoKind {
+    /// Short lowercase name used by the serialisation formats.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoKind::Write => "write",
+            IoKind::Read => "read",
+        }
+    }
+
+    /// Parses the short name produced by [`IoKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "write" | "w" => Some(IoKind::Write),
+            "read" | "r" => Some(IoKind::Read),
+            _ => None,
+        }
+    }
+}
+
+/// The API level at which a request was observed, mirroring TMIO's distinction
+/// between synchronous and asynchronous MPI-IO calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum IoApi {
+    /// Blocking MPI-IO (e.g. `MPI_File_write_all`).
+    #[default]
+    Sync,
+    /// Non-blocking MPI-IO (e.g. `MPI_File_iwrite`), where the transfer
+    /// overlaps computation until the matching wait.
+    Async,
+    /// POSIX-level request observed below MPI-IO.
+    Posix,
+}
+
+impl IoApi {
+    /// Short lowercase name used by the serialisation formats.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoApi::Sync => "sync",
+            IoApi::Async => "async",
+            IoApi::Posix => "posix",
+        }
+    }
+
+    /// Parses the short name produced by [`IoApi::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sync" => Some(IoApi::Sync),
+            "async" => Some(IoApi::Async),
+            "posix" => Some(IoApi::Posix),
+            _ => None,
+        }
+    }
+}
+
+/// A single traced I/O request, as recorded at the rank level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IoRequest {
+    /// MPI rank (or simulated process id) that issued the request.
+    pub rank: usize,
+    /// Request start time in seconds since the application start.
+    pub start: f64,
+    /// Request end time in seconds since the application start.
+    pub end: f64,
+    /// Number of bytes transferred.
+    pub bytes: u64,
+    /// Read or write.
+    pub kind: IoKind,
+    /// API level at which the request was captured.
+    pub api: IoApi,
+}
+
+impl IoRequest {
+    /// Creates a synchronous write request — the most common case in the paper's
+    /// workloads (checkpoint-style output).
+    pub fn write(rank: usize, start: f64, end: f64, bytes: u64) -> Self {
+        IoRequest {
+            rank,
+            start,
+            end,
+            bytes,
+            kind: IoKind::Write,
+            api: IoApi::Sync,
+        }
+    }
+
+    /// Creates a synchronous read request.
+    pub fn read(rank: usize, start: f64, end: f64, bytes: u64) -> Self {
+        IoRequest {
+            rank,
+            start,
+            end,
+            bytes,
+            kind: IoKind::Read,
+            api: IoApi::Sync,
+        }
+    }
+
+    /// Duration of the request in seconds (zero-length requests are legal and
+    /// treated as instantaneous transfers).
+    pub fn duration(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+
+    /// Average bandwidth of this request in bytes/second; zero-duration
+    /// requests report zero bandwidth (their volume still counts).
+    pub fn bandwidth(&self) -> f64 {
+        let d = self.duration();
+        if d > 0.0 {
+            self.bytes as f64 / d
+        } else {
+            0.0
+        }
+    }
+
+    /// Returns `true` if the request interval is well-formed: finite,
+    /// non-negative start, and `end >= start`.
+    pub fn is_valid(&self) -> bool {
+        self.start.is_finite() && self.end.is_finite() && self.start >= 0.0 && self.end >= self.start
+    }
+
+    /// Shifts the request in time by `offset` seconds.
+    pub fn shifted(&self, offset: f64) -> Self {
+        IoRequest {
+            start: self.start + offset,
+            end: self.end + offset,
+            ..*self
+        }
+    }
+
+    /// Returns `true` if the request overlaps the half-open window `[t0, t1)`.
+    pub fn overlaps(&self, t0: f64, t1: f64) -> bool {
+        self.start < t1 && self.end > t0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_and_bandwidth() {
+        let r = IoRequest::write(0, 1.0, 3.0, 2_000_000);
+        assert_eq!(r.duration(), 2.0);
+        assert_eq!(r.bandwidth(), 1_000_000.0);
+    }
+
+    #[test]
+    fn zero_duration_request_has_zero_bandwidth() {
+        let r = IoRequest::write(0, 1.0, 1.0, 500);
+        assert_eq!(r.duration(), 0.0);
+        assert_eq!(r.bandwidth(), 0.0);
+        assert!(r.is_valid());
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(IoRequest::write(0, 0.0, 1.0, 1).is_valid());
+        assert!(!IoRequest::write(0, 2.0, 1.0, 1).is_valid());
+        assert!(!IoRequest::write(0, -1.0, 1.0, 1).is_valid());
+        assert!(!IoRequest::write(0, f64::NAN, 1.0, 1).is_valid());
+    }
+
+    #[test]
+    fn shifting_preserves_duration() {
+        let r = IoRequest::read(3, 5.0, 7.5, 100);
+        let s = r.shifted(10.0);
+        assert_eq!(s.start, 15.0);
+        assert_eq!(s.end, 17.5);
+        assert_eq!(s.duration(), r.duration());
+        assert_eq!(s.rank, 3);
+        assert_eq!(s.kind, IoKind::Read);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let r = IoRequest::write(0, 2.0, 4.0, 1);
+        assert!(r.overlaps(0.0, 3.0));
+        assert!(r.overlaps(3.0, 10.0));
+        assert!(r.overlaps(2.5, 3.5));
+        assert!(!r.overlaps(4.0, 5.0));
+        assert!(!r.overlaps(0.0, 2.0));
+    }
+
+    #[test]
+    fn kind_and_api_round_trip_through_strings() {
+        for kind in [IoKind::Write, IoKind::Read] {
+            assert_eq!(IoKind::parse(kind.as_str()), Some(kind));
+        }
+        for api in [IoApi::Sync, IoApi::Async, IoApi::Posix] {
+            assert_eq!(IoApi::parse(api.as_str()), Some(api));
+        }
+        assert_eq!(IoKind::parse("bogus"), None);
+        assert_eq!(IoApi::parse("bogus"), None);
+    }
+}

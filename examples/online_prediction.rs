@@ -1,0 +1,80 @@
+//! Online period prediction during a (simulated) application run.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example online_prediction
+//! ```
+//!
+//! The example replays a HACC-IO-shaped workload (ten I/O phases, the first
+//! one delayed by initialisation overheads) the way the online mode sees it:
+//! after every I/O phase the newly collected requests are ingested and a
+//! prediction is made. The analysis window adapts once the dominant frequency
+//! has been found three times in a row, and the prediction history is merged
+//! into frequency intervals with probabilities.
+
+use ftio::prelude::*;
+use ftio_synth::hacc::{generate, HaccConfig};
+
+fn main() {
+    let workload = generate(&HaccConfig::default(), 42);
+    println!(
+        "HACC-IO-like workload: {} phases, true mean period {:.2} s ({:.2} s without the first phase)",
+        workload.phase_starts.len(),
+        workload.mean_period(),
+        workload.mean_period_without_first()
+    );
+
+    let config = FtioConfig {
+        sampling_freq: 10.0,
+        use_autocorrelation: false,
+        ..Default::default()
+    };
+    let mut predictor = OnlinePredictor::new(config, WindowStrategy::Adaptive { multiple: 3 });
+
+    println!(
+        "\n{:>6} {:>10} {:>12} {:>12} {:>12}",
+        "flush", "time (s)", "period (s)", "conf (%)", "window (s)"
+    );
+    for (i, &flush) in workload.flush_points.iter().enumerate() {
+        // Requests that completed since the previous flush.
+        let previous = if i == 0 { 0.0 } else { workload.flush_points[i - 1] };
+        let batch: Vec<IoRequest> = workload
+            .trace
+            .requests()
+            .iter()
+            .copied()
+            .filter(|r| r.end > previous && r.end <= flush)
+            .collect();
+        predictor.ingest(batch);
+        let prediction = predictor.predict(flush);
+        println!(
+            "{:>6} {:>10.1} {:>12} {:>12.1} {:>12.1}",
+            i + 1,
+            flush,
+            prediction
+                .period()
+                .map(|p| format!("{p:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            prediction.confidence() * 100.0,
+            prediction.window_end - prediction.window_start
+        );
+    }
+
+    println!("\nMerged prediction intervals:");
+    for interval in predictor.merged_intervals() {
+        let (lo, hi) = interval.period_bounds();
+        println!(
+            "  period {lo:.2}-{hi:.2} s with probability {:.2}",
+            interval.probability
+        );
+    }
+
+    let last = predictor.history().last().expect("predictions were made");
+    let final_period = last.period();
+    println!(
+        "\nFinal prediction: {final_period:.2} s vs. true {:.2} s",
+        workload.mean_period()
+    );
+    assert!((final_period - workload.mean_period()).abs() / workload.mean_period() < 0.2);
+}

@@ -1,0 +1,72 @@
+//! Using FTIO's predictions to drive the Set-10 I/O scheduler.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example set10_scheduling
+//! ```
+//!
+//! A workload of one high-frequency and several low-frequency periodic jobs
+//! shares a saturated parallel file system. The example compares three
+//! configurations — the unmanaged baseline, Set-10 with the true periods, and
+//! Set-10 fed by FTIO at runtime — and prints stretch, I/O slowdown and
+//! utilisation for each (the Fig. 17 experiment in miniature; the full version
+//! is `cargo run --release -p ftio-bench --bin fig17_set10_scheduling`).
+
+use ftio::prelude::*;
+use ftio_sched::{run_once, ExecutionMetrics};
+use ftio_sim::Set10WorkloadConfig;
+
+fn main() {
+    let config = ExperimentConfig {
+        workload: Set10WorkloadConfig {
+            low_freq_jobs: 7,
+            low_freq_iterations: 3,
+            ..Default::default()
+        },
+        repetitions: 1,
+        ..Default::default()
+    };
+
+    println!(
+        "Workload: 1 job with a {:.1} s period + {} jobs with a {:.0} s period, {}% I/O each",
+        config.workload.high_freq_period,
+        config.workload.low_freq_jobs,
+        config.workload.low_freq_period,
+        config.workload.io_fraction * 100.0
+    );
+    println!(
+        "File system: {:.0} GB/s shared by all jobs\n",
+        config.filesystem_bandwidth / 1e9
+    );
+
+    println!(
+        "{:<22} {:>10} {:>14} {:>12}",
+        "configuration", "stretch", "I/O slowdown", "utilisation"
+    );
+    let mut io_slowdowns = Vec::new();
+    for variant in [
+        SchedulerVariant::Original,
+        SchedulerVariant::Clairvoyant,
+        SchedulerVariant::Ftio,
+    ] {
+        let result = run_once(&config, variant, 7);
+        let metrics = ExecutionMetrics::from_simulation(&result);
+        println!(
+            "{:<22} {:>10.3} {:>14.3} {:>12.3}",
+            variant.label(),
+            metrics.stretch,
+            metrics.io_slowdown,
+            metrics.utilization
+        );
+        io_slowdowns.push((variant, metrics.io_slowdown));
+    }
+
+    let original = io_slowdowns[0].1;
+    let ftio = io_slowdowns[2].1;
+    println!(
+        "\nFTIO-fed Set-10 reduces the I/O slowdown by {:.0} % compared to the unmanaged system.",
+        (original - ftio) / original * 100.0
+    );
+    assert!(ftio <= original + 1e-9);
+}

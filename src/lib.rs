@@ -1,0 +1,54 @@
+//! # ftio
+//!
+//! Umbrella crate of **FTIO-rs**, a Rust reproduction of *"Capturing Periodic
+//! I/O Using Frequency Techniques"* (IPDPS 2024): detection and online
+//! prediction of periodic I/O phases of HPC applications with the discrete
+//! Fourier transform, outlier detection, confidence metrics, and the Set-10
+//! I/O-scheduling use case.
+//!
+//! This crate simply re-exports the workspace members so downstream users can
+//! depend on a single crate:
+//!
+//! * [`dsp`] — FFT, spectra, autocorrelation, peak finding, outlier detectors;
+//! * [`trace`] — I/O request traces, bandwidth signals, trace file formats;
+//! * [`synth`] — synthetic and semi-synthetic workload generators;
+//! * [`core`] — the FTIO detection/prediction pipeline itself;
+//! * [`sim`] — the cluster / parallel-file-system simulator;
+//! * [`sched`] — the Set-10 scheduler and the scheduling experiment.
+//!
+//! The runnable examples in `examples/` and the experiment binaries in
+//! `crates/bench/src/bin/` show the public API in action; `DESIGN.md` maps
+//! every figure of the paper to the module and binary that reproduces it.
+//!
+//! ```
+//! use ftio::prelude::*;
+//!
+//! // A job writing a burst every 30 seconds...
+//! let mut trace = AppTrace::named("app", 8);
+//! for i in 0..20 {
+//!     let t = i as f64 * 30.0;
+//!     trace.push(IoRequest::write(0, t, t + 3.0, 2_000_000_000));
+//! }
+//! // ...is detected as periodic with a ~30 s period.
+//! let result = detect_trace(&trace, &FtioConfig::with_sampling_freq(1.0));
+//! assert!((result.period().unwrap() - 30.0).abs() < 2.0);
+//! ```
+
+pub use ftio_core as core;
+pub use ftio_dsp as dsp;
+pub use ftio_sched as sched;
+pub use ftio_sim as sim;
+pub use ftio_synth as synth;
+pub use ftio_trace as trace;
+
+/// The most commonly used types and functions, re-exported flat.
+pub mod prelude {
+    pub use ftio_core::{
+        detect_heatmap, detect_signal, detect_trace, detect_trace_window, DetectionResult,
+        FtioConfig, OnlinePredictor, OutlierMethod, PeriodicityVerdict, WindowStrategy,
+    };
+    pub use ftio_sched::{ExperimentConfig, SchedulerVariant};
+    pub use ftio_sim::{FileSystem, JobSpec, Simulator};
+    pub use ftio_synth::{PhaseLibrary, SemiSyntheticConfig};
+    pub use ftio_trace::{AppTrace, BandwidthTimeline, Heatmap, IoRequest};
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration tests: the case studies of paper §III-B
+//! (LAMMPS, Nek5000/Darshan, HACC-IO offline and online) and the miniIO
+//! aliasing example of §II-E.
+
+use ftio_core::{
+    detect_heatmap, detect_trace, sample_trace_window, FtioConfig, OnlinePredictor,
+    PeriodicityVerdict, WindowStrategy,
+};
+use ftio_synth::hacc::{generate as generate_hacc, HaccConfig};
+use ftio_synth::lammps::{generate as generate_lammps, LammpsConfig};
+use ftio_synth::miniio::{generate as generate_miniio, MiniIoConfig};
+use ftio_synth::nek5000::{generate as generate_nek, NekConfig};
+
+#[test]
+fn lammps_period_is_recovered_with_reasonable_confidence() {
+    // Paper: detected 25.73 s vs. a real mean period of 27.38 s (≈6% error),
+    // c_d = 55%, refined to 84.9% by the autocorrelation.
+    let workload = generate_lammps(&LammpsConfig::default(), 10);
+    let result = detect_trace(&workload.trace, &FtioConfig::with_sampling_freq(10.0));
+    let period = result.period().expect("LAMMPS dumps are periodic");
+    let error = (period - workload.mean_period).abs() / workload.mean_period;
+    assert!(error < 0.15, "period {period} vs truth {} (error {error})", workload.mean_period);
+    assert!(result.confidence() > 0.3, "confidence {}", result.confidence());
+    assert!(
+        result.refined_confidence() >= result.confidence() * 0.9,
+        "refinement should not collapse: {} vs {}",
+        result.refined_confidence(),
+        result.confidence()
+    );
+}
+
+#[test]
+fn nek5000_reduced_window_recovers_the_checkpoint_period_better_than_the_full_one() {
+    // Paper: not periodic over Δt = 86,000 s; period 4642.1 s at Δt = 56,000 s.
+    // In the synthetic substitute the periodic component is strong enough that
+    // the full window may still report *a* period, but the reduced window is
+    // the one that matches the true checkpoint period closely — the behaviour
+    // the Δt adaptation of Fig. 11 demonstrates (see EXPERIMENTS.md).
+    let heatmap = generate_nek(&NekConfig::default(), 11);
+    let config = FtioConfig::default();
+    let true_period = NekConfig::default().checkpoint_period;
+
+    let reduced = detect_heatmap(&heatmap.window(0.0, 56_000.0), &config);
+    assert!(reduced.is_periodic(), "reduced window must expose the checkpoints");
+    let reduced_period = reduced.period().unwrap();
+    let reduced_error = (reduced_period - true_period).abs() / true_period;
+    assert!(reduced_error < 0.05, "reduced-window period {reduced_period}");
+    assert!(reduced.confidence() > 0.4);
+
+    let full = detect_heatmap(&heatmap, &config);
+    match full.period() {
+        None => assert_eq!(full.verdict(), PeriodicityVerdict::NotPeriodic),
+        Some(full_period) => {
+            let full_error = (full_period - true_period).abs() / true_period;
+            assert!(
+                full_error > reduced_error,
+                "the reduced window should track the checkpoint period more closely: \
+                 full error {full_error} vs reduced error {reduced_error}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hacc_offline_detection_matches_the_true_period_range() {
+    // Paper: candidates at 0.1206 Hz and 0.1326 Hz; detected period 8.29 s,
+    // true average 8.7 s (7.7 s without the prolonged first phase).
+    let workload = generate_hacc(&HaccConfig::default(), 12);
+    let result = detect_trace(&workload.trace, &FtioConfig::with_sampling_freq(10.0));
+    let period = result.period().expect("HACC-IO is periodic by design");
+    let upper = workload.mean_period() * 1.15;
+    let lower = workload.mean_period_without_first() * 0.85;
+    assert!(
+        period >= lower && period <= upper,
+        "period {period} outside [{lower}, {upper}]"
+    );
+    assert!(!result.candidates().is_empty());
+}
+
+#[test]
+fn hacc_online_prediction_converges_and_adapts_its_window() {
+    let workload = generate_hacc(&HaccConfig::default(), 13);
+    let config = FtioConfig {
+        sampling_freq: 10.0,
+        use_autocorrelation: false,
+        ..Default::default()
+    };
+    let mut predictor = OnlinePredictor::new(config, WindowStrategy::Adaptive { multiple: 3 });
+
+    let mut last_window_length = f64::INFINITY;
+    let mut final_period = None;
+    for (i, &flush) in workload.flush_points.iter().enumerate() {
+        let previous = if i == 0 { 0.0 } else { workload.flush_points[i - 1] };
+        let batch: Vec<ftio_trace::IoRequest> = workload
+            .trace
+            .requests()
+            .iter()
+            .copied()
+            .filter(|r| r.end > previous && r.end <= flush)
+            .collect();
+        predictor.ingest(batch);
+        let prediction = predictor.predict(flush);
+        last_window_length = prediction.window_end - prediction.window_start;
+        if let Some(p) = prediction.period() {
+            final_period = Some(p);
+        }
+    }
+
+    let final_period = final_period.expect("the online mode finds the period");
+    let truth = workload.mean_period();
+    assert!(
+        (final_period - truth).abs() / truth < 0.2,
+        "final prediction {final_period} vs truth {truth}"
+    );
+    // After the adaptation the window is a few periods, far less than the run length.
+    assert!(predictor.consecutive_dominant() >= 3);
+    assert!(
+        last_window_length < workload.trace.duration() * 0.8,
+        "window {last_window_length} did not shrink"
+    );
+    // The merged intervals give most probability mass to the true period.
+    let intervals = predictor.merged_intervals();
+    assert!(!intervals.is_empty());
+    let (lo, hi) = intervals[0].period_bounds();
+    assert!(lo <= truth * 1.25 && hi >= truth * 0.7, "interval {lo}..{hi} vs truth {truth}");
+}
+
+#[test]
+fn miniio_low_sampling_frequency_is_untrustworthy() {
+    // Paper Fig. 6: at too-low fs the discretised signal no longer matches the
+    // original one (large abstraction error), so no result can be trusted.
+    let trace = generate_miniio(&MiniIoConfig::default(), 14);
+    let t0 = trace.start_time().floor();
+    let t1 = trace.end_time().ceil();
+    let coarse = sample_trace_window(&trace, t0, t1, 2.0);
+    let fine = sample_trace_window(&trace, t0, t1, 2000.0);
+    assert!(
+        coarse.abstraction_error > fine.abstraction_error * 5.0,
+        "coarse {} vs fine {}",
+        coarse.abstraction_error,
+        fine.abstraction_error
+    );
+    assert!(fine.abstraction_error < 0.05);
+}

@@ -1,0 +1,113 @@
+//! Cross-crate integration tests: the Set-10 scheduling use case (paper §IV,
+//! Fig. 17) and the tracing-overhead study (§III-C, Fig. 16), on reduced
+//! workloads so the suite stays fast. The full-size experiments are the
+//! `fig16`/`fig17` binaries of `ftio-bench`.
+
+use ftio_sched::{run_variant, ExperimentConfig, SchedulerVariant};
+use ftio_sim::{OverheadModel, Set10WorkloadConfig};
+
+fn small_experiment() -> ExperimentConfig {
+    ExperimentConfig {
+        workload: Set10WorkloadConfig {
+            low_freq_jobs: 7,
+            low_freq_iterations: 3,
+            ..Default::default()
+        },
+        repetitions: 3,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn set10_with_ftio_beats_the_unmanaged_baseline() {
+    // Paper: compared to not using Set-10, the FTIO-powered version decreases
+    // stretch and I/O slowdown and increases utilisation (by 20%, 56%, 26% on
+    // the full workload — here we only require the ordering).
+    let config = small_experiment();
+    let original = run_variant(&config, SchedulerVariant::Original);
+    let ftio = run_variant(&config, SchedulerVariant::Ftio);
+
+    assert!(
+        ftio.mean_io_slowdown() < original.mean_io_slowdown(),
+        "ftio {} vs original {}",
+        ftio.mean_io_slowdown(),
+        original.mean_io_slowdown()
+    );
+    assert!(
+        ftio.mean_stretch() <= original.mean_stretch() + 1e-9,
+        "ftio {} vs original {}",
+        ftio.mean_stretch(),
+        original.mean_stretch()
+    );
+    assert!(
+        ftio.mean_utilization() >= original.mean_utilization() - 1e-9,
+        "ftio {} vs original {}",
+        ftio.mean_utilization(),
+        original.mean_utilization()
+    );
+}
+
+#[test]
+fn ftio_fed_set10_is_close_to_the_clairvoyant_version() {
+    // Paper: only 2.2% worse stretch, 19% worse I/O slowdown, 2.3% worse
+    // utilisation. Allow wider margins on the reduced workload.
+    let config = small_experiment();
+    let clairvoyant = run_variant(&config, SchedulerVariant::Clairvoyant);
+    let ftio = run_variant(&config, SchedulerVariant::Ftio);
+
+    let stretch_gap =
+        (ftio.mean_stretch() - clairvoyant.mean_stretch()).abs() / clairvoyant.mean_stretch();
+    let slowdown_gap = (ftio.mean_io_slowdown() - clairvoyant.mean_io_slowdown()).abs()
+        / clairvoyant.mean_io_slowdown();
+    let util_gap = (ftio.mean_utilization() - clairvoyant.mean_utilization()).abs()
+        / clairvoyant.mean_utilization();
+    assert!(stretch_gap < 0.10, "stretch gap {stretch_gap}");
+    assert!(slowdown_gap < 0.40, "slowdown gap {slowdown_gap}");
+    assert!(util_gap < 0.10, "utilization gap {util_gap}");
+}
+
+#[test]
+fn error_injection_does_not_beat_clean_ftio_predictions() {
+    // Paper: the ±50% error variant is worse than "Set-10 + FTIO" on all
+    // three metrics and shows higher variability.
+    let config = ExperimentConfig {
+        repetitions: 3,
+        ..small_experiment()
+    };
+    let ftio = run_variant(&config, SchedulerVariant::Ftio);
+    let error = run_variant(&config, SchedulerVariant::FtioWithError);
+    assert!(
+        error.mean_io_slowdown() >= ftio.mean_io_slowdown() * 0.98,
+        "error {} vs ftio {}",
+        error.mean_io_slowdown(),
+        ftio.mean_io_slowdown()
+    );
+    assert!(
+        error.mean_stretch() >= ftio.mean_stretch() * 0.98,
+        "error {} vs ftio {}",
+        error.mean_stretch(),
+        ftio.mean_stretch()
+    );
+}
+
+#[test]
+fn tracing_overhead_stays_within_the_paper_bounds_across_scales() {
+    // Paper Fig. 16: online aggregated overhead <= 0.6%, rank-0 overhead <= 6.9%.
+    let model = OverheadModel::default();
+    for &ranks in &[96usize, 768, 3072, 9216, 10752] {
+        let report = model.estimate(ranks, 780.0, 160, 16);
+        assert!(
+            report.aggregated_fraction() < 0.006,
+            "{ranks} ranks: aggregated fraction {}",
+            report.aggregated_fraction()
+        );
+        assert!(
+            report.rank0_fraction() < 0.069,
+            "{ranks} ranks: rank-0 fraction {}",
+            report.rank0_fraction()
+        );
+        // Offline mode is cheaper still.
+        let offline = model.estimate(ranks, 780.0, 160, 1);
+        assert!(offline.rank0_overhead < report.rank0_overhead);
+    }
+}
