@@ -29,7 +29,13 @@ fn bench_outlier_methods(c: &mut Criterion) {
                 min_pts: 4,
             },
         ),
-        ("lof", OutlierMethod::Lof { k: 10, threshold: 1.5 }),
+        (
+            "lof",
+            OutlierMethod::Lof {
+                k: 10,
+                threshold: 1.5,
+            },
+        ),
         (
             "isolation_forest",
             OutlierMethod::IsolationForest {

@@ -66,7 +66,8 @@ fn bench_online_prediction_step(c: &mut Criterion) {
     };
     group.bench_function("hacc_prediction_step", |b| {
         b.iter(|| {
-            let mut predictor = OnlinePredictor::new(config, WindowStrategy::Adaptive { multiple: 3 });
+            let mut predictor =
+                OnlinePredictor::new(config, WindowStrategy::Adaptive { multiple: 3 });
             predictor.ingest(workload.trace.requests().iter().copied());
             for &flush in &workload.flush_points {
                 black_box(predictor.predict(flush));

@@ -17,7 +17,13 @@ use ftio_dsp::zscore::outlier_indices;
 
 fn bandwidth_signal(n: usize, period: usize) -> Vec<f64> {
     (0..n)
-        .map(|i| if i % period < period / 5 { 8.0e9 } else { 1.0e6 })
+        .map(|i| {
+            if i % period < period / 5 {
+                8.0e9
+            } else {
+                1.0e6
+            }
+        })
         .collect()
 }
 

@@ -29,10 +29,7 @@ fn main() {
     println!("=== Fig. 2: FTIO on IOR (spectrum & period) ===");
     println!("{}", report::render(&result));
     println!("--- paper vs. measured ---");
-    println!(
-        "{:<38} {:>14} {:>14}",
-        "quantity", "paper", "measured"
-    );
+    println!("{:<38} {:>14} {:>14}", "quantity", "paper", "measured");
     println!(
         "{:<38} {:>14} {:>14.2}",
         "time window (s)", "781", result.window_length
@@ -47,7 +44,9 @@ fn main() {
     );
     println!(
         "{:<38} {:>14} {:>14.4}",
-        "mean contribution per frequency (%)", "0.025", result.mean_contribution * 100.0
+        "mean contribution per frequency (%)",
+        "0.025",
+        result.mean_contribution * 100.0
     );
     let period = result.period().unwrap_or(f64::NAN);
     println!(
@@ -56,7 +55,9 @@ fn main() {
     );
     println!(
         "{:<38} {:>14} {:>14.1}",
-        "confidence c_d (%)", "60.5", result.confidence() * 100.0
+        "confidence c_d (%)",
+        "60.5",
+        result.confidence() * 100.0
     );
 
     // The paper's second reading: lowering the tolerance to 0.45 exposes the
@@ -68,10 +69,14 @@ fn main() {
     let result_low = detect_trace(&trace, &low_tolerance);
     println!(
         "{:<38} {:>14} {:>14.1}",
-        "confidence with tolerance 0.45 (%)", "62.5", result_low.confidence() * 100.0
+        "confidence with tolerance 0.45 (%)",
+        "62.5",
+        result_low.confidence() * 100.0
     );
     println!(
         "{:<38} {:>14} {:>14}",
-        "harmonics dropped (tolerance 0.45)", ">=1", result_low.dominant.dropped_harmonics.len()
+        "harmonics dropped (tolerance 0.45)",
+        ">=1",
+        result_low.dominant.dropped_harmonics.len()
     );
 }

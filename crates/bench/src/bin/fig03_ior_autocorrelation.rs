@@ -16,13 +16,19 @@ fn main() {
         ..Default::default()
     };
     let result = detect_trace(&trace, &config);
-    let acf = result.acf.as_ref().expect("autocorrelation enabled by default");
+    let acf = result
+        .acf
+        .as_ref()
+        .expect("autocorrelation enabled by default");
     let dft_period = result.period().unwrap_or(f64::NAN);
     let dft_confidence = result.confidence();
 
     println!("=== Fig. 3: autocorrelation on the IOR signal ===");
     println!("ACF peaks detected              : {}", acf.peak_lags.len());
-    println!("raw period candidates           : {}", acf.raw_candidates.len());
+    println!(
+        "raw period candidates           : {}",
+        acf.raw_candidates.len()
+    );
     println!("candidates after outlier filter : {}", acf.candidates.len());
     println!(
         "ACF period                      : {:.2} s (paper: 104.8 s)",

@@ -28,8 +28,14 @@ fn main() {
 
     println!("=== Fig. 4: time ratio and bandwidth of substantial I/O ===");
     println!("threshold V(T)/L(T)    : {:.2} GB/s", threshold / 1e9);
-    println!("R_IO                   : {:.2}   (paper example: 0.68)", r_io);
-    println!("B_IO                   : {:.2} GB/s (paper example: ~11 GB/s)", b_io / 1e9);
+    println!(
+        "R_IO                   : {:.2}   (paper example: 0.68)",
+        r_io
+    );
+    println!(
+        "B_IO                   : {:.2} GB/s (paper example: ~11 GB/s)",
+        b_io / 1e9
+    );
     println!();
     println!("--- sensitivity to the burst duty cycle ---");
     println!("{:<12} {:>8} {:>12}", "duty cycle", "R_IO", "B_IO (GB/s)");

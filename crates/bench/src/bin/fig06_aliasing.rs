@@ -18,7 +18,12 @@ fn main() {
     let t1 = timeline.end().ceil();
 
     println!("=== Fig. 6: abstraction error vs. sampling frequency (miniIO) ===");
-    println!("trace: {} requests, {:.1} s, {:.2} GB total", trace.len(), t1 - t0, trace.total_volume() as f64 / 1e9);
+    println!(
+        "trace: {} requests, {:.1} s, {:.2} GB total",
+        trace.len(),
+        t1 - t0,
+        trace.total_volume() as f64 / 1e9
+    );
     println!();
     println!(
         "{:>10} {:>10} {:>18} {:>12} {:>14}",

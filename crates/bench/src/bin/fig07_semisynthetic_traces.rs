@@ -53,7 +53,11 @@ fn main() {
     let mean_io = library.mean_duration();
 
     println!("=== Fig. 7: semi-synthetic application traces ===");
-    println!("IOR phase library: {} phases, mean duration {:.2} s\n", library.len(), mean_io);
+    println!(
+        "IOR phase library: {} phases, mean duration {:.2} s\n",
+        library.len(),
+        mean_io
+    );
 
     // (a) t_cpu is 1/4 of the I/O phase duration.
     describe(

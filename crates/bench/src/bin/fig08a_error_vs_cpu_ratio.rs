@@ -26,7 +26,10 @@ fn main() {
         println!("{}", format_error_row(point));
     }
     let overall_mean = ftio_dsp::stats::mean(
-        &results.iter().flat_map(|p| p.errors.iter().copied()).collect::<Vec<_>>(),
+        &results
+            .iter()
+            .flat_map(|p| p.errors.iter().copied())
+            .collect::<Vec<_>>(),
     );
     println!();
     println!("overall mean error : {overall_mean:.4}  (paper: all errors below 0.01)");

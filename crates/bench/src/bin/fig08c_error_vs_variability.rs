@@ -27,7 +27,10 @@ fn main() {
     }
 
     println!();
-    println!("{:<14} {:>16} {:>18}", "sigma/mu", "median error", "median confidence");
+    println!(
+        "{:<14} {:>16} {:>18}",
+        "sigma/mu", "median error", "median confidence"
+    );
     for point in &results {
         println!(
             "{:<14} {:>16.3} {:>18.3}",

@@ -26,17 +26,24 @@ fn main() {
     );
     println!(
         "{:<40} {:>12} {:>12.2}",
-        "detected period (s)", "25.73", result.period().unwrap_or(f64::NAN)
+        "detected period (s)",
+        "25.73",
+        result.period().unwrap_or(f64::NAN)
     );
     println!(
         "{:<40} {:>12} {:>12.1}",
-        "DFT confidence (%)", "55.0", result.confidence() * 100.0
+        "DFT confidence (%)",
+        "55.0",
+        result.confidence() * 100.0
     );
     println!(
         "{:<40} {:>12} {:>12.1}",
-        "refined confidence (%)", "84.9", result.refined_confidence() * 100.0
+        "refined confidence (%)",
+        "84.9",
+        result.refined_confidence() * 100.0
     );
-    let error = (result.period().unwrap_or(f64::NAN) - workload.mean_period).abs() / workload.mean_period;
+    let error =
+        (result.period().unwrap_or(f64::NAN) - workload.mean_period).abs() / workload.mean_period;
     println!(
         "{:<40} {:>12} {:>12.3}",
         "relative error vs. ground truth", "0.060", error

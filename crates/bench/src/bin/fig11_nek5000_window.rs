@@ -47,17 +47,20 @@ fn main() {
     println!("{:<44} {:>12} {:>12}", "quantity", "paper", "measured");
     println!(
         "{:<44} {:>12} {:>12}",
-        "full window periodic?", "no",
+        "full window periodic?",
+        "no",
         if full.is_periodic() { "yes" } else { "no" }
     );
     println!(
         "{:<44} {:>12} {:>12.1}",
-        "reduced-window period (s)", "4642.1",
+        "reduced-window period (s)",
+        "4642.1",
         reduced.period().unwrap_or(f64::NAN)
     );
     println!(
         "{:<44} {:>12} {:>12.1}",
-        "reduced-window confidence (%)", "85.4",
+        "reduced-window confidence (%)",
+        "85.4",
         reduced.refined_confidence() * 100.0
     );
 }

@@ -25,30 +25,42 @@ fn main() {
     println!("{:<44} {:>12} {:>12}", "quantity", "paper", "measured");
     println!(
         "{:<44} {:>12} {:>12.2}",
-        "true mean period (s)", "8.7", workload.mean_period()
+        "true mean period (s)",
+        "8.7",
+        workload.mean_period()
     );
     println!(
         "{:<44} {:>12} {:>12.2}",
-        "true mean period w/o first phase (s)", "7.7", workload.mean_period_without_first()
+        "true mean period w/o first phase (s)",
+        "7.7",
+        workload.mean_period_without_first()
     );
     println!(
         "{:<44} {:>12} {:>12.2}",
-        "detected period (s)", "8.29", result.period().unwrap_or(f64::NAN)
+        "detected period (s)",
+        "8.29",
+        result.period().unwrap_or(f64::NAN)
     );
     println!(
         "{:<44} {:>12} {:>12}",
-        "dominant-frequency candidates", "2", result.candidates().len()
+        "dominant-frequency candidates",
+        "2",
+        result.candidates().len()
     );
     if let Some(c) = result.candidates().first() {
         println!(
             "{:<44} {:>12} {:>12.1}",
-            "confidence of the strongest candidate (%)", "51.0", c.confidence * 100.0
+            "confidence of the strongest candidate (%)",
+            "51.0",
+            c.confidence * 100.0
         );
     }
     if let Some(c) = result.candidates().get(1) {
         println!(
             "{:<44} {:>12} {:>12.1}",
-            "confidence of the second candidate (%)", "48.9", c.confidence * 100.0
+            "confidence of the second candidate (%)",
+            "48.9",
+            c.confidence * 100.0
         );
     }
 
@@ -58,8 +70,14 @@ fn main() {
     let merged = reconstruct_candidates(&signal, &result, 2);
     if let (Some(single), Some(merged)) = (single, merged) {
         println!("\n=== Fig. 14: reconstruction from the dominant candidates ===");
-        println!("RMSE with the strongest candidate only : {:.3e} B/s", single.rmse);
-        println!("RMSE with both candidates merged       : {:.3e} B/s", merged.rmse);
+        println!(
+            "RMSE with the strongest candidate only : {:.3e} B/s",
+            single.rmse
+        );
+        println!(
+            "RMSE with both candidates merged       : {:.3e} B/s",
+            merged.rmse
+        );
         println!(
             "improvement                             : {:.1} %  (paper: the merged wave describes the behaviour more accurately)",
             (1.0 - merged.rmse / single.rmse) * 100.0

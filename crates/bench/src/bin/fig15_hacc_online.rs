@@ -24,7 +24,8 @@ fn main() {
         "phase", "flush (s)", "period (s)", "confidence", "window start (s)", "window (s)"
     );
 
-    let mut requests_by_phase: Vec<Vec<ftio_trace::IoRequest>> = vec![Vec::new(); workload.flush_points.len()];
+    let mut requests_by_phase: Vec<Vec<ftio_trace::IoRequest>> =
+        vec![Vec::new(); workload.flush_points.len()];
     for r in workload.trace.requests() {
         // Assign each request to the iteration whose flush point follows it.
         let phase = workload
@@ -66,7 +67,9 @@ fn main() {
     println!("{:<44} {:>12} {:>12}", "quantity", "paper", "measured");
     println!(
         "{:<44} {:>12} {:>12.2}",
-        "true mean gap between phase starts (s)", "8.7", workload.mean_period()
+        "true mean gap between phase starts (s)",
+        "8.7",
+        workload.mean_period()
     );
     println!(
         "{:<44} {:>12} {:>12.2}",
@@ -74,12 +77,19 @@ fn main() {
     );
     println!(
         "{:<44} {:>12} {:>12.2}",
-        "final predicted period (s)", "8.0", predicted_periods.last().copied().unwrap_or(f64::NAN)
+        "final predicted period (s)",
+        "8.0",
+        predicted_periods.last().copied().unwrap_or(f64::NAN)
     );
     println!(
         "{:<44} {:>12} {:>12}",
-        "adaptive window engaged", "yes",
-        if predictor.consecutive_dominant() >= 3 { "yes" } else { "no" }
+        "adaptive window engaged",
+        "yes",
+        if predictor.consecutive_dominant() >= 3 {
+            "yes"
+        } else {
+            "no"
+        }
     );
     println!(
         "merged prediction intervals: {:?}",

@@ -42,12 +42,7 @@ fn main() {
         }
         let stats = collector.stats();
 
-        let online = model.estimate(
-            ranks,
-            app_time_per_rank,
-            stats.recorded,
-            stats.flushes,
-        );
+        let online = model.estimate(ranks, app_time_per_rank, stats.recorded, stats.flushes);
         let offline = model.estimate(ranks, app_time_per_rank, stats.recorded, 1);
         println!(
             "{:>8} | {:>16.2} {:>14.4} | {:>16.2} {:>14.3} | {:>16.2} {:>14.3}",

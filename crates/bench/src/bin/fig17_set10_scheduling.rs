@@ -86,42 +86,50 @@ fn main() {
     println!("{:<52} {:>10} {:>10}", "comparison", "paper", "measured");
     println!(
         "{:<52} {:>10} {:>9.1}%",
-        "FTIO vs clairvoyant: stretch worse by", "2.2%",
+        "FTIO vs clairvoyant: stretch worse by",
+        "2.2%",
         relative_increase(clairvoyant.mean_stretch(), ftio.mean_stretch()) * 100.0
     );
     println!(
         "{:<52} {:>10} {:>9.1}%",
-        "FTIO vs clairvoyant: I/O slowdown worse by", "19%",
+        "FTIO vs clairvoyant: I/O slowdown worse by",
+        "19%",
         relative_increase(clairvoyant.mean_io_slowdown(), ftio.mean_io_slowdown()) * 100.0
     );
     println!(
         "{:<52} {:>10} {:>9.1}%",
-        "FTIO vs clairvoyant: utilisation worse by", "2.3%",
+        "FTIO vs clairvoyant: utilisation worse by",
+        "2.3%",
         relative_reduction(clairvoyant.mean_utilization(), ftio.mean_utilization()) * 100.0
     );
     println!(
         "{:<52} {:>10} {:>9.1}%",
-        "error-injected vs FTIO: stretch worse by", "5%",
+        "error-injected vs FTIO: stretch worse by",
+        "5%",
         relative_increase(ftio.mean_stretch(), error.mean_stretch()) * 100.0
     );
     println!(
         "{:<52} {:>10} {:>9.1}%",
-        "error-injected vs FTIO: I/O slowdown worse by", "27%",
+        "error-injected vs FTIO: I/O slowdown worse by",
+        "27%",
         relative_increase(ftio.mean_io_slowdown(), error.mean_io_slowdown()) * 100.0
     );
     println!(
         "{:<52} {:>10} {:>9.1}%",
-        "FTIO vs original: stretch reduced by", "20%",
+        "FTIO vs original: stretch reduced by",
+        "20%",
         relative_reduction(original.mean_stretch(), ftio.mean_stretch()) * 100.0
     );
     println!(
         "{:<52} {:>10} {:>9.1}%",
-        "FTIO vs original: I/O slowdown reduced by", "56%",
+        "FTIO vs original: I/O slowdown reduced by",
+        "56%",
         relative_reduction(original.mean_io_slowdown(), ftio.mean_io_slowdown()) * 100.0
     );
     println!(
         "{:<52} {:>10} {:>9.1}%",
-        "FTIO vs original: utilisation increased by", "26%",
+        "FTIO vs original: utilisation increased by",
+        "26%",
         relative_increase(original.mean_utilization(), ftio.mean_utilization()) * 100.0
     );
 }

@@ -68,9 +68,14 @@ impl ErrorPoint {
 /// (the true mean period is used when no dominant frequency is found, which
 /// yields an error of 0 only if the estimate is exact — in practice the
 /// undetected case is counted separately by [`evaluate_point`]).
-pub fn detection_error(trace: &SemiSyntheticTrace, config: &FtioConfig) -> Option<(f64, ftio_core::DetectionResult)> {
+pub fn detection_error(
+    trace: &SemiSyntheticTrace,
+    config: &FtioConfig,
+) -> Option<(f64, ftio_core::DetectionResult)> {
     let result = detect_trace(&trace.trace, config);
-    result.period().map(|period| (trace.detection_error(period), result))
+    result
+        .period()
+        .map(|period| (trace.detection_error(period), result))
 }
 
 /// Evaluates one sweep point: generates `traces_per_point` traces and runs the
@@ -126,7 +131,13 @@ pub fn evaluate_sweep(
         .iter()
         .enumerate()
         .map(|(i, point)| {
-            evaluate_point(point, library, traces_per_point, config, 1000 + 101 * i as u64)
+            evaluate_point(
+                point,
+                library,
+                traces_per_point,
+                config,
+                1000 + 101 * i as u64,
+            )
         })
         .collect()
 }
@@ -204,13 +215,21 @@ mod tests {
             .unwrap();
         let result = evaluate_point(no_noise_point, &library, 8, &accuracy_config(), 5);
         assert!(result.errors.len() + result.undetected == 8);
-        assert!(result.errors.len() >= 6, "too many undetected: {}", result.undetected);
+        assert!(
+            result.errors.len() >= 6,
+            "too many undetected: {}",
+            result.undetected
+        );
         assert!(
             result.median_error() < 0.05,
             "median error {}",
             result.median_error()
         );
-        assert!(result.mean_error() < 0.1, "mean error {}", result.mean_error());
+        assert!(
+            result.mean_error() < 0.1,
+            "mean error {}",
+            result.mean_error()
+        );
     }
 
     #[test]

@@ -67,9 +67,11 @@ fn main() -> ExitCode {
     println!("{}", report::render(&result));
     match result.period() {
         Some(period) => {
-            println!("==> period: {period:.2} s  (confidence {:.1} %, refined {:.1} %)",
+            println!(
+                "==> period: {period:.2} s  (confidence {:.1} %, refined {:.1} %)",
                 result.confidence() * 100.0,
-                result.refined_confidence() * 100.0);
+                result.refined_confidence() * 100.0
+            );
             ExitCode::SUCCESS
         }
         None => {

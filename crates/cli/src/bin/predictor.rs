@@ -16,7 +16,9 @@
 
 use std::process::ExitCode;
 
-use ftio_cli::{demo_flush_points, load_trace, parse_common_options, print_usage_and_exit, LoadedInput};
+use ftio_cli::{
+    demo_flush_points, load_trace, parse_common_options, print_usage_and_exit, LoadedInput,
+};
 use ftio_core::{OnlinePredictor, WindowStrategy};
 
 fn main() -> ExitCode {
@@ -75,7 +77,8 @@ fn main() -> ExitCode {
         points
     };
 
-    let mut predictor = OnlinePredictor::new(options.config, WindowStrategy::Adaptive { multiple: 3 });
+    let mut predictor =
+        OnlinePredictor::new(options.config, WindowStrategy::Adaptive { multiple: 3 });
     let mut requests: Vec<ftio_trace::IoRequest> = trace.requests().to_vec();
     requests.sort_by(|a, b| a.end.partial_cmp(&b.end).expect("NaN request time"));
     let mut next_request = 0;

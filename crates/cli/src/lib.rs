@@ -50,7 +50,7 @@ impl InputFormat {
 }
 
 /// Options shared by both tools.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct CliOptions {
     /// Path of the input trace, or `None` when `--demo` was given.
     pub input: Option<String>,
@@ -62,18 +62,6 @@ pub struct CliOptions {
     pub window: Option<(f64, f64)>,
     /// Whether to analyse the built-in demo workload.
     pub demo: bool,
-}
-
-impl Default for CliOptions {
-    fn default() -> Self {
-        CliOptions {
-            input: None,
-            format: None,
-            config: FtioConfig::default(),
-            window: None,
-            demo: false,
-        }
-    }
 }
 
 /// A successfully loaded input.
@@ -167,7 +155,10 @@ pub fn load_trace(options: &CliOptions) -> Result<LoadedInput, String> {
     if options.demo {
         return Ok(LoadedInput::Trace(demo_trace()));
     }
-    let path = options.input.as_ref().expect("validated by parse_common_options");
+    let path = options
+        .input
+        .as_ref()
+        .expect("validated by parse_common_options");
     let format = options
         .format
         .or_else(|| InputFormat::from_extension(path))
@@ -175,7 +166,8 @@ pub fn load_trace(options: &CliOptions) -> Result<LoadedInput, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     match format {
         InputFormat::JsonLines => {
-            let text = String::from_utf8(bytes).map_err(|_| "trace is not valid UTF-8".to_string())?;
+            let text =
+                String::from_utf8(bytes).map_err(|_| "trace is not valid UTF-8".to_string())?;
             let requests = jsonl::decode_requests(&text).map_err(|e| e.to_string())?;
             Ok(LoadedInput::Trace(requests_to_trace(path, requests)))
         }
@@ -184,12 +176,14 @@ pub fn load_trace(options: &CliOptions) -> Result<LoadedInput, String> {
             Ok(LoadedInput::Trace(requests_to_trace(path, requests)))
         }
         InputFormat::Recorder => {
-            let text = String::from_utf8(bytes).map_err(|_| "trace is not valid UTF-8".to_string())?;
+            let text =
+                String::from_utf8(bytes).map_err(|_| "trace is not valid UTF-8".to_string())?;
             let requests = recorder::decode_requests(&text).map_err(|e| e.to_string())?;
             Ok(LoadedInput::Trace(requests_to_trace(path, requests)))
         }
         InputFormat::Darshan => {
-            let text = String::from_utf8(bytes).map_err(|_| "heatmap is not valid UTF-8".to_string())?;
+            let text =
+                String::from_utf8(bytes).map_err(|_| "heatmap is not valid UTF-8".to_string())?;
             let heatmap = Heatmap::from_text(&text).map_err(|e| e.to_string())?;
             Ok(LoadedInput::Heatmap(heatmap))
         }
@@ -222,12 +216,24 @@ mod tests {
     #[test]
     fn format_parsing_and_extensions() {
         assert_eq!(InputFormat::parse("jsonl"), Some(InputFormat::JsonLines));
-        assert_eq!(InputFormat::parse("MSGPACK"), Some(InputFormat::MessagePack));
+        assert_eq!(
+            InputFormat::parse("MSGPACK"),
+            Some(InputFormat::MessagePack)
+        );
         assert_eq!(InputFormat::parse("darshan"), Some(InputFormat::Darshan));
         assert_eq!(InputFormat::parse("nope"), None);
-        assert_eq!(InputFormat::from_extension("a/b/trace.jsonl"), Some(InputFormat::JsonLines));
-        assert_eq!(InputFormat::from_extension("trace.msgpack"), Some(InputFormat::MessagePack));
-        assert_eq!(InputFormat::from_extension("trace.heatmap"), Some(InputFormat::Darshan));
+        assert_eq!(
+            InputFormat::from_extension("a/b/trace.jsonl"),
+            Some(InputFormat::JsonLines)
+        );
+        assert_eq!(
+            InputFormat::from_extension("trace.msgpack"),
+            Some(InputFormat::MessagePack)
+        );
+        assert_eq!(
+            InputFormat::from_extension("trace.heatmap"),
+            Some(InputFormat::Darshan)
+        );
         assert_eq!(InputFormat::from_extension("trace"), None);
     }
 

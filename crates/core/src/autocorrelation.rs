@@ -115,7 +115,13 @@ pub fn analyze_acf(
         raw_candidates
             .iter()
             .zip(scores)
-            .filter_map(|(&c, z)| if z.abs() < outlier_threshold { Some(c) } else { None })
+            .filter_map(|(&c, z)| {
+                if z.abs() < outlier_threshold {
+                    Some(c)
+                } else {
+                    None
+                }
+            })
             .collect()
     } else {
         raw_candidates.clone()
@@ -144,7 +150,9 @@ mod tests {
     use super::*;
 
     fn pulse_train(n: usize, period: usize, width: usize, amp: f64) -> Vec<f64> {
-        (0..n).map(|i| if i % period < width { amp } else { 0.0 }).collect()
+        (0..n)
+            .map(|i| if i % period < width { amp } else { 0.0 })
+            .collect()
     }
 
     #[test]

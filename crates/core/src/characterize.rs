@@ -131,7 +131,12 @@ mod tests {
     use super::*;
     use crate::sampling::SampledSignal;
 
-    fn pulse_signal(periods: usize, period_len: usize, burst_len: usize, amp: f64) -> SampledSignal {
+    fn pulse_signal(
+        periods: usize,
+        period_len: usize,
+        burst_len: usize,
+        amp: f64,
+    ) -> SampledSignal {
         let samples: Vec<f64> = (0..periods * period_len)
             .map(|i| if i % period_len < burst_len { amp } else { 0.0 })
             .collect();

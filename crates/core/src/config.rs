@@ -104,11 +104,17 @@ impl FtioConfig {
     /// Validates the configuration, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.sampling_freq > 0.0) {
-            return Err(format!("sampling_freq must be positive, got {}", self.sampling_freq));
+        if self.sampling_freq <= 0.0 || self.sampling_freq.is_nan() {
+            return Err(format!(
+                "sampling_freq must be positive, got {}",
+                self.sampling_freq
+            ));
         }
         if !(0.0..=1.0).contains(&self.tolerance) {
-            return Err(format!("tolerance must be in [0, 1], got {}", self.tolerance));
+            return Err(format!(
+                "tolerance must be in [0, 1], got {}",
+                self.tolerance
+            ));
         }
         if !(0.0..=1.0).contains(&self.acf_peak_height) {
             return Err(format!(
@@ -123,13 +129,13 @@ impl FtioConfig {
             ));
         }
         match self.outlier_method {
-            OutlierMethod::ZScore { threshold } if threshold <= 0.0 => {
-                Err(format!("Z-score threshold must be positive, got {threshold}"))
-            }
-            OutlierMethod::DbScan { min_pts, .. } if min_pts == 0 => {
+            OutlierMethod::ZScore { threshold } if threshold <= 0.0 => Err(format!(
+                "Z-score threshold must be positive, got {threshold}"
+            )),
+            OutlierMethod::DbScan { min_pts: 0, .. } => {
                 Err("DBSCAN min_pts must be at least 1".to_string())
             }
-            OutlierMethod::Lof { k, .. } if k == 0 => Err("LOF k must be at least 1".to_string()),
+            OutlierMethod::Lof { k: 0, .. } => Err("LOF k must be at least 1".to_string()),
             _ => Ok(()),
         }
     }
@@ -159,32 +165,41 @@ mod tests {
 
     #[test]
     fn invalid_configurations_are_rejected() {
-        let mut c = FtioConfig::default();
-        c.sampling_freq = 0.0;
-        assert!(c.validate().is_err());
-
-        let mut c = FtioConfig::default();
-        c.tolerance = 1.5;
-        assert!(c.validate().is_err());
-
-        let mut c = FtioConfig::default();
-        c.acf_peak_height = -0.1;
-        assert!(c.validate().is_err());
-
-        let mut c = FtioConfig::default();
-        c.outlier_method = OutlierMethod::ZScore { threshold: 0.0 };
-        assert!(c.validate().is_err());
-
-        let mut c = FtioConfig::default();
-        c.outlier_method = OutlierMethod::DbScan {
-            eps_factor: 1.0,
-            min_pts: 0,
-        };
-        assert!(c.validate().is_err());
-
-        let mut c = FtioConfig::default();
-        c.outlier_method = OutlierMethod::Lof { k: 0, threshold: 1.5 };
-        assert!(c.validate().is_err());
+        let bad_configs = [
+            FtioConfig {
+                sampling_freq: 0.0,
+                ..Default::default()
+            },
+            FtioConfig {
+                tolerance: 1.5,
+                ..Default::default()
+            },
+            FtioConfig {
+                acf_peak_height: -0.1,
+                ..Default::default()
+            },
+            FtioConfig {
+                outlier_method: OutlierMethod::ZScore { threshold: 0.0 },
+                ..Default::default()
+            },
+            FtioConfig {
+                outlier_method: OutlierMethod::DbScan {
+                    eps_factor: 1.0,
+                    min_pts: 0,
+                },
+                ..Default::default()
+            },
+            FtioConfig {
+                outlier_method: OutlierMethod::Lof {
+                    k: 0,
+                    threshold: 1.5,
+                },
+                ..Default::default()
+            },
+        ];
+        for config in bad_configs {
+            assert!(config.validate().is_err(), "accepted: {config:?}");
+        }
     }
 
     #[test]
@@ -194,7 +209,10 @@ mod tests {
                 eps_factor: 0.5,
                 min_pts: 3,
             },
-            OutlierMethod::Lof { k: 10, threshold: 1.5 },
+            OutlierMethod::Lof {
+                k: 10,
+                threshold: 1.5,
+            },
             OutlierMethod::IsolationForest {
                 threshold: 0.6,
                 seed: 1,

@@ -156,7 +156,12 @@ pub fn detect_trace(trace: &AppTrace, config: &FtioConfig) -> DetectionResult {
 
 /// Offline detection over the window `[t0, t1)` of an application trace
 /// (the Δt-adaptation shown in the Nek5000 case study).
-pub fn detect_trace_window(trace: &AppTrace, t0: f64, t1: f64, config: &FtioConfig) -> DetectionResult {
+pub fn detect_trace_window(
+    trace: &AppTrace,
+    t0: f64,
+    t1: f64,
+    config: &FtioConfig,
+) -> DetectionResult {
     let signal = sample_trace_window(trace, t0, t1, config.sampling_freq);
     detect_signal(&signal, config)
 }
@@ -274,7 +279,9 @@ mod tests {
     #[test]
     fn heatmap_detection_uses_bin_frequency() {
         // 40 bins of 100 s, bursts every 4 bins (period 400 s).
-        let bins: Vec<f64> = (0..40).map(|i| if i % 4 == 0 { 8.0e9 } else { 0.0 }).collect();
+        let bins: Vec<f64> = (0..40)
+            .map(|i| if i % 4 == 0 { 8.0e9 } else { 0.0 })
+            .collect();
         let heatmap = Heatmap::new(0.0, 100.0, bins);
         let result = detect_heatmap(&heatmap, &FtioConfig::default());
         assert_eq!(result.sampling_freq, 0.01);

@@ -135,8 +135,11 @@ pub fn select_dominant(
         }
     };
 
-    let all_outliers: Vec<FrequencyCandidate> =
-        outliers.outlier_indices.iter().map(|&i| make_candidate(i)).collect();
+    let all_outliers: Vec<FrequencyCandidate> = outliers
+        .outlier_indices
+        .iter()
+        .map(|&i| make_candidate(i))
+        .collect();
 
     // Tolerance filter relative to the maximum Z-score.
     let mut candidates: Vec<FrequencyCandidate> = all_outliers
@@ -151,7 +154,11 @@ pub fn select_dominant(
     let mut dropped = Vec::new();
     if filter_harmonics && candidates.len() > 1 {
         let mut by_freq = candidates.clone();
-        by_freq.sort_by(|a, b| a.frequency.partial_cmp(&b.frequency).expect("NaN frequency"));
+        by_freq.sort_by(|a, b| {
+            a.frequency
+                .partial_cmp(&b.frequency)
+                .expect("NaN frequency")
+        });
         let mut keep: Vec<FrequencyCandidate> = Vec::new();
         for c in by_freq {
             let is_harmonic = keep.iter().any(|base| {
@@ -207,10 +214,17 @@ mod tests {
     }
 
     fn pulse_train(n: usize, period: usize, width: usize, amp: f64) -> Vec<f64> {
-        (0..n).map(|i| if i % period < width { amp } else { 0.0 }).collect()
+        (0..n)
+            .map(|i| if i % period < width { amp } else { 0.0 })
+            .collect()
     }
 
-    fn analyse(signal: &[f64], fs: f64, tolerance: f64, filter_harmonics: bool) -> DominantAnalysis {
+    fn analyse(
+        signal: &[f64],
+        fs: f64,
+        tolerance: f64,
+        filter_harmonics: bool,
+    ) -> DominantAnalysis {
         let spectrum = spectrum_for(signal, fs);
         let outliers = detect_outliers(
             spectrum.non_dc_powers(),
@@ -290,7 +304,11 @@ mod tests {
         assert_eq!(analysis.candidates.len(), 2);
         // The dominant one is the higher-power (larger amplitude) component.
         let dom = analysis.dominant.unwrap();
-        assert!((dom.period() - 125.0).abs() < 1e-6, "period {}", dom.period());
+        assert!(
+            (dom.period() - 125.0).abs() < 1e-6,
+            "period {}",
+            dom.period()
+        );
     }
 
     #[test]

@@ -53,8 +53,16 @@ impl FrequencyInterval {
     /// Period interval corresponding to the frequency interval
     /// (`[1/max_freq, 1/min_freq]` in seconds).
     pub fn period_bounds(&self) -> (f64, f64) {
-        let lo = if self.max_freq > 0.0 { 1.0 / self.max_freq } else { f64::INFINITY };
-        let hi = if self.min_freq > 0.0 { 1.0 / self.min_freq } else { f64::INFINITY };
+        let lo = if self.max_freq > 0.0 {
+            1.0 / self.max_freq
+        } else {
+            f64::INFINITY
+        };
+        let hi = if self.min_freq > 0.0 {
+            1.0 / self.min_freq
+        } else {
+            f64::INFINITY
+        };
         (lo, hi)
     }
 
@@ -141,8 +149,7 @@ mod tests {
 
     #[test]
     fn outlier_prediction_lowers_the_main_probability() {
-        let mut preds: Vec<FrequencyPrediction> =
-            (0..9).map(|_| prediction(0.1, 100.0)).collect();
+        let mut preds: Vec<FrequencyPrediction> = (0..9).map(|_| prediction(0.1, 100.0)).collect();
         preds.push(prediction(0.5, 100.0));
         let intervals = merge_predictions(&preds, 2);
         let main = &intervals[0];
@@ -154,8 +161,7 @@ mod tests {
 
     #[test]
     fn behaviour_change_yields_two_intervals() {
-        let mut preds: Vec<FrequencyPrediction> =
-            (0..5).map(|_| prediction(0.05, 200.0)).collect();
+        let mut preds: Vec<FrequencyPrediction> = (0..5).map(|_| prediction(0.05, 200.0)).collect();
         preds.extend((0..5).map(|_| prediction(0.2, 200.0)));
         let intervals = merge_predictions(&preds, 2);
         assert_eq!(intervals.len(), 2);

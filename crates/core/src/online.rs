@@ -17,11 +17,9 @@
 //! mirroring the paper's "new child process every time new I/O measurements
 //! are appended" deployment.
 
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 
 use ftio_trace::{AppTrace, IoRequest};
 
@@ -125,14 +123,12 @@ impl OnlinePredictor {
         let start = match self.strategy {
             WindowStrategy::FullHistory => self.trace.start_time(),
             WindowStrategy::Fixed { length } => (now - length).max(self.trace.start_time()),
-            WindowStrategy::Adaptive { multiple } => {
-                match self.last_period {
-                    Some(period) if self.consecutive_dominant >= multiple.max(1) => {
-                        (now - multiple as f64 * period).max(self.trace.start_time())
-                    }
-                    _ => self.trace.start_time(),
+            WindowStrategy::Adaptive { multiple } => match self.last_period {
+                Some(period) if self.consecutive_dominant >= multiple.max(1) => {
+                    (now - multiple as f64 * period).max(self.trace.start_time())
                 }
-            }
+                _ => self.trace.start_time(),
+            },
         };
         (start.min(now), now)
     }
@@ -203,7 +199,7 @@ pub struct PredictionEngine {
 impl PredictionEngine {
     /// Spawns the engine with the given configuration and window strategy.
     pub fn spawn(config: FtioConfig, strategy: WindowStrategy) -> Self {
-        let (sender, receiver): (Sender<EngineMessage>, Receiver<EngineMessage>) = unbounded();
+        let (sender, receiver): (Sender<EngineMessage>, Receiver<EngineMessage>) = channel();
         let results: Arc<Mutex<Vec<OnlinePrediction>>> = Arc::new(Mutex::new(Vec::new()));
         let results_for_worker = results.clone();
         let handle = std::thread::spawn(move || {
@@ -213,7 +209,10 @@ impl PredictionEngine {
                     EngineMessage::Predict { requests, now } => {
                         predictor.ingest(requests);
                         let prediction = predictor.predict(now);
-                        results_for_worker.lock().push(prediction);
+                        results_for_worker
+                            .lock()
+                            .expect("engine mutex poisoned")
+                            .push(prediction);
                     }
                     EngineMessage::Shutdown => break,
                 }
@@ -234,7 +233,7 @@ impl PredictionEngine {
 
     /// Snapshot of all predictions computed so far, in submission order.
     pub fn predictions(&self) -> Vec<OnlinePrediction> {
-        self.results.lock().clone()
+        self.results.lock().expect("engine mutex poisoned").clone()
     }
 
     /// Stops the worker and returns all predictions.
@@ -243,7 +242,7 @@ impl PredictionEngine {
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
-        let results = self.results.lock().clone();
+        let results = self.results.lock().expect("engine mutex poisoned").clone();
         results
     }
 }
@@ -297,7 +296,8 @@ mod tests {
     #[test]
     fn adaptive_strategy_shrinks_the_window() {
         let period = 10.0;
-        let mut predictor = OnlinePredictor::new(config(), WindowStrategy::Adaptive { multiple: 3 });
+        let mut predictor =
+            OnlinePredictor::new(config(), WindowStrategy::Adaptive { multiple: 3 });
         let mut shrunk = false;
         for i in 0..10 {
             let start = i as f64 * period;
@@ -314,7 +314,10 @@ mod tests {
                 );
             }
         }
-        assert!(shrunk, "the adaptive window never shrank below the full history");
+        assert!(
+            shrunk,
+            "the adaptive window never shrank below the full history"
+        );
     }
 
     #[test]
@@ -330,7 +333,8 @@ mod tests {
 
     #[test]
     fn window_never_starts_before_the_first_request() {
-        let mut predictor = OnlinePredictor::new(config(), WindowStrategy::Fixed { length: 1000.0 });
+        let mut predictor =
+            OnlinePredictor::new(config(), WindowStrategy::Fixed { length: 1000.0 });
         predictor.ingest(burst(50.0, 1.0, 1_000_000));
         let (start, end) = predictor.window_at(60.0);
         assert_eq!(start, 50.0);
@@ -354,13 +358,17 @@ mod tests {
         let (lo, hi) = main.period_bounds();
         // Early predictions run on short windows, so the interval sits near the
         // true period rather than containing it exactly.
-        assert!(lo <= period * 1.15 && hi >= period * 0.85, "bounds {lo}..{hi}");
+        assert!(
+            lo <= period * 1.15 && hi >= period * 0.85,
+            "bounds {lo}..{hi}"
+        );
         assert!(main.probability > 0.5);
     }
 
     #[test]
     fn non_periodic_data_resets_the_consecutive_counter() {
-        let mut predictor = OnlinePredictor::new(config(), WindowStrategy::Adaptive { multiple: 2 });
+        let mut predictor =
+            OnlinePredictor::new(config(), WindowStrategy::Adaptive { multiple: 2 });
         // Periodic part.
         for i in 0..6 {
             predictor.ingest(burst(i as f64 * 10.0, 2.0, 1_000_000_000));

@@ -47,7 +47,10 @@ pub fn detect_outliers(powers: &[f64], method: &OutlierMethod) -> OutlierAnalysi
             .enumerate()
             .filter_map(|(i, &z)| if z >= threshold { Some(i) } else { None })
             .collect::<Vec<_>>(),
-        OutlierMethod::DbScan { eps_factor, min_pts } => dbscan_outliers(powers, eps_factor, min_pts),
+        OutlierMethod::DbScan {
+            eps_factor,
+            min_pts,
+        } => dbscan_outliers(powers, eps_factor, min_pts),
         OutlierMethod::Lof { k, threshold } => {
             let lof = local_outlier_factor(powers, k);
             high_value_filter(powers, &lof.outliers(threshold))
@@ -72,7 +75,10 @@ pub fn detect_outliers(powers: &[f64], method: &OutlierMethod) -> OutlierAnalysi
                 min_prominence: Some(max_power * prominence_factor),
                 ..Default::default()
             };
-            find_peaks(powers, &config).into_iter().map(|p| p.index).collect()
+            find_peaks(powers, &config)
+                .into_iter()
+                .map(|p| p.index)
+                .collect()
         }
     };
     indices.sort_unstable();
@@ -101,7 +107,11 @@ fn dbscan_outliers(powers: &[f64], eps_factor: f64, min_pts: usize) -> Vec<usize
 /// frequencies with unusually *large* power contributions.
 fn high_value_filter(powers: &[f64], candidates: &[usize]) -> Vec<usize> {
     let mean = stats::mean(powers);
-    candidates.iter().copied().filter(|&i| powers[i] > mean).collect()
+    candidates
+        .iter()
+        .copied()
+        .filter(|&i| powers[i] > mean)
+        .collect()
 }
 
 #[cfg(test)]
@@ -110,7 +120,9 @@ mod tests {
 
     /// Power spectrum with one strong component at index 20 and mild noise elsewhere.
     fn spiky_powers(n: usize, spike_at: usize, spike: f64) -> Vec<f64> {
-        let mut p: Vec<f64> = (0..n).map(|i| 0.5 + 0.1 * ((i * 7 % 13) as f64 / 13.0)).collect();
+        let mut p: Vec<f64> = (0..n)
+            .map(|i| 0.5 + 0.1 * ((i * 7 % 13) as f64 / 13.0))
+            .collect();
         p[spike_at] = spike;
         p
     }

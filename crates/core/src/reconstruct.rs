@@ -100,7 +100,11 @@ mod tests {
         let signal = SampledSignal::from_samples(samples, 1.0, 0.0);
         let detection = detect_signal(&signal, &FtioConfig::with_sampling_freq(1.0));
         let rec = reconstruct_candidates(&signal, &detection, 1).expect("reconstruction");
-        assert!(rec.relative_rmse < 0.01, "relative RMSE {}", rec.relative_rmse);
+        assert!(
+            rec.relative_rmse < 0.01,
+            "relative RMSE {}",
+            rec.relative_rmse
+        );
         assert_eq!(rec.samples.len(), 600);
         assert_eq!(rec.bins, vec![10]);
     }

@@ -33,12 +33,7 @@ pub fn format_period(seconds: f64) -> String {
 /// Formats a bandwidth in bytes/second using binary-ish SI steps (paper plots
 /// use GB/s).
 pub fn format_bandwidth(bytes_per_sec: f64) -> String {
-    const UNITS: [(&str, f64); 4] = [
-        ("GB/s", 1e9),
-        ("MB/s", 1e6),
-        ("KB/s", 1e3),
-        ("B/s", 1.0),
-    ];
+    const UNITS: [(&str, f64); 4] = [("GB/s", 1e9), ("MB/s", 1e6), ("KB/s", 1e3), ("B/s", 1.0)];
     for (unit, scale) in UNITS {
         if bytes_per_sec >= scale {
             return format!("{:.2} {unit}", bytes_per_sec / scale);
@@ -76,7 +71,10 @@ pub fn render(result: &DetectionResult) -> String {
             out.push_str("verdict       : NOT periodic (no dominant frequency)\n");
         }
         verdict => {
-            let dom = result.dominant.dominant.expect("dominant exists for periodic verdicts");
+            let dom = result
+                .dominant
+                .dominant
+                .expect("dominant exists for periodic verdicts");
             let label = match verdict {
                 PeriodicityVerdict::Periodic => "periodic",
                 PeriodicityVerdict::PeriodicWithVariation => "periodic (with variation)",
@@ -170,7 +168,10 @@ mod tests {
         let report = render(&result);
         assert!(report.contains("FTIO detection report"));
         assert!(report.contains("periodic"));
-        assert!(report.contains("30.00 s") || report.contains("30.0 s"), "{report}");
+        assert!(
+            report.contains("30.00 s") || report.contains("30.0 s"),
+            "{report}"
+        );
         assert!(report.contains("confidence"));
         assert!(report.contains("candidates"));
         assert!(report.contains("R_IO"));

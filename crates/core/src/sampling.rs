@@ -104,7 +104,12 @@ pub fn sample_trace(trace: &AppTrace, sampling_freq: f64) -> SampledSignal {
 }
 
 /// Samples a trace restricted to the window `[t0, t1)`.
-pub fn sample_trace_window(trace: &AppTrace, t0: f64, t1: f64, sampling_freq: f64) -> SampledSignal {
+pub fn sample_trace_window(
+    trace: &AppTrace,
+    t0: f64,
+    t1: f64,
+    sampling_freq: f64,
+) -> SampledSignal {
     let timeline = BandwidthTimeline::from_trace(trace);
     sample_timeline(&timeline, t0, t1, sampling_freq)
 }
@@ -181,7 +186,11 @@ mod tests {
             "coarse error {}",
             coarse.abstraction_error
         );
-        assert!(fine.abstraction_error < 0.05, "fine error {}", fine.abstraction_error);
+        assert!(
+            fine.abstraction_error < 0.05,
+            "fine error {}",
+            fine.abstraction_error
+        );
     }
 
     #[test]

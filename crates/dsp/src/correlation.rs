@@ -168,7 +168,9 @@ mod tests {
         // Deterministic pseudo-noise via a simple LCG to keep the test reproducible.
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let signal: Vec<f64> = (0..2000).map(|_| next()).collect();
@@ -187,7 +189,7 @@ mod tests {
 
     #[test]
     fn all_zero_signal_does_not_divide_by_zero() {
-        let acf = autocorrelation(&vec![0.0; 16]);
+        let acf = autocorrelation(&[0.0; 16]);
         assert!(acf.iter().all(|&v| v == 0.0));
     }
 

@@ -84,7 +84,11 @@ pub fn dbscan_1d(points: &[f64], eps: f64, min_pts: usize) -> Clustering {
 
     // Sort indices by value so neighbourhoods are contiguous windows.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| points[a].partial_cmp(&points[b]).expect("NaN in DBSCAN input"));
+    order.sort_by(|&a, &b| {
+        points[a]
+            .partial_cmp(&points[b])
+            .expect("NaN in DBSCAN input")
+    });
     let sorted: Vec<f64> = order.iter().map(|&i| points[i]).collect();
 
     let neighbours = |pos: usize| -> Vec<usize> {
@@ -193,7 +197,11 @@ pub fn cluster_intervals(points: &[f64], eps: f64, min_pts: usize) -> Vec<Cluste
             probability: values.len() as f64 / total as f64,
         });
     }
-    intervals.sort_by(|a, b| b.probability.partial_cmp(&a.probability).expect("NaN probability"));
+    intervals.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .expect("NaN probability")
+    });
     intervals
 }
 

@@ -368,7 +368,11 @@ fn bluestein(
     // a_n = x_n * chirp_n (use conjugated chirp for the inverse transform).
     let mut a = vec![Complex::ZERO; conv_len];
     for i in 0..n {
-        let c = if conj_input { chirp[i].conj() } else { chirp[i] };
+        let c = if conj_input {
+            chirp[i].conj()
+        } else {
+            chirp[i]
+        };
         a[i] = data[i] * c;
     }
     inner.process(&mut a, Direction::Forward);
@@ -379,17 +383,21 @@ fn bluestein(
         // spectrum of the reversed filter, which equals conj(filter_fft) here
         // because the filter is conjugate-symmetric by construction.
         for (ai, fi) in a.iter_mut().zip(filter_fft.iter()) {
-            *ai = *ai * fi.conj();
+            *ai *= fi.conj();
         }
     } else {
         for (ai, fi) in a.iter_mut().zip(filter_fft.iter()) {
-            *ai = *ai * *fi;
+            *ai *= *fi;
         }
     }
     inner.process(&mut a, Direction::Inverse);
 
     for i in 0..n {
-        let c = if conj_input { chirp[i].conj() } else { chirp[i] };
+        let c = if conj_input {
+            chirp[i].conj()
+        } else {
+            chirp[i]
+        };
         data[i] = a[i] * c;
     }
     if direction == Direction::Inverse {
@@ -574,8 +582,12 @@ mod tests {
     #[test]
     fn linearity_of_the_transform() {
         let n = 64;
-        let x: Vec<Complex> = (0..n).map(|i| Complex::from_real((i as f64).sin())).collect();
-        let y: Vec<Complex> = (0..n).map(|i| Complex::from_real((i as f64).cos())).collect();
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_real((i as f64).sin()))
+            .collect();
+        let y: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_real((i as f64).cos()))
+            .collect();
         let sum: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
         let fx = fft(&x);
         let fy = fft(&y);

@@ -100,7 +100,13 @@ impl IsolationForest {
     pub fn outliers(&self, data: &[f64], threshold: f64) -> Vec<usize> {
         data.iter()
             .enumerate()
-            .filter_map(|(i, &x)| if self.score(x) >= threshold { Some(i) } else { None })
+            .filter_map(|(i, &x)| {
+                if self.score(x) >= threshold {
+                    Some(i)
+                } else {
+                    None
+                }
+            })
             .collect()
     }
 }

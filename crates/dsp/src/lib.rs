@@ -61,135 +61,176 @@ pub use window::WindowKind;
 pub use zscore::{outlier_indices, z_scores};
 
 #[cfg(test)]
+// Seeded randomized invariant tests (a property-test stand-in: the build
+// environment has no crates.io access, so `proptest` is unavailable).
 mod property_tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn arbitrary_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-        prop::collection::vec(-100.0f64..100.0, 1..max_len)
+    fn arbitrary_signal(rng: &mut StdRng, max_len: usize) -> Vec<f64> {
+        let n = rng.gen_range(1..max_len);
+        (0..n).map(|_| rng.gen_range(-100.0f64..100.0)).collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// `ifft(fft(x)) == x` for any real signal of any length.
-        #[test]
-        fn fft_roundtrip_recovers_signal(signal in arbitrary_signal(300)) {
+    /// `ifft(fft(x)) == x` for any real signal of any length.
+    #[test]
+    fn fft_roundtrip_recovers_signal() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_0001);
+        for _case in 0..64 {
+            let signal = arbitrary_signal(&mut rng, 300);
             let complex: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
             let roundtrip = ifft(&fft(&complex));
             for (a, b) in roundtrip.iter().zip(signal.iter()) {
-                prop_assert!((a.re - b).abs() < 1e-6);
-                prop_assert!(a.im.abs() < 1e-6);
+                assert!((a.re - b).abs() < 1e-6);
+                assert!(a.im.abs() < 1e-6);
             }
         }
+    }
 
-        /// Parseval: time-domain energy equals frequency-domain energy / N.
-        #[test]
-        fn fft_preserves_energy(signal in arbitrary_signal(300)) {
+    /// Parseval: time-domain energy equals frequency-domain energy / N.
+    #[test]
+    fn fft_preserves_energy() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_0002);
+        for _case in 0..64 {
+            let signal = arbitrary_signal(&mut rng, 300);
             let spec = fft_real(&signal);
             let time_energy: f64 = signal.iter().map(|x| x * x).sum();
-            let freq_energy: f64 = spec.iter().map(|x| x.norm_sqr()).sum::<f64>() / signal.len() as f64;
-            prop_assert!((time_energy - freq_energy).abs() <= 1e-6 * time_energy.max(1.0));
+            let freq_energy: f64 =
+                spec.iter().map(|x| x.norm_sqr()).sum::<f64>() / signal.len() as f64;
+            assert!((time_energy - freq_energy).abs() <= 1e-6 * time_energy.max(1.0));
         }
+    }
 
-        /// The FFT agrees with the O(N^2) reference DFT for random signals.
-        #[test]
-        fn fft_matches_naive_dft(signal in arbitrary_signal(128)) {
+    /// The FFT agrees with the O(N^2) reference DFT for random signals.
+    #[test]
+    fn fft_matches_naive_dft() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_0003);
+        for _case in 0..64 {
+            let signal = arbitrary_signal(&mut rng, 128);
             let complex: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
             let fast = fft(&complex);
             let slow = dft_naive(&complex, Direction::Forward);
             for (a, b) in fast.iter().zip(slow.iter()) {
-                prop_assert!((a.re - b.re).abs() < 1e-5);
-                prop_assert!((a.im - b.im).abs() < 1e-5);
+                assert!((a.re - b.re).abs() < 1e-5);
+                assert!((a.im - b.im).abs() < 1e-5);
             }
         }
+    }
 
-        /// Normalised powers always sum to 1 (or 0 for a null signal).
-        #[test]
-        fn normalized_power_sums_to_one(signal in arbitrary_signal(256)) {
+    /// Normalised powers always sum to 1 (or 0 for a null signal).
+    #[test]
+    fn normalized_power_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_0004);
+        for _case in 0..64 {
+            let signal = arbitrary_signal(&mut rng, 256);
             let spectrum = Spectrum::from_signal(&signal, 2.0);
             let total: f64 = spectrum.normalized_powers().iter().sum();
-            prop_assert!((total - 1.0).abs() < 1e-6 || total == 0.0);
+            assert!((total - 1.0).abs() < 1e-6 || total == 0.0);
         }
+    }
 
-        /// The normalised autocorrelation is 1 at lag zero and bounded by 1 in magnitude.
-        #[test]
-        fn acf_bounded_by_one(signal in arbitrary_signal(256)) {
+    /// The normalised autocorrelation is 1 at lag zero and bounded by 1 in magnitude.
+    #[test]
+    fn acf_bounded_by_one() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_0005);
+        for _case in 0..64 {
+            let signal = arbitrary_signal(&mut rng, 256);
             let acf = autocorrelation(&signal);
             if acf[0] != 0.0 {
-                prop_assert!((acf[0] - 1.0).abs() < 1e-9);
+                assert!((acf[0] - 1.0).abs() < 1e-9);
             }
             for &v in &acf {
-                prop_assert!(v.abs() <= 1.0 + 1e-9);
+                assert!(v.abs() <= 1.0 + 1e-9);
             }
         }
+    }
 
-        /// Z-score outliers are always a subset of the input indices and the
-        /// threshold is monotone: raising it never adds outliers.
-        #[test]
-        fn zscore_threshold_is_monotone(signal in arbitrary_signal(200)) {
+    /// Z-score outliers are always a subset of the input indices and the
+    /// threshold is monotone: raising it never adds outliers.
+    #[test]
+    fn zscore_threshold_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_0006);
+        for _case in 0..64 {
+            let signal = arbitrary_signal(&mut rng, 200);
             let lo = outlier_indices(&signal, 2.0);
             let hi = outlier_indices(&signal, 3.0);
             for idx in &hi {
-                prop_assert!(lo.contains(idx));
-                prop_assert!(*idx < signal.len());
+                assert!(lo.contains(idx));
+                assert!(*idx < signal.len());
             }
         }
+    }
 
-        /// DBSCAN assigns every point either to a cluster or to noise, and
-        /// cluster ids are dense in 0..num_clusters.
-        #[test]
-        fn dbscan_labels_are_consistent(
-            points in prop::collection::vec(0.0f64..50.0, 1..100),
-            eps in 0.1f64..5.0,
-            min_pts in 1usize..5,
-        ) {
+    /// DBSCAN assigns every point either to a cluster or to noise, and
+    /// cluster ids are dense in 0..num_clusters.
+    #[test]
+    fn dbscan_labels_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_0007);
+        for _case in 0..64 {
+            let points: Vec<f64> = (0..rng.gen_range(1usize..100))
+                .map(|_| rng.gen_range(0.0f64..50.0))
+                .collect();
+            let eps = rng.gen_range(0.1f64..5.0);
+            let min_pts = rng.gen_range(1usize..5);
             let c = dbscan_1d(&points, eps, min_pts);
-            prop_assert_eq!(c.labels.len(), points.len());
+            assert_eq!(c.labels.len(), points.len());
             for label in &c.labels {
                 if let Some(id) = label.cluster_id() {
-                    prop_assert!(id < c.num_clusters);
+                    assert!(id < c.num_clusters);
                 }
             }
             let clustered: usize = (0..c.num_clusters).map(|id| c.members(id).len()).sum();
-            prop_assert_eq!(clustered + c.noise().len(), points.len());
+            assert_eq!(clustered + c.noise().len(), points.len());
         }
+    }
 
-        /// Cluster-interval probabilities sum to at most 1.
-        #[test]
-        fn cluster_probabilities_bounded(
-            points in prop::collection::vec(0.0f64..10.0, 1..80),
-        ) {
+    /// Cluster-interval probabilities sum to at most 1.
+    #[test]
+    fn cluster_probabilities_bounded() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_0008);
+        for _case in 0..64 {
+            let points: Vec<f64> = (0..rng.gen_range(1usize..80))
+                .map(|_| rng.gen_range(0.0f64..10.0))
+                .collect();
             let intervals = cluster_intervals(&points, 0.5, 2);
             let total: f64 = intervals.iter().map(|i| i.probability).sum();
-            prop_assert!(total <= 1.0 + 1e-9);
+            assert!(total <= 1.0 + 1e-9);
             for i in &intervals {
-                prop_assert!(i.min <= i.center && i.center <= i.max);
+                assert!(i.min <= i.center && i.center <= i.max);
             }
         }
+    }
 
-        /// Peak indices are strictly increasing and never at the boundaries.
-        #[test]
-        fn peaks_are_interior_and_sorted(signal in arbitrary_signal(200)) {
+    /// Peak indices are strictly increasing and never at the boundaries.
+    #[test]
+    fn peaks_are_interior_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_0009);
+        for _case in 0..64 {
+            let signal = arbitrary_signal(&mut rng, 200);
             let peaks = find_peak_indices(&signal, &PeakConfig::default());
             for w in peaks.windows(2) {
-                prop_assert!(w[0] < w[1]);
+                assert!(w[0] < w[1]);
             }
             for &p in &peaks {
-                prop_assert!(p > 0 && p + 1 < signal.len());
+                assert!(p > 0 && p + 1 < signal.len());
             }
         }
+    }
 
-        /// Percentile is monotone in p and bounded by the data range.
-        #[test]
-        fn percentile_is_monotone(signal in arbitrary_signal(100)) {
+    /// Percentile is monotone in p and bounded by the data range.
+    #[test]
+    fn percentile_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_000a);
+        for _case in 0..64 {
+            let signal = arbitrary_signal(&mut rng, 100);
             let p25 = stats::percentile(&signal, 25.0);
             let p50 = stats::percentile(&signal, 50.0);
             let p75 = stats::percentile(&signal, 75.0);
-            prop_assert!(p25 <= p50 + 1e-12);
-            prop_assert!(p50 <= p75 + 1e-12);
-            prop_assert!(p25 >= stats::min(&signal) - 1e-12);
-            prop_assert!(p75 <= stats::max(&signal) + 1e-12);
+            assert!(p25 <= p50 + 1e-12);
+            assert!(p50 <= p75 + 1e-12);
+            assert!(p25 >= stats::min(&signal) - 1e-12);
+            assert!(p75 <= stats::max(&signal) + 1e-12);
         }
     }
 }

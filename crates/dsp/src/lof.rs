@@ -120,10 +120,7 @@ pub fn local_outlier_factor(points: &[f64], k: usize) -> LofResult {
     // LOF = average ratio of neighbour densities to own density.
     let scores: Vec<f64> = (0..n)
         .map(|i| {
-            let avg_neighbour_lrd: f64 = neighbours[i]
-                .iter()
-                .map(|&(j, _)| lrd[j])
-                .sum::<f64>()
+            let avg_neighbour_lrd: f64 = neighbours[i].iter().map(|&(j, _)| lrd[j]).sum::<f64>()
                 / neighbours[i].len() as f64;
             avg_neighbour_lrd / lrd[i]
         })

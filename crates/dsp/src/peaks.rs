@@ -139,7 +139,10 @@ pub fn find_peaks(signal: &[f64], config: &PeakConfig) -> Vec<Peak> {
 
 /// Convenience wrapper returning only the peak indices.
 pub fn find_peak_indices(signal: &[f64], config: &PeakConfig) -> Vec<usize> {
-    find_peaks(signal, config).into_iter().map(|p| p.index).collect()
+    find_peaks(signal, config)
+        .into_iter()
+        .map(|p| p.index)
+        .collect()
 }
 
 /// Topographic prominence of the local maximum at `idx`.

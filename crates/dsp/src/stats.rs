@@ -175,7 +175,10 @@ impl BoxStats {
             .copied()
             .filter(|&x| x <= hi_fence)
             .fold(f64::NEG_INFINITY, f64::max);
-        let outliers = data.iter().filter(|&&x| x < lo_fence || x > hi_fence).count();
+        let outliers = data
+            .iter()
+            .filter(|&&x| x < lo_fence || x > hi_fence)
+            .count();
         BoxStats {
             min: dmin,
             q1,

@@ -84,13 +84,17 @@ impl Default for ExperimentConfig {
                 use_autocorrelation: false,
                 ..Default::default()
             },
-            base_seed: 0x5E7_10,
+            base_seed: 0x0005_E710,
         }
     }
 }
 
 /// Runs one execution of one variant and returns the raw simulation result.
-pub fn run_once(config: &ExperimentConfig, variant: SchedulerVariant, seed: u64) -> SimulationResult {
+pub fn run_once(
+    config: &ExperimentConfig,
+    variant: SchedulerVariant,
+    seed: u64,
+) -> SimulationResult {
     let jobs = set10_workload(&config.workload, seed);
     let fs = FileSystem::with_bandwidth(config.filesystem_bandwidth);
     match variant {
@@ -192,11 +196,11 @@ mod tests {
         let ftio = run_variant(&config, SchedulerVariant::Ftio);
         // "Close" in the paper means within a few percent for stretch and
         // utilisation; allow a modest band here.
-        let stretch_gap = (ftio.mean_stretch() - clairvoyant.mean_stretch()).abs()
-            / clairvoyant.mean_stretch();
+        let stretch_gap =
+            (ftio.mean_stretch() - clairvoyant.mean_stretch()).abs() / clairvoyant.mean_stretch();
         assert!(stretch_gap < 0.15, "stretch gap {stretch_gap}");
-        let util_gap =
-            (ftio.mean_utilization() - clairvoyant.mean_utilization()).abs() / clairvoyant.mean_utilization();
+        let util_gap = (ftio.mean_utilization() - clairvoyant.mean_utilization()).abs()
+            / clairvoyant.mean_utilization();
         assert!(util_gap < 0.15, "utilization gap {util_gap}");
     }
 
@@ -235,7 +239,12 @@ mod tests {
         let labels: Vec<&str> = results.iter().map(|r| r.label.as_str()).collect();
         assert_eq!(
             labels,
-            vec!["Set-10 + clairv.", "Set-10 + FTIO", "Set-10 + error", "Original"]
+            vec![
+                "Set-10 + clairv.",
+                "Set-10 + FTIO",
+                "Set-10 + error",
+                "Original"
+            ]
         );
     }
 }

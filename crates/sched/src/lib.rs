@@ -47,26 +47,25 @@ pub use experiment::{run_experiment, run_once, run_variant, ExperimentConfig, Sc
 pub use metrics::{relative_increase, relative_reduction, AggregatedMetrics, ExecutionMetrics};
 pub use set10::{PeriodSource, Set10Policy};
 
+// Seeded randomized invariant tests (a property-test stand-in: the build
+// environment has no crates.io access, so `proptest` is unavailable).
 #[cfg(test)]
 mod property_tests {
     use super::*;
     use ftio_sim::{CompletedPhase, IoDemand, IoPolicy};
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// Set-10 weights: at most one job per set receives bandwidth, weights
-        /// are non-negative, and smaller-period sets get strictly larger weights.
-        #[test]
-        fn set10_arbitration_invariants(
-            periods in prop::collection::vec(1.0f64..5000.0, 1..10),
-            starts in prop::collection::vec(0.0f64..100.0, 1..10),
-        ) {
-            let n = periods.len().min(starts.len());
-            let periods = &periods[..n];
-            let starts = &starts[..n];
-            let mut policy = Set10Policy::new(n, PeriodSource::Clairvoyant(periods.to_vec()));
+    /// Set-10 weights: at most one job per set receives bandwidth, weights
+    /// are non-negative, and smaller-period sets get strictly larger weights.
+    #[test]
+    fn set10_arbitration_invariants() {
+        let mut rng = StdRng::seed_from_u64(0x0005_e710);
+        for case in 0..24 {
+            let n = rng.gen_range(1usize..10);
+            let periods: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0f64..5000.0)).collect();
+            let starts: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..100.0)).collect();
+            let mut policy = Set10Policy::new(n, PeriodSource::Clairvoyant(periods.clone()));
             let demands: Vec<IoDemand> = (0..n)
                 .map(|i| IoDemand {
                     job: i,
@@ -76,39 +75,53 @@ mod property_tests {
                 })
                 .collect();
             let weights = policy.arbitrate(200.0, &demands);
-            prop_assert_eq!(weights.len(), n);
+            assert_eq!(weights.len(), n, "case {case}");
             // Group by set and check exclusivity within a set.
-            let mut per_set: std::collections::HashMap<i32, usize> = std::collections::HashMap::new();
+            let mut per_set: std::collections::HashMap<i32, usize> =
+                std::collections::HashMap::new();
             for (i, &w) in weights.iter().enumerate() {
-                prop_assert!(w >= 0.0);
+                assert!(w >= 0.0, "case {case}: negative weight {w}");
                 if w > 0.0 {
                     let set = Set10Policy::set_index(periods[i]);
                     *per_set.entry(set).or_insert(0) += 1;
-                    prop_assert!((w - Set10Policy::set_weight(set)).abs() < 1e-12);
+                    assert!(
+                        (w - Set10Policy::set_weight(set)).abs() < 1e-12,
+                        "case {case}: weight {w} does not match set {set}"
+                    );
                 }
             }
-            for (&_set, &count) in &per_set {
-                prop_assert_eq!(count, 1);
+            for (&set, &count) in &per_set {
+                assert_eq!(
+                    count, 1,
+                    "case {case}: set {set} has {count} transferring jobs"
+                );
             }
             // Every set with at least one demand has exactly one transferring job.
             let distinct_sets: std::collections::HashSet<i32> =
                 periods.iter().map(|&p| Set10Policy::set_index(p)).collect();
-            prop_assert_eq!(per_set.len(), distinct_sets.len());
+            assert_eq!(per_set.len(), distinct_sets.len(), "case {case}");
         }
+    }
 
-        /// Feeding arbitrary (increasing) phase completions never breaks the
-        /// period estimate: it stays positive and finite.
-        #[test]
-        fn period_estimates_stay_sane(
-            gaps in prop::collection::vec(1.0f64..200.0, 2..12),
-        ) {
-            let mut policy = Set10Policy::new(1, PeriodSource::Ftio {
-                config: ftio_core::FtioConfig {
-                    sampling_freq: 1.0,
-                    use_autocorrelation: false,
-                    ..Default::default()
+    /// Feeding arbitrary (increasing) phase completions never breaks the
+    /// period estimate: it stays positive and finite.
+    #[test]
+    fn period_estimates_stay_sane() {
+        let mut rng = StdRng::seed_from_u64(0x5a9e);
+        for case in 0..24 {
+            let gaps: Vec<f64> = (0..rng.gen_range(2usize..12))
+                .map(|_| rng.gen_range(1.0f64..200.0))
+                .collect();
+            let mut policy = Set10Policy::new(
+                1,
+                PeriodSource::Ftio {
+                    config: ftio_core::FtioConfig {
+                        sampling_freq: 1.0,
+                        use_autocorrelation: false,
+                        ..Default::default()
+                    },
                 },
-            });
+            );
             let mut t = 0.0;
             for (i, gap) in gaps.iter().enumerate() {
                 policy.on_phase_complete(&CompletedPhase {
@@ -121,8 +134,8 @@ mod property_tests {
                 t += gap;
             }
             let period = policy.period_of(0);
-            prop_assert!(period.is_finite());
-            prop_assert!(period > 0.0);
+            assert!(period.is_finite(), "case {case}: period {period}");
+            assert!(period > 0.0, "case {case}: period {period}");
         }
     }
 }

@@ -70,17 +70,35 @@ impl AggregatedMetrics {
 
     /// Box-plot summary of the stretch values.
     pub fn stretch_box(&self) -> BoxStats {
-        BoxStats::from(&self.executions.iter().map(|e| e.stretch).collect::<Vec<_>>())
+        BoxStats::from(
+            &self
+                .executions
+                .iter()
+                .map(|e| e.stretch)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Box-plot summary of the I/O-slowdown values.
     pub fn io_slowdown_box(&self) -> BoxStats {
-        BoxStats::from(&self.executions.iter().map(|e| e.io_slowdown).collect::<Vec<_>>())
+        BoxStats::from(
+            &self
+                .executions
+                .iter()
+                .map(|e| e.io_slowdown)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Box-plot summary of the utilisation values.
     pub fn utilization_box(&self) -> BoxStats {
-        BoxStats::from(&self.executions.iter().map(|e| e.utilization).collect::<Vec<_>>())
+        BoxStats::from(
+            &self
+                .executions
+                .iter()
+                .map(|e| e.utilization)
+                .collect::<Vec<_>>(),
+        )
     }
 }
 

@@ -77,7 +77,10 @@ impl Set10Policy {
                 let predictor = match &source {
                     PeriodSource::Clairvoyant(_) => None,
                     PeriodSource::Ftio { config } | PeriodSource::FtioWithError { config, .. } => {
-                        Some(OnlinePredictor::new(*config, WindowStrategy::Adaptive { multiple: 3 }))
+                        Some(OnlinePredictor::new(
+                            *config,
+                            WindowStrategy::Adaptive { multiple: 3 },
+                        ))
                     }
                 };
                 JobPeriodState {
@@ -134,7 +137,9 @@ impl Set10Policy {
                 phase.bytes.max(1.0) as u64,
             )));
             let prediction = predictor.predict(phase.phase_end);
-            prediction.period().or_else(|| mean_gap(&state.phase_starts))
+            prediction
+                .period()
+                .or_else(|| mean_gap(&state.phase_starts))
         } else {
             mean_gap(&state.phase_starts)
         };
@@ -330,7 +335,10 @@ mod tests {
             (period - 30.0).abs() < 5.0 || (period - 10.0).abs() < 5.0,
             "period {period}"
         );
-        assert!((period - 20.0).abs() > 4.0, "period {period} too close to the truth");
+        assert!(
+            (period - 20.0).abs() > 4.0,
+            "period {period} too close to the truth"
+        );
         assert_eq!(policy.name(), "set10-error");
     }
 

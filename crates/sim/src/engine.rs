@@ -165,8 +165,16 @@ impl<'a> Simulator<'a> {
             let _ = events;
             // 1. Activate pending jobs.
             for (i, state) in states.iter_mut().enumerate() {
-                if matches!(state, JobState::Pending) && self.jobs[i].start_time <= now + TIME_EPSILON {
-                    *state = start_iteration(&self.jobs[i], 0, now, &mut compute_time[i], &mut completion[i]);
+                if matches!(state, JobState::Pending)
+                    && self.jobs[i].start_time <= now + TIME_EPSILON
+                {
+                    *state = start_iteration(
+                        &self.jobs[i],
+                        0,
+                        now,
+                        &mut compute_time[i],
+                        &mut completion[i],
+                    );
                 }
             }
 
@@ -430,7 +438,10 @@ mod tests {
         // I/O at full speed.
         let fair_io: f64 = fair_result.jobs.iter().map(|j| j.io_time).sum();
         let fifo_io: f64 = fifo_result.jobs.iter().map(|j| j.io_time).sum();
-        assert!(fifo_io <= fair_io + 1e-6, "fifo {fifo_io} vs fair {fair_io}");
+        assert!(
+            fifo_io <= fair_io + 1e-6,
+            "fifo {fifo_io} vs fair {fair_io}"
+        );
         // And at least one job is never delayed relative to isolation by much.
         let min_slowdown = fifo_result
             .jobs
@@ -450,7 +461,11 @@ mod tests {
         let mut policy = FairSharePolicy;
         let result = Simulator::new(fs, vec![a, b], &mut policy).run();
         for job in &result.jobs {
-            assert!((job.io_slowdown() - 1.0).abs() < 0.01, "slowdown {}", job.io_slowdown());
+            assert!(
+                (job.io_slowdown() - 1.0).abs() < 0.01,
+                "slowdown {}",
+                job.io_slowdown()
+            );
         }
     }
 
@@ -518,7 +533,7 @@ mod tests {
             // so I/O finishes faster and the spacing shrinks toward the
             // compute time (20 s); it must lie between the two.
             let gap = pair[1] - pair[0];
-            assert!(gap >= 20.0 - 1e-6 && gap <= 25.0 + 1e-6, "gap {gap}");
+            assert!((20.0 - 1e-6..=25.0 + 1e-6).contains(&gap), "gap {gap}");
         }
     }
 }

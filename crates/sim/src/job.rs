@@ -48,8 +48,14 @@ impl JobSpec {
         isolated_bandwidth: f64,
     ) -> Self {
         assert!(period > 0.0, "period must be positive");
-        assert!((0.0..1.0).contains(&io_fraction), "io_fraction must be in [0, 1)");
-        assert!(isolated_bandwidth > 0.0, "isolated bandwidth must be positive");
+        assert!(
+            (0.0..1.0).contains(&io_fraction),
+            "io_fraction must be in [0, 1)"
+        );
+        assert!(
+            isolated_bandwidth > 0.0,
+            "isolated bandwidth must be positive"
+        );
         let compute = period * (1.0 - io_fraction);
         let io_bytes = period * io_fraction * isolated_bandwidth;
         JobSpec {

@@ -51,24 +51,25 @@ pub use policy::{CompletedPhase, FairSharePolicy, FifoExclusivePolicy, IoDemand,
 pub use workload::{mixed_workload, set10_true_periods, set10_workload, Set10WorkloadConfig};
 
 #[cfg(test)]
+// Seeded randomized invariant tests (a property-test stand-in: the build
+// environment has no crates.io access, so `proptest` is unavailable).
 mod property_tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// Invariants of the simulator for arbitrary small workloads under fair
-        /// sharing: stretch and I/O slowdown are at least 1 (within numerical
-        /// slack), utilisation lies in [0, 1], and every job completes.
-        #[test]
-        fn fair_share_simulation_invariants(
-            job_count in 1usize..6,
-            period in 10.0f64..60.0,
-            io_fraction in 0.05f64..0.6,
-            iterations in 1usize..6,
-            bandwidth_gb in 1.0f64..20.0,
-        ) {
+    /// Invariants of the simulator for arbitrary small workloads under fair
+    /// sharing: stretch and I/O slowdown are at least 1 (within numerical
+    /// slack), utilisation lies in [0, 1], and every job completes.
+    #[test]
+    fn fair_share_simulation_invariants() {
+        let mut rng = StdRng::seed_from_u64(0x051a_0001);
+        for case in 0..24 {
+            let job_count = rng.gen_range(1usize..6);
+            let period = rng.gen_range(10.0f64..60.0);
+            let io_fraction = rng.gen_range(0.05f64..0.6);
+            let iterations = rng.gen_range(1usize..6);
+            let bandwidth_gb = rng.gen_range(1.0f64..20.0);
             let jobs: Vec<JobSpec> = (0..job_count)
                 .map(|i| {
                     let mut job = JobSpec::periodic(
@@ -87,59 +88,97 @@ mod property_tests {
             let mut policy = FairSharePolicy;
             let fs = FileSystem::with_bandwidth(bandwidth_gb * 1.0e9);
             let result = Simulator::new(fs, jobs, &mut policy).run();
-            prop_assert_eq!(result.jobs.len(), job_count);
+            assert_eq!(result.jobs.len(), job_count, "case {case}");
             for job in &result.jobs {
-                prop_assert!(job.completion_time > job.start_time);
-                prop_assert!(job.stretch() >= 1.0 - 1e-6, "stretch {}", job.stretch());
-                prop_assert!(job.io_slowdown() >= 1.0 - 1e-6, "slowdown {}", job.io_slowdown());
-                prop_assert_eq!(job.trace.len(), iterations);
+                assert!(job.completion_time > job.start_time, "case {case}");
+                assert!(
+                    job.stretch() >= 1.0 - 1e-6,
+                    "case {case}: stretch {}",
+                    job.stretch()
+                );
+                assert!(
+                    job.io_slowdown() >= 1.0 - 1e-6,
+                    "case {case}: slowdown {}",
+                    job.io_slowdown()
+                );
+                assert_eq!(job.trace.len(), iterations, "case {case}");
             }
             let u = result.utilization();
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&u),
+                "case {case}: utilization {u}"
+            );
         }
+    }
 
-        /// The file-system allocator never hands out more than the aggregate
-        /// bandwidth and never gives a zero-weight job anything.
-        #[test]
-        fn allocation_conserves_bandwidth(
-            weights in prop::collection::vec(0.0f64..10.0, 0..12),
-            bandwidth in 1.0f64..100.0,
-            cap in 0.5f64..50.0,
-        ) {
+    /// The file-system allocator never hands out more than the aggregate
+    /// bandwidth and never gives a zero-weight job anything.
+    #[test]
+    fn allocation_conserves_bandwidth() {
+        let mut rng = StdRng::seed_from_u64(0x051a_0002);
+        for case in 0..24 {
+            let weights: Vec<f64> = (0..rng.gen_range(0usize..12))
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        0.0
+                    } else {
+                        rng.gen_range(0.0f64..10.0)
+                    }
+                })
+                .collect();
+            let bandwidth = rng.gen_range(1.0f64..100.0);
+            let cap = rng.gen_range(0.5f64..50.0);
             let fs = FileSystem {
                 aggregate_bandwidth: bandwidth,
                 per_job_cap: cap,
             };
             let shares = fs.allocate(&weights);
-            prop_assert_eq!(shares.len(), weights.len());
+            assert_eq!(shares.len(), weights.len(), "case {case}");
             let total: f64 = shares.iter().sum();
-            prop_assert!(total <= bandwidth + 1e-6);
+            assert!(total <= bandwidth + 1e-6, "case {case}: total {total}");
             for (share, weight) in shares.iter().zip(&weights) {
-                prop_assert!(*share >= 0.0);
-                prop_assert!(*share <= cap + 1e-6);
+                assert!(*share >= 0.0, "case {case}");
+                assert!(*share <= cap + 1e-6, "case {case}");
                 if *weight == 0.0 {
-                    prop_assert_eq!(*share, 0.0);
+                    assert_eq!(*share, 0.0, "case {case}");
                 }
             }
         }
+    }
 
-        /// The overhead model is monotone in ranks, requests and flushes.
-        #[test]
-        fn overhead_model_is_monotone(
-            ranks in 1usize..20_000,
-            requests in 1usize..10_000,
-            flushes in 1usize..64,
-        ) {
+    /// The overhead model is monotone in ranks, requests and flushes.
+    #[test]
+    fn overhead_model_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(0x051a_0003);
+        for case in 0..24 {
+            let ranks = rng.gen_range(1usize..20_000);
+            let requests = rng.gen_range(1usize..10_000);
+            let flushes = rng.gen_range(1usize..64);
             let model = OverheadModel::default();
             let base = model.estimate(ranks, 500.0, requests, flushes);
             let more_ranks = model.estimate(ranks * 2, 500.0, requests, flushes);
             let more_requests = model.estimate(ranks, 500.0, requests * 2, flushes);
             let more_flushes = model.estimate(ranks, 500.0, requests, flushes * 2);
-            prop_assert!(more_ranks.rank0_overhead >= base.rank0_overhead);
-            prop_assert!(more_requests.aggregated_overhead >= base.aggregated_overhead);
-            prop_assert!(more_flushes.rank0_overhead >= base.rank0_overhead);
-            prop_assert!(base.aggregated_fraction() >= 0.0 && base.aggregated_fraction() < 1.0);
-            prop_assert!(base.rank0_fraction() >= 0.0 && base.rank0_fraction() < 1.0);
+            assert!(
+                more_ranks.rank0_overhead >= base.rank0_overhead,
+                "case {case}"
+            );
+            assert!(
+                more_requests.aggregated_overhead >= base.aggregated_overhead,
+                "case {case}"
+            );
+            assert!(
+                more_flushes.rank0_overhead >= base.rank0_overhead,
+                "case {case}"
+            );
+            assert!(
+                base.aggregated_fraction() >= 0.0 && base.aggregated_fraction() < 1.0,
+                "case {case}"
+            );
+            assert!(
+                base.rank0_fraction() >= 0.0 && base.rank0_fraction() < 1.0,
+                "case {case}"
+            );
         }
     }
 }

@@ -113,7 +113,7 @@ impl OverheadModel {
         stats: &CollectorStats,
         mode: FlushMode,
     ) -> OverheadReport {
-        let requests_per_rank = if ranks == 0 { 0 } else { stats.recorded / ranks };
+        let requests_per_rank = stats.recorded.checked_div(ranks).unwrap_or(0);
         let flushes = match mode {
             FlushMode::Offline => stats.flushes.max(1),
             FlushMode::Online => stats.flushes,

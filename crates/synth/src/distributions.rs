@@ -124,7 +124,9 @@ mod tests {
     fn exponential_mean_matches_parameter() {
         let mut r = rng();
         let mean_param = 22.0;
-        let samples: Vec<f64> = (0..50_000).map(|_| exponential(&mut r, mean_param)).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| exponential(&mut r, mean_param))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - mean_param).abs() / mean_param < 0.03, "mean {mean}");
         assert!(samples.iter().all(|&x| x >= 0.0));

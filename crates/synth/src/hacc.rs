@@ -83,7 +83,10 @@ impl HaccWorkload {
         if self.phase_starts.len() < 3 {
             return 0.0;
         }
-        let diffs: Vec<f64> = self.phase_starts[1..].windows(2).map(|w| w[1] - w[0]).collect();
+        let diffs: Vec<f64> = self.phase_starts[1..]
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect();
         diffs.iter().sum::<f64>() / diffs.len() as f64
     }
 }
@@ -100,8 +103,8 @@ pub fn generate(config: &HaccConfig, seed: u64) -> HaccWorkload {
     let mut t = 0.0;
     for i in 0..config.iterations {
         // Compute step before the I/O of this iteration.
-        let compute = (config.nominal_period - config.io_duration).max(0.5)
-            * uniform(&mut rng, 0.95, 1.05);
+        let compute =
+            (config.nominal_period - config.io_duration).max(0.5) * uniform(&mut rng, 0.95, 1.05);
         t += compute;
 
         // The first phase is delayed by initialization overheads and prolonged.

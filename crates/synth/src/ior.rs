@@ -146,7 +146,9 @@ impl PhaseLibrary {
     /// Generates a library of `count` phases.
     pub fn generate(config: &IorPhaseConfig, count: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let phases = (0..count).map(|_| generate_phase(config, &mut rng)).collect();
+        let phases = (0..count)
+            .map(|_| generate_phase(config, &mut rng))
+            .collect();
         PhaseLibrary { phases }
     }
 
@@ -242,7 +244,8 @@ pub fn generate_benchmark(config: &IorBenchmarkConfig, seed: u64) -> AppTrace {
     let mut t = config.start_offset;
     for _ in 0..config.iterations {
         let phase_duration = nominal_phase_duration * uniform(&mut rng, 0.9, 1.15);
-        let request_slot = phase_duration / (config.segments * requests_per_rank_per_segment) as f64;
+        let request_slot =
+            phase_duration / (config.segments * requests_per_rank_per_segment) as f64;
         for rank in 0..config.num_ranks {
             for s in 0..config.segments {
                 for i in 0..requests_per_rank_per_segment {
@@ -319,7 +322,11 @@ mod tests {
         assert!(!lib.is_empty());
         let mean = lib.mean_duration();
         assert!(mean > 10.0 && mean < 13.5, "mean duration {mean}");
-        let min = lib.phases().iter().map(|p| p.duration).fold(f64::INFINITY, f64::min);
+        let min = lib
+            .phases()
+            .iter()
+            .map(|p| p.duration)
+            .fold(f64::INFINITY, f64::min);
         let max = lib.phases().iter().map(|p| p.duration).fold(0.0, f64::max);
         assert!(min >= 10.0);
         assert!(max <= 13.34 + 1e-9);

@@ -118,7 +118,11 @@ mod tests {
     fn workload_has_expected_dump_count_and_period() {
         let w = generate(&LammpsConfig::default(), 1);
         assert_eq!(w.dump_starts.len(), 15);
-        assert!(w.mean_period > 22.0 && w.mean_period < 33.0, "{}", w.mean_period);
+        assert!(
+            w.mean_period > 22.0 && w.mean_period < 33.0,
+            "{}",
+            w.mean_period
+        );
         assert_eq!(w.trace.metadata().application, "LAMMPS");
         assert_eq!(w.trace.metadata().num_ranks, 3072);
     }

@@ -51,11 +51,14 @@ pub use noise::NoiseLevel;
 pub use semi::{generate as generate_semi_synthetic, SemiSyntheticConfig, SemiSyntheticTrace};
 pub use sweep::SweepPoint;
 
+// Seeded randomized invariant tests (a property-test stand-in: the build
+// environment has no crates.io access, so `proptest` is unavailable).
 #[cfg(test)]
 mod property_tests {
     use super::*;
     use crate::ior::IorPhaseConfig;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn small_library() -> PhaseLibrary {
         PhaseLibrary::generate(
@@ -70,96 +73,113 @@ mod property_tests {
         )
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// Semi-synthetic traces always have monotonically increasing phase
-        /// starts, a positive mean period, and phase durations that at least
-        /// cover the raw phase length.
-        #[test]
-        fn semi_synthetic_ground_truth_is_consistent(
-            iterations in 2usize..12,
-            tcpu_mean in 1.0f64..40.0,
-            tcpu_std in 0.0f64..20.0,
-            desync in 0.0f64..20.0,
-            seed in 0u64..1000,
-        ) {
-            let library = small_library();
+    /// Semi-synthetic traces always have monotonically increasing phase
+    /// starts, a positive mean period, and phase durations that at least
+    /// cover the raw phase length.
+    #[test]
+    fn semi_synthetic_ground_truth_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(0x5f17_0001);
+        let library = small_library();
+        for case in 0..24 {
+            let iterations = rng.gen_range(2usize..12);
             let config = SemiSyntheticConfig {
                 iterations,
                 processes: 4,
-                tcpu_mean,
-                tcpu_std,
-                desync_avg: desync,
+                tcpu_mean: rng.gen_range(1.0f64..40.0),
+                tcpu_std: rng.gen_range(0.0f64..20.0),
+                desync_avg: rng.gen_range(0.0f64..20.0),
                 noise: NoiseLevel::None,
             };
-            let result = semi::generate(&config, &library, seed);
-            prop_assert_eq!(result.phase_starts.len(), iterations);
-            prop_assert_eq!(result.phase_durations.len(), iterations);
+            let result = semi::generate(&config, &library, rng.gen_range(0u64..1000));
+            assert_eq!(result.phase_starts.len(), iterations, "case {case}");
+            assert_eq!(result.phase_durations.len(), iterations, "case {case}");
             for w in result.phase_starts.windows(2) {
-                prop_assert!(w[1] > w[0]);
+                assert!(w[1] > w[0], "case {case}: starts not increasing");
             }
-            prop_assert!(result.mean_period() > 0.0);
+            assert!(result.mean_period() > 0.0, "case {case}");
             for &d in &result.phase_durations {
-                prop_assert!(d >= 9.0, "phase duration {} below the library minimum", d);
+                assert!(
+                    d >= 9.0,
+                    "case {case}: phase duration {d} below the library minimum"
+                );
             }
             // The trace spans at least the last phase start.
-            prop_assert!(result.trace.end_time() >= *result.phase_starts.last().unwrap());
+            assert!(result.trace.end_time() >= *result.phase_starts.last().unwrap());
         }
+    }
 
-        /// The detection error is zero exactly at the ground truth and scales
-        /// linearly with the deviation.
-        #[test]
-        fn detection_error_scales_linearly(
-            seed in 0u64..200,
-            factor in 0.1f64..3.0,
-        ) {
-            let library = small_library();
-            let result = semi::generate(&SemiSyntheticConfig {
-                iterations: 5,
-                processes: 4,
-                ..Default::default()
-            }, &library, seed);
+    /// The detection error is zero exactly at the ground truth and scales
+    /// linearly with the deviation.
+    #[test]
+    fn detection_error_scales_linearly() {
+        let mut rng = StdRng::seed_from_u64(0x5f17_0002);
+        let library = small_library();
+        for case in 0..24 {
+            let seed = rng.gen_range(0u64..200);
+            let factor = rng.gen_range(0.1f64..3.0);
+            let result = semi::generate(
+                &SemiSyntheticConfig {
+                    iterations: 5,
+                    processes: 4,
+                    ..Default::default()
+                },
+                &library,
+                seed,
+            );
             let truth = result.mean_period();
-            prop_assert!(result.detection_error(truth) < 1e-12);
+            assert!(result.detection_error(truth) < 1e-12, "case {case}");
             let err = result.detection_error(truth * factor);
-            prop_assert!((err - (factor - 1.0).abs()).abs() < 1e-9);
+            assert!(
+                (err - (factor - 1.0).abs()).abs() < 1e-9,
+                "case {case}: error {err}"
+            );
         }
+    }
 
-        /// IOR phases always respect their configured volume exactly.
-        #[test]
-        fn ior_phase_volume_is_exact(
-            processes in 1usize..16,
-            requests in 1usize..20,
-            bytes in 1_000u64..1_000_000,
-            seed in 0u64..500,
-        ) {
-            use rand::SeedableRng;
+    /// IOR phases always respect their configured volume exactly.
+    #[test]
+    fn ior_phase_volume_is_exact() {
+        let mut rng = StdRng::seed_from_u64(0x5f17_0003);
+        for case in 0..24 {
+            let processes = rng.gen_range(1usize..16);
+            let requests = rng.gen_range(1usize..20);
+            let bytes = rng.gen_range(1_000u64..1_000_000);
             let config = IorPhaseConfig {
                 num_processes: processes,
                 bytes_per_process: bytes,
                 requests_per_process: requests,
                 ..Default::default()
             };
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            let phase = ior::generate_phase(&config, &mut rng);
+            let mut phase_rng = StdRng::seed_from_u64(rng.gen_range(0u64..500));
+            let phase = ior::generate_phase(&config, &mut phase_rng);
             let expected = (bytes / requests as u64).max(1) * requests as u64 * processes as u64;
-            prop_assert_eq!(phase.volume(), expected);
-            prop_assert!(phase.duration > 0.0);
-            prop_assert!(phase.requests.iter().all(|r| r.is_valid()));
+            assert_eq!(phase.volume(), expected, "case {case}");
+            assert!(phase.duration > 0.0, "case {case}");
+            assert!(phase.requests.iter().all(|r| r.is_valid()), "case {case}");
         }
+    }
 
-        /// The LAMMPS and HACC workloads report ground truths consistent with
-        /// their configured structure for any seed.
-        #[test]
-        fn case_study_ground_truth_is_consistent(seed in 0u64..300) {
+    /// The LAMMPS and HACC workloads report ground truths consistent with
+    /// their configured structure for any seed.
+    #[test]
+    fn case_study_ground_truth_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(0x5f17_0004);
+        for case in 0..24 {
+            let seed = rng.gen_range(0u64..300);
             let l = lammps::generate(&lammps::LammpsConfig::default(), seed);
-            prop_assert_eq!(l.dump_starts.len(), 15);
-            prop_assert!(l.mean_period > 20.0 && l.mean_period < 36.0);
+            assert_eq!(l.dump_starts.len(), 15, "case {case}");
+            assert!(
+                l.mean_period > 20.0 && l.mean_period < 36.0,
+                "case {case}: {}",
+                l.mean_period
+            );
 
             let h = hacc::generate(&hacc::HaccConfig::default(), seed);
-            prop_assert_eq!(h.phase_starts.len(), 10);
-            prop_assert!(h.mean_period() > h.mean_period_without_first());
+            assert_eq!(h.phase_starts.len(), 10, "case {case}");
+            assert!(
+                h.mean_period() > h.mean_period_without_first(),
+                "case {case}"
+            );
         }
     }
 }

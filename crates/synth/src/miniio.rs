@@ -100,7 +100,10 @@ mod tests {
         let instant = tl.sample_instantaneous(t0, t1, fs);
         let instant_volume: f64 = instant.iter().map(|bw| bw / fs).sum();
         let rel_err = (instant_volume - total).abs() / total;
-        assert!(rel_err > 0.1, "expected a large abstraction error, got {rel_err}");
+        assert!(
+            rel_err > 0.1,
+            "expected a large abstraction error, got {rel_err}"
+        );
 
         // Volume-preserving (averaging) sampling keeps the volume even at 10 Hz.
         let averaged = tl.sample(t0, t1, fs);

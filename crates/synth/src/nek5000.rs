@@ -140,7 +140,11 @@ pub fn generate_with_irregular(
             .iter()
             .any(|p| (p.time - pos).abs() < config.checkpoint_period * 0.4);
         if !collides {
-            deposit(pos, config.checkpoint_volume * uniform(&mut rng, 0.9, 1.1), &mut bins);
+            deposit(
+                pos,
+                config.checkpoint_volume * uniform(&mut rng, 0.9, 1.1),
+                &mut bins,
+            );
         }
         t += config.checkpoint_period;
     }
@@ -210,7 +214,10 @@ mod tests {
         }
         // Expect roughly 40,000 / 4642 ≈ 8 checkpoints plus the 13 GB
         // irregular phase at t = 0.
-        assert!((7..=10).contains(&groups), "found {groups} checkpoint groups");
+        assert!(
+            (7..=10).contains(&groups),
+            "found {groups} checkpoint groups"
+        );
     }
 
     #[test]

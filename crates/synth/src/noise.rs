@@ -160,7 +160,12 @@ mod tests {
     fn add_noise_covers_the_trace_duration() {
         let mut trace = AppTrace::named("app", 4);
         for i in 0..5 {
-            trace.push(IoRequest::write(0, i as f64 * 30.0, i as f64 * 30.0 + 5.0, 1_000_000_000));
+            trace.push(IoRequest::write(
+                0,
+                i as f64 * 30.0,
+                i as f64 * 30.0 + 5.0,
+                1_000_000_000,
+            ));
         }
         let before = trace.len();
         let end = trace.end_time();

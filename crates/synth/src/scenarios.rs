@@ -64,7 +64,12 @@ pub fn generate(config: &ScenarioConfig) -> AppTrace {
             let half = config.burst_duration / 2.0;
             let gap = config.burst_duration * 0.25;
             for p in 0..config.processes {
-                trace.push(IoRequest::write(p, t, t + half, bytes_per_process_burst / 2));
+                trace.push(IoRequest::write(
+                    p,
+                    t,
+                    t + half,
+                    bytes_per_process_burst / 2,
+                ));
                 trace.push(IoRequest::write(
                     p,
                     t + half + gap,
@@ -77,7 +82,12 @@ pub fn generate(config: &ScenarioConfig) -> AppTrace {
             // requests (the "sequence of two 512 MB write requests" of §I).
             let half = config.burst_duration / 2.0;
             for p in 0..config.processes {
-                trace.push(IoRequest::write(p, t, t + half, bytes_per_process_burst / 2));
+                trace.push(IoRequest::write(
+                    p,
+                    t,
+                    t + half,
+                    bytes_per_process_burst / 2,
+                ));
                 trace.push(IoRequest::write(
                     p,
                     t + half,

@@ -79,11 +79,7 @@ impl SemiSyntheticTrace {
         if self.phase_starts.len() < 2 {
             return 0.0;
         }
-        let diffs: Vec<f64> = self
-            .phase_starts
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .collect();
+        let diffs: Vec<f64> = self.phase_starts.windows(2).map(|w| w[1] - w[0]).collect();
         diffs.iter().sum::<f64>() / diffs.len() as f64
     }
 
@@ -271,9 +267,14 @@ mod tests {
                 ..Default::default()
             };
             let result = generate(&config, &library, 13);
-            let periods: Vec<f64> = result.phase_starts.windows(2).map(|w| w[1] - w[0]).collect();
+            let periods: Vec<f64> = result
+                .phase_starts
+                .windows(2)
+                .map(|w| w[1] - w[0])
+                .collect();
             let mean = periods.iter().sum::<f64>() / periods.len() as f64;
-            let var = periods.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / periods.len() as f64;
+            let var =
+                periods.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / periods.len() as f64;
             var.sqrt()
         };
         assert!(spread(22.0) > spread(0.0) + 3.0);
@@ -332,7 +333,10 @@ mod tests {
         let batch = generate_batch(&SemiSyntheticConfig::default(), &library, 5, 100);
         assert_eq!(batch.len(), 5);
         let first = batch[0].mean_period();
-        assert!(batch.iter().skip(1).any(|t| (t.mean_period() - first).abs() > 1e-9));
+        assert!(batch
+            .iter()
+            .skip(1)
+            .any(|t| (t.mean_period() - first).abs() > 1e-9));
     }
 
     #[test]

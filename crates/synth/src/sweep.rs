@@ -120,8 +120,12 @@ mod tests {
     fn cpu_ratio_sweep_crosses_ratios_and_noise() {
         let points = cpu_ratio_sweep(11.0);
         assert_eq!(points.len(), 15);
-        assert!(points.iter().any(|p| p.value == 0.25 && p.noise == NoiseLevel::High));
-        assert!(points.iter().any(|p| p.value == 4.0 && p.noise == NoiseLevel::None));
+        assert!(points
+            .iter()
+            .any(|p| p.value == 0.25 && p.noise == NoiseLevel::High));
+        assert!(points
+            .iter()
+            .any(|p| p.value == 4.0 && p.noise == NoiseLevel::None));
         // t_cpu scales with the ratio.
         let quarter = points.iter().find(|p| p.value == 0.25).unwrap();
         assert!((quarter.config.tcpu_mean - 2.75).abs() < 1e-12);

@@ -116,7 +116,10 @@ impl AppTrace {
         if self.is_empty() {
             return 0.0;
         }
-        self.requests.iter().map(|r| r.end).fold(f64::NEG_INFINITY, f64::max)
+        self.requests
+            .iter()
+            .map(|r| r.end)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Trace length `L(T)` in seconds — from the first request start to the
@@ -153,7 +156,11 @@ impl AppTrace {
 
     /// Requests issued by one rank, in insertion order.
     pub fn rank_requests(&self, rank: usize) -> Vec<IoRequest> {
-        self.requests.iter().copied().filter(|r| r.rank == rank).collect()
+        self.requests
+            .iter()
+            .copied()
+            .filter(|r| r.rank == rank)
+            .collect()
     }
 
     /// Returns a new trace restricted to requests overlapping `[t0, t1)`,
@@ -172,7 +179,12 @@ impl AppTrace {
     /// Returns a new trace restricted to one I/O kind.
     pub fn filter_kind(&self, kind: IoKind) -> AppTrace {
         let mut out = AppTrace::new(self.metadata.clone());
-        out.requests = self.requests.iter().copied().filter(|r| r.kind == kind).collect();
+        out.requests = self
+            .requests
+            .iter()
+            .copied()
+            .filter(|r| r.kind == kind)
+            .collect();
         out
     }
 

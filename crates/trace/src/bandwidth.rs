@@ -189,7 +189,9 @@ impl BandwidthTimeline {
         }
         let dt = 1.0 / sampling_freq;
         let n = ((t1 - t0) * sampling_freq).floor() as usize;
-        (0..n).map(|i| self.bandwidth_at(t0 + i as f64 * dt)).collect()
+        (0..n)
+            .map(|i| self.bandwidth_at(t0 + i as f64 * dt))
+            .collect()
     }
 }
 

@@ -13,7 +13,7 @@
 //! and keeps simple counters so the tracing-overhead experiment (paper §III-C,
 //! Fig. 16) can charge a per-record and per-flush cost.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::app_trace::{AppTrace, TraceMetadata};
 use crate::jsonl;
@@ -136,7 +136,7 @@ impl Collector {
         if !request.is_valid() {
             return;
         }
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().expect("collector mutex poisoned");
         state.pending.push(request);
         state.all.push(request);
         state.stats.recorded += 1;
@@ -144,7 +144,7 @@ impl Collector {
 
     /// Records a batch of requests.
     pub fn record_all<I: IntoIterator<Item = IoRequest>>(&self, requests: I) {
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().expect("collector mutex poisoned");
         for request in requests {
             if request.is_valid() {
                 state.pending.push(request);
@@ -160,7 +160,7 @@ impl Collector {
     ///
     /// Returns the number of requests flushed.
     pub fn flush(&self, sink: &mut dyn TraceSink) -> usize {
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().expect("collector mutex poisoned");
         if state.pending.is_empty() {
             return 0;
         }
@@ -180,18 +180,18 @@ impl Collector {
     /// `MPI_Finalize` hook of the offline mode) and returns the statistics.
     pub fn finalize(&self, sink: &mut dyn TraceSink) -> CollectorStats {
         self.flush(sink);
-        self.state.lock().stats
+        self.state.lock().expect("collector mutex poisoned").stats
     }
 
     /// Activity statistics so far.
     pub fn stats(&self) -> CollectorStats {
-        self.state.lock().stats
+        self.state.lock().expect("collector mutex poisoned").stats
     }
 
     /// Snapshot of everything recorded so far as an [`AppTrace`] — this is
     /// what the online analysis reads at each prediction point.
     pub fn snapshot(&self) -> AppTrace {
-        let state = self.state.lock();
+        let state = self.state.lock().expect("collector mutex poisoned");
         let mut trace = AppTrace::new(self.metadata.clone());
         trace.extend(state.all.iter().copied());
         trace
@@ -199,7 +199,11 @@ impl Collector {
 
     /// Number of requests recorded but not yet flushed.
     pub fn pending_count(&self) -> usize {
-        self.state.lock().pending.len()
+        self.state
+            .lock()
+            .expect("collector mutex poisoned")
+            .pending
+            .len()
     }
 }
 
@@ -207,7 +211,10 @@ impl Collector {
 /// requests. For JSON Lines, chunks can simply be concatenated; for
 /// MessagePack every flush is its own top-level array, so each chunk is
 /// decoded independently.
-pub fn decode_chunks(chunks: &[Vec<u8>], format: TraceFormat) -> crate::errors::TraceResult<Vec<IoRequest>> {
+pub fn decode_chunks(
+    chunks: &[Vec<u8>],
+    format: TraceFormat,
+) -> crate::errors::TraceResult<Vec<IoRequest>> {
     let mut out = Vec::new();
     match format {
         TraceFormat::JsonLines => {
@@ -257,7 +264,11 @@ mod tests {
         let collector = Collector::new("hacc", 8, FlushMode::Online, TraceFormat::MessagePack);
         let mut sink = MemorySink::new();
         for phase in 0..5 {
-            collector.record_all(requests(3).into_iter().map(|r| r.shifted(phase as f64 * 10.0)));
+            collector.record_all(
+                requests(3)
+                    .into_iter()
+                    .map(|r| r.shifted(phase as f64 * 10.0)),
+            );
             let flushed = collector.flush(&mut sink);
             assert_eq!(flushed, 3);
         }

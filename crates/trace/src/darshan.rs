@@ -120,7 +120,10 @@ impl Heatmap {
     /// Serialises the heatmap in the simple CSV-like text format used by the
     /// CLI (`# start, bin_width` header followed by one volume per line).
     pub fn to_text(&self) -> String {
-        let mut out = format!("# darshan-heatmap start={} bin_width={}\n", self.start, self.bin_width);
+        let mut out = format!(
+            "# darshan-heatmap start={} bin_width={}\n",
+            self.start, self.bin_width
+        );
         for v in &self.bins {
             out.push_str(&format!("{v}\n"));
         }
@@ -156,9 +159,9 @@ impl Heatmap {
             if trimmed.is_empty() {
                 continue;
             }
-            let v: f64 = trimmed
-                .parse()
-                .map_err(|_| TraceError::malformed(format!("invalid bin value `{trimmed}`"), i + 2))?;
+            let v: f64 = trimmed.parse().map_err(|_| {
+                TraceError::malformed(format!("invalid bin value `{trimmed}`"), i + 2)
+            })?;
             if v < 0.0 {
                 return Err(TraceError::invalid("bin", "volume must be non-negative"));
             }
@@ -180,13 +183,15 @@ fn spread_volume(bins: &mut [f64], start: f64, bin_width: f64, r: &IoRequest) {
     let total = r.bytes as f64;
     if duration <= 0.0 {
         // Instantaneous request: charge the whole volume to its bin.
-        let idx = (((r.start - start) / bin_width).floor() as isize).clamp(0, bins.len() as isize - 1);
+        let idx =
+            (((r.start - start) / bin_width).floor() as isize).clamp(0, bins.len() as isize - 1);
         bins[idx as usize] += total;
         return;
     }
     let rate = total / duration;
     let first_bin = (((r.start - start) / bin_width).floor() as isize).max(0) as usize;
-    let last_bin = ((((r.end - start) / bin_width).ceil() as isize).max(1) as usize).min(bins.len());
+    let last_bin =
+        ((((r.end - start) / bin_width).ceil() as isize).max(1) as usize).min(bins.len());
     for (i, bin) in bins.iter_mut().enumerate().take(last_bin).skip(first_bin) {
         let lo = (start + i as f64 * bin_width).max(r.start);
         let hi = (start + (i + 1) as f64 * bin_width).min(r.end);
@@ -258,7 +263,8 @@ mod tests {
 
     #[test]
     fn instantaneous_request_is_charged_to_one_bin() {
-        let trace = AppTrace::from_requests("x", 1, vec![IoRequest::write(0, 3.2, 3.2, 77.0 as u64)]);
+        let trace =
+            AppTrace::from_requests("x", 1, vec![IoRequest::write(0, 3.2, 3.2, 77.0 as u64)]);
         let h = Heatmap::from_trace(&trace, 1.0);
         assert!((h.total_volume() - 77.0).abs() < 1e-9);
     }

@@ -50,18 +50,31 @@ pub fn decode_request(line: &str, line_number: usize) -> TraceResult<IoRequest> 
             .ok_or_else(|| TraceError::malformed(format!("missing field `{key}`"), line_number))
     };
 
-    let rank = get("rank")?.as_u64().ok_or_else(|| TraceError::invalid("rank", "not an integer"))?;
-    let start = get("start")?.as_f64().ok_or_else(|| TraceError::invalid("start", "not a number"))?;
-    let end = get("end")?.as_f64().ok_or_else(|| TraceError::invalid("end", "not a number"))?;
-    let bytes = get("bytes")?.as_u64().ok_or_else(|| TraceError::invalid("bytes", "not an integer"))?;
-    let kind_str = get("kind")?.as_str().ok_or_else(|| TraceError::invalid("kind", "not a string"))?;
+    let rank = get("rank")?
+        .as_u64()
+        .ok_or_else(|| TraceError::invalid("rank", "not an integer"))?;
+    let start = get("start")?
+        .as_f64()
+        .ok_or_else(|| TraceError::invalid("start", "not a number"))?;
+    let end = get("end")?
+        .as_f64()
+        .ok_or_else(|| TraceError::invalid("end", "not a number"))?;
+    let bytes = get("bytes")?
+        .as_u64()
+        .ok_or_else(|| TraceError::invalid("bytes", "not an integer"))?;
+    let kind_str = get("kind")?
+        .as_str()
+        .ok_or_else(|| TraceError::invalid("kind", "not a string"))?;
     let kind = IoKind::parse(kind_str)
         .ok_or_else(|| TraceError::invalid("kind", format!("unknown kind `{kind_str}`")))?;
     // `api` is optional; default to sync.
     let api = match fields.iter().find(|(k, _)| k == "api") {
         Some((_, v)) => {
-            let s = v.as_str().ok_or_else(|| TraceError::invalid("api", "not a string"))?;
-            IoApi::parse(s).ok_or_else(|| TraceError::invalid("api", format!("unknown api `{s}`")))?
+            let s = v
+                .as_str()
+                .ok_or_else(|| TraceError::invalid("api", "not a string"))?;
+            IoApi::parse(s)
+                .ok_or_else(|| TraceError::invalid("api", format!("unknown api `{s}`")))?
         }
         None => IoApi::Sync,
     };
@@ -332,7 +345,8 @@ mod tests {
 
     #[test]
     fn scientific_notation_and_fractions_parse() {
-        let line = r#"{"rank":0,"start":1.5e2,"end":151.25,"bytes":1000000,"kind":"write","api":"async"}"#;
+        let line =
+            r#"{"rank":0,"start":1.5e2,"end":151.25,"bytes":1000000,"kind":"write","api":"async"}"#;
         let r = decode_request(line, 1).unwrap();
         assert_eq!(r.start, 150.0);
         assert_eq!(r.end, 151.25);

@@ -52,61 +52,72 @@ pub use errors::{TraceError, TraceResult};
 pub use request::{IoApi, IoKind, IoRequest};
 
 #[cfg(test)]
+// Seeded randomized invariant tests (a property-test stand-in: the build
+// environment has no crates.io access, so `proptest` is unavailable).
 mod property_tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn arbitrary_request() -> impl Strategy<Value = IoRequest> {
-        (
-            0usize..64,
-            0.0f64..1000.0,
-            0.0f64..10.0,
-            1u64..10_000_000,
-            prop::bool::ANY,
-        )
-            .prop_map(|(rank, start, dur, bytes, is_write)| {
-                if is_write {
-                    IoRequest::write(rank, start, start + dur, bytes)
-                } else {
-                    IoRequest::read(rank, start, start + dur, bytes)
-                }
-            })
+    fn arbitrary_request(rng: &mut StdRng) -> IoRequest {
+        let rank = rng.gen_range(0usize..64);
+        let start = rng.gen_range(0.0f64..1000.0);
+        let dur = rng.gen_range(0.0f64..10.0);
+        let bytes = rng.gen_range(1u64..10_000_000);
+        if rng.gen_bool(0.5) {
+            IoRequest::write(rank, start, start + dur, bytes)
+        } else {
+            IoRequest::read(rank, start, start + dur, bytes)
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
+    fn arbitrary_requests(rng: &mut StdRng, min: usize, max: usize) -> Vec<IoRequest> {
+        let n = rng.gen_range(min..max);
+        (0..n).map(|_| arbitrary_request(rng)).collect()
+    }
 
-        /// JSONL and MessagePack round-trips are lossless for any valid request set.
-        #[test]
-        fn codecs_round_trip(requests in prop::collection::vec(arbitrary_request(), 0..60)) {
+    /// JSONL and MessagePack round-trips are lossless for any valid request set.
+    #[test]
+    fn codecs_round_trip() {
+        let mut rng = StdRng::seed_from_u64(0x7ace_0001);
+        for _case in 0..48 {
+            let requests = arbitrary_requests(&mut rng, 0, 60);
             let text = jsonl::encode_requests(&requests);
-            prop_assert_eq!(jsonl::decode_requests(&text).unwrap(), requests.clone());
+            assert_eq!(jsonl::decode_requests(&text).unwrap(), requests);
             let packed = msgpack::encode_requests(&requests);
-            prop_assert_eq!(msgpack::decode_requests(&packed).unwrap(), requests);
+            assert_eq!(msgpack::decode_requests(&packed).unwrap(), requests);
         }
+    }
 
-        /// The bandwidth timeline preserves total volume.
-        #[test]
-        fn timeline_preserves_volume(requests in prop::collection::vec(arbitrary_request(), 1..40)) {
+    /// The bandwidth timeline preserves total volume.
+    #[test]
+    fn timeline_preserves_volume() {
+        let mut rng = StdRng::seed_from_u64(0x7ace_0002);
+        for _case in 0..48 {
+            let requests = arbitrary_requests(&mut rng, 1, 40);
             let timeline = BandwidthTimeline::from_requests(&requests);
             let expected: f64 = requests.iter().map(|r| r.bytes as f64).sum();
             let measured = timeline.total_volume();
-            prop_assert!((measured - expected).abs() / expected < 1e-6,
-                "expected {}, measured {}", expected, measured);
+            assert!(
+                (measured - expected).abs() / expected < 1e-6,
+                "expected {expected}, measured {measured}"
+            );
         }
+    }
 
-        /// Sampling never produces negative bandwidth, and summing the sampled
-        /// volume over a window that covers everything recovers the total volume.
-        #[test]
-        fn sampling_is_non_negative_and_volume_preserving(
-            requests in prop::collection::vec(arbitrary_request(), 1..30),
-            fs in 1.0f64..20.0,
-        ) {
+    /// Sampling never produces negative bandwidth, and summing the sampled
+    /// volume over a window that covers everything recovers the total volume.
+    #[test]
+    fn sampling_is_non_negative_and_volume_preserving() {
+        let mut rng = StdRng::seed_from_u64(0x7ace_0003);
+        for _case in 0..48 {
+            let requests = arbitrary_requests(&mut rng, 1, 30);
+            let fs = rng.gen_range(1.0f64..20.0);
             let timeline = BandwidthTimeline::from_requests(&requests);
             let t0 = timeline.start().floor();
             let t1 = timeline.end().ceil() + 1.0;
             let samples = timeline.sample(t0, t1, fs);
-            prop_assert!(samples.iter().all(|&x| x >= 0.0));
+            assert!(samples.iter().all(|&x| x >= 0.0));
             let dt = 1.0 / fs;
             let covered = samples.len() as f64 * dt;
             // Only claim exact volume preservation when the sampling grid covers
@@ -114,54 +125,62 @@ mod property_tests {
             if t0 + covered >= timeline.end() {
                 let volume: f64 = samples.iter().map(|bw| bw * dt).sum();
                 let expected: f64 = requests.iter().map(|r| r.bytes as f64).sum();
-                prop_assert!((volume - expected).abs() / expected < 1e-6);
+                assert!((volume - expected).abs() / expected < 1e-6);
             }
         }
+    }
 
-        /// Heatmaps preserve total volume no matter the bin width.
-        #[test]
-        fn heatmap_preserves_volume(
-            requests in prop::collection::vec(arbitrary_request(), 1..30),
-            bin_width in 0.5f64..30.0,
-        ) {
+    /// Heatmaps preserve total volume no matter the bin width.
+    #[test]
+    fn heatmap_preserves_volume() {
+        let mut rng = StdRng::seed_from_u64(0x7ace_0004);
+        for _case in 0..48 {
+            let requests = arbitrary_requests(&mut rng, 1, 30);
+            let bin_width = rng.gen_range(0.5f64..30.0);
             let trace = AppTrace::from_requests("prop", 64, requests.clone());
             let heatmap = Heatmap::from_trace(&trace, bin_width);
             let expected: f64 = requests.iter().map(|r| r.bytes as f64).sum();
-            prop_assert!((heatmap.total_volume() - expected).abs() / expected < 1e-6);
+            assert!((heatmap.total_volume() - expected).abs() / expected < 1e-6);
         }
+    }
 
-        /// Windowing a trace never increases its size and keeps only overlapping requests.
-        #[test]
-        fn windowing_is_a_filter(
-            requests in prop::collection::vec(arbitrary_request(), 0..40),
-            t0 in 0.0f64..500.0,
-            span in 1.0f64..500.0,
-        ) {
+    /// Windowing a trace never increases its size and keeps only overlapping requests.
+    #[test]
+    fn windowing_is_a_filter() {
+        let mut rng = StdRng::seed_from_u64(0x7ace_0005);
+        for _case in 0..48 {
+            let requests = arbitrary_requests(&mut rng, 0, 40);
+            let t0 = rng.gen_range(0.0f64..500.0);
+            let span = rng.gen_range(1.0f64..500.0);
             let trace = AppTrace::from_requests("prop", 64, requests);
             let window = trace.window(t0, t0 + span);
-            prop_assert!(window.len() <= trace.len());
+            assert!(window.len() <= trace.len());
             for r in window.requests() {
-                prop_assert!(r.overlaps(t0, t0 + span));
+                assert!(r.overlaps(t0, t0 + span));
             }
             for r in trace.requests() {
                 if r.overlaps(t0, t0 + span) {
-                    prop_assert!(window.requests().contains(r));
+                    assert!(window.requests().contains(r));
                 }
             }
         }
+    }
 
-        /// The Recorder text format round-trips sync/async/posix reads and writes.
-        #[test]
-        fn recorder_round_trips(requests in prop::collection::vec(arbitrary_request(), 0..40)) {
+    /// The Recorder text format round-trips sync/async/posix reads and writes.
+    #[test]
+    fn recorder_round_trips() {
+        let mut rng = StdRng::seed_from_u64(0x7ace_0006);
+        for _case in 0..48 {
+            let requests = arbitrary_requests(&mut rng, 0, 40);
             let text = recorder::encode_requests(&requests);
             let back = recorder::decode_requests(&text).unwrap();
-            prop_assert_eq!(back.len(), requests.len());
+            assert_eq!(back.len(), requests.len());
             for (a, b) in back.iter().zip(requests.iter()) {
-                prop_assert_eq!(a.rank, b.rank);
-                prop_assert_eq!(a.bytes, b.bytes);
-                prop_assert_eq!(a.kind, b.kind);
-                prop_assert!((a.start - b.start).abs() < 1e-5);
-                prop_assert!((a.end - b.end).abs() < 1e-5);
+                assert_eq!(a.rank, b.rank);
+                assert_eq!(a.bytes, b.bytes);
+                assert_eq!(a.kind, b.kind);
+                assert!((a.start - b.start).abs() < 1e-5);
+                assert!((a.end - b.end).abs() < 1e-5);
             }
         }
     }

@@ -127,7 +127,11 @@ impl<'a> Reader<'a> {
     /// Reads a float64 (also accepts an integer and widens it, which keeps the
     /// format tolerant of encoders that compact whole-number timestamps).
     pub fn read_f64(&mut self) -> TraceResult<f64> {
-        let tag = self.data.get(self.pos).copied().ok_or(TraceError::UnexpectedEof)?;
+        let tag = self
+            .data
+            .get(self.pos)
+            .copied()
+            .ok_or(TraceError::UnexpectedEof)?;
         if tag == 0xcb {
             self.pos += 1;
             let bytes = self.take(8)?;
@@ -239,7 +243,18 @@ mod tests {
 
     #[test]
     fn uint_widths_round_trip() {
-        for &v in &[0u64, 1, 127, 128, 255, 256, 65535, 65536, u32::MAX as u64, u64::MAX] {
+        for &v in &[
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            256,
+            65535,
+            65536,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_uint(&mut buf, v);
             let mut r = Reader::new(&buf);
@@ -250,7 +265,13 @@ mod tests {
 
     #[test]
     fn uint_encodings_are_minimal() {
-        let sizes = [(5u64, 1usize), (200, 2), (60000, 3), (100_000, 5), (1 << 40, 9)];
+        let sizes = [
+            (5u64, 1usize),
+            (200, 2),
+            (60000, 3),
+            (100_000, 5),
+            (1 << 40, 9),
+        ];
         for (v, expected) in sizes {
             let mut buf = Vec::new();
             write_uint(&mut buf, v);
@@ -290,7 +311,14 @@ mod tests {
     #[test]
     fn trace_round_trip_with_many_requests() {
         let requests: Vec<IoRequest> = (0..1000)
-            .map(|i| IoRequest::write(i % 32, i as f64 * 0.1, i as f64 * 0.1 + 0.05, i as u64 * 512))
+            .map(|i| {
+                IoRequest::write(
+                    i % 32,
+                    i as f64 * 0.1,
+                    i as f64 * 0.1 + 0.05,
+                    i as u64 * 512,
+                )
+            })
             .collect();
         let buf = encode_requests(&requests);
         let back = decode_requests(&buf).unwrap();
@@ -299,9 +327,7 @@ mod tests {
 
     #[test]
     fn large_batches_use_array16_header() {
-        let requests: Vec<IoRequest> = (0..20)
-            .map(|i| IoRequest::read(i, 0.0, 1.0, 1))
-            .collect();
+        let requests: Vec<IoRequest> = (0..20).map(|i| IoRequest::read(i, 0.0, 1.0, 1)).collect();
         let buf = encode_requests(&requests);
         assert_eq!(buf[0], 0xdc);
         assert_eq!(decode_requests(&buf).unwrap().len(), 20);

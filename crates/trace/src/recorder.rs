@@ -73,21 +73,21 @@ pub fn decode_requests(text: &str) -> TraceResult<Vec<IoRequest>> {
                 line_number,
             ));
         }
-        let rank: usize = fields[0]
-            .parse()
-            .map_err(|_| TraceError::malformed(format!("invalid rank `{}`", fields[0]), line_number))?;
+        let rank: usize = fields[0].parse().map_err(|_| {
+            TraceError::malformed(format!("invalid rank `{}`", fields[0]), line_number)
+        })?;
         let Some((kind, api)) = classify_function(fields[1]) else {
             continue;
         };
-        let start: f64 = fields[2]
-            .parse()
-            .map_err(|_| TraceError::malformed(format!("invalid start `{}`", fields[2]), line_number))?;
-        let end: f64 = fields[3]
-            .parse()
-            .map_err(|_| TraceError::malformed(format!("invalid end `{}`", fields[3]), line_number))?;
-        let bytes: u64 = fields[4]
-            .parse()
-            .map_err(|_| TraceError::malformed(format!("invalid bytes `{}`", fields[4]), line_number))?;
+        let start: f64 = fields[2].parse().map_err(|_| {
+            TraceError::malformed(format!("invalid start `{}`", fields[2]), line_number)
+        })?;
+        let end: f64 = fields[3].parse().map_err(|_| {
+            TraceError::malformed(format!("invalid end `{}`", fields[3]), line_number)
+        })?;
+        let bytes: u64 = fields[4].parse().map_err(|_| {
+            TraceError::malformed(format!("invalid bytes `{}`", fields[4]), line_number)
+        })?;
         out.push(IoRequest {
             rank,
             start,
@@ -114,8 +114,14 @@ mod tests {
             classify_function("MPI_File_iread"),
             Some((IoKind::Read, IoApi::Async))
         );
-        assert_eq!(classify_function("pwrite64"), Some((IoKind::Write, IoApi::Posix)));
-        assert_eq!(classify_function("read"), Some((IoKind::Read, IoApi::Posix)));
+        assert_eq!(
+            classify_function("pwrite64"),
+            Some((IoKind::Write, IoApi::Posix))
+        );
+        assert_eq!(
+            classify_function("read"),
+            Some((IoKind::Read, IoApi::Posix))
+        );
         assert_eq!(classify_function("MPI_File_open"), None);
         assert_eq!(classify_function("fsync"), None);
     }

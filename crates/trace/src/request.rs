@@ -131,7 +131,10 @@ impl IoRequest {
     /// Returns `true` if the request interval is well-formed: finite,
     /// non-negative start, and `end >= start`.
     pub fn is_valid(&self) -> bool {
-        self.start.is_finite() && self.end.is_finite() && self.start >= 0.0 && self.end >= self.start
+        self.start.is_finite()
+            && self.end.is_finite()
+            && self.start >= 0.0
+            && self.end >= self.start
     }
 
     /// Shifts the request in time by `offset` seconds.

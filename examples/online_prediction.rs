@@ -38,7 +38,11 @@ fn main() {
     );
     for (i, &flush) in workload.flush_points.iter().enumerate() {
         // Requests that completed since the previous flush.
-        let previous = if i == 0 { 0.0 } else { workload.flush_points[i - 1] };
+        let previous = if i == 0 {
+            0.0
+        } else {
+            workload.flush_points[i - 1]
+        };
         let batch: Vec<IoRequest> = workload
             .trace
             .requests()

@@ -49,7 +49,10 @@ fn main() {
     let period = result.period().expect("the workload is periodic");
     println!("Detected period : {period:.2} s (expected 45 s)");
     println!("Confidence      : {:.1} %", result.confidence() * 100.0);
-    println!("Refined         : {:.1} %", result.refined_confidence() * 100.0);
+    println!(
+        "Refined         : {:.1} %",
+        result.refined_confidence() * 100.0
+    );
     if let Some(c) = &result.characterization {
         println!(
             "Per period      : {:.0} MB of substantial I/O, periodicity score {:.2}",
@@ -57,5 +60,8 @@ fn main() {
             c.periodicity_score
         );
     }
-    assert!((period - 45.0).abs() < 3.0, "detection should find the 45 s period");
+    assert!(
+        (period - 45.0).abs() < 3.0,
+        "detection should find the 45 s period"
+    );
 }

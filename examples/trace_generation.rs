@@ -36,7 +36,12 @@ fn main() {
 
     // 2. Record the requests through the online collector and flush them in
     //    both supported formats.
-    let collector = Collector::new("semi-synthetic", 32, FlushMode::Online, TraceFormat::JsonLines);
+    let collector = Collector::new(
+        "semi-synthetic",
+        32,
+        FlushMode::Online,
+        TraceFormat::JsonLines,
+    );
     let mut jsonl_sink = MemorySink::new();
     for chunk in generated.trace.requests().chunks(500) {
         collector.record_all(chunk.iter().copied());
@@ -69,5 +74,8 @@ fn main() {
         generated.mean_period(),
         error * 100.0
     );
-    assert!(error < 0.1, "detection error should be small on a clean workload");
+    assert!(
+        error < 0.1,
+        "detection error should be small on a clean workload"
+    );
 }

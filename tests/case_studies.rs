@@ -19,8 +19,16 @@ fn lammps_period_is_recovered_with_reasonable_confidence() {
     let result = detect_trace(&workload.trace, &FtioConfig::with_sampling_freq(10.0));
     let period = result.period().expect("LAMMPS dumps are periodic");
     let error = (period - workload.mean_period).abs() / workload.mean_period;
-    assert!(error < 0.15, "period {period} vs truth {} (error {error})", workload.mean_period);
-    assert!(result.confidence() > 0.3, "confidence {}", result.confidence());
+    assert!(
+        error < 0.15,
+        "period {period} vs truth {} (error {error})",
+        workload.mean_period
+    );
+    assert!(
+        result.confidence() > 0.3,
+        "confidence {}",
+        result.confidence()
+    );
     assert!(
         result.refined_confidence() >= result.confidence() * 0.9,
         "refinement should not collapse: {} vs {}",
@@ -41,10 +49,16 @@ fn nek5000_reduced_window_recovers_the_checkpoint_period_better_than_the_full_on
     let true_period = NekConfig::default().checkpoint_period;
 
     let reduced = detect_heatmap(&heatmap.window(0.0, 56_000.0), &config);
-    assert!(reduced.is_periodic(), "reduced window must expose the checkpoints");
+    assert!(
+        reduced.is_periodic(),
+        "reduced window must expose the checkpoints"
+    );
     let reduced_period = reduced.period().unwrap();
     let reduced_error = (reduced_period - true_period).abs() / true_period;
-    assert!(reduced_error < 0.05, "reduced-window period {reduced_period}");
+    assert!(
+        reduced_error < 0.05,
+        "reduced-window period {reduced_period}"
+    );
     assert!(reduced.confidence() > 0.4);
 
     let full = detect_heatmap(&heatmap, &config);
@@ -90,7 +104,11 @@ fn hacc_online_prediction_converges_and_adapts_its_window() {
     let mut last_window_length = f64::INFINITY;
     let mut final_period = None;
     for (i, &flush) in workload.flush_points.iter().enumerate() {
-        let previous = if i == 0 { 0.0 } else { workload.flush_points[i - 1] };
+        let previous = if i == 0 {
+            0.0
+        } else {
+            workload.flush_points[i - 1]
+        };
         let batch: Vec<ftio_trace::IoRequest> = workload
             .trace
             .requests()
@@ -122,7 +140,10 @@ fn hacc_online_prediction_converges_and_adapts_its_window() {
     let intervals = predictor.merged_intervals();
     assert!(!intervals.is_empty());
     let (lo, hi) = intervals[0].period_bounds();
-    assert!(lo <= truth * 1.25 && hi >= truth * 0.7, "interval {lo}..{hi} vs truth {truth}");
+    assert!(
+        lo <= truth * 1.25 && hi >= truth * 0.7,
+        "interval {lo}..{hi} vs truth {truth}"
+    );
 }
 
 #[test]

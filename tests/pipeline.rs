@@ -71,11 +71,22 @@ fn recorder_and_heatmap_paths_agree_with_the_request_path() {
         .unwrap();
 
     let heatmap = Heatmap::from_trace(&trace, 10.0);
-    let from_heatmap = detect_heatmap(&heatmap, &FtioConfig::default()).period().unwrap();
+    let from_heatmap = detect_heatmap(&heatmap, &FtioConfig::default())
+        .period()
+        .unwrap();
 
-    assert!((from_requests - 60.0).abs() < 3.0, "requests {from_requests}");
-    assert!((from_recorder - from_requests).abs() < 1e-6, "recorder {from_recorder}");
-    assert!((from_heatmap - from_requests).abs() < 5.0, "heatmap {from_heatmap}");
+    assert!(
+        (from_requests - 60.0).abs() < 3.0,
+        "requests {from_requests}"
+    );
+    assert!(
+        (from_recorder - from_requests).abs() < 1e-6,
+        "recorder {from_recorder}"
+    );
+    assert!(
+        (from_heatmap - from_requests).abs() < 5.0,
+        "heatmap {from_heatmap}"
+    );
 }
 
 #[test]

@@ -1,0 +1,236 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The FTIO-rs build environment has no crates.io access, so this vendored
+//! crate implements the API subset used by `crates/bench/benches/*`:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Semantics:
+//!
+//! * `cargo bench` runs every benchmark for `sample_size` samples after a few
+//!   warm-up iterations and prints `group/id  mean ± spread` timings — enough
+//!   to compare hot paths between commits, without criterion's statistics,
+//!   plots, or saved baselines.
+//! * `cargo test --benches` (cargo omits the `--bench` flag then, and may
+//!   pass `--test`) runs every benchmark body exactly once, so the tier-1
+//!   test run stays fast while still executing the bench code paths.
+//!
+//! To switch to the real criterion, point the `criterion` entry of the root
+//! `[workspace.dependencies]` at the registry; the bench sources already use
+//! the real API.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function (API subset of
+/// `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Like criterion proper: full sampling only when cargo invoked the
+        // executable with `--bench` (i.e. `cargo bench`); under
+        // `cargo test --benches` (no `--bench`, or an explicit `--test`)
+        // each benchmark body runs exactly once.
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Honours criterion's CLI contract; flags other than `--test` are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.test_mode, 100, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), self.test_mode, 100, &mut |b| f(b, input));
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` as `group-name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.test_mode, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` as `group-name/id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.criterion.test_mode,
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form, for groups whose name already names the function.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timer handed to the benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample; in `--test` mode runs it exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Untimed warm-up so lazy initialisation doesn't pollute the samples.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, samples: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        test_mode,
+        samples,
+        durations: Vec::new(),
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {label} ... ok");
+        return;
+    }
+    if bencher.durations.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let mut sorted = bencher.durations.clone();
+    sorted.sort();
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let min = sorted[0];
+    let max = *sorted.last().unwrap();
+    println!(
+        "{label:<50} mean {:>12?}  [min {:>12?}, max {:>12?}]  ({} samples)",
+        mean,
+        min,
+        max,
+        sorted.len()
+    );
+}
+
+/// Bundles benchmark functions into a runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,123 @@
+//! Sampling distributions (API subset of `rand::distributions`).
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over `[0, 1)` for floats,
+/// uniform over the whole domain for integers, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits → uniform on [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform ranges (API subset of `rand::distributions::uniform`).
+pub mod uniform {
+    use super::Distribution;
+    use super::Standard;
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample from `low..high` (`high` included when `inclusive`).
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Range types `gen_range` accepts (API subset of `rand`'s `SampleRange`).
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range; panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = (*self.start(), *self.end());
+            assert!(low <= high, "gen_range: empty range");
+            T::sample_uniform(rng, low, high, true)
+        }
+    }
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    _inclusive: bool,
+                ) -> Self {
+                    // Matches the real rand: `low..=high` on floats samples the
+                    // half-open interval too; the endpoint has measure zero.
+                    let unit: $t = Standard.sample(rng);
+                    low + (high - low) * unit
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (high as i128 - low as i128 + if inclusive { 1 } else { 0 }) as u128;
+                    // Plain modulo reduction: biased by < span/2^64, invisible
+                    // to the workloads this workspace generates.
+                    let offset = (rng.next_u64() as u128) % span;
+                    (low as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}

@@ -1,0 +1,134 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The FTIO-rs build environment has no crates.io access, so this vendored
+//! crate implements exactly the API subset the workspace uses — the [`Rng`]
+//! and [`SeedableRng`] traits and [`rngs::StdRng`] — on top of a small,
+//! dependency-free xoshiro256++ generator seeded with SplitMix64.
+//!
+//! Everything in the workspace seeds its generators explicitly
+//! (`StdRng::seed_from_u64(seed)`), so experiments are reproducible and no
+//! OS entropy source is needed. To switch to the real `rand` crate, change
+//! the `rand` entry in the root `[workspace.dependencies]` to a registry
+//! version; no workspace code needs to change.
+//!
+//! Known deliberate simplifications versus the real crate:
+//!
+//! * integer `gen_range` uses a simple modulo reduction (the bias is far below
+//!   anything the statistical experiments can observe);
+//! * `StdRng` is xoshiro256++ rather than ChaCha12, so streams differ from the
+//!   real `rand` for the same seed (seeds only promise determinism, not a
+//!   particular stream — same caveat as `rand` across major versions).
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// A source of random 32/64-bit integers (API subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`]
+/// (API subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a `low..high` or `low..=high` range.
+    ///
+    /// Panics when the range is empty, like the real `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed from a `u64` seed
+/// (API subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator deterministically from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range_and_cover_it() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10.0..20.0);
+            assert!((10.0..20.0).contains(&x));
+            let n = rng.gen_range(5usize..8);
+            assert!((5..8).contains(&n));
+            let m = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&m));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let ratio = hits as f64 / 20_000.0;
+        assert!((ratio - 0.25).abs() < 0.02, "ratio {ratio}");
+    }
+}
