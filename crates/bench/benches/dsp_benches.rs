@@ -10,8 +10,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ftio_dsp::correlation::{autocorrelation, autocorrelation_fft};
-use ftio_dsp::fft::fft_real;
+use ftio_dsp::fft::{fft_real, Fft};
 use ftio_dsp::peaks::{find_peaks, PeakConfig};
+use ftio_dsp::rfft::rfft;
 use ftio_dsp::spectrum::Spectrum;
 use ftio_dsp::zscore::outlier_indices;
 
@@ -36,6 +37,33 @@ fn bench_fft(c: &mut Criterion) {
         let signal = bandwidth_signal(n, 97);
         group.bench_with_input(BenchmarkId::from_parameter(n), &signal, |b, s| {
             b.iter(|| black_box(fft_real(black_box(s))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rfft(c: &mut Criterion) {
+    // The half-spectrum real-input path `Spectrum::from_signal` uses: same
+    // lengths as `fft_real` so the two tables compare line by line.
+    let mut group = c.benchmark_group("rfft");
+    group.sample_size(30);
+    for &n in &[512usize, 781, 7817, 8192, 7919] {
+        let signal = bandwidth_signal(n, 97);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &signal, |b, s| {
+            b.iter(|| black_box(rfft(black_box(s))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_construction(c: &mut Criterion) {
+    // What the plan cache saves on every hot-loop call: twiddle/permutation
+    // tables for the power-of-two kernel, chirp + filter FFT for Bluestein.
+    let mut group = c.benchmark_group("fft_plan_build");
+    group.sample_size(20);
+    for &n in &[8192usize, 7919] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(Fft::new(black_box(n))));
         });
     }
     group.finish();
@@ -85,6 +113,8 @@ fn bench_peak_detection(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_fft,
+    bench_rfft,
+    bench_plan_construction,
     bench_spectrum_and_outliers,
     bench_autocorrelation,
     bench_peak_detection

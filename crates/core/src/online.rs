@@ -385,6 +385,53 @@ mod tests {
         }
     }
 
+    /// Acceptance test for the allocation-free spectral pipeline: once the
+    /// analysis window length stabilises, every further prediction tick must
+    /// run entirely on cached FFT plans and already-grown scratch buffers.
+    /// The thread-local plan-cache counters make both properties observable
+    /// (the predictor runs synchronously on this test's thread).
+    #[test]
+    fn steady_state_ticks_build_no_plans_and_grow_no_scratch() {
+        let config = FtioConfig {
+            sampling_freq: 2.0,
+            // Exercise the ACF refinement too: a 600-sample window takes the
+            // FFT autocorrelation path (n^2 > 2^18).
+            use_autocorrelation: true,
+            ..Default::default()
+        };
+        let mut predictor = OnlinePredictor::new(config, WindowStrategy::Fixed { length: 300.0 });
+        let period = 10.0;
+        let tick = |predictor: &mut OnlinePredictor, now: f64| {
+            predictor.ingest(burst(now - 2.0, 2.0, 2_000_000_000));
+            predictor.predict(now);
+        };
+        // History long enough that every analysed window is exactly 300 s
+        // (600 samples), then warm the caches for a few ticks.
+        for i in 0..40 {
+            predictor.ingest(burst(i as f64 * period, 2.0, 2_000_000_000));
+        }
+        for i in 0..3 {
+            tick(&mut predictor, 400.0 + i as f64 * period);
+        }
+        let before = ftio_dsp::plan_cache::stats();
+        for i in 3..10 {
+            tick(&mut predictor, 400.0 + i as f64 * period);
+        }
+        let after = ftio_dsp::plan_cache::stats();
+        assert_eq!(
+            after.plans_built(),
+            before.plans_built(),
+            "steady-state ticks must not construct FFT plans: {before:?} -> {after:?}"
+        );
+        assert_eq!(
+            after.scratch_grows, before.scratch_grows,
+            "steady-state ticks must not grow FFT scratch buffers: {before:?} -> {after:?}"
+        );
+        // Sanity: the ticks actually went through the cached spectral path.
+        assert!(after.plan_hits > before.plan_hits);
+        assert!(predictor.history().len() >= 5);
+    }
+
     #[test]
     fn engine_runs_predictions_in_the_background() {
         let engine = PredictionEngine::spawn(config(), WindowStrategy::FullHistory);

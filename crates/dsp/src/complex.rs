@@ -90,6 +90,26 @@ impl Complex {
         }
     }
 
+    /// Multiplies by the imaginary unit `i` without a full complex multiply
+    /// (a 90° rotation, used by the radix-4 FFT butterfly).
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Complex {
+            re: -self.im,
+            im: self.re,
+        }
+    }
+
+    /// Multiplies by `-i` without a full complex multiply (a −90° rotation,
+    /// used by the radix-4 FFT butterfly).
+    #[inline]
+    pub fn mul_neg_i(self) -> Self {
+        Complex {
+            re: self.im,
+            im: -self.re,
+        }
+    }
+
     /// Returns `true` if either component is NaN.
     #[inline]
     pub fn is_nan(self) -> bool {
@@ -306,6 +326,14 @@ mod tests {
     #[test]
     fn i_squared_is_minus_one() {
         assert!(close(Complex::I * Complex::I, Complex::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn mul_i_matches_full_multiply() {
+        let z = Complex::new(2.5, -1.5);
+        assert!(close(z.mul_i(), z * Complex::I));
+        assert!(close(z.mul_neg_i(), z * -Complex::I));
+        assert!(close(z.mul_i().mul_neg_i(), z));
     }
 
     #[test]

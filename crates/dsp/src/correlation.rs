@@ -8,7 +8,7 @@
 //! with the FFT path chosen automatically for long signals.
 
 use crate::complex::Complex;
-use crate::fft::{Direction, Fft};
+use crate::plan_cache;
 
 /// How to scale the autocorrelation output.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,25 +82,37 @@ pub fn autocorrelation_direct(signal: &[f64]) -> Vec<f64> {
 
 /// FFT-based autocorrelation via the Wiener–Khinchin theorem
 /// (non-negative lags, no normalisation). Zero-pads to avoid circular wrap-around.
+///
+/// The whole pipeline runs on the real-input half spectrum: a cached
+/// [`crate::rfft::RealFft`] plan transforms the zero-padded signal (an
+/// `N/2`-point complex FFT), the power spectrum `|X_k|^2` is folded into the
+/// `N/2 + 1` retained bins in place, and the c2r inverse brings the ACF back —
+/// half the transform work and half the memory traffic of the old full-complex
+/// version, with no plan construction and no scratch allocation in steady
+/// state (see [`crate::plan_cache`]).
 pub fn autocorrelation_fft(signal: &[f64]) -> Vec<f64> {
     let n = signal.len();
     if n == 0 {
         return Vec::new();
     }
+    // Power of two >= 2n: guarantees linear (non-circular) lags 0..n and an
+    // even length, so the r2c/c2r fast path always applies.
     let padded = (2 * n).next_power_of_two();
-    let mut buf: Vec<Complex> = signal
-        .iter()
-        .map(|&x| Complex::from_real(x))
-        .chain(std::iter::repeat(Complex::ZERO))
-        .take(padded)
-        .collect();
-    let plan = Fft::new(padded);
-    plan.process(&mut buf, Direction::Forward);
-    for x in buf.iter_mut() {
+    let plan = plan_cache::rfft_plan(padded);
+    let mut half = plan_cache::take_scratch(0);
+    let mut scratch = plan_cache::take_scratch(plan.scratch_len());
+    plan.process_padded(signal, &mut half, &mut scratch);
+    // Wiener–Khinchin: the ACF is the inverse transform of the power
+    // spectrum, which for a real signal is fully described by the half bins.
+    for x in half.iter_mut() {
         *x = Complex::from_real(x.norm_sqr());
     }
-    plan.process(&mut buf, Direction::Inverse);
-    buf.into_iter().take(n).map(|x| x.re).collect()
+    let mut acf = Vec::new();
+    plan.inverse(&half, &mut acf, &mut scratch);
+    plan_cache::give_scratch(half);
+    plan_cache::give_scratch(scratch);
+    acf.truncate(n);
+    acf
 }
 
 /// Full linear cross-correlation of `a` and `b` (equivalent to

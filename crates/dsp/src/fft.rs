@@ -1,21 +1,34 @@
 //! Fast Fourier transform implemented from scratch.
 //!
-//! Three algorithms are provided and selected automatically by [`Fft`]:
+//! Two execution strategies are selected automatically by [`Fft`]:
 //!
-//! * an iterative **radix-2 Cooley–Tukey** transform for power-of-two lengths,
-//! * a recursive **mixed-radix Cooley–Tukey** transform for lengths whose prime
-//!   factors are all small (2, 3, 5, 7),
+//! * an iterative **mixed-radix Cooley–Tukey** transform for lengths whose
+//!   prime factors are all small (2, 3, 5, 7), with specialised radix-4 and
+//!   radix-2 butterflies — power-of-two lengths run as radix-4 stages plus at
+//!   most one radix-2 fixup stage;
 //! * **Bluestein's algorithm** (chirp-z transform) for every other length,
-//!   which reduces an arbitrary-length DFT to a power-of-two convolution.
+//!   which reduces an arbitrary-length DFT to a power-of-two convolution with
+//!   chirp and filter tables precomputed in the plan.
 //!
 //! All transforms are unnormalised in the forward direction and divide by `N`
 //! in the inverse direction, so `ifft(fft(x)) == x`.
 //!
+//! Plans precompute every table they need (twiddles, digit-reversal
+//! permutation, Bluestein chirp/filter); execution through
+//! [`Fft::process_with_scratch`] performs **no allocations** — the caller
+//! provides a scratch slice of [`Fft::scratch_len`] elements. The convenience
+//! wrappers [`fft`], [`ifft`] and [`fft_real`] obtain plans and scratch from
+//! the thread-local [`crate::plan_cache`], so repeated calls at the same
+//! length neither rebuild plans nor allocate in steady state.
+//!
 //! The FTIO pipeline (see `ftio-core`) applies the DFT to bandwidth signals
 //! whose length `N = Δt · fs` is rarely a power of two, which is why
-//! arbitrary-length support matters here.
+//! arbitrary-length support matters here. Real-valued signals should prefer
+//! [`crate::rfft::RealFft`], which halves the work by exploiting the conjugate
+//! symmetry of the spectrum.
 
 use crate::complex::Complex;
+use crate::plan_cache;
 
 /// Transform direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,7 +41,7 @@ pub enum Direction {
 
 impl Direction {
     #[inline]
-    fn sign(self) -> f64 {
+    pub(crate) fn sign(self) -> f64 {
         match self {
             Direction::Forward => -1.0,
             Direction::Inverse => 1.0,
@@ -38,9 +51,9 @@ impl Direction {
 
 /// A reusable FFT plan for a fixed transform length.
 ///
-/// Creating a plan precomputes twiddle factors; executing it does not
-/// allocate for power-of-two lengths and allocates scratch only for the
-/// Bluestein path.
+/// Creating a plan precomputes twiddle factors, the digit-reversal
+/// permutation, and (for the Bluestein path) the chirp and filter tables.
+/// Executing a plan through [`Fft::process_with_scratch`] does not allocate.
 ///
 /// # Examples
 ///
@@ -67,44 +80,349 @@ pub struct Fft {
 enum PlanKind {
     /// Lengths 0 and 1 are identity transforms.
     Trivial,
-    /// Iterative radix-2 with precomputed forward twiddles.
-    Radix2 { twiddles: Vec<Complex> },
-    /// Recursive mixed-radix over the stored factorisation (factors all <= 7).
-    MixedRadix { factors: Vec<usize> },
+    /// Iterative mixed-radix Cooley–Tukey over radices 4, 2, 3, 5, 7.
+    Smooth(SmoothPlan),
     /// Bluestein chirp-z transform via a power-of-two convolution.
-    Bluestein {
-        /// Convolution length (power of two >= 2*len - 1).
-        conv_len: usize,
-        /// Chirp sequence `exp(-i*pi*n^2/len)` for n in 0..len (forward sign).
-        chirp: Vec<Complex>,
-        /// Forward FFT of the zero-padded, conjugated chirp filter.
-        filter_fft: Vec<Complex>,
-        /// Inner power-of-two plan used for the convolution.
-        inner: Box<Fft>,
-    },
+    Bluestein(BluesteinPlan),
+}
+
+/// Precomputed state for the iterative mixed-radix transform.
+#[derive(Clone, Debug)]
+struct SmoothPlan {
+    /// Butterfly stages in execution order (sub-transform size grows).
+    stages: Vec<Stage>,
+    /// Digit-reversal gather: slot `t` of the work buffer reads input `perm[t]`.
+    perm: Vec<u32>,
+}
+
+/// One mixed-radix butterfly stage combining `radix` sub-transforms of size
+/// `m` into transforms of size `radix * m`.
+#[derive(Clone, Debug)]
+struct Stage {
+    radix: usize,
+    m: usize,
+    /// Flattened inter-stage twiddles `W_M^{s·k}` (`M = radix·m`) with layout
+    /// `twiddles[k·(radix−1) + (s−1)]` for `k in 0..m`, `s in 1..radix`.
+    twiddles: Vec<Complex>,
+    /// Intra-butterfly roots `W_radix^{s·q}` with layout `roots[s·radix + q]`
+    /// (forward sign); only used by the generic odd-radix kernel.
+    roots: Vec<Complex>,
+}
+
+#[derive(Clone, Debug)]
+struct BluesteinPlan {
+    /// Convolution length (power of two >= 2*len - 1).
+    conv_len: usize,
+    /// Chirp sequence `exp(-i*pi*n^2/len)` for n in 0..len (forward sign).
+    chirp: Vec<Complex>,
+    /// Forward FFT of the zero-padded, conjugated chirp filter.
+    filter_fft: Vec<Complex>,
+    /// Inner power-of-two plan used for the convolution.
+    inner: Box<Fft>,
 }
 
 impl Fft {
     /// Creates a plan for transforms of length `len`.
+    ///
+    /// Prefer [`crate::plan_cache::fft_plan`] on hot paths: it memoises plans
+    /// per thread so repeated transforms of the same length reuse all tables.
     pub fn new(len: usize) -> Self {
         let kind = if len <= 1 {
             PlanKind::Trivial
-        } else if len.is_power_of_two() {
-            PlanKind::Radix2 {
-                twiddles: radix2_twiddles(len),
-            }
         } else {
             let factors = factorize(len);
             if factors.iter().all(|&f| f <= 7) {
-                PlanKind::MixedRadix { factors }
+                PlanKind::Smooth(SmoothPlan::new(len, &factors))
             } else {
-                Self::new_bluestein(len)
+                PlanKind::Bluestein(BluesteinPlan::new(len))
             }
         };
         Fft { len, kind }
     }
 
-    fn new_bluestein(len: usize) -> PlanKind {
+    /// The transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the plan length is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of scratch elements [`Fft::process_with_scratch`] requires.
+    pub fn scratch_len(&self) -> usize {
+        match &self.kind {
+            PlanKind::Trivial => 0,
+            PlanKind::Smooth(_) => self.len,
+            // One conv_len buffer for the chirped sequence plus the inner
+            // (smooth power-of-two) plan's own scratch.
+            PlanKind::Bluestein(plan) => plan.conv_len + plan.inner.scratch_len(),
+        }
+    }
+
+    /// Executes the transform in place, allocating its own scratch buffer.
+    ///
+    /// Hot paths should use [`Fft::process_with_scratch`] with a pooled buffer
+    /// (see [`crate::plan_cache`]) to avoid the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn process(&self, data: &mut [Complex], direction: Direction) {
+        let mut scratch = vec![Complex::ZERO; self.scratch_len()];
+        self.process_with_scratch(data, direction, &mut scratch);
+    }
+
+    /// Executes the transform in place without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan length or `scratch` is
+    /// shorter than [`Fft::scratch_len`].
+    pub fn process_with_scratch(
+        &self,
+        data: &mut [Complex],
+        direction: Direction,
+        scratch: &mut [Complex],
+    ) {
+        assert_eq!(
+            data.len(),
+            self.len,
+            "FFT plan length {} does not match buffer length {}",
+            self.len,
+            data.len()
+        );
+        assert!(
+            scratch.len() >= self.scratch_len(),
+            "FFT scratch length {} is below the required {}",
+            scratch.len(),
+            self.scratch_len()
+        );
+        match &self.kind {
+            PlanKind::Trivial => {}
+            PlanKind::Smooth(plan) => {
+                plan.process(data, direction, &mut scratch[..self.len]);
+                if direction == Direction::Inverse {
+                    normalize(data);
+                }
+            }
+            PlanKind::Bluestein(plan) => {
+                plan.process(data, direction, scratch);
+                if direction == Direction::Inverse {
+                    normalize(data);
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper: forward-transform a copy of `data` and return it.
+    pub fn forward(&self, data: &[Complex]) -> Vec<Complex> {
+        let mut buf = data.to_vec();
+        self.process(&mut buf, Direction::Forward);
+        buf
+    }
+
+    /// Convenience wrapper: inverse-transform a copy of `data` and return it.
+    pub fn inverse(&self, data: &[Complex]) -> Vec<Complex> {
+        let mut buf = data.to_vec();
+        self.process(&mut buf, Direction::Inverse);
+        buf
+    }
+}
+
+impl SmoothPlan {
+    fn new(len: usize, factors: &[usize]) -> Self {
+        // Execution order: odd radices first (smallest sub-transforms), then
+        // the radix-2 fixup (when the power of two is odd), then radix-4
+        // stages — so the large, cache-hungry stages use the cheapest kernel.
+        let twos = factors.iter().filter(|&&f| f == 2).count();
+        let mut radices: Vec<usize> = factors.iter().copied().filter(|&f| f != 2).collect();
+        if twos % 2 == 1 {
+            radices.push(2);
+        }
+        radices.extend(std::iter::repeat(4).take(twos / 2));
+
+        let mut stages = Vec::with_capacity(radices.len());
+        let mut m = 1usize;
+        for &radix in &radices {
+            let big_m = radix * m;
+            let mut twiddles = Vec::with_capacity((radix - 1) * m);
+            for k in 0..m {
+                for s in 1..radix {
+                    let angle = -2.0 * std::f64::consts::PI * (s * k) as f64 / big_m as f64;
+                    twiddles.push(Complex::cis(angle));
+                }
+            }
+            let mut roots = Vec::with_capacity(radix * radix);
+            for s in 0..radix {
+                for q in 0..radix {
+                    let angle =
+                        -2.0 * std::f64::consts::PI * ((s * q) % radix) as f64 / radix as f64;
+                    roots.push(Complex::cis(angle));
+                }
+            }
+            stages.push(Stage {
+                radix,
+                m,
+                twiddles,
+                roots,
+            });
+            m = big_m;
+        }
+        debug_assert_eq!(m, len);
+
+        // Digit-reversal permutation: decimation happens in the *reverse* of
+        // the execution order, so peel digits from the last stage inwards.
+        let dec_radices: Vec<usize> = radices.iter().rev().copied().collect();
+        let mut perm = Vec::with_capacity(len);
+        for i in 0..len {
+            let mut rem = i;
+            let mut pos = 0usize;
+            let mut span = len;
+            for &f in &dec_radices {
+                span /= f;
+                pos += (rem % f) * span;
+                rem /= f;
+            }
+            perm.push(pos as u32);
+        }
+        // `perm` maps source -> target; invert it into a gather table
+        // (target -> source) so execution reads sequentially from scratch.
+        let mut gather = vec![0u32; len];
+        for (src, &dst) in perm.iter().enumerate() {
+            gather[dst as usize] = src as u32;
+        }
+        SmoothPlan {
+            stages,
+            perm: gather,
+        }
+    }
+
+    fn process(&self, data: &mut [Complex], direction: Direction, scratch: &mut [Complex]) {
+        let n = data.len();
+        // Gather the digit-reversed input into scratch; the first stage then
+        // writes back into `data`, and the remaining stages run in place.
+        for (slot, &src) in scratch.iter_mut().zip(self.perm.iter()) {
+            *slot = data[src as usize];
+        }
+        let conj = direction == Direction::Inverse;
+        let mut first = true;
+        for stage in &self.stages {
+            if first {
+                stage_out_of_place(scratch, data, stage, conj);
+                first = false;
+            } else {
+                stage_in_place(data, stage, conj);
+            }
+        }
+        if first {
+            // No stages (len 1 handled by Trivial, but keep this robust).
+            data.copy_from_slice(&scratch[..n]);
+        }
+    }
+}
+
+/// Reads one butterfly's inputs from `src` at stride `m`, applies the
+/// inter-stage twiddles, and returns them in `v[0..radix]`.
+#[inline]
+fn load_twiddled(
+    src: &[Complex],
+    base: usize,
+    k: usize,
+    stage: &Stage,
+    conj: bool,
+    v: &mut [Complex; 7],
+) {
+    let r = stage.radix;
+    let m = stage.m;
+    v[0] = src[base + k];
+    let tw = &stage.twiddles[k * (r - 1)..k * (r - 1) + (r - 1)];
+    for s in 1..r {
+        let mut w = tw[s - 1];
+        if conj {
+            w = w.conj();
+        }
+        v[s] = src[base + s * m + k] * w;
+    }
+}
+
+/// Writes one butterfly's outputs computed from `v` into `dst`.
+#[inline]
+fn store_butterfly(
+    dst: &mut [Complex],
+    base: usize,
+    k: usize,
+    stage: &Stage,
+    conj: bool,
+    v: &[Complex; 7],
+) {
+    let r = stage.radix;
+    let m = stage.m;
+    match r {
+        2 => {
+            dst[base + k] = v[0] + v[1];
+            dst[base + m + k] = v[0] - v[1];
+        }
+        4 => {
+            let t0 = v[0] + v[2];
+            let t1 = v[0] - v[2];
+            let t2 = v[1] + v[3];
+            let t3 = if conj {
+                // Inverse: W_4 = +i.
+                (v[1] - v[3]).mul_i()
+            } else {
+                (v[1] - v[3]).mul_neg_i()
+            };
+            dst[base + k] = t0 + t2;
+            dst[base + m + k] = t1 + t3;
+            dst[base + 2 * m + k] = t0 - t2;
+            dst[base + 3 * m + k] = t1 - t3;
+        }
+        _ => {
+            for q in 0..r {
+                let mut acc = v[0];
+                for (s, vs) in v.iter().enumerate().take(r).skip(1) {
+                    let mut w = stage.roots[s * r + q];
+                    if conj {
+                        w = w.conj();
+                    }
+                    acc += *vs * w;
+                }
+                dst[base + q * m + k] = acc;
+            }
+        }
+    }
+}
+
+fn stage_out_of_place(src: &[Complex], dst: &mut [Complex], stage: &Stage, conj: bool) {
+    let big_m = stage.radix * stage.m;
+    let mut v = [Complex::ZERO; 7];
+    for base in (0..src.len()).step_by(big_m) {
+        for k in 0..stage.m {
+            load_twiddled(src, base, k, stage, conj, &mut v);
+            store_butterfly(dst, base, k, stage, conj, &v);
+        }
+    }
+}
+
+fn stage_in_place(data: &mut [Complex], stage: &Stage, conj: bool) {
+    let big_m = stage.radix * stage.m;
+    let mut v = [Complex::ZERO; 7];
+    for base in (0..data.len()).step_by(big_m) {
+        for k in 0..stage.m {
+            load_twiddled(data, base, k, stage, conj, &mut v);
+            store_butterfly(data, base, k, stage, conj, &v);
+        }
+    }
+}
+
+impl BluesteinPlan {
+    fn new(len: usize) -> Self {
+        // The smallest power-of-two convolution length that makes the
+        // circular convolution equal the linear one on the outputs we keep.
         let conv_len = (2 * len - 1).next_power_of_two();
         // Chirp: c_n = exp(-i * pi * n^2 / len). Computed with n^2 mod 2*len to
         // keep the argument small and avoid precision loss for large n.
@@ -126,7 +444,7 @@ impl Fft {
         let inner = Box::new(Fft::new(conv_len));
         let mut filter_fft = filter;
         inner.process(&mut filter_fft, Direction::Forward);
-        PlanKind::Bluestein {
+        BluesteinPlan {
             conv_len,
             chirp,
             filter_fft,
@@ -134,92 +452,96 @@ impl Fft {
         }
     }
 
-    /// The transform length this plan was built for.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.len
-    }
+    fn process(&self, data: &mut [Complex], direction: Direction, scratch: &mut [Complex]) {
+        let n = data.len();
+        let conv_len = self.conv_len;
+        let (a, inner_scratch) = scratch.split_at_mut(conv_len);
+        let conj_input = direction == Direction::Inverse;
 
-    /// Returns `true` if the plan length is zero.
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Executes the transform in place.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `data.len()` differs from the plan length.
-    pub fn process(&self, data: &mut [Complex], direction: Direction) {
-        assert_eq!(
-            data.len(),
-            self.len,
-            "FFT plan length {} does not match buffer length {}",
-            self.len,
-            data.len()
-        );
-        match &self.kind {
-            PlanKind::Trivial => {}
-            PlanKind::Radix2 { twiddles } => {
-                radix2_in_place(data, twiddles, direction);
-                if direction == Direction::Inverse {
-                    normalize(data);
-                }
+        // a_n = x_n * chirp_n (use conjugated chirp for the inverse transform).
+        for (ai, (x, c)) in a.iter_mut().zip(data.iter().zip(self.chirp.iter())) {
+            let c = if conj_input { c.conj() } else { *c };
+            *ai = *x * c;
+        }
+        for ai in a.iter_mut().take(conv_len).skip(n) {
+            *ai = Complex::ZERO;
+        }
+        self.inner
+            .process_with_scratch(a, Direction::Forward, inner_scratch);
+        if conj_input {
+            // The precomputed filter is for the forward chirp; the inverse
+            // chirp's filter spectrum equals conj(filter_fft) because the
+            // filter is conjugate-symmetric by construction.
+            for (ai, fi) in a.iter_mut().zip(self.filter_fft.iter()) {
+                *ai *= fi.conj();
             }
-            PlanKind::MixedRadix { factors } => {
-                let out = mixed_radix_recursive(data, factors, direction.sign());
-                data.copy_from_slice(&out);
-                if direction == Direction::Inverse {
-                    normalize(data);
-                }
-            }
-            PlanKind::Bluestein {
-                conv_len,
-                chirp,
-                filter_fft,
-                inner,
-            } => {
-                bluestein(data, *conv_len, chirp, filter_fft, inner, direction);
+        } else {
+            for (ai, fi) in a.iter_mut().zip(self.filter_fft.iter()) {
+                *ai *= *fi;
             }
         }
-    }
+        self.inner
+            .process_with_scratch(a, Direction::Inverse, inner_scratch);
 
-    /// Convenience wrapper: forward-transform a copy of `data` and return it.
-    pub fn forward(&self, data: &[Complex]) -> Vec<Complex> {
-        let mut buf = data.to_vec();
-        self.process(&mut buf, Direction::Forward);
-        buf
-    }
-
-    /// Convenience wrapper: inverse-transform a copy of `data` and return it.
-    pub fn inverse(&self, data: &[Complex]) -> Vec<Complex> {
-        let mut buf = data.to_vec();
-        self.process(&mut buf, Direction::Inverse);
-        buf
+        for (x, (ai, c)) in data.iter_mut().zip(a.iter().zip(self.chirp.iter())) {
+            let c = if conj_input { c.conj() } else { *c };
+            *x = *ai * c;
+        }
     }
 }
 
 /// Forward DFT of a real-valued signal, returning the full complex spectrum.
 ///
-/// This is the entry point used by FTIO: the discretised bandwidth signal is
-/// real, so the spectrum is conjugate-symmetric and only bins `0..=N/2` carry
-/// independent information (see [`crate::spectrum`]).
+/// This is the historical full-spectrum entry point: the discretised bandwidth
+/// signal is real, so the spectrum is conjugate-symmetric and only bins
+/// `0..=N/2` carry independent information. Internally the transform runs
+/// through the cached [`crate::rfft::RealFft`] fast path (an `N/2`-point
+/// complex FFT for even `N`) and the redundant upper half is mirrored from the
+/// lower bins. Callers that only need bins `0..=N/2` should use [`rfft`].
 pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
-    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
-    let plan = Fft::new(buf.len());
-    plan.process(&mut buf, Direction::Forward);
+    let n = signal.len();
+    let half = crate::rfft::rfft(signal);
+    let mut full = Vec::with_capacity(n);
+    full.extend_from_slice(&half);
+    full.resize(n, Complex::ZERO);
+    for k in 1..n.div_ceil(2) {
+        full[n - k] = half[k].conj();
+    }
+    full
+}
+
+/// Forward half-spectrum DFT of a real-valued signal: bins `0..=N/2`.
+///
+/// Re-exported from [`crate::rfft`]; see [`crate::rfft::RealFft`] for the
+/// zero-allocation plan API.
+pub use crate::rfft::rfft;
+
+/// Forward FFT of a complex buffer (allocating convenience function).
+///
+/// Uses the thread-local [`crate::plan_cache`], so repeated calls at the same
+/// length reuse the plan and its scratch buffers.
+pub fn fft(signal: &[Complex]) -> Vec<Complex> {
+    let mut buf = signal.to_vec();
+    process_cached(&mut buf, Direction::Forward);
     buf
 }
 
-/// Forward FFT of a complex buffer (allocating convenience function).
-pub fn fft(signal: &[Complex]) -> Vec<Complex> {
-    Fft::new(signal.len()).forward(signal)
+/// Inverse FFT of a complex buffer (allocating convenience function).
+///
+/// Uses the thread-local [`crate::plan_cache`], so repeated calls at the same
+/// length reuse the plan and its scratch buffers.
+pub fn ifft(spectrum: &[Complex]) -> Vec<Complex> {
+    let mut buf = spectrum.to_vec();
+    process_cached(&mut buf, Direction::Inverse);
+    buf
 }
 
-/// Inverse FFT of a complex buffer (allocating convenience function).
-pub fn ifft(spectrum: &[Complex]) -> Vec<Complex> {
-    Fft::new(spectrum.len()).inverse(spectrum)
+/// Transforms `data` in place through the plan cache with pooled scratch.
+pub(crate) fn process_cached(data: &mut [Complex], direction: Direction) {
+    let plan = plan_cache::fft_plan(data.len());
+    let mut scratch = plan_cache::take_scratch(plan.scratch_len());
+    plan.process_with_scratch(data, direction, &mut scratch);
+    plan_cache::give_scratch(scratch);
 }
 
 /// Naive `O(N^2)` DFT used as a cross-check in tests and for very short inputs.
@@ -261,147 +583,10 @@ pub fn factorize(mut n: usize) -> Vec<usize> {
     factors
 }
 
-fn normalize(data: &mut [Complex]) {
+pub(crate) fn normalize(data: &mut [Complex]) {
     let inv = 1.0 / data.len() as f64;
     for x in data.iter_mut() {
         *x = x.scale(inv);
-    }
-}
-
-fn radix2_twiddles(len: usize) -> Vec<Complex> {
-    // Forward twiddles for each butterfly stage, flattened: stage sizes
-    // 2, 4, 8, ..., len with half-size twiddle tables each.
-    let mut twiddles = Vec::with_capacity(len);
-    let mut size = 2;
-    while size <= len {
-        let half = size / 2;
-        for j in 0..half {
-            let angle = -2.0 * std::f64::consts::PI * j as f64 / size as f64;
-            twiddles.push(Complex::cis(angle));
-        }
-        size *= 2;
-    }
-    twiddles
-}
-
-fn radix2_in_place(data: &mut [Complex], twiddles: &[Complex], direction: Direction) {
-    let n = data.len();
-    debug_assert!(n.is_power_of_two());
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
-        if j > i {
-            data.swap(i, j);
-        }
-    }
-    // Butterflies.
-    let conj = direction == Direction::Inverse;
-    let mut size = 2;
-    let mut tw_offset = 0;
-    while size <= n {
-        let half = size / 2;
-        for start in (0..n).step_by(size) {
-            for j in 0..half {
-                let mut w = twiddles[tw_offset + j];
-                if conj {
-                    w = w.conj();
-                }
-                let a = data[start + j];
-                let b = data[start + j + half] * w;
-                data[start + j] = a + b;
-                data[start + j + half] = a - b;
-            }
-        }
-        tw_offset += half;
-        size *= 2;
-    }
-}
-
-/// Recursive mixed-radix Cooley–Tukey decimation-in-time.
-///
-/// `factors` must multiply to `data.len()`. Returns a newly allocated output
-/// buffer; the caller copies it back. `sign` is -1 for forward, +1 for inverse.
-fn mixed_radix_recursive(data: &[Complex], factors: &[usize], sign: f64) -> Vec<Complex> {
-    let n = data.len();
-    if n <= 1 || factors.is_empty() {
-        return data.to_vec();
-    }
-    let radix = factors[0];
-    let rest = &factors[1..];
-    let m = n / radix;
-
-    // Split into `radix` decimated sub-sequences and transform each.
-    let mut subs: Vec<Vec<Complex>> = Vec::with_capacity(radix);
-    for r in 0..radix {
-        let sub: Vec<Complex> = (0..m).map(|j| data[j * radix + r]).collect();
-        subs.push(mixed_radix_recursive(&sub, rest, sign));
-    }
-
-    // Combine: X[k + q*m] = sum_r subs[r][k] * W_N^{r*(k + q*m)}
-    let mut out = vec![Complex::ZERO; n];
-    for q in 0..radix {
-        for k in 0..m {
-            let idx = k + q * m;
-            let mut acc = Complex::ZERO;
-            for (r, sub) in subs.iter().enumerate() {
-                let angle = sign * 2.0 * std::f64::consts::PI * (r * idx) as f64 / n as f64;
-                acc += sub[k] * Complex::cis(angle);
-            }
-            out[idx] = acc;
-        }
-    }
-    out
-}
-
-fn bluestein(
-    data: &mut [Complex],
-    conv_len: usize,
-    chirp: &[Complex],
-    filter_fft: &[Complex],
-    inner: &Fft,
-    direction: Direction,
-) {
-    let n = data.len();
-    let conj_input = direction == Direction::Inverse;
-
-    // a_n = x_n * chirp_n (use conjugated chirp for the inverse transform).
-    let mut a = vec![Complex::ZERO; conv_len];
-    for i in 0..n {
-        let c = if conj_input {
-            chirp[i].conj()
-        } else {
-            chirp[i]
-        };
-        a[i] = data[i] * c;
-    }
-    inner.process(&mut a, Direction::Forward);
-    if conj_input {
-        // The precomputed filter is for the forward chirp; the inverse chirp's
-        // filter is its conjugate, and conj(FFT(x)) = FFT(conj(x)) reversed.
-        // Instead of storing a second table we convolve with the conjugate
-        // spectrum of the reversed filter, which equals conj(filter_fft) here
-        // because the filter is conjugate-symmetric by construction.
-        for (ai, fi) in a.iter_mut().zip(filter_fft.iter()) {
-            *ai *= fi.conj();
-        }
-    } else {
-        for (ai, fi) in a.iter_mut().zip(filter_fft.iter()) {
-            *ai *= *fi;
-        }
-    }
-    inner.process(&mut a, Direction::Inverse);
-
-    for i in 0..n {
-        let c = if conj_input {
-            chirp[i].conj()
-        } else {
-            chirp[i]
-        };
-        data[i] = a[i] * c;
-    }
-    if direction == Direction::Inverse {
-        normalize(data);
     }
 }
 
@@ -485,8 +670,22 @@ mod tests {
     }
 
     #[test]
+    fn all_power_of_two_lengths_match_naive_dft() {
+        // Exercises the radix-4 kernel with (n = 4^k) and without (n = 2·4^k)
+        // the radix-2 fixup stage.
+        for &n in &[2usize, 4, 8, 16, 32, 64, 128, 256] {
+            let signal: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.9).sin(), (i as f64 * 0.45).cos()))
+                .collect();
+            let fast = fft(&signal);
+            let slow = dft_naive(&signal, Direction::Forward);
+            assert_spectra_close(&fast, &slow, 1e-8);
+        }
+    }
+
+    #[test]
     fn mixed_radix_matches_naive_dft() {
-        for &n in &[6usize, 12, 15, 20, 21, 35, 60, 105] {
+        for &n in &[6usize, 12, 15, 20, 21, 35, 60, 105, 210, 360] {
             let signal: Vec<Complex> = (0..n)
                 .map(|i| Complex::new((i as f64 * 1.1).sin(), (i as f64 * 0.2).cos()))
                 .collect();
@@ -570,6 +769,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "below the required")]
+    fn too_small_scratch_panics() {
+        let plan = Fft::new(8);
+        let mut buf = vec![Complex::ZERO; 8];
+        let mut scratch = vec![Complex::ZERO; 4];
+        plan.process_with_scratch(&mut buf, Direction::Forward, &mut scratch);
+    }
+
+    #[test]
     fn plan_reuse_gives_identical_results() {
         let n = 100;
         let signal: Vec<Complex> = (0..n).map(|i| Complex::from_real(i as f64)).collect();
@@ -577,6 +785,21 @@ mod tests {
         let a = plan.forward(&signal);
         let b = plan.forward(&signal);
         assert_spectra_close(&a, &b, 0.0);
+    }
+
+    #[test]
+    fn scratch_and_allocating_paths_agree() {
+        for &n in &[16usize, 60, 97, 1018] {
+            let signal: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.13).cos(), (i as f64 * 0.29).sin()))
+                .collect();
+            let plan = Fft::new(n);
+            let mut with_scratch = signal.clone();
+            let mut scratch = vec![Complex::ZERO; plan.scratch_len()];
+            plan.process_with_scratch(&mut with_scratch, Direction::Forward, &mut scratch);
+            let allocating = plan.forward(&signal);
+            assert_spectra_close(&with_scratch, &allocating, 0.0);
+        }
     }
 
     #[test]

@@ -6,12 +6,22 @@
 //! The crate provides everything the FTIO analysis needs, implemented from
 //! scratch with no numeric dependencies:
 //!
-//! * [`fft`] — fast Fourier transform for arbitrary lengths (radix-2,
-//!   mixed-radix, and Bluestein), plus a naive DFT for cross-checking;
+//! * [`fft`] — fast Fourier transform for arbitrary lengths (mixed-radix
+//!   with radix-4/2 kernels, and Bluestein), plus a naive DFT for
+//!   cross-checking;
+//! * [`rfft`] — the real-input FFT fast path: FTIO's signals are real, so
+//!   their spectra are conjugate-symmetric and an `N`-point transform reduces
+//!   to an `N/2`-point complex FFT plus an `O(N)` recombination — half the
+//!   arithmetic and memory traffic of the complex path;
+//! * [`plan_cache`] — per-thread memoisation of FFT plans plus a scratch
+//!   buffer pool, so the hot spectral paths (`Spectrum::from_signal`, the
+//!   FFT autocorrelation, the `ftio-core` online tick) build no plans and
+//!   allocate no work buffers in steady state; debug counters
+//!   ([`plan_cache::stats`]) make the property testable;
 //! * [`spectrum`] — single-sided amplitude/power spectra, normalised power,
 //!   and time-domain reconstruction from selected bins (Eq. (1) of the paper);
-//! * [`correlation`] — autocorrelation (direct and FFT-based) and
-//!   cross-correlation;
+//! * [`correlation`] — autocorrelation (direct and FFT-based via the real
+//!   half-spectrum) and cross-correlation;
 //! * [`peaks`] — SciPy-style `find_peaks` with height/threshold/distance/
 //!   prominence filters;
 //! * [`stats`] — means, variances, percentiles and box-plot summaries;
@@ -43,6 +53,8 @@ pub mod fft;
 pub mod isolation_forest;
 pub mod lof;
 pub mod peaks;
+pub mod plan_cache;
+pub mod rfft;
 pub mod spectrum;
 pub mod stats;
 pub mod window;
@@ -55,6 +67,8 @@ pub use fft::{dft_naive, fft, fft_real, ifft, Direction, Fft};
 pub use isolation_forest::{isolation_forest_outliers, ForestConfig, IsolationForest};
 pub use lof::{local_outlier_factor, LofResult};
 pub use peaks::{find_peak_indices, find_peaks, Peak, PeakConfig};
+pub use plan_cache::PlanCacheStats;
+pub use rfft::{irfft, rfft, RealFft};
 pub use spectrum::{reconstruct_from_bins, reconstruct_from_top_bins, Spectrum};
 pub use stats::BoxStats;
 pub use window::WindowKind;

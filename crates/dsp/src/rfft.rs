@@ -1,0 +1,504 @@
+//! Real-input FFT: the forward r2c transform and its c2r inverse.
+//!
+//! FTIO only ever transforms *real* bandwidth signals, whose spectra are
+//! conjugate-symmetric: bins `k` and `N-k` are redundant. [`RealFft`] exploits
+//! this by packing the `N` real samples into `N/2` complex values
+//! (`z_k = x_{2k} + i·x_{2k+1}`), running an `N/2`-point complex FFT, and
+//! recombining with an `O(N)` split post-pass:
+//!
+//! ```text
+//! X_k = (Z_k + conj(Z_{H-k}))/2  −  (i/2)·W_N^k·(Z_k − conj(Z_{H-k})),   H = N/2
+//! ```
+//!
+//! This halves both the arithmetic and the memory traffic compared to running
+//! the full `N`-point complex transform, and only bins `0..=N/2` — the ones
+//! the single-sided spectrum keeps — are produced. Odd lengths fall back to a
+//! complex transform internally but still return only the half spectrum.
+//!
+//! The inverse direction ([`RealFft::inverse`], even lengths) undoes the split
+//! and runs the `N/2`-point complex FFT backwards; the autocorrelation
+//! (Wiener–Khinchin) pipeline uses it so the power spectrum never has to be
+//! mirrored back to full length.
+//!
+//! Plans precompute all tables; processing with caller-provided buffers does
+//! not allocate once the buffers have grown to size. The free function
+//! [`rfft`] is the cached convenience entry point.
+
+use crate::complex::Complex;
+use crate::fft::{Direction, Fft};
+use crate::plan_cache;
+
+/// A reusable real-input FFT plan for a fixed transform length.
+///
+/// # Examples
+///
+/// ```
+/// use ftio_dsp::rfft::RealFft;
+///
+/// let plan = RealFft::new(8);
+/// let signal: Vec<f64> = (0..8).map(|i| (i as f64 * 0.7).sin()).collect();
+/// let mut half = Vec::new();
+/// let mut scratch = Vec::new();
+/// plan.process(&signal, &mut half, &mut scratch);
+/// assert_eq!(half.len(), 5); // bins 0 ..= N/2
+///
+/// let mut roundtrip = Vec::new();
+/// plan.inverse(&half, &mut roundtrip, &mut scratch);
+/// for (a, b) in roundtrip.iter().zip(signal.iter()) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RealFft {
+    len: usize,
+    /// Complex plan of length `len/2` (even `len`) or `len` (odd fallback).
+    inner: Fft,
+    /// Split twiddles `W_N^k = exp(-2πik/N)` for `k in 0..H` (even `len` only).
+    twiddles: Vec<Complex>,
+}
+
+impl RealFft {
+    /// Creates a plan for real transforms of length `len`.
+    ///
+    /// Prefer [`crate::plan_cache::rfft_plan`] on hot paths: it memoises plans
+    /// per thread.
+    pub fn new(len: usize) -> Self {
+        if len <= 1 {
+            return RealFft {
+                len,
+                inner: Fft::new(len),
+                twiddles: Vec::new(),
+            };
+        }
+        if len % 2 == 0 {
+            let half = len / 2;
+            let twiddles = (0..half)
+                .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / len as f64))
+                .collect();
+            RealFft {
+                len,
+                inner: Fft::new(half),
+                twiddles,
+            }
+        } else {
+            RealFft {
+                len,
+                inner: Fft::new(len),
+                twiddles: Vec::new(),
+            }
+        }
+    }
+
+    /// The real signal length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the plan length is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of half-spectrum bins produced: `N/2 + 1` (0 for an empty plan).
+    #[inline]
+    pub fn output_len(&self) -> usize {
+        if self.len == 0 {
+            0
+        } else {
+            self.len / 2 + 1
+        }
+    }
+
+    /// Number of scratch elements the processing entry points require.
+    pub fn scratch_len(&self) -> usize {
+        if self.len <= 1 {
+            return 0;
+        }
+        let work = if self.len % 2 == 0 {
+            self.len / 2
+        } else {
+            self.len
+        };
+        work + self.inner.scratch_len()
+    }
+
+    /// Forward transform: writes the half spectrum (bins `0..=N/2`) of the
+    /// real `signal` into `out`.
+    ///
+    /// `out` and `scratch` are resized as needed and reused across calls, so
+    /// steady-state invocations do not allocate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len()` differs from the plan length.
+    pub fn process(&self, signal: &[f64], out: &mut Vec<Complex>, scratch: &mut Vec<Complex>) {
+        assert_eq!(
+            signal.len(),
+            self.len,
+            "real FFT plan length {} does not match signal length {}",
+            self.len,
+            signal.len()
+        );
+        self.process_padded(signal, out, scratch);
+    }
+
+    /// Forward transform of `signal` zero-padded (virtually) to the plan
+    /// length: `signal.len()` may be at most `len`; missing samples read as 0.
+    ///
+    /// This is the entry point for padded convolution-style uses such as the
+    /// FFT autocorrelation, which would otherwise have to materialise the
+    /// padded buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len()` exceeds the plan length.
+    pub fn process_padded(
+        &self,
+        signal: &[f64],
+        out: &mut Vec<Complex>,
+        scratch: &mut Vec<Complex>,
+    ) {
+        assert!(
+            signal.len() <= self.len,
+            "signal length {} exceeds real FFT plan length {}",
+            signal.len(),
+            self.len
+        );
+        let n = self.len;
+        if n == 0 {
+            out.clear();
+            return;
+        }
+        if n == 1 {
+            out.clear();
+            out.push(Complex::from_real(signal.first().copied().unwrap_or(0.0)));
+            return;
+        }
+        plan_cache::ensure_scratch(scratch, self.scratch_len());
+        if n % 2 == 0 {
+            let h = n / 2;
+            let (z, inner_scratch) = scratch.split_at_mut(h);
+            // Pack pairs of real samples into complex values, zero-padding
+            // past the end of `signal`.
+            let at = |i: usize| signal.get(i).copied().unwrap_or(0.0);
+            for (k, zk) in z.iter_mut().enumerate() {
+                *zk = Complex::new(at(2 * k), at(2 * k + 1));
+            }
+            self.inner
+                .process_with_scratch(z, Direction::Forward, inner_scratch);
+
+            out.clear();
+            out.resize(h + 1, Complex::ZERO);
+            // DC and Nyquist come straight from Z_0.
+            out[0] = Complex::from_real(z[0].re + z[0].im);
+            out[h] = Complex::from_real(z[0].re - z[0].im);
+            for k in 1..h {
+                let a = z[k];
+                let b = z[h - k].conj();
+                let even = (a + b).scale(0.5);
+                let odd = ((a - b).scale(0.5) * self.twiddles[k]).mul_neg_i();
+                out[k] = even + odd;
+            }
+        } else {
+            let (buf, inner_scratch) = scratch.split_at_mut(n);
+            for (i, slot) in buf.iter_mut().enumerate() {
+                *slot = Complex::from_real(signal.get(i).copied().unwrap_or(0.0));
+            }
+            self.inner
+                .process_with_scratch(buf, Direction::Forward, inner_scratch);
+            out.clear();
+            out.extend_from_slice(&buf[..n / 2 + 1]);
+        }
+    }
+
+    /// Inverse transform: recovers the real signal from its half spectrum
+    /// (bins `0..=N/2`), including the `1/N` normalisation, so
+    /// `inverse(process(x)) == x`.
+    ///
+    /// `out` and `scratch` are resized as needed and reused across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half.len()` differs from [`RealFft::output_len`].
+    pub fn inverse(&self, half: &[Complex], out: &mut Vec<f64>, scratch: &mut Vec<Complex>) {
+        assert_eq!(
+            half.len(),
+            self.output_len(),
+            "half spectrum length {} does not match the {} bins of an N={} plan",
+            half.len(),
+            self.output_len(),
+            self.len
+        );
+        let n = self.len;
+        out.clear();
+        if n == 0 {
+            return;
+        }
+        if n == 1 {
+            out.push(half[0].re);
+            return;
+        }
+        plan_cache::ensure_scratch(scratch, self.scratch_len());
+        if n % 2 == 0 {
+            let h = n / 2;
+            let (z, inner_scratch) = scratch.split_at_mut(h);
+            // Undo the split: rebuild the H-point spectrum of the packed
+            // signal, then one inverse complex FFT de-interleaves the samples.
+            z[0] = Complex::new(half[0].re + half[h].re, half[0].re - half[h].re).scale(0.5);
+            for (k, zk) in z.iter_mut().enumerate().skip(1) {
+                let a = half[k];
+                let b = half[h - k].conj();
+                let even = (a + b).scale(0.5);
+                let odd = ((a - b).scale(0.5) * self.twiddles[k].conj()).mul_i();
+                *zk = even + odd;
+            }
+            self.inner
+                .process_with_scratch(z, Direction::Inverse, inner_scratch);
+            out.resize(n, 0.0);
+            for (k, zk) in z.iter().enumerate() {
+                out[2 * k] = zk.re;
+                out[2 * k + 1] = zk.im;
+            }
+        } else {
+            // Odd lengths: mirror the half spectrum and run the complex plan.
+            let (buf, inner_scratch) = scratch.split_at_mut(n);
+            buf[..half.len()].copy_from_slice(half);
+            for k in 1..n.div_ceil(2) {
+                buf[n - k] = half[k].conj();
+            }
+            self.inner
+                .process_with_scratch(buf, Direction::Inverse, inner_scratch);
+            out.extend(buf[..n].iter().map(|z| z.re));
+        }
+    }
+}
+
+/// Forward half-spectrum FFT of a real signal: returns bins `0..=N/2`
+/// (`N/2 + 1` values, empty for an empty signal).
+///
+/// Plans and scratch buffers come from the thread-local
+/// [`crate::plan_cache`], so repeated calls at the same length perform no
+/// plan construction and no scratch allocation — only the returned vector is
+/// fresh. For a fully allocation-free pipeline hold a [`RealFft`] (or use
+/// [`crate::plan_cache::rfft_plan`]) and reuse the output buffer.
+pub fn rfft(signal: &[f64]) -> Vec<Complex> {
+    let plan = plan_cache::rfft_plan(signal.len());
+    let mut out = Vec::with_capacity(plan.output_len());
+    let mut scratch = plan_cache::take_scratch(plan.scratch_len());
+    plan.process(signal, &mut out, &mut scratch);
+    plan_cache::give_scratch(scratch);
+    out
+}
+
+/// Inverse of [`rfft`]: recovers the length-`len` real signal from its half
+/// spectrum, including the `1/N` normalisation.
+///
+/// # Panics
+///
+/// Panics if `half.len() != len / 2 + 1` (for `len > 0`).
+pub fn irfft(half: &[Complex], len: usize) -> Vec<f64> {
+    let plan = plan_cache::rfft_plan(len);
+    let mut out = Vec::with_capacity(len);
+    let mut scratch = plan_cache::take_scratch(plan.scratch_len());
+    plan.inverse(half, &mut out, &mut scratch);
+    plan_cache::give_scratch(scratch);
+    out
+}
+
+/// The canonical half-spectrum length for a real signal of `len` samples.
+#[inline]
+pub fn half_spectrum_len(len: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        len / 2 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{dft_naive, fft_real};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(rng: &mut StdRng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| rng.gen_range(-50.0f64..50.0)).collect()
+    }
+
+    /// Independent reference: the plain N-point complex transform, built
+    /// directly (NOT `fft_real`, which is itself implemented on top of
+    /// `rfft` and would make the comparison circular).
+    fn full_complex_reference(signal: &[f64]) -> Vec<Complex> {
+        let buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+        Fft::new(buf.len()).forward(&buf)
+    }
+
+    fn assert_half_matches_full(signal: &[f64], tol: f64) {
+        let n = signal.len();
+        let half = rfft(signal);
+        let full = full_complex_reference(signal);
+        assert_eq!(half.len(), half_spectrum_len(n));
+        for (k, (a, b)) in half.iter().zip(full.iter()).enumerate() {
+            let scale = b.abs().max(1.0);
+            assert!(
+                (a.re - b.re).abs() <= tol * scale && (a.im - b.im).abs() <= tol * scale,
+                "n={n} bin {k}: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_real_mirror_matches_the_complex_transform() {
+        // `fft_real` reconstructs the upper half from conjugate symmetry;
+        // check the full spectrum against the independent complex path for
+        // both parities.
+        let mut rng = StdRng::seed_from_u64(0x0d59_1007);
+        for &n in &[8usize, 9, 90, 97, 128, 1018] {
+            let signal = random_signal(&mut rng, n);
+            let mirrored = fft_real(&signal);
+            let reference = full_complex_reference(&signal);
+            assert_eq!(mirrored.len(), reference.len());
+            for (k, (a, b)) in mirrored.iter().zip(reference.iter()).enumerate() {
+                let scale = b.abs().max(1.0);
+                assert!(
+                    (a.re - b.re).abs() <= 1e-8 * scale && (a.im - b.im).abs() <= 1e-8 * scale,
+                    "n={n} bin {k}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_matches_complex_fft_across_plan_kinds() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_1001);
+        // Power-of-two, even-composite, odd-smooth, and prime lengths —
+        // including the 7817/7919 prime lengths from the benchmark set.
+        for &n in &[
+            2usize, 4, 8, 64, 256, 8192, 6, 12, 20, 60, 360, 15, 105, 97, 211, 7817, 7919,
+        ] {
+            let signal = random_signal(&mut rng, n);
+            assert_half_matches_full(&signal, 1e-8);
+        }
+    }
+
+    #[test]
+    fn rfft_matches_naive_dft_for_small_lengths() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_1002);
+        for &n in &[2usize, 3, 5, 8, 12, 31, 64, 97, 128] {
+            let signal = random_signal(&mut rng, n);
+            let complex: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+            let slow = dft_naive(&complex, Direction::Forward);
+            let half = rfft(&signal);
+            for (k, a) in half.iter().enumerate() {
+                let b = slow[k];
+                let scale = b.abs().max(1.0);
+                assert!(
+                    (a.re - b.re).abs() <= 1e-8 * scale && (a.im - b.im).abs() <= 1e-8 * scale,
+                    "n={n} bin {k}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_lengths_match_the_full_path() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_1003);
+        for _case in 0..48 {
+            let n = rng.gen_range(1usize..400);
+            let signal = random_signal(&mut rng, n);
+            assert_half_matches_full(&signal, 1e-8);
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved_in_the_half_spectrum() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_1004);
+        for &n in &[16usize, 60, 97, 240, 7817] {
+            let signal = random_signal(&mut rng, n);
+            let half = rfft(&signal);
+            let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+            // Parseval over the half spectrum: interior bins count twice.
+            let mut freq_energy = half[0].norm_sqr();
+            for (k, x) in half.iter().enumerate().skip(1) {
+                let double = !(n % 2 == 0 && k == n / 2);
+                freq_energy += if double {
+                    2.0 * x.norm_sqr()
+                } else {
+                    x.norm_sqr()
+                };
+            }
+            freq_energy /= n as f64;
+            assert!(
+                (time_energy - freq_energy).abs() <= 1e-8 * time_energy.max(1.0),
+                "n={n}: {time_energy} vs {freq_energy}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips_for_even_and_odd_lengths() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_1005);
+        for &n in &[2usize, 4, 10, 64, 100, 9, 15, 97, 1018] {
+            let signal = random_signal(&mut rng, n);
+            let half = rfft(&signal);
+            let roundtrip = irfft(&half, n);
+            assert_eq!(roundtrip.len(), n);
+            for (i, (a, b)) in roundtrip.iter().zip(signal.iter()).enumerate() {
+                assert!((a - b).abs() < 1e-8, "n={n} sample {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn padded_processing_equals_explicit_zero_padding() {
+        let mut rng = StdRng::seed_from_u64(0x0d59_1006);
+        let signal = random_signal(&mut rng, 300);
+        let padded_len = 1024usize;
+        let mut padded = signal.clone();
+        padded.resize(padded_len, 0.0);
+
+        let plan = RealFft::new(padded_len);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        plan.process_padded(&signal, &mut out, &mut scratch);
+        let expect = rfft(&padded);
+        assert_eq!(out.len(), expect.len());
+        for (a, b) in out.iter().zip(expect.iter()) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_sample_edge_cases() {
+        assert!(rfft(&[]).is_empty());
+        assert_eq!(half_spectrum_len(0), 0);
+        assert!(irfft(&[], 0).is_empty());
+
+        let single = rfft(&[4.25]);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0], Complex::from_real(4.25));
+        let back = irfft(&single, 1);
+        assert_eq!(back, vec![4.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match signal length")]
+    fn mismatched_signal_length_panics() {
+        let plan = RealFft::new(8);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        plan.process(&[1.0; 4], &mut out, &mut scratch);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the")]
+    fn mismatched_half_spectrum_panics() {
+        let plan = RealFft::new(8);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        plan.inverse(&[Complex::ZERO; 3], &mut out, &mut scratch);
+    }
+}

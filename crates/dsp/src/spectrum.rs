@@ -9,7 +9,7 @@
 //! plotted in the paper's spectrum figures.
 
 use crate::complex::Complex;
-use crate::fft::fft_real;
+use crate::rfft::rfft;
 
 /// Single-sided spectrum of a real-valued signal.
 ///
@@ -26,6 +26,14 @@ pub struct Spectrum {
 impl Spectrum {
     /// Computes the single-sided spectrum of `signal` sampled at `sampling_freq` Hz.
     ///
+    /// The bins come from the real-input FFT path ([`crate::rfft`]): only the
+    /// `N/2 + 1` single-sided bins are stored, computed for even `N` via an
+    /// `N/2`-point complex transform (half the work); odd lengths run a
+    /// complex transform internally and keep just the half spectrum. The FFT
+    /// plan and scratch buffers are cached per thread
+    /// ([`crate::plan_cache`]), so repeated spectra of same-length signals
+    /// only allocate the bin vector itself.
+    ///
     /// # Panics
     ///
     /// Panics if `sampling_freq` is not strictly positive.
@@ -34,13 +42,10 @@ impl Spectrum {
             sampling_freq > 0.0,
             "sampling frequency must be positive, got {sampling_freq}"
         );
-        let n = signal.len();
-        let full = fft_real(signal);
-        let keep = if n == 0 { 0 } else { n / 2 + 1 };
         Spectrum {
-            bins: full.into_iter().take(keep).collect(),
+            bins: rfft(signal),
             sampling_freq,
-            signal_len: n,
+            signal_len: signal.len(),
         }
     }
 
