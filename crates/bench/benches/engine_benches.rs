@@ -1,0 +1,91 @@
+//! Criterion benchmarks of the sharded multi-application cluster engine.
+//!
+//! PR 2 made the per-tick spectral work cheap (cached plans, zero steady-state
+//! allocations), so dispatch became the scaling question: how fast can the
+//! online layer move a whole fleet's flushes through detection? These benches
+//! sweep the fleet size against the shard count (`engine_throughput`) and the
+//! coalescing window (`engine_batching`); EXPERIMENTS.md records the numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftio_core::{BackpressurePolicy, ClusterConfig, ClusterEngine, FtioConfig, WindowStrategy};
+use ftio_synth::multi_app::{FlushEvent, MultiAppConfig, MultiAppWorkload};
+
+fn fleet_events(apps: usize) -> Vec<FlushEvent> {
+    let workload = MultiAppWorkload::generate(
+        &MultiAppConfig {
+            apps,
+            flushes_per_app: 6,
+            ranks_per_app: 2,
+            ..Default::default()
+        },
+        0xE2617E,
+    );
+    workload.events()
+}
+
+fn engine_config(shards: usize, max_batch: usize) -> ClusterConfig {
+    ClusterConfig {
+        shards,
+        queue_capacity: 1024,
+        max_batch,
+        policy: BackpressurePolicy::Block,
+        ftio: FtioConfig {
+            sampling_freq: 2.0,
+            use_autocorrelation: false,
+            ..Default::default()
+        },
+        strategy: WindowStrategy::Adaptive { multiple: 3 },
+    }
+}
+
+/// Replays the fleet's flush schedule through a fresh engine and drains it.
+fn replay(config: ClusterConfig, events: &[FlushEvent]) -> usize {
+    let engine = ClusterEngine::spawn(config);
+    for event in events {
+        engine.submit(event.app, event.requests.clone(), event.now);
+    }
+    let results = engine.finish();
+    results.values().map(Vec::len).sum()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    for apps in [16usize, 64, 256] {
+        let events = fleet_events(apps);
+        for shards in [1usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("apps_x_shards", format!("{apps}x{shards}")),
+                &events,
+                |b, events| {
+                    // max_batch = 1: every flush is a full detection tick, so
+                    // the sweep measures how sharding scales the tick load
+                    // itself (the batching group below prices coalescing).
+                    b.iter(|| black_box(replay(engine_config(shards, 1), events)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_engine_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batching");
+    group.sample_size(10);
+    let events = fleet_events(64);
+    for max_batch in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("batch", max_batch),
+            &events,
+            |b, events| {
+                b.iter(|| black_box(replay(engine_config(4, max_batch), events)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput, bench_engine_batching);
+criterion_main!(benches);

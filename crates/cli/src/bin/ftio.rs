@@ -5,6 +5,7 @@
 //! ```text
 //! ftio <trace-file> [options]
 //! ftio --demo [options]
+//! ftio cluster [cluster options]
 //!
 //! options:
 //!   --format jsonl|msgpack|recorder|darshan   input format (default: by extension)
@@ -18,15 +19,21 @@
 //! The tool mirrors the reference implementation's offline mode: it reads the
 //! trace produced by the collector (JSON Lines or MessagePack), a
 //! Recorder-style text trace, or a Darshan-style heatmap, and prints the FTIO
-//! detection report.
+//! detection report. The `cluster` subcommand instead drives a synthetic
+//! multi-application fleet through the sharded online engine (`ftio cluster
+//! --help` lists its options).
 
 use std::process::ExitCode;
 
+use ftio_cli::cluster::{parse_cluster_options, run_cluster, CLUSTER_USAGE};
 use ftio_cli::{load_trace, parse_common_options, print_usage_and_exit};
 use ftio_core::{detect_heatmap, detect_signal, report, sample_trace, sample_trace_window};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("cluster") {
+        return run_cluster_command(&args[1..]);
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage_and_exit("ftio");
     }
@@ -77,6 +84,32 @@ fn main() -> ExitCode {
         None => {
             println!("==> no dominant frequency found (signal not periodic)");
             ExitCode::SUCCESS
+        }
+    }
+}
+
+/// `ftio cluster ...`: run the multi-application fleet through the sharded
+/// cluster engine and print the accuracy/throughput report.
+fn run_cluster_command(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{CLUSTER_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let options = match parse_cluster_options(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_cluster(&options) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
         }
     }
 }

@@ -1,9 +1,13 @@
 //! # ftio-cli
 //!
-//! Shared plumbing of the command-line tools `ftio` (offline detection) and
-//! `predictor` (online prediction): argument parsing, trace-file loading for
-//! the supported formats (JSON Lines, MessagePack, Recorder text, Darshan
-//! heatmap), and a generated demo workload for quick experimentation.
+//! Shared plumbing of the command-line tools `ftio` (offline detection and
+//! the `cluster` multi-application subcommand) and `predictor` (online
+//! prediction): argument parsing, trace-file loading for the supported
+//! formats (JSON Lines, MessagePack, Recorder text, Darshan heatmap), a
+//! generated demo workload for quick experimentation, and the [`cluster`]
+//! fleet driver.
+
+pub mod cluster;
 
 use std::path::Path;
 
@@ -86,6 +90,13 @@ pub fn print_usage_and_exit(tool: &str) -> ! {
          \x20 --window <t0> <t1>                        restrict the analysis window (seconds)\n\
          \x20 --demo                                    analyse a generated demo trace instead of a file"
     );
+    if tool == "ftio" {
+        println!(
+            "\nsubcommands:\n\
+             \x20 cluster    drive a synthetic multi-application fleet through the\n\
+             \x20            sharded online engine (see `ftio cluster --help`)"
+        );
+    }
     std::process::exit(0);
 }
 

@@ -1,0 +1,1173 @@
+//! Sharded multi-application prediction engine.
+//!
+//! The paper's online mode (§II-D) runs one FTIO evaluation per application
+//! whenever that application appends new I/O data. A single
+//! [`PredictionEngine`](crate::online::PredictionEngine) worker serves one
+//! application; monitoring a whole cluster means serving *hundreds* of them
+//! concurrently, and with PR 2's allocation-free spectral path the per-tick
+//! analysis is cheap enough that dispatch — not the FFT — becomes the scaling
+//! bottleneck. [`ClusterEngine`] addresses that with the standard
+//! classification-at-line-rate recipe:
+//!
+//! * **Sharding** — applications are hashed ([`AppId::shard_index`]) onto a
+//!   fixed pool of predictor workers. Each shard owns the
+//!   [`OnlinePredictor`] state of its applications exclusively, so shards
+//!   never contend on predictor state and each worker thread keeps its own
+//!   warm FFT plan cache (`ftio_dsp::plan_cache` is thread-local).
+//! * **Bounded queues with explicit backpressure** — every shard has a
+//!   bounded submission queue; when it fills, the caller-selected
+//!   [`BackpressurePolicy`] decides whether the producer blocks, the oldest
+//!   queued submission is evicted, or the new submission is rejected.
+//! * **Batched flushes** — a worker drains its whole queue at once and
+//!   coalesces up to [`ClusterConfig::max_batch`] consecutive submissions of
+//!   the same application into a single detection tick (ingest everything,
+//!   predict once at the latest timestamp), so a burst of appends costs one
+//!   FFT instead of many.
+//!
+//! [`PredictionEngine`](crate::online::PredictionEngine) is the 1-shard,
+//! no-coalescing special case of this engine and keeps its historical
+//! one-prediction-per-submission behaviour.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use ftio_dsp::plan_cache::{self, PlanCacheStats};
+use ftio_trace::{AppId, IoRequest};
+
+use crate::config::FtioConfig;
+use crate::online::{OnlinePrediction, OnlinePredictor, WindowStrategy};
+
+/// What happens when a submission meets a full shard queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// The submitting thread blocks until the shard worker frees a slot —
+    /// lossless, propagates pressure to the producer.
+    #[default]
+    Block,
+    /// The oldest queued submission of the shard is evicted to make room —
+    /// lossy but wait-free; freshest data wins (a stale tick is worth little
+    /// to a predictor anyway).
+    DropOldest,
+    /// The new submission is refused and the caller told so — lossless for
+    /// queued work, lets the caller retry or shed load itself.
+    Reject,
+}
+
+impl BackpressurePolicy {
+    /// Parses a policy name as used by the `ftio cluster` command line.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "block" => Some(BackpressurePolicy::Block),
+            "drop-oldest" | "drop_oldest" | "drop" => Some(BackpressurePolicy::DropOldest),
+            "reject" => Some(BackpressurePolicy::Reject),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackpressurePolicy::Block => "block",
+            BackpressurePolicy::DropOldest => "drop-oldest",
+            BackpressurePolicy::Reject => "reject",
+        }
+    }
+}
+
+/// Configuration of a [`ClusterEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of predictor workers (zero is clamped to one).
+    pub shards: usize,
+    /// Bounded capacity of each shard's submission queue (zero is clamped to
+    /// one).
+    pub queue_capacity: usize,
+    /// Maximum number of queued submissions of one application coalesced into
+    /// a single detection tick. `1` disables coalescing: every submission gets
+    /// its own prediction, as [`PredictionEngine`](crate::online::PredictionEngine)
+    /// promises.
+    pub max_batch: usize,
+    /// Policy applied when a shard queue is full.
+    pub policy: BackpressurePolicy,
+    /// Analysis configuration handed to every per-application predictor.
+    pub ftio: FtioConfig,
+    /// Window strategy handed to every per-application predictor.
+    pub strategy: WindowStrategy,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 4,
+            queue_capacity: 256,
+            max_batch: 16,
+            policy: BackpressurePolicy::default(),
+            ftio: FtioConfig::default(),
+            strategy: WindowStrategy::default(),
+        }
+    }
+}
+
+/// Result of a [`ClusterEngine::submit`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The submission was queued.
+    Enqueued,
+    /// The submission was queued after evicting this many older submissions
+    /// (only under [`BackpressurePolicy::DropOldest`]).
+    EnqueuedAfterDrop(usize),
+    /// The submission was refused: the queue was full under
+    /// [`BackpressurePolicy::Reject`], or the engine is shutting down.
+    Rejected,
+}
+
+impl SubmitOutcome {
+    /// Whether the submission made it into a queue.
+    pub fn accepted(self) -> bool {
+        !matches!(self, SubmitOutcome::Rejected)
+    }
+}
+
+/// Aggregate counters of a [`ClusterEngine`].
+///
+/// Invariant (observable after [`ClusterEngine::flush`]): every accepted
+/// submission is either the first member of a tick or coalesced into one, so
+/// `ticks + coalesced + dropped == submitted - rejected`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Submissions handed to [`ClusterEngine::submit`].
+    pub submitted: u64,
+    /// Submissions refused (full queue under `Reject`, or engine closed).
+    pub rejected: u64,
+    /// Submissions evicted by the `DropOldest` policy before being processed.
+    pub dropped: u64,
+    /// Detection ticks executed (one prediction each).
+    pub ticks: u64,
+    /// Submissions that were merged into another submission's tick.
+    pub coalesced: u64,
+}
+
+/// Per-application prediction history, as returned by
+/// [`ClusterEngine::finish`].
+pub type AppPredictions = HashMap<AppId, Vec<OnlinePrediction>>;
+
+/// One queued unit of work: freshly appended requests plus the time at which
+/// the application asked for a prediction.
+struct Submission {
+    app: AppId,
+    requests: Vec<IoRequest>,
+    now: f64,
+}
+
+enum QueueItem {
+    Work(Submission),
+    /// Test-only: parks the shard worker on a gate so tests can saturate the
+    /// queue deterministically.
+    #[cfg(test)]
+    Stall(Arc<tests::Gate>),
+}
+
+struct ShardState {
+    items: VecDeque<QueueItem>,
+    /// Queued plus in-flight items whose results are not yet visible.
+    pending: usize,
+    closed: bool,
+    dropped: u64,
+}
+
+/// A bounded MPSC queue with selectable overflow behaviour, a drain-everything
+/// consumer side, and an idle signal for [`ClusterEngine::flush`].
+struct ShardQueue {
+    state: Mutex<ShardState>,
+    /// Signalled when items arrive or the queue closes (consumer waits here).
+    not_empty: Condvar,
+    /// Signalled when slots free up (blocked producers wait here).
+    not_full: Condvar,
+    /// Signalled when `pending` reaches zero (`flush` waits here).
+    idle: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    fn new(capacity: usize) -> Self {
+        ShardQueue {
+            state: Mutex::new(ShardState {
+                items: VecDeque::new(),
+                pending: 0,
+                closed: false,
+                dropped: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            idle: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push(&self, item: QueueItem, policy: BackpressurePolicy) -> SubmitOutcome {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        let mut evicted = 0usize;
+        loop {
+            if state.closed {
+                return SubmitOutcome::Rejected;
+            }
+            if state.items.len() < self.capacity {
+                break;
+            }
+            match policy {
+                BackpressurePolicy::Block => {
+                    state = self.not_full.wait(state).expect("shard queue poisoned");
+                }
+                BackpressurePolicy::DropOldest => {
+                    state.items.pop_front();
+                    state.pending -= 1;
+                    state.dropped += 1;
+                    evicted += 1;
+                }
+                BackpressurePolicy::Reject => return SubmitOutcome::Rejected,
+            }
+        }
+        state.items.push_back(item);
+        state.pending += 1;
+        self.not_empty.notify_one();
+        if evicted > 0 {
+            SubmitOutcome::EnqueuedAfterDrop(evicted)
+        } else {
+            SubmitOutcome::Enqueued
+        }
+    }
+
+    /// Blocks until work arrives, then drains the whole queue. Returns `None`
+    /// once the queue is closed *and* empty — the worker's signal to exit.
+    fn pop_all(&self) -> Option<Vec<QueueItem>> {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        while state.items.is_empty() && !state.closed {
+            state = self.not_empty.wait(state).expect("shard queue poisoned");
+        }
+        if state.items.is_empty() {
+            return None;
+        }
+        let batch: Vec<QueueItem> = state.items.drain(..).collect();
+        self.not_full.notify_all();
+        Some(batch)
+    }
+
+    /// Marks `count` drained items as fully processed (results visible).
+    fn complete(&self, count: usize) {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        state.pending -= count;
+        if state.pending == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        while state.pending > 0 {
+            state = self.idle.wait(state).expect("shard queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("shard queue poisoned");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn dropped(&self) -> u64 {
+        self.state.lock().expect("shard queue poisoned").dropped
+    }
+}
+
+#[derive(Default)]
+struct SharedCounters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    ticks: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// Sharded, batching, backpressured multi-application prediction engine — the
+/// "monitor a whole cluster" deployment of the paper's online mode.
+///
+/// ```
+/// use ftio_core::{BackpressurePolicy, ClusterConfig, ClusterEngine, FtioConfig};
+/// use ftio_trace::{AppId, IoRequest};
+///
+/// let engine = ClusterEngine::spawn(ClusterConfig {
+///     shards: 2,
+///     ftio: FtioConfig { sampling_freq: 2.0, use_autocorrelation: false, ..Default::default() },
+///     ..Default::default()
+/// });
+/// // Two applications, each writing a burst every 10 s.
+/// for tick in 0..8 {
+///     let start = tick as f64 * 10.0;
+///     for app in 0..2u64 {
+///         let burst = vec![IoRequest::write(0, start, start + 2.0, 1_000_000_000)];
+///         engine.submit(AppId::new(app), burst, start + 2.0);
+///     }
+/// }
+/// let results = engine.finish();
+/// assert_eq!(results.len(), 2);
+/// for history in results.values() {
+///     let period = history.last().unwrap().period().expect("periodic");
+///     assert!((period - 10.0).abs() < 1.5);
+/// }
+/// ```
+pub struct ClusterEngine {
+    shards: Vec<Arc<ShardQueue>>,
+    handles: Vec<JoinHandle<()>>,
+    results: Arc<Mutex<AppPredictions>>,
+    counters: Arc<SharedCounters>,
+    plan_stats: Arc<Mutex<Vec<PlanCacheStats>>>,
+    policy: BackpressurePolicy,
+}
+
+impl ClusterEngine {
+    /// Spawns the shard workers and returns the engine handle.
+    pub fn spawn(config: ClusterConfig) -> Self {
+        let shards = config.shards.max(1);
+        let results: Arc<Mutex<AppPredictions>> = Arc::new(Mutex::new(HashMap::new()));
+        let counters = Arc::new(SharedCounters::default());
+        let plan_stats = Arc::new(Mutex::new(vec![PlanCacheStats::default(); shards]));
+        let mut queues = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard_index in 0..shards {
+            let queue = Arc::new(ShardQueue::new(config.queue_capacity));
+            queues.push(queue.clone());
+            let results = results.clone();
+            let counters = counters.clone();
+            let plan_stats = plan_stats.clone();
+            handles.push(std::thread::spawn(move || {
+                shard_worker(
+                    shard_index,
+                    &queue,
+                    &config,
+                    &results,
+                    &counters,
+                    &plan_stats,
+                );
+            }));
+        }
+        ClusterEngine {
+            shards: queues,
+            handles,
+            results,
+            counters,
+            plan_stats,
+            policy: config.policy,
+        }
+    }
+
+    /// Routes newly appended requests of `app` to its shard and asks for a
+    /// prediction at time `now`. Returns immediately unless the shard queue is
+    /// full under [`BackpressurePolicy::Block`].
+    pub fn submit(&self, app: AppId, requests: Vec<IoRequest>, now: f64) -> SubmitOutcome {
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[app.shard_index(self.shards.len())];
+        let outcome = shard.push(
+            QueueItem::Work(Submission { app, requests, now }),
+            self.policy,
+        );
+        if outcome == SubmitOutcome::Rejected {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// Number of shards (worker threads).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Blocks until every queued submission has been processed and its result
+    /// is visible in [`ClusterEngine::predictions`].
+    pub fn flush(&self) {
+        for shard in &self.shards {
+            shard.wait_idle();
+        }
+    }
+
+    /// Snapshot of the predictions computed so far for one application, in
+    /// tick order.
+    pub fn predictions(&self, app: AppId) -> Vec<OnlinePrediction> {
+        self.results
+            .lock()
+            .expect("cluster results poisoned")
+            .get(&app)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of all predictions computed so far, keyed by application.
+    pub fn all_predictions(&self) -> AppPredictions {
+        self.results
+            .lock()
+            .expect("cluster results poisoned")
+            .clone()
+    }
+
+    /// Aggregate engine counters (see [`ClusterStats`] for the invariant).
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            dropped: self.shards.iter().map(|s| s.dropped()).sum(),
+            ticks: self.counters.ticks.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-shard FFT plan-cache counters, as of each worker's most recently
+    /// completed batch (`ftio_dsp`'s cache is thread-local, so the workers
+    /// export snapshots). Use with [`ClusterEngine::flush`] to pin the
+    /// zero-allocation steady state.
+    pub fn plan_cache_stats(&self) -> Vec<PlanCacheStats> {
+        self.plan_stats
+            .lock()
+            .expect("cluster plan stats poisoned")
+            .clone()
+    }
+
+    /// Crate-internal handle onto the shared result store, used by the
+    /// drop-ordering tests to observe results after the engine is gone.
+    #[cfg(test)]
+    pub(crate) fn results_handle(&self) -> Arc<Mutex<AppPredictions>> {
+        self.results.clone()
+    }
+
+    /// Shuts down: closes all queues, lets every worker drain its remaining
+    /// submissions, joins the workers, and returns all predictions.
+    pub fn finish(mut self) -> AppPredictions {
+        self.shutdown();
+        let results = self
+            .results
+            .lock()
+            .expect("cluster results poisoned")
+            .clone();
+        results
+    }
+
+    /// Close + drain + join. In-flight batches are fully processed before the
+    /// workers exit, so no accepted submission is ever silently lost.
+    fn shutdown(&mut self) {
+        for shard in &self.shards {
+            shard.close();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    #[cfg(test)]
+    fn stall_shard(&self, shard_index: usize, gate: Arc<tests::Gate>) {
+        let _ = self.shards[shard_index].push(QueueItem::Stall(gate), BackpressurePolicy::Block);
+    }
+}
+
+impl Drop for ClusterEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One shard worker: drain the queue, group by application, coalesce, tick.
+fn shard_worker(
+    shard_index: usize,
+    queue: &ShardQueue,
+    config: &ClusterConfig,
+    results: &Mutex<AppPredictions>,
+    counters: &SharedCounters,
+    plan_stats: &Mutex<Vec<PlanCacheStats>>,
+) {
+    let max_batch = config.max_batch.max(1);
+    let mut predictors: HashMap<AppId, OnlinePredictor> = HashMap::new();
+    while let Some(batch) = queue.pop_all() {
+        let drained = batch.len();
+        // Group the submissions per application, preserving arrival order of
+        // first appearance and within each application.
+        let mut order: Vec<AppId> = Vec::new();
+        let mut groups: HashMap<AppId, Vec<Submission>> = HashMap::new();
+        for item in batch {
+            match item {
+                QueueItem::Work(submission) => {
+                    groups
+                        .entry(submission.app)
+                        .or_insert_with(|| {
+                            order.push(submission.app);
+                            Vec::new()
+                        })
+                        .push(submission);
+                }
+                #[cfg(test)]
+                QueueItem::Stall(gate) => gate.enter_and_wait(),
+            }
+        }
+        for app in order {
+            let submissions = groups.remove(&app).expect("grouped above");
+            let predictor = predictors
+                .entry(app)
+                .or_insert_with(|| OnlinePredictor::new(config.ftio, config.strategy));
+            let mut iter = submissions.into_iter().peekable();
+            while iter.peek().is_some() {
+                let mut tick_now = f64::NEG_INFINITY;
+                let mut chunk_len = 0u64;
+                for submission in iter.by_ref().take(max_batch) {
+                    tick_now = tick_now.max(submission.now);
+                    chunk_len += 1;
+                    predictor.ingest(submission.requests);
+                }
+                let prediction = predictor.predict(tick_now);
+                results
+                    .lock()
+                    .expect("cluster results poisoned")
+                    .entry(app)
+                    .or_default()
+                    .push(prediction);
+                counters.ticks.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .coalesced
+                    .fetch_add(chunk_len - 1, Ordering::Relaxed);
+            }
+        }
+        // Export this thread's plan-cache counters *before* marking the batch
+        // complete, so `flush()` + `plan_cache_stats()` observes them.
+        plan_stats.lock().expect("cluster plan stats poisoned")[shard_index] = plan_cache::stats();
+        queue.complete(drained);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two-phase gate for deterministic saturation tests: the worker announces
+    /// arrival, then parks until the test opens the gate.
+    pub(super) struct Gate {
+        state: Mutex<(bool, bool)>, // (worker arrived, gate open)
+        cond: Condvar,
+    }
+
+    impl Gate {
+        pub(super) fn new() -> Arc<Self> {
+            Arc::new(Gate {
+                state: Mutex::new((false, false)),
+                cond: Condvar::new(),
+            })
+        }
+
+        pub(super) fn enter_and_wait(&self) {
+            let mut state = self.state.lock().unwrap();
+            state.0 = true;
+            self.cond.notify_all();
+            while !state.1 {
+                state = self.cond.wait(state).unwrap();
+            }
+        }
+
+        fn wait_entered(&self) {
+            let mut state = self.state.lock().unwrap();
+            while !state.0 {
+                state = self.cond.wait(state).unwrap();
+            }
+        }
+
+        fn open(&self) {
+            let mut state = self.state.lock().unwrap();
+            state.1 = true;
+            self.cond.notify_all();
+        }
+    }
+
+    fn fast_config() -> FtioConfig {
+        FtioConfig {
+            sampling_freq: 2.0,
+            use_autocorrelation: false,
+            ..Default::default()
+        }
+    }
+
+    fn burst(rank_count: usize, start: f64, duration: f64, bytes: u64) -> Vec<IoRequest> {
+        (0..rank_count)
+            .map(|rank| IoRequest::write(rank, start, start + duration, bytes / rank_count as u64))
+            .collect()
+    }
+
+    fn engine_config(shards: usize, capacity: usize, policy: BackpressurePolicy) -> ClusterConfig {
+        ClusterConfig {
+            shards,
+            queue_capacity: capacity,
+            max_batch: 1,
+            policy,
+            ftio: fast_config(),
+            strategy: WindowStrategy::FullHistory,
+        }
+    }
+
+    fn assert_accounting(stats: &ClusterStats) {
+        assert_eq!(
+            stats.ticks + stats.coalesced + stats.dropped,
+            stats.submitted - stats.rejected,
+            "accounting broken: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn cluster_detects_each_apps_own_period() {
+        let engine = ClusterEngine::spawn(ClusterConfig {
+            max_batch: 1,
+            ..engine_config(3, 64, BackpressurePolicy::Block)
+        });
+        let periods = [8.0, 12.0, 15.0, 20.0];
+        for tick in 0..10 {
+            for (i, &period) in periods.iter().enumerate() {
+                let start = tick as f64 * period;
+                engine.submit(
+                    AppId::new(i as u64),
+                    burst(4, start, 2.0, 2_000_000_000),
+                    start + 2.0,
+                );
+            }
+        }
+        let results = engine.finish();
+        assert_eq!(results.len(), periods.len());
+        for (i, &period) in periods.iter().enumerate() {
+            let history = &results[&AppId::new(i as u64)];
+            assert_eq!(history.len(), 10, "app {i} lost ticks");
+            let detected = history
+                .last()
+                .unwrap()
+                .period()
+                .expect("dominant frequency");
+            assert!(
+                (detected - period).abs() < 1.5,
+                "app {i}: detected {detected}, true {period}"
+            );
+            // Per-app tick order is preserved even across a shared shard.
+            for pair in history.windows(2) {
+                assert!(pair[1].time > pair[0].time);
+            }
+        }
+    }
+
+    #[test]
+    fn batching_coalesces_a_burst_of_appends_into_one_tick() {
+        let engine = ClusterEngine::spawn(ClusterConfig {
+            max_batch: 16,
+            ..engine_config(1, 64, BackpressurePolicy::Block)
+        });
+        let app = AppId::new(7);
+        // Stall the single shard so all eight submissions pile up and are
+        // drained as one batch.
+        let gate = Gate::new();
+        engine.stall_shard(0, gate.clone());
+        gate.wait_entered();
+        for tick in 0..8 {
+            let start = tick as f64 * 10.0;
+            engine.submit(app, burst(2, start, 2.0, 1_000_000_000), start + 2.0);
+        }
+        gate.open();
+        engine.flush();
+        let history = engine.predictions(app);
+        assert_eq!(
+            history.len(),
+            1,
+            "eight queued appends must become one tick"
+        );
+        let only = &history[0];
+        // The tick ran at the latest submitted time with all data ingested.
+        assert_eq!(only.time, 72.0);
+        let stats = engine.stats();
+        assert_eq!(stats.ticks, 1);
+        assert_eq!(stats.coalesced, 7);
+        assert_accounting(&stats);
+        drop(engine);
+    }
+
+    #[test]
+    fn block_policy_loses_nothing_under_pressure() {
+        let engine = Arc::new(ClusterEngine::spawn(engine_config(
+            2,
+            2,
+            BackpressurePolicy::Block,
+        )));
+        let submissions_per_app = 25;
+        let producers: Vec<_> = (0..4u64)
+            .map(|app_raw| {
+                let engine = engine.clone();
+                std::thread::spawn(move || {
+                    for tick in 0..submissions_per_app {
+                        let start = tick as f64 * 10.0;
+                        let outcome = engine.submit(
+                            AppId::new(app_raw),
+                            burst(2, start, 2.0, 1_000_000_000),
+                            start + 2.0,
+                        );
+                        assert!(outcome.accepted(), "block policy must never refuse");
+                    }
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 4 * submissions_per_app);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.dropped, 0);
+        assert_accounting(&stats);
+        // max_batch = 1: every submission is its own prediction.
+        let results = engine.all_predictions();
+        let total: usize = results.values().map(Vec::len).sum();
+        assert_eq!(total, 4 * submissions_per_app as usize);
+    }
+
+    #[test]
+    fn block_policy_parks_the_producer_until_a_slot_frees() {
+        let engine = Arc::new(ClusterEngine::spawn(engine_config(
+            1,
+            2,
+            BackpressurePolicy::Block,
+        )));
+        let gate = Gate::new();
+        engine.stall_shard(0, gate.clone());
+        gate.wait_entered();
+        let app = AppId::new(1);
+        // Fill the queue to capacity while the worker is parked.
+        for tick in 0..2 {
+            let start = tick as f64 * 10.0;
+            assert_eq!(
+                engine.submit(app, burst(1, start, 1.0, 1_000_000), start + 1.0),
+                SubmitOutcome::Enqueued
+            );
+        }
+        // The next submission must block until the gate opens.
+        let unblocked = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let producer = {
+            let engine = engine.clone();
+            let unblocked = unblocked.clone();
+            std::thread::spawn(move || {
+                let outcome = engine.submit(app, burst(1, 20.0, 1.0, 1_000_000), 21.0);
+                unblocked.store(true, Ordering::SeqCst);
+                assert!(outcome.accepted());
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert!(
+            !unblocked.load(Ordering::SeqCst),
+            "producer should be parked on the full queue"
+        );
+        gate.open();
+        producer.join().unwrap();
+        engine.flush();
+        assert_eq!(engine.predictions(app).len(), 3);
+        assert_accounting(&engine.stats());
+    }
+
+    #[test]
+    fn drop_oldest_policy_evicts_the_stalest_submission() {
+        let engine = ClusterEngine::spawn(engine_config(1, 3, BackpressurePolicy::DropOldest));
+        let gate = Gate::new();
+        engine.stall_shard(0, gate.clone());
+        gate.wait_entered();
+        let app = AppId::new(9);
+        // Five submissions into a 3-slot queue: the two oldest get evicted.
+        for tick in 0..5 {
+            let start = tick as f64 * 10.0;
+            let outcome = engine.submit(app, burst(1, start, 1.0, 1_000_000), start + 1.0);
+            assert!(outcome.accepted());
+            if tick >= 3 {
+                assert_eq!(outcome, SubmitOutcome::EnqueuedAfterDrop(1));
+            }
+        }
+        gate.open();
+        engine.flush();
+        let history = engine.predictions(app);
+        assert_eq!(history.len(), 3);
+        // The survivors are the three *freshest* submissions (now = 21, 31, 41).
+        let times: Vec<f64> = history.iter().map(|p| p.time).collect();
+        assert_eq!(times, vec![21.0, 31.0, 41.0]);
+        let stats = engine.stats();
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(stats.rejected, 0);
+        assert_accounting(&stats);
+        drop(engine);
+    }
+
+    #[test]
+    fn reject_policy_refuses_when_full_and_keeps_queued_work() {
+        let engine = ClusterEngine::spawn(engine_config(1, 2, BackpressurePolicy::Reject));
+        let gate = Gate::new();
+        engine.stall_shard(0, gate.clone());
+        gate.wait_entered();
+        let app = AppId::new(3);
+        assert_eq!(
+            engine.submit(app, burst(1, 0.0, 1.0, 1_000_000), 1.0),
+            SubmitOutcome::Enqueued
+        );
+        assert_eq!(
+            engine.submit(app, burst(1, 10.0, 1.0, 1_000_000), 11.0),
+            SubmitOutcome::Enqueued
+        );
+        // Queue full: the next two are refused, not silently dropped.
+        for _ in 0..2 {
+            assert_eq!(
+                engine.submit(app, burst(1, 20.0, 1.0, 1_000_000), 21.0),
+                SubmitOutcome::Rejected
+            );
+        }
+        gate.open();
+        engine.flush();
+        assert_eq!(engine.predictions(app).len(), 2);
+        let stats = engine.stats();
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.dropped, 0);
+        assert_accounting(&stats);
+        drop(engine);
+    }
+
+    /// A submit racing engine shutdown must be *refused*, not lost, parked,
+    /// or panicking — this is the contract a producer thread relies on while
+    /// another thread drops the engine. Closing a shard queue directly stands
+    /// in for the close step of `shutdown()` (same code path), which lets the
+    /// test observe the rejection while the engine handle is still alive.
+    #[test]
+    fn submissions_after_close_are_rejected_not_lost() {
+        let engine = ClusterEngine::spawn(engine_config(1, 8, BackpressurePolicy::Block));
+        let app = AppId::new(0);
+        engine.submit(app, burst(1, 0.0, 1.0, 1_000_000), 1.0);
+        engine.flush();
+        engine.shards[0].close();
+        assert_eq!(
+            engine.submit(app, burst(1, 10.0, 1.0, 1_000_000), 11.0),
+            SubmitOutcome::Rejected
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_accounting(&stats);
+        // The pre-close submission survives shutdown untouched.
+        let results = engine.finish();
+        assert_eq!(results.values().map(Vec::len).sum::<usize>(), 1);
+    }
+
+    /// Seeded randomized equivalence: with coalescing disabled, routing many
+    /// applications through the sharded engine yields *identical* predictions
+    /// to running each application on its own single-threaded predictor.
+    #[test]
+    fn sharded_results_match_single_threaded_per_app_runs() {
+        let mut rng = StdRng::seed_from_u64(0xc1c5_7e12);
+        for case in 0..4 {
+            let apps = rng.gen_range(3usize..10);
+            let shards = rng.gen_range(1usize..5);
+            // Per app: a period and a number of flushes.
+            let specs: Vec<(f64, usize)> = (0..apps)
+                .map(|_| (rng.gen_range(6.0f64..25.0), rng.gen_range(4usize..9)))
+                .collect();
+            // Build the global submission schedule, interleaved across apps in
+            // time order (the order the cluster would see).
+            let mut events: Vec<(usize, Vec<IoRequest>, f64)> = Vec::new();
+            for (app, &(period, flushes)) in specs.iter().enumerate() {
+                for tick in 0..flushes {
+                    let start = tick as f64 * period;
+                    events.push((app, burst(3, start, 2.0, 1_500_000_000), start + 2.0));
+                }
+            }
+            events.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+
+            let engine = ClusterEngine::spawn(ClusterConfig {
+                shards,
+                queue_capacity: 512,
+                max_batch: 1,
+                policy: BackpressurePolicy::Block,
+                ftio: fast_config(),
+                strategy: WindowStrategy::Adaptive { multiple: 3 },
+            });
+            let mut reference: Vec<OnlinePredictor> = (0..apps)
+                .map(|_| {
+                    OnlinePredictor::new(fast_config(), WindowStrategy::Adaptive { multiple: 3 })
+                })
+                .collect();
+            let mut reference_results: Vec<Vec<OnlinePrediction>> = vec![Vec::new(); apps];
+            for (app, requests, now) in events {
+                engine.submit(AppId::new(app as u64), requests.clone(), now);
+                reference[app].ingest(requests);
+                reference_results[app].push(reference[app].predict(now));
+            }
+            let sharded = engine.finish();
+            for (app, expected) in reference_results.iter().enumerate() {
+                let got = &sharded[&AppId::new(app as u64)];
+                assert_eq!(got.len(), expected.len(), "case {case} app {app}");
+                for (g, e) in got.iter().zip(expected) {
+                    assert_eq!(g.time, e.time, "case {case} app {app}");
+                    assert_eq!(g.window_start, e.window_start, "case {case} app {app}");
+                    assert_eq!(g.window_end, e.window_end, "case {case} app {app}");
+                    assert_eq!(g.period(), e.period(), "case {case} app {app}");
+                    assert_eq!(g.confidence(), e.confidence(), "case {case} app {app}");
+                }
+            }
+        }
+    }
+
+    /// Acceptance criterion: steady-state cluster ticks run entirely on cached
+    /// FFT plans and already-grown scratch, across every shard thread. The
+    /// shard workers export their thread-local `plan_cache` counters after
+    /// each batch, which makes the property observable from the test thread.
+    #[test]
+    fn steady_state_cluster_ticks_build_no_plans_and_grow_no_scratch() {
+        let config = FtioConfig {
+            sampling_freq: 2.0,
+            use_autocorrelation: true,
+            ..Default::default()
+        };
+        let engine = ClusterEngine::spawn(ClusterConfig {
+            shards: 2,
+            queue_capacity: 256,
+            max_batch: 1,
+            policy: BackpressurePolicy::Block,
+            ftio: config,
+            strategy: WindowStrategy::Fixed { length: 300.0 },
+        });
+        let apps: Vec<AppId> = (0..4).map(AppId::new).collect();
+        let period = 10.0;
+        // History long enough that every analysed window is exactly 300 s
+        // (600 samples at fs = 2), delivered as one pre-submission per app.
+        for &app in &apps {
+            let mut history = Vec::new();
+            for tick in 0..40 {
+                history.extend(burst(4, tick as f64 * period, 2.0, 2_000_000_000));
+            }
+            engine.submit(app, history, 400.0);
+        }
+        // Warm every shard's plan cache for a few ticks.
+        for tick in 1..4 {
+            for &app in &apps {
+                let now = 400.0 + tick as f64 * period;
+                engine.submit(app, burst(4, now - 2.0, 2.0, 2_000_000_000), now);
+            }
+        }
+        engine.flush();
+        let before = engine.plan_cache_stats();
+        for tick in 4..11 {
+            for &app in &apps {
+                let now = 400.0 + tick as f64 * period;
+                engine.submit(app, burst(4, now - 2.0, 2.0, 2_000_000_000), now);
+            }
+        }
+        engine.flush();
+        let after = engine.plan_cache_stats();
+        assert_eq!(before.len(), after.len());
+        for (shard, (b, a)) in before.iter().zip(&after).enumerate() {
+            assert_eq!(
+                a.plans_built(),
+                b.plans_built(),
+                "shard {shard} built FFT plans in steady state: {b:?} -> {a:?}"
+            );
+            assert_eq!(
+                a.scratch_grows, b.scratch_grows,
+                "shard {shard} grew FFT scratch in steady state: {b:?} -> {a:?}"
+            );
+            // Sanity: the shard actually went through the cached spectral path.
+            assert!(a.plan_hits > b.plan_hits, "shard {shard} ran no ticks");
+        }
+        let results = engine.finish();
+        for &app in &apps {
+            assert_eq!(results[&app].len(), 11);
+        }
+    }
+
+    // ----- concurrency-stress lane (CI runs these with `--ignored`) -----
+
+    /// Hundreds of applications through a saturated 8-shard engine under the
+    /// lossless Block policy: nothing may be lost, per-app order must hold,
+    /// and the engine must converge on every application's period.
+    #[test]
+    #[ignore = "concurrency stress — run via the CI stress lane or with --ignored"]
+    fn cluster_stress_block_policy_hundreds_of_apps() {
+        let apps = 256usize;
+        let flushes = 6usize;
+        let engine = Arc::new(ClusterEngine::spawn(ClusterConfig {
+            shards: 8,
+            queue_capacity: 64,
+            max_batch: 8,
+            policy: BackpressurePolicy::Block,
+            ftio: fast_config(),
+            strategy: WindowStrategy::FullHistory,
+        }));
+        let mut rng = StdRng::seed_from_u64(0x57e5_0001);
+        let periods: Vec<f64> = (0..apps).map(|_| rng.gen_range(6.0f64..30.0)).collect();
+        // Four producer threads, each driving a quarter of the fleet.
+        let producers: Vec<_> = (0..4usize)
+            .map(|producer| {
+                let engine = engine.clone();
+                let periods = periods.clone();
+                std::thread::spawn(move || {
+                    let mine = (producer * apps / 4)..((producer + 1) * apps / 4);
+                    for tick in 0..flushes {
+                        for (app, &period) in periods.iter().enumerate() {
+                            if !mine.contains(&app) {
+                                continue;
+                            }
+                            let start = tick as f64 * period;
+                            let outcome = engine.submit(
+                                AppId::new(app as u64),
+                                burst(2, start, 2.0, 1_000_000_000),
+                                start + 2.0,
+                            );
+                            assert!(outcome.accepted());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, (apps * flushes) as u64);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.dropped, 0);
+        assert_accounting(&stats);
+        let results = engine.all_predictions();
+        assert_eq!(results.len(), apps);
+        let mut converged = 0usize;
+        for (app, &period) in periods.iter().enumerate() {
+            let history = &results[&AppId::new(app as u64)];
+            assert!(!history.is_empty(), "app {app} has no predictions");
+            // The final tick always covers the full submitted history.
+            let last = history.last().unwrap();
+            assert_eq!(last.time, (flushes - 1) as f64 * period + 2.0);
+            for pair in history.windows(2) {
+                assert!(pair[1].time > pair[0].time, "app {app} out of order");
+            }
+            if let Some(detected) = last.period() {
+                if (detected - period).abs() < 0.25 * period {
+                    converged += 1;
+                }
+            }
+        }
+        // Six clean bursts are plenty: the vast majority must converge.
+        assert!(
+            converged * 10 >= apps * 8,
+            "only {converged}/{apps} converged"
+        );
+    }
+
+    /// DropOldest under deliberate saturation: park every shard, hammer the
+    /// tiny queues from multiple producers, then release and verify the
+    /// books balance (processed + dropped == submitted) with real drops.
+    #[test]
+    #[ignore = "concurrency stress — run via the CI stress lane or with --ignored"]
+    fn cluster_stress_drop_oldest_saturation() {
+        let engine = Arc::new(ClusterEngine::spawn(ClusterConfig {
+            shards: 2,
+            queue_capacity: 4,
+            max_batch: 4,
+            policy: BackpressurePolicy::DropOldest,
+            ftio: fast_config(),
+            strategy: WindowStrategy::FullHistory,
+        }));
+        let gates = [Gate::new(), Gate::new()];
+        for (shard, gate) in gates.iter().enumerate() {
+            engine.stall_shard(shard, gate.clone());
+            gate.wait_entered();
+        }
+        let producers: Vec<_> = (0..4u64)
+            .map(|producer| {
+                let engine = engine.clone();
+                std::thread::spawn(move || {
+                    for tick in 0..200u64 {
+                        let app = AppId::new(producer * 16 + tick % 16);
+                        let start = tick as f64 * 5.0;
+                        let outcome =
+                            engine.submit(app, burst(1, start, 1.0, 1_000_000), start + 1.0);
+                        assert!(outcome.accepted(), "drop-oldest never refuses");
+                    }
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        for gate in &gates {
+            gate.open();
+        }
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 800);
+        assert_eq!(stats.rejected, 0);
+        assert!(
+            stats.dropped > 0,
+            "4-slot queues under 800 submissions must drop"
+        );
+        assert_accounting(&stats);
+        let processed: usize = engine.all_predictions().values().map(Vec::len).sum();
+        assert!(processed > 0);
+    }
+
+    /// Reject under deliberate saturation: rejected submissions are reported
+    /// to the caller, accepted ones are all processed, and nothing deadlocks.
+    #[test]
+    #[ignore = "concurrency stress — run via the CI stress lane or with --ignored"]
+    fn cluster_stress_reject_saturation() {
+        let engine = Arc::new(ClusterEngine::spawn(ClusterConfig {
+            shards: 2,
+            queue_capacity: 4,
+            max_batch: 1,
+            policy: BackpressurePolicy::Reject,
+            ftio: fast_config(),
+            strategy: WindowStrategy::FullHistory,
+        }));
+        let gates = [Gate::new(), Gate::new()];
+        for (shard, gate) in gates.iter().enumerate() {
+            engine.stall_shard(shard, gate.clone());
+            gate.wait_entered();
+        }
+        let accepted_total = Arc::new(AtomicU64::new(0));
+        let producers: Vec<_> = (0..4u64)
+            .map(|producer| {
+                let engine = engine.clone();
+                let accepted_total = accepted_total.clone();
+                std::thread::spawn(move || {
+                    for tick in 0..200u64 {
+                        let app = AppId::new(producer * 16 + tick % 16);
+                        let start = tick as f64 * 5.0;
+                        let outcome =
+                            engine.submit(app, burst(1, start, 1.0, 1_000_000), start + 1.0);
+                        if outcome.accepted() {
+                            accepted_total.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        for gate in &gates {
+            gate.open();
+        }
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 800);
+        assert!(stats.rejected > 0, "full 4-slot queues must reject");
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(
+            stats.submitted - stats.rejected,
+            accepted_total.load(Ordering::Relaxed)
+        );
+        assert_accounting(&stats);
+        let processed: u64 = engine
+            .all_predictions()
+            .values()
+            .map(|v| v.len() as u64)
+            .sum();
+        assert_eq!(processed, accepted_total.load(Ordering::Relaxed));
+    }
+}

@@ -10,7 +10,7 @@
 //! 5. optionally refine the confidence with the autocorrelation
 //!    ([`crate::autocorrelation`]),
 //! 6. characterise the signal given the detected period
-//!    ([`crate::characterize`]).
+//!    ([`mod@crate::characterize`]).
 
 use ftio_trace::{AppTrace, Heatmap};
 

@@ -21,8 +21,8 @@
 //! | §II-A data gathering | [`sampling`] (on top of `ftio-trace`) |
 //! | §II-B1 DFT | [`spectrum_info`] (on top of `ftio-dsp`) |
 //! | §II-B2 outlier detection | [`outlier`], [`dominant`] |
-//! | §II-C confidence + characterisation | [`dominant`], [`autocorrelation`], [`characterize`] |
-//! | §II-D online prediction | [`online`], [`freq_merge`] |
+//! | §II-C confidence + characterisation | [`dominant`], [`autocorrelation`], [`mod@characterize`] |
+//! | §II-D online prediction | [`online`], [`freq_merge`], [`cluster`] (multi-application scale-out) |
 //! | §II-E parameter selection | [`sampling`] (abstraction error, fs recommendation) |
 //! | Figs. 2/13/14 reconstruction | [`reconstruct`] |
 //!
@@ -49,6 +49,7 @@
 
 pub mod autocorrelation;
 pub mod characterize;
+pub mod cluster;
 pub mod config;
 pub mod detection;
 pub mod dominant;
@@ -62,6 +63,9 @@ pub mod spectrum_info;
 
 pub use autocorrelation::{analyze_acf, AcfAnalysis};
 pub use characterize::{characterize, io_ratio, Characterization};
+pub use cluster::{
+    AppPredictions, BackpressurePolicy, ClusterConfig, ClusterEngine, ClusterStats, SubmitOutcome,
+};
 pub use config::{FtioConfig, OutlierMethod};
 pub use detection::{
     detect_heatmap, detect_signal, detect_trace, detect_trace_window, DetectionResult,

@@ -17,12 +17,9 @@
 //! mirroring the paper's "new child process every time new I/O measurements
 //! are appended" deployment.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use ftio_trace::{AppId, AppTrace, IoRequest};
 
-use ftio_trace::{AppTrace, IoRequest};
-
+use crate::cluster::{BackpressurePolicy, ClusterConfig, ClusterEngine};
 use crate::config::FtioConfig;
 use crate::detection::{detect_trace_window, DetectionResult};
 use crate::freq_merge::{merge_predictions, FrequencyInterval, FrequencyPrediction};
@@ -178,81 +175,56 @@ impl OnlinePredictor {
     }
 }
 
-/// A request to the background prediction engine.
-enum EngineMessage {
-    /// New trace data followed by a prediction at the given time.
-    Predict { requests: Vec<IoRequest>, now: f64 },
-    /// Stop the worker.
-    Shutdown,
-}
-
-/// Asynchronous wrapper around [`OnlinePredictor`]: a worker thread receives
-/// flushed data through a channel, runs the prediction, and appends the result
-/// to a shared store — the Rust equivalent of the paper's per-evaluation child
-/// process with shared memory between processes.
+/// Asynchronous wrapper around [`OnlinePredictor`] for a *single* application:
+/// a worker thread receives flushed data through a queue, runs the prediction,
+/// and appends the result to a shared store — the Rust equivalent of the
+/// paper's per-evaluation child process with shared memory between processes.
+///
+/// Since the sharded [`ClusterEngine`] landed, this type is simply its
+/// 1-shard special case with coalescing disabled (`max_batch = 1`, so every
+/// submission yields exactly one prediction) and an effectively unbounded
+/// queue under the lossless [`BackpressurePolicy::Block`].
+/// Shutdown is deterministic: dropping or finishing the engine closes the
+/// queue, *drains* every submission accepted so far, and only then joins the
+/// worker — a racing submit can be refused, but never silently lost.
 pub struct PredictionEngine {
-    sender: Sender<EngineMessage>,
-    results: Arc<Mutex<Vec<OnlinePrediction>>>,
-    handle: Option<JoinHandle<()>>,
+    cluster: ClusterEngine,
+    app: AppId,
 }
 
 impl PredictionEngine {
     /// Spawns the engine with the given configuration and window strategy.
     pub fn spawn(config: FtioConfig, strategy: WindowStrategy) -> Self {
-        let (sender, receiver): (Sender<EngineMessage>, Receiver<EngineMessage>) = channel();
-        let results: Arc<Mutex<Vec<OnlinePrediction>>> = Arc::new(Mutex::new(Vec::new()));
-        let results_for_worker = results.clone();
-        let handle = std::thread::spawn(move || {
-            let mut predictor = OnlinePredictor::new(config, strategy);
-            while let Ok(message) = receiver.recv() {
-                match message {
-                    EngineMessage::Predict { requests, now } => {
-                        predictor.ingest(requests);
-                        let prediction = predictor.predict(now);
-                        results_for_worker
-                            .lock()
-                            .expect("engine mutex poisoned")
-                            .push(prediction);
-                    }
-                    EngineMessage::Shutdown => break,
-                }
-            }
+        let cluster = ClusterEngine::spawn(ClusterConfig {
+            shards: 1,
+            queue_capacity: usize::MAX,
+            max_batch: 1,
+            policy: BackpressurePolicy::Block,
+            ftio: config,
+            strategy,
         });
         PredictionEngine {
-            sender,
-            results,
-            handle: Some(handle),
+            cluster,
+            app: AppId::from_name("online"),
         }
     }
 
     /// Submits newly flushed requests and asks for a prediction at time `now`.
     /// Returns immediately; the result appears in [`PredictionEngine::predictions`].
     pub fn submit(&self, requests: Vec<IoRequest>, now: f64) {
-        let _ = self.sender.send(EngineMessage::Predict { requests, now });
+        let _ = self.cluster.submit(self.app, requests, now);
     }
 
     /// Snapshot of all predictions computed so far, in submission order.
     pub fn predictions(&self) -> Vec<OnlinePrediction> {
-        self.results.lock().expect("engine mutex poisoned").clone()
+        self.cluster.predictions(self.app)
     }
 
-    /// Stops the worker and returns all predictions.
-    pub fn finish(mut self) -> Vec<OnlinePrediction> {
-        let _ = self.sender.send(EngineMessage::Shutdown);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
-        let results = self.results.lock().expect("engine mutex poisoned").clone();
-        results
-    }
-}
-
-impl Drop for PredictionEngine {
-    fn drop(&mut self) {
-        let _ = self.sender.send(EngineMessage::Shutdown);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+    /// Stops the worker — draining everything submitted so far — and returns
+    /// all predictions.
+    pub fn finish(self) -> Vec<OnlinePrediction> {
+        let app = self.app;
+        self.cluster.finish().remove(&app).unwrap_or_default()
     }
 }
 
@@ -466,5 +438,40 @@ mod tests {
         }
         assert_eq!(engine.predictions().len(), 2);
         drop(engine);
+    }
+
+    /// Shutdown must be deterministic: dropping the engine drains every
+    /// accepted submission before the worker is joined, so the final
+    /// prediction of a burst of appends is never silently lost. (The old
+    /// channel-based engine enqueued a `Shutdown` sentinel from `Drop`, and a
+    /// racing append after the sentinel vanished without a trace.)
+    #[test]
+    fn dropping_the_engine_drains_in_flight_predictions() {
+        for round in 0..8usize {
+            let engine = PredictionEngine::spawn(config(), WindowStrategy::FullHistory);
+            // Keep the result store alive past the engine to observe what the
+            // worker wrote during the drop-triggered drain.
+            let results = engine.cluster.results_handle();
+            let submissions = 3 + round % 4;
+            for i in 0..submissions {
+                let start = i as f64 * 9.0;
+                engine.submit(burst(start, 1.5, 1_200_000_000), start + 1.5);
+            }
+            // Drop immediately: the worker may not have started any of the
+            // submissions yet — all of them are "in flight".
+            drop(engine);
+            let drained: usize = results
+                .lock()
+                .expect("results poisoned")
+                .values()
+                .map(Vec::len)
+                .sum();
+            assert_eq!(
+                drained,
+                submissions,
+                "round {round}: drop lost {} in-flight predictions",
+                submissions - drained
+            );
+        }
     }
 }

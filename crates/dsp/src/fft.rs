@@ -512,7 +512,7 @@ pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
 
 /// Forward half-spectrum DFT of a real-valued signal: bins `0..=N/2`.
 ///
-/// Re-exported from [`crate::rfft`]; see [`crate::rfft::RealFft`] for the
+/// Re-exported from [`mod@crate::rfft`]; see [`crate::rfft::RealFft`] for the
 /// zero-allocation plan API.
 pub use crate::rfft::rfft;
 

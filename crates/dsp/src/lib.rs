@@ -6,10 +6,10 @@
 //! The crate provides everything the FTIO analysis needs, implemented from
 //! scratch with no numeric dependencies:
 //!
-//! * [`fft`] — fast Fourier transform for arbitrary lengths (mixed-radix
+//! * [`mod@fft`] — fast Fourier transform for arbitrary lengths (mixed-radix
 //!   with radix-4/2 kernels, and Bluestein), plus a naive DFT for
 //!   cross-checking;
-//! * [`rfft`] — the real-input FFT fast path: FTIO's signals are real, so
+//! * [`mod@rfft`] — the real-input FFT fast path: FTIO's signals are real, so
 //!   their spectra are conjugate-symmetric and an `N`-point transform reduces
 //!   to an `N/2`-point complex FFT plus an `O(N)` recombination — half the
 //!   arithmetic and memory traffic of the complex path;

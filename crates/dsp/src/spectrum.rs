@@ -26,7 +26,7 @@ pub struct Spectrum {
 impl Spectrum {
     /// Computes the single-sided spectrum of `signal` sampled at `sampling_freq` Hz.
     ///
-    /// The bins come from the real-input FFT path ([`crate::rfft`]): only the
+    /// The bins come from the real-input FFT path ([`mod@crate::rfft`]): only the
     /// `N/2 + 1` single-sided bins are stored, computed for even `N` via an
     /// `N/2`-point complex transform (half the work); odd lengths run a
     /// complex transform internally and keep just the half spectrum. The FFT

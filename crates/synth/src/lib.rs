@@ -20,6 +20,8 @@
 //! * [`lammps`], [`hacc`], [`nek5000`], [`miniio`] — case-study-shaped
 //!   workloads (§III-B and Fig. 6);
 //! * [`scenarios`] — the Fig. 1 / Fig. 4 phase-boundary illustration;
+//! * [`multi_app`] — seeded application *fleets* (many concurrent periodic
+//!   writers with ground truth) driving the cluster engine and its benches;
 //! * [`distributions`] — the truncated-normal and exponential samplers.
 //!
 //! # Quick example
@@ -40,6 +42,7 @@ pub mod hacc;
 pub mod ior;
 pub mod lammps;
 pub mod miniio;
+pub mod multi_app;
 pub mod nek5000;
 pub mod noise;
 pub mod scenarios;
@@ -47,6 +50,7 @@ pub mod semi;
 pub mod sweep;
 
 pub use ior::{IoPhase, IorBenchmarkConfig, IorPhaseConfig, PhaseLibrary};
+pub use multi_app::{AppStream, FlushEvent, MultiAppConfig, MultiAppWorkload};
 pub use noise::NoiseLevel;
 pub use semi::{generate as generate_semi_synthetic, SemiSyntheticConfig, SemiSyntheticTrace};
 pub use sweep::SweepPoint;

@@ -1,0 +1,234 @@
+//! Multi-application workload generation for the cluster engine.
+//!
+//! The paper evaluates the online mode one application at a time; the
+//! "monitor a whole cluster" scenario needs a *fleet*: many applications with
+//! different periods, phases and sizes, all appending I/O data concurrently.
+//! This module generates such fleets — every application is a clean periodic
+//! burst writer with its own seeded period and start offset — together with
+//! the flush schedule the cluster engine replays and the per-application
+//! ground truth the accuracy checks compare against.
+
+use ftio_trace::{AppId, IoRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a generated application fleet.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiAppConfig {
+    /// Number of applications.
+    pub apps: usize,
+    /// I/O phases (and therefore flushes/predictions) per application.
+    pub flushes_per_app: usize,
+    /// Ranks writing in each application's burst.
+    pub ranks_per_app: usize,
+    /// Periods are drawn uniformly from this range (seconds).
+    pub period_range: (f64, f64),
+    /// Fraction of the period spent inside the I/O burst.
+    pub burst_fraction: f64,
+    /// Aggregate bytes written per burst (split across ranks).
+    pub bytes_per_burst: u64,
+}
+
+impl Default for MultiAppConfig {
+    fn default() -> Self {
+        MultiAppConfig {
+            apps: 16,
+            flushes_per_app: 8,
+            ranks_per_app: 4,
+            period_range: (8.0, 32.0),
+            burst_fraction: 0.2,
+            bytes_per_burst: 2_000_000_000,
+        }
+    }
+}
+
+/// One application of the fleet: a periodic burst writer.
+#[derive(Clone, Debug)]
+pub struct AppStream {
+    /// Routing id of the application (`AppId::new(index)`).
+    pub app: AppId,
+    /// Human-readable name (`fleet-<index>`).
+    pub name: String,
+    /// True period between burst starts in seconds — the ground truth.
+    pub period: f64,
+    /// Start offset of the first burst in seconds.
+    pub offset: f64,
+    /// Burst duration in seconds.
+    pub burst_duration: f64,
+    /// Ranks writing each burst.
+    pub ranks: usize,
+    /// Aggregate bytes per burst.
+    pub bytes_per_burst: u64,
+}
+
+impl AppStream {
+    /// The requests of burst `index` plus the time the application flushes
+    /// them (the end of the burst) — one submission to the cluster engine.
+    pub fn flush(&self, index: usize) -> (Vec<IoRequest>, f64) {
+        let start = self.offset + index as f64 * self.period;
+        let end = start + self.burst_duration;
+        let per_rank = (self.bytes_per_burst / self.ranks.max(1) as u64).max(1);
+        let requests = (0..self.ranks)
+            .map(|rank| IoRequest::write(rank, start, end, per_rank))
+            .collect();
+        (requests, end)
+    }
+}
+
+/// One entry of the global flush schedule.
+#[derive(Clone, Debug)]
+pub struct FlushEvent {
+    /// Application that appended the data.
+    pub app: AppId,
+    /// The freshly appended requests.
+    pub requests: Vec<IoRequest>,
+    /// Time of the flush (prediction time).
+    pub now: f64,
+}
+
+/// A generated fleet of applications.
+#[derive(Clone, Debug)]
+pub struct MultiAppWorkload {
+    /// The applications, indexed by their raw [`AppId`].
+    pub apps: Vec<AppStream>,
+    flushes_per_app: usize,
+}
+
+impl MultiAppWorkload {
+    /// Generates a fleet from the configuration and seed.
+    pub fn generate(config: &MultiAppConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (lo, hi) = config.period_range;
+        let apps = (0..config.apps)
+            .map(|index| {
+                let period = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                let offset = rng.gen_range(0.0..period);
+                AppStream {
+                    app: AppId::new(index as u64),
+                    name: format!("fleet-{index}"),
+                    period,
+                    offset,
+                    burst_duration: (period * config.burst_fraction).max(0.5),
+                    ranks: config.ranks_per_app.max(1),
+                    bytes_per_burst: config.bytes_per_burst,
+                }
+            })
+            .collect();
+        MultiAppWorkload {
+            apps,
+            flushes_per_app: config.flushes_per_app,
+        }
+    }
+
+    /// The ground-truth period of an application, if it is part of the fleet.
+    pub fn truth(&self, app: AppId) -> Option<f64> {
+        self.apps
+            .iter()
+            .find(|stream| stream.app == app)
+            .map(|stream| stream.period)
+    }
+
+    /// The global flush schedule: every application's flushes, interleaved in
+    /// time order — the submission stream a cluster-wide monitor would see.
+    pub fn events(&self) -> Vec<FlushEvent> {
+        let mut events: Vec<FlushEvent> = self
+            .apps
+            .iter()
+            .flat_map(|stream| {
+                (0..self.flushes_per_app).map(|index| {
+                    let (requests, now) = stream.flush(index);
+                    FlushEvent {
+                        app: stream.app,
+                        requests,
+                        now,
+                    }
+                })
+            })
+            .collect();
+        events.sort_by(|a, b| {
+            a.now
+                .partial_cmp(&b.now)
+                .expect("flush times are finite")
+                .then(a.app.cmp(&b.app))
+        });
+        events
+    }
+
+    /// Total number of flush events.
+    pub fn total_flushes(&self) -> usize {
+        self.apps.len() * self.flushes_per_app
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_respects_the_configuration() {
+        let config = MultiAppConfig {
+            apps: 12,
+            flushes_per_app: 5,
+            ranks_per_app: 3,
+            period_range: (10.0, 20.0),
+            ..Default::default()
+        };
+        let workload = MultiAppWorkload::generate(&config, 0xF1EE7);
+        assert_eq!(workload.apps.len(), 12);
+        assert_eq!(workload.total_flushes(), 60);
+        for stream in &workload.apps {
+            assert!(stream.period >= 10.0 && stream.period < 20.0);
+            assert!(stream.offset >= 0.0 && stream.offset < stream.period);
+            assert_eq!(workload.truth(stream.app), Some(stream.period));
+        }
+        assert_eq!(workload.truth(AppId::new(999)), None);
+    }
+
+    #[test]
+    fn flushes_are_periodic_and_volume_exact() {
+        let config = MultiAppConfig::default();
+        let workload = MultiAppWorkload::generate(&config, 42);
+        let stream = &workload.apps[0];
+        let (first, first_now) = stream.flush(0);
+        let (second, second_now) = stream.flush(1);
+        assert_eq!(first.len(), config.ranks_per_app);
+        assert!((second_now - first_now - stream.period).abs() < 1e-9);
+        let volume: u64 = first.iter().map(|r| r.bytes).sum();
+        let per_rank = config.bytes_per_burst / config.ranks_per_app as u64;
+        assert_eq!(volume, per_rank * config.ranks_per_app as u64);
+        assert!(first.iter().all(|r| r.is_valid()));
+        assert!(second[0].start > first[0].end - 1e-9);
+    }
+
+    #[test]
+    fn events_are_globally_time_ordered() {
+        let workload = MultiAppWorkload::generate(&MultiAppConfig::default(), 7);
+        let events = workload.events();
+        assert_eq!(events.len(), workload.total_flushes());
+        for pair in events.windows(2) {
+            assert!(pair[1].now >= pair[0].now);
+        }
+        // Every app appears exactly flushes_per_app times.
+        for stream in &workload.apps {
+            let count = events.iter().filter(|e| e.app == stream.app).count();
+            assert_eq!(count, 8);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fleet_different_seed_different_fleet() {
+        let config = MultiAppConfig::default();
+        let a = MultiAppWorkload::generate(&config, 1);
+        let b = MultiAppWorkload::generate(&config, 1);
+        let c = MultiAppWorkload::generate(&config, 2);
+        for (x, y) in a.apps.iter().zip(&b.apps) {
+            assert_eq!(x.period, y.period);
+            assert_eq!(x.offset, y.offset);
+        }
+        assert!(a
+            .apps
+            .iter()
+            .zip(&c.apps)
+            .any(|(x, y)| x.period != y.period));
+    }
+}

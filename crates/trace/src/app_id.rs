@@ -1,0 +1,121 @@
+//! Typed application identifiers.
+//!
+//! The online mode monitors *many* applications at once (the "monitor a whole
+//! cluster" scenario): every appended I/O batch must be routed to the
+//! predictor state of the application that produced it. A bare `u64` or the
+//! application name string would both work, but a newtype keeps the routing
+//! key distinct from ranks, byte counts and the other integers flying around,
+//! and gives the sharded engine one well-defined place for its hash.
+
+use std::fmt;
+
+/// Identifier of one traced application run.
+///
+/// Construct either from a raw integer (job id, slot index) or from a name via
+/// a stable FNV-1a hash, so the same application string always maps to the
+/// same id across processes and runs:
+///
+/// ```
+/// use ftio_trace::AppId;
+///
+/// let a = AppId::from_name("lammps-run-17");
+/// let b = AppId::from_name("lammps-run-17");
+/// assert_eq!(a, b);
+/// assert_ne!(a, AppId::from_name("lammps-run-18"));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(u64);
+
+impl AppId {
+    /// Wraps a raw identifier (job id, array index, ...).
+    pub const fn new(raw: u64) -> Self {
+        AppId(raw)
+    }
+
+    /// Derives a stable id from an application name (64-bit FNV-1a).
+    pub fn from_name(name: &str) -> Self {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        AppId(hash)
+    }
+
+    /// The raw identifier value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Maps this id onto one of `shards` buckets.
+    ///
+    /// The raw id is mixed first (splitmix64 finalizer) so that sequential ids
+    /// — the common case when apps are numbered 0, 1, 2, ... — still spread
+    /// evenly over any shard count instead of striding through it.
+    pub fn shard_index(self, shards: usize) -> usize {
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z % shards.max(1) as u64) as usize
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app-{:016x}", self.0)
+    }
+}
+
+impl From<u64> for AppId {
+    fn from(raw: u64) -> Self {
+        AppId::new(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_hashing_is_stable_and_distinct() {
+        assert_eq!(AppId::from_name("ior"), AppId::from_name("ior"));
+        assert_ne!(AppId::from_name("ior"), AppId::from_name("ior2"));
+        // FNV-1a of the empty string is the offset basis.
+        assert_eq!(AppId::from_name("").raw(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn shard_index_is_in_range_and_spreads_sequential_ids() {
+        for shards in [1usize, 2, 3, 4, 7, 8, 16] {
+            let mut counts = vec![0usize; shards];
+            for raw in 0..256u64 {
+                let idx = AppId::new(raw).shard_index(shards);
+                assert!(idx < shards);
+                counts[idx] += 1;
+            }
+            // No shard is starved: with 256 sequential ids every bucket gets
+            // at least a quarter of its fair share.
+            let fair = 256 / shards;
+            assert!(
+                counts.iter().all(|&c| c >= fair / 4),
+                "shards={shards} counts={counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_rather_than_dividing_by_zero() {
+        assert_eq!(AppId::new(42).shard_index(0), 0);
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let id = AppId::new(0xab);
+        assert_eq!(id.to_string(), "app-00000000000000ab");
+        assert_eq!(AppId::from(0xab_u64), id);
+        assert_eq!(id.raw(), 0xab);
+    }
+}

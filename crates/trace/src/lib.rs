@@ -7,6 +7,8 @@
 //! the analysis consumes:
 //!
 //! * [`request`] — rank-level I/O request records (start, end, bytes, kind);
+//! * [`app_id`] — typed application identifiers used to route trace data in
+//!   multi-application deployments;
 //! * [`app_trace`] — the merged application-level trace with windowing and
 //!   volume/duration queries;
 //! * [`bandwidth`] — the application-level bandwidth-over-time signal derived
@@ -34,6 +36,7 @@
 //! assert_eq!(samples.len(), 20);
 //! ```
 
+pub mod app_id;
 pub mod app_trace;
 pub mod bandwidth;
 pub mod collector;
@@ -44,6 +47,7 @@ pub mod msgpack;
 pub mod recorder;
 pub mod request;
 
+pub use app_id::AppId;
 pub use app_trace::{AppTrace, TraceMetadata};
 pub use bandwidth::BandwidthTimeline;
 pub use collector::{Collector, CollectorStats, FlushMode, MemorySink, TraceFormat, TraceSink};

@@ -1,7 +1,7 @@
 //! MessagePack-subset binary trace format.
 //!
 //! TMIO can flush its records either as JSON Lines or as MessagePack (paper
-//! §II-A, [22]). This module implements the subset of the MessagePack wire
+//! §II-A, ref. \[22\]). This module implements the subset of the MessagePack wire
 //! format needed to serialise request records compactly: positive integers
 //! (fixint / uint8 / uint16 / uint32 / uint64), float64, fixstr, and arrays
 //! (fixarray / array16 / array32).

@@ -44,11 +44,12 @@ pub use ftio_trace as trace;
 /// The most commonly used types and functions, re-exported flat.
 pub mod prelude {
     pub use ftio_core::{
-        detect_heatmap, detect_signal, detect_trace, detect_trace_window, DetectionResult,
-        FtioConfig, OnlinePredictor, OutlierMethod, PeriodicityVerdict, WindowStrategy,
+        detect_heatmap, detect_signal, detect_trace, detect_trace_window, BackpressurePolicy,
+        ClusterConfig, ClusterEngine, DetectionResult, FtioConfig, OnlinePredictor, OutlierMethod,
+        PeriodicityVerdict, WindowStrategy,
     };
     pub use ftio_sched::{ExperimentConfig, SchedulerVariant};
     pub use ftio_sim::{FileSystem, JobSpec, Simulator};
     pub use ftio_synth::{PhaseLibrary, SemiSyntheticConfig};
-    pub use ftio_trace::{AppTrace, BandwidthTimeline, Heatmap, IoRequest};
+    pub use ftio_trace::{AppId, AppTrace, BandwidthTimeline, Heatmap, IoRequest};
 }
