@@ -3,12 +3,14 @@
 //! Usage:
 //!
 //! ```text
-//! ftio <trace-file> [options]
+//! ftio [detect] <trace-file> [options]
 //! ftio --demo [options]
+//! ftio replay <trace-file> [replay options]
 //! ftio cluster [cluster options]
 //!
 //! options:
-//!   --format jsonl|msgpack|recorder|darshan   input format (default: by extension)
+//!   --format auto|jsonl|msgpack|tmio-json|tmio-msgpack|darshan-parser|heatmap|recorder
+//!            input format (default: auto — sniff content, then extension)
 //!   --freq <hz>                               sampling frequency (default 10)
 //!   --tolerance <0..1>                        candidate tolerance (default 0.8)
 //!   --no-autocorrelation                      skip the ACF refinement
@@ -16,23 +18,32 @@
 //!   --demo                                    analyse a generated demo trace instead of a file
 //! ```
 //!
-//! The tool mirrors the reference implementation's offline mode: it reads the
-//! trace produced by the collector (JSON Lines or MessagePack), a
-//! Recorder-style text trace, or a Darshan-style heatmap, and prints the FTIO
-//! detection report. The `cluster` subcommand instead drives a synthetic
-//! multi-application fleet through the sharded online engine (`ftio cluster
-//! --help` lists its options).
+//! The tool mirrors the reference implementation's offline mode: every
+//! supported trace format (this crate's JSON Lines / MessagePack, TMIO-native
+//! JSON/MessagePack profiles, `darshan-parser` text output including DXT,
+//! Recorder text, Darshan-style heatmaps) is ingested through one streaming
+//! `TraceSource` pipeline with content sniffing, and the FTIO detection
+//! report is printed. The `replay` subcommand streams a trace file through
+//! the sharded cluster engine instead; `cluster` drives a synthetic
+//! multi-application fleet through it (`--help` on either lists options).
 
 use std::process::ExitCode;
 
 use ftio_cli::cluster::{parse_cluster_options, run_cluster, CLUSTER_USAGE};
+use ftio_cli::replay::{parse_replay_options, run_replay, REPLAY_USAGE};
 use ftio_cli::{load_trace, parse_common_options, print_usage_and_exit};
 use ftio_core::{detect_heatmap, detect_signal, report, sample_trace, sample_trace_window};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("cluster") {
-        return run_cluster_command(&args[1..]);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("cluster") => return run_cluster_command(&args[1..]),
+        Some("replay") => return run_replay_command(&args[1..]),
+        // `ftio detect <file>` is the explicit spelling of the bare form.
+        Some("detect") => {
+            args.remove(0);
+        }
+        _ => {}
     }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         print_usage_and_exit("ftio");
@@ -84,6 +95,32 @@ fn main() -> ExitCode {
         None => {
             println!("==> no dominant frequency found (signal not periodic)");
             ExitCode::SUCCESS
+        }
+    }
+}
+
+/// `ftio replay ...`: stream a trace file through the sharded cluster engine
+/// and print the replay/detection report.
+fn run_replay_command(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{REPLAY_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let options = match parse_replay_options(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_replay(&options) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
         }
     }
 }

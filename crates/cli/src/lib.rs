@@ -1,65 +1,30 @@
 //! # ftio-cli
 //!
-//! Shared plumbing of the command-line tools `ftio` (offline detection and
-//! the `cluster` multi-application subcommand) and `predictor` (online
-//! prediction): argument parsing, trace-file loading for the supported
-//! formats (JSON Lines, MessagePack, Recorder text, Darshan heatmap), a
-//! generated demo workload for quick experimentation, and the [`cluster`]
-//! fleet driver.
+//! Shared plumbing of the command-line tools `ftio` (offline detection via
+//! `ftio detect`, file replay via `ftio replay`, the `cluster` fleet driver)
+//! and `predictor` (online prediction): argument parsing, the streaming
+//! trace-ingestion front-end (`ftio_trace::source` with `--format auto`
+//! content sniffing), a generated demo workload for quick experimentation,
+//! and the [`cluster`] / [`replay`] drivers.
 
 pub mod cluster;
+pub mod replay;
 
 use std::path::Path;
 
 use ftio_core::FtioConfig;
 use ftio_synth::hacc::{generate as generate_hacc, HaccConfig};
-use ftio_trace::{jsonl, msgpack, recorder, AppTrace, Heatmap};
+use ftio_trace::source::{drain_single, open_path_as, DrainedInput, SourceFormat};
+use ftio_trace::{AppTrace, Heatmap};
 
-/// Input trace formats supported by the tools.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum InputFormat {
-    /// One JSON object per request per line (TMIO online format).
-    JsonLines,
-    /// MessagePack array of request arrays (TMIO binary format).
-    MessagePack,
-    /// Recorder-style text trace.
-    Recorder,
-    /// Darshan-style heatmap text file.
-    Darshan,
-}
-
-impl InputFormat {
-    /// Parses a `--format` value.
-    pub fn parse(s: &str) -> Option<Self> {
-        match s.to_ascii_lowercase().as_str() {
-            "jsonl" | "json" | "jsonlines" => Some(InputFormat::JsonLines),
-            "msgpack" | "messagepack" | "mp" => Some(InputFormat::MessagePack),
-            "recorder" | "rec" => Some(InputFormat::Recorder),
-            "darshan" | "heatmap" => Some(InputFormat::Darshan),
-            _ => None,
-        }
-    }
-
-    /// Guesses the format from a file extension.
-    pub fn from_extension(path: &str) -> Option<Self> {
-        let ext = Path::new(path).extension()?.to_str()?.to_ascii_lowercase();
-        match ext.as_str() {
-            "jsonl" | "json" => Some(InputFormat::JsonLines),
-            "msgpack" | "mp" | "bin" => Some(InputFormat::MessagePack),
-            "txt" | "recorder" => Some(InputFormat::Recorder),
-            "darshan" | "heatmap" | "csv" => Some(InputFormat::Darshan),
-            _ => None,
-        }
-    }
-}
-
-/// Options shared by both tools.
+/// Options shared by the detection tools.
 #[derive(Clone, Debug, Default)]
 pub struct CliOptions {
     /// Path of the input trace, or `None` when `--demo` was given.
     pub input: Option<String>,
-    /// Explicit input format (otherwise derived from the extension).
-    pub format: Option<InputFormat>,
+    /// Explicit input format; `None` means auto-detect (content sniffing with
+    /// an extension fallback).
+    pub format: Option<SourceFormat>,
     /// Analysis configuration (sampling frequency, tolerance, ACF, ...).
     pub config: FtioConfig,
     /// Optional analysis window `[t0, t1)`.
@@ -77,13 +42,28 @@ pub enum LoadedInput {
     Heatmap(Heatmap),
 }
 
+/// The `--format` values accepted by the tools.
+pub const FORMAT_HELP: &str =
+    "auto|jsonl|msgpack|tmio-json|tmio-msgpack|darshan-parser|heatmap|recorder";
+
+/// Parses a `--format` value; `auto` maps to `None` (content sniffing).
+pub fn parse_format(value: &str) -> Result<Option<SourceFormat>, String> {
+    if value.eq_ignore_ascii_case("auto") {
+        return Ok(None);
+    }
+    SourceFormat::parse(value)
+        .map(Some)
+        .ok_or(format!("unknown format `{value}` (expected {FORMAT_HELP})"))
+}
+
 /// Prints the usage text of `tool` and exits.
 pub fn print_usage_and_exit(tool: &str) -> ! {
     println!(
-        "usage: {tool} <trace-file> [options]\n\
+        "usage: {tool} [detect] <trace-file> [options]\n\
          \n\
          options:\n\
-         \x20 --format jsonl|msgpack|recorder|darshan   input format (default: by extension)\n\
+         \x20 --format {FORMAT_HELP}\n\
+         \x20          input format (default: auto — sniff content, then extension)\n\
          \x20 --freq <hz>                               sampling frequency (default 10)\n\
          \x20 --tolerance <0..1>                        candidate tolerance (default 0.8)\n\
          \x20 --no-autocorrelation                      skip the ACF refinement\n\
@@ -93,6 +73,9 @@ pub fn print_usage_and_exit(tool: &str) -> ! {
     if tool == "ftio" {
         println!(
             "\nsubcommands:\n\
+             \x20 detect     offline detection on a trace file (same as the bare form)\n\
+             \x20 replay     replay a trace file through the sharded cluster engine\n\
+             \x20            (see `ftio replay --help`)\n\
              \x20 cluster    drive a synthetic multi-application fleet through the\n\
              \x20            sharded online engine (see `ftio cluster --help`)"
         );
@@ -100,7 +83,7 @@ pub fn print_usage_and_exit(tool: &str) -> ! {
     std::process::exit(0);
 }
 
-/// Parses the options shared by both tools.
+/// Parses the options shared by the detection tools.
 pub fn parse_common_options(args: &[String]) -> Result<CliOptions, String> {
     let mut options = CliOptions::default();
     let mut i = 0;
@@ -110,8 +93,7 @@ pub fn parse_common_options(args: &[String]) -> Result<CliOptions, String> {
             "--no-autocorrelation" => options.config.use_autocorrelation = false,
             "--format" => {
                 let value = next_value(args, &mut i, "--format")?;
-                options.format =
-                    Some(InputFormat::parse(&value).ok_or(format!("unknown format `{value}`"))?);
+                options.format = parse_format(&value)?;
             }
             "--freq" => {
                 let value = next_value(args, &mut i, "--freq")?;
@@ -154,14 +136,16 @@ pub fn parse_common_options(args: &[String]) -> Result<CliOptions, String> {
     Ok(options)
 }
 
-fn next_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+pub(crate) fn next_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
     *i += 1;
     args.get(*i)
         .cloned()
         .ok_or(format!("missing value for {flag}"))
 }
 
-/// Loads the input described by the options (or builds the demo workload).
+/// Loads the input described by the options (or builds the demo workload) —
+/// opens a streaming [`ftio_trace::source::TraceSource`] for the file and
+/// drains it, so every supported format goes through one ingestion pipeline.
 pub fn load_trace(options: &CliOptions) -> Result<LoadedInput, String> {
     if options.demo {
         return Ok(LoadedInput::Trace(demo_trace()));
@@ -170,40 +154,15 @@ pub fn load_trace(options: &CliOptions) -> Result<LoadedInput, String> {
         .input
         .as_ref()
         .expect("validated by parse_common_options");
-    let format = options
-        .format
-        .or_else(|| InputFormat::from_extension(path))
-        .ok_or_else(|| format!("cannot determine the format of `{path}`; pass --format"))?;
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    match format {
-        InputFormat::JsonLines => {
-            let text =
-                String::from_utf8(bytes).map_err(|_| "trace is not valid UTF-8".to_string())?;
-            let requests = jsonl::decode_requests(&text).map_err(|e| e.to_string())?;
-            Ok(LoadedInput::Trace(requests_to_trace(path, requests)))
-        }
-        InputFormat::MessagePack => {
-            let requests = msgpack::decode_requests(&bytes).map_err(|e| e.to_string())?;
-            Ok(LoadedInput::Trace(requests_to_trace(path, requests)))
-        }
-        InputFormat::Recorder => {
-            let text =
-                String::from_utf8(bytes).map_err(|_| "trace is not valid UTF-8".to_string())?;
-            let requests = recorder::decode_requests(&text).map_err(|e| e.to_string())?;
-            Ok(LoadedInput::Trace(requests_to_trace(path, requests)))
-        }
-        InputFormat::Darshan => {
-            let text =
-                String::from_utf8(bytes).map_err(|_| "heatmap is not valid UTF-8".to_string())?;
-            let heatmap = Heatmap::from_text(&text).map_err(|e| e.to_string())?;
-            Ok(LoadedInput::Heatmap(heatmap))
-        }
+    if !Path::new(path).exists() {
+        return Err(format!("cannot read `{path}`: no such file"));
     }
-}
-
-fn requests_to_trace(path: &str, requests: Vec<ftio_trace::IoRequest>) -> AppTrace {
-    let ranks = requests.iter().map(|r| r.rank + 1).max().unwrap_or(0);
-    AppTrace::from_requests(path, ranks, requests)
+    let (_, mut source) =
+        open_path_as(Path::new(path), options.format).map_err(|e| e.to_string())?;
+    match drain_single(source.as_mut(), path).map_err(|e| e.to_string())? {
+        DrainedInput::Trace(trace) => Ok(LoadedInput::Trace(trace)),
+        DrainedInput::Heatmap(heatmap) => Ok(LoadedInput::Heatmap(heatmap)),
+    }
 }
 
 /// The demo workload: a HACC-IO-shaped run with ten periodic I/O phases.
@@ -219,33 +178,26 @@ pub fn demo_flush_points() -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ftio_trace::{jsonl, msgpack};
 
     fn strings(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]
-    fn format_parsing_and_extensions() {
-        assert_eq!(InputFormat::parse("jsonl"), Some(InputFormat::JsonLines));
+    fn format_parsing_accepts_auto_and_names() {
+        assert_eq!(parse_format("auto").unwrap(), None);
+        assert_eq!(parse_format("AUTO").unwrap(), None);
+        assert_eq!(parse_format("jsonl").unwrap(), Some(SourceFormat::Jsonl));
         assert_eq!(
-            InputFormat::parse("MSGPACK"),
-            Some(InputFormat::MessagePack)
-        );
-        assert_eq!(InputFormat::parse("darshan"), Some(InputFormat::Darshan));
-        assert_eq!(InputFormat::parse("nope"), None);
-        assert_eq!(
-            InputFormat::from_extension("a/b/trace.jsonl"),
-            Some(InputFormat::JsonLines)
+            parse_format("tmio-json").unwrap(),
+            Some(SourceFormat::TmioJson)
         );
         assert_eq!(
-            InputFormat::from_extension("trace.msgpack"),
-            Some(InputFormat::MessagePack)
+            parse_format("darshan-parser").unwrap(),
+            Some(SourceFormat::DarshanParser)
         );
-        assert_eq!(
-            InputFormat::from_extension("trace.heatmap"),
-            Some(InputFormat::Darshan)
-        );
-        assert_eq!(InputFormat::from_extension("trace"), None);
+        assert!(parse_format("nope").is_err());
     }
 
     #[test]
@@ -257,6 +209,8 @@ mod tests {
             "--tolerance",
             "0.6",
             "--no-autocorrelation",
+            "--format",
+            "auto",
             "--window",
             "10",
             "200",
@@ -266,6 +220,7 @@ mod tests {
         assert_eq!(options.config.sampling_freq, 2.5);
         assert_eq!(options.config.tolerance, 0.6);
         assert!(!options.config.use_autocorrelation);
+        assert_eq!(options.format, None);
         assert_eq!(options.window, Some((10.0, 200.0)));
     }
 
@@ -326,6 +281,20 @@ mod tests {
         let _ = std::fs::remove_file(jsonl_path);
         let _ = std::fs::remove_file(mp_path);
         let _ = std::fs::remove_file(hm_path);
+    }
+
+    #[test]
+    fn auto_detection_beats_a_lying_extension() {
+        // MessagePack bytes behind a `.jsonl` extension: content sniffing wins.
+        let demo = demo_trace();
+        let path = std::env::temp_dir().join("ftio_cli_lying_extension.jsonl");
+        std::fs::write(&path, msgpack::encode_requests(demo.requests())).unwrap();
+        let options = parse_common_options(&strings(&[path.to_str().unwrap()])).unwrap();
+        match load_trace(&options).unwrap() {
+            LoadedInput::Trace(trace) => assert_eq!(trace.len(), demo.len()),
+            _ => panic!("expected a trace"),
+        }
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! The `ftio replay` subcommand: stream a recorded trace file through the
+//! sharded [`ClusterEngine`] and report replay throughput plus detection
+//! results.
+//!
+//! This is the file-driven twin of `ftio cluster`: instead of a synthetic
+//! fleet, the submissions come from a [`ftio_trace::source::TraceSource`]
+//! opened over a real trace file (any supported format, auto-detected), and
+//! the pacing can either push as fast as possible (`--pacing as-fast`,
+//! benchmark mode) or follow the recorded timestamps compressed by a speedup
+//! factor (`--pacing recorded:<speedup>`).
+
+use std::path::Path;
+use std::time::Instant;
+
+use ftio_core::{
+    BackpressurePolicy, ClusterConfig, ClusterEngine, FtioConfig, Pacing, WindowStrategy,
+};
+use ftio_trace::source::open_path_as;
+use ftio_trace::SourceFormat;
+
+use crate::{next_value, parse_format};
+
+/// Options of the `ftio replay` subcommand.
+#[derive(Clone, Debug)]
+pub struct ReplayCliOptions {
+    /// Path of the trace file to replay.
+    pub input: String,
+    /// Explicit input format (`None` = auto-detect).
+    pub format: Option<SourceFormat>,
+    /// Number of predictor shards.
+    pub shards: usize,
+    /// Bounded queue capacity per shard.
+    pub capacity: usize,
+    /// Maximum submissions of one application coalesced into a tick.
+    pub batch: usize,
+    /// Backpressure policy.
+    pub policy: BackpressurePolicy,
+    /// Replay pacing.
+    pub pacing: Pacing,
+    /// Sampling frequency of the analysis.
+    pub freq: f64,
+}
+
+impl Default for ReplayCliOptions {
+    fn default() -> Self {
+        ReplayCliOptions {
+            input: String::new(),
+            format: None,
+            shards: 4,
+            capacity: 256,
+            batch: 8,
+            policy: BackpressurePolicy::Block,
+            pacing: Pacing::AsFast,
+            freq: 2.0,
+        }
+    }
+}
+
+/// Usage text of the subcommand.
+pub const REPLAY_USAGE: &str = "usage: ftio replay <trace-file> [options]\n\
+     \n\
+     Stream a recorded trace file through the sharded cluster engine —\n\
+     batches are routed to shard queues at recorded or accelerated\n\
+     timestamps — and report replay throughput and detection results.\n\
+     \n\
+     options:\n\
+     \x20 --format auto|jsonl|msgpack|tmio-json|tmio-msgpack|darshan-parser|heatmap|recorder\n\
+     \x20          input format (default: auto)\n\
+     \x20 --shards <n>                predictor shards (default 4)\n\
+     \x20 --capacity <n>              per-shard queue capacity (default 256)\n\
+     \x20 --batch <n>                 max coalesced submissions per tick (default 8)\n\
+     \x20 --policy block|drop-oldest|reject   backpressure policy (default block)\n\
+     \x20 --pacing as-fast|recorded[:<speedup>]   replay pacing (default as-fast)\n\
+     \x20 --freq <hz>                 sampling frequency for request traces (default 2)";
+
+/// Parses the arguments following `ftio replay`.
+pub fn parse_replay_options(args: &[String]) -> Result<ReplayCliOptions, String> {
+    let mut options = ReplayCliOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                let value = next_value(args, &mut i, "--format")?;
+                options.format = parse_format(&value)?;
+            }
+            "--shards" => options.shards = parse_count(args, &mut i, "--shards")?,
+            "--capacity" => options.capacity = parse_count(args, &mut i, "--capacity")?,
+            "--batch" => options.batch = parse_count(args, &mut i, "--batch")?,
+            "--policy" => {
+                let value = next_value(args, &mut i, "--policy")?;
+                options.policy = BackpressurePolicy::parse(&value)
+                    .ok_or(format!("unknown backpressure policy `{value}`"))?;
+            }
+            "--pacing" => {
+                let value = next_value(args, &mut i, "--pacing")?;
+                options.pacing = Pacing::parse(&value).ok_or(format!(
+                    "unknown pacing `{value}` (expected as-fast or recorded[:<speedup>])"
+                ))?;
+            }
+            "--freq" => {
+                let value = next_value(args, &mut i, "--freq")?;
+                options.freq = value
+                    .parse()
+                    .map_err(|_| format!("invalid sampling frequency `{value}`"))?;
+                if !(options.freq.is_finite() && options.freq > 0.0) {
+                    return Err(format!("invalid sampling frequency `{value}`"));
+                }
+            }
+            other if other.starts_with("--") => {
+                return Err(format!(
+                    "unknown replay option `{other}` (see `ftio replay --help`)"
+                ))
+            }
+            path => {
+                if !options.input.is_empty() {
+                    return Err(format!("unexpected extra argument `{path}`"));
+                }
+                options.input = path.to_string();
+            }
+        }
+        i += 1;
+    }
+    if options.input.is_empty() {
+        return Err("no input file given".into());
+    }
+    if options.shards == 0 || options.capacity == 0 || options.batch == 0 {
+        return Err("--shards, --capacity and --batch must be at least 1".into());
+    }
+    Ok(options)
+}
+
+fn parse_count(args: &[String], i: &mut usize, flag: &str) -> Result<usize, String> {
+    let value = next_value(args, i, flag)?;
+    value
+        .parse()
+        .map_err(|_| format!("invalid value `{value}` for {flag}"))
+}
+
+/// Opens the file, replays it through the engine and renders the report.
+pub fn run_replay(options: &ReplayCliOptions) -> Result<String, String> {
+    let (format, mut source) =
+        open_path_as(Path::new(&options.input), options.format).map_err(|e| e.to_string())?;
+    let config = FtioConfig {
+        sampling_freq: options.freq,
+        use_autocorrelation: false,
+        ..Default::default()
+    };
+    config.validate()?;
+    let engine = ClusterEngine::spawn(ClusterConfig {
+        shards: options.shards,
+        queue_capacity: options.capacity,
+        max_batch: options.batch,
+        policy: options.policy,
+        ftio: config,
+        strategy: WindowStrategy::Adaptive { multiple: 3 },
+    });
+
+    let started = Instant::now();
+    let replay = engine
+        .replay(source.as_mut(), options.pacing)
+        .map_err(|e| e.to_string())?;
+    engine.flush();
+    let elapsed = started.elapsed();
+    let stats = engine.stats();
+    let results = engine.finish();
+
+    let pacing = match options.pacing {
+        Pacing::AsFast => "as-fast".to_string(),
+        Pacing::Recorded { speedup } => format!("recorded:{speedup}"),
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "replay: {} ({}), {} shards, capacity {}, batch {}, policy {}, pacing {}\n",
+        options.input,
+        format.as_str(),
+        options.shards,
+        options.capacity,
+        options.batch,
+        options.policy.as_str(),
+        pacing
+    ));
+    out.push_str(&format!(
+        "source: {} batches, {} requests, {} accepted, {} rejected\n\n",
+        replay.batches, replay.requests, replay.accepted, replay.rejected
+    ));
+    let mut apps: Vec<_> = results.iter().collect();
+    apps.sort_by_key(|(app, _)| **app);
+    for (app, history) in &apps {
+        let detected = history.last().and_then(|p| p.period());
+        match detected {
+            Some(period) => out.push_str(&format!(
+                "{app}: {} predictions, period {period:.2} s (confidence {:.1} %)\n",
+                history.len(),
+                history
+                    .last()
+                    .map(|p| p.confidence() * 100.0)
+                    .unwrap_or(0.0)
+            )),
+            None => out.push_str(&format!(
+                "{app}: {} predictions, no dominant frequency\n",
+                history.len()
+            )),
+        }
+    }
+    out.push_str(&format!(
+        "\nsubmitted {}  ticks {}  coalesced {}  dropped {}  rejected {}\n",
+        stats.submitted, stats.ticks, stats.coalesced, stats.dropped, stats.rejected
+    ));
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    out.push_str(&format!(
+        "wall time {:.1} ms  ({:.0} requests/s through the engine)\n",
+        secs * 1e3,
+        replay.requests as f64 / secs
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftio_trace::{jsonl, IoRequest};
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_are_parsed() {
+        let options = parse_replay_options(&strings(&[
+            "trace.jsonl",
+            "--shards",
+            "2",
+            "--capacity",
+            "64",
+            "--batch",
+            "4",
+            "--policy",
+            "reject",
+            "--pacing",
+            "recorded:25",
+            "--freq",
+            "1.5",
+            "--format",
+            "jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(options.input, "trace.jsonl");
+        assert_eq!(options.shards, 2);
+        assert_eq!(options.capacity, 64);
+        assert_eq!(options.batch, 4);
+        assert_eq!(options.policy, BackpressurePolicy::Reject);
+        assert_eq!(options.pacing, Pacing::Recorded { speedup: 25.0 });
+        assert_eq!(options.freq, 1.5);
+        assert_eq!(options.format, Some(SourceFormat::Jsonl));
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        assert!(parse_replay_options(&[]).is_err());
+        assert!(parse_replay_options(&strings(&["a", "b"])).is_err());
+        assert!(parse_replay_options(&strings(&["a", "--pacing", "warp"])).is_err());
+        assert!(parse_replay_options(&strings(&["a", "--shards", "0"])).is_err());
+        assert!(parse_replay_options(&strings(&["a", "--freq", "-1"])).is_err());
+        assert!(parse_replay_options(&strings(&["a", "--bogus"])).is_err());
+        let options = parse_replay_options(&strings(&["trace.msgpack"])).unwrap();
+        assert_eq!(options.pacing, Pacing::AsFast);
+        assert_eq!(options.format, None);
+    }
+
+    #[test]
+    fn replaying_a_periodic_file_finds_the_period() {
+        let mut requests = Vec::new();
+        for tick in 0..10 {
+            let start = tick as f64 * 10.0;
+            for rank in 0..2 {
+                requests.push(IoRequest::write(rank, start, start + 2.0, 500_000_000));
+            }
+        }
+        let path = std::env::temp_dir().join("ftio_replay_cli_test.jsonl");
+        std::fs::write(&path, jsonl::encode_requests(&requests)).unwrap();
+        let options = ReplayCliOptions {
+            input: path.to_str().unwrap().to_string(),
+            shards: 2,
+            ..Default::default()
+        };
+        let report = run_replay(&options).unwrap();
+        assert!(report.contains("jsonl"), "{report}");
+        assert!(report.contains("20 requests"), "{report}");
+        assert!(report.contains("period 10."), "{report}");
+        assert!(report.contains("requests/s"), "{report}");
+        let _ = std::fs::remove_file(path);
+    }
+}

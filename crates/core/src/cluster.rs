@@ -34,7 +34,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ftio_dsp::plan_cache::{self, PlanCacheStats};
-use ftio_trace::{AppId, IoRequest};
+use ftio_trace::source::TraceSource;
+use ftio_trace::{AppId, IoRequest, TraceResult};
 
 use crate::config::FtioConfig;
 use crate::online::{OnlinePrediction, OnlinePredictor, WindowStrategy};
@@ -128,6 +129,60 @@ impl SubmitOutcome {
     pub fn accepted(self) -> bool {
         !matches!(self, SubmitOutcome::Rejected)
     }
+}
+
+/// How [`ClusterEngine::replay`] paces submissions relative to the recorded
+/// timeline of the source.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pacing {
+    /// Push batches as fast as the backpressure policy admits them —
+    /// benchmark/batch mode.
+    AsFast,
+    /// Follow the recorded timestamps, accelerated by `speedup` (1.0 replays
+    /// in real time, 60.0 replays an hour of trace per minute). The producer
+    /// sleeps between submissions so the engine sees the recorded arrival
+    /// pattern.
+    Recorded {
+        /// Time-compression factor (must be positive).
+        speedup: f64,
+    },
+}
+
+impl Pacing {
+    /// Parses a pacing name as used by the `ftio replay` command line:
+    /// `as-fast` or `recorded[:<speedup>]`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "as-fast" | "asfast" | "fast" => Some(Pacing::AsFast),
+            "recorded" | "realtime" | "real-time" => Some(Pacing::Recorded { speedup: 1.0 }),
+            _ => {
+                let speedup: f64 = lower.strip_prefix("recorded:")?.parse().ok()?;
+                if speedup.is_finite() && speedup > 0.0 {
+                    Some(Pacing::Recorded { speedup })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Counters of one [`ClusterEngine::replay`] run. Together with
+/// [`ClusterStats`] the books balance: every replayed batch is either
+/// accepted or rejected, and `accepted == submitted - rejected` on the
+/// engine side when the replay was the engine's only producer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Batches pulled from the source.
+    pub batches: u64,
+    /// Requests carried by those batches (bin batches count their converted
+    /// request view).
+    pub requests: u64,
+    /// Submissions the engine accepted (queued, possibly after eviction).
+    pub accepted: u64,
+    /// Submissions the engine refused (full queue under `Reject`, shutdown).
+    pub rejected: u64,
 }
 
 /// Aggregate counters of a [`ClusterEngine`].
@@ -381,6 +436,42 @@ impl ClusterEngine {
     /// Number of shards (worker threads).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Replays a [`TraceSource`] through the shard queues: every batch becomes
+    /// one submission of its own application at the batch's recorded end time
+    /// (empty batches are skipped). [`Pacing::AsFast`] pushes back-to-back;
+    /// [`Pacing::Recorded`] sleeps so submissions arrive on the recorded
+    /// timeline compressed by `speedup`. Returns the replay-side counters;
+    /// call [`ClusterEngine::flush`] afterwards to wait for the matching
+    /// predictions.
+    pub fn replay(&self, source: &mut dyn TraceSource, pacing: Pacing) -> TraceResult<ReplayStats> {
+        let mut stats = ReplayStats::default();
+        let mut timeline_origin: Option<f64> = None;
+        let started = std::time::Instant::now();
+        while let Some(batch) = source.next_batch()? {
+            let app = batch.app;
+            let Some(now) = batch.end_time() else {
+                continue; // empty batch carries no submission time
+            };
+            if let Pacing::Recorded { speedup } = pacing {
+                let origin = *timeline_origin.get_or_insert(now);
+                let target = ((now - origin) / speedup).max(0.0);
+                let elapsed = started.elapsed().as_secs_f64();
+                if target > elapsed {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(target - elapsed));
+                }
+            }
+            let requests = batch.into_requests();
+            stats.batches += 1;
+            stats.requests += requests.len() as u64;
+            if self.submit(app, requests, now).accepted() {
+                stats.accepted += 1;
+            } else {
+                stats.rejected += 1;
+            }
+        }
+        Ok(stats)
     }
 
     /// Blocks until every queued submission has been processed and its result
@@ -854,6 +945,123 @@ mod tests {
         // The pre-close submission survives shutdown untouched.
         let results = engine.finish();
         assert_eq!(results.values().map(Vec::len).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn pacing_names_parse() {
+        assert_eq!(Pacing::parse("as-fast"), Some(Pacing::AsFast));
+        assert_eq!(Pacing::parse("AsFast"), Some(Pacing::AsFast));
+        assert_eq!(
+            Pacing::parse("recorded"),
+            Some(Pacing::Recorded { speedup: 1.0 })
+        );
+        assert_eq!(
+            Pacing::parse("recorded:50"),
+            Some(Pacing::Recorded { speedup: 50.0 })
+        );
+        assert_eq!(Pacing::parse("recorded:0"), None);
+        assert_eq!(Pacing::parse("recorded:-3"), None);
+        assert_eq!(Pacing::parse("warp"), None);
+    }
+
+    /// Replay routes per-app batches through the shard queues and the books
+    /// balance on both sides (satellite: replay stats reconcile).
+    #[test]
+    fn replay_routes_batches_and_stats_reconcile() {
+        use ftio_trace::source::{MemorySource, TraceBatch};
+        let engine = ClusterEngine::spawn(ClusterConfig {
+            max_batch: 1,
+            ..engine_config(2, 64, BackpressurePolicy::Block)
+        });
+        // Two apps, interleaved periodic batches.
+        let mut batches = Vec::new();
+        for tick in 0..6 {
+            for app in 0..2u64 {
+                let start = tick as f64 * 10.0 + app as f64;
+                batches.push(TraceBatch::requests(
+                    AppId::new(app),
+                    burst(2, start, 2.0, 1_000_000_000),
+                ));
+            }
+        }
+        let mut source = MemorySource::from_batches(AppId::new(0), batches);
+        let replay = engine.replay(&mut source, Pacing::AsFast).unwrap();
+        engine.flush();
+        assert_eq!(replay.batches, 12);
+        assert_eq!(replay.requests, 24);
+        assert_eq!(replay.rejected, 0);
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, replay.accepted + replay.rejected);
+        assert_eq!(stats.submitted - stats.rejected, replay.accepted);
+        assert_accounting(&stats);
+        let results = engine.finish();
+        assert_eq!(results.len(), 2);
+        for app in 0..2u64 {
+            let history = &results[&AppId::new(app)];
+            assert_eq!(history.len(), 6);
+            let period = history.last().unwrap().period().expect("periodic");
+            assert!((period - 10.0).abs() < 1.5, "period {period}");
+        }
+    }
+
+    /// Rejected replay submissions are counted on both sides of the books.
+    #[test]
+    fn replay_counts_rejections() {
+        use ftio_trace::source::{MemorySource, TraceBatch};
+        let engine = ClusterEngine::spawn(engine_config(1, 2, BackpressurePolicy::Reject));
+        let gate = Gate::new();
+        engine.stall_shard(0, gate.clone());
+        gate.wait_entered();
+        let batches: Vec<TraceBatch> = (0..5)
+            .map(|i| TraceBatch::requests(AppId::new(1), burst(1, i as f64 * 10.0, 1.0, 1_000_000)))
+            .collect();
+        let mut source = MemorySource::from_batches(AppId::new(1), batches);
+        let replay = engine.replay(&mut source, Pacing::AsFast).unwrap();
+        gate.open();
+        engine.flush();
+        assert_eq!(replay.batches, 5);
+        assert_eq!(replay.accepted + replay.rejected, 5);
+        assert!(replay.rejected > 0, "2-slot queue must reject under stall");
+        let stats = engine.stats();
+        assert_eq!(stats.rejected, replay.rejected);
+        assert_eq!(stats.submitted - stats.rejected, replay.accepted);
+        assert_accounting(&stats);
+        drop(engine);
+    }
+
+    /// Recorded pacing preserves results (the sleeps only shape arrival
+    /// times) and respects the compressed timeline.
+    #[test]
+    fn replay_recorded_pacing_matches_as_fast_results() {
+        use ftio_trace::source::{MemorySource, TraceBatch};
+        let make_batches = || -> Vec<TraceBatch> {
+            (0..5)
+                .map(|i| {
+                    TraceBatch::requests(
+                        AppId::new(3),
+                        burst(2, i as f64 * 12.0, 2.0, 1_500_000_000),
+                    )
+                })
+                .collect()
+        };
+        let run = |pacing: Pacing| {
+            let engine = ClusterEngine::spawn(ClusterConfig {
+                max_batch: 1,
+                ..engine_config(1, 64, BackpressurePolicy::Block)
+            });
+            let mut source = MemorySource::from_batches(AppId::new(3), make_batches());
+            let replay = engine.replay(&mut source, pacing).unwrap();
+            assert_eq!(replay.accepted, 5);
+            let results = engine.finish();
+            results[&AppId::new(3)]
+                .iter()
+                .map(|p| (p.time.to_bits(), p.period().map(f64::to_bits)))
+                .collect::<Vec<_>>()
+        };
+        let fast = run(Pacing::AsFast);
+        // 48 s of recorded timeline at 2000x -> ~24 ms of pacing sleeps.
+        let recorded = run(Pacing::Recorded { speedup: 2000.0 });
+        assert_eq!(fast, recorded);
     }
 
     /// Seeded randomized equivalence: with coalescing disabled, routing many

@@ -12,7 +12,8 @@
 //! 6. characterise the signal given the detected period
 //!    ([`mod@crate::characterize`]).
 
-use ftio_trace::{AppTrace, Heatmap};
+use ftio_trace::source::{drain_single, DrainedInput, TraceSource};
+use ftio_trace::{AppTrace, Heatmap, TraceResult};
 
 use crate::autocorrelation::{analyze_acf, AcfAnalysis};
 use crate::characterize::{characterize, Characterization};
@@ -171,6 +172,23 @@ pub fn detect_trace_window(
 pub fn detect_heatmap(heatmap: &Heatmap, config: &FtioConfig) -> DetectionResult {
     let signal = sample_heatmap(heatmap);
     detect_signal(&signal, config)
+}
+
+/// Offline detection over a streaming [`TraceSource`] — the entry point for
+/// real trace files opened with [`ftio_trace::source::open_path`]. The source
+/// is drained batch by batch; request data takes the [`detect_trace`] path at
+/// the configured sampling frequency, a bins-only source (Darshan heatmap
+/// profiles) takes the [`detect_heatmap`] path with the profile's own bin
+/// frequency — so streamed ingestion yields *identical* results to decoding
+/// the whole file and calling the materialised entry points.
+pub fn detect_source(
+    source: &mut dyn TraceSource,
+    config: &FtioConfig,
+) -> TraceResult<DetectionResult> {
+    match drain_single(source, "source")? {
+        DrainedInput::Trace(trace) => Ok(detect_trace(&trace, config)),
+        DrainedInput::Heatmap(heatmap) => Ok(detect_heatmap(&heatmap, config)),
+    }
 }
 
 /// Removes everything up to and including the first activity burst, which is
@@ -338,6 +356,41 @@ mod tests {
         assert_eq!(skip_first_phase(&[0.0, 0.0]), vec![0.0, 0.0]);
         // Burst that never ends: unchanged.
         assert_eq!(skip_first_phase(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn source_detection_equals_materialized_detection() {
+        use ftio_trace::{AppId, MemorySource};
+        let trace = periodic_trace(30.0, 6.0, 20, 4_000_000_000);
+        let config = FtioConfig::with_sampling_freq(1.0);
+        let materialized = detect_trace(&trace, &config);
+        // Stream the same trace in small batches through the source path.
+        let mut source = MemorySource::from_trace(AppId::new(0), &trace, 7);
+        let streamed = detect_source(&mut source, &config).unwrap();
+        assert_eq!(streamed.num_samples, materialized.num_samples);
+        assert_eq!(streamed.sampling_freq, materialized.sampling_freq);
+        assert_eq!(streamed.period(), materialized.period());
+        assert_eq!(streamed.confidence(), materialized.confidence());
+        assert_eq!(
+            streamed.refined_confidence(),
+            materialized.refined_confidence()
+        );
+    }
+
+    #[test]
+    fn source_detection_takes_the_heatmap_path_for_bins() {
+        use ftio_trace::{AppId, MemorySource};
+        let bins: Vec<f64> = (0..40)
+            .map(|i| if i % 4 == 0 { 8.0e9 } else { 0.0 })
+            .collect();
+        let heatmap = Heatmap::new(0.0, 100.0, bins);
+        let materialized = detect_heatmap(&heatmap, &FtioConfig::default());
+        let mut source = MemorySource::from_heatmap(AppId::new(0), &heatmap, 11);
+        let streamed = detect_source(&mut source, &FtioConfig::default()).unwrap();
+        // The profile's own bin frequency wins over the configured one.
+        assert_eq!(streamed.sampling_freq, 0.01);
+        assert_eq!(streamed.period(), materialized.period());
+        assert_eq!(streamed.confidence(), materialized.confidence());
     }
 
     #[test]

@@ -64,11 +64,13 @@ pub mod spectrum_info;
 pub use autocorrelation::{analyze_acf, AcfAnalysis};
 pub use characterize::{characterize, io_ratio, Characterization};
 pub use cluster::{
-    AppPredictions, BackpressurePolicy, ClusterConfig, ClusterEngine, ClusterStats, SubmitOutcome,
+    AppPredictions, BackpressurePolicy, ClusterConfig, ClusterEngine, ClusterStats, Pacing,
+    ReplayStats, SubmitOutcome,
 };
 pub use config::{FtioConfig, OutlierMethod};
 pub use detection::{
-    detect_heatmap, detect_signal, detect_trace, detect_trace_window, DetectionResult,
+    detect_heatmap, detect_signal, detect_source, detect_trace, detect_trace_window,
+    DetectionResult,
 };
 pub use dominant::{FrequencyCandidate, PeriodicityVerdict};
 pub use freq_merge::{merge_predictions, FrequencyInterval, FrequencyPrediction};

@@ -77,6 +77,33 @@ impl HaccWorkload {
         diffs.iter().sum::<f64>() / diffs.len() as f64
     }
 
+    /// The workload as a streaming
+    /// [`TraceSource`](ftio_trace::source::TraceSource), batched at the
+    /// recorded flush points: batch `i` carries the requests the application
+    /// would have appended by `flush_points[i]`, so replaying the source
+    /// reproduces the online mode's submission pattern.
+    pub fn to_source(&self) -> ftio_trace::source::MemorySource {
+        use ftio_trace::source::{MemorySource, TraceBatch};
+        let app = ftio_trace::AppId::from_name(&self.trace.metadata().application);
+        let mut requests = self.trace.requests().to_vec();
+        requests.sort_by(|a, b| a.end.partial_cmp(&b.end).expect("finite request times"));
+        let mut batches = Vec::with_capacity(self.flush_points.len() + 1);
+        let mut index = 0usize;
+        for &flush in &self.flush_points {
+            let from = index;
+            while index < requests.len() && requests[index].end <= flush + 1e-9 {
+                index += 1;
+            }
+            if index > from {
+                batches.push(TraceBatch::requests(app, requests[from..index].to_vec()));
+            }
+        }
+        if index < requests.len() {
+            batches.push(TraceBatch::requests(app, requests[index..].to_vec()));
+        }
+        MemorySource::from_batches(app, batches)
+    }
+
     /// Average period when the first (delayed) phase is excluded
     /// (the paper's 7.7 s).
     pub fn mean_period_without_first(&self) -> f64 {
@@ -180,6 +207,28 @@ mod tests {
         assert!(writes > 0);
         assert!(reads > 0);
         assert!(writes > reads, "write volume should dominate");
+    }
+
+    #[test]
+    fn to_source_batches_follow_the_flush_schedule() {
+        use ftio_trace::source::TraceSource;
+        let w = generate(&HaccConfig::default(), 0x5eed);
+        let mut source = w.to_source();
+        let mut total = 0usize;
+        let mut previous_end = f64::NEG_INFINITY;
+        let mut flush_index = 0usize;
+        while let Some(batch) = source.next_batch().unwrap() {
+            let end = batch.end_time().expect("non-empty batch");
+            assert!(end >= previous_end, "batches must be time-ordered");
+            previous_end = end;
+            // Every batch ends by its flush point.
+            while flush_index < w.flush_points.len() && w.flush_points[flush_index] + 1e-9 < end {
+                flush_index += 1;
+            }
+            assert!(flush_index <= w.flush_points.len());
+            total += batch.len();
+        }
+        assert_eq!(total, w.trace.len(), "no request may be lost");
     }
 
     #[test]

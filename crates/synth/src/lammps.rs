@@ -64,6 +64,15 @@ pub struct LammpsWorkload {
     pub mean_period: f64,
 }
 
+impl LammpsWorkload {
+    /// The workload as a streaming
+    /// [`TraceSource`](ftio_trace::source::TraceSource) (chunked request
+    /// batches).
+    pub fn to_source(&self) -> ftio_trace::source::MemorySource {
+        crate::trace_source(&self.trace)
+    }
+}
+
 /// Generates the LAMMPS-shaped trace.
 pub fn generate(config: &LammpsConfig, seed: u64) -> LammpsWorkload {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -49,6 +49,28 @@ pub mod scenarios;
 pub mod semi;
 pub mod sweep;
 
+use ftio_trace::source::{MemorySource, DEFAULT_BATCH_SIZE};
+use ftio_trace::{AppId, AppTrace, Heatmap};
+
+/// Wraps any generated trace as a streaming
+/// [`TraceSource`](ftio_trace::source::TraceSource), attributed to the
+/// trace's application name — every generator doubles as a source this way,
+/// so the same consumers (detection, replay, benches) run on synthetic and
+/// recorded data alike.
+pub fn trace_source(trace: &AppTrace) -> MemorySource {
+    MemorySource::from_trace(
+        AppId::from_name(&trace.metadata().application),
+        trace,
+        DEFAULT_BATCH_SIZE,
+    )
+}
+
+/// Wraps a generated heatmap (e.g. [`nek5000::generate`]) as a streaming
+/// bins source.
+pub fn heatmap_source(name: &str, heatmap: &Heatmap) -> MemorySource {
+    MemorySource::from_heatmap(AppId::from_name(name), heatmap, DEFAULT_BATCH_SIZE)
+}
+
 pub use ior::{IoPhase, IorBenchmarkConfig, IorPhaseConfig, PhaseLibrary};
 pub use multi_app::{AppStream, FlushEvent, MultiAppConfig, MultiAppWorkload};
 pub use noise::NoiseLevel;

@@ -8,6 +8,7 @@
 //! the flush schedule the cluster engine replays and the per-application
 //! ground truth the accuracy checks compare against.
 
+use ftio_trace::source::{MemorySource, TraceBatch};
 use ftio_trace::{AppId, IoRequest};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -158,6 +159,21 @@ impl MultiAppWorkload {
     pub fn total_flushes(&self) -> usize {
         self.apps.len() * self.flushes_per_app
     }
+
+    /// The fleet as a streaming [`TraceSource`](ftio_trace::source::TraceSource):
+    /// every flush event becomes one batch attributed to its application, in
+    /// global time order — exactly the stream `ClusterEngine::replay` expects,
+    /// which lets the engine benches sweep file-replay workloads without a
+    /// file.
+    pub fn to_source(&self) -> MemorySource {
+        let batches: Vec<TraceBatch> = self
+            .events()
+            .into_iter()
+            .map(|event| TraceBatch::requests(event.app, event.requests))
+            .collect();
+        let app = self.apps.first().map(|s| s.app).unwrap_or(AppId::new(0));
+        MemorySource::from_batches(app, batches)
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +229,27 @@ mod tests {
             let count = events.iter().filter(|e| e.app == stream.app).count();
             assert_eq!(count, 8);
         }
+    }
+
+    #[test]
+    fn to_source_mirrors_the_event_schedule() {
+        use ftio_trace::source::TraceSource;
+        let workload = MultiAppWorkload::generate(&MultiAppConfig::default(), 99);
+        let events = workload.events();
+        let mut source = workload.to_source();
+        let mut batch_count = 0usize;
+        for event in &events {
+            let batch = source
+                .next_batch()
+                .unwrap()
+                .expect("one batch per flush event");
+            batch_count += 1;
+            assert_eq!(batch.app, event.app);
+            assert_eq!(batch.end_time(), Some(event.now));
+            assert_eq!(batch.into_requests(), event.requests);
+        }
+        assert!(source.next_batch().unwrap().is_none());
+        assert_eq!(batch_count, workload.total_flushes());
     }
 
     #[test]

@@ -94,6 +94,13 @@ impl SemiSyntheticTrace {
         (detected_period - truth).abs() / truth
     }
 
+    /// The trace as a streaming
+    /// [`TraceSource`](ftio_trace::source::TraceSource) (chunked request
+    /// batches).
+    pub fn to_source(&self) -> ftio_trace::source::MemorySource {
+        crate::trace_source(&self.trace)
+    }
+
     /// Ground-truth ratio of time spent on I/O (mean of phase duration over period).
     pub fn io_time_ratio(&self) -> f64 {
         let period = self.mean_period();

@@ -32,12 +32,38 @@ impl Heatmap {
     ///
     /// Panics if `bin_width` is not strictly positive.
     pub fn new(start: f64, bin_width: f64, bins: Vec<f64>) -> Self {
-        assert!(bin_width > 0.0, "bin width must be positive");
+        assert!(
+            bin_width.is_finite() && bin_width > 0.0,
+            "bin width must be positive"
+        );
         Heatmap {
             start,
             bin_width,
             bins,
         }
+    }
+
+    /// Fallible constructor: rejects non-positive or non-finite bin widths and
+    /// non-finite start times instead of panicking — the ingestion paths use
+    /// this so corrupt profiles become [`TraceError`]s, not aborts.
+    pub fn try_new(start: f64, bin_width: f64, bins: Vec<f64>) -> TraceResult<Self> {
+        if !(bin_width.is_finite() && bin_width > 0.0) {
+            return Err(TraceError::invalid(
+                "bin_width",
+                format!("must be positive and finite, got {bin_width}"),
+            ));
+        }
+        if !start.is_finite() {
+            return Err(TraceError::invalid(
+                "start",
+                format!("must be finite, got {start}"),
+            ));
+        }
+        Ok(Heatmap {
+            start,
+            bin_width,
+            bins,
+        })
     }
 
     /// Builds a heatmap by binning an application trace. Each request's volume
@@ -78,19 +104,56 @@ impl Heatmap {
         self.bins.iter().sum()
     }
 
-    /// Total covered duration in seconds.
+    /// Total covered duration in seconds: `0.0` for an empty heatmap, exactly
+    /// `bin_width` for a single-bin heatmap.
     pub fn duration(&self) -> f64 {
         self.bins.len() as f64 * self.bin_width
     }
 
+    /// The sampling frequency FTIO derives from the heatmap, `1 / bin_width`,
+    /// or an error when the bin width is zero, negative or non-finite (only
+    /// possible for heatmaps assembled through the public fields — every
+    /// constructor and reader rejects such widths). A single-bin heatmap has a
+    /// perfectly valid sampling frequency; its *spectrum* just carries no
+    /// non-DC information.
+    pub fn try_sampling_freq(&self) -> TraceResult<f64> {
+        if self.bin_width.is_finite() && self.bin_width > 0.0 {
+            Ok(1.0 / self.bin_width)
+        } else {
+            Err(TraceError::invalid(
+                "bin_width",
+                format!(
+                    "cannot derive a sampling frequency from bin width {}",
+                    self.bin_width
+                ),
+            ))
+        }
+    }
+
     /// The sampling frequency FTIO derives from the heatmap: `1 / bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (instead of silently returning `inf`/`NaN`) when the bin width
+    /// is not strictly positive and finite; use [`Heatmap::try_sampling_freq`]
+    /// to handle that case as an error.
     pub fn sampling_freq(&self) -> f64 {
-        1.0 / self.bin_width
+        self.try_sampling_freq()
+            .expect("heatmap bin width must be positive and finite")
     }
 
     /// Converts the bins to a bandwidth signal in bytes/second (volume per bin
     /// divided by the bin width). This is the signal handed to the DFT step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bin width is not strictly positive and finite (see
+    /// [`Heatmap::sampling_freq`]).
     pub fn bandwidth_signal(&self) -> Vec<f64> {
+        assert!(
+            self.bin_width.is_finite() && self.bin_width > 0.0,
+            "heatmap bin width must be positive and finite"
+        );
         self.bins.iter().map(|v| v / self.bin_width).collect()
     }
 
@@ -130,48 +193,20 @@ impl Heatmap {
         out
     }
 
-    /// Parses the text format produced by [`Heatmap::to_text`].
+    /// Parses the text format produced by [`Heatmap::to_text`] — a thin
+    /// adapter that drains the streaming
+    /// [`crate::source::HeatmapTextSource`], so whole-file decoding and
+    /// chunked ingestion share one code path.
     pub fn from_text(text: &str) -> TraceResult<Heatmap> {
-        let mut lines = text.lines();
-        let header = lines.next().ok_or(TraceError::UnexpectedEof)?;
-        if !header.starts_with("# darshan-heatmap") {
-            return Err(TraceError::malformed("missing darshan-heatmap header", 1));
+        let mut source = crate::source::HeatmapTextSource::new(
+            text.as_bytes(),
+            crate::app_id::AppId::from_name("heatmap"),
+            crate::source::DEFAULT_BATCH_SIZE,
+        );
+        match crate::source::drain_single(&mut source, "heatmap")? {
+            crate::source::DrainedInput::Heatmap(heatmap) => Ok(heatmap),
+            crate::source::DrainedInput::Trace(_) => unreachable!("heatmap text has no requests"),
         }
-        let mut start = 0.0;
-        let mut bin_width = 0.0;
-        for token in header.split_whitespace() {
-            if let Some(v) = token.strip_prefix("start=") {
-                start = v
-                    .parse()
-                    .map_err(|_| TraceError::invalid("start", format!("not a number: {v}")))?;
-            } else if let Some(v) = token.strip_prefix("bin_width=") {
-                bin_width = v
-                    .parse()
-                    .map_err(|_| TraceError::invalid("bin_width", format!("not a number: {v}")))?;
-            }
-        }
-        if bin_width <= 0.0 {
-            return Err(TraceError::invalid("bin_width", "must be positive"));
-        }
-        let mut bins = Vec::new();
-        for (i, line) in lines.enumerate() {
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue;
-            }
-            let v: f64 = trimmed.parse().map_err(|_| {
-                TraceError::malformed(format!("invalid bin value `{trimmed}`"), i + 2)
-            })?;
-            if v < 0.0 {
-                return Err(TraceError::invalid("bin", "volume must be non-negative"));
-            }
-            bins.push(v);
-        }
-        Ok(Heatmap {
-            start,
-            bin_width,
-            bins,
-        })
     }
 }
 
@@ -309,5 +344,56 @@ mod tests {
     #[should_panic(expected = "bin width must be positive")]
     fn zero_bin_width_panics() {
         Heatmap::new(0.0, 0.0, vec![]);
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_widths_and_starts() {
+        assert!(Heatmap::try_new(0.0, 0.0, vec![]).is_err());
+        assert!(Heatmap::try_new(0.0, -1.0, vec![]).is_err());
+        assert!(Heatmap::try_new(0.0, f64::NAN, vec![]).is_err());
+        assert!(Heatmap::try_new(0.0, f64::INFINITY, vec![]).is_err());
+        assert!(Heatmap::try_new(f64::NAN, 1.0, vec![]).is_err());
+        assert!(Heatmap::try_new(5.0, 2.0, vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn degenerate_bin_width_is_an_error_not_infinity() {
+        // Only constructible through the public fields; the accessors must
+        // refuse rather than hand `inf` to the DFT.
+        let broken = Heatmap {
+            start: 0.0,
+            bin_width: 0.0,
+            bins: vec![1.0],
+        };
+        assert!(broken.try_sampling_freq().is_err());
+        let nan = Heatmap {
+            bin_width: f64::NAN,
+            ..broken.clone()
+        };
+        assert!(nan.try_sampling_freq().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width must be positive")]
+    fn sampling_freq_panics_on_zero_width_instead_of_inf() {
+        let broken = Heatmap {
+            start: 0.0,
+            bin_width: 0.0,
+            bins: vec![1.0],
+        };
+        let _ = broken.sampling_freq();
+    }
+
+    #[test]
+    fn single_bin_heatmap_has_documented_defaults() {
+        let h = Heatmap::new(5.0, 2.5, vec![100.0]);
+        assert_eq!(h.duration(), 2.5);
+        assert_eq!(h.sampling_freq(), 0.4);
+        assert_eq!(h.try_sampling_freq().unwrap(), 0.4);
+        assert_eq!(h.bandwidth_signal(), vec![40.0]);
+        // And an empty heatmap covers no time at all.
+        let empty = Heatmap::new(0.0, 2.5, vec![]);
+        assert_eq!(empty.duration(), 0.0);
+        assert!(empty.is_empty());
     }
 }

@@ -11,8 +11,10 @@ pub enum TraceError {
     Malformed {
         /// Human-readable description of what went wrong.
         reason: String,
-        /// Line (JSONL/Recorder) or byte offset (MessagePack) of the problem.
+        /// Line (text formats) or byte offset (MessagePack) of the problem.
         position: usize,
+        /// The offending input, truncated for display (empty when unknown).
+        snippet: String,
     },
     /// A field carried a value outside its valid domain.
     InvalidValue {
@@ -25,12 +27,51 @@ pub enum TraceError {
     Io(std::io::Error),
 }
 
+/// Maximum length of an error snippet before truncation.
+const SNIPPET_MAX: usize = 48;
+
+/// Truncates an offending input line for inclusion in an error message.
+pub fn snippet_of(text: &str) -> String {
+    let trimmed = text.trim();
+    if trimmed.chars().count() <= SNIPPET_MAX {
+        trimmed.to_string()
+    } else {
+        let head: String = trimmed.chars().take(SNIPPET_MAX).collect();
+        format!("{head}…")
+    }
+}
+
+/// Renders the bytes around a binary-format error position as a hex snippet.
+pub fn snippet_of_bytes(data: &[u8], position: usize) -> String {
+    let start = position.min(data.len()).saturating_sub(4);
+    let end = (position + 8).min(data.len());
+    let hex: Vec<String> = data[start..end]
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect();
+    hex.join(" ")
+}
+
 impl TraceError {
     /// Convenience constructor for [`TraceError::Malformed`].
     pub fn malformed(reason: impl Into<String>, position: usize) -> Self {
         TraceError::Malformed {
             reason: reason.into(),
             position,
+            snippet: String::new(),
+        }
+    }
+
+    /// [`TraceError::Malformed`] carrying the offending input snippet.
+    pub fn malformed_snippet(
+        reason: impl Into<String>,
+        position: usize,
+        snippet: impl Into<String>,
+    ) -> Self {
+        TraceError::Malformed {
+            reason: reason.into(),
+            position,
+            snippet: snippet.into(),
         }
     }
 
@@ -41,14 +82,57 @@ impl TraceError {
             reason: reason.into(),
         }
     }
+
+    /// Enriches an error raised while decoding one record with the position
+    /// (line number or byte offset) and the offending input. Used by the
+    /// streaming readers so that *every* decode error names where it happened:
+    /// an `InvalidValue` or `UnexpectedEof` bubbling out of a field decoder
+    /// becomes a positioned `Malformed`, and a `Malformed` without a snippet
+    /// gains one. I/O errors and already-contextualised errors are unchanged.
+    pub fn with_context(self, position: usize, snippet: &str) -> Self {
+        match self {
+            TraceError::UnexpectedEof => TraceError::Malformed {
+                reason: "record truncated (unexpected end of input)".into(),
+                position,
+                snippet: snippet_of(snippet),
+            },
+            TraceError::InvalidValue { field, reason } => TraceError::Malformed {
+                reason: format!("invalid value for field `{field}`: {reason}"),
+                position,
+                snippet: snippet_of(snippet),
+            },
+            TraceError::Malformed {
+                reason,
+                position: pos,
+                snippet: old,
+            } => TraceError::Malformed {
+                reason,
+                position: if pos == 0 { position } else { pos },
+                snippet: if old.is_empty() {
+                    snippet_of(snippet)
+                } else {
+                    old
+                },
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::UnexpectedEof => write!(f, "unexpected end of trace data"),
-            TraceError::Malformed { reason, position } => {
-                write!(f, "malformed trace record at position {position}: {reason}")
+            TraceError::Malformed {
+                reason,
+                position,
+                snippet,
+            } => {
+                write!(f, "malformed trace record at position {position}: {reason}")?;
+                if !snippet.is_empty() {
+                    write!(f, " (near `{snippet}`)")?;
+                }
+                Ok(())
             }
             TraceError::InvalidValue { field, reason } => {
                 write!(f, "invalid value for field `{field}`: {reason}")
@@ -89,6 +173,40 @@ mod tests {
         assert!(e.to_string().contains("bytes"));
         let e = TraceError::UnexpectedEof;
         assert!(e.to_string().contains("unexpected end"));
+    }
+
+    #[test]
+    fn snippets_are_attached_and_truncated() {
+        let e = TraceError::malformed_snippet("bad value", 7, "xyzzy");
+        assert!(e.to_string().contains("near `xyzzy`"));
+        assert!(e.to_string().contains("position 7"));
+        let long = "a".repeat(200);
+        let s = snippet_of(&long);
+        assert!(s.chars().count() <= 49);
+        assert!(s.ends_with('…'));
+        assert_eq!(snippet_of("  short  "), "short");
+        assert_eq!(snippet_of_bytes(&[0xcb, 0x3f, 0xf0], 1), "cb 3f f0");
+    }
+
+    #[test]
+    fn with_context_positions_every_error_kind() {
+        let e = TraceError::UnexpectedEof.with_context(12, "the line");
+        assert!(e.to_string().contains("position 12"));
+        assert!(e.to_string().contains("truncated"));
+        assert!(e.to_string().contains("the line"));
+
+        let e = TraceError::invalid("bytes", "negative").with_context(3, "{\"bytes\":-1}");
+        assert!(e.to_string().contains("position 3"));
+        assert!(e.to_string().contains("bytes"));
+
+        // An already-positioned error keeps its position, gains the snippet.
+        let e = TraceError::malformed("bad", 9).with_context(3, "ctx");
+        assert!(e.to_string().contains("position 9"));
+        assert!(e.to_string().contains("ctx"));
+
+        // I/O errors pass through untouched.
+        let io: TraceError = std::io::Error::other("disk").into();
+        assert!(io.with_context(1, "x").to_string().contains("disk"));
     }
 
     #[test]

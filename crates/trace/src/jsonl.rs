@@ -89,18 +89,18 @@ pub fn decode_request(line: &str, line_number: usize) -> TraceResult<IoRequest> 
     })
 }
 
-/// Parses a whole JSON Lines document. Blank lines are skipped; the first
-/// malformed line aborts with an error naming its line number.
+/// Parses a whole JSON Lines document — a thin adapter that drains the
+/// streaming [`crate::source::JsonlSource`], so whole-file decoding and
+/// chunked ingestion share one code path. Blank lines are skipped; the first
+/// malformed line aborts with an error naming its line number and quoting the
+/// offending input.
 pub fn decode_requests(text: &str) -> TraceResult<Vec<IoRequest>> {
-    let mut out = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        out.push(decode_request(trimmed, i + 1)?);
-    }
-    Ok(out)
+    let mut source = crate::source::JsonlSource::new(
+        text.as_bytes(),
+        crate::app_id::AppId::from_name("jsonl"),
+        crate::source::DEFAULT_BATCH_SIZE,
+    );
+    crate::source::drain_requests(&mut source)
 }
 
 /// Formats an `f64` so it parses back exactly and never uses exponent notation

@@ -19,7 +19,11 @@
 //!   tool, both hand-written;
 //! * [`darshan`] — binned heatmap profiles (Darshan-style) and their
 //!   conversion into bandwidth signals;
-//! * [`recorder`] — Recorder-style per-call text traces.
+//! * [`recorder`] — Recorder-style per-call text traces;
+//! * [`source`] — the streaming ingestion layer: the [`TraceSource`] trait,
+//!   chunked [`TraceBatch`]es, format sniffing and [`source::open_path`];
+//! * [`darshan_parser`] — actual `darshan-parser` / Darshan DXT text output;
+//! * [`tmio`] — TMIO-native columnar JSON/MessagePack profiles.
 //!
 //! # Quick example
 //!
@@ -41,11 +45,14 @@ pub mod app_trace;
 pub mod bandwidth;
 pub mod collector;
 pub mod darshan;
+pub mod darshan_parser;
 pub mod errors;
 pub mod jsonl;
 pub mod msgpack;
 pub mod recorder;
 pub mod request;
+pub mod source;
+pub mod tmio;
 
 pub use app_id::AppId;
 pub use app_trace::{AppTrace, TraceMetadata};
@@ -54,6 +61,7 @@ pub use collector::{Collector, CollectorStats, FlushMode, MemorySink, TraceForma
 pub use darshan::Heatmap;
 pub use errors::{TraceError, TraceResult};
 pub use request::{IoApi, IoKind, IoRequest};
+pub use source::{BatchPayload, DrainedInput, MemorySource, SourceFormat, TraceBatch, TraceSource};
 
 #[cfg(test)]
 // Seeded randomized invariant tests (a property-test stand-in: the build

@@ -10,6 +10,11 @@
 //! `[rank, start, end, bytes, kind, api]`, and a trace as an array of requests.
 //! The encoding is self-describing enough to be read by any MessagePack
 //! library, which is what makes the format attractive for the reference tool.
+//!
+//! The low-level [`Reader`] also understands maps, booleans, nil and float32,
+//! which the TMIO-native profile layout ([`crate::tmio`]) is built from, and
+//! supports resuming at a saved byte offset ([`Reader::at`]) so the streaming
+//! [`crate::source::MsgpackSource`] can decode a trace incrementally.
 
 use crate::errors::{TraceError, TraceResult};
 use crate::request::{IoApi, IoKind, IoRequest};
@@ -71,6 +76,19 @@ pub fn write_array_header(out: &mut Vec<u8>, len: usize) {
     }
 }
 
+/// Appends a MessagePack map header for `len` key/value pairs.
+pub fn write_map_header(out: &mut Vec<u8>, len: usize) {
+    if len <= 15 {
+        out.push(0x80 | len as u8);
+    } else if len <= 0xffff {
+        out.push(0xde);
+        out.extend_from_slice(&(len as u16).to_be_bytes());
+    } else {
+        out.push(0xdf);
+        out.extend_from_slice(&(len as u32).to_be_bytes());
+    }
+}
+
 // --- low-level decoder -----------------------------------------------------
 
 /// Streaming reader over a MessagePack byte buffer.
@@ -83,6 +101,13 @@ impl<'a> Reader<'a> {
     /// Creates a reader at the start of `data`.
     pub fn new(data: &'a [u8]) -> Self {
         Reader { data, pos: 0 }
+    }
+
+    /// Creates a reader resuming at a saved byte offset (see
+    /// [`Reader::position`]) — the streaming source uses this to continue a
+    /// partially decoded document across batches.
+    pub fn at(data: &'a [u8], pos: usize) -> Self {
+        Reader { data, pos }
     }
 
     /// Current byte offset (useful for error reporting).
@@ -136,6 +161,10 @@ impl<'a> Reader<'a> {
             self.pos += 1;
             let bytes = self.take(8)?;
             Ok(f64::from_be_bytes(bytes.try_into().unwrap()))
+        } else if tag == 0xca {
+            self.pos += 1;
+            let bytes = self.take(4)?;
+            Ok(f32::from_be_bytes(bytes.try_into().unwrap()) as f64)
         } else {
             Ok(self.read_uint()? as f64)
         }
@@ -169,6 +198,61 @@ impl<'a> Reader<'a> {
             _ => Err(TraceError::malformed(
                 format!("expected array, found tag 0x{tag:02x}"),
                 self.pos - 1,
+            )),
+        }
+    }
+
+    /// Reads a map header and returns the pair count.
+    pub fn read_map_header(&mut self) -> TraceResult<usize> {
+        let tag = self.byte()?;
+        match tag {
+            0x80..=0x8f => Ok((tag & 0x0f) as usize),
+            0xde => Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()) as usize),
+            0xdf => Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()) as usize),
+            _ => Err(TraceError::malformed(
+                format!("expected map, found tag 0x{tag:02x}"),
+                self.pos - 1,
+            )),
+        }
+    }
+
+    /// Skips one value of any supported type — how the TMIO profile reader
+    /// steps over counters it does not consume.
+    pub fn skip_value(&mut self) -> TraceResult<()> {
+        let tag = self
+            .data
+            .get(self.pos)
+            .copied()
+            .ok_or(TraceError::UnexpectedEof)?;
+        match tag {
+            // nil / booleans / fixints.
+            0xc0 | 0xc2 | 0xc3 | 0x00..=0x7f | 0xe0..=0xff => {
+                self.pos += 1;
+                Ok(())
+            }
+            0xcc | 0xd0 => self.take(2).map(|_| ()),
+            0xcd | 0xd1 => self.take(3).map(|_| ()),
+            0xca | 0xce | 0xd2 => self.take(5).map(|_| ()),
+            0xcb | 0xcf | 0xd3 => self.take(9).map(|_| ()),
+            0xa0..=0xbf | 0xd9 => self.read_str().map(|_| ()),
+            0x90..=0x9f | 0xdc | 0xdd => {
+                let len = self.read_array_header()?;
+                for _ in 0..len {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            0x80..=0x8f | 0xde | 0xdf => {
+                let len = self.read_map_header()?;
+                for _ in 0..len {
+                    self.skip_value()?;
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            other => Err(TraceError::malformed(
+                format!("cannot skip unsupported MessagePack tag 0x{other:02x}"),
+                self.pos,
             )),
         }
     }
@@ -226,15 +310,19 @@ pub fn decode_request(reader: &mut Reader<'_>) -> TraceResult<IoRequest> {
     })
 }
 
-/// Decodes a full MessagePack trace document.
+/// Decodes a full MessagePack trace document — a thin adapter that drains the
+/// streaming [`crate::source::MsgpackSource`], so whole-file decoding and
+/// chunked ingestion share one code path (and one error vocabulary: truncated
+/// input reports its byte offset and a hex snippet).
 pub fn decode_requests(data: &[u8]) -> TraceResult<Vec<IoRequest>> {
-    let mut reader = Reader::new(data);
-    let count = reader.read_array_header()?;
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
-        out.push(decode_request(&mut reader)?);
-    }
-    Ok(out)
+    // The source is generic over the byte holder, so this borrows `data`
+    // zero-copy instead of cloning the document.
+    let mut source = crate::source::MsgpackSource::new(
+        data,
+        crate::app_id::AppId::from_name("msgpack"),
+        crate::source::DEFAULT_BATCH_SIZE,
+    )?;
+    crate::source::drain_requests(&mut source)
 }
 
 #[cfg(test)]
@@ -334,14 +422,75 @@ mod tests {
     }
 
     #[test]
-    fn truncated_buffer_reports_eof() {
+    fn truncated_buffer_reports_offset_and_snippet() {
         let req = IoRequest::write(1, 0.0, 1.0, 100);
         let mut buf = Vec::new();
         write_array_header(&mut buf, 1);
         encode_request(&mut buf, &req);
         buf.truncate(buf.len() - 3);
-        let err = decode_requests(&buf).unwrap_err();
-        assert!(matches!(err, TraceError::UnexpectedEof));
+        let err = decode_requests(&buf).unwrap_err().to_string();
+        assert!(err.contains("truncated"), "{err}");
+        // The reported offset is where the truncated record begins, and the
+        // snippet shows the bytes around it.
+        assert!(err.contains("position 1"), "{err}");
+        assert!(err.contains("near `"), "{err}");
+    }
+
+    #[test]
+    fn maps_bools_and_f32_round_trip() {
+        let mut buf = Vec::new();
+        write_map_header(&mut buf, 2);
+        write_str(&mut buf, "a");
+        write_uint(&mut buf, 7);
+        write_str(&mut buf, "b");
+        buf.push(0xca);
+        buf.extend_from_slice(&2.5f32.to_be_bytes());
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read_map_header().unwrap(), 2);
+        assert_eq!(r.read_str().unwrap(), "a");
+        assert_eq!(r.read_uint().unwrap(), 7);
+        assert_eq!(r.read_str().unwrap(), "b");
+        assert_eq!(r.read_f64().unwrap(), 2.5);
+        assert!(r.is_at_end());
+        // A large map takes the map16 header.
+        let mut big = Vec::new();
+        write_map_header(&mut big, 20);
+        assert_eq!(big[0], 0xde);
+        let mut r = Reader::new(&big);
+        assert_eq!(r.read_map_header().unwrap(), 20);
+    }
+
+    #[test]
+    fn skip_value_steps_over_nested_structures() {
+        let mut buf = Vec::new();
+        // {"x": [1, "two", 3.0], "y": {"z": null}} followed by a sentinel.
+        write_map_header(&mut buf, 2);
+        write_str(&mut buf, "x");
+        write_array_header(&mut buf, 3);
+        write_uint(&mut buf, 1);
+        write_str(&mut buf, "two");
+        write_f64(&mut buf, 3.0);
+        write_str(&mut buf, "y");
+        write_map_header(&mut buf, 1);
+        write_str(&mut buf, "z");
+        buf.push(0xc0); // nil
+        write_uint(&mut buf, 42);
+        let mut r = Reader::new(&buf);
+        r.skip_value().unwrap();
+        assert_eq!(r.read_uint().unwrap(), 42);
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn reader_resumes_at_saved_position() {
+        let mut buf = Vec::new();
+        write_uint(&mut buf, 300);
+        write_uint(&mut buf, 7);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read_uint().unwrap(), 300);
+        let pos = r.position();
+        let mut resumed = Reader::at(&buf, pos);
+        assert_eq!(resumed.read_uint().unwrap(), 7);
     }
 
     #[test]

@@ -56,48 +56,56 @@ pub fn encode_requests(requests: &[IoRequest]) -> String {
     out
 }
 
-/// Parses the Recorder-style text format. Records whose function is neither a
-/// read nor a write are skipped; malformed data lines are an error.
-pub fn decode_requests(text: &str) -> TraceResult<Vec<IoRequest>> {
-    let mut out = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        let line_number = i + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let fields: Vec<&str> = trimmed.split_whitespace().collect();
-        if fields.len() != 5 {
-            return Err(TraceError::malformed(
-                format!("expected 5 fields, found {}", fields.len()),
-                line_number,
-            ));
-        }
-        let rank: usize = fields[0].parse().map_err(|_| {
-            TraceError::malformed(format!("invalid rank `{}`", fields[0]), line_number)
-        })?;
-        let Some((kind, api)) = classify_function(fields[1]) else {
-            continue;
-        };
-        let start: f64 = fields[2].parse().map_err(|_| {
-            TraceError::malformed(format!("invalid start `{}`", fields[2]), line_number)
-        })?;
-        let end: f64 = fields[3].parse().map_err(|_| {
-            TraceError::malformed(format!("invalid end `{}`", fields[3]), line_number)
-        })?;
-        let bytes: u64 = fields[4].parse().map_err(|_| {
-            TraceError::malformed(format!("invalid bytes `{}`", fields[4]), line_number)
-        })?;
-        out.push(IoRequest {
-            rank,
-            start,
-            end,
-            bytes,
-            kind,
-            api,
-        });
+/// Parses one Recorder line. Returns `Ok(None)` for comments, blank lines and
+/// records whose function is neither a read nor a write (metadata calls);
+/// malformed data lines are an error naming the line.
+pub fn decode_line(line: &str, line_number: usize) -> TraceResult<Option<IoRequest>> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
     }
-    Ok(out)
+    let fields: Vec<&str> = trimmed.split_whitespace().collect();
+    if fields.len() != 5 {
+        return Err(TraceError::malformed(
+            format!("expected 5 fields, found {}", fields.len()),
+            line_number,
+        ));
+    }
+    let rank: usize = fields[0]
+        .parse()
+        .map_err(|_| TraceError::malformed(format!("invalid rank `{}`", fields[0]), line_number))?;
+    let Some((kind, api)) = classify_function(fields[1]) else {
+        return Ok(None);
+    };
+    let start: f64 = fields[2].parse().map_err(|_| {
+        TraceError::malformed(format!("invalid start `{}`", fields[2]), line_number)
+    })?;
+    let end: f64 = fields[3]
+        .parse()
+        .map_err(|_| TraceError::malformed(format!("invalid end `{}`", fields[3]), line_number))?;
+    let bytes: u64 = fields[4].parse().map_err(|_| {
+        TraceError::malformed(format!("invalid bytes `{}`", fields[4]), line_number)
+    })?;
+    Ok(Some(IoRequest {
+        rank,
+        start,
+        end,
+        bytes,
+        kind,
+        api,
+    }))
+}
+
+/// Parses the Recorder-style text format — a thin adapter that drains the
+/// streaming [`crate::source::RecorderSource`]. Records whose function is
+/// neither a read nor a write are skipped; malformed data lines are an error.
+pub fn decode_requests(text: &str) -> TraceResult<Vec<IoRequest>> {
+    let mut source = crate::source::RecorderSource::new(
+        text.as_bytes(),
+        crate::app_id::AppId::from_name("recorder"),
+        crate::source::DEFAULT_BATCH_SIZE,
+    );
+    crate::source::drain_requests(&mut source)
 }
 
 #[cfg(test)]

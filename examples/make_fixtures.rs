@@ -1,0 +1,95 @@
+//! Regenerates the checked-in ingestion fixtures under `tests/data/`.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example make_fixtures
+//! ```
+//!
+//! Every fixture is a small, strictly periodic workload in one of the trace
+//! formats the streaming ingestion layer understands, so `ftio detect
+//! <fixture> --format auto` finds a period and `ftio replay <fixture>` drives
+//! the cluster engine end to end. The generation is fully deterministic — no
+//! seeds, no clocks — so re-running this example after a format change leaves
+//! an intentional, reviewable diff.
+
+use ftio_trace::{darshan_parser, jsonl, msgpack, recorder, tmio, Heatmap, IoRequest};
+
+/// A bursty writer: `count` bursts of `burst` seconds every `period` seconds,
+/// `ranks` ranks with `bytes_per_rank` each.
+fn periodic_requests(
+    ranks: usize,
+    period: f64,
+    burst: f64,
+    count: usize,
+    bytes_per_rank: u64,
+) -> Vec<IoRequest> {
+    let mut requests = Vec::new();
+    for i in 0..count {
+        let start = 5.0 + i as f64 * period;
+        for rank in 0..ranks {
+            requests.push(IoRequest::write(rank, start, start + burst, bytes_per_rank));
+        }
+    }
+    requests
+}
+
+/// A heatmap with a burst every `stride` bins.
+fn periodic_bins(bins: usize, stride: usize, volume: f64) -> Vec<f64> {
+    (0..bins)
+        .map(|i| if i % stride == 0 { volume } else { 0.0 })
+        .collect()
+}
+
+fn main() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    std::fs::create_dir_all(&dir).expect("create tests/data");
+    let write = |name: &str, bytes: Vec<u8>| {
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).expect("write fixture");
+        println!("wrote {}", path.display());
+    };
+
+    // IOR-like run, period 10 s: this crate's own two formats.
+    let ior = periodic_requests(2, 10.0, 2.0, 20, 500_000_000);
+    write("ior_small.jsonl", jsonl::encode_requests(&ior).into_bytes());
+    write("ior_small.msgpack", msgpack::encode_requests(&ior));
+
+    // The same style of run in TMIO's native columnar profile layouts,
+    // period 16 s, with a read stream mixed in.
+    let mut tmio_requests = periodic_requests(4, 16.0, 3.0, 16, 250_000_000);
+    for i in 0..16 {
+        let start = 6.5 + i as f64 * 16.0;
+        tmio_requests.push(IoRequest::read(0, start, start + 0.5, 50_000_000));
+    }
+    write(
+        "tmio_profile.json",
+        tmio::encode_json(4, &tmio_requests).into_bytes(),
+    );
+    write(
+        "tmio_profile.msgpack",
+        tmio::encode_msgpack(4, &tmio_requests),
+    );
+
+    // darshan-parser HEATMAP counter output: 64 bins of 10 s, period 40 s.
+    write(
+        "darshan_heatmap.txt",
+        darshan_parser::encode_heatmap_counters(10.0, &periodic_bins(64, 4, 8.0e9)).into_bytes(),
+    );
+
+    // darshan DXT trace: period 12 s across 2 ranks.
+    write(
+        "darshan_dxt.txt",
+        darshan_parser::encode_dxt(&periodic_requests(2, 12.0, 1.5, 18, 1 << 30)).into_bytes(),
+    );
+
+    // This crate's own heatmap text (Nek5000-style coarse bins, period 400 s).
+    let heatmap = Heatmap::new(0.0, 100.0, periodic_bins(40, 4, 8.0e9));
+    write("nek_heatmap.darshan", heatmap.to_text().into_bytes());
+
+    // Recorder-style per-call text, period 8 s, with a metadata call the
+    // reader must skip.
+    let mut recorder_text = recorder::encode_requests(&periodic_requests(2, 8.0, 1.0, 15, 1 << 28));
+    recorder_text.push_str("0 MPI_File_open 0.000000 0.001000 0\n");
+    write("recorder_small.txt", recorder_text.into_bytes());
+}
