@@ -11,7 +11,7 @@ use std::hint::black_box;
 
 use ftio_dsp::correlation::{autocorrelation, autocorrelation_fft};
 use ftio_dsp::fft::{fft_real, Fft};
-use ftio_dsp::peaks::{find_peaks, PeakConfig};
+use ftio_dsp::peaks::{find_peaks, prominence_naive, PeakConfig};
 use ftio_dsp::rfft::rfft;
 use ftio_dsp::spectrum::Spectrum;
 use ftio_dsp::zscore::outlier_indices;
@@ -104,8 +104,20 @@ fn bench_peak_detection(c: &mut Criterion) {
     let mut group = c.benchmark_group("find_peaks");
     group.sample_size(30);
     let acf = autocorrelation(&bandwidth_signal(7817, 111));
+    // The full pipeline: local maxima + filters + single-pass monotonic-stack
+    // prominences (O(n) for all peaks together since PR 5).
     group.bench_function("acf_7817", |b| {
         b.iter(|| black_box(find_peaks(black_box(&acf), &PeakConfig::with_height(0.15))));
+    });
+    // The retained pre-PR-5 prominence baseline: one O(n) walk per peak.
+    let peaks = find_peaks(&acf, &PeakConfig::with_height(0.15));
+    group.bench_function("acf_7817_naive_prominence", |b| {
+        b.iter(|| {
+            peaks
+                .iter()
+                .map(|p| prominence_naive(black_box(&acf), p.index))
+                .sum::<f64>()
+        });
     });
     group.finish();
 }

@@ -11,9 +11,11 @@
 //!
 //! * **Sharding** — applications are hashed ([`AppId::shard_index`]) onto a
 //!   fixed pool of predictor workers. Each shard owns the
-//!   [`OnlinePredictor`] state of its applications exclusively, so shards
-//!   never contend on predictor state and each worker thread keeps its own
-//!   warm FFT plan cache (`ftio_dsp::plan_cache` is thread-local).
+//!   [`OnlinePredictor`] state of its applications exclusively — including
+//!   each application's persistent `IncrementalSampler`, so a tick folds only
+//!   the newly flushed requests instead of re-binning the full history —
+//!   and each worker thread keeps its own warm FFT plan cache
+//!   (`ftio_dsp::plan_cache` is thread-local).
 //! * **Bounded queues with explicit backpressure** — every shard has a
 //!   bounded submission queue; when it fills, the caller-selected
 //!   [`BackpressurePolicy`] decides whether the producer blocks, the oldest
@@ -1317,6 +1319,89 @@ mod tests {
         assert_accounting(&stats);
         let processed: usize = engine.all_predictions().values().map(Vec::len).sum();
         assert!(processed > 0);
+    }
+
+    /// Long-history endurance: a fleet keeps flushing for a thousand bursts
+    /// per application, so every predictor accumulates a deep request
+    /// history while ticking continuously. With the per-app incremental
+    /// sampler the engine stays at flat per-tick cost (the pre-PR-5 engine
+    /// re-binned the whole history on every tick — quadratic total work);
+    /// the run must drain completely, keep per-app order, balance the books
+    /// and still detect every application's period at the end.
+    #[test]
+    #[ignore = "concurrency stress — run via the CI stress lane or with --ignored"]
+    fn cluster_stress_long_history() {
+        let apps = 8usize;
+        let flushes = 1000usize;
+        let engine = Arc::new(ClusterEngine::spawn(ClusterConfig {
+            shards: 4,
+            queue_capacity: 256,
+            max_batch: 4,
+            policy: BackpressurePolicy::Block,
+            ftio: fast_config(),
+            // Bounded analysis window: tick cost is dominated by the sampling
+            // stage, which is exactly what the incremental path makes O(new).
+            strategy: WindowStrategy::Fixed { length: 300.0 },
+        }));
+        let periods: Vec<f64> = (0..apps).map(|i| 8.0 + i as f64 * 2.0).collect();
+        let producers: Vec<_> = (0..2usize)
+            .map(|producer| {
+                let engine = engine.clone();
+                let periods = periods.clone();
+                std::thread::spawn(move || {
+                    for tick in 0..flushes {
+                        for (app, &period) in periods.iter().enumerate() {
+                            if app % 2 != producer {
+                                continue;
+                            }
+                            let start = tick as f64 * period;
+                            let outcome = engine.submit(
+                                AppId::new(app as u64),
+                                burst(2, start, 2.0, 1_000_000_000),
+                                start + 2.0,
+                            );
+                            assert!(outcome.accepted(), "block policy must never refuse");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, (apps * flushes) as u64);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.dropped, 0);
+        assert_accounting(&stats);
+        let results = engine.all_predictions();
+        assert_eq!(results.len(), apps);
+        for (app, &period) in periods.iter().enumerate() {
+            let history = &results[&AppId::new(app as u64)];
+            assert!(
+                !history.is_empty(),
+                "app {app} produced no predictions at all"
+            );
+            for pair in history.windows(2) {
+                assert!(pair[1].time > pair[0].time, "app {app} out of order");
+            }
+            // Every app collected its full thousand-burst history…
+            let last = history.last().unwrap();
+            assert_eq!(last.time, (flushes - 1) as f64 * period + 2.0);
+            // …and the final bounded-window tick still locks onto the app's
+            // periodic structure. The 300 s window holds a non-integer number
+            // of periods for some apps, so the dominant bin can land on a
+            // harmonic — accept the fundamental or a low harmonic, never an
+            // unrelated period.
+            let detected = last.period().expect("final tick must be periodic");
+            let ratio = period / detected;
+            let nearest = ratio.round().max(1.0);
+            assert!(
+                nearest <= 3.0 && (ratio - nearest).abs() < 0.1 * nearest,
+                "app {app}: detected {detected}, true {period}"
+            );
+        }
     }
 
     /// Reject under deliberate saturation: rejected submissions are reported

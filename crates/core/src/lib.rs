@@ -74,10 +74,11 @@ pub use detection::{
 };
 pub use dominant::{FrequencyCandidate, PeriodicityVerdict};
 pub use freq_merge::{merge_predictions, FrequencyInterval, FrequencyPrediction};
-pub use online::{OnlinePrediction, OnlinePredictor, PredictionEngine, WindowStrategy};
+pub use online::{OnlinePrediction, OnlinePredictor, PredictionEngine, TickMode, WindowStrategy};
 pub use reconstruct::{reconstruct_bins, reconstruct_candidates, Reconstruction};
 pub use sampling::{
-    recommend_sampling_freq, sample_heatmap, sample_trace, sample_trace_window, SampledSignal,
+    recommend_sampling_freq, sample_heatmap, sample_trace, sample_trace_window, IncrementalSampler,
+    SampledSignal, SamplerStats,
 };
 pub use spectrum_info::SpectrumInfo;
 

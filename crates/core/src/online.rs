@@ -22,8 +22,9 @@ use ftio_trace::{AppId, AppTrace, IoRequest, TraceResult};
 
 use crate::cluster::{BackpressurePolicy, ClusterConfig, ClusterEngine};
 use crate::config::FtioConfig;
-use crate::detection::{detect_trace_window, DetectionResult};
+use crate::detection::{detect_signal, DetectionResult};
 use crate::freq_merge::{merge_predictions, FrequencyInterval, FrequencyPrediction};
+use crate::sampling::{IncrementalSampler, SamplerStats};
 
 /// How the analysis time window is chosen for each prediction.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -75,39 +76,85 @@ impl OnlinePrediction {
     }
 }
 
+/// How a prediction tick derives the discretised signal from the collected
+/// data.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TickMode {
+    /// The production path: the predictor holds an [`IncrementalSampler`]
+    /// across ticks, new requests are folded in at ingest time
+    /// (`O(new requests)`), and every tick analyses a window *view* over the
+    /// persistent bin buffer — steady-state tick cost is independent of how
+    /// much history has been collected.
+    #[default]
+    Incremental,
+    /// The pre-PR-5 baseline, retained for equivalence tests and benchmarks:
+    /// every tick rebuilds the discretised signal from the full retained
+    /// request list (`O(total requests)` per tick). Produces bit-for-bit
+    /// identical predictions to [`TickMode::Incremental`] — pinned by tests —
+    /// because both fold the same requests in the same order.
+    Rebuild,
+}
+
 /// Synchronous online predictor: accumulate requests, predict on demand.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct OnlinePredictor {
     config: FtioConfig,
     strategy: WindowStrategy,
+    mode: TickMode,
     trace: AppTrace,
+    sampler: IncrementalSampler,
     history: Vec<FrequencyPrediction>,
     consecutive_dominant: usize,
     last_period: Option<f64>,
 }
 
 impl OnlinePredictor {
-    /// Creates a predictor with the given analysis configuration and window strategy.
+    /// Creates a predictor with the given analysis configuration and window
+    /// strategy, using the incremental tick path.
     pub fn new(config: FtioConfig, strategy: WindowStrategy) -> Self {
+        Self::with_mode(config, strategy, TickMode::default())
+    }
+
+    /// Creates a predictor with an explicit [`TickMode`].
+    pub fn with_mode(config: FtioConfig, strategy: WindowStrategy, mode: TickMode) -> Self {
         config.validate().expect("invalid FTIO configuration");
         OnlinePredictor {
             config,
             strategy,
+            mode,
             trace: AppTrace::named("online", 0),
+            sampler: IncrementalSampler::new(config.sampling_freq),
             history: Vec::new(),
             consecutive_dominant: 0,
             last_period: None,
         }
     }
 
+    /// The tick mode this predictor runs with.
+    pub fn tick_mode(&self) -> TickMode {
+        self.mode
+    }
+
+    /// Work counters of the held sampler (see [`SamplerStats`]): the
+    /// observable proof that steady-state ticks fold only new data.
+    pub fn sampler_stats(&self) -> SamplerStats {
+        self.sampler.stats()
+    }
+
     /// Appends newly flushed requests (the data the application just wrote to
-    /// its trace file).
+    /// its trace file). Each request is folded into the persistent sampler
+    /// (`O(bins overlapped)`) and retained for window bookkeeping and the
+    /// [`TickMode::Rebuild`] baseline.
     pub fn ingest<I: IntoIterator<Item = IoRequest>>(&mut self, requests: I) {
-        self.trace.extend(requests);
+        for request in requests {
+            self.sampler.fold(&request);
+            self.trace.push(request);
+        }
     }
 
     /// Appends all requests of another trace snapshot.
     pub fn ingest_trace(&mut self, trace: &AppTrace) {
+        self.sampler.fold_all(trace.requests());
         self.trace.merge(trace);
     }
 
@@ -130,24 +177,44 @@ impl OnlinePredictor {
     }
 
     /// The analysis window that would be used for a prediction at time `now`.
+    ///
+    /// The window start is anchored at the sampler origin (the first ingested
+    /// request's start time); the signal analysed for the window is the
+    /// bin-aligned [`IncrementalSampler::view`] over it.
     pub fn window_at(&self, now: f64) -> (f64, f64) {
+        let data_start = self.sampler.start_time();
         let start = match self.strategy {
-            WindowStrategy::FullHistory => self.trace.start_time(),
-            WindowStrategy::Fixed { length } => (now - length).max(self.trace.start_time()),
+            WindowStrategy::FullHistory => data_start,
+            WindowStrategy::Fixed { length } => (now - length).max(data_start),
             WindowStrategy::Adaptive { multiple } => match self.last_period {
                 Some(period) if self.consecutive_dominant >= multiple.max(1) => {
-                    (now - multiple as f64 * period).max(self.trace.start_time())
+                    (now - multiple as f64 * period).max(data_start)
                 }
-                _ => self.trace.start_time(),
+                _ => data_start,
             },
         };
         (start.min(now), now)
     }
 
     /// Runs a prediction over the data collected up to `now`.
+    ///
+    /// Under [`TickMode::Incremental`] the discretised signal is a view over
+    /// the persistent bin buffer — nothing is re-derived from the request
+    /// history, so the sampling stage of the tick is `O(1)` in history length
+    /// (the spectral stage remains `O(window)`). Under [`TickMode::Rebuild`]
+    /// the signal is re-folded from every retained request, which is the
+    /// pre-incremental baseline cost.
     pub fn predict(&mut self, now: f64) -> OnlinePrediction {
         let (start, end) = self.window_at(now);
-        let result = detect_trace_window(&self.trace, start, end, &self.config);
+        let signal = match self.mode {
+            TickMode::Incremental => self.sampler.view(start, end),
+            TickMode::Rebuild => {
+                let mut fresh = IncrementalSampler::new(self.config.sampling_freq);
+                fresh.fold_all(self.trace.requests());
+                fresh.view(start, end)
+            }
+        };
+        let result = detect_signal(&signal, &self.config);
 
         match result.dominant_frequency() {
             Some(freq) => {
@@ -340,6 +407,26 @@ mod tests {
         assert!((prediction.window_start - 47.0).abs() < 1e-9);
     }
 
+    /// Out-of-order ingestion (legal for merged per-rank trace files) must
+    /// not lose the earlier data: the sampler extends backwards instead of
+    /// clipping, so the full-history window reaches back to the true start.
+    #[test]
+    fn out_of_order_ingestion_is_not_clipped() {
+        let mut predictor = OnlinePredictor::new(config(), WindowStrategy::FullHistory);
+        predictor.ingest(vec![IoRequest::write(0, 50.0, 51.0, 1_000_000)]);
+        predictor.ingest(vec![IoRequest::write(1, 1.0, 2.0, 1_000_000)]);
+        let (start, end) = predictor.window_at(60.0);
+        assert!(
+            start <= 1.0 + 1e-9,
+            "window start {start} clipped early data"
+        );
+        assert_eq!(end, 60.0);
+        let prediction = predictor.predict(60.0);
+        // fs = 2 Hz over ~59 s of history: both bursts are in the signal.
+        assert!(prediction.result.num_samples >= 115);
+        assert!(prediction.result.window_start <= 1.0 + 1e-9);
+    }
+
     #[test]
     fn window_never_starts_before_the_first_request() {
         let mut predictor =
@@ -439,6 +526,111 @@ mod tests {
         // Sanity: the ticks actually went through the cached spectral path.
         assert!(after.plan_hits > before.plan_hits);
         assert!(predictor.history().len() >= 5);
+    }
+
+    /// Tentpole contract: the incremental tick path and the rebuild-from-
+    /// scratch baseline produce **bit-for-bit identical** predictions across
+    /// every window strategy — both fold the same requests in the same order,
+    /// so the bin buffers, windows, spectra and verdicts coincide exactly.
+    #[test]
+    fn incremental_and_rebuild_ticks_are_bit_for_bit_identical() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let strategies = [
+            WindowStrategy::FullHistory,
+            WindowStrategy::Adaptive { multiple: 3 },
+            WindowStrategy::Fixed { length: 60.0 },
+        ];
+        let mut rng = StdRng::seed_from_u64(0x17c4_e11a);
+        for strategy in strategies {
+            // Use the full default pipeline (autocorrelation on) so the whole
+            // tick path is covered, with slight period jitter so windows vary.
+            let config = FtioConfig {
+                sampling_freq: 2.0,
+                ..Default::default()
+            };
+            let mut incremental =
+                OnlinePredictor::with_mode(config, strategy, TickMode::Incremental);
+            let mut rebuild = OnlinePredictor::with_mode(config, strategy, TickMode::Rebuild);
+            assert_eq!(incremental.tick_mode(), TickMode::Incremental);
+            assert_eq!(rebuild.tick_mode(), TickMode::Rebuild);
+            for i in 0..14 {
+                let start = i as f64 * 10.0 + rng.gen_range(-0.5..0.5);
+                let data = burst(start, 2.0, 1_500_000_000 + i as u64);
+                incremental.ingest(data.clone());
+                rebuild.ingest(data);
+                let now = start + 2.0;
+                let a = incremental.predict(now);
+                let b = rebuild.predict(now);
+                assert_eq!(a.window_start.to_bits(), b.window_start.to_bits());
+                assert_eq!(a.window_end.to_bits(), b.window_end.to_bits());
+                assert_eq!(a.result.num_samples, b.result.num_samples);
+                assert_eq!(
+                    a.result.window_start.to_bits(),
+                    b.result.window_start.to_bits()
+                );
+                assert_eq!(
+                    a.period().map(f64::to_bits),
+                    b.period().map(f64::to_bits),
+                    "{strategy:?} tick {i}"
+                );
+                assert_eq!(a.confidence().to_bits(), b.confidence().to_bits());
+                assert_eq!(
+                    a.result.refined_confidence().to_bits(),
+                    b.result.refined_confidence().to_bits()
+                );
+            }
+            // The recorded FrequencyPrediction histories are identical too.
+            assert_eq!(incremental.history().len(), rebuild.history().len());
+            for (a, b) in incremental.history().iter().zip(rebuild.history()) {
+                assert_eq!(a.time.to_bits(), b.time.to_bits());
+                assert_eq!(a.frequency.to_bits(), b.frequency.to_bits());
+                assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+                assert_eq!(a.window_length.to_bits(), b.window_length.to_bits());
+            }
+        }
+    }
+
+    /// Tentpole counter contract: a steady-state tick folds only the newly
+    /// ingested requests — the sampler work per tick is identical whether the
+    /// predictor holds a short or an 8x longer history.
+    #[test]
+    fn steady_state_ticks_touch_only_new_data() {
+        #[derive(Debug, PartialEq, Eq)]
+        struct Delta {
+            requests: u64,
+            bins: u64,
+        }
+        let tick_deltas = |prewarm_bursts: usize| -> Vec<Delta> {
+            let mut predictor = OnlinePredictor::new(config(), WindowStrategy::FullHistory);
+            for i in 0..prewarm_bursts {
+                predictor.ingest(burst(i as f64 * 10.0, 2.0, 2_000_000_000));
+            }
+            let mut deltas = Vec::new();
+            for i in 0..5 {
+                let now = (prewarm_bursts + i) as f64 * 10.0 + 2.0;
+                let before = predictor.sampler_stats();
+                predictor.ingest(burst(now - 2.0, 2.0, 2_000_000_000));
+                predictor.predict(now);
+                let after = predictor.sampler_stats();
+                deltas.push(Delta {
+                    requests: after.requests_folded - before.requests_folded,
+                    bins: after.bins_touched - before.bins_touched,
+                });
+            }
+            deltas
+        };
+        let short = tick_deltas(25);
+        let long = tick_deltas(200);
+        assert_eq!(
+            short, long,
+            "per-tick sampler work must be independent of history length"
+        );
+        for delta in &short {
+            assert_eq!(delta.requests, 4, "one 4-rank burst per tick");
+            // A 2 s burst at fs = 2 Hz overlaps at most 5 bins per request.
+            assert!(delta.bins <= 4 * 5, "tick folded too many bins: {delta:?}");
+        }
     }
 
     #[test]

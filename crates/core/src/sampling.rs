@@ -6,8 +6,19 @@
 //! original one ("aliasing", paper §II-E and Fig. 6). The *abstraction error*
 //! quantifies that mismatch as the relative volume difference between the
 //! continuous signal and its discretisation.
+//!
+//! Two discretisation paths exist:
+//!
+//! * the **batch** path ([`sample_trace`], [`sample_trace_window`]) builds a
+//!   [`BandwidthTimeline`] from the full request list and integrates it over
+//!   a window — `O(total requests)` every time it runs;
+//! * the **incremental** path ([`IncrementalSampler`]) keeps the discretised
+//!   signal as a growing bin buffer and folds only *newly ingested* requests
+//!   into it — `O(new requests)` per ingest, with window strategies served as
+//!   zero-recomputation [`IncrementalSampler::view`]s over the buffer. This
+//!   is what makes the online prediction tick independent of history length.
 
-use ftio_trace::{AppTrace, BandwidthTimeline, Heatmap};
+use ftio_trace::{AppTrace, BandwidthTimeline, Heatmap, IoRequest};
 
 /// A discretised bandwidth signal plus the context needed to interpret it.
 #[derive(Clone, Debug)]
@@ -126,6 +137,249 @@ pub fn sample_heatmap(heatmap: &Heatmap) -> SampledSignal {
     }
 }
 
+/// Work counters of an [`IncrementalSampler`] — the observable contract of
+/// the O(new-data) prediction tick, in the same spirit as
+/// `ftio_dsp::plan_cache::stats()`.
+///
+/// Snapshot before and after a region to prove it folds only the requests it
+/// was handed: in steady state the per-tick deltas depend on the *new* data
+/// only, never on how much history the sampler already holds (pinned by a
+/// test in [`crate::online`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SamplerStats {
+    /// Requests folded into the bin buffer.
+    pub requests_folded: u64,
+    /// Bin updates performed (each request touches only the bins it overlaps).
+    pub bins_touched: u64,
+    /// Bins appended to the buffer (coverage growth).
+    pub bins_grown: u64,
+}
+
+/// Incremental discretiser: the volume-preserving bandwidth signal as a
+/// growing bin buffer that new requests are *folded into*, instead of being
+/// re-derived from the full request history.
+///
+/// * Bin `b` covers `[origin + b/fs, origin + (b+1)/fs)`, where `origin` is
+///   the start time of the first folded request; each bin holds the exact
+///   transferred volume inside it, so `bandwidth = volume · fs` reproduces
+///   the averaged (volume-preserving) discretisation of [`sample_timeline`].
+/// * A parallel plane of instantaneous point samples (aggregate bandwidth at
+///   each bin's left edge) is maintained the same way, so views can report
+///   the abstraction error without ever rebuilding a timeline.
+/// * Folding request `r` costs `O(bins overlapped by r)` — independent of how
+///   many requests were folded before ([`SamplerStats`] makes this testable).
+/// * Requests may arrive in **any order**: a request starting before the
+///   current origin extends the buffer *backwards* on the same grid (the
+///   origin only ever moves to earlier, grid-aligned instants), so no data is
+///   ever clipped. Backward extension costs `O(existing bins)` for the
+///   prepend — it only happens when genuinely earlier data shows up, which
+///   merged per-rank trace files do but a live online feed does not.
+///
+/// Determinism: folding the same requests in the same order always produces
+/// bit-for-bit identical buffers, whether they arrive in one batch or across
+/// many ingests — the incremental-equals-rebuild contract the online
+/// predictor pins.
+#[derive(Clone, Debug)]
+pub struct IncrementalSampler {
+    sampling_freq: f64,
+    origin: Option<f64>,
+    /// Exact transferred volume (bytes) per bin.
+    volume: Vec<f64>,
+    /// Instantaneous aggregate bandwidth at each bin's left edge.
+    point: Vec<f64>,
+    /// Latest request end time folded so far.
+    end_time: f64,
+    stats: SamplerStats,
+}
+
+impl IncrementalSampler {
+    /// A spread used for zero-duration requests so their volume is preserved,
+    /// mirroring [`BandwidthTimeline::from_requests`].
+    const INSTANT: f64 = 1e-9;
+
+    /// Creates an empty sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampling_freq` is not strictly positive.
+    pub fn new(sampling_freq: f64) -> Self {
+        assert!(sampling_freq > 0.0, "sampling frequency must be positive");
+        IncrementalSampler {
+            sampling_freq,
+            origin: None,
+            volume: Vec::new(),
+            point: Vec::new(),
+            end_time: f64::NEG_INFINITY,
+            stats: SamplerStats::default(),
+        }
+    }
+
+    /// The sampling frequency `fs` in Hz.
+    pub fn sampling_freq(&self) -> f64 {
+        self.sampling_freq
+    }
+
+    /// Absolute time of bin 0's left edge — the start of the first folded
+    /// request (0.0 while empty).
+    pub fn start_time(&self) -> f64 {
+        self.origin.unwrap_or(0.0)
+    }
+
+    /// Latest request end time folded so far (0.0 while empty).
+    pub fn end_time(&self) -> f64 {
+        if self.origin.is_none() {
+            0.0
+        } else {
+            self.end_time
+        }
+    }
+
+    /// Number of bins currently held.
+    pub fn len(&self) -> usize {
+        self.volume.len()
+    }
+
+    /// Whether nothing has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.origin.is_none()
+    }
+
+    /// Number of requests folded so far.
+    pub fn requests_folded(&self) -> u64 {
+        self.stats.requests_folded
+    }
+
+    /// Snapshot of the work counters.
+    pub fn stats(&self) -> SamplerStats {
+        self.stats
+    }
+
+    /// Folds one request into the bin buffer: `O(bins overlapped)`.
+    ///
+    /// Invalid or zero-byte requests are skipped, mirroring both
+    /// [`AppTrace::push`] and [`BandwidthTimeline::from_requests`].
+    pub fn fold(&mut self, request: &IoRequest) {
+        if !request.is_valid() || request.bytes == 0 {
+            return;
+        }
+        let (start, end) = if request.duration() > 0.0 {
+            (request.start, request.end)
+        } else {
+            (request.start, request.start + Self::INSTANT)
+        };
+        let bw = request.bytes as f64 / (end - start);
+        let mut origin = *self.origin.get_or_insert(start);
+        self.stats.requests_folded += 1;
+        self.end_time = self.end_time.max(end);
+        let fs = self.sampling_freq;
+        let dt = 1.0 / fs;
+        if start < origin {
+            // Earlier data than anything seen so far (merged per-rank trace
+            // files are explicitly allowed to interleave timestamps): extend
+            // the buffer backwards on the same grid, moving the origin to an
+            // earlier grid-aligned instant. O(existing bins), but only when
+            // genuinely earlier data arrives.
+            let shift = ((origin - start) * fs).ceil() as usize;
+            origin -= shift as f64 * dt;
+            self.origin = Some(origin);
+            self.volume.splice(0..0, std::iter::repeat(0.0).take(shift));
+            self.point.splice(0..0, std::iter::repeat(0.0).take(shift));
+            self.stats.bins_grown += shift as u64;
+        }
+        let first = (((start - origin) * fs).floor().max(0.0)) as usize;
+        let last = (((end - origin) * fs).ceil() as usize).max(first + 1);
+        if last > self.volume.len() {
+            self.stats.bins_grown += (last - self.volume.len()) as u64;
+            self.volume.resize(last, 0.0);
+            self.point.resize(last, 0.0);
+        }
+        for b in first..last {
+            let bin_lo = origin + b as f64 * dt;
+            let overlap = end.min(bin_lo + dt) - start.max(bin_lo);
+            if overlap > 0.0 {
+                self.volume[b] += bw * overlap;
+                self.stats.bins_touched += 1;
+            }
+            // Point sample at the bin's left edge: the request is active there
+            // iff the edge lies in [start, end) — the same breakpoint
+            // semantics as `BandwidthTimeline::bandwidth_at`.
+            if bin_lo >= start && bin_lo < end {
+                self.point[b] += bw;
+            }
+        }
+    }
+
+    /// Folds a batch of requests in order.
+    pub fn fold_all<'a, I: IntoIterator<Item = &'a IoRequest>>(&mut self, requests: I) {
+        for request in requests {
+            self.fold(request);
+        }
+    }
+
+    /// A [`SampledSignal`] over the window `[t0, t1)`, snapped to whole bins:
+    /// the first bin is the one containing `t0` (clamped to the origin), and
+    /// `floor((t1 − t0_snapped) · fs)` *complete* bins are emitted — the same
+    /// grid the batch sampler produces, so a trailing fraction of a bin is
+    /// not part of the window. Bins beyond the folded coverage read as zero
+    /// (time without I/O *is* zero bandwidth).
+    ///
+    /// The abstraction error is computed over the viewed bins from the
+    /// incrementally maintained point samples, exactly as [`sample_timeline`]
+    /// derives it from the point-sampled signal.
+    pub fn view(&self, t0: f64, t1: f64) -> SampledSignal {
+        let fs = self.sampling_freq;
+        let Some(origin) = self.origin else {
+            return SampledSignal {
+                samples: Vec::new(),
+                sampling_freq: fs,
+                start_time: t0.min(t1),
+                abstraction_error: 0.0,
+            };
+        };
+        let first = ((t0 - origin) * fs).floor().max(0.0) as usize;
+        let last = (((t1 - origin) * fs).floor().max(0.0) as usize).max(first);
+        self.view_bins(first, last)
+    }
+
+    /// A view over **every** bin folded so far, including a partial trailing
+    /// bin (its averaged bandwidth covers only the recorded fraction) — so
+    /// the viewed volume equals the total folded volume exactly.
+    pub fn full_view(&self) -> SampledSignal {
+        self.view_bins(0, self.volume.len())
+    }
+
+    /// The bin-range core of [`IncrementalSampler::view`].
+    fn view_bins(&self, first: usize, last: usize) -> SampledSignal {
+        let fs = self.sampling_freq;
+        let origin = self.origin.unwrap_or(0.0);
+        let covered = self.volume.len().min(last);
+        let mut samples = Vec::with_capacity(last.saturating_sub(first));
+        let mut true_volume = 0.0;
+        let mut point_volume = 0.0;
+        if first < covered {
+            for &v in &self.volume[first..covered] {
+                samples.push(v * fs);
+                true_volume += v;
+            }
+            for &p in &self.point[first..covered] {
+                point_volume += p / fs;
+            }
+        }
+        samples.resize(last.saturating_sub(first), 0.0);
+        let abstraction_error = if true_volume > 0.0 {
+            (point_volume - true_volume).abs() / true_volume
+        } else {
+            0.0
+        };
+        SampledSignal {
+            samples,
+            sampling_freq: fs,
+            start_time: origin + first as f64 / fs,
+            abstraction_error,
+        }
+    }
+}
+
 /// Recommends a sampling frequency for a trace: the reciprocal of the shortest
 /// request duration (capped to `max_freq`), so that even the fastest change in
 /// bandwidth is resolved (paper §II-E: "we can find the smallest change in
@@ -230,6 +484,170 @@ mod tests {
     #[should_panic(expected = "sampling frequency must be positive")]
     fn zero_fs_panics() {
         SampledSignal::from_samples(vec![1.0], 0.0, 0.0);
+    }
+
+    #[test]
+    fn incremental_sampler_matches_batch_sampling_on_the_shared_grid() {
+        // Requests starting at t = 0 so the batch grid (anchored at the window
+        // start) and the incremental grid (anchored at the origin) coincide.
+        let trace = bursty_trace(10.0, 2.0, 6, 4000);
+        for fs in [0.5, 1.0, 4.0] {
+            let mut sampler = IncrementalSampler::new(fs);
+            sampler.fold_all(trace.requests());
+            let view = sampler.full_view();
+            let batch = sample_trace(&trace, fs);
+            assert_eq!(view.len(), batch.len(), "fs={fs}");
+            for (b, (x, y)) in view.samples.iter().zip(&batch.samples).enumerate() {
+                assert!((x - y).abs() < 1e-9, "fs={fs} bin {b}: {x} vs {y}");
+            }
+            assert_eq!(view.start_time, batch.start_time);
+            assert!((view.abstraction_error - batch.abstraction_error).abs() < 1e-9);
+            assert!((view.volume() - batch.volume()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn chunked_folding_is_bit_for_bit_identical_to_one_shot_folding() {
+        let trace = bursty_trace(7.0, 1.3, 40, 12345);
+        let requests = trace.requests();
+        let mut one_shot = IncrementalSampler::new(2.0);
+        one_shot.fold_all(requests);
+        // Fold the same sequence in ragged chunks.
+        let mut chunked = IncrementalSampler::new(2.0);
+        let mut rest = requests;
+        for chunk_len in [1usize, 7, 3, 15, 2, 40] {
+            let take = chunk_len.min(rest.len());
+            chunked.fold_all(&rest[..take]);
+            rest = &rest[take..];
+        }
+        chunked.fold_all(rest);
+        let a = one_shot.full_view();
+        let b = chunked.full_view();
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.to_bits(), y.to_bits(), "bins must match bit-for-bit");
+        }
+        assert_eq!(a.abstraction_error.to_bits(), b.abstraction_error.to_bits());
+        assert_eq!(one_shot.stats(), chunked.stats());
+    }
+
+    #[test]
+    fn folding_cost_is_independent_of_held_history() {
+        // Two samplers with very different history lengths fold the same new
+        // burst; the per-fold work counters must move identically.
+        let new_burst: Vec<_> = bursty_trace(10.0, 2.0, 1, 999)
+            .requests()
+            .iter()
+            .map(|r| IoRequest::write(r.rank, r.start + 5000.0, r.end + 5000.0, r.bytes))
+            .collect();
+        let mut short = IncrementalSampler::new(1.0);
+        short.fold_all(bursty_trace(10.0, 2.0, 5, 1000).requests());
+        let mut long = IncrementalSampler::new(1.0);
+        long.fold_all(bursty_trace(10.0, 2.0, 400, 1000).requests());
+        let before_short = short.stats();
+        let before_long = long.stats();
+        for r in &new_burst {
+            short.fold(r);
+            long.fold(r);
+        }
+        let d_short = short.stats().bins_touched - before_short.bins_touched;
+        let d_long = long.stats().bins_touched - before_long.bins_touched;
+        assert_eq!(d_short, d_long, "bin touches must not depend on history");
+        assert!(d_long <= 4, "a 2 s burst at 1 Hz touches at most 3 bins");
+    }
+
+    #[test]
+    fn view_zero_fills_idle_time_beyond_coverage() {
+        let mut sampler = IncrementalSampler::new(1.0);
+        sampler.fold(&IoRequest::write(0, 10.0, 12.0, 100));
+        // Window extends 8 s past the last request: those bins are zero.
+        let view = sampler.view(10.0, 20.0);
+        assert_eq!(view.len(), 10);
+        assert!(view.samples[0] > 0.0);
+        assert!(view.samples[3..].iter().all(|&x| x == 0.0));
+        // Window before any data at all.
+        let empty = IncrementalSampler::new(1.0);
+        assert!(empty.view(0.0, 5.0).is_empty());
+        assert!(empty.is_empty());
+        assert_eq!(empty.start_time(), 0.0);
+        assert_eq!(empty.end_time(), 0.0);
+    }
+
+    #[test]
+    fn earlier_requests_extend_the_buffer_backwards_losing_nothing() {
+        // Merged per-rank trace files legally interleave timestamps, so data
+        // older than the first-ingested request must still be analysed.
+        let mut sampler = IncrementalSampler::new(1.0);
+        sampler.fold(&IoRequest::write(0, 100.0, 101.0, 1000));
+        // Straddles the original origin.
+        sampler.fold(&IoRequest::write(0, 99.0, 101.0, 500));
+        // Entirely before it.
+        sampler.fold(&IoRequest::write(0, 50.0, 51.0, 77));
+        assert_eq!(sampler.start_time(), 50.0);
+        let view = sampler.full_view();
+        assert!((view.volume() - (1000.0 + 500.0 + 77.0)).abs() < 1e-9);
+        assert_eq!(sampler.requests_folded(), 3);
+        // The whole thing still matches a fresh fold of the same sequence —
+        // and the batch sampler over the same grid.
+        let trace = AppTrace::from_requests(
+            "ooo",
+            1,
+            vec![
+                IoRequest::write(0, 100.0, 101.0, 1000),
+                IoRequest::write(0, 99.0, 101.0, 500),
+                IoRequest::write(0, 50.0, 51.0, 77),
+            ],
+        );
+        let batch = sample_trace_window(&trace, 50.0, 101.0, 1.0);
+        assert_eq!(view.len(), batch.len());
+        for (b, (x, y)) in view.samples.iter().zip(&batch.samples).enumerate() {
+            assert!((x - y).abs() < 1e-9, "bin {b}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn backward_extension_keeps_the_grid_aligned() {
+        let mut sampler = IncrementalSampler::new(2.0);
+        sampler.fold(&IoRequest::write(0, 10.3, 11.3, 100));
+        // 1.1 s earlier: the origin moves back by ceil(1.1 * 2) = 3 bins.
+        sampler.fold(&IoRequest::write(0, 9.2, 9.7, 40));
+        assert!((sampler.start_time() - (10.3 - 1.5)).abs() < 1e-12);
+        let view = sampler.full_view();
+        assert!((view.volume() - 140.0).abs() < 1e-9);
+        // Bin edges stayed on the original grid (offset 10.3 + k/2).
+        assert!(((view.start_time - 10.3) * 2.0).round() - ((view.start_time - 10.3) * 2.0) < 1e-9);
+    }
+
+    #[test]
+    fn full_view_includes_the_partial_trailing_bin() {
+        let mut sampler = IncrementalSampler::new(1.0);
+        sampler.fold(&IoRequest::write(0, 10.0, 12.5, 100));
+        // The windowed view emits complete bins only (the batch grid)…
+        assert_eq!(sampler.view(10.0, 12.5).len(), 2);
+        // …while full_view covers every folded bin, so no volume is lost.
+        let full = sampler.full_view();
+        assert_eq!(full.len(), 3);
+        assert!(
+            (full.volume() - 100.0).abs() < 1e-9,
+            "vol {}",
+            full.volume()
+        );
+    }
+
+    #[test]
+    fn zero_duration_requests_preserve_volume_incrementally() {
+        let mut sampler = IncrementalSampler::new(1.0);
+        sampler.fold(&IoRequest::write(0, 5.0, 5.0, 1000));
+        sampler.fold(&IoRequest::write(0, 6.5, 7.5, 0)); // zero bytes: skipped
+        let view = sampler.view(5.0, 8.0);
+        assert!((view.volume() - 1000.0).abs() < 1e-3);
+        assert_eq!(sampler.requests_folded(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling frequency must be positive")]
+    fn incremental_sampler_rejects_zero_fs() {
+        IncrementalSampler::new(0.0);
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! implementation and an FFT-based `O(N log N)` implementation are provided,
 //! with the FFT path chosen automatically for long signals.
 
-use crate::complex::Complex;
 use crate::plan_cache;
 
 /// How to scale the autocorrelation output.
@@ -83,13 +82,15 @@ pub fn autocorrelation_direct(signal: &[f64]) -> Vec<f64> {
 /// FFT-based autocorrelation via the Wiener–Khinchin theorem
 /// (non-negative lags, no normalisation). Zero-pads to avoid circular wrap-around.
 ///
-/// The whole pipeline runs on the real-input half spectrum: a cached
-/// [`crate::rfft::RealFft`] plan transforms the zero-padded signal (an
-/// `N/2`-point complex FFT), the power spectrum `|X_k|^2` is folded into the
-/// `N/2 + 1` retained bins in place, and the c2r inverse brings the ACF back —
-/// half the transform work and half the memory traffic of the old full-complex
-/// version, with no plan construction and no scratch allocation in steady
-/// state (see [`crate::plan_cache`]).
+/// The whole pipeline runs on the real-input half spectrum in deinterleaved
+/// (structure-of-arrays) form: a cached [`crate::rfft::RealFft`] plan
+/// transforms the zero-padded signal (an `N/2`-point complex FFT) straight
+/// into `re`/`im` planes, the power spectrum `|X_k|^2` is folded into the
+/// `N/2 + 1` retained bins with one contiguous-stream loop (the
+/// autovectorisable form of the fold), and the c2r inverse brings the ACF
+/// back — half the transform work of the full-complex version, with no plan
+/// construction and no scratch allocation in steady state (see
+/// [`crate::plan_cache`]).
 pub fn autocorrelation_fft(signal: &[f64]) -> Vec<f64> {
     let n = signal.len();
     if n == 0 {
@@ -99,18 +100,18 @@ pub fn autocorrelation_fft(signal: &[f64]) -> Vec<f64> {
     // even length, so the r2c/c2r fast path always applies.
     let padded = (2 * n).next_power_of_two();
     let plan = plan_cache::rfft_plan(padded);
-    let mut half = plan_cache::take_scratch(0);
-    let mut scratch = plan_cache::take_scratch(plan.scratch_len());
-    plan.process_padded(signal, &mut half, &mut scratch);
+    let mut half = plan_cache::take_split(plan.output_len());
+    plan.process_padded_split(signal, &mut half);
     // Wiener–Khinchin: the ACF is the inverse transform of the power
     // spectrum, which for a real signal is fully described by the half bins.
-    for x in half.iter_mut() {
-        *x = Complex::from_real(x.norm_sqr());
+    for (r, i) in half.re.iter_mut().zip(half.im.iter_mut()) {
+        *r = *r * *r + *i * *i;
+        *i = 0.0;
     }
-    let mut acf = Vec::new();
-    plan.inverse(&half, &mut acf, &mut scratch);
-    plan_cache::give_scratch(half);
-    plan_cache::give_scratch(scratch);
+    // inverse_split resizes to the padded length before the truncate.
+    let mut acf = Vec::with_capacity(padded);
+    plan.inverse_split(&half, &mut acf);
+    plan_cache::give_split(half);
     acf.truncate(n);
     acf
 }

@@ -13,13 +13,17 @@
 //! All transforms are unnormalised in the forward direction and divide by `N`
 //! in the inverse direction, so `ifft(fft(x)) == x`.
 //!
-//! Plans precompute every table they need (twiddles, digit-reversal
-//! permutation, Bluestein chirp/filter); execution through
-//! [`Fft::process_with_scratch`] performs **no allocations** — the caller
-//! provides a scratch slice of [`Fft::scratch_len`] elements. The convenience
-//! wrappers [`fft`], [`ifft`] and [`fft_real`] obtain plans and scratch from
-//! the thread-local [`crate::plan_cache`], so repeated calls at the same
-//! length neither rebuild plans nor allocate in steady state.
+//! Execution runs on a **deinterleaved (structure-of-arrays) complex layout**
+//! ([`crate::complex::SplitComplex`]): the butterfly kernels read and write
+//! separate contiguous `re`/`im` planes with the twiddle tables stored the
+//! same way, so the inner `k`-loops autovectorise on stable Rust without any
+//! `std::simd`. [`Fft::process_split`] is the native plane entry point; the
+//! interleaved `[Complex]` API ([`Fft::process`]) converts at the boundary
+//! using pooled plane buffers from the thread-local
+//! [`crate::plan_cache`], so steady-state execution still performs **no
+//! allocations**. The convenience wrappers [`fft`], [`ifft`] and [`fft_real`]
+//! ride the same cache, so repeated calls at the same length neither rebuild
+//! plans nor allocate.
 //!
 //! The FTIO pipeline (see `ftio-core`) applies the DFT to bandwidth signals
 //! whose length `N = Δt · fs` is rarely a power of two, which is why
@@ -27,7 +31,7 @@
 //! [`crate::rfft::RealFft`], which halves the work by exploiting the conjugate
 //! symmetry of the spectrum.
 
-use crate::complex::Complex;
+use crate::complex::{Complex, SplitComplex};
 use crate::plan_cache;
 
 /// Transform direction.
@@ -53,7 +57,8 @@ impl Direction {
 ///
 /// Creating a plan precomputes twiddle factors, the digit-reversal
 /// permutation, and (for the Bluestein path) the chirp and filter tables.
-/// Executing a plan through [`Fft::process_with_scratch`] does not allocate.
+/// Execution draws pooled plane buffers from [`crate::plan_cache`], so
+/// steady-state processing does not allocate.
 ///
 /// # Examples
 ///
@@ -101,9 +106,13 @@ struct SmoothPlan {
 struct Stage {
     radix: usize,
     m: usize,
-    /// Flattened inter-stage twiddles `W_M^{s·k}` (`M = radix·m`) with layout
-    /// `twiddles[k·(radix−1) + (s−1)]` for `k in 0..m`, `s in 1..radix`.
-    twiddles: Vec<Complex>,
+    /// Deinterleaved inter-stage twiddles `W_M^{s·k}` (`M = radix·m`), real
+    /// plane. Layout: one contiguous run of `m` values per butterfly input,
+    /// `tw_re[(s−1)·m + k]` for `s in 1..radix`, `k in 0..m` — so every
+    /// kernel's `k`-loop reads its twiddles sequentially (SoA, vectorisable).
+    tw_re: Vec<f64>,
+    /// Deinterleaved inter-stage twiddles, imaginary plane (same layout).
+    tw_im: Vec<f64>,
     /// Intra-butterfly roots `W_radix^{s·q}` with layout `roots[s·radix + q]`
     /// (forward sign); only used by the generic odd-radix kernel.
     roots: Vec<Complex>,
@@ -113,10 +122,12 @@ struct Stage {
 struct BluesteinPlan {
     /// Convolution length (power of two >= 2*len - 1).
     conv_len: usize,
-    /// Chirp sequence `exp(-i*pi*n^2/len)` for n in 0..len (forward sign).
-    chirp: Vec<Complex>,
-    /// Forward FFT of the zero-padded, conjugated chirp filter.
-    filter_fft: Vec<Complex>,
+    /// Chirp sequence `exp(-i*pi*n^2/len)` for n in 0..len (forward sign),
+    /// stored as deinterleaved planes so the elementwise chirp multiplies run
+    /// on contiguous `f64` streams.
+    chirp: SplitComplex,
+    /// Forward FFT of the zero-padded, conjugated chirp filter (planes).
+    filter_fft: SplitComplex,
     /// Inner power-of-two plan used for the convolution.
     inner: Box<Fft>,
 }
@@ -152,42 +163,16 @@ impl Fft {
         self.len == 0
     }
 
-    /// Number of scratch elements [`Fft::process_with_scratch`] requires.
-    pub fn scratch_len(&self) -> usize {
-        match &self.kind {
-            PlanKind::Trivial => 0,
-            PlanKind::Smooth(_) => self.len,
-            // One conv_len buffer for the chirped sequence plus the inner
-            // (smooth power-of-two) plan's own scratch.
-            PlanKind::Bluestein(plan) => plan.conv_len + plan.inner.scratch_len(),
-        }
-    }
-
-    /// Executes the transform in place, allocating its own scratch buffer.
+    /// Executes the transform in place on an interleaved buffer.
     ///
-    /// Hot paths should use [`Fft::process_with_scratch`] with a pooled buffer
-    /// (see [`crate::plan_cache`]) to avoid the allocation.
+    /// Work buffers come from the thread-local pool
+    /// ([`crate::plan_cache::take_split`]), so steady-state calls do not
+    /// allocate.
     ///
     /// # Panics
     ///
     /// Panics if `data.len()` differs from the plan length.
     pub fn process(&self, data: &mut [Complex], direction: Direction) {
-        let mut scratch = vec![Complex::ZERO; self.scratch_len()];
-        self.process_with_scratch(data, direction, &mut scratch);
-    }
-
-    /// Executes the transform in place without allocating.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `data.len()` differs from the plan length or `scratch` is
-    /// shorter than [`Fft::scratch_len`].
-    pub fn process_with_scratch(
-        &self,
-        data: &mut [Complex],
-        direction: Direction,
-        scratch: &mut [Complex],
-    ) {
         assert_eq!(
             data.len(),
             self.len,
@@ -195,25 +180,81 @@ impl Fft {
             self.len,
             data.len()
         );
-        assert!(
-            scratch.len() >= self.scratch_len(),
-            "FFT scratch length {} is below the required {}",
-            scratch.len(),
-            self.scratch_len()
+        self.execute_interleaved(data, direction);
+    }
+
+    /// Executes the transform in place on deinterleaved planes — the layout
+    /// the butterfly kernels natively run on. This is the allocation-free hot
+    /// path (apart from one pooled gather buffer): no interleave/deinterleave
+    /// conversion happens at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either plane's length differs from the plan length.
+    pub fn process_split(&self, re: &mut [f64], im: &mut [f64], direction: Direction) {
+        assert_eq!(
+            re.len(),
+            self.len,
+            "FFT plan length {} does not match re-plane length {}",
+            self.len,
+            re.len()
         );
+        assert_eq!(
+            im.len(),
+            self.len,
+            "FFT plan length {} does not match im-plane length {}",
+            self.len,
+            im.len()
+        );
+        let conj = direction == Direction::Inverse;
         match &self.kind {
             PlanKind::Trivial => {}
             PlanKind::Smooth(plan) => {
-                plan.process(data, direction, &mut scratch[..self.len]);
-                if direction == Direction::Inverse {
-                    normalize(data);
+                let mut scratch = plan_cache::take_split(self.len);
+                plan.gather_planes(re, im, &mut scratch);
+                plan.run_stages(&mut scratch.re, &mut scratch.im, conj);
+                if conj {
+                    normalize_split(&mut scratch.re, &mut scratch.im);
                 }
+                re.copy_from_slice(&scratch.re);
+                im.copy_from_slice(&scratch.im);
+                plan_cache::give_split(scratch);
             }
             PlanKind::Bluestein(plan) => {
-                plan.process(data, direction, scratch);
-                if direction == Direction::Inverse {
-                    normalize(data);
+                plan.process_split(re, im, direction);
+                if conj {
+                    normalize_split(re, im);
                 }
+            }
+        }
+    }
+
+    /// Shared interleaved execution: deinterleave into pooled planes, run the
+    /// plane kernels, reinterleave. The smooth path fuses the deinterleave
+    /// with the digit-reversal gather (one pass instead of two).
+    fn execute_interleaved(&self, data: &mut [Complex], direction: Direction) {
+        let conj = direction == Direction::Inverse;
+        match &self.kind {
+            PlanKind::Trivial => {}
+            PlanKind::Smooth(plan) => {
+                let mut work = plan_cache::take_split(self.len);
+                plan.gather_interleaved(data, &mut work);
+                plan.run_stages(&mut work.re, &mut work.im, conj);
+                if conj {
+                    normalize_split(&mut work.re, &mut work.im);
+                }
+                work.copy_to_interleaved(data);
+                plan_cache::give_split(work);
+            }
+            PlanKind::Bluestein(plan) => {
+                let mut work = plan_cache::take_split(self.len);
+                work.copy_from_interleaved(data);
+                plan.process_split(&mut work.re, &mut work.im, direction);
+                if conj {
+                    normalize_split(&mut work.re, &mut work.im);
+                }
+                work.copy_to_interleaved(data);
+                plan_cache::give_split(work);
             }
         }
     }
@@ -249,11 +290,13 @@ impl SmoothPlan {
         let mut m = 1usize;
         for &radix in &radices {
             let big_m = radix * m;
-            let mut twiddles = Vec::with_capacity((radix - 1) * m);
-            for k in 0..m {
-                for s in 1..radix {
+            let mut tw_re = Vec::with_capacity((radix - 1) * m);
+            let mut tw_im = Vec::with_capacity((radix - 1) * m);
+            for s in 1..radix {
+                for k in 0..m {
                     let angle = -2.0 * std::f64::consts::PI * (s * k) as f64 / big_m as f64;
-                    twiddles.push(Complex::cis(angle));
+                    tw_re.push(angle.cos());
+                    tw_im.push(angle.sin());
                 }
             }
             let mut roots = Vec::with_capacity(radix * radix);
@@ -267,7 +310,8 @@ impl SmoothPlan {
             stages.push(Stage {
                 radix,
                 m,
-                twiddles,
+                tw_re,
+                tw_im,
                 roots,
             });
             m = big_m;
@@ -301,120 +345,162 @@ impl SmoothPlan {
         }
     }
 
-    fn process(&self, data: &mut [Complex], direction: Direction, scratch: &mut [Complex]) {
-        let n = data.len();
-        // Gather the digit-reversed input into scratch; the first stage then
-        // writes back into `data`, and the remaining stages run in place.
-        for (slot, &src) in scratch.iter_mut().zip(self.perm.iter()) {
-            *slot = data[src as usize];
+    /// Gathers the digit-reversed input from an interleaved buffer into
+    /// planes (deinterleave and permutation fused into one pass).
+    fn gather_interleaved(&self, data: &[Complex], out: &mut SplitComplex) {
+        for ((slot_re, slot_im), &src) in out
+            .re
+            .iter_mut()
+            .zip(out.im.iter_mut())
+            .zip(self.perm.iter())
+        {
+            let z = data[src as usize];
+            *slot_re = z.re;
+            *slot_im = z.im;
         }
-        let conj = direction == Direction::Inverse;
-        let mut first = true;
+    }
+
+    /// Gathers the digit-reversed input from source planes into `out`.
+    fn gather_planes(&self, re: &[f64], im: &[f64], out: &mut SplitComplex) {
+        for ((slot_re, slot_im), &src) in out
+            .re
+            .iter_mut()
+            .zip(out.im.iter_mut())
+            .zip(self.perm.iter())
+        {
+            *slot_re = re[src as usize];
+            *slot_im = im[src as usize];
+        }
+    }
+
+    /// Runs every butterfly stage in place on the (already digit-reversed)
+    /// planes.
+    fn run_stages(&self, re: &mut [f64], im: &mut [f64], conj: bool) {
         for stage in &self.stages {
-            if first {
-                stage_out_of_place(scratch, data, stage, conj);
-                first = false;
-            } else {
-                stage_in_place(data, stage, conj);
+            stage_in_place_split(re, im, stage, conj);
+        }
+    }
+}
+
+/// One in-place mixed-radix butterfly stage on deinterleaved planes. The
+/// radix-2 and radix-4 bulk kernels loop over contiguous `f64` chunk slices
+/// with sequential twiddle reads, which is the shape LLVM autovectorises.
+fn stage_in_place_split(re: &mut [f64], im: &mut [f64], stage: &Stage, conj: bool) {
+    match stage.radix {
+        2 => radix2_stage(re, im, stage, conj),
+        4 => radix4_stage(re, im, stage, conj),
+        _ => generic_stage(re, im, stage, conj),
+    }
+}
+
+fn radix2_stage(re: &mut [f64], im: &mut [f64], stage: &Stage, conj: bool) {
+    let m = stage.m;
+    let sign = if conj { -1.0 } else { 1.0 };
+    let wr = &stage.tw_re[..m];
+    let wi = &stage.tw_im[..m];
+    for (rb, ib) in re.chunks_exact_mut(2 * m).zip(im.chunks_exact_mut(2 * m)) {
+        let (r0, r1) = rb.split_at_mut(m);
+        let (i0, i1) = ib.split_at_mut(m);
+        for k in 0..m {
+            let twr = wr[k];
+            let twi = sign * wi[k];
+            let tr = r1[k] * twr - i1[k] * twi;
+            let ti = r1[k] * twi + i1[k] * twr;
+            r1[k] = r0[k] - tr;
+            i1[k] = i0[k] - ti;
+            r0[k] += tr;
+            i0[k] += ti;
+        }
+    }
+}
+
+fn radix4_stage(re: &mut [f64], im: &mut [f64], stage: &Stage, conj: bool) {
+    let m = stage.m;
+    let sign = if conj { -1.0 } else { 1.0 };
+    let w1r = &stage.tw_re[..m];
+    let w1i = &stage.tw_im[..m];
+    let w2r = &stage.tw_re[m..2 * m];
+    let w2i = &stage.tw_im[m..2 * m];
+    let w3r = &stage.tw_re[2 * m..3 * m];
+    let w3i = &stage.tw_im[2 * m..3 * m];
+    for (rb, ib) in re.chunks_exact_mut(4 * m).zip(im.chunks_exact_mut(4 * m)) {
+        let (r0, rest) = rb.split_at_mut(m);
+        let (r1, rest) = rest.split_at_mut(m);
+        let (r2, r3) = rest.split_at_mut(m);
+        let (i0, rest) = ib.split_at_mut(m);
+        let (i1, rest) = rest.split_at_mut(m);
+        let (i2, i3) = rest.split_at_mut(m);
+        for k in 0..m {
+            let v0r = r0[k];
+            let v0i = i0[k];
+            let (x1r, x1i, t1r, t1i) = (r1[k], i1[k], w1r[k], sign * w1i[k]);
+            let v1r = x1r * t1r - x1i * t1i;
+            let v1i = x1r * t1i + x1i * t1r;
+            let (x2r, x2i, t2wr, t2wi) = (r2[k], i2[k], w2r[k], sign * w2i[k]);
+            let v2r = x2r * t2wr - x2i * t2wi;
+            let v2i = x2r * t2wi + x2i * t2wr;
+            let (x3r, x3i, t3wr, t3wi) = (r3[k], i3[k], w3r[k], sign * w3i[k]);
+            let v3r = x3r * t3wr - x3i * t3wi;
+            let v3i = x3r * t3wi + x3i * t3wr;
+
+            let t0r = v0r + v2r;
+            let t0i = v0i + v2i;
+            let t1br = v0r - v2r;
+            let t1bi = v0i - v2i;
+            let t2r = v1r + v3r;
+            let t2i = v1i + v3i;
+            // (v1 - v3) rotated by −i (forward) / +i (inverse).
+            let dr = v1r - v3r;
+            let di = v1i - v3i;
+            let t3r = sign * di;
+            let t3i = -sign * dr;
+
+            r0[k] = t0r + t2r;
+            i0[k] = t0i + t2i;
+            r1[k] = t1br + t3r;
+            i1[k] = t1bi + t3i;
+            r2[k] = t0r - t2r;
+            i2[k] = t0i - t2i;
+            r3[k] = t1br - t3r;
+            i3[k] = t1bi - t3i;
+        }
+    }
+}
+
+/// Generic odd-radix (3, 5, 7) kernel: butterfly inputs are cached in small
+/// stack arrays, so the strided writes never overwrite unread inputs.
+fn generic_stage(re: &mut [f64], im: &mut [f64], stage: &Stage, conj: bool) {
+    let m = stage.m;
+    let r = stage.radix;
+    let big_m = r * m;
+    let sign = if conj { -1.0 } else { 1.0 };
+    let mut vr = [0.0f64; 7];
+    let mut vi = [0.0f64; 7];
+    for (rb, ib) in re.chunks_exact_mut(big_m).zip(im.chunks_exact_mut(big_m)) {
+        for k in 0..m {
+            vr[0] = rb[k];
+            vi[0] = ib[k];
+            for s in 1..r {
+                let twr = stage.tw_re[(s - 1) * m + k];
+                let twi = sign * stage.tw_im[(s - 1) * m + k];
+                let xr = rb[s * m + k];
+                let xi = ib[s * m + k];
+                vr[s] = xr * twr - xi * twi;
+                vi[s] = xr * twi + xi * twr;
             }
-        }
-        if first {
-            // No stages (len 1 handled by Trivial, but keep this robust).
-            data.copy_from_slice(&scratch[..n]);
-        }
-    }
-}
-
-/// Reads one butterfly's inputs from `src` at stride `m`, applies the
-/// inter-stage twiddles, and returns them in `v[0..radix]`.
-#[inline]
-fn load_twiddled(
-    src: &[Complex],
-    base: usize,
-    k: usize,
-    stage: &Stage,
-    conj: bool,
-    v: &mut [Complex; 7],
-) {
-    let r = stage.radix;
-    let m = stage.m;
-    v[0] = src[base + k];
-    let tw = &stage.twiddles[k * (r - 1)..k * (r - 1) + (r - 1)];
-    for s in 1..r {
-        let mut w = tw[s - 1];
-        if conj {
-            w = w.conj();
-        }
-        v[s] = src[base + s * m + k] * w;
-    }
-}
-
-/// Writes one butterfly's outputs computed from `v` into `dst`.
-#[inline]
-fn store_butterfly(
-    dst: &mut [Complex],
-    base: usize,
-    k: usize,
-    stage: &Stage,
-    conj: bool,
-    v: &[Complex; 7],
-) {
-    let r = stage.radix;
-    let m = stage.m;
-    match r {
-        2 => {
-            dst[base + k] = v[0] + v[1];
-            dst[base + m + k] = v[0] - v[1];
-        }
-        4 => {
-            let t0 = v[0] + v[2];
-            let t1 = v[0] - v[2];
-            let t2 = v[1] + v[3];
-            let t3 = if conj {
-                // Inverse: W_4 = +i.
-                (v[1] - v[3]).mul_i()
-            } else {
-                (v[1] - v[3]).mul_neg_i()
-            };
-            dst[base + k] = t0 + t2;
-            dst[base + m + k] = t1 + t3;
-            dst[base + 2 * m + k] = t0 - t2;
-            dst[base + 3 * m + k] = t1 - t3;
-        }
-        _ => {
             for q in 0..r {
-                let mut acc = v[0];
-                for (s, vs) in v.iter().enumerate().take(r).skip(1) {
-                    let mut w = stage.roots[s * r + q];
-                    if conj {
-                        w = w.conj();
-                    }
-                    acc += *vs * w;
+                let mut ar = vr[0];
+                let mut ai = vi[0];
+                for s in 1..r {
+                    let root = stage.roots[s * r + q];
+                    let twr = root.re;
+                    let twi = sign * root.im;
+                    ar += vr[s] * twr - vi[s] * twi;
+                    ai += vr[s] * twi + vi[s] * twr;
                 }
-                dst[base + q * m + k] = acc;
+                rb[q * m + k] = ar;
+                ib[q * m + k] = ai;
             }
-        }
-    }
-}
-
-fn stage_out_of_place(src: &[Complex], dst: &mut [Complex], stage: &Stage, conj: bool) {
-    let big_m = stage.radix * stage.m;
-    let mut v = [Complex::ZERO; 7];
-    for base in (0..src.len()).step_by(big_m) {
-        for k in 0..stage.m {
-            load_twiddled(src, base, k, stage, conj, &mut v);
-            store_butterfly(dst, base, k, stage, conj, &v);
-        }
-    }
-}
-
-fn stage_in_place(data: &mut [Complex], stage: &Stage, conj: bool) {
-    let big_m = stage.radix * stage.m;
-    let mut v = [Complex::ZERO; 7];
-    for base in (0..data.len()).step_by(big_m) {
-        for k in 0..stage.m {
-            load_twiddled(data, base, k, stage, conj, &mut v);
-            store_butterfly(data, base, k, stage, conj, &v);
         }
     }
 }
@@ -426,24 +512,26 @@ impl BluesteinPlan {
         let conv_len = (2 * len - 1).next_power_of_two();
         // Chirp: c_n = exp(-i * pi * n^2 / len). Computed with n^2 mod 2*len to
         // keep the argument small and avoid precision loss for large n.
-        let chirp: Vec<Complex> = (0..len)
-            .map(|n| {
-                let sq = ((n as u128 * n as u128) % (2 * len as u128)) as f64;
-                Complex::cis(-std::f64::consts::PI * sq / len as f64)
-            })
-            .collect();
+        let mut chirp = SplitComplex::with_len(len);
+        for n in 0..len {
+            let sq = ((n as u128 * n as u128) % (2 * len as u128)) as f64;
+            let angle = -std::f64::consts::PI * sq / len as f64;
+            chirp.re[n] = angle.cos();
+            chirp.im[n] = angle.sin();
+        }
         // Filter b_n = conj(chirp), wrapped so that negative indices map to the
         // end of the buffer (circular convolution).
-        let mut filter = vec![Complex::ZERO; conv_len];
+        let mut filter_fft = SplitComplex::with_len(conv_len);
         for n in 0..len {
-            filter[n] = chirp[n].conj();
+            filter_fft.re[n] = chirp.re[n];
+            filter_fft.im[n] = -chirp.im[n];
             if n != 0 {
-                filter[conv_len - n] = chirp[n].conj();
+                filter_fft.re[conv_len - n] = chirp.re[n];
+                filter_fft.im[conv_len - n] = -chirp.im[n];
             }
         }
         let inner = Box::new(Fft::new(conv_len));
-        let mut filter_fft = filter;
-        inner.process(&mut filter_fft, Direction::Forward);
+        inner.process_split(&mut filter_fft.re, &mut filter_fft.im, Direction::Forward);
         BluesteinPlan {
             conv_len,
             chirp,
@@ -452,41 +540,51 @@ impl BluesteinPlan {
         }
     }
 
-    fn process(&self, data: &mut [Complex], direction: Direction, scratch: &mut [Complex]) {
-        let n = data.len();
+    fn process_split(&self, re: &mut [f64], im: &mut [f64], direction: Direction) {
+        let n = re.len();
         let conv_len = self.conv_len;
-        let (a, inner_scratch) = scratch.split_at_mut(conv_len);
-        let conj_input = direction == Direction::Inverse;
-
-        // a_n = x_n * chirp_n (use conjugated chirp for the inverse transform).
-        for (ai, (x, c)) in a.iter_mut().zip(data.iter().zip(self.chirp.iter())) {
-            let c = if conj_input { c.conj() } else { *c };
-            *ai = *x * c;
-        }
-        for ai in a.iter_mut().take(conv_len).skip(n) {
-            *ai = Complex::ZERO;
-        }
-        self.inner
-            .process_with_scratch(a, Direction::Forward, inner_scratch);
-        if conj_input {
-            // The precomputed filter is for the forward chirp; the inverse
-            // chirp's filter spectrum equals conj(filter_fft) because the
-            // filter is conjugate-symmetric by construction.
-            for (ai, fi) in a.iter_mut().zip(self.filter_fft.iter()) {
-                *ai *= fi.conj();
-            }
+        // The inverse transform conjugates the chirp — and the filter spectrum
+        // (the filter is conjugate-symmetric by construction) — which on the
+        // planes is just a sign on the imaginary parts.
+        let cs = if direction == Direction::Inverse {
+            -1.0
         } else {
-            for (ai, fi) in a.iter_mut().zip(self.filter_fft.iter()) {
-                *ai *= *fi;
-            }
+            1.0
+        };
+        let mut a = plan_cache::take_split(conv_len);
+
+        // a_n = x_n * chirp_n, zero-padded to the convolution length.
+        for k in 0..n {
+            let cr = self.chirp.re[k];
+            let ci = cs * self.chirp.im[k];
+            a.re[k] = re[k] * cr - im[k] * ci;
+            a.im[k] = re[k] * ci + im[k] * cr;
+        }
+        a.re[n..conv_len].fill(0.0);
+        a.im[n..conv_len].fill(0.0);
+
+        self.inner
+            .process_split(&mut a.re, &mut a.im, Direction::Forward);
+        for k in 0..conv_len {
+            let fr = self.filter_fft.re[k];
+            let fi = cs * self.filter_fft.im[k];
+            let xr = a.re[k];
+            let xi = a.im[k];
+            a.re[k] = xr * fr - xi * fi;
+            a.im[k] = xr * fi + xi * fr;
         }
         self.inner
-            .process_with_scratch(a, Direction::Inverse, inner_scratch);
+            .process_split(&mut a.re, &mut a.im, Direction::Inverse);
 
-        for (x, (ai, c)) in data.iter_mut().zip(a.iter().zip(self.chirp.iter())) {
-            let c = if conj_input { c.conj() } else { *c };
-            *x = *ai * c;
+        for k in 0..n {
+            let cr = self.chirp.re[k];
+            let ci = cs * self.chirp.im[k];
+            let xr = a.re[k];
+            let xi = a.im[k];
+            re[k] = xr * cr - xi * ci;
+            im[k] = xr * ci + xi * cr;
         }
+        plan_cache::give_split(a);
     }
 }
 
@@ -536,12 +634,11 @@ pub fn ifft(spectrum: &[Complex]) -> Vec<Complex> {
     buf
 }
 
-/// Transforms `data` in place through the plan cache with pooled scratch.
+/// Transforms `data` in place through the plan cache with pooled plane
+/// buffers.
 pub(crate) fn process_cached(data: &mut [Complex], direction: Direction) {
     let plan = plan_cache::fft_plan(data.len());
-    let mut scratch = plan_cache::take_scratch(plan.scratch_len());
-    plan.process_with_scratch(data, direction, &mut scratch);
-    plan_cache::give_scratch(scratch);
+    plan.execute_interleaved(data, direction);
 }
 
 /// Naive `O(N^2)` DFT used as a cross-check in tests and for very short inputs.
@@ -587,6 +684,18 @@ pub(crate) fn normalize(data: &mut [Complex]) {
     let inv = 1.0 / data.len() as f64;
     for x in data.iter_mut() {
         *x = x.scale(inv);
+    }
+}
+
+/// `1/N` scaling of deinterleaved planes — two contiguous `f64` streams, the
+/// vectorisable form of [`normalize`].
+pub(crate) fn normalize_split(re: &mut [f64], im: &mut [f64]) {
+    let inv = 1.0 / re.len() as f64;
+    for x in re.iter_mut() {
+        *x *= inv;
+    }
+    for x in im.iter_mut() {
+        *x *= inv;
     }
 }
 
@@ -769,15 +878,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "below the required")]
-    fn too_small_scratch_panics() {
-        let plan = Fft::new(8);
-        let mut buf = vec![Complex::ZERO; 8];
-        let mut scratch = vec![Complex::ZERO; 4];
-        plan.process_with_scratch(&mut buf, Direction::Forward, &mut scratch);
-    }
-
-    #[test]
     fn plan_reuse_gives_identical_results() {
         let n = 100;
         let signal: Vec<Complex> = (0..n).map(|i| Complex::from_real(i as f64)).collect();
@@ -788,17 +888,52 @@ mod tests {
     }
 
     #[test]
-    fn scratch_and_allocating_paths_agree() {
+    fn split_plane_api_matches_interleaved_api() {
+        // Smooth power-of-two, mixed-radix, odd-smooth, prime (Bluestein) and
+        // composite-with-big-prime lengths, both directions.
+        for &n in &[8usize, 12, 15, 60, 64, 97, 105, 360, 1018] {
+            let signal: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.77).sin(), (i as f64 * 0.31).cos()))
+                .collect();
+            let plan = Fft::new(n);
+            for direction in [Direction::Forward, Direction::Inverse] {
+                let mut interleaved = signal.clone();
+                plan.process(&mut interleaved, direction);
+                let mut re: Vec<f64> = signal.iter().map(|z| z.re).collect();
+                let mut im: Vec<f64> = signal.iter().map(|z| z.im).collect();
+                plan.process_split(&mut re, &mut im, direction);
+                for (k, z) in interleaved.iter().enumerate() {
+                    assert!(
+                        (z.re - re[k]).abs() < 1e-12 && (z.im - im[k]).abs() < 1e-12,
+                        "n={n} {direction:?} bin {k}: ({}, {}) vs {z:?}",
+                        re[k],
+                        im[k]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match re-plane length")]
+    fn mismatched_split_plane_length_panics() {
+        let plan = Fft::new(8);
+        let mut re = vec![0.0; 4];
+        let mut im = vec![0.0; 4];
+        plan.process_split(&mut re, &mut im, Direction::Forward);
+    }
+
+    #[test]
+    fn in_place_and_copying_paths_agree() {
         for &n in &[16usize, 60, 97, 1018] {
             let signal: Vec<Complex> = (0..n)
                 .map(|i| Complex::new((i as f64 * 0.13).cos(), (i as f64 * 0.29).sin()))
                 .collect();
             let plan = Fft::new(n);
-            let mut with_scratch = signal.clone();
-            let mut scratch = vec![Complex::ZERO; plan.scratch_len()];
-            plan.process_with_scratch(&mut with_scratch, Direction::Forward, &mut scratch);
-            let allocating = plan.forward(&signal);
-            assert_spectra_close(&with_scratch, &allocating, 0.0);
+            let mut in_place = signal.clone();
+            plan.process(&mut in_place, Direction::Forward);
+            let copying = plan.forward(&signal);
+            assert_spectra_close(&in_place, &copying, 0.0);
         }
     }
 

@@ -7,8 +7,10 @@
 //! scratch with no numeric dependencies:
 //!
 //! * [`mod@fft`] — fast Fourier transform for arbitrary lengths (mixed-radix
-//!   with radix-4/2 kernels, and Bluestein), plus a naive DFT for
-//!   cross-checking;
+//!   with radix-4/2 kernels, and Bluestein), executing on a deinterleaved
+//!   (structure-of-arrays) complex layout ([`complex::SplitComplex`]) whose
+//!   contiguous-plane butterfly loops autovectorise on stable Rust, plus a
+//!   naive DFT for cross-checking;
 //! * [`mod@rfft`] — the real-input FFT fast path: FTIO's signals are real, so
 //!   their spectra are conjugate-symmetric and an `N`-point transform reduces
 //!   to an `N/2`-point complex FFT plus an `O(N)` recombination — half the
@@ -60,7 +62,7 @@ pub mod stats;
 pub mod window;
 pub mod zscore;
 
-pub use complex::Complex;
+pub use complex::{Complex, SplitComplex};
 pub use correlation::{autocorrelation, autocorrelation_with, Normalization};
 pub use dbscan::{cluster_intervals, dbscan_1d, ClusterInterval, Clustering, Label};
 pub use fft::{dft_naive, fft, fft_real, ifft, Direction, Fft};

@@ -45,10 +45,16 @@ pub struct Peak {
 /// Finds local maxima of `signal` subject to the constraints in `config`,
 /// returned in increasing index order.
 ///
-/// A sample is a local maximum if it is strictly greater than its left
-/// neighbour and greater than or equal to its right neighbour; for plateaus
-/// the left-most plateau sample whose right edge eventually drops is used
-/// (plateau midpoints, as SciPy computes them, are not needed here).
+/// A sample is a local maximum if it rises above its left neighbour and
+/// eventually drops on the right. A plateau of equal samples counts as one
+/// peak reported at the plateau's *midpoint* — `(first + last) / 2`, which for
+/// an even-length plateau is the left-of-centre sample — exactly as SciPy's
+/// `find_peaks` computes it.
+///
+/// Prominences are computed for every reported peak in a single
+/// monotonic-stack pass over the signal (`O(n)` for *all* peaks together, not
+/// `O(n)` per peak), so peak-dense signals such as high-rate autocorrelation
+/// functions stay linear.
 pub fn find_peaks(signal: &[f64], config: &PeakConfig) -> Vec<Peak> {
     let n = signal.len();
     if n < 3 {
@@ -89,14 +95,20 @@ pub fn find_peaks(signal: &[f64], config: &PeakConfig) -> Vec<Peak> {
     }
 
     // 4. Prominence filter (prominences always computed for the output).
-    let mut peaks: Vec<Peak> = candidates
-        .iter()
-        .map(|&idx| Peak {
-            index: idx,
-            height: signal[idx],
-            prominence: prominence(signal, idx),
-        })
-        .collect();
+    let mut peaks: Vec<Peak> = if candidates.is_empty() {
+        Vec::new()
+    } else {
+        let left = side_bases(signal, false);
+        let right = side_bases(signal, true);
+        candidates
+            .iter()
+            .map(|&idx| Peak {
+                index: idx,
+                height: signal[idx],
+                prominence: signal[idx] - left[idx].max(right[idx]),
+            })
+            .collect()
+    };
     if let Some(p) = config.min_prominence {
         peaks.retain(|peak| peak.prominence >= p);
     }
@@ -145,11 +157,55 @@ pub fn find_peak_indices(signal: &[f64], config: &PeakConfig) -> Vec<usize> {
         .collect()
 }
 
-/// Topographic prominence of the local maximum at `idx`.
-fn prominence(signal: &[f64], idx: usize) -> f64 {
+/// One-sided peak bases for *every* index in a single monotonic-stack pass.
+///
+/// `bases[i]` is the minimum sample value strictly between `i` and the nearest
+/// strictly-higher sample towards the scanned-from side (the signal edge when
+/// no higher sample exists), clamped to `signal[i]` — exactly the quantity the
+/// per-peak walk in [`prominence_naive`] computes, but `O(n)` for all indices
+/// together instead of `O(n)` per index.
+///
+/// The stack holds `(height, absorbed)` pairs with heights strictly decreasing
+/// from bottom to top; `absorbed` is the minimum of the samples strictly
+/// between that entry and its own nearest strictly-higher sample (everything
+/// the entry swallowed when it was pushed). When a new sample `x` arrives,
+/// every entry with `height <= x` is folded — height and absorbed minimum —
+/// into a running minimum (`carry`); the remaining top is the nearest
+/// strictly-higher sample and `carry` is exactly the minimum over the base
+/// window, which `x` then records as its own `absorbed` value.
+fn side_bases(signal: &[f64], from_right: bool) -> Vec<f64> {
+    let n = signal.len();
+    let mut bases = vec![0.0; n];
+    let mut stack: Vec<(f64, f64)> = Vec::new();
+    for t in 0..n {
+        let i = if from_right { n - 1 - t } else { t };
+        let x = signal[i];
+        let mut carry = f64::INFINITY;
+        while let Some(&(h, absorbed)) = stack.last() {
+            if h <= x {
+                carry = carry.min(h).min(absorbed);
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        bases[i] = carry.min(x);
+        stack.push((x, carry));
+    }
+    bases
+}
+
+/// Topographic prominence of the local maximum at `idx`, computed by the
+/// textbook per-peak walk: descend on each side to the lowest point before a
+/// strictly higher sample (or the signal edge); prominence is the height above
+/// the higher of the two bases.
+///
+/// This is `O(n)` *per peak* and exists as the independent reference the
+/// randomized tests (and the benchmark baseline) compare the single-pass
+/// monotonic-stack implementation in [`find_peaks`] against.
+#[doc(hidden)]
+pub fn prominence_naive(signal: &[f64], idx: usize) -> f64 {
     let h = signal[idx];
-    // Walk left until a sample higher than h (or the boundary); the base is the
-    // minimum encountered. Same on the right. Prominence is h minus the higher base.
     let mut left_base = h;
     for i in (0..idx).rev() {
         if signal[i] > h {
@@ -197,6 +253,20 @@ mod tests {
         let signal = [0.0, 1.0, 2.0, 2.0, 2.0, 1.0, 0.0];
         let peaks = find_peak_indices(&signal, &PeakConfig::default());
         assert_eq!(peaks, vec![3]);
+    }
+
+    /// Pins the documented plateau contract: a plateau counts as one peak at
+    /// `(first + last) / 2`, which for even-length plateaus is the
+    /// left-of-centre sample.
+    #[test]
+    fn even_plateau_returns_left_of_centre() {
+        // Plateau over indices 2..=5 (length 4): midpoint (2 + 5) / 2 = 3.
+        let signal = [0.0, 1.0, 2.0, 2.0, 2.0, 2.0, 1.0, 0.0];
+        let peaks = find_peak_indices(&signal, &PeakConfig::default());
+        assert_eq!(peaks, vec![3]);
+        // A plateau that runs into the signal edge never drops: not a peak.
+        let edge = [0.0, 1.0, 2.0, 2.0];
+        assert!(find_peak_indices(&edge, &PeakConfig::default()).is_empty());
     }
 
     #[test]
@@ -251,6 +321,57 @@ mod tests {
         assert!(find_peaks(&[], &PeakConfig::default()).is_empty());
         assert!(find_peaks(&[1.0], &PeakConfig::default()).is_empty());
         assert!(find_peaks(&[1.0, 2.0], &PeakConfig::default()).is_empty());
+    }
+
+    /// Randomized property test: the single-pass monotonic-stack prominence
+    /// must agree with the retained naive per-peak walk on arbitrary signals,
+    /// including plateaus (quantised values) and monotone runs.
+    #[test]
+    fn stack_prominence_matches_naive_reference_on_random_signals() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x9ea6_5000);
+        for case in 0..200 {
+            let n = rng.gen_range(3usize..300);
+            // Half the cases quantise to few levels so plateaus and exact ties
+            // are common; the rest use continuous values.
+            let quantised = case % 2 == 0;
+            let signal: Vec<f64> = (0..n)
+                .map(|_| {
+                    let v = rng.gen_range(-10.0f64..10.0);
+                    if quantised {
+                        (v / 2.5).round() * 2.5
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            let peaks = find_peaks(&signal, &PeakConfig::default());
+            for peak in &peaks {
+                let expected = prominence_naive(&signal, peak.index);
+                assert!(
+                    (peak.prominence - expected).abs() < 1e-12,
+                    "case {case} n={n} idx={}: stack {} vs naive {expected}",
+                    peak.index,
+                    peak.prominence
+                );
+            }
+        }
+    }
+
+    /// The stack prominence also agrees at *every* candidate position of a
+    /// dense sawtooth, where all samples participate in some peak's base.
+    #[test]
+    fn stack_prominence_matches_naive_on_dense_sawtooth() {
+        let signal: Vec<f64> = (0..240)
+            .map(|i| ((i % 7) as f64) + ((i % 3) as f64) * 0.25)
+            .collect();
+        let peaks = find_peaks(&signal, &PeakConfig::default());
+        assert!(!peaks.is_empty());
+        for peak in &peaks {
+            let expected = prominence_naive(&signal, peak.index);
+            assert!((peak.prominence - expected).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -22,13 +22,13 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use crate::complex::Complex;
+use crate::complex::SplitComplex;
 use crate::fft::Fft;
 use crate::rfft::RealFft;
 
 /// Maximum number of complex-FFT and real-FFT plans kept per thread.
 const PLAN_CAPACITY: usize = 16;
-/// Maximum number of pooled scratch buffers kept per thread.
+/// Maximum number of pooled split work buffers kept per thread.
 const SCRATCH_POOL_CAPACITY: usize = 8;
 
 /// Debug counters of the thread-local plan cache.
@@ -59,7 +59,7 @@ struct CacheInner {
     /// Most-recently-used first.
     fft: Vec<(usize, Rc<Fft>)>,
     rfft: Vec<(usize, Rc<RealFft>)>,
-    scratch: Vec<Vec<Complex>>,
+    split: Vec<SplitComplex>,
     stats: PlanCacheStats,
 }
 
@@ -147,46 +147,43 @@ pub fn clear() {
         let mut cache = cache.borrow_mut();
         cache.fft.clear();
         cache.rfft.clear();
-        cache.scratch.clear();
+        cache.split.clear();
     });
 }
 
-/// Grows `scratch` to at least `len` elements, counting a real allocation
-/// (capacity growth) in the cache stats.
-pub fn ensure_scratch(scratch: &mut Vec<Complex>, len: usize) {
-    if scratch.capacity() < len {
+/// Takes a pooled deinterleaved (structure-of-arrays) complex buffer, resized
+/// to exactly `len` elements (the FFT kernels rely on the plane length
+/// matching the transform length).
+///
+/// A real allocation — plane capacity growth — counts into
+/// [`PlanCacheStats::scratch_grows`], so the steady-state zero-allocation
+/// contract covers the split buffers too. Return the buffer with
+/// [`give_split`]; the take/give pair is re-entrancy-safe (the Bluestein plan
+/// takes nested buffers for its convolution while an outer transform holds
+/// one).
+pub fn take_split(len: usize) -> SplitComplex {
+    let mut buf = CACHE
+        .with(|cache| cache.borrow_mut().split.pop())
+        .unwrap_or_default();
+    if buf.re.capacity() < len {
         CACHE.with(|cache| cache.borrow_mut().stats.scratch_grows += 1);
     }
-    if scratch.len() < len {
-        scratch.resize(len, Complex::ZERO);
-    }
-}
-
-/// Takes a pooled scratch buffer of at least `len` elements.
-///
-/// Return it with [`give_scratch`] when done so the capacity is reused; the
-/// take/give pair is re-entrancy-safe (nested takers simply get another
-/// buffer).
-pub fn take_scratch(len: usize) -> Vec<Complex> {
-    let mut buf = CACHE
-        .with(|cache| cache.borrow_mut().scratch.pop())
-        .unwrap_or_default();
-    ensure_scratch(&mut buf, len);
+    buf.resize(len);
     buf
 }
 
-/// Returns a scratch buffer to the pool.
-pub fn give_scratch(buf: Vec<Complex>) {
+/// Returns a split buffer to the pool.
+pub fn give_split(buf: SplitComplex) {
     CACHE.with(|cache| {
         let mut cache = cache.borrow_mut();
-        if cache.scratch.len() < SCRATCH_POOL_CAPACITY {
-            cache.scratch.push(buf);
+        if cache.split.len() < SCRATCH_POOL_CAPACITY {
+            cache.split.push(buf);
         } else if let Some(smallest) = cache
-            .scratch
+            .split
             .iter_mut()
-            .min_by_key(|existing| existing.capacity())
+            .min_by_key(|existing| existing.re.capacity())
         {
-            if smallest.capacity() < buf.capacity() {
+            if smallest.re.capacity() < buf.re.capacity() {
                 *smallest = buf;
             }
         }
@@ -196,6 +193,7 @@ pub fn give_scratch(buf: Vec<Complex>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complex::Complex;
     use crate::fft::{fft, fft_real, ifft};
     use crate::rfft::rfft;
 
@@ -251,27 +249,30 @@ mod tests {
     #[test]
     fn clear_releases_plans_and_buffers() {
         let _ = fft_plan(64);
-        give_scratch(take_scratch(4096));
+        give_split(take_split(4096));
         clear();
         reset_stats();
         // The plan was dropped, so the next request rebuilds it...
         let _ = fft_plan(64);
         assert_eq!(stats().fft_plans_built, 1);
-        // ...and the pool is empty, so fresh scratch has to grow again.
-        let buf = take_scratch(4096);
+        // ...and the pool is empty, so fresh buffers have to grow again.
+        let buf = take_split(4096);
         assert_eq!(stats().scratch_grows, 1);
-        give_scratch(buf);
+        give_split(buf);
     }
 
     #[test]
-    fn pooled_scratch_is_reused() {
-        let a = take_scratch(1024);
-        let cap = a.capacity();
-        give_scratch(a);
+    fn pooled_split_buffers_are_reused_and_sized_exactly() {
+        let a = take_split(1024);
+        assert_eq!(a.len(), 1024);
+        let cap = a.re.capacity();
+        give_split(a);
         reset_stats();
-        let b = take_scratch(1024);
-        assert!(b.capacity() >= cap);
+        let b = take_split(512);
+        // Resized down to the requested length, no allocation.
+        assert_eq!(b.len(), 512);
+        assert!(b.re.capacity() >= cap.min(1024));
         assert_eq!(stats().scratch_grows, 0);
-        give_scratch(b);
+        give_split(b);
     }
 }

@@ -24,7 +24,7 @@
 //! not allocate once the buffers have grown to size. The free function
 //! [`rfft`] is the cached convenience entry point.
 
-use crate::complex::Complex;
+use crate::complex::{Complex, SplitComplex};
 use crate::fft::{Direction, Fft};
 use crate::plan_cache;
 
@@ -38,12 +38,11 @@ use crate::plan_cache;
 /// let plan = RealFft::new(8);
 /// let signal: Vec<f64> = (0..8).map(|i| (i as f64 * 0.7).sin()).collect();
 /// let mut half = Vec::new();
-/// let mut scratch = Vec::new();
-/// plan.process(&signal, &mut half, &mut scratch);
+/// plan.process(&signal, &mut half);
 /// assert_eq!(half.len(), 5); // bins 0 ..= N/2
 ///
 /// let mut roundtrip = Vec::new();
-/// plan.inverse(&half, &mut roundtrip, &mut scratch);
+/// plan.inverse(&half, &mut roundtrip);
 /// for (a, b) in roundtrip.iter().zip(signal.iter()) {
 ///     assert!((a - b).abs() < 1e-9);
 /// }
@@ -111,29 +110,17 @@ impl RealFft {
         }
     }
 
-    /// Number of scratch elements the processing entry points require.
-    pub fn scratch_len(&self) -> usize {
-        if self.len <= 1 {
-            return 0;
-        }
-        let work = if self.len % 2 == 0 {
-            self.len / 2
-        } else {
-            self.len
-        };
-        work + self.inner.scratch_len()
-    }
-
     /// Forward transform: writes the half spectrum (bins `0..=N/2`) of the
     /// real `signal` into `out`.
     ///
-    /// `out` and `scratch` are resized as needed and reused across calls, so
-    /// steady-state invocations do not allocate.
+    /// `out` is resized as needed and reused across calls; work buffers come
+    /// from the thread-local pool, so steady-state invocations do not
+    /// allocate.
     ///
     /// # Panics
     ///
     /// Panics if `signal.len()` differs from the plan length.
-    pub fn process(&self, signal: &[f64], out: &mut Vec<Complex>, scratch: &mut Vec<Complex>) {
+    pub fn process(&self, signal: &[f64], out: &mut Vec<Complex>) {
         assert_eq!(
             signal.len(),
             self.len,
@@ -141,7 +128,7 @@ impl RealFft {
             self.len,
             signal.len()
         );
-        self.process_padded(signal, out, scratch);
+        self.process_padded(signal, out);
     }
 
     /// Forward transform of `signal` zero-padded (virtually) to the plan
@@ -154,12 +141,32 @@ impl RealFft {
     /// # Panics
     ///
     /// Panics if `signal.len()` exceeds the plan length.
-    pub fn process_padded(
-        &self,
-        signal: &[f64],
-        out: &mut Vec<Complex>,
-        scratch: &mut Vec<Complex>,
-    ) {
+    pub fn process_padded(&self, signal: &[f64], out: &mut Vec<Complex>) {
+        let mut half = plan_cache::take_split(self.output_len());
+        self.process_padded_split(signal, &mut half);
+        out.clear();
+        out.extend(
+            half.re
+                .iter()
+                .zip(&half.im)
+                .map(|(&r, &i)| Complex::new(r, i)),
+        );
+        plan_cache::give_split(half);
+    }
+
+    /// Forward transform with deinterleaved output: writes the half spectrum
+    /// (bins `0..=N/2`) of the zero-padded real `signal` into the planes of
+    /// `out`.
+    ///
+    /// This is the native form of the transform — the split recombination and
+    /// any downstream elementwise pass (the autocorrelation's `|X|²` fold, a
+    /// power-spectrum computation) run on contiguous `f64` planes and
+    /// autovectorise. `out` is resized to [`RealFft::output_len`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal.len()` exceeds the plan length.
+    pub fn process_padded_split(&self, signal: &[f64], out: &mut SplitComplex) {
         assert!(
             signal.len() <= self.len,
             "signal length {} exceeds real FFT plan length {}",
@@ -168,48 +175,63 @@ impl RealFft {
         );
         let n = self.len;
         if n == 0 {
-            out.clear();
+            out.resize(0);
             return;
         }
         if n == 1 {
-            out.clear();
-            out.push(Complex::from_real(signal.first().copied().unwrap_or(0.0)));
+            out.resize(1);
+            out.re[0] = signal.first().copied().unwrap_or(0.0);
+            out.im[0] = 0.0;
             return;
         }
-        plan_cache::ensure_scratch(scratch, self.scratch_len());
         if n % 2 == 0 {
             let h = n / 2;
-            let (z, inner_scratch) = scratch.split_at_mut(h);
+            let mut z = plan_cache::take_split(h);
             // Pack pairs of real samples into complex values, zero-padding
             // past the end of `signal`.
             let at = |i: usize| signal.get(i).copied().unwrap_or(0.0);
-            for (k, zk) in z.iter_mut().enumerate() {
-                *zk = Complex::new(at(2 * k), at(2 * k + 1));
+            for k in 0..h {
+                z.re[k] = at(2 * k);
+                z.im[k] = at(2 * k + 1);
             }
             self.inner
-                .process_with_scratch(z, Direction::Forward, inner_scratch);
+                .process_split(&mut z.re, &mut z.im, Direction::Forward);
 
-            out.clear();
-            out.resize(h + 1, Complex::ZERO);
+            out.resize(h + 1);
             // DC and Nyquist come straight from Z_0.
-            out[0] = Complex::from_real(z[0].re + z[0].im);
-            out[h] = Complex::from_real(z[0].re - z[0].im);
+            out.re[0] = z.re[0] + z.im[0];
+            out.im[0] = 0.0;
+            out.re[h] = z.re[0] - z.im[0];
+            out.im[h] = 0.0;
             for k in 1..h {
-                let a = z[k];
-                let b = z[h - k].conj();
-                let even = (a + b).scale(0.5);
-                let odd = ((a - b).scale(0.5) * self.twiddles[k]).mul_neg_i();
-                out[k] = even + odd;
+                let ar = z.re[k];
+                let ai = z.im[k];
+                let br = z.re[h - k];
+                let bi = -z.im[h - k];
+                let er = 0.5 * (ar + br);
+                let ei = 0.5 * (ai + bi);
+                let odd_r = 0.5 * (ar - br);
+                let odd_i = 0.5 * (ai - bi);
+                let w = self.twiddles[k];
+                // odd = ((a − conj(b))/2 · W_N^k) · (−i)
+                let pr = odd_r * w.re - odd_i * w.im;
+                let pi = odd_r * w.im + odd_i * w.re;
+                out.re[k] = er + pi;
+                out.im[k] = ei - pr;
             }
+            plan_cache::give_split(z);
         } else {
-            let (buf, inner_scratch) = scratch.split_at_mut(n);
-            for (i, slot) in buf.iter_mut().enumerate() {
-                *slot = Complex::from_real(signal.get(i).copied().unwrap_or(0.0));
+            let mut buf = plan_cache::take_split(n);
+            for i in 0..n {
+                buf.re[i] = signal.get(i).copied().unwrap_or(0.0);
+                buf.im[i] = 0.0;
             }
             self.inner
-                .process_with_scratch(buf, Direction::Forward, inner_scratch);
-            out.clear();
-            out.extend_from_slice(&buf[..n / 2 + 1]);
+                .process_split(&mut buf.re, &mut buf.im, Direction::Forward);
+            out.resize(n / 2 + 1);
+            out.re.copy_from_slice(&buf.re[..n / 2 + 1]);
+            out.im.copy_from_slice(&buf.im[..n / 2 + 1]);
+            plan_cache::give_split(buf);
         }
     }
 
@@ -217,12 +239,25 @@ impl RealFft {
     /// (bins `0..=N/2`), including the `1/N` normalisation, so
     /// `inverse(process(x)) == x`.
     ///
-    /// `out` and `scratch` are resized as needed and reused across calls.
+    /// `out` is resized as needed and reused across calls.
     ///
     /// # Panics
     ///
     /// Panics if `half.len()` differs from [`RealFft::output_len`].
-    pub fn inverse(&self, half: &[Complex], out: &mut Vec<f64>, scratch: &mut Vec<Complex>) {
+    pub fn inverse(&self, half: &[Complex], out: &mut Vec<f64>) {
+        let mut split = plan_cache::take_split(half.len());
+        split.copy_from_interleaved(half);
+        self.inverse_split(&split, out);
+        plan_cache::give_split(split);
+    }
+
+    /// Inverse transform from a deinterleaved half spectrum — the native form
+    /// ([`RealFft::process_padded_split`] is the forward counterpart).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half.len()` differs from [`RealFft::output_len`].
+    pub fn inverse_split(&self, half: &SplitComplex, out: &mut Vec<f64>) {
         assert_eq!(
             half.len(),
             self.output_len(),
@@ -237,40 +272,53 @@ impl RealFft {
             return;
         }
         if n == 1 {
-            out.push(half[0].re);
+            out.push(half.re[0]);
             return;
         }
-        plan_cache::ensure_scratch(scratch, self.scratch_len());
         if n % 2 == 0 {
             let h = n / 2;
-            let (z, inner_scratch) = scratch.split_at_mut(h);
+            let mut z = plan_cache::take_split(h);
             // Undo the split: rebuild the H-point spectrum of the packed
             // signal, then one inverse complex FFT de-interleaves the samples.
-            z[0] = Complex::new(half[0].re + half[h].re, half[0].re - half[h].re).scale(0.5);
-            for (k, zk) in z.iter_mut().enumerate().skip(1) {
-                let a = half[k];
-                let b = half[h - k].conj();
-                let even = (a + b).scale(0.5);
-                let odd = ((a - b).scale(0.5) * self.twiddles[k].conj()).mul_i();
-                *zk = even + odd;
+            z.re[0] = 0.5 * (half.re[0] + half.re[h]);
+            z.im[0] = 0.5 * (half.re[0] - half.re[h]);
+            for k in 1..h {
+                let ar = half.re[k];
+                let ai = half.im[k];
+                let br = half.re[h - k];
+                let bi = -half.im[h - k];
+                let er = 0.5 * (ar + br);
+                let ei = 0.5 * (ai + bi);
+                let odd_r = 0.5 * (ar - br);
+                let odd_i = 0.5 * (ai - bi);
+                let w = self.twiddles[k];
+                // odd = ((a − conj(b))/2 · conj(W_N^k)) · (+i)
+                let pr = odd_r * w.re + odd_i * w.im;
+                let pi = -odd_r * w.im + odd_i * w.re;
+                z.re[k] = er - pi;
+                z.im[k] = ei + pr;
             }
             self.inner
-                .process_with_scratch(z, Direction::Inverse, inner_scratch);
+                .process_split(&mut z.re, &mut z.im, Direction::Inverse);
             out.resize(n, 0.0);
-            for (k, zk) in z.iter().enumerate() {
-                out[2 * k] = zk.re;
-                out[2 * k + 1] = zk.im;
+            for k in 0..h {
+                out[2 * k] = z.re[k];
+                out[2 * k + 1] = z.im[k];
             }
+            plan_cache::give_split(z);
         } else {
             // Odd lengths: mirror the half spectrum and run the complex plan.
-            let (buf, inner_scratch) = scratch.split_at_mut(n);
-            buf[..half.len()].copy_from_slice(half);
+            let mut buf = plan_cache::take_split(n);
+            buf.re[..half.len()].copy_from_slice(&half.re);
+            buf.im[..half.len()].copy_from_slice(&half.im);
             for k in 1..n.div_ceil(2) {
-                buf[n - k] = half[k].conj();
+                buf.re[n - k] = half.re[k];
+                buf.im[n - k] = -half.im[k];
             }
             self.inner
-                .process_with_scratch(buf, Direction::Inverse, inner_scratch);
-            out.extend(buf[..n].iter().map(|z| z.re));
+                .process_split(&mut buf.re, &mut buf.im, Direction::Inverse);
+            out.extend(buf.re[..n].iter().copied());
+            plan_cache::give_split(buf);
         }
     }
 }
@@ -285,10 +333,10 @@ impl RealFft {
 /// [`crate::plan_cache::rfft_plan`]) and reuse the output buffer.
 pub fn rfft(signal: &[f64]) -> Vec<Complex> {
     let plan = plan_cache::rfft_plan(signal.len());
-    let mut out = Vec::with_capacity(plan.output_len());
-    let mut scratch = plan_cache::take_scratch(plan.scratch_len());
-    plan.process(signal, &mut out, &mut scratch);
-    plan_cache::give_scratch(scratch);
+    let mut half = plan_cache::take_split(plan.output_len());
+    plan.process_padded_split(signal, &mut half);
+    let out = half.to_interleaved();
+    plan_cache::give_split(half);
     out
 }
 
@@ -300,10 +348,11 @@ pub fn rfft(signal: &[f64]) -> Vec<Complex> {
 /// Panics if `half.len() != len / 2 + 1` (for `len > 0`).
 pub fn irfft(half: &[Complex], len: usize) -> Vec<f64> {
     let plan = plan_cache::rfft_plan(len);
+    let mut split = plan_cache::take_split(half.len());
+    split.copy_from_interleaved(half);
     let mut out = Vec::with_capacity(len);
-    let mut scratch = plan_cache::take_scratch(plan.scratch_len());
-    plan.inverse(half, &mut out, &mut scratch);
-    plan_cache::give_scratch(scratch);
+    plan.inverse_split(&split, &mut out);
+    plan_cache::give_split(split);
     out
 }
 
@@ -462,8 +511,7 @@ mod tests {
 
         let plan = RealFft::new(padded_len);
         let mut out = Vec::new();
-        let mut scratch = Vec::new();
-        plan.process_padded(&signal, &mut out, &mut scratch);
+        plan.process_padded(&signal, &mut out);
         let expect = rfft(&padded);
         assert_eq!(out.len(), expect.len());
         for (a, b) in out.iter().zip(expect.iter()) {
@@ -489,8 +537,7 @@ mod tests {
     fn mismatched_signal_length_panics() {
         let plan = RealFft::new(8);
         let mut out = Vec::new();
-        let mut scratch = Vec::new();
-        plan.process(&[1.0; 4], &mut out, &mut scratch);
+        plan.process(&[1.0; 4], &mut out);
     }
 
     #[test]
@@ -498,7 +545,6 @@ mod tests {
     fn mismatched_half_spectrum_panics() {
         let plan = RealFft::new(8);
         let mut out = Vec::new();
-        let mut scratch = Vec::new();
-        plan.inverse(&[Complex::ZERO; 3], &mut out, &mut scratch);
+        plan.inverse(&[Complex::ZERO; 3], &mut out);
     }
 }

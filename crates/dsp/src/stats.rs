@@ -31,22 +31,90 @@ pub fn weighted_mean(data: &[f64], weights: &[f64]) -> f64 {
     data.iter().zip(weights).map(|(x, w)| x * w).sum::<f64>() / wsum
 }
 
-/// Population variance (divides by `N`). Returns `0.0` for fewer than two samples.
-pub fn variance(data: &[f64]) -> f64 {
-    if data.len() < 2 {
-        return 0.0;
-    }
-    let m = mean(data);
-    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64
+/// Running first and second moments, accumulated in a single pass with
+/// Welford's algorithm (numerically stable: no catastrophic cancellation
+/// between a large mean and a small spread).
+///
+/// This is the fused kernel behind [`variance`], [`std_dev`],
+/// [`mean_and_std`] and the Z-score machinery in [`crate::zscore`]: the hot
+/// outlier-detection path used to walk the data once for the mean, once more
+/// (inside the variance) for a second mean, and again for the squared
+/// deviations — `Moments` replaces all of that with one pass and no
+/// intermediate allocations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Moments {
+    /// Number of accumulated samples.
+    pub count: usize,
+    /// Running arithmetic mean.
+    pub mean: f64,
+    /// Sum of squared deviations from the running mean (`M2` in Welford's
+    /// recurrence); divide by `count` for the population variance.
+    pub m2: f64,
 }
 
-/// Sample variance (divides by `N - 1`). Returns `0.0` for fewer than two samples.
-pub fn sample_variance(data: &[f64]) -> f64 {
-    if data.len() < 2 {
-        return 0.0;
+impl Moments {
+    /// Accumulates the moments of `data` in one pass.
+    pub fn of(data: &[f64]) -> Self {
+        let mut moments = Moments::default();
+        for &x in data {
+            moments.push(x);
+        }
+        moments
     }
-    let m = mean(data);
-    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64
+
+    /// Accumulates the moments of an iterator (used to fold `|x|` magnitudes
+    /// without materialising them).
+    pub fn of_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut moments = Moments::default();
+        for x in iter {
+            moments.push(x);
+        }
+        moments
+    }
+
+    /// Folds one sample into the running moments.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Population variance (divides by `N`); `0.0` for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `N - 1`); `0.0` for fewer than two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Population variance (divides by `N`). Returns `0.0` for fewer than two
+/// samples. Single pass ([`Moments`]).
+pub fn variance(data: &[f64]) -> f64 {
+    Moments::of(data).variance()
+}
+
+/// Sample variance (divides by `N - 1`). Returns `0.0` for fewer than two
+/// samples. Single pass ([`Moments`]).
+pub fn sample_variance(data: &[f64]) -> f64 {
+    Moments::of(data).sample_variance()
 }
 
 /// Population standard deviation.
@@ -59,13 +127,21 @@ pub fn sample_std_dev(data: &[f64]) -> f64 {
     sample_variance(data).sqrt()
 }
 
-/// Coefficient of variation `σ/µ` (population σ). Returns `0.0` when the mean is zero.
+/// Mean and population standard deviation in one fused pass. An empty slice
+/// yields `(0.0, 0.0)` (the fold's starting values).
+pub fn mean_and_std(data: &[f64]) -> (f64, f64) {
+    let moments = Moments::of(data);
+    (moments.mean, moments.std_dev())
+}
+
+/// Coefficient of variation `σ/µ` (population σ). Returns `0.0` when the mean
+/// is zero. Single pass ([`Moments`]).
 pub fn coefficient_of_variation(data: &[f64]) -> f64 {
-    let m = mean(data);
+    let (m, sd) = mean_and_std(data);
     if m == 0.0 {
         return 0.0;
     }
-    std_dev(data) / m.abs()
+    sd / m.abs()
 }
 
 /// Geometric mean of strictly positive values.
@@ -224,6 +300,30 @@ mod tests {
         assert!((std_dev(&data) - 2.0).abs() < 1e-12);
         assert!((sample_variance(&data) - 4.571428571428571).abs() < 1e-12);
         assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn fused_moments_match_the_two_pass_definitions() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let moments = Moments::of(&data);
+        assert_eq!(moments.count, 8);
+        let two_pass_mean = data.iter().sum::<f64>() / data.len() as f64;
+        let two_pass_var = data
+            .iter()
+            .map(|x| (x - two_pass_mean) * (x - two_pass_mean))
+            .sum::<f64>()
+            / data.len() as f64;
+        assert!((moments.mean - two_pass_mean).abs() < 1e-12);
+        assert!((moments.variance() - two_pass_var).abs() < 1e-12);
+        let (m, sd) = mean_and_std(&data);
+        assert!((m - two_pass_mean).abs() < 1e-12);
+        assert!((sd - two_pass_var.sqrt()).abs() < 1e-12);
+        // Welford stays stable when a large offset dwarfs the spread.
+        let offset: Vec<f64> = data.iter().map(|x| x + 1.0e9).collect();
+        assert!((variance(&offset) - two_pass_var).abs() < 1e-6);
+        // Degenerate sizes keep their documented defaults.
+        assert_eq!(mean_and_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_and_std(&[3.0]), (3.0, 0.0));
     }
 
     #[test]

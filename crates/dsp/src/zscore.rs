@@ -5,20 +5,72 @@
 //! applies it to the power spectrum to decide whether the highest-power
 //! frequency is genuinely dominant or merely the largest among equals.
 
-use crate::stats::{mean, std_dev, weighted_mean};
+use crate::stats::Moments;
+
+/// The affine map `z(x) = (|x| - m) / sd` shared by every Z-score entry point.
+///
+/// Built in **one** fused pass over the magnitudes ([`Moments`]); the old
+/// implementation walked the data four times (abs copy, mean, a second mean
+/// hidden inside the variance, squared deviations) and allocated an
+/// intermediate `|x|` vector on every call — on the spectrum outlier path that
+/// was four O(N/2) sweeps per prediction tick.
+#[derive(Clone, Copy, Debug)]
+struct ZScale {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl ZScale {
+    /// Scale with the unweighted magnitude mean.
+    fn of(data: &[f64]) -> Self {
+        let moments = Moments::of_iter(data.iter().map(|x| x.abs()));
+        ZScale {
+            mean: moments.mean,
+            std_dev: moments.std_dev(),
+        }
+    }
+
+    /// Scale with a weighted magnitude mean but the unweighted standard
+    /// deviation (the reference implementation's behaviour), still one pass.
+    fn of_weighted(data: &[f64], weights: &[f64]) -> Self {
+        let mut moments = Moments::default();
+        let mut wsum = 0.0;
+        let mut wxsum = 0.0;
+        for (x, &w) in data.iter().zip(weights) {
+            let a = x.abs();
+            moments.push(a);
+            wsum += w;
+            wxsum += w * a;
+        }
+        ZScale {
+            mean: if wsum == 0.0 { 0.0 } else { wxsum / wsum },
+            std_dev: moments.std_dev(),
+        }
+    }
+
+    /// Whether the scale is degenerate (constant input): all scores are zero.
+    #[inline]
+    fn is_flat(&self) -> bool {
+        self.std_dev == 0.0
+    }
+
+    #[inline]
+    fn score(&self, x: f64) -> f64 {
+        if self.std_dev == 0.0 {
+            0.0
+        } else {
+            (x.abs() - self.mean) / self.std_dev
+        }
+    }
+}
 
 /// Z-scores `z_k = (|x_k| - |x̄|) / σ` for each element (population σ).
 ///
 /// Returns an all-zero vector when the standard deviation is zero (constant
 /// input), which correctly reports "no outliers".
 pub fn z_scores(data: &[f64]) -> Vec<f64> {
-    let abs: Vec<f64> = data.iter().map(|x| x.abs()).collect();
-    let m = mean(&abs);
-    let sd = std_dev(&abs);
-    if sd == 0.0 {
-        return vec![0.0; data.len()];
-    }
-    abs.iter().map(|x| (x - m) / sd).collect()
+    let scale = ZScale::of(data);
+    data.iter().map(|&x| scale.score(x)).collect()
 }
 
 /// Z-scores computed against a weighted mean (used on autocorrelation period
@@ -32,50 +84,67 @@ pub fn z_scores(data: &[f64]) -> Vec<f64> {
 /// Panics if `data` and `weights` differ in length.
 pub fn weighted_z_scores(data: &[f64], weights: &[f64]) -> Vec<f64> {
     assert_eq!(data.len(), weights.len(), "data and weights must match");
-    let abs: Vec<f64> = data.iter().map(|x| x.abs()).collect();
-    let m = weighted_mean(&abs, weights);
-    let sd = std_dev(&abs);
-    if sd == 0.0 {
-        return vec![0.0; data.len()];
-    }
-    abs.iter().map(|x| (x - m) / sd).collect()
+    let scale = ZScale::of_weighted(data, weights);
+    data.iter().map(|&x| scale.score(x)).collect()
 }
 
 /// Indices whose Z-score is at least `threshold` (3.0 in the paper).
+///
+/// Fused: one moments pass plus one thresholding pass, with no intermediate
+/// score vector.
 pub fn outlier_indices(data: &[f64], threshold: f64) -> Vec<usize> {
-    z_scores(data)
-        .into_iter()
+    let scale = ZScale::of(data);
+    if scale.is_flat() {
+        return Vec::new();
+    }
+    data.iter()
         .enumerate()
-        .filter_map(|(i, z)| if z >= threshold { Some(i) } else { None })
+        .filter_map(|(i, &x)| {
+            if scale.score(x) >= threshold {
+                Some(i)
+            } else {
+                None
+            }
+        })
         .collect()
 }
 
 /// Indices whose Z-score magnitude is at least `threshold`, catching both
 /// unusually large and unusually small values.
 pub fn outlier_indices_two_sided(data: &[f64], threshold: f64) -> Vec<usize> {
-    z_scores(data)
-        .into_iter()
+    let scale = ZScale::of(data);
+    if scale.is_flat() {
+        return Vec::new();
+    }
+    data.iter()
         .enumerate()
-        .filter_map(|(i, z)| if z.abs() >= threshold { Some(i) } else { None })
+        .filter_map(|(i, &x)| {
+            if scale.score(x).abs() >= threshold {
+                Some(i)
+            } else {
+                None
+            }
+        })
         .collect()
 }
 
 /// Removes elements whose Z-score magnitude exceeds `threshold`, returning the
 /// retained values (used to filter period candidates from the ACF).
 pub fn filter_outliers(data: &[f64], threshold: f64) -> Vec<f64> {
-    let scores = z_scores(data);
+    let scale = ZScale::of(data);
     data.iter()
-        .zip(scores)
-        .filter_map(|(&x, z)| if z.abs() < threshold { Some(x) } else { None })
+        .copied()
+        .filter(|&x| scale.score(x).abs() < threshold)
         .collect()
 }
 
 /// Removes elements whose weighted Z-score magnitude exceeds `threshold`.
 pub fn filter_outliers_weighted(data: &[f64], weights: &[f64], threshold: f64) -> Vec<f64> {
-    let scores = weighted_z_scores(data, weights);
+    assert_eq!(data.len(), weights.len(), "data and weights must match");
+    let scale = ZScale::of_weighted(data, weights);
     data.iter()
-        .zip(scores)
-        .filter_map(|(&x, z)| if z.abs() < threshold { Some(x) } else { None })
+        .copied()
+        .filter(|&x| scale.score(x).abs() < threshold)
         .collect()
 }
 

@@ -74,6 +74,7 @@ pub fn heatmap_source(name: &str, heatmap: &Heatmap) -> MemorySource {
 pub use ior::{IoPhase, IorBenchmarkConfig, IorPhaseConfig, PhaseLibrary};
 pub use multi_app::{AppStream, FlushEvent, MultiAppConfig, MultiAppWorkload};
 pub use noise::NoiseLevel;
+pub use scenarios::{long_history_burst, long_history_requests, LongHistoryConfig};
 pub use semi::{generate as generate_semi_synthetic, SemiSyntheticConfig, SemiSyntheticTrace};
 pub use sweep::SweepPoint;
 

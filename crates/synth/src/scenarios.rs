@@ -113,10 +113,99 @@ pub fn generate(config: &ScenarioConfig) -> AppTrace {
     trace
 }
 
+/// Configuration of the long-history online workload (the
+/// `online_tick_vs_history` benchmark): a strictly periodic application whose
+/// *request density* — how many ranks write each burst — scales the ingested
+/// history length, while the covered time span (and therefore the discretised
+/// signal and its FFT window) stays fixed. That isolates how prediction-tick
+/// cost scales with the number of collected requests.
+#[derive(Clone, Copy, Debug)]
+pub struct LongHistoryConfig {
+    /// Number of bursts in the warm-up history.
+    pub bursts: usize,
+    /// Period between burst starts in seconds.
+    pub period: f64,
+    /// Duration of one burst in seconds.
+    pub burst_duration: f64,
+    /// Ranks writing each burst — the history-density knob.
+    pub ranks: usize,
+    /// Aggregate bytes transferred per burst (split evenly across ranks).
+    pub bytes_per_burst: u64,
+}
+
+impl Default for LongHistoryConfig {
+    fn default() -> Self {
+        LongHistoryConfig {
+            bursts: 200,
+            period: 10.0,
+            burst_duration: 2.0,
+            ranks: 8,
+            bytes_per_burst: 2_000_000_000,
+        }
+    }
+}
+
+impl LongHistoryConfig {
+    /// Covered time span `[0, bursts · period)` in seconds.
+    pub fn span(&self) -> f64 {
+        self.bursts as f64 * self.period
+    }
+
+    /// Total requests the warm-up history holds.
+    pub fn total_requests(&self) -> usize {
+        self.bursts * self.ranks.max(1)
+    }
+}
+
+/// The requests of burst `index` (starting at `index · period`).
+pub fn long_history_burst(config: &LongHistoryConfig, index: usize) -> Vec<IoRequest> {
+    let ranks = config.ranks.max(1);
+    let start = index as f64 * config.period;
+    let per_rank = config.bytes_per_burst / ranks as u64;
+    (0..ranks)
+        .map(|rank| IoRequest::write(rank, start, start + config.burst_duration, per_rank))
+        .collect()
+}
+
+/// The full warm-up history: `bursts` bursts of `ranks` requests each, in
+/// time order.
+pub fn long_history_requests(config: &LongHistoryConfig) -> Vec<IoRequest> {
+    (0..config.bursts)
+        .flat_map(|index| long_history_burst(config, index))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ftio_trace::BandwidthTimeline;
+
+    #[test]
+    fn long_history_density_scales_requests_not_the_signal() {
+        let narrow = LongHistoryConfig {
+            ranks: 4,
+            ..Default::default()
+        };
+        let dense = LongHistoryConfig {
+            ranks: 32,
+            ..Default::default()
+        };
+        assert_eq!(dense.total_requests(), 8 * narrow.total_requests());
+        assert_eq!(narrow.span(), dense.span());
+        let a = long_history_requests(&narrow);
+        let b = long_history_requests(&dense);
+        assert_eq!(a.len(), narrow.total_requests());
+        assert_eq!(b.len(), dense.total_requests());
+        // Same aggregate signal: both histories transfer the same volume over
+        // the same timeline.
+        let vol = |requests: &[IoRequest]| requests.iter().map(|r| r.bytes).sum::<u64>();
+        assert_eq!(vol(&a), vol(&b));
+        let tl_a = BandwidthTimeline::from_requests(&a);
+        let tl_b = BandwidthTimeline::from_requests(&b);
+        assert!((tl_a.total_volume() - tl_b.total_volume()).abs() < 1e-3);
+        assert_eq!(tl_a.start(), tl_b.start());
+        assert_eq!(tl_a.end(), tl_b.end());
+    }
 
     #[test]
     fn default_scenario_has_bursts_and_log_writes() {

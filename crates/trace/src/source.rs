@@ -40,7 +40,7 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::io::{BufRead, Read};
+use std::io::{BufRead, BufReader, Read, Seek};
 use std::path::Path;
 
 use crate::app_id::AppId;
@@ -819,6 +819,13 @@ pub fn from_bytes(
 /// Opens a trace file with an explicit format (or sniffs it when `None`),
 /// returning the detected format and a streaming source attributed to
 /// `AppId::from_name(<file name>)`.
+///
+/// The line-oriented formats (JSONL, Recorder, `darshan-parser` text, heatmap
+/// text) stream straight off a buffered file handle in [`DEFAULT_BATCH_SIZE`]
+/// chunks — peak memory is one batch plus the `BufReader` block, so multi-GB
+/// trace files never materialise in memory. Only the random-access formats
+/// (the MessagePack layouts and the whole-document TMIO JSON profile) still
+/// load the file into one buffer before decoding.
 pub fn open_path_as(
     path: &Path,
     format: Option<SourceFormat>,
@@ -828,9 +835,11 @@ pub fn open_path_as(
     let format = match format {
         Some(f) => f,
         None => {
+            // Sniff on a bounded prefix only — the old sniffer read the whole
+            // file into the prefix loop before the readers slurped it *again*.
             let mut prefix = [0u8; 4096];
             let mut filled = 0usize;
-            loop {
+            while filled < prefix.len() {
                 let n = file.read(&mut prefix[filled..])?;
                 if n == 0 {
                     break;
@@ -852,8 +861,37 @@ pub fn open_path_as(
         }
     };
     // The readers want to see the file from the beginning again.
-    let bytes = std::fs::read(path)?;
-    Ok((format, from_bytes(format, app, bytes, DEFAULT_BATCH_SIZE)?))
+    file.rewind()?;
+    let source: Box<dyn TraceSource + Send> = match format {
+        SourceFormat::Jsonl => Box::new(JsonlSource::new(
+            BufReader::new(file),
+            app,
+            DEFAULT_BATCH_SIZE,
+        )),
+        SourceFormat::Recorder => Box::new(RecorderSource::new(
+            BufReader::new(file),
+            app,
+            DEFAULT_BATCH_SIZE,
+        )),
+        SourceFormat::HeatmapText => Box::new(HeatmapTextSource::new(
+            BufReader::new(file),
+            app,
+            DEFAULT_BATCH_SIZE,
+        )),
+        SourceFormat::DarshanParser => Box::new(crate::darshan_parser::DarshanParserSource::new(
+            BufReader::new(file),
+            app,
+            DEFAULT_BATCH_SIZE,
+        )),
+        SourceFormat::Msgpack | SourceFormat::TmioJson | SourceFormat::TmioMsgpack => {
+            // Random-access decoding: one buffer, read through the handle we
+            // already hold.
+            let mut bytes = Vec::new();
+            file.read_to_end(&mut bytes)?;
+            from_bytes(format, app, bytes, DEFAULT_BATCH_SIZE)?
+        }
+    };
+    Ok((format, source))
 }
 
 const SNIPPET_PREFIX: usize = 64;
@@ -1150,6 +1188,94 @@ mod tests {
         let drained = drain_requests(source.as_mut()).unwrap();
         assert_eq!(drained, requests);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// A reader that synthesises a (practically unbounded) JSONL stream lazily
+    /// and counts every byte the consumer actually pulls — the observable
+    /// proof that the line readers stream instead of slurping.
+    struct MeteredJsonl {
+        line: usize,
+        total_lines: usize,
+        pending: Vec<u8>,
+        served: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl Read for MeteredJsonl {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pending.is_empty() {
+                if self.line >= self.total_lines {
+                    return Ok(0);
+                }
+                let start = self.line as f64;
+                self.pending = format!(
+                    "{{\"rank\":0,\"start\":{start},\"end\":{},\"bytes\":10,\"kind\":\"write\"}}\n",
+                    start + 0.5
+                )
+                .into_bytes();
+                self.line += 1;
+            }
+            let n = self.pending.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.pending[..n]);
+            self.pending.drain(..n);
+            self.served
+                .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+            Ok(n)
+        }
+    }
+
+    /// Satellite contract: a buffered line reader pulls only what the
+    /// requested batches need (one batch plus the `BufReader` block of
+    /// read-ahead) — a million-line trace does not materialise in memory.
+    #[test]
+    fn line_readers_keep_peak_buffering_bounded() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let served = Arc::new(AtomicUsize::new(0));
+        let reader = MeteredJsonl {
+            line: 0,
+            total_lines: 1_000_000,
+            pending: Vec::new(),
+            served: served.clone(),
+        };
+        let mut source = JsonlSource::new(BufReader::new(reader), AppId::new(1), 128);
+        for batch_index in 0..3 {
+            let batch = source.next_batch().unwrap().expect("stream has data");
+            assert_eq!(batch.len(), 128, "batch {batch_index}");
+        }
+        let pulled = served.load(Ordering::Relaxed);
+        // 3 batches × 128 lines × <64 bytes, plus one BufReader block of
+        // read-ahead — nowhere near the ~60 MB the full stream holds.
+        assert!(
+            pulled < 3 * 128 * 64 + 16 * 1024,
+            "reader over-pulled: {pulled} bytes for 384 lines"
+        );
+    }
+
+    /// The streaming `open_path` file path works for every line-oriented
+    /// format (the handle is rewound after sniffing) and reproduces exactly
+    /// what the whole-buffer decoders yield.
+    #[test]
+    fn open_path_streams_line_formats_from_the_file_handle() {
+        let dir = std::env::temp_dir();
+        // Recorder text.
+        let requests = sample_requests(9);
+        let rec_path = dir.join("ftio_source_stream_test.recorder_x");
+        std::fs::write(&rec_path, crate::recorder::encode_requests(&requests)).unwrap();
+        let (format, mut source) = open_path(&rec_path).unwrap();
+        assert_eq!(format, SourceFormat::Recorder);
+        assert_eq!(drain_requests(source.as_mut()).unwrap(), requests);
+        let _ = std::fs::remove_file(&rec_path);
+        // Heatmap text.
+        let heatmap = Heatmap::new(3.0, 1.5, vec![1.0, 0.0, 2.5, 7.0, 0.0]);
+        let hm_path = dir.join("ftio_source_stream_test.heatmap_x");
+        std::fs::write(&hm_path, heatmap.to_text()).unwrap();
+        let (format, mut source) = open_path(&hm_path).unwrap();
+        assert_eq!(format, SourceFormat::HeatmapText);
+        match drain_single(source.as_mut(), "h").unwrap() {
+            DrainedInput::Heatmap(h) => assert_eq!(h, heatmap),
+            DrainedInput::Trace(_) => panic!("expected heatmap"),
+        }
+        let _ = std::fs::remove_file(&hm_path);
     }
 
     #[test]
