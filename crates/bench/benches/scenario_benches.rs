@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the adversarial evaluation harness: scenario
+//! generation cost per family (`scenario_generate`), and the full
+//! generate → predict → score loop for the two worst-offender families
+//! (`scenario_evaluate`). The harness itself must stay cheap enough to run
+//! on every CI push, so its cost is pinned here. EXPERIMENTS.md records the
+//! numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftio_core::eval::{score_predictions, EvalConfig};
+use ftio_core::{FtioConfig, OnlinePredictor, WindowStrategy};
+use ftio_synth::drift::{scenario_for, Scenario, ScenarioFamily};
+
+const SEED: u64 = 42;
+
+fn analysis_config() -> FtioConfig {
+    FtioConfig {
+        sampling_freq: 2.0,
+        use_autocorrelation: false,
+        ..Default::default()
+    }
+}
+
+/// Run every application of a scenario through the synchronous predictor
+/// and score it against its truth; returns the total number of scored ticks.
+fn evaluate(scenario: &Scenario) -> usize {
+    let eval_config = EvalConfig::default();
+    let mut total = 0;
+    for app in scenario.apps() {
+        let mut predictor =
+            OnlinePredictor::new(analysis_config(), WindowStrategy::Adaptive { multiple: 3 });
+        let mut predictions = Vec::new();
+        for flush in scenario.flushes.iter().filter(|f| f.app == app) {
+            predictor.ingest(flush.requests.iter().copied());
+            predictions.push(predictor.predict(flush.now));
+        }
+        let truth = scenario.truth(app).expect("truth per app");
+        total += score_predictions(&predictions, truth, &eval_config)
+            .ticks
+            .len();
+    }
+    total
+}
+
+fn bench_scenario_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_generate");
+    group.sample_size(20);
+    for family in ScenarioFamily::all() {
+        group.bench_with_input(
+            BenchmarkId::new("family", family.as_str()),
+            &family,
+            |b, family| {
+                b.iter(|| black_box(scenario_for(*family, SEED).total_requests()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scenario_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_evaluate");
+    group.sample_size(10);
+    // The two worst-offender families of the accuracy corpus: the harness
+    // has to stay fast on exactly the scenarios CI runs most often.
+    for family in [ScenarioFamily::Drift, ScenarioFamily::BurstyInterference] {
+        let scenario = scenario_for(family, SEED);
+        group.bench_with_input(
+            BenchmarkId::new("family", family.as_str()),
+            &scenario,
+            |b, scenario| {
+                b.iter(|| black_box(evaluate(scenario)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_generate, bench_scenario_evaluate);
+criterion_main!(benches);

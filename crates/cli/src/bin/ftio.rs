@@ -7,6 +7,7 @@
 //! ftio --demo [options]
 //! ftio replay <trace-file> [replay options]
 //! ftio cluster [cluster options]
+//! ftio eval <scenario>|--all [eval options]
 //!
 //! options:
 //!   --format auto|jsonl|msgpack|tmio-json|tmio-msgpack|darshan-parser|heatmap|recorder
@@ -30,6 +31,7 @@
 use std::process::ExitCode;
 
 use ftio_cli::cluster::{parse_cluster_options, run_cluster, CLUSTER_USAGE};
+use ftio_cli::eval::{parse_eval_options, run_eval, EVAL_USAGE};
 use ftio_cli::replay::{parse_replay_options, run_replay, REPLAY_USAGE};
 use ftio_cli::{load_trace, parse_common_options, print_usage_and_exit};
 use ftio_core::{detect_heatmap, detect_signal, report, sample_trace, sample_trace_window};
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("cluster") => return run_cluster_command(&args[1..]),
         Some("replay") => return run_replay_command(&args[1..]),
+        Some("eval") => return run_eval_command(&args[1..]),
         // `ftio detect <file>` is the explicit spelling of the bare form.
         Some("detect") => {
             args.remove(0);
@@ -114,6 +117,32 @@ fn run_replay_command(args: &[String]) -> ExitCode {
         }
     };
     match run_replay(&options) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `ftio eval ...`: run the adversarial scenario harness and print the
+/// tracking-latency / frequency-error report against ground truth.
+fn run_eval_command(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{EVAL_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let options = match parse_eval_options(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_eval(&options) {
         Ok(report) => {
             println!("{report}");
             ExitCode::SUCCESS

@@ -1,13 +1,15 @@
 //! # ftio-cli
 //!
 //! Shared plumbing of the command-line tools `ftio` (offline detection via
-//! `ftio detect`, file replay via `ftio replay`, the `cluster` fleet driver)
-//! and `predictor` (online prediction): argument parsing, the streaming
-//! trace-ingestion front-end (`ftio_trace::source` with `--format auto`
-//! content sniffing), a generated demo workload for quick experimentation,
-//! and the [`cluster`] / [`replay`] drivers.
+//! `ftio detect`, file replay via `ftio replay`, the `cluster` fleet driver,
+//! the `eval` adversarial-scenario harness) and `predictor` (online
+//! prediction): argument parsing, the streaming trace-ingestion front-end
+//! (`ftio_trace::source` with `--format auto` content sniffing), a generated
+//! demo workload for quick experimentation, and the [`cluster`] / [`replay`]
+//! / [`eval`] drivers.
 
 pub mod cluster;
+pub mod eval;
 pub mod replay;
 
 use std::path::Path;
@@ -77,7 +79,9 @@ pub fn print_usage_and_exit(tool: &str) -> ! {
              \x20 replay     replay a trace file through the sharded cluster engine\n\
              \x20            (see `ftio replay --help`)\n\
              \x20 cluster    drive a synthetic multi-application fleet through the\n\
-             \x20            sharded online engine (see `ftio cluster --help`)"
+             \x20            sharded online engine (see `ftio cluster --help`)\n\
+             \x20 eval       run the adversarial scenario harness and score the\n\
+             \x20            predictor against ground truth (see `ftio eval --help`)"
         );
     }
     std::process::exit(0);

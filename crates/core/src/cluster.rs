@@ -1031,6 +1031,51 @@ mod tests {
         drop(engine);
     }
 
+    /// Drop-oldest under replay, deterministically: the shard is parked so
+    /// every eviction is forced, and the books must still reconcile on both
+    /// sides — `ReplayStats` counts what the source offered, `ClusterStats`
+    /// counts what the queue did with it, and the survivors are exactly the
+    /// freshest `capacity` submissions.
+    #[test]
+    fn replay_drop_oldest_books_reconcile_when_drops_happen() {
+        use ftio_trace::source::{MemorySource, TraceBatch};
+        let capacity = 2;
+        let batch_count = 6u64;
+        let engine =
+            ClusterEngine::spawn(engine_config(1, capacity, BackpressurePolicy::DropOldest));
+        let gate = Gate::new();
+        engine.stall_shard(0, gate.clone());
+        gate.wait_entered();
+        let app = AppId::new(5);
+        let batches: Vec<TraceBatch> = (0..batch_count)
+            .map(|i| TraceBatch::requests(app, burst(2, i as f64 * 10.0, 1.0, 1_000_000)))
+            .collect();
+        let mut source = MemorySource::from_batches(app, batches);
+        let replay = engine.replay(&mut source, Pacing::AsFast).unwrap();
+        gate.open();
+        engine.flush();
+        // Drop-oldest never refuses the producer: every batch is accepted...
+        assert_eq!(replay.batches, batch_count);
+        assert_eq!(replay.requests, batch_count * 2);
+        assert_eq!(replay.accepted, batch_count);
+        assert_eq!(replay.rejected, 0);
+        // ...but the parked 2-slot queue silently sheds all the stale work.
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, batch_count);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.dropped, batch_count - capacity as u64);
+        assert_eq!(stats.ticks, capacity as u64);
+        assert_eq!(stats.coalesced, 0);
+        assert_accounting(&stats);
+        // The survivors are the freshest submissions, in order, and the
+        // prediction history length equals the tick count exactly.
+        let history = engine.predictions(app);
+        assert_eq!(history.len(), stats.ticks as usize);
+        let times: Vec<f64> = history.iter().map(|p| p.time).collect();
+        assert_eq!(times, vec![41.0, 51.0]);
+        drop(engine);
+    }
+
     /// Recorded pacing preserves results (the sleeps only shape arrival
     /// times) and respects the compressed timeline.
     #[test]

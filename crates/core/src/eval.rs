@@ -1,0 +1,467 @@
+//! Scoring predictor runs against scenario ground truth.
+//!
+//! The adversarial scenario generators (`ftio-synth`) emit traces whose true
+//! period timeline is known by construction
+//! ([`ScenarioTruth`]). This module turns a
+//! sequence of online predictions into an [`EvalReport`] against that truth,
+//! with three first-class metrics:
+//!
+//! * **frequency error** — per-tick relative period error, folded across
+//!   harmonics (a predictor reporting half or double the true period is
+//!   counted by its harmonic distance, not as a 100% miss);
+//! * **tracking latency** — for each abrupt change point, how many prediction
+//!   ticks the predictor needs until it *re-locks* onto the new truth
+//!   ([`ChangeTracking::ticks_to_lock`]); the same streak rule applied from
+//!   the start of the run gives the initial [`EvalReport::lock_on`];
+//! * **confidence trajectory** — the mean reported confidence, so a method
+//!   that is wrong *and* sure of it scores visibly worse than one that is
+//!   wrong and says so.
+//!
+//! A tick is *in tolerance* when its folded relative error is at most
+//! [`EvalConfig::rel_tolerance`]; the predictor is *locked* once
+//! [`EvalConfig::lock_consecutive`] consecutive ticks are in tolerance.
+//! Ticks at times where the truth defines no period (warm-up gaps between
+//! segments) are excluded from every statistic.
+
+use ftio_trace::ScenarioTruth;
+
+use crate::online::OnlinePrediction;
+
+/// Scoring parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalConfig {
+    /// Maximum folded relative period error for a tick to count as correct.
+    pub rel_tolerance: f64,
+    /// Consecutive in-tolerance ticks required to call the predictor locked.
+    pub lock_consecutive: usize,
+    /// Highest harmonic fold considered by [`relative_error`]: a prediction
+    /// of `truth/k` or `truth·k` for `k` up to this value is scored by its
+    /// distance to that harmonic.
+    pub max_harmonic: u32,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            rel_tolerance: 0.15,
+            lock_consecutive: 2,
+            max_harmonic: 3,
+        }
+    }
+}
+
+/// One prediction tick reduced to what scoring needs.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalTick {
+    /// Time the prediction was made, seconds.
+    pub time: f64,
+    /// Predicted period, if the predictor found a dominant frequency.
+    pub period: Option<f64>,
+    /// Reported confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// Reduces full online predictions to scoring ticks.
+pub fn ticks_from_predictions(predictions: &[OnlinePrediction]) -> Vec<EvalTick> {
+    predictions
+        .iter()
+        .map(|p| EvalTick {
+            time: p.time,
+            period: p.period(),
+            confidence: p.confidence(),
+        })
+        .collect()
+}
+
+/// Relative period error folded across harmonics: the minimum of
+/// `|candidate − truth| / truth` over the candidates `predicted · k` and
+/// `predicted / k` for `k = 1..=max_harmonic`.
+///
+/// Frequency-domain detection on short windows routinely locks onto the
+/// first harmonic (half the period) before enough cycles accumulate;
+/// folding keeps that distinct from being simply wrong. With
+/// `max_harmonic = 1` this is the plain relative error.
+pub fn relative_error(predicted: f64, truth: f64, max_harmonic: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for k in 1..=max_harmonic.max(1) {
+        let k = k as f64;
+        for candidate in [predicted * k, predicted / k] {
+            let err = (candidate - truth).abs() / truth;
+            if err < best {
+                best = err;
+            }
+        }
+    }
+    best
+}
+
+/// One scored tick.
+#[derive(Clone, Copy, Debug)]
+pub struct TickScore {
+    /// Tick time, seconds.
+    pub time: f64,
+    /// True period at `time` (`None` when the truth does not cover it).
+    pub true_period: Option<f64>,
+    /// Predicted period.
+    pub predicted: Option<f64>,
+    /// Folded relative error ([`relative_error`]); `None` without both a
+    /// prediction and a truth.
+    pub rel_error: Option<f64>,
+    /// Whether the tick is within [`EvalConfig::rel_tolerance`].
+    pub in_tolerance: bool,
+    /// Whether the lock streak is complete at this tick.
+    pub locked: bool,
+    /// Reported confidence.
+    pub confidence: f64,
+}
+
+/// Tracking latency after one change point.
+#[derive(Clone, Copy, Debug)]
+pub struct ChangeTracking {
+    /// The change-point timestamp, seconds.
+    pub change_point: f64,
+    /// Number of prediction ticks after the change point until the
+    /// predictor re-locks (1-based: `Some(1)` means the very first tick
+    /// after the change completed a fresh in-tolerance streak). `None` when
+    /// it never re-locks before the next change point (or the end of the
+    /// run) — the headline failure mode this harness exists to expose.
+    pub ticks_to_lock: Option<u32>,
+    /// Time of the re-locking tick.
+    pub lock_time: Option<f64>,
+}
+
+/// The scored run.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// Every tick, scored in input order.
+    pub ticks: Vec<TickScore>,
+    /// 1-based tick index at which the initial lock streak completed
+    /// (`None`: never locked).
+    pub lock_on: Option<u32>,
+    /// Tracking latency per truth change point, in time order.
+    pub changes: Vec<ChangeTracking>,
+    /// Fraction of scoreable ticks (truth defined) that are in tolerance.
+    pub locked_fraction: f64,
+    /// Median folded relative error over scoreable ticks with a prediction.
+    pub median_rel_error: Option<f64>,
+    /// Mean reported confidence over scoreable ticks.
+    pub mean_confidence: f64,
+}
+
+/// Scores prediction ticks against a scenario truth.
+pub fn score_ticks(ticks: &[EvalTick], truth: &ScenarioTruth, config: &EvalConfig) -> EvalReport {
+    let lock_needed = config.lock_consecutive.max(1);
+
+    let mut scored = Vec::with_capacity(ticks.len());
+    let mut streak = 0usize;
+    let mut lock_on = None;
+    let mut scoreable = 0usize;
+    for tick in ticks {
+        let true_period = truth.period_at(tick.time);
+        let rel_error = match (tick.period, true_period) {
+            (Some(p), Some(t)) => Some(relative_error(p, t, config.max_harmonic)),
+            _ => None,
+        };
+        let in_tolerance = rel_error.is_some_and(|e| e <= config.rel_tolerance);
+        if true_period.is_some() {
+            scoreable += 1;
+            streak = if in_tolerance { streak + 1 } else { 0 };
+        }
+        let locked = streak >= lock_needed;
+        if locked && lock_on.is_none() {
+            lock_on = Some(scoreable as u32);
+        }
+        scored.push(TickScore {
+            time: tick.time,
+            true_period,
+            predicted: tick.period,
+            rel_error,
+            in_tolerance,
+            locked,
+            confidence: tick.confidence,
+        });
+    }
+
+    // Tracking latency: for each change point, restart the streak on the
+    // ticks strictly after it (bounded by the next change point) and count
+    // ticks until the streak completes.
+    let change_points = truth.change_points();
+    let mut changes = Vec::with_capacity(change_points.len());
+    for (i, &cp) in change_points.iter().enumerate() {
+        let window_end = change_points.get(i + 1).copied().unwrap_or(f64::INFINITY);
+        let mut streak = 0usize;
+        let mut counted = 0u32;
+        let mut tracked = ChangeTracking {
+            change_point: cp,
+            ticks_to_lock: None,
+            lock_time: None,
+        };
+        for tick in scored
+            .iter()
+            .filter(|t| t.time > cp && t.time <= window_end && t.true_period.is_some())
+        {
+            counted += 1;
+            streak = if tick.in_tolerance { streak + 1 } else { 0 };
+            if streak >= lock_needed {
+                tracked.ticks_to_lock = Some(counted);
+                tracked.lock_time = Some(tick.time);
+                break;
+            }
+        }
+        changes.push(tracked);
+    }
+
+    let in_tol = scored.iter().filter(|t| t.in_tolerance).count();
+    let locked_fraction = if scoreable > 0 {
+        in_tol as f64 / scoreable as f64
+    } else {
+        0.0
+    };
+    let mut errors: Vec<f64> = scored.iter().filter_map(|t| t.rel_error).collect();
+    errors.sort_by(|a, b| a.partial_cmp(b).expect("NaN relative error"));
+    let median_rel_error = if errors.is_empty() {
+        None
+    } else {
+        Some(errors[errors.len() / 2])
+    };
+    let confidences: Vec<f64> = scored
+        .iter()
+        .filter(|t| t.true_period.is_some())
+        .map(|t| t.confidence)
+        .collect();
+    let mean_confidence = if confidences.is_empty() {
+        0.0
+    } else {
+        confidences.iter().sum::<f64>() / confidences.len() as f64
+    };
+
+    EvalReport {
+        ticks: scored,
+        lock_on,
+        changes,
+        locked_fraction,
+        median_rel_error,
+        mean_confidence,
+    }
+}
+
+/// Scores full online predictions against a scenario truth.
+pub fn score_predictions(
+    predictions: &[OnlinePrediction],
+    truth: &ScenarioTruth,
+    config: &EvalConfig,
+) -> EvalReport {
+    score_ticks(&ticks_from_predictions(predictions), truth, config)
+}
+
+/// Renders a report as a compact human-readable block (the `ftio eval`
+/// output format).
+pub fn render_report(name: &str, report: &EvalReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("scenario: {name}\n"));
+    out.push_str(&format!("  ticks:           {}\n", report.ticks.len()));
+    out.push_str(&format!(
+        "  lock-on:         {}\n",
+        report
+            .lock_on
+            .map_or_else(|| "never".to_string(), |n| format!("tick {n}"))
+    ));
+    out.push_str(&format!(
+        "  locked fraction: {:.3}\n",
+        report.locked_fraction
+    ));
+    out.push_str(&format!(
+        "  median rel err:  {}\n",
+        report
+            .median_rel_error
+            .map_or_else(|| "n/a".to_string(), |e| format!("{e:.4}"))
+    ));
+    out.push_str(&format!(
+        "  mean confidence: {:.3}\n",
+        report.mean_confidence
+    ));
+    for change in &report.changes {
+        out.push_str(&format!(
+            "  change @ {:.1}s:   {}\n",
+            change.change_point,
+            match (change.ticks_to_lock, change.lock_time) {
+                (Some(n), Some(t)) => format!("re-locked after {n} ticks (t = {t:.1}s)"),
+                _ => "never re-locked".to_string(),
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftio_trace::TruthSegment;
+
+    fn tick(time: f64, period: f64) -> EvalTick {
+        EvalTick {
+            time,
+            period: Some(period),
+            confidence: 0.8,
+        }
+    }
+
+    #[test]
+    fn harmonic_folding_matches_sub_and_super_harmonics() {
+        // Exact match.
+        assert_eq!(relative_error(10.0, 10.0, 3), 0.0);
+        // Half the true period (first harmonic) folds to zero error.
+        assert_eq!(relative_error(5.0, 10.0, 3), 0.0);
+        // Double the true period also folds.
+        assert_eq!(relative_error(20.0, 10.0, 3), 0.0);
+        // Third harmonic folds only when allowed.
+        assert!(relative_error(30.0, 10.0, 3) < 1e-12);
+        assert!(relative_error(30.0, 10.0, 2) > 0.4);
+        // A genuinely wrong period stays wrong.
+        assert!(relative_error(13.0, 10.0, 3) > 0.25);
+    }
+
+    #[test]
+    fn lock_on_counts_scoreable_ticks() {
+        let truth = ScenarioTruth::constant(0.0, 100.0, 10.0);
+        let ticks = vec![
+            tick(10.0, 23.7), // wrong even after folding (23.7/2 is 18.5% off)
+            tick(20.0, 10.0), // right (streak 1)
+            tick(30.0, 10.0), // right (streak 2 -> locked)
+            tick(40.0, 10.0),
+        ];
+        let report = score_ticks(&ticks, &truth, &EvalConfig::default());
+        assert_eq!(report.lock_on, Some(3));
+        assert!(!report.ticks[1].locked);
+        assert!(report.ticks[2].locked);
+        assert!(report.ticks[3].locked);
+        assert!((report.locked_fraction - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracking_latency_counts_ticks_after_the_change() {
+        let truth = ScenarioTruth::new(
+            vec![
+                TruthSegment::constant(0.0, 50.0, 10.0),
+                TruthSegment::constant(50.0, 120.0, 20.0),
+            ],
+            vec![50.0],
+        );
+        let ticks = vec![
+            tick(10.0, 10.0),
+            tick(20.0, 10.0), // locked on old period
+            tick(60.0, 10.0), // stale after change (1)
+            tick(70.0, 10.0), // stale (2)
+            tick(80.0, 20.0), // re-found (3, streak 1)
+            tick(90.0, 20.0), // streak 2 -> re-locked at tick 4
+        ];
+        // Under the default config the stale 10.0 ticks fold onto the new
+        // 20.0 truth (k = 2), so re-lock is immediate after the streak.
+        let report = score_ticks(&ticks, &truth, &EvalConfig::default());
+        assert_eq!(report.changes.len(), 1);
+        assert_eq!(report.changes[0].ticks_to_lock, Some(2));
+        // Without folding, the stale ticks are plain misses and the
+        // re-lock takes until the second correct tick after the change.
+        let strict = EvalConfig {
+            max_harmonic: 1,
+            ..Default::default()
+        };
+        let strict_report = score_ticks(&ticks, &truth, &strict);
+        let change = strict_report.changes[0];
+        assert_eq!(change.ticks_to_lock, Some(4));
+        assert_eq!(change.lock_time, Some(90.0));
+    }
+
+    #[test]
+    fn harmonically_stale_ticks_relock_immediately() {
+        // With folding enabled, predicting the old period after a 2x change
+        // still counts as locked — tracking latency is then 2 (streak rule).
+        let truth = ScenarioTruth::new(
+            vec![
+                TruthSegment::constant(0.0, 50.0, 10.0),
+                TruthSegment::constant(50.0, 120.0, 20.0),
+            ],
+            vec![50.0],
+        );
+        let ticks = vec![tick(60.0, 10.0), tick(70.0, 10.0)];
+        let report = score_ticks(&ticks, &truth, &EvalConfig::default());
+        assert_eq!(report.changes[0].ticks_to_lock, Some(2));
+    }
+
+    #[test]
+    fn never_relocking_is_reported_as_none() {
+        let truth = ScenarioTruth::new(
+            vec![
+                TruthSegment::constant(0.0, 50.0, 10.0),
+                TruthSegment::constant(50.0, 120.0, 17.0),
+            ],
+            vec![50.0],
+        );
+        let ticks = vec![tick(60.0, 10.0), tick(70.0, 10.0), tick(80.0, 10.0)];
+        let report = score_ticks(&ticks, &truth, &EvalConfig::default());
+        assert_eq!(report.changes[0].ticks_to_lock, None);
+        assert_eq!(report.changes[0].lock_time, None);
+    }
+
+    #[test]
+    fn uncovered_ticks_are_excluded_from_statistics() {
+        let truth = ScenarioTruth::constant(100.0, 200.0, 10.0);
+        let ticks = vec![
+            tick(10.0, 99.0), // before the truth starts: ignored
+            tick(150.0, 10.0),
+            tick(160.0, 10.0),
+        ];
+        let report = score_ticks(&ticks, &truth, &EvalConfig::default());
+        assert_eq!(report.lock_on, Some(2));
+        assert!((report.locked_fraction - 1.0).abs() < 1e-12);
+        assert!(report.ticks[0].true_period.is_none());
+        assert!(!report.ticks[0].in_tolerance);
+    }
+
+    #[test]
+    fn missing_predictions_break_the_streak() {
+        let truth = ScenarioTruth::constant(0.0, 100.0, 10.0);
+        let ticks = vec![
+            tick(10.0, 10.0),
+            EvalTick {
+                time: 20.0,
+                period: None,
+                confidence: 0.0,
+            },
+            tick(30.0, 10.0),
+            tick(40.0, 10.0),
+        ];
+        let report = score_ticks(&ticks, &truth, &EvalConfig::default());
+        assert_eq!(report.lock_on, Some(4));
+    }
+
+    #[test]
+    fn empty_runs_produce_an_empty_report() {
+        let truth = ScenarioTruth::constant(0.0, 100.0, 10.0);
+        let report = score_ticks(&[], &truth, &EvalConfig::default());
+        assert!(report.ticks.is_empty());
+        assert_eq!(report.lock_on, None);
+        assert_eq!(report.median_rel_error, None);
+        assert_eq!(report.locked_fraction, 0.0);
+        assert_eq!(report.mean_confidence, 0.0);
+    }
+
+    #[test]
+    fn render_mentions_every_headline_metric() {
+        let truth = ScenarioTruth::new(
+            vec![
+                TruthSegment::constant(0.0, 50.0, 10.0),
+                TruthSegment::constant(50.0, 100.0, 20.0),
+            ],
+            vec![50.0],
+        );
+        let ticks = vec![tick(10.0, 10.0), tick(20.0, 10.0), tick(60.0, 17.0)];
+        let report = score_ticks(&ticks, &truth, &EvalConfig::default());
+        let text = render_report("demo", &report);
+        assert!(text.contains("scenario: demo"));
+        assert!(text.contains("lock-on"));
+        assert!(text.contains("locked fraction"));
+        assert!(text.contains("median rel err"));
+        assert!(text.contains("change @ 50.0s"));
+    }
+}

@@ -25,6 +25,7 @@
 //! | §II-D online prediction | [`online`], [`freq_merge`], [`cluster`] (multi-application scale-out) |
 //! | §II-E parameter selection | [`sampling`] (abstraction error, fs recommendation) |
 //! | Figs. 2/13/14 reconstruction | [`reconstruct`] |
+//! | adversarial evaluation (this repo) | [`eval`] (tracking latency, harmonic-folded error) |
 //!
 //! ## Quick example
 //!
@@ -53,6 +54,7 @@ pub mod cluster;
 pub mod config;
 pub mod detection;
 pub mod dominant;
+pub mod eval;
 pub mod freq_merge;
 pub mod online;
 pub mod outlier;
@@ -73,6 +75,10 @@ pub use detection::{
     DetectionResult,
 };
 pub use dominant::{FrequencyCandidate, PeriodicityVerdict};
+pub use eval::{
+    relative_error, render_report as render_eval_report, score_predictions, score_ticks,
+    ChangeTracking, EvalConfig, EvalReport, EvalTick, TickScore,
+};
 pub use freq_merge::{merge_predictions, FrequencyInterval, FrequencyPrediction};
 pub use online::{OnlinePrediction, OnlinePredictor, PredictionEngine, TickMode, WindowStrategy};
 pub use reconstruct::{reconstruct_bins, reconstruct_candidates, Reconstruction};
@@ -218,6 +224,141 @@ mod property_tests {
             for interval in &intervals {
                 assert!(interval.contains(interval.center_freq));
                 assert!(interval.min_freq <= interval.max_freq);
+            }
+        }
+    }
+
+    fn every_outlier_method(rng: &mut StdRng) -> Vec<OutlierMethod> {
+        vec![
+            OutlierMethod::ZScore {
+                threshold: rng.gen_range(0.5f64..6.0),
+            },
+            OutlierMethod::DbScan {
+                eps_factor: rng.gen_range(0.05f64..2.0),
+                min_pts: rng.gen_range(1usize..6),
+            },
+            OutlierMethod::Lof {
+                k: rng.gen_range(1usize..8),
+                threshold: rng.gen_range(1.0f64..3.0),
+            },
+            OutlierMethod::IsolationForest {
+                threshold: rng.gen_range(0.3f64..0.9),
+                seed: rng.gen_range(0u64..1000),
+            },
+            OutlierMethod::PeakDetection {
+                prominence_factor: rng.gen_range(0.05f64..0.9),
+            },
+        ]
+    }
+
+    /// Every outlier method is total on degenerate spectra — empty, one bin,
+    /// a single dominant peak in a flat floor, all-equal-amplitude ties, and
+    /// extreme-magnitude values — and always reports sorted, in-range,
+    /// duplicate-free outlier indices.
+    #[test]
+    fn outlier_methods_are_total_on_degenerate_spectra() {
+        let mut rng = StdRng::seed_from_u64(0xf710_0005);
+        for case in 0..24 {
+            let n = rng.gen_range(2usize..40);
+            let tie = rng.gen_range(1e-3f64..1e9);
+            let mut single_peak = vec![tie; n];
+            single_peak[rng.gen_range(0..n)] = tie * rng.gen_range(10.0f64..1e4);
+            let spectra: Vec<Vec<f64>> = vec![
+                Vec::new(),
+                vec![rng.gen_range(0.0f64..1e9)],
+                vec![tie; n], // all-equal ties
+                single_peak,  // one dominant peak
+                vec![0.0; n], // silent spectrum
+                (0..n)
+                    .map(|_| {
+                        // Subnormal-to-huge magnitudes (NaN-adjacent without
+                        // being NaN: the sampler never emits NaN powers).
+                        if rng.gen_bool(0.5) {
+                            f64::MIN_POSITIVE * rng.gen_range(0.5f64..2.0)
+                        } else {
+                            rng.gen_range(1e200f64..1e300)
+                        }
+                    })
+                    .collect(),
+            ];
+            for powers in &spectra {
+                for method in every_outlier_method(&mut rng) {
+                    let analysis = outlier::detect_outliers(powers, &method);
+                    assert_eq!(analysis.z_scores.len(), powers.len(), "case {case}");
+                    let indices = &analysis.outlier_indices;
+                    for pair in indices.windows(2) {
+                        assert!(pair[0] < pair[1], "case {case}: unsorted {method:?}");
+                    }
+                    assert!(
+                        indices.iter().all(|&i| i < powers.len()),
+                        "case {case}: out-of-range index under {method:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Merging is total and deterministic on degenerate prediction
+    /// histories: empty, single prediction, all-identical frequencies, and
+    /// confidence values at the NaN-adjacent extremes (0.0, subnormal, 1.0).
+    /// Running the merge twice yields an identical interval list, and every
+    /// interval stays internally consistent.
+    #[test]
+    fn freq_merge_is_total_and_deterministic_on_degenerate_histories() {
+        let mut rng = StdRng::seed_from_u64(0xf710_0006);
+        for case in 0..24u64 {
+            let n = rng.gen_range(2usize..24);
+            let tie_freq = rng.gen_range(0.01f64..2.0);
+            let mut prediction = |freq: f64, confidence: f64, window: f64| FrequencyPrediction {
+                time: rng.gen_range(0.0f64..1e4),
+                frequency: freq,
+                confidence,
+                window_length: window,
+            };
+            let mut rng2 = StdRng::seed_from_u64(0xf710_0006 ^ case);
+            let histories: Vec<Vec<FrequencyPrediction>> = vec![
+                Vec::new(),
+                vec![prediction(tie_freq, 0.5, 100.0)],
+                // All-identical frequencies over identical windows: zero
+                // resolution spread, the eps floor must still merge them.
+                (0..n).map(|_| prediction(tie_freq, 0.5, 100.0)).collect(),
+                // Extreme confidences riding on ordinary frequencies.
+                (0..n)
+                    .map(|_| {
+                        let confidence = match rng2.gen_range(0u32..4) {
+                            0 => 0.0,
+                            1 => 1.0,
+                            2 => f64::MIN_POSITIVE,
+                            _ => 1.0 - 1e-16,
+                        };
+                        prediction(rng2.gen_range(0.01f64..2.0), confidence, 50.0)
+                    })
+                    .collect(),
+                // Wildly different window lengths (resolution spread).
+                (0..n)
+                    .map(|_| {
+                        prediction(
+                            rng2.gen_range(0.01f64..2.0),
+                            0.5,
+                            rng2.gen_range(1.0f64..1e5),
+                        )
+                    })
+                    .collect(),
+            ];
+            for history in &histories {
+                for min_cluster in 1..=3usize {
+                    let a = merge_predictions(history, min_cluster);
+                    let b = merge_predictions(history, min_cluster);
+                    assert_eq!(a, b, "case {case}: merge order must be deterministic");
+                    let total: f64 = a.iter().map(|i| i.probability).sum();
+                    assert!(total <= 1.0 + 1e-9, "case {case}: probability {total}");
+                    for interval in &a {
+                        assert!(interval.min_freq <= interval.max_freq, "case {case}");
+                        assert!(interval.contains(interval.center_freq), "case {case}");
+                        assert!(interval.count >= 1, "case {case}");
+                        assert!(interval.probability >= 0.0, "case {case}");
+                    }
+                }
             }
         }
     }

@@ -1,0 +1,570 @@
+//! Adversarial evaluation scenarios: the workloads where the paper's
+//! frequency-domain method is *expected to struggle*, each with machine-
+//! readable ground truth.
+//!
+//! The detection corpus (IOR/HACC/LAMMPS-shaped generators, the semi-
+//! synthetic sweeps) is dominated by steady-period applications — exactly the
+//! regime the paper validates on. A production facility monitor sees the
+//! opposite: checkpoint intervals that grow as AMR refines the mesh, abrupt
+//! phase changes at solver switches, bursty non-harmonic interference from
+//! competing jobs, heavy-tailed request sizes, and several tenants sharing
+//! one file system. This module defines the scenario framework — a
+//! [`Scenario`] is a named flush schedule plus one [`ScenarioTruth`] per
+//! application — and the period-evolution generators ([`steady`],
+//! [`phase_change`], [`drift`]); the contention-flavoured generators
+//! ([`crate::scenarios::bursty_interference`],
+//! [`crate::scenarios::heavy_tailed`], [`crate::scenarios::multi_tenant`])
+//! live next to the other trace-shape generators in [`crate::scenarios`].
+//!
+//! Every generator is fully deterministic for a fixed seed, and every
+//! scenario doubles as a deterministic
+//! [`TraceSource`](ftio_trace::source::TraceSource) (one batch per flush) so
+//! the same data drives the synchronous [`OnlinePredictor`]
+//! (`ftio_core::online`) and `ClusterEngine::replay`.
+//!
+//! [`OnlinePredictor`]: https://docs.rs/ftio-core
+
+use ftio_trace::source::{MemorySource, TraceBatch};
+use ftio_trace::{AppId, AppTrace, IoRequest, ScenarioTruth, TruthSegment};
+
+use crate::scenarios::{
+    bursty_interference, heavy_tailed, multi_tenant, InterferenceConfig, MultiTenantConfig,
+    TailConfig,
+};
+
+/// The scenario families of the adversarial evaluation harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScenarioFamily {
+    /// Constant-period baseline — the regime the paper validates on.
+    Steady,
+    /// Abrupt mid-run period change (solver/phase switch).
+    PhaseChange,
+    /// Gradual period growth (checkpoint interval growing with AMR
+    /// refinement).
+    Drift,
+    /// Periodic writer plus bursty, non-harmonic interference sharing the
+    /// measured bandwidth.
+    BurstyInterference,
+    /// Periodic writer with heavy-tailed (Pareto) request sizes.
+    HeavyTailed,
+    /// Several applications sharing one modeled file system, with contention
+    /// stretching overlapping bursts.
+    MultiTenant,
+}
+
+impl ScenarioFamily {
+    /// All families, in canonical evaluation order.
+    pub fn all() -> [ScenarioFamily; 6] {
+        [
+            ScenarioFamily::Steady,
+            ScenarioFamily::PhaseChange,
+            ScenarioFamily::Drift,
+            ScenarioFamily::BurstyInterference,
+            ScenarioFamily::HeavyTailed,
+            ScenarioFamily::MultiTenant,
+        ]
+    }
+
+    /// The canonical kebab-case name (`steady`, `phase-change`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScenarioFamily::Steady => "steady",
+            ScenarioFamily::PhaseChange => "phase-change",
+            ScenarioFamily::Drift => "drift",
+            ScenarioFamily::BurstyInterference => "bursty-interference",
+            ScenarioFamily::HeavyTailed => "heavy-tailed",
+            ScenarioFamily::MultiTenant => "multi-tenant",
+        }
+    }
+
+    /// Parses a family name (accepts `-` or `_` separators, any case).
+    pub fn parse(s: &str) -> Option<Self> {
+        let normalized = s.to_ascii_lowercase().replace('_', "-");
+        ScenarioFamily::all()
+            .into_iter()
+            .find(|f| f.as_str() == normalized)
+    }
+}
+
+/// One flush of a scenario: the requests an application appends to its trace
+/// plus the time at which it asks for a prediction (one submission to the
+/// online predictor or cluster engine).
+#[derive(Clone, Debug)]
+pub struct ScenarioFlush {
+    /// The application appending the data.
+    pub app: AppId,
+    /// The freshly appended requests.
+    pub requests: Vec<IoRequest>,
+    /// Flush/prediction time — the latest request end in the flush, so a
+    /// replayed [`TraceBatch`] submits at exactly this time.
+    pub now: f64,
+}
+
+/// A generated adversarial scenario: a global flush schedule (time-ordered,
+/// possibly interleaving several applications) plus the ground truth of every
+/// participating application.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name (the family name for the registry defaults).
+    pub name: String,
+    /// The family this scenario belongs to.
+    pub family: ScenarioFamily,
+    /// The time-ordered flush schedule.
+    pub flushes: Vec<ScenarioFlush>,
+    /// Ground truth per application, in first-flush order.
+    pub truths: Vec<(AppId, ScenarioTruth)>,
+}
+
+impl Scenario {
+    /// The participating applications, in truth order.
+    pub fn apps(&self) -> Vec<AppId> {
+        self.truths.iter().map(|(app, _)| *app).collect()
+    }
+
+    /// The ground truth of one application.
+    pub fn truth(&self, app: AppId) -> Option<&ScenarioTruth> {
+        self.truths.iter().find(|(a, _)| *a == app).map(|(_, t)| t)
+    }
+
+    /// Total requests across all flushes.
+    pub fn total_requests(&self) -> usize {
+        self.flushes.iter().map(|f| f.requests.len()).sum()
+    }
+
+    /// Wraps the flush schedule as a deterministic streaming source: one
+    /// request batch per flush, attributed to the flushing application, in
+    /// schedule order. Replaying this source through `ClusterEngine::replay`
+    /// submits every flush at [`ScenarioFlush::now`] (the batch end time).
+    pub fn to_source(&self) -> MemorySource {
+        let batches: Vec<TraceBatch> = self
+            .flushes
+            .iter()
+            .map(|f| TraceBatch::requests(f.app, f.requests.clone()))
+            .collect();
+        let app = self.apps().first().copied().unwrap_or(AppId::new(0));
+        MemorySource::from_batches(app, batches)
+    }
+
+    /// All requests of all applications merged into one trace, sorted by
+    /// start time — the offline-detection view of the scenario (and the form
+    /// the fixture corpus serialises).
+    pub fn merged_trace(&self) -> AppTrace {
+        let mut trace = AppTrace::named(&self.name, 0);
+        for flush in &self.flushes {
+            trace.extend(flush.requests.iter().copied());
+        }
+        trace.sort_by_start();
+        trace
+    }
+}
+
+/// Splits a burst across `ranks` ranks.
+pub(crate) fn burst_requests(
+    ranks: usize,
+    start: f64,
+    duration: f64,
+    bytes: u64,
+) -> Vec<IoRequest> {
+    let ranks = ranks.max(1);
+    let per_rank = (bytes / ranks as u64).max(1);
+    (0..ranks)
+        .map(|rank| IoRequest::write(rank, start, start + duration, per_rank))
+        .collect()
+}
+
+/// Turns a list of per-burst `(start, duration, requests)` triples into the
+/// single-application flush schedule (one flush per burst, at burst end).
+pub(crate) fn flushes_from_bursts(
+    app: AppId,
+    bursts: Vec<(f64, Vec<IoRequest>)>,
+) -> Vec<ScenarioFlush> {
+    bursts
+        .into_iter()
+        .map(|(_, requests)| {
+            let now = requests.iter().map(|r| r.end).fold(0.0f64, f64::max);
+            ScenarioFlush { app, requests, now }
+        })
+        .collect()
+}
+
+/// Configuration of the [`steady`] baseline scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct SteadyConfig {
+    /// Constant period between burst starts, seconds.
+    pub period: f64,
+    /// Number of bursts.
+    pub bursts: usize,
+    /// Ranks writing each burst.
+    pub ranks: usize,
+    /// Burst duration, seconds.
+    pub burst_duration: f64,
+    /// Aggregate bytes per burst.
+    pub bytes_per_burst: u64,
+}
+
+impl Default for SteadyConfig {
+    fn default() -> Self {
+        SteadyConfig {
+            period: 10.0,
+            bursts: 30,
+            ranks: 4,
+            burst_duration: 2.0,
+            bytes_per_burst: 2_000_000_000,
+        }
+    }
+}
+
+/// The constant-period baseline: what every other family is compared against.
+pub fn steady(config: &SteadyConfig) -> Scenario {
+    let app = AppId::from_name("steady");
+    let bursts: Vec<(f64, Vec<IoRequest>)> = (0..config.bursts)
+        .map(|i| {
+            let start = i as f64 * config.period;
+            (
+                start,
+                burst_requests(
+                    config.ranks,
+                    start,
+                    config.burst_duration,
+                    config.bytes_per_burst,
+                ),
+            )
+        })
+        .collect();
+    let end = (config.bursts.max(1) - 1) as f64 * config.period + config.burst_duration;
+    let truth = ScenarioTruth::constant(0.0, end.max(config.period), config.period);
+    Scenario {
+        name: ScenarioFamily::Steady.as_str().to_string(),
+        family: ScenarioFamily::Steady,
+        flushes: flushes_from_bursts(app, bursts),
+        truths: vec![(app, truth)],
+    }
+}
+
+/// Configuration of the [`phase_change`] scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseChangeConfig {
+    /// Period before the change, seconds.
+    pub period_before: f64,
+    /// Period after the change, seconds.
+    pub period_after: f64,
+    /// Bursts written at the old period.
+    pub bursts_before: usize,
+    /// Bursts written at the new period.
+    pub bursts_after: usize,
+    /// Ranks writing each burst.
+    pub ranks: usize,
+    /// Burst duration, seconds.
+    pub burst_duration: f64,
+    /// Aggregate bytes per burst.
+    pub bytes_per_burst: u64,
+}
+
+impl Default for PhaseChangeConfig {
+    fn default() -> Self {
+        PhaseChangeConfig {
+            period_before: 8.0,
+            period_after: 18.0,
+            bursts_before: 18,
+            bursts_after: 18,
+            ranks: 4,
+            burst_duration: 2.0,
+            bytes_per_burst: 2_000_000_000,
+        }
+    }
+}
+
+/// An abrupt mid-run period change: `bursts_before` bursts at
+/// `period_before`, then `bursts_after` bursts at `period_after`. The truth
+/// carries one change point at the start of the first new-period burst.
+pub fn phase_change(config: &PhaseChangeConfig) -> Scenario {
+    let app = AppId::from_name("phase-change");
+    let mut bursts = Vec::new();
+    let mut t = 0.0;
+    for _ in 0..config.bursts_before {
+        bursts.push((
+            t,
+            burst_requests(
+                config.ranks,
+                t,
+                config.burst_duration,
+                config.bytes_per_burst,
+            ),
+        ));
+        t += config.period_before;
+    }
+    let change_point = t;
+    for _ in 0..config.bursts_after {
+        bursts.push((
+            t,
+            burst_requests(
+                config.ranks,
+                t,
+                config.burst_duration,
+                config.bytes_per_burst,
+            ),
+        ));
+        t += config.period_after;
+    }
+    let end = t - config.period_after + config.burst_duration;
+    let truth = ScenarioTruth::new(
+        vec![
+            TruthSegment::constant(0.0, change_point, config.period_before),
+            TruthSegment::constant(
+                change_point,
+                end.max(change_point + 1.0),
+                config.period_after,
+            ),
+        ],
+        vec![change_point],
+    );
+    Scenario {
+        name: ScenarioFamily::PhaseChange.as_str().to_string(),
+        family: ScenarioFamily::PhaseChange,
+        flushes: flushes_from_bursts(app, bursts),
+        truths: vec![(app, truth)],
+    }
+}
+
+/// Configuration of the [`drift`] scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftConfig {
+    /// Period before the drift starts, seconds.
+    pub initial_period: f64,
+    /// Multiplicative growth of the inter-burst gap per burst (1.02 ≈ the
+    /// checkpoint interval growing 2% per checkpoint as AMR refines).
+    pub growth: f64,
+    /// Number of bursts.
+    pub bursts: usize,
+    /// Ranks writing each burst.
+    pub ranks: usize,
+    /// Burst duration, seconds.
+    pub burst_duration: f64,
+    /// Aggregate bytes per burst.
+    pub bytes_per_burst: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            initial_period: 8.0,
+            growth: 1.02,
+            bursts: 40,
+            ranks: 4,
+            burst_duration: 1.5,
+            bytes_per_burst: 2_000_000_000,
+        }
+    }
+}
+
+/// Gradual period drift: the gap after burst `i` is
+/// `initial_period · growth^i`, as when a checkpoint interval grows with AMR
+/// refinement. The truth is piecewise constant — one segment per inter-burst
+/// gap — with *no* change points (there is no abrupt instant to re-lock
+/// after; the evaluation instead tracks how well the predictor follows the
+/// moving target).
+pub fn drift(config: &DriftConfig) -> Scenario {
+    let app = AppId::from_name("drift");
+    let mut bursts = Vec::new();
+    let mut segments = Vec::new();
+    let mut t = 0.0;
+    let mut gap = config.initial_period;
+    for i in 0..config.bursts {
+        bursts.push((
+            t,
+            burst_requests(
+                config.ranks,
+                t,
+                config.burst_duration,
+                config.bytes_per_burst,
+            ),
+        ));
+        let next = t + gap;
+        // The true period over [t, next) is the current inter-burst gap; the
+        // final burst extends its segment to the burst end so the last flush
+        // still scores.
+        let segment_end = if i + 1 == config.bursts {
+            t + config.burst_duration.max(gap.min(1.0))
+        } else {
+            next
+        };
+        segments.push(TruthSegment::constant(t, segment_end, gap));
+        t = next;
+        gap *= config.growth;
+    }
+    let truth = ScenarioTruth::new(segments, Vec::new());
+    Scenario {
+        name: ScenarioFamily::Drift.as_str().to_string(),
+        family: ScenarioFamily::Drift,
+        flushes: flushes_from_bursts(app, bursts),
+        truths: vec![(app, truth)],
+    }
+}
+
+/// The registry: one scenario per family, generated with default
+/// configurations and the given seed (seedless families ignore it). This is
+/// the table the evaluation suite, the `ftio eval` command and the fixture
+/// generator all iterate.
+pub fn all_scenarios(seed: u64) -> Vec<Scenario> {
+    ScenarioFamily::all()
+        .into_iter()
+        .map(|family| scenario_for(family, seed))
+        .collect()
+}
+
+/// The default scenario of one family.
+pub fn scenario_for(family: ScenarioFamily, seed: u64) -> Scenario {
+    match family {
+        ScenarioFamily::Steady => steady(&SteadyConfig::default()),
+        ScenarioFamily::PhaseChange => phase_change(&PhaseChangeConfig::default()),
+        ScenarioFamily::Drift => drift(&DriftConfig::default()),
+        ScenarioFamily::BurstyInterference => {
+            bursty_interference(&InterferenceConfig::default(), seed)
+        }
+        ScenarioFamily::HeavyTailed => heavy_tailed(&TailConfig::default(), seed),
+        ScenarioFamily::MultiTenant => multi_tenant(&MultiTenantConfig::default(), seed),
+    }
+}
+
+/// Looks a scenario up by family name (`steady`, `drift`, `multi-tenant`, ...).
+pub fn scenario_by_name(name: &str, seed: u64) -> Option<Scenario> {
+    ScenarioFamily::parse(name).map(|family| scenario_for(family, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftio_trace::TraceSource;
+
+    #[test]
+    fn steady_truth_is_constant_over_the_whole_run() {
+        let scenario = steady(&SteadyConfig::default());
+        assert_eq!(scenario.flushes.len(), 30);
+        let app = scenario.apps()[0];
+        let truth = scenario.truth(app).unwrap();
+        assert!(truth.change_points().is_empty());
+        for flush in &scenario.flushes {
+            assert_eq!(truth.period_at(flush.now), Some(10.0));
+        }
+    }
+
+    #[test]
+    fn phase_change_truth_has_one_change_point() {
+        let config = PhaseChangeConfig::default();
+        let scenario = phase_change(&config);
+        let truth = &scenario.truths[0].1;
+        assert_eq!(truth.change_points().len(), 1);
+        let cp = truth.change_points()[0];
+        assert_eq!(cp, config.bursts_before as f64 * config.period_before);
+        assert_eq!(truth.period_at(cp - 0.1), Some(config.period_before));
+        assert_eq!(truth.period_at(cp + 0.1), Some(config.period_after));
+        assert_eq!(
+            scenario.flushes.len(),
+            config.bursts_before + config.bursts_after
+        );
+    }
+
+    #[test]
+    fn drift_gaps_match_the_piecewise_truth() {
+        let config = DriftConfig {
+            bursts: 10,
+            ..Default::default()
+        };
+        let scenario = drift(&config);
+        let truth = &scenario.truths[0].1;
+        assert_eq!(truth.segments().len(), 10);
+        // Every flush scores against the gap that follows its burst.
+        let starts: Vec<f64> = scenario
+            .flushes
+            .iter()
+            .map(|f| f.requests[0].start)
+            .collect();
+        for (i, pair) in starts.windows(2).enumerate() {
+            let gap = pair[1] - pair[0];
+            let expected = config.initial_period * config.growth.powi(i as i32);
+            assert!((gap - expected).abs() < 1e-9, "burst {i}: gap {gap}");
+            let told = truth.period_at(pair[0] + 0.1).unwrap();
+            assert!((told - expected).abs() < 1e-9, "burst {i}: truth {told}");
+        }
+        assert!(truth.change_points().is_empty());
+    }
+
+    #[test]
+    fn flush_now_is_the_latest_request_end() {
+        for scenario in all_scenarios(0xAD7E_0001) {
+            for (i, flush) in scenario.flushes.iter().enumerate() {
+                assert!(
+                    !flush.requests.is_empty(),
+                    "{}: empty flush {i}",
+                    scenario.name
+                );
+                let max_end = flush.requests.iter().map(|r| r.end).fold(0.0f64, f64::max);
+                assert_eq!(
+                    flush.now, max_end,
+                    "{}: flush {i} now mismatch",
+                    scenario.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_covers_every_family_and_is_deterministic() {
+        let a = all_scenarios(42);
+        let b = all_scenarios(42);
+        assert_eq!(a.len(), ScenarioFamily::all().len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.family, y.family);
+            assert_eq!(x.flushes.len(), y.flushes.len());
+            assert_eq!(x.total_requests(), y.total_requests());
+            for (fx, fy) in x.flushes.iter().zip(&y.flushes) {
+                assert_eq!(fx.app, fy.app);
+                assert_eq!(fx.now.to_bits(), fy.now.to_bits());
+                assert_eq!(fx.requests, fy.requests);
+            }
+            // Every scenario has a truth for every flushing app.
+            for flush in &x.flushes {
+                assert!(x.truth(flush.app).is_some(), "{}: orphan flush", x.name);
+            }
+        }
+    }
+
+    #[test]
+    fn source_batches_mirror_the_flush_schedule() {
+        let scenario = scenario_for(ScenarioFamily::PhaseChange, 1);
+        let mut source = scenario.to_source();
+        let mut seen = 0usize;
+        while let Some(batch) = source.next_batch().unwrap() {
+            let flush = &scenario.flushes[seen];
+            assert_eq!(batch.app, flush.app);
+            assert_eq!(batch.end_time(), Some(flush.now));
+            assert_eq!(batch.into_requests(), flush.requests);
+            seen += 1;
+        }
+        assert_eq!(seen, scenario.flushes.len());
+    }
+
+    #[test]
+    fn names_round_trip_through_the_parser() {
+        for family in ScenarioFamily::all() {
+            assert_eq!(ScenarioFamily::parse(family.as_str()), Some(family));
+            assert_eq!(
+                ScenarioFamily::parse(&family.as_str().replace('-', "_")),
+                Some(family)
+            );
+        }
+        assert_eq!(ScenarioFamily::parse("nope"), None);
+        assert!(scenario_by_name("drift", 7).is_some());
+        assert!(scenario_by_name("warp", 7).is_none());
+    }
+
+    #[test]
+    fn merged_trace_is_sorted_and_complete() {
+        let scenario = scenario_for(ScenarioFamily::MultiTenant, 9);
+        let trace = scenario.merged_trace();
+        assert_eq!(trace.len(), scenario.total_requests());
+        for pair in trace.requests().windows(2) {
+            assert!(pair[1].start >= pair[0].start);
+        }
+    }
+}

@@ -19,7 +19,12 @@
 //! * [`sweep`] — the exact parameter grids of Fig. 8a/8b/8c;
 //! * [`lammps`], [`hacc`], [`nek5000`], [`miniio`] — case-study-shaped
 //!   workloads (§III-B and Fig. 6);
-//! * [`scenarios`] — the Fig. 1 / Fig. 4 phase-boundary illustration;
+//! * [`scenarios`] — the Fig. 1 / Fig. 4 phase-boundary illustration, plus
+//!   the contention-flavoured adversarial generators (bursty interference,
+//!   heavy-tailed request sizes, multi-tenant contention);
+//! * [`drift`] — the adversarial scenario framework: [`Scenario`]s with
+//!   machine-readable ground truth, and the period-evolution generators
+//!   (steady, phase change, AMR-style drift);
 //! * [`multi_app`] — seeded application *fleets* (many concurrent periodic
 //!   writers with ground truth) driving the cluster engine and its benches;
 //! * [`distributions`] — the truncated-normal and exponential samplers.
@@ -38,6 +43,7 @@
 //! ```
 
 pub mod distributions;
+pub mod drift;
 pub mod hacc;
 pub mod ior;
 pub mod lammps;
@@ -71,10 +77,17 @@ pub fn heatmap_source(name: &str, heatmap: &Heatmap) -> MemorySource {
     MemorySource::from_heatmap(AppId::from_name(name), heatmap, DEFAULT_BATCH_SIZE)
 }
 
+pub use drift::{
+    all_scenarios, scenario_by_name, scenario_for, DriftConfig, PhaseChangeConfig, Scenario,
+    ScenarioFamily, ScenarioFlush, SteadyConfig,
+};
 pub use ior::{IoPhase, IorBenchmarkConfig, IorPhaseConfig, PhaseLibrary};
 pub use multi_app::{AppStream, FlushEvent, MultiAppConfig, MultiAppWorkload};
 pub use noise::NoiseLevel;
-pub use scenarios::{long_history_burst, long_history_requests, LongHistoryConfig};
+pub use scenarios::{
+    long_history_burst, long_history_requests, InterferenceConfig, LongHistoryConfig,
+    MultiTenantConfig, TailConfig,
+};
 pub use semi::{generate as generate_semi_synthetic, SemiSyntheticConfig, SemiSyntheticTrace};
 pub use sweep::SweepPoint;
 

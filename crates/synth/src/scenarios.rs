@@ -1,4 +1,6 @@
-//! Small illustrative scenarios from the paper's motivation (Figs. 1 and 4).
+//! Small illustrative scenarios from the paper's motivation (Figs. 1 and 4),
+//! plus the contention-flavoured adversarial generators of the evaluation
+//! harness.
 //!
 //! Figure 1 shows why drawing I/O-phase boundaries is hard: several processes
 //! write bursts whose requests interleave (is burst B one phase or two? where
@@ -11,8 +13,17 @@
 //!   (the "noise" activity whose period is *not* the one of interest),
 //! * optional gaps inside a burst, so a naive inter-request-gap threshold
 //!   would split it in two.
+//!
+//! The adversarial generators ([`bursty_interference`], [`heavy_tailed`],
+//! [`multi_tenant`]) return full [`Scenario`]s — flush schedules with
+//! machine-readable ground truth — and complete the period-evolution
+//! families defined in [`crate::drift`].
 
-use ftio_trace::{AppTrace, IoRequest};
+use ftio_trace::{AppId, AppTrace, IoRequest, ScenarioTruth};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::drift::{burst_requests, flushes_from_bursts, Scenario, ScenarioFamily, ScenarioFlush};
 
 /// Configuration of the phase-boundary scenario.
 #[derive(Clone, Copy, Debug)]
@@ -175,6 +186,291 @@ pub fn long_history_requests(config: &LongHistoryConfig) -> Vec<IoRequest> {
         .collect()
 }
 
+/// Configuration of the [`bursty_interference`] scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct InterferenceConfig {
+    /// Period of the writer under evaluation, seconds.
+    pub period: f64,
+    /// Bursts of the writer under evaluation.
+    pub bursts: usize,
+    /// Ranks writing each periodic burst.
+    pub ranks: usize,
+    /// Duration of a periodic burst, seconds.
+    pub burst_duration: f64,
+    /// Aggregate bytes per periodic burst.
+    pub bytes_per_burst: u64,
+    /// Mean gap between interference bursts as a fraction of `period`.
+    /// The default (0.37) is deliberately non-harmonic: the interferer's
+    /// energy lands between the writer's spectral lines instead of
+    /// reinforcing them.
+    pub interference_gap_fraction: f64,
+    /// Uniform jitter applied to each interference gap (fraction of the
+    /// mean gap).
+    pub interference_jitter: f64,
+    /// Bytes per interference burst, as a fraction of `bytes_per_burst`.
+    pub interference_volume_fraction: f64,
+    /// Duration of one interference burst, seconds.
+    pub interference_duration: f64,
+}
+
+impl Default for InterferenceConfig {
+    fn default() -> Self {
+        InterferenceConfig {
+            period: 10.0,
+            bursts: 30,
+            ranks: 4,
+            burst_duration: 2.0,
+            bytes_per_burst: 2_000_000_000,
+            interference_gap_fraction: 0.37,
+            interference_jitter: 0.3,
+            interference_volume_fraction: 0.5,
+            interference_duration: 1.0,
+        }
+    }
+}
+
+/// A periodic writer sharing the measured bandwidth signal with a bursty,
+/// jittered, non-harmonic interferer (a competing job on the same file
+/// system, recorded under the same application because the facility monitor
+/// cannot attribute server-side bandwidth). The ground truth is the periodic
+/// writer's constant period; the interference is pollution the detector must
+/// see through.
+pub fn bursty_interference(config: &InterferenceConfig, seed: u64) -> Scenario {
+    let app = AppId::from_name("bursty-interference");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1f7e_4fe5);
+    let span = (config.bursts.max(1) - 1) as f64 * config.period + config.burst_duration;
+
+    // Interference bursts across the whole run, on ranks above the writer's.
+    let mean_gap = (config.period * config.interference_gap_fraction).max(1e-3);
+    let interference_bytes =
+        ((config.bytes_per_burst as f64 * config.interference_volume_fraction) as u64).max(1);
+    let noise_rank = config.ranks + 100;
+    let mut interference: Vec<IoRequest> = Vec::new();
+    let mut t = rng.gen_range(0.0..mean_gap);
+    while t + config.interference_duration < span {
+        interference.push(IoRequest::write(
+            noise_rank,
+            t,
+            t + config.interference_duration,
+            interference_bytes,
+        ));
+        let jitter = 1.0 + rng.gen_range(-config.interference_jitter..config.interference_jitter);
+        t += mean_gap * jitter;
+    }
+
+    // One flush per periodic burst; each flush also carries the interference
+    // that completed since the previous flush, so the flush time stays the
+    // periodic burst end (interference never outlives the burst it rides in).
+    let mut flushes = Vec::new();
+    let mut taken = 0usize;
+    for i in 0..config.bursts {
+        let start = i as f64 * config.period;
+        let flush_end = start + config.burst_duration;
+        let mut requests = burst_requests(
+            config.ranks,
+            start,
+            config.burst_duration,
+            config.bytes_per_burst,
+        );
+        while taken < interference.len() && interference[taken].end <= flush_end {
+            requests.push(interference[taken]);
+            taken += 1;
+        }
+        flushes.push(ScenarioFlush {
+            app,
+            requests,
+            now: flush_end,
+        });
+    }
+
+    let truth = ScenarioTruth::constant(0.0, span.max(config.period), config.period);
+    Scenario {
+        name: ScenarioFamily::BurstyInterference.as_str().to_string(),
+        family: ScenarioFamily::BurstyInterference,
+        flushes,
+        truths: vec![(app, truth)],
+    }
+}
+
+/// Configuration of the [`heavy_tailed`] scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct TailConfig {
+    /// Period of the writer, seconds.
+    pub period: f64,
+    /// Number of bursts.
+    pub bursts: usize,
+    /// Ranks writing each burst.
+    pub ranks: usize,
+    /// Pareto scale `x_m`: the minimum per-rank request size, bytes.
+    pub scale_bytes: u64,
+    /// Pareto shape `alpha` (smaller = heavier tail; 1.5 has infinite
+    /// variance).
+    pub alpha: f64,
+    /// Cap on a single sampled request, bytes (keeps one tail draw from
+    /// dwarfing the rest of the run entirely).
+    pub max_bytes: u64,
+    /// Duration of a median-size request, seconds; larger requests take
+    /// proportionally longer, up to `max_duration`.
+    pub base_duration: f64,
+    /// Cap on a single request's duration, seconds.
+    pub max_duration: f64,
+}
+
+impl Default for TailConfig {
+    fn default() -> Self {
+        TailConfig {
+            period: 10.0,
+            bursts: 30,
+            ranks: 4,
+            scale_bytes: 100_000_000,
+            alpha: 1.5,
+            max_bytes: 20_000_000_000,
+            base_duration: 1.0,
+            max_duration: 6.0,
+        }
+    }
+}
+
+/// A periodic writer whose per-rank request sizes follow a Pareto
+/// distribution (inverse-CDF sampled: `x_m / (1-u)^(1/alpha)`), so burst
+/// volume — and with it the discretised bandwidth amplitude — varies by
+/// orders of magnitude between periods while the true period stays constant.
+/// Large requests also take proportionally longer, smearing burst energy
+/// over time.
+pub fn heavy_tailed(config: &TailConfig, seed: u64) -> Scenario {
+    let app = AppId::from_name("heavy-tailed");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7a11_ed00);
+    let mut bursts = Vec::new();
+    for i in 0..config.bursts {
+        let start = i as f64 * config.period;
+        let requests: Vec<IoRequest> = (0..config.ranks.max(1))
+            .map(|rank| {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let raw = config.scale_bytes as f64 / (1.0 - u).powf(1.0 / config.alpha);
+                let bytes = (raw as u64).clamp(config.scale_bytes, config.max_bytes);
+                let stretch = bytes as f64 / config.scale_bytes as f64;
+                let duration = (config.base_duration * stretch.sqrt()).min(config.max_duration);
+                IoRequest::write(rank, start, start + duration, bytes)
+            })
+            .collect();
+        bursts.push((start, requests));
+    }
+    let span = (config.bursts.max(1) - 1) as f64 * config.period + config.max_duration;
+    let truth = ScenarioTruth::constant(0.0, span.max(config.period), config.period);
+    Scenario {
+        name: ScenarioFamily::HeavyTailed.as_str().to_string(),
+        family: ScenarioFamily::HeavyTailed,
+        flushes: flushes_from_bursts(app, bursts),
+        truths: vec![(app, truth)],
+    }
+}
+
+/// Configuration of the [`multi_tenant`] scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiTenantConfig {
+    /// Periods of the tenants sharing the file system, seconds. Chosen
+    /// pairwise non-harmonic by default so their spectra interleave.
+    pub periods: [f64; 3],
+    /// Covered time span, seconds (each tenant writes `span / period`
+    /// bursts).
+    pub span: f64,
+    /// Ranks per tenant burst.
+    pub ranks: usize,
+    /// Nominal burst duration, seconds.
+    pub burst_duration: f64,
+    /// Aggregate bytes per burst.
+    pub bytes_per_burst: u64,
+    /// How much each concurrently bursting tenant stretches a burst
+    /// (bandwidth sharing on the modeled file system): duration multiplier
+    /// is `1 + contention_stretch · overlapping_tenants`.
+    pub contention_stretch: f64,
+}
+
+impl Default for MultiTenantConfig {
+    fn default() -> Self {
+        MultiTenantConfig {
+            periods: [9.0, 12.5, 17.0],
+            span: 260.0,
+            ranks: 4,
+            burst_duration: 2.0,
+            bytes_per_burst: 1_500_000_000,
+            contention_stretch: 0.5,
+        }
+    }
+}
+
+/// Several applications (distinct [`AppId`]s) sharing one modeled file
+/// system. Each tenant writes at its own constant period, but whenever
+/// bursts overlap the shared bandwidth stretches them — so every tenant's
+/// signal is deformed by the others' schedules. The truth records each
+/// tenant's own period; the evaluation runs one predictor per tenant over
+/// the interleaved flush schedule, exactly as the cluster engine would.
+pub fn multi_tenant(config: &MultiTenantConfig, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3e4a_47e5);
+
+    // Nominal burst starts per tenant.
+    let starts: Vec<Vec<f64>> = config
+        .periods
+        .iter()
+        .map(|&period| {
+            let mut v = Vec::new();
+            let mut t = rng.gen_range(0.0..period.min(config.span));
+            while t + config.burst_duration < config.span {
+                v.push(t);
+                t += period;
+            }
+            v
+        })
+        .collect();
+
+    // Contention: a burst overlapping `k` other tenants' nominal bursts is
+    // stretched by `1 + contention_stretch · k`.
+    let overlaps = |tenant: usize, start: f64| -> usize {
+        starts
+            .iter()
+            .enumerate()
+            .filter(|&(other, _)| other != tenant)
+            .filter(|(_, other_starts)| {
+                other_starts.iter().any(|&s| {
+                    s < start + config.burst_duration && start < s + config.burst_duration
+                })
+            })
+            .count()
+    };
+
+    let mut flushes: Vec<ScenarioFlush> = Vec::new();
+    let mut truths = Vec::new();
+    for (tenant, tenant_starts) in starts.iter().enumerate() {
+        let app = AppId::from_name(&format!("tenant-{tenant}"));
+        let mut max_end = 0.0f64;
+        for &start in tenant_starts {
+            let stretch = 1.0 + config.contention_stretch * overlaps(tenant, start) as f64;
+            let duration = config.burst_duration * stretch;
+            let requests = burst_requests(config.ranks, start, duration, config.bytes_per_burst);
+            max_end = max_end.max(start + duration);
+            flushes.push(ScenarioFlush {
+                app,
+                requests,
+                now: start + duration,
+            });
+        }
+        let period = config.periods[tenant];
+        let first = tenant_starts.first().copied().unwrap_or(0.0);
+        truths.push((
+            app,
+            ScenarioTruth::constant(first, max_end.max(first + period), period),
+        ));
+    }
+    flushes.sort_by(|a, b| a.now.partial_cmp(&b.now).expect("NaN flush time"));
+
+    Scenario {
+        name: ScenarioFamily::MultiTenant.as_str().to_string(),
+        family: ScenarioFamily::MultiTenant,
+        flushes,
+        truths,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +570,97 @@ mod tests {
         };
         let trace = generate(&config);
         assert!(trace.active_ranks().iter().all(|&r| r < config.processes));
+    }
+
+    #[test]
+    fn interference_rides_inside_periodic_flushes() {
+        let config = InterferenceConfig::default();
+        let scenario = bursty_interference(&config, 7);
+        assert_eq!(scenario.flushes.len(), config.bursts);
+        let noise_rank = config.ranks + 100;
+        let noise: usize = scenario
+            .flushes
+            .iter()
+            .flat_map(|f| f.requests.iter())
+            .filter(|r| r.rank == noise_rank)
+            .count();
+        // The interferer fires ~1/0.37 ≈ 2.7× per period.
+        assert!(noise > config.bursts, "only {noise} interference bursts");
+        // Flush times are exactly the periodic burst ends despite the noise.
+        for (i, flush) in scenario.flushes.iter().enumerate() {
+            let expected = i as f64 * config.period + config.burst_duration;
+            assert_eq!(flush.now, expected, "flush {i}");
+        }
+        let truth = &scenario.truths[0].1;
+        assert_eq!(truth.period_at(50.0), Some(config.period));
+    }
+
+    #[test]
+    fn heavy_tail_draws_span_orders_of_magnitude() {
+        let config = TailConfig::default();
+        let scenario = heavy_tailed(&config, 11);
+        let sizes: Vec<u64> = scenario
+            .flushes
+            .iter()
+            .flat_map(|f| f.requests.iter().map(|r| r.bytes))
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(min >= config.scale_bytes);
+        assert!(max <= config.max_bytes);
+        assert!(max / min > 10, "tail too light: min {min}, max {max}");
+        // Period stays exact regardless of the size chaos.
+        for pair in scenario.flushes.windows(2) {
+            let gap = pair[1].requests[0].start - pair[0].requests[0].start;
+            assert!((gap - config.period).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn multi_tenant_interleaves_apps_with_per_tenant_truth() {
+        let config = MultiTenantConfig::default();
+        let scenario = multi_tenant(&config, 3);
+        let apps = scenario.apps();
+        assert_eq!(apps.len(), 3);
+        // Flushes are time-ordered and interleave tenants.
+        for pair in scenario.flushes.windows(2) {
+            assert!(pair[1].now >= pair[0].now);
+        }
+        let distinct: std::collections::HashSet<_> =
+            scenario.flushes.iter().map(|f| f.app).collect();
+        assert_eq!(distinct.len(), 3);
+        // Each tenant keeps its own constant period in the truth.
+        for (tenant, period) in config.periods.iter().enumerate() {
+            let truth = scenario.truth(apps[tenant]).unwrap();
+            let mid = (truth.start().unwrap() + truth.end().unwrap()) / 2.0;
+            assert_eq!(truth.period_at(mid), Some(*period));
+        }
+        // Contention stretched at least one burst beyond its nominal length.
+        let stretched = scenario.flushes.iter().any(|f| {
+            f.requests
+                .iter()
+                .any(|r| r.end - r.start > config.burst_duration + 1e-9)
+        });
+        assert!(stretched, "no burst was ever stretched by contention");
+    }
+
+    #[test]
+    fn adversarial_generators_are_deterministic_per_seed() {
+        let a = bursty_interference(&InterferenceConfig::default(), 5);
+        let b = bursty_interference(&InterferenceConfig::default(), 5);
+        let c = bursty_interference(&InterferenceConfig::default(), 6);
+        assert_eq!(a.total_requests(), b.total_requests());
+        for (fa, fb) in a.flushes.iter().zip(&b.flushes) {
+            assert_eq!(fa.requests, fb.requests);
+        }
+        let all_requests = |s: &Scenario| -> Vec<IoRequest> {
+            s.flushes.iter().flat_map(|f| f.requests.clone()).collect()
+        };
+        assert_ne!(all_requests(&a), all_requests(&c), "seed must matter");
+        let ht_a = heavy_tailed(&TailConfig::default(), 5);
+        let ht_b = heavy_tailed(&TailConfig::default(), 5);
+        for (fa, fb) in ht_a.flushes.iter().zip(&ht_b.flushes) {
+            assert_eq!(fa.requests, fb.requests);
+        }
     }
 }

@@ -53,6 +53,7 @@ pub mod recorder;
 pub mod request;
 pub mod source;
 pub mod tmio;
+pub mod truth;
 
 pub use app_id::AppId;
 pub use app_trace::{AppTrace, TraceMetadata};
@@ -62,6 +63,7 @@ pub use darshan::Heatmap;
 pub use errors::{TraceError, TraceResult};
 pub use request::{IoApi, IoKind, IoRequest};
 pub use source::{BatchPayload, DrainedInput, MemorySource, SourceFormat, TraceBatch, TraceSource};
+pub use truth::{ScenarioTruth, TruthSegment};
 
 #[cfg(test)]
 // Seeded randomized invariant tests (a property-test stand-in: the build

@@ -1,0 +1,288 @@
+//! Machine-readable ground truth for generated scenarios.
+//!
+//! The adversarial scenario generators (`ftio-synth`) emit traces whose true
+//! periodic structure is *known by construction*: a steady writer has one
+//! constant period, a phase change switches between two, AMR-style drift
+//! grows the checkpoint interval burst by burst. [`ScenarioTruth`] records
+//! that structure as a piecewise period timeline plus explicit change-point
+//! timestamps, so an evaluation layer (`ftio_core::eval`) can score any
+//! predictor run against it — per-tick frequency error, and *tracking
+//! latency*: how many ticks the predictor needs to re-lock after a
+//! change point.
+//!
+//! The type lives in `ftio-trace` because it describes a property of a trace,
+//! and both the generators (`ftio-synth`) and the scorer (`ftio-core`) need
+//! it without depending on each other.
+
+/// One segment of the true period timeline: over `[start, end)` the period
+/// moves linearly from [`TruthSegment::period_start`] to
+/// [`TruthSegment::period_end`] (equal values describe a constant period).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TruthSegment {
+    /// Segment start time, seconds (inclusive).
+    pub start: f64,
+    /// Segment end time, seconds (exclusive, except for the final segment
+    /// where [`ScenarioTruth::period_at`] treats it as inclusive).
+    pub end: f64,
+    /// True period at `start`, seconds.
+    pub period_start: f64,
+    /// True period approached at `end`, seconds.
+    pub period_end: f64,
+}
+
+impl TruthSegment {
+    /// A constant-period segment.
+    pub fn constant(start: f64, end: f64, period: f64) -> Self {
+        TruthSegment {
+            start,
+            end,
+            period_start: period,
+            period_end: period,
+        }
+    }
+
+    /// A linearly drifting segment.
+    pub fn drifting(start: f64, end: f64, period_start: f64, period_end: f64) -> Self {
+        TruthSegment {
+            start,
+            end,
+            period_start,
+            period_end,
+        }
+    }
+
+    /// Whether `t` lies in `[start, end)`.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// The true period at time `t`, linearly interpolated; `None` outside the
+    /// segment.
+    pub fn period_at(&self, t: f64) -> Option<f64> {
+        if !self.contains(t) {
+            return None;
+        }
+        let span = self.end - self.start;
+        if span <= 0.0 {
+            return Some(self.period_start);
+        }
+        let alpha = (t - self.start) / span;
+        Some(self.period_start + alpha * (self.period_end - self.period_start))
+    }
+}
+
+/// The machine-readable ground truth of one generated application: a
+/// piecewise true-period timeline plus the timestamps of abrupt behaviour
+/// changes.
+///
+/// Gradual drift is encoded as drifting [`TruthSegment`]s *without* change
+/// points (there is no instant to re-lock after); an abrupt phase change is
+/// encoded as two constant segments *with* a change point at the boundary.
+///
+/// ```
+/// use ftio_trace::{ScenarioTruth, TruthSegment};
+///
+/// let truth = ScenarioTruth::new(
+///     vec![
+///         TruthSegment::constant(0.0, 100.0, 10.0),
+///         TruthSegment::constant(100.0, 200.0, 20.0),
+///     ],
+///     vec![100.0],
+/// );
+/// assert_eq!(truth.period_at(50.0), Some(10.0));
+/// assert_eq!(truth.period_at(150.0), Some(20.0));
+/// assert_eq!(truth.change_points(), &[100.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioTruth {
+    segments: Vec<TruthSegment>,
+    change_points: Vec<f64>,
+}
+
+impl ScenarioTruth {
+    /// Builds a truth from segments (sorted by start time) and change points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segments are not in increasing, non-overlapping time
+    /// order, if any segment is degenerate (`end <= start`), or if any period
+    /// endpoint is not strictly positive and finite — a generator emitting
+    /// such a truth is a bug worth failing loudly on.
+    pub fn new(segments: Vec<TruthSegment>, change_points: Vec<f64>) -> Self {
+        for pair in segments.windows(2) {
+            assert!(
+                pair[1].start >= pair[0].end,
+                "truth segments overlap or are out of order: {pair:?}"
+            );
+        }
+        for segment in &segments {
+            assert!(
+                segment.end > segment.start,
+                "degenerate truth segment: {segment:?}"
+            );
+            for period in [segment.period_start, segment.period_end] {
+                assert!(
+                    period.is_finite() && period > 0.0,
+                    "non-positive truth period: {segment:?}"
+                );
+            }
+        }
+        ScenarioTruth {
+            segments,
+            change_points,
+        }
+    }
+
+    /// A single constant-period truth over `[start, end)`.
+    pub fn constant(start: f64, end: f64, period: f64) -> Self {
+        ScenarioTruth::new(vec![TruthSegment::constant(start, end, period)], Vec::new())
+    }
+
+    /// The piecewise segments, in time order.
+    pub fn segments(&self) -> &[TruthSegment] {
+        &self.segments
+    }
+
+    /// Timestamps of abrupt behaviour changes, in time order.
+    pub fn change_points(&self) -> &[f64] {
+        &self.change_points
+    }
+
+    /// Whether the truth covers no time at all.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Start of the covered timeline (`None` when empty).
+    pub fn start(&self) -> Option<f64> {
+        self.segments.first().map(|s| s.start)
+    }
+
+    /// End of the covered timeline (`None` when empty).
+    pub fn end(&self) -> Option<f64> {
+        self.segments.last().map(|s| s.end)
+    }
+
+    /// The true period at time `t`. Between segments (or outside the covered
+    /// range) there is no defined truth and `None` is returned; the very end
+    /// of the final segment is treated as covered, so scoring a prediction
+    /// made exactly at the last flush works.
+    pub fn period_at(&self, t: f64) -> Option<f64> {
+        if let Some(last) = self.segments.last() {
+            if t == last.end {
+                return Some(last.period_end);
+            }
+        }
+        self.segments.iter().find_map(|s| s.period_at(t))
+    }
+
+    /// Compact single-line JSON rendering (`{"segments":[...],"change_points":[...]}`),
+    /// the machine-readable form the `ftio eval` tool prints next to its
+    /// metrics table.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"segments\":[");
+        for (i, s) in self.segments.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"start\":{},\"end\":{},\"period_start\":{},\"period_end\":{}}}",
+                s.start, s.end, s.period_start, s.period_end
+            ));
+        }
+        out.push_str("],\"change_points\":[");
+        for (i, c) in self.change_points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{c}"));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_truth_covers_its_range_only() {
+        let truth = ScenarioTruth::constant(5.0, 105.0, 12.0);
+        assert_eq!(truth.period_at(5.0), Some(12.0));
+        assert_eq!(truth.period_at(104.999), Some(12.0));
+        // The final segment end is inclusive (last-flush predictions score).
+        assert_eq!(truth.period_at(105.0), Some(12.0));
+        assert_eq!(truth.period_at(4.999), None);
+        assert_eq!(truth.period_at(105.001), None);
+        assert!(truth.change_points().is_empty());
+        assert_eq!(truth.start(), Some(5.0));
+        assert_eq!(truth.end(), Some(105.0));
+    }
+
+    #[test]
+    fn drifting_segment_interpolates_linearly() {
+        let truth = ScenarioTruth::new(
+            vec![TruthSegment::drifting(0.0, 100.0, 10.0, 20.0)],
+            Vec::new(),
+        );
+        assert_eq!(truth.period_at(0.0), Some(10.0));
+        assert_eq!(truth.period_at(50.0), Some(15.0));
+        assert_eq!(truth.period_at(100.0), Some(20.0));
+    }
+
+    #[test]
+    fn phase_change_truth_switches_at_the_boundary() {
+        let truth = ScenarioTruth::new(
+            vec![
+                TruthSegment::constant(0.0, 80.0, 8.0),
+                TruthSegment::constant(80.0, 200.0, 16.0),
+            ],
+            vec![80.0],
+        );
+        assert_eq!(truth.period_at(79.9), Some(8.0));
+        assert_eq!(truth.period_at(80.0), Some(16.0));
+        assert_eq!(truth.change_points(), &[80.0]);
+    }
+
+    #[test]
+    fn gaps_between_segments_have_no_truth() {
+        let truth = ScenarioTruth::new(
+            vec![
+                TruthSegment::constant(0.0, 50.0, 10.0),
+                TruthSegment::constant(70.0, 120.0, 10.0),
+            ],
+            Vec::new(),
+        );
+        assert_eq!(truth.period_at(60.0), None);
+        assert_eq!(truth.period_at(75.0), Some(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn overlapping_segments_panic() {
+        let _ = ScenarioTruth::new(
+            vec![
+                TruthSegment::constant(0.0, 60.0, 10.0),
+                TruthSegment::constant(50.0, 120.0, 20.0),
+            ],
+            Vec::new(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive truth period")]
+    fn non_positive_periods_panic() {
+        let _ = ScenarioTruth::constant(0.0, 10.0, 0.0);
+    }
+
+    #[test]
+    fn json_rendering_is_compact_and_complete() {
+        let truth = ScenarioTruth::new(vec![TruthSegment::constant(0.0, 10.0, 2.5)], vec![10.0]);
+        let json = truth.to_json();
+        assert!(json.contains("\"segments\""));
+        assert!(json.contains("\"period_start\":2.5"));
+        assert!(json.contains("\"change_points\":[10]"));
+        assert!(!json.contains('\n'));
+    }
+}

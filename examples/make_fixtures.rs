@@ -13,6 +13,7 @@
 //! seeds, no clocks — so re-running this example after a format change leaves
 //! an intentional, reviewable diff.
 
+use ftio_synth::drift::{scenario_for, ScenarioFamily};
 use ftio_trace::{darshan_parser, jsonl, msgpack, recorder, tmio, Heatmap, IoRequest};
 
 /// A bursty writer: `count` bursts of `burst` seconds every `period` seconds,
@@ -92,4 +93,20 @@ fn main() {
     let mut recorder_text = recorder::encode_requests(&periodic_requests(2, 8.0, 1.0, 15, 1 << 28));
     recorder_text.push_str("0 MPI_File_open 0.000000 0.001000 0\n");
     write("recorder_small.txt", recorder_text.into_bytes());
+
+    // Adversarial-scenario traces from the evaluation harness, at the same
+    // fixed seed the accuracy corpus pins (42). The seeded generators must
+    // stay byte-stable: a diff here means the regression baselines in
+    // tests/accuracy.rs no longer describe the workload they were
+    // calibrated on.
+    for (name, family) in [
+        ("scenario_drift.jsonl", ScenarioFamily::Drift),
+        (
+            "scenario_interference.jsonl",
+            ScenarioFamily::BurstyInterference,
+        ),
+    ] {
+        let trace = scenario_for(family, 42).merged_trace();
+        write(name, jsonl::encode_requests(trace.requests()).into_bytes());
+    }
 }

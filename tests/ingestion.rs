@@ -63,7 +63,12 @@ fn corpus_covers_every_source_format() {
 }
 
 /// The ingestion-corpus smoke check: every fixture parses, yields data, and
-/// the detection pipeline finds the period the generator baked in.
+/// the detection pipeline finds the period the generator baked in. The
+/// `scenario_*` fixtures from the adversarial evaluation harness are exempt
+/// from the period guarantee — `scenario_drift.jsonl` exists precisely
+/// because a drifting interval defeats the whole-trace DFT (the harness in
+/// `tests/accuracy.rs` scores it piecewise instead) — but they must still
+/// parse and yield samples.
 #[test]
 fn every_fixture_parses_and_detects_a_period() {
     for path in fixtures() {
@@ -76,6 +81,13 @@ fn every_fixture_parses_and_detects_a_period() {
             "{} ({format:?}): no samples",
             path.display()
         );
+        let adversarial = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("scenario_"));
+        if adversarial {
+            continue;
+        }
         let period = result.period().unwrap_or_else(|| {
             panic!(
                 "{} ({format:?}): fixtures are periodic by construction",
