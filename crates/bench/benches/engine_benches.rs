@@ -37,6 +37,7 @@ fn engine_config(shards: usize, max_batch: usize) -> ClusterConfig {
             ..Default::default()
         },
         strategy: WindowStrategy::Adaptive { multiple: 3 },
+        ..ClusterConfig::default()
     }
 }
 

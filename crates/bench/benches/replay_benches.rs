@@ -39,6 +39,7 @@ fn engine_config(shards: usize) -> ClusterConfig {
         // A bounded window keeps the per-tick FFT cost constant, so the
         // format sweep prices decoding + dispatch rather than window growth.
         strategy: WindowStrategy::Fixed { length: 300.0 },
+        ..ClusterConfig::default()
     }
 }
 

@@ -154,6 +154,7 @@ pub fn run_cluster(options: &ClusterCliOptions) -> Result<String, String> {
         policy: options.policy,
         ftio: config,
         strategy: WindowStrategy::Adaptive { multiple: 3 },
+        ..ClusterConfig::default()
     });
 
     let started = Instant::now();

@@ -162,6 +162,7 @@ pub fn run_engine(scenario: &Scenario, freq: f64) -> Vec<(AppId, Vec<OnlinePredi
         policy: BackpressurePolicy::Block,
         ftio: analysis_config(freq),
         strategy: WindowStrategy::Adaptive { multiple: 3 },
+        ..ClusterConfig::default()
     });
     let mut source = scenario.to_source();
     engine

@@ -13,9 +13,10 @@ use std::path::Path;
 use std::time::Instant;
 
 use ftio_core::{
-    BackpressurePolicy, ClusterConfig, ClusterEngine, FtioConfig, Pacing, WindowStrategy,
+    BackpressurePolicy, ClusterConfig, ClusterEngine, FtioConfig, Pacing, ReplayStats,
+    WindowStrategy,
 };
-use ftio_trace::source::open_path_as;
+use ftio_trace::source::{open_path_sized, DEFAULT_BATCH_SIZE};
 use ftio_trace::SourceFormat;
 
 use crate::{next_value, parse_format};
@@ -39,6 +40,20 @@ pub struct ReplayCliOptions {
     pub pacing: Pacing,
     /// Sampling frequency of the analysis.
     pub freq: f64,
+    /// Requests (or bins) per source batch.
+    pub batch_size: usize,
+    /// Stop after this many replayed batches (`None` = replay everything).
+    pub limit: Option<u64>,
+    /// Path the engine snapshot is written to (final, plus periodic when
+    /// [`ReplayCliOptions::checkpoint_every`] is set).
+    pub checkpoint: Option<String>,
+    /// Snapshot the engine every N replayed batches (requires `checkpoint`).
+    pub checkpoint_every: Option<u64>,
+    /// Restore engine state and source position from this snapshot file
+    /// before replaying. The engine configuration then comes from the
+    /// snapshot; the `shards`/`capacity`/`batch`/`policy`/`freq` options are
+    /// ignored.
+    pub resume: Option<String>,
 }
 
 impl Default for ReplayCliOptions {
@@ -52,6 +67,11 @@ impl Default for ReplayCliOptions {
             policy: BackpressurePolicy::Block,
             pacing: Pacing::AsFast,
             freq: 2.0,
+            batch_size: DEFAULT_BATCH_SIZE,
+            limit: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
         }
     }
 }
@@ -71,7 +91,13 @@ pub const REPLAY_USAGE: &str = "usage: ftio replay <trace-file> [options]\n\
      \x20 --batch <n>                 max coalesced submissions per tick (default 8)\n\
      \x20 --policy block|drop-oldest|reject   backpressure policy (default block)\n\
      \x20 --pacing as-fast|recorded[:<speedup>]   replay pacing (default as-fast)\n\
-     \x20 --freq <hz>                 sampling frequency for request traces (default 2)";
+     \x20 --freq <hz>                 sampling frequency for request traces (default 2)\n\
+     \x20 --batch-size <n>            requests per source batch (default 1024)\n\
+     \x20 --limit <n>                 stop after n batches (default: whole file)\n\
+     \x20 --checkpoint <path>         write an engine snapshot to this file\n\
+     \x20 --checkpoint-every <n>      also snapshot every n batches (needs --checkpoint)\n\
+     \x20 --resume <path>             restore engine + file position from a snapshot;\n\
+     \x20                             the engine configuration comes from the snapshot";
 
 /// Parses the arguments following `ftio replay`.
 pub fn parse_replay_options(args: &[String]) -> Result<ReplayCliOptions, String> {
@@ -106,6 +132,14 @@ pub fn parse_replay_options(args: &[String]) -> Result<ReplayCliOptions, String>
                     return Err(format!("invalid sampling frequency `{value}`"));
                 }
             }
+            "--batch-size" => options.batch_size = parse_count(args, &mut i, "--batch-size")?,
+            "--limit" => options.limit = Some(parse_count(args, &mut i, "--limit")? as u64),
+            "--checkpoint" => options.checkpoint = Some(next_value(args, &mut i, "--checkpoint")?),
+            "--checkpoint-every" => {
+                options.checkpoint_every =
+                    Some(parse_count(args, &mut i, "--checkpoint-every")? as u64)
+            }
+            "--resume" => options.resume = Some(next_value(args, &mut i, "--resume")?),
             other if other.starts_with("--") => {
                 return Err(format!(
                     "unknown replay option `{other}` (see `ftio replay --help`)"
@@ -126,6 +160,18 @@ pub fn parse_replay_options(args: &[String]) -> Result<ReplayCliOptions, String>
     if options.shards == 0 || options.capacity == 0 || options.batch == 0 {
         return Err("--shards, --capacity and --batch must be at least 1".into());
     }
+    if options.batch_size == 0 {
+        return Err("--batch-size must be at least 1".into());
+    }
+    if options.limit == Some(0) {
+        return Err("--limit must be at least 1".into());
+    }
+    if options.checkpoint_every == Some(0) {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    if options.checkpoint_every.is_some() && options.checkpoint.is_none() {
+        return Err("--checkpoint-every requires --checkpoint <path>".into());
+    }
     Ok(options)
 }
 
@@ -136,30 +182,105 @@ fn parse_count(args: &[String], i: &mut usize, flag: &str) -> Result<usize, Stri
         .map_err(|_| format!("invalid value `{value}` for {flag}"))
 }
 
+/// Writes one engine snapshot atomically enough for a crash-safe resume: the
+/// bytes go to a sibling temp file first and replace the target with a
+/// rename, so an interrupted write never leaves a torn checkpoint behind.
+fn write_checkpoint(engine: &ClusterEngine, path: &str, progress: u64) -> Result<(), String> {
+    let bytes = engine.snapshot_with_progress(progress);
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, &bytes).map_err(|e| format!("cannot write checkpoint `{tmp}`: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot move checkpoint into `{path}`: {e}"))
+}
+
 /// Opens the file, replays it through the engine and renders the report.
+///
+/// With `--checkpoint`/`--resume` this is the crash-safe long-horizon path:
+/// the engine snapshot carries every application's predictor state plus the
+/// number of source batches already consumed, so a resumed replay continues
+/// exactly where the interrupted one stopped and produces the same
+/// predictions an uninterrupted run would.
 pub fn run_replay(options: &ReplayCliOptions) -> Result<String, String> {
-    let (format, mut source) =
-        open_path_as(Path::new(&options.input), options.format).map_err(|e| e.to_string())?;
-    let config = FtioConfig {
-        sampling_freq: options.freq,
-        use_autocorrelation: false,
-        ..Default::default()
+    let (format, mut source) = open_path_sized(
+        Path::new(&options.input),
+        options.format,
+        options.batch_size,
+    )
+    .map_err(|e| e.to_string())?;
+    let (engine, skip) = match &options.resume {
+        Some(path) => {
+            let bytes =
+                std::fs::read(path).map_err(|e| format!("cannot read checkpoint `{path}`: {e}"))?;
+            ClusterEngine::restore_with_progress(&bytes).map_err(|e| e.to_string())?
+        }
+        None => {
+            let config = FtioConfig {
+                sampling_freq: options.freq,
+                use_autocorrelation: false,
+                ..Default::default()
+            };
+            config.validate()?;
+            let engine = ClusterEngine::spawn(ClusterConfig {
+                shards: options.shards,
+                queue_capacity: options.capacity,
+                max_batch: options.batch,
+                policy: options.policy,
+                ftio: config,
+                strategy: WindowStrategy::Adaptive { multiple: 3 },
+                ..ClusterConfig::default()
+            });
+            (engine, 0)
+        }
     };
-    config.validate()?;
-    let engine = ClusterEngine::spawn(ClusterConfig {
-        shards: options.shards,
-        queue_capacity: options.capacity,
-        max_batch: options.batch,
-        policy: options.policy,
-        ftio: config,
-        strategy: WindowStrategy::Adaptive { multiple: 3 },
-    });
 
     let started = Instant::now();
-    let replay = engine
-        .replay(source.as_mut(), options.pacing)
-        .map_err(|e| e.to_string())?;
+    // The checkpoint/limit machinery needs batch-level control, so the loop
+    // mirrors `ClusterEngine::replay` instead of delegating to it. `progress`
+    // counts every batch pulled from the source (including empty ones), which
+    // is the position a later `--resume` fast-forwards to.
+    let mut replay = ReplayStats::default();
+    let mut progress: u64 = 0;
+    let mut checkpoints_written: u64 = 0;
+    let mut timeline_origin: Option<f64> = None;
+    while let Some(batch) = source.next_batch().map_err(|e| e.to_string())? {
+        progress += 1;
+        if progress <= skip {
+            continue;
+        }
+        let app = batch.app;
+        let Some(now) = batch.end_time() else {
+            continue; // empty batch carries no submission time
+        };
+        if let Pacing::Recorded { speedup } = options.pacing {
+            let origin = *timeline_origin.get_or_insert(now);
+            let target = ((now - origin) / speedup).max(0.0);
+            let elapsed = started.elapsed().as_secs_f64();
+            if target > elapsed {
+                std::thread::sleep(std::time::Duration::from_secs_f64(target - elapsed));
+            }
+        }
+        let requests = batch.into_requests();
+        replay.batches += 1;
+        replay.requests += requests.len() as u64;
+        if engine.submit(app, requests, now).accepted() {
+            replay.accepted += 1;
+        } else {
+            replay.rejected += 1;
+        }
+        if let (Some(every), Some(path)) = (options.checkpoint_every, &options.checkpoint) {
+            if replay.batches % every == 0 {
+                write_checkpoint(&engine, path, progress)?;
+                checkpoints_written += 1;
+            }
+        }
+        if Some(replay.batches) == options.limit {
+            break;
+        }
+    }
     engine.flush();
+    if let Some(path) = &options.checkpoint {
+        write_checkpoint(&engine, path, progress)?;
+        checkpoints_written += 1;
+    }
     let elapsed = started.elapsed();
     let stats = engine.stats();
     let results = engine.finish();
@@ -180,9 +301,20 @@ pub fn run_replay(options: &ReplayCliOptions) -> Result<String, String> {
         pacing
     ));
     out.push_str(&format!(
-        "source: {} batches, {} requests, {} accepted, {} rejected\n\n",
+        "source: {} batches, {} requests, {} accepted, {} rejected\n",
         replay.batches, replay.requests, replay.accepted, replay.rejected
     ));
+    if let Some(path) = &options.resume {
+        out.push_str(&format!(
+            "resumed: {path} (skipped {skip} source batches)\n"
+        ));
+    }
+    if let Some(path) = &options.checkpoint {
+        out.push_str(&format!(
+            "checkpoint: {path} ({checkpoints_written} snapshots, source batch {progress})\n"
+        ));
+    }
+    out.push('\n');
     let mut apps: Vec<_> = results.iter().collect();
     apps.sort_by_key(|(app, _)| **app);
     for (app, history) in &apps {
@@ -252,6 +384,25 @@ mod tests {
         assert_eq!(options.pacing, Pacing::Recorded { speedup: 25.0 });
         assert_eq!(options.freq, 1.5);
         assert_eq!(options.format, Some(SourceFormat::Jsonl));
+        let options = parse_replay_options(&strings(&[
+            "trace.jsonl",
+            "--batch-size",
+            "8",
+            "--limit",
+            "5",
+            "--checkpoint",
+            "state.ftiosnap",
+            "--checkpoint-every",
+            "2",
+            "--resume",
+            "old.ftiosnap",
+        ]))
+        .unwrap();
+        assert_eq!(options.batch_size, 8);
+        assert_eq!(options.limit, Some(5));
+        assert_eq!(options.checkpoint.as_deref(), Some("state.ftiosnap"));
+        assert_eq!(options.checkpoint_every, Some(2));
+        assert_eq!(options.resume.as_deref(), Some("old.ftiosnap"));
     }
 
     #[test]
@@ -262,9 +413,19 @@ mod tests {
         assert!(parse_replay_options(&strings(&["a", "--shards", "0"])).is_err());
         assert!(parse_replay_options(&strings(&["a", "--freq", "-1"])).is_err());
         assert!(parse_replay_options(&strings(&["a", "--bogus"])).is_err());
+        assert!(parse_replay_options(&strings(&["a", "--batch-size", "0"])).is_err());
+        assert!(parse_replay_options(&strings(&["a", "--limit", "0"])).is_err());
+        assert!(parse_replay_options(&strings(&["a", "--checkpoint-every", "0"])).is_err());
+        // --checkpoint-every without a checkpoint path has nowhere to write.
+        assert!(parse_replay_options(&strings(&["a", "--checkpoint-every", "2"])).is_err());
         let options = parse_replay_options(&strings(&["trace.msgpack"])).unwrap();
         assert_eq!(options.pacing, Pacing::AsFast);
         assert_eq!(options.format, None);
+        assert_eq!(options.batch_size, DEFAULT_BATCH_SIZE);
+        assert_eq!(options.limit, None);
+        assert_eq!(options.checkpoint, None);
+        assert_eq!(options.checkpoint_every, None);
+        assert_eq!(options.resume, None);
     }
 
     #[test]
@@ -289,5 +450,76 @@ mod tests {
         assert!(report.contains("period 10."), "{report}");
         assert!(report.contains("requests/s"), "{report}");
         let _ = std::fs::remove_file(path);
+    }
+
+    /// Extracts the per-application result lines, stripped of the prediction
+    /// count: a resumed run's result store starts empty, so only the detected
+    /// period and confidence are expected to match an uninterrupted run.
+    fn detections(report: &str) -> Vec<String> {
+        report
+            .lines()
+            .filter_map(|line| line.split_once(" predictions, "))
+            .map(|(app, detection)| {
+                let app = app.split(':').next().unwrap_or(app);
+                format!("{app}: {detection}")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn checkpointed_replay_resumes_to_the_same_predictions() {
+        let mut requests = Vec::new();
+        for tick in 0..12 {
+            let start = tick as f64 * 10.0;
+            for rank in 0..2 {
+                requests.push(IoRequest::write(rank, start, start + 2.0, 500_000_000));
+            }
+        }
+        let dir = std::env::temp_dir();
+        let trace = dir.join("ftio_replay_resume_test.jsonl");
+        let snapshot = dir.join("ftio_replay_resume_test.ftiosnap");
+        std::fs::write(&trace, jsonl::encode_requests(&requests)).unwrap();
+        // `--batch 1` keeps coalescing deterministic (one tick per source
+        // batch), so the interrupted + resumed pair must land on exactly the
+        // detection the uninterrupted run reports.
+        let base = ReplayCliOptions {
+            input: trace.to_str().unwrap().to_string(),
+            batch: 1,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let uninterrupted = run_replay(&base).unwrap();
+
+        let first_half = ReplayCliOptions {
+            limit: Some(3),
+            checkpoint: Some(snapshot.to_str().unwrap().to_string()),
+            checkpoint_every: Some(3),
+            ..base.clone()
+        };
+        let partial = run_replay(&first_half).unwrap();
+        assert!(partial.contains("3 batches"), "{partial}");
+        assert!(partial.contains("source batch 3"), "{partial}");
+
+        let resumed_options = ReplayCliOptions {
+            resume: Some(snapshot.to_str().unwrap().to_string()),
+            ..base.clone()
+        };
+        let resumed = run_replay(&resumed_options).unwrap();
+        assert!(resumed.contains("skipped 3 source batches"), "{resumed}");
+        assert_eq!(detections(&resumed), detections(&uninterrupted));
+        assert!(!detections(&uninterrupted).is_empty(), "{uninterrupted}");
+
+        let missing = ReplayCliOptions {
+            resume: Some(
+                dir.join("ftio_no_such_snapshot")
+                    .to_str()
+                    .unwrap()
+                    .to_string(),
+            ),
+            ..base.clone()
+        };
+        assert!(run_replay(&missing).is_err());
+        let _ = std::fs::remove_file(trace);
+        let _ = std::fs::remove_file(snapshot);
     }
 }

@@ -31,16 +31,32 @@
 //! one-prediction-per-submission behaviour.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use ftio_dsp::plan_cache::{self, PlanCacheStats};
+use ftio_trace::msgpack::{write_array_header, write_str, write_uint, Reader};
 use ftio_trace::source::TraceSource;
-use ftio_trace::{AppId, IoRequest, TraceResult};
+use ftio_trace::{snapshot, AppId, IoRequest, TraceResult};
 
+use crate::checkpoint;
 use crate::config::FtioConfig;
-use crate::online::{OnlinePrediction, OnlinePredictor, WindowStrategy};
+use crate::online::{MemoryPolicy, OnlinePrediction, OnlinePredictor, WindowStrategy};
+
+/// Locks a mutex, recovering the guarded data if a previous holder panicked.
+///
+/// Every shared structure in this module is kept consistent across panics:
+/// counters are atomics, queue bookkeeping runs in short non-panicking
+/// critical sections, and the fallible per-application analysis is confined
+/// to `catch_unwind` inside the shard worker. A poisoned lock therefore only
+/// means "some thread died elsewhere" — the data behind it is still valid,
+/// and the remaining shards must keep serving rather than propagate the
+/// crash to every caller.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// What happens when a submission meets a full shard queue.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -98,6 +114,10 @@ pub struct ClusterConfig {
     pub ftio: FtioConfig,
     /// Window strategy handed to every per-application predictor.
     pub strategy: WindowStrategy,
+    /// Memory policy (bin retention, request retention) handed to every
+    /// per-application predictor — the knob that keeps a long-horizon
+    /// deployment's footprint bounded.
+    pub memory: MemoryPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -109,6 +129,7 @@ impl Default for ClusterConfig {
             policy: BackpressurePolicy::default(),
             ftio: FtioConfig::default(),
             strategy: WindowStrategy::default(),
+            memory: MemoryPolicy::default(),
         }
     }
 }
@@ -190,8 +211,9 @@ pub struct ReplayStats {
 /// Aggregate counters of a [`ClusterEngine`].
 ///
 /// Invariant (observable after [`ClusterEngine::flush`]): every accepted
-/// submission is either the first member of a tick or coalesced into one, so
-/// `ticks + coalesced + dropped == submitted - rejected`.
+/// submission is either the first member of a tick (completed or panicked)
+/// or coalesced into one, so
+/// `ticks + panicked + coalesced + dropped == submitted - rejected`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ClusterStats {
     /// Submissions handed to [`ClusterEngine::submit`].
@@ -204,6 +226,10 @@ pub struct ClusterStats {
     pub ticks: u64,
     /// Submissions that were merged into another submission's tick.
     pub coalesced: u64,
+    /// Ticks whose analysis panicked. The owning application's predictor
+    /// state is discarded (it restarts fresh on its next submission); the
+    /// shard keeps serving every other application.
+    pub panicked: u64,
 }
 
 /// Per-application prediction history, as returned by
@@ -216,6 +242,9 @@ struct Submission {
     app: AppId,
     requests: Vec<IoRequest>,
     now: f64,
+    /// Makes the tick panic inside the shard worker — always `false` outside
+    /// the fault-isolation tests (see `ClusterEngine::submit_fault`).
+    poison: bool,
 }
 
 enum QueueItem {
@@ -264,7 +293,7 @@ impl ShardQueue {
     }
 
     fn push(&self, item: QueueItem, policy: BackpressurePolicy) -> SubmitOutcome {
-        let mut state = self.state.lock().expect("shard queue poisoned");
+        let mut state = lock_recover(&self.state);
         let mut evicted = 0usize;
         loop {
             if state.closed {
@@ -275,7 +304,10 @@ impl ShardQueue {
             }
             match policy {
                 BackpressurePolicy::Block => {
-                    state = self.not_full.wait(state).expect("shard queue poisoned");
+                    state = self
+                        .not_full
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 BackpressurePolicy::DropOldest => {
                     state.items.pop_front();
@@ -299,9 +331,12 @@ impl ShardQueue {
     /// Blocks until work arrives, then drains the whole queue. Returns `None`
     /// once the queue is closed *and* empty — the worker's signal to exit.
     fn pop_all(&self) -> Option<Vec<QueueItem>> {
-        let mut state = self.state.lock().expect("shard queue poisoned");
+        let mut state = lock_recover(&self.state);
         while state.items.is_empty() && !state.closed {
-            state = self.not_empty.wait(state).expect("shard queue poisoned");
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         if state.items.is_empty() {
             return None;
@@ -313,7 +348,7 @@ impl ShardQueue {
 
     /// Marks `count` drained items as fully processed (results visible).
     fn complete(&self, count: usize) {
-        let mut state = self.state.lock().expect("shard queue poisoned");
+        let mut state = lock_recover(&self.state);
         state.pending -= count;
         if state.pending == 0 {
             self.idle.notify_all();
@@ -321,21 +356,24 @@ impl ShardQueue {
     }
 
     fn wait_idle(&self) {
-        let mut state = self.state.lock().expect("shard queue poisoned");
+        let mut state = lock_recover(&self.state);
         while state.pending > 0 {
-            state = self.idle.wait(state).expect("shard queue poisoned");
+            state = self
+                .idle
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        let mut state = self.state.lock().expect("shard queue poisoned");
+        let mut state = lock_recover(&self.state);
         state.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
     fn dropped(&self) -> u64 {
-        self.state.lock().expect("shard queue poisoned").dropped
+        lock_recover(&self.state).dropped
     }
 }
 
@@ -345,6 +383,12 @@ struct SharedCounters {
     rejected: AtomicU64,
     ticks: AtomicU64,
     coalesced: AtomicU64,
+    panicked: AtomicU64,
+    /// `dropped` carried over by [`ClusterEngine::restore`]: the live drop
+    /// count is owned by the shard queues (which restart at zero), so the
+    /// pre-snapshot drops are kept as a baseline added in
+    /// [`ClusterEngine::stats`].
+    dropped_restored: AtomicU64,
 }
 
 /// Sharded, batching, backpressured multi-application prediction engine — the
@@ -377,10 +421,15 @@ struct SharedCounters {
 pub struct ClusterEngine {
     shards: Vec<Arc<ShardQueue>>,
     handles: Vec<JoinHandle<()>>,
+    /// Per-shard predictor state, shared with the owning shard worker. A
+    /// worker only touches its own map (and only between queue drains), so
+    /// contention is nil; sharing it with the engine handle is what makes
+    /// [`ClusterEngine::snapshot`] and [`ClusterEngine::restore`] possible.
+    predictors: Vec<Arc<Mutex<HashMap<AppId, OnlinePredictor>>>>,
     results: Arc<Mutex<AppPredictions>>,
     counters: Arc<SharedCounters>,
     plan_stats: Arc<Mutex<Vec<PlanCacheStats>>>,
-    policy: BackpressurePolicy,
+    config: ClusterConfig,
 }
 
 impl ClusterEngine {
@@ -391,10 +440,14 @@ impl ClusterEngine {
         let counters = Arc::new(SharedCounters::default());
         let plan_stats = Arc::new(Mutex::new(vec![PlanCacheStats::default(); shards]));
         let mut queues = Vec::with_capacity(shards);
+        let mut predictor_maps = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for shard_index in 0..shards {
             let queue = Arc::new(ShardQueue::new(config.queue_capacity));
             queues.push(queue.clone());
+            let predictors: Arc<Mutex<HashMap<AppId, OnlinePredictor>>> =
+                Arc::new(Mutex::new(HashMap::new()));
+            predictor_maps.push(predictors.clone());
             let results = results.clone();
             let counters = counters.clone();
             let plan_stats = plan_stats.clone();
@@ -403,6 +456,7 @@ impl ClusterEngine {
                     shard_index,
                     &queue,
                     &config,
+                    &predictors,
                     &results,
                     &counters,
                     &plan_stats,
@@ -412,10 +466,11 @@ impl ClusterEngine {
         ClusterEngine {
             shards: queues,
             handles,
+            predictors: predictor_maps,
             results,
             counters,
             plan_stats,
-            policy: config.policy,
+            config,
         }
     }
 
@@ -423,12 +478,36 @@ impl ClusterEngine {
     /// prediction at time `now`. Returns immediately unless the shard queue is
     /// full under [`BackpressurePolicy::Block`].
     pub fn submit(&self, app: AppId, requests: Vec<IoRequest>, now: f64) -> SubmitOutcome {
+        self.push_item(
+            app,
+            Submission {
+                app,
+                requests,
+                now,
+                poison: false,
+            },
+        )
+    }
+
+    /// Test-only fault injection: the submitted tick panics inside the shard
+    /// worker, exercising the isolation path.
+    #[cfg(test)]
+    pub(crate) fn submit_fault(&self, app: AppId, now: f64) -> SubmitOutcome {
+        self.push_item(
+            app,
+            Submission {
+                app,
+                requests: Vec::new(),
+                now,
+                poison: true,
+            },
+        )
+    }
+
+    fn push_item(&self, app: AppId, submission: Submission) -> SubmitOutcome {
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         let shard = &self.shards[app.shard_index(self.shards.len())];
-        let outcome = shard.push(
-            QueueItem::Work(Submission { app, requests, now }),
-            self.policy,
-        );
+        let outcome = shard.push(QueueItem::Work(submission), self.config.policy);
         if outcome == SubmitOutcome::Rejected {
             self.counters.rejected.fetch_add(1, Ordering::Relaxed);
         }
@@ -487,9 +566,7 @@ impl ClusterEngine {
     /// Snapshot of the predictions computed so far for one application, in
     /// tick order.
     pub fn predictions(&self, app: AppId) -> Vec<OnlinePrediction> {
-        self.results
-            .lock()
-            .expect("cluster results poisoned")
+        lock_recover(&self.results)
             .get(&app)
             .cloned()
             .unwrap_or_default()
@@ -497,10 +574,7 @@ impl ClusterEngine {
 
     /// Snapshot of all predictions computed so far, keyed by application.
     pub fn all_predictions(&self) -> AppPredictions {
-        self.results
-            .lock()
-            .expect("cluster results poisoned")
-            .clone()
+        lock_recover(&self.results).clone()
     }
 
     /// Aggregate engine counters (see [`ClusterStats`] for the invariant).
@@ -508,9 +582,11 @@ impl ClusterEngine {
         ClusterStats {
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             rejected: self.counters.rejected.load(Ordering::Relaxed),
-            dropped: self.shards.iter().map(|s| s.dropped()).sum(),
+            dropped: self.counters.dropped_restored.load(Ordering::Relaxed)
+                + self.shards.iter().map(|s| s.dropped()).sum::<u64>(),
             ticks: self.counters.ticks.load(Ordering::Relaxed),
             coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            panicked: self.counters.panicked.load(Ordering::Relaxed),
         }
     }
 
@@ -519,10 +595,118 @@ impl ClusterEngine {
     /// export snapshots). Use with [`ClusterEngine::flush`] to pin the
     /// zero-allocation steady state.
     pub fn plan_cache_stats(&self) -> Vec<PlanCacheStats> {
-        self.plan_stats
-            .lock()
-            .expect("cluster plan stats poisoned")
-            .clone()
+        lock_recover(&self.plan_stats).clone()
+    }
+
+    /// Serialises the engine into a versioned snapshot (see
+    /// [`ftio_trace::snapshot`] for the container format): configuration,
+    /// aggregate counters and every application's full predictor state.
+    ///
+    /// The engine is [`flush`](ClusterEngine::flush)ed first so the snapshot
+    /// reflects a quiescent point; per-application predictor states are
+    /// serialised in ascending [`AppId`] order, so equal engine states
+    /// produce byte-identical snapshots regardless of shard count or
+    /// submission interleaving. Prediction *histories* are not captured —
+    /// a restored engine starts with an empty result store and continues
+    /// producing the same predictions an uninterrupted run would.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.snapshot_with_progress(0)
+    }
+
+    /// Like [`ClusterEngine::snapshot`], additionally recording an opaque
+    /// caller-defined progress marker (e.g. how many source batches were
+    /// consumed), returned by [`ClusterEngine::restore_with_progress`].
+    pub fn snapshot_with_progress(&self, progress: u64) -> Vec<u8> {
+        self.flush();
+        let mut payload = Vec::new();
+        write_str(&mut payload, checkpoint::KIND_CLUSTER);
+        encode_cluster_config(&mut payload, &self.config);
+        write_uint(&mut payload, progress);
+        let stats = self.stats();
+        write_uint(&mut payload, stats.submitted);
+        write_uint(&mut payload, stats.rejected);
+        write_uint(&mut payload, stats.dropped);
+        write_uint(&mut payload, stats.ticks);
+        write_uint(&mut payload, stats.coalesced);
+        write_uint(&mut payload, stats.panicked);
+        // Collect every application's state under its shard lock, then sort
+        // by id so the byte stream is independent of hash-map iteration
+        // order and shard layout.
+        let mut apps: Vec<(u64, Vec<u8>)> = Vec::new();
+        for shard in &self.predictors {
+            let guard = lock_recover(shard);
+            for (app, predictor) in guard.iter() {
+                let mut state = Vec::new();
+                predictor.encode_state(&mut state);
+                apps.push((app.raw(), state));
+            }
+        }
+        apps.sort_unstable_by_key(|&(raw, _)| raw);
+        write_array_header(&mut payload, apps.len());
+        for (raw, state) in apps {
+            write_uint(&mut payload, raw);
+            payload.extend_from_slice(&state);
+        }
+        snapshot::seal(&payload)
+    }
+
+    /// Reconstructs an engine from a snapshot produced by
+    /// [`ClusterEngine::snapshot`]: spawns fresh workers under the recorded
+    /// configuration, seeds them with the recorded predictor states and
+    /// carries the aggregate counters forward. Corrupted or truncated input
+    /// fails with a positioned [`ftio_trace::TraceError`]; it never panics.
+    pub fn restore(data: &[u8]) -> TraceResult<Self> {
+        Ok(Self::restore_with_progress(data)?.0)
+    }
+
+    /// Like [`ClusterEngine::restore`], additionally returning the progress
+    /// marker recorded by [`ClusterEngine::snapshot_with_progress`].
+    pub fn restore_with_progress(data: &[u8]) -> TraceResult<(Self, u64)> {
+        let payload = snapshot::open(data)?;
+        let mut reader = Reader::new(payload);
+        checkpoint::expect_kind(&mut reader, checkpoint::KIND_CLUSTER)?;
+        let config = decode_cluster_config(&mut reader)?;
+        let progress = reader.read_uint()?;
+        let submitted = reader.read_uint()?;
+        let rejected = reader.read_uint()?;
+        let dropped = reader.read_uint()?;
+        let ticks = reader.read_uint()?;
+        let coalesced = reader.read_uint()?;
+        let panicked = reader.read_uint()?;
+        let count = reader.read_array_header()?;
+        let mut states: Vec<(AppId, OnlinePredictor)> = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let app = AppId::new(reader.read_uint()?);
+            let predictor = OnlinePredictor::decode_state(&mut reader)?;
+            states.push((app, predictor));
+        }
+        if !reader.is_at_end() {
+            return Err(checkpoint::err_at(
+                &reader,
+                "trailing bytes after cluster state",
+            ));
+        }
+        let engine = ClusterEngine::spawn(config);
+        engine
+            .counters
+            .submitted
+            .store(submitted, Ordering::Relaxed);
+        engine.counters.rejected.store(rejected, Ordering::Relaxed);
+        engine.counters.ticks.store(ticks, Ordering::Relaxed);
+        engine
+            .counters
+            .coalesced
+            .store(coalesced, Ordering::Relaxed);
+        engine.counters.panicked.store(panicked, Ordering::Relaxed);
+        engine
+            .counters
+            .dropped_restored
+            .store(dropped, Ordering::Relaxed);
+        let shards = engine.predictors.len();
+        for (app, predictor) in states {
+            lock_recover(&engine.predictors[app.shard_index(shards)]).insert(app, predictor);
+        }
+        Ok((engine, progress))
     }
 
     /// Crate-internal handle onto the shared result store, used by the
@@ -536,11 +720,7 @@ impl ClusterEngine {
     /// submissions, joins the workers, and returns all predictions.
     pub fn finish(mut self) -> AppPredictions {
         self.shutdown();
-        let results = self
-            .results
-            .lock()
-            .expect("cluster results poisoned")
-            .clone();
+        let results = lock_recover(&self.results).clone();
         results
     }
 
@@ -567,17 +747,39 @@ impl Drop for ClusterEngine {
     }
 }
 
+fn encode_cluster_config(out: &mut Vec<u8>, config: &ClusterConfig) {
+    write_uint(out, config.shards as u64);
+    write_uint(out, config.queue_capacity as u64);
+    write_uint(out, config.max_batch as u64);
+    checkpoint::encode_policy(out, config.policy);
+    checkpoint::encode_config(out, &config.ftio);
+    checkpoint::encode_strategy(out, &config.strategy);
+    checkpoint::encode_memory_policy(out, &config.memory);
+}
+
+fn decode_cluster_config(reader: &mut Reader<'_>) -> TraceResult<ClusterConfig> {
+    Ok(ClusterConfig {
+        shards: checkpoint::read_count(reader, "shard count")?,
+        queue_capacity: checkpoint::read_count(reader, "queue capacity")?,
+        max_batch: checkpoint::read_count(reader, "max batch")?,
+        policy: checkpoint::decode_policy(reader)?,
+        ftio: checkpoint::decode_config(reader)?,
+        strategy: checkpoint::decode_strategy(reader)?,
+        memory: checkpoint::decode_memory_policy(reader)?,
+    })
+}
+
 /// One shard worker: drain the queue, group by application, coalesce, tick.
 fn shard_worker(
     shard_index: usize,
     queue: &ShardQueue,
     config: &ClusterConfig,
+    predictors: &Mutex<HashMap<AppId, OnlinePredictor>>,
     results: &Mutex<AppPredictions>,
     counters: &SharedCounters,
     plan_stats: &Mutex<Vec<PlanCacheStats>>,
 ) {
     let max_batch = config.max_batch.max(1);
-    let mut predictors: HashMap<AppId, OnlinePredictor> = HashMap::new();
     while let Some(batch) = queue.pop_all() {
         let drained = batch.len();
         // Group the submissions per application, preserving arrival order of
@@ -599,36 +801,58 @@ fn shard_worker(
                 QueueItem::Stall(gate) => gate.enter_and_wait(),
             }
         }
+        // The predictor map is shared with the engine handle (for snapshots);
+        // the worker holds it for the whole drained batch, which costs
+        // nothing in steady state because each map has exactly one worker.
+        let mut guard = lock_recover(predictors);
         for app in order {
             let submissions = groups.remove(&app).expect("grouped above");
-            let predictor = predictors
-                .entry(app)
-                .or_insert_with(|| OnlinePredictor::new(config.ftio, config.strategy));
             let mut iter = submissions.into_iter().peekable();
             while iter.peek().is_some() {
-                let mut tick_now = f64::NEG_INFINITY;
-                let mut chunk_len = 0u64;
-                for submission in iter.by_ref().take(max_batch) {
-                    tick_now = tick_now.max(submission.now);
-                    chunk_len += 1;
-                    predictor.ingest(submission.requests);
+                let chunk: Vec<Submission> = iter.by_ref().take(max_batch).collect();
+                let chunk_len = chunk.len() as u64;
+                let tick_now = chunk
+                    .iter()
+                    .fold(f64::NEG_INFINITY, |now, s| now.max(s.now));
+                let predictor = guard.entry(app).or_insert_with(|| {
+                    OnlinePredictor::with_memory(config.ftio, config.strategy, config.memory)
+                });
+                // Fault isolation: a panicking tick must not take the shard
+                // (let alone the engine) down. The chunk counts as consumed,
+                // the owning application's predictor — possibly inconsistent
+                // mid-ingest — is discarded, and every other application
+                // keeps its state and its service.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    for submission in chunk {
+                        if submission.poison {
+                            panic!("injected shard fault");
+                        }
+                        predictor.ingest(submission.requests);
+                    }
+                    predictor.predict(tick_now)
+                }));
+                match outcome {
+                    Ok(prediction) => {
+                        lock_recover(results)
+                            .entry(app)
+                            .or_default()
+                            .push(prediction);
+                        counters.ticks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        guard.remove(&app);
+                        counters.panicked.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
-                let prediction = predictor.predict(tick_now);
-                results
-                    .lock()
-                    .expect("cluster results poisoned")
-                    .entry(app)
-                    .or_default()
-                    .push(prediction);
-                counters.ticks.fetch_add(1, Ordering::Relaxed);
                 counters
                     .coalesced
                     .fetch_add(chunk_len - 1, Ordering::Relaxed);
             }
         }
+        drop(guard);
         // Export this thread's plan-cache counters *before* marking the batch
         // complete, so `flush()` + `plan_cache_stats()` observes them.
-        plan_stats.lock().expect("cluster plan stats poisoned")[shard_index] = plan_cache::stats();
+        lock_recover(plan_stats)[shard_index] = plan_cache::stats();
         queue.complete(drained);
     }
 }
@@ -699,12 +923,13 @@ mod tests {
             policy,
             ftio: fast_config(),
             strategy: WindowStrategy::FullHistory,
+            memory: MemoryPolicy::default(),
         }
     }
 
     fn assert_accounting(stats: &ClusterStats) {
         assert_eq!(
-            stats.ticks + stats.coalesced + stats.dropped,
+            stats.ticks + stats.panicked + stats.coalesced + stats.dropped,
             stats.submitted - stats.rejected,
             "accounting broken: {stats:?}"
         );
@@ -949,6 +1174,162 @@ mod tests {
         assert_eq!(results.values().map(Vec::len).sum::<usize>(), 1);
     }
 
+    /// Tentpole acceptance: a panicking tick inside one shard worker must
+    /// not take the engine down — other applications (same shard and other
+    /// shards) keep their state and their service, the failure is visible in
+    /// [`ClusterStats::panicked`], and shutdown accounting still reconciles.
+    #[test]
+    fn panicking_tick_is_isolated_to_its_application() {
+        let shards = 2usize;
+        let engine = ClusterEngine::spawn(engine_config(shards, 64, BackpressurePolicy::Block));
+        // One victim plus a same-shard and an other-shard bystander.
+        let pick = |shard: usize, skip: usize| {
+            (0u64..)
+                .map(AppId::new)
+                .filter(|app| app.shard_index(shards) == shard)
+                .nth(skip)
+                .expect("ids are infinite")
+        };
+        let victim = pick(0, 0);
+        let same_shard = pick(0, 1);
+        let other_shard = pick(1, 0);
+        let apps = [victim, same_shard, other_shard];
+        for tick in 0..6 {
+            let start = tick as f64 * 10.0;
+            for &app in &apps {
+                engine.submit(app, burst(2, start, 2.0, 1_000_000_000), start + 2.0);
+            }
+        }
+        engine.flush();
+        assert!(engine.submit_fault(victim, 100.0).accepted());
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.panicked, 1, "the fault must be visible: {stats:?}");
+        assert_accounting(&stats);
+        // Everyone — including the victim, restarted from scratch — keeps
+        // being served after the fault.
+        for &app in &apps {
+            engine.submit(app, burst(2, 60.0, 2.0, 1_000_000_000), 62.0);
+        }
+        engine.flush();
+        for &app in &apps {
+            assert_eq!(engine.predictions(app).len(), 7, "app {app} lost service");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.panicked, 1);
+        assert_accounting(&stats);
+        // Drain-then-join shutdown still works and loses nothing.
+        let results = engine.finish();
+        assert_eq!(results.len(), 3);
+    }
+
+    /// Satellite: a poisoned shared mutex is recovered, not propagated — the
+    /// engine API keeps working after a thread panicked while holding the
+    /// results lock.
+    #[test]
+    fn poisoned_results_lock_is_recovered() {
+        let engine = ClusterEngine::spawn(engine_config(1, 8, BackpressurePolicy::Block));
+        let app = AppId::new(4);
+        engine.submit(app, burst(1, 0.0, 1.0, 1_000_000), 1.0);
+        engine.flush();
+        let results = engine.results_handle();
+        let poisoner = std::thread::spawn(move || {
+            let _guard = results.lock().unwrap();
+            panic!("poison the results lock");
+        });
+        assert!(poisoner.join().is_err());
+        assert!(engine.results_handle().is_poisoned());
+        // Reads recover the data...
+        assert_eq!(engine.predictions(app).len(), 1);
+        // ...and the worker writes through the poisoned lock just the same.
+        engine.submit(app, burst(1, 10.0, 1.0, 1_000_000), 11.0);
+        engine.flush();
+        assert_eq!(engine.predictions(app).len(), 2);
+        assert_accounting(&engine.stats());
+    }
+
+    /// Tentpole acceptance: snapshot mid-run → restore → continue matches an
+    /// uninterrupted run bit-for-bit, and equal engine states serialise to
+    /// identical bytes.
+    #[test]
+    fn snapshot_restore_resumes_bit_for_bit() {
+        let config = engine_config(2, 64, BackpressurePolicy::Block);
+        let apps: Vec<AppId> = (0..3).map(AppId::new).collect();
+        let run_phase = |engine: &ClusterEngine, ticks: std::ops::Range<usize>| {
+            for tick in ticks {
+                for (i, app) in apps.iter().enumerate() {
+                    let period = 8.0 + 3.0 * i as f64;
+                    let start = tick as f64 * period;
+                    engine.submit(*app, burst(2, start, 2.0, 1_500_000_000), start + 2.0);
+                }
+            }
+            engine.flush();
+        };
+        let uninterrupted = ClusterEngine::spawn(config);
+        run_phase(&uninterrupted, 0..10);
+
+        let interrupted = ClusterEngine::spawn(config);
+        run_phase(&interrupted, 0..5);
+        let bytes = interrupted.snapshot_with_progress(5);
+        assert_eq!(
+            bytes,
+            interrupted.snapshot_with_progress(5),
+            "equal engine state must serialise to identical bytes"
+        );
+        drop(interrupted);
+
+        let (resumed, progress) = ClusterEngine::restore_with_progress(&bytes).unwrap();
+        assert_eq!(progress, 5);
+        run_phase(&resumed, 5..10);
+        let full = uninterrupted.finish();
+        let tail = resumed.finish();
+        for app in &apps {
+            let full_history = &full[app];
+            let tail_history = &tail[app];
+            // The result store restarts empty; the *predictor* state carries
+            // over, so the post-restore ticks must equal the uninterrupted
+            // run's tail exactly.
+            assert_eq!(tail_history.len(), 5);
+            let offset = full_history.len() - tail_history.len();
+            for (f, t) in full_history[offset..].iter().zip(tail_history) {
+                assert_eq!(f.time.to_bits(), t.time.to_bits());
+                assert_eq!(f.window_start.to_bits(), t.window_start.to_bits());
+                assert_eq!(f.window_end.to_bits(), t.window_end.to_bits());
+                assert_eq!(f.period().map(f64::to_bits), t.period().map(f64::to_bits));
+                assert_eq!(f.confidence().to_bits(), t.confidence().to_bits());
+            }
+        }
+    }
+
+    /// Satellite: corrupted snapshots fail with a positioned error — never a
+    /// panic, never a half-restored engine.
+    #[test]
+    fn restore_rejects_corrupted_snapshots() {
+        let engine = ClusterEngine::spawn(engine_config(1, 8, BackpressurePolicy::Block));
+        engine.submit(AppId::new(1), burst(1, 0.0, 1.0, 1_000_000), 1.0);
+        let bytes = engine.snapshot();
+        drop(engine);
+        assert!(ClusterEngine::restore(&bytes).is_ok());
+        // Truncation at every interesting boundary...
+        for len in [0, 7, snapshot::HEADER_LEN, bytes.len() - 1] {
+            assert!(ClusterEngine::restore(&bytes[..len]).is_err(), "len {len}");
+        }
+        // ...and single-byte corruption anywhere in the stream (header
+        // fields are validated, the payload is checksummed).
+        for index in [0, 9, snapshot::HEADER_LEN + 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[index] ^= 0x40;
+            assert!(ClusterEngine::restore(&bad).is_err(), "index {index}");
+        }
+        // A predictor snapshot is not a cluster snapshot.
+        let predictor = OnlinePredictor::new(fast_config(), WindowStrategy::FullHistory);
+        let err = match ClusterEngine::restore(&predictor.snapshot()) {
+            Err(err) => err,
+            Ok(_) => panic!("a predictor snapshot must not restore as a cluster"),
+        };
+        assert!(err.to_string().contains("expected `cluster`"), "{err}");
+    }
+
     #[test]
     fn pacing_names_parse() {
         assert_eq!(Pacing::parse("as-fast"), Some(Pacing::AsFast));
@@ -1142,6 +1523,7 @@ mod tests {
                 policy: BackpressurePolicy::Block,
                 ftio: fast_config(),
                 strategy: WindowStrategy::Adaptive { multiple: 3 },
+                memory: MemoryPolicy::default(),
             });
             let mut reference: Vec<OnlinePredictor> = (0..apps)
                 .map(|_| {
@@ -1187,6 +1569,7 @@ mod tests {
             policy: BackpressurePolicy::Block,
             ftio: config,
             strategy: WindowStrategy::Fixed { length: 300.0 },
+            memory: MemoryPolicy::default(),
         });
         let apps: Vec<AppId> = (0..4).map(AppId::new).collect();
         let period = 10.0;
@@ -1253,6 +1636,7 @@ mod tests {
             policy: BackpressurePolicy::Block,
             ftio: fast_config(),
             strategy: WindowStrategy::FullHistory,
+            memory: MemoryPolicy::default(),
         }));
         let mut rng = StdRng::seed_from_u64(0x57e5_0001);
         let periods: Vec<f64> = (0..apps).map(|_| rng.gen_range(6.0f64..30.0)).collect();
@@ -1327,6 +1711,7 @@ mod tests {
             policy: BackpressurePolicy::DropOldest,
             ftio: fast_config(),
             strategy: WindowStrategy::FullHistory,
+            memory: MemoryPolicy::default(),
         }));
         let gates = [Gate::new(), Gate::new()];
         for (shard, gate) in gates.iter().enumerate() {
@@ -1384,6 +1769,7 @@ mod tests {
             max_batch: 4,
             policy: BackpressurePolicy::Block,
             ftio: fast_config(),
+            memory: MemoryPolicy::default(),
             // Bounded analysis window: tick cost is dominated by the sampling
             // stage, which is exactly what the incremental path makes O(new).
             strategy: WindowStrategy::Fixed { length: 300.0 },
@@ -1461,6 +1847,7 @@ mod tests {
             policy: BackpressurePolicy::Reject,
             ftio: fast_config(),
             strategy: WindowStrategy::FullHistory,
+            memory: MemoryPolicy::default(),
         }));
         let gates = [Gate::new(), Gate::new()];
         for (shard, gate) in gates.iter().enumerate() {

@@ -50,6 +50,7 @@
 
 pub mod autocorrelation;
 pub mod characterize;
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod detection;
@@ -80,11 +81,13 @@ pub use eval::{
     ChangeTracking, EvalConfig, EvalReport, EvalTick, TickScore,
 };
 pub use freq_merge::{merge_predictions, FrequencyInterval, FrequencyPrediction};
-pub use online::{OnlinePrediction, OnlinePredictor, PredictionEngine, TickMode, WindowStrategy};
+pub use online::{
+    MemoryPolicy, OnlinePrediction, OnlinePredictor, PredictionEngine, TickMode, WindowStrategy,
+};
 pub use reconstruct::{reconstruct_bins, reconstruct_candidates, Reconstruction};
 pub use sampling::{
     recommend_sampling_freq, sample_heatmap, sample_trace, sample_trace_window, IncrementalSampler,
-    SampledSignal, SamplerStats,
+    RetentionPolicy, SampledSignal, SamplerStats,
 };
 pub use spectrum_info::SpectrumInfo;
 

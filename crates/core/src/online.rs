@@ -17,14 +17,16 @@
 //! mirroring the paper's "new child process every time new I/O measurements
 //! are appended" deployment.
 
+use ftio_trace::msgpack::{self, write_array_header, write_f64, write_str, write_uint, Reader};
 use ftio_trace::source::TraceSource;
-use ftio_trace::{AppId, AppTrace, IoRequest, TraceResult};
+use ftio_trace::{snapshot, AppId, AppTrace, IoRequest, TraceResult};
 
+use crate::checkpoint;
 use crate::cluster::{BackpressurePolicy, ClusterConfig, ClusterEngine};
 use crate::config::FtioConfig;
 use crate::detection::{detect_signal, DetectionResult};
 use crate::freq_merge::{merge_predictions, FrequencyInterval, FrequencyPrediction};
-use crate::sampling::{IncrementalSampler, SamplerStats};
+use crate::sampling::{IncrementalSampler, RetentionPolicy, SamplerStats};
 
 /// How the analysis time window is chosen for each prediction.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -95,13 +97,34 @@ pub enum TickMode {
     Rebuild,
 }
 
+/// Memory behaviour of an [`OnlinePredictor`] over a long-horizon run.
+///
+/// The default keeps the pre-existing behaviour: every fine bin is retained
+/// ([`RetentionPolicy::KeepAll`]) and the raw request list is **not** kept
+/// (under [`TickMode::Incremental`] nothing ever reads it back; the request
+/// list is the one structure that would otherwise grow with every flush for
+/// the lifetime of the run). [`TickMode::Rebuild`] implies request retention
+/// regardless of this flag, because rebuilding *is* re-folding the list.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MemoryPolicy {
+    /// Bin-buffer retention handed to the predictor's [`IncrementalSampler`].
+    pub retention: RetentionPolicy,
+    /// Opt-in (default off): retain the raw ingested request list even when
+    /// the tick mode never reads it.
+    pub retain_requests: bool,
+}
+
 /// Synchronous online predictor: accumulate requests, predict on demand.
 #[derive(Clone, Debug)]
 pub struct OnlinePredictor {
     config: FtioConfig,
     strategy: WindowStrategy,
     mode: TickMode,
+    memory: MemoryPolicy,
     trace: AppTrace,
+    /// Valid requests ingested so far — equals `trace.len()` when the request
+    /// list is retained, and keeps counting when it is not.
+    requests_seen: usize,
     sampler: IncrementalSampler,
     history: Vec<FrequencyPrediction>,
     consecutive_dominant: usize,
@@ -117,17 +140,43 @@ impl OnlinePredictor {
 
     /// Creates a predictor with an explicit [`TickMode`].
     pub fn with_mode(config: FtioConfig, strategy: WindowStrategy, mode: TickMode) -> Self {
+        Self::with_options(config, strategy, mode, MemoryPolicy::default())
+    }
+
+    /// Creates a predictor with a [`MemoryPolicy`] on the incremental path.
+    pub fn with_memory(config: FtioConfig, strategy: WindowStrategy, memory: MemoryPolicy) -> Self {
+        Self::with_options(config, strategy, TickMode::default(), memory)
+    }
+
+    /// Fully explicit constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FTIO configuration or the retention policy is invalid.
+    pub fn with_options(
+        config: FtioConfig,
+        strategy: WindowStrategy,
+        mode: TickMode,
+        memory: MemoryPolicy,
+    ) -> Self {
         config.validate().expect("invalid FTIO configuration");
         OnlinePredictor {
             config,
             strategy,
             mode,
+            memory,
             trace: AppTrace::named("online", 0),
-            sampler: IncrementalSampler::new(config.sampling_freq),
+            requests_seen: 0,
+            sampler: IncrementalSampler::with_retention(config.sampling_freq, memory.retention),
             history: Vec::new(),
             consecutive_dominant: 0,
             last_period: None,
         }
+    }
+
+    /// Whether the raw request list is kept (see [`MemoryPolicy`]).
+    fn retains_requests(&self) -> bool {
+        self.memory.retain_requests || self.mode == TickMode::Rebuild
     }
 
     /// The tick mode this predictor runs with.
@@ -143,19 +192,28 @@ impl OnlinePredictor {
 
     /// Appends newly flushed requests (the data the application just wrote to
     /// its trace file). Each request is folded into the persistent sampler
-    /// (`O(bins overlapped)`) and retained for window bookkeeping and the
-    /// [`TickMode::Rebuild`] baseline.
+    /// (`O(bins overlapped)`); the raw request is retained only when the
+    /// [`MemoryPolicy`] (or the [`TickMode::Rebuild`] baseline) requires it.
     pub fn ingest<I: IntoIterator<Item = IoRequest>>(&mut self, requests: I) {
+        let retain = self.retains_requests();
         for request in requests {
             self.sampler.fold(&request);
-            self.trace.push(request);
+            if request.is_valid() {
+                self.requests_seen += 1;
+            }
+            if retain {
+                self.trace.push(request);
+            }
         }
     }
 
     /// Appends all requests of another trace snapshot.
     pub fn ingest_trace(&mut self, trace: &AppTrace) {
         self.sampler.fold_all(trace.requests());
-        self.trace.merge(trace);
+        self.requests_seen += trace.len();
+        if self.retains_requests() {
+            self.trace.merge(trace);
+        }
     }
 
     /// Drains a [`TraceSource`] into the predictor (bin batches are converted
@@ -171,9 +229,22 @@ impl OnlinePredictor {
         Ok(ingested)
     }
 
-    /// Number of requests collected so far.
+    /// Number of valid requests collected so far (counted even when the raw
+    /// request list itself is not retained).
     pub fn collected_requests(&self) -> usize {
-        self.trace.len()
+        self.requests_seen
+    }
+
+    /// The memory policy this predictor runs with.
+    pub fn memory_policy(&self) -> MemoryPolicy {
+        self.memory
+    }
+
+    /// Read access to the held sampler — memory observability
+    /// ([`IncrementalSampler::bin_buffer_bytes`], peak, dropped volume) for
+    /// long-horizon deployments.
+    pub fn sampler(&self) -> &IncrementalSampler {
+        &self.sampler
     }
 
     /// The analysis window that would be used for a prediction at time `now`.
@@ -209,7 +280,10 @@ impl OnlinePredictor {
         let signal = match self.mode {
             TickMode::Incremental => self.sampler.view(start, end),
             TickMode::Rebuild => {
-                let mut fresh = IncrementalSampler::new(self.config.sampling_freq);
+                let mut fresh = IncrementalSampler::with_retention(
+                    self.config.sampling_freq,
+                    self.memory.retention,
+                );
                 fresh.fold_all(self.trace.requests());
                 fresh.view(start, end)
             }
@@ -254,6 +328,111 @@ impl OnlinePredictor {
     pub fn consecutive_dominant(&self) -> usize {
         self.consecutive_dominant
     }
+
+    /// Serialises the predictor into a sealed snapshot file image (see
+    /// [`ftio_trace::snapshot`] for the container and [`crate::checkpoint`]
+    /// for the payload layout). A predictor restored from these bytes
+    /// continues **bit-for-bit** like the uninterrupted original.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        write_str(&mut payload, checkpoint::KIND_PREDICTOR);
+        self.encode_state(&mut payload);
+        snapshot::seal(&payload)
+    }
+
+    /// Rebuilds a predictor from [`snapshot`](Self::snapshot) bytes.
+    ///
+    /// Corrupt input (truncation, bit flips, wrong kind or version) fails
+    /// with a positioned [`ftio_trace::TraceError`]; this never panics.
+    pub fn restore(data: &[u8]) -> TraceResult<Self> {
+        let payload = snapshot::open(data)?;
+        let mut reader = Reader::new(payload);
+        checkpoint::expect_kind(&mut reader, checkpoint::KIND_PREDICTOR)?;
+        let predictor = Self::decode_state(&mut reader)?;
+        if !reader.is_at_end() {
+            return Err(checkpoint::err_at(
+                &reader,
+                "trailing bytes after predictor state",
+            ));
+        }
+        Ok(predictor)
+    }
+
+    /// Payload-level encoder shared by [`snapshot`](Self::snapshot) and the
+    /// cluster-engine checkpoint (which embeds one predictor per application).
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        checkpoint::encode_config(out, &self.config);
+        checkpoint::encode_strategy(out, &self.strategy);
+        checkpoint::encode_tick_mode(out, self.mode);
+        checkpoint::encode_memory_policy(out, &self.memory);
+        write_uint(out, self.requests_seen as u64);
+        checkpoint::write_flag(out, self.retains_requests());
+        if self.retains_requests() {
+            write_uint(out, self.trace.metadata().num_ranks as u64);
+            write_array_header(out, self.trace.len());
+            for request in self.trace.requests() {
+                msgpack::encode_request(out, request);
+            }
+        }
+        self.sampler.encode_state(out);
+        write_array_header(out, self.history.len());
+        for prediction in &self.history {
+            write_f64(out, prediction.time);
+            write_f64(out, prediction.frequency);
+            write_f64(out, prediction.confidence);
+            write_f64(out, prediction.window_length);
+        }
+        write_uint(out, self.consecutive_dominant as u64);
+        checkpoint::write_opt_f64(out, self.last_period);
+    }
+
+    /// Payload-level decoder matching [`encode_state`](Self::encode_state).
+    pub(crate) fn decode_state(reader: &mut Reader<'_>) -> TraceResult<Self> {
+        let config = checkpoint::decode_config(reader)?;
+        let strategy = checkpoint::decode_strategy(reader)?;
+        let mode = checkpoint::decode_tick_mode(reader)?;
+        let memory = checkpoint::decode_memory_policy(reader)?;
+        let requests_seen = checkpoint::read_count(reader, "request count")?;
+        let mut trace = AppTrace::named("online", 0);
+        if checkpoint::read_flag(reader)? {
+            trace.metadata_mut().num_ranks = checkpoint::read_count(reader, "rank count")?;
+            let count = reader.read_array_header()?;
+            for _ in 0..count {
+                trace.push(msgpack::decode_request(reader)?);
+            }
+        }
+        let sampler = IncrementalSampler::decode_state(reader)?;
+        if (sampler.sampling_freq() - config.sampling_freq).abs() > f64::EPSILON {
+            return Err(checkpoint::err_at(
+                reader,
+                "sampler frequency does not match the analysis configuration",
+            ));
+        }
+        let history_len = reader.read_array_header()?;
+        let mut history = Vec::with_capacity(history_len.min(1 << 16));
+        for _ in 0..history_len {
+            history.push(FrequencyPrediction {
+                time: reader.read_f64()?,
+                frequency: reader.read_f64()?,
+                confidence: reader.read_f64()?,
+                window_length: reader.read_f64()?,
+            });
+        }
+        let consecutive_dominant = checkpoint::read_count(reader, "dominant streak")?;
+        let last_period = checkpoint::read_opt_f64(reader)?;
+        Ok(OnlinePredictor {
+            config,
+            strategy,
+            mode,
+            memory,
+            trace,
+            requests_seen,
+            sampler,
+            history,
+            consecutive_dominant,
+            last_period,
+        })
+    }
 }
 
 /// Asynchronous wrapper around [`OnlinePredictor`] for a *single* application:
@@ -283,6 +462,7 @@ impl PredictionEngine {
             policy: BackpressurePolicy::Block,
             ftio: config,
             strategy,
+            memory: MemoryPolicy::default(),
         });
         PredictionEngine {
             cluster,

@@ -18,7 +18,10 @@
 //!   zero-recomputation [`IncrementalSampler::view`]s over the buffer. This
 //!   is what makes the online prediction tick independent of history length.
 
-use ftio_trace::{AppTrace, BandwidthTimeline, Heatmap, IoRequest};
+use ftio_trace::msgpack::{write_array_header, write_f64, write_uint, Reader};
+use ftio_trace::{AppTrace, BandwidthTimeline, Heatmap, IoRequest, TraceResult};
+
+use crate::checkpoint;
 
 /// A discretised bandwidth signal plus the context needed to interpret it.
 #[derive(Clone, Debug)]
@@ -155,6 +158,95 @@ pub struct SamplerStats {
     pub bins_grown: u64,
 }
 
+/// How an [`IncrementalSampler`] bounds the memory of its bin buffer over a
+/// long-horizon run.
+///
+/// PR 5 made the prediction *tick* cost independent of history length; the
+/// bin buffer itself still grew forever. A retention policy caps it:
+///
+/// * [`KeepAll`](RetentionPolicy::KeepAll) — the historical behaviour: every
+///   fine bin is kept. Right for bounded traces and offline analysis.
+/// * [`Ring`](RetentionPolicy::Ring) — a rolling window of the most recent
+///   `max_bins` fine bins; older bins are evicted and their volume is
+///   accounted in [`IncrementalSampler::dropped_volume`]. Right for the
+///   `fixed`/`adaptive` window strategies, which never look further back than
+///   their window anyway.
+/// * [`Pyramid`](RetentionPolicy::Pyramid) — a multi-resolution downsampling
+///   pyramid: the most recent `fine_bins` stay at full resolution, older
+///   epochs are folded pairwise into up to `levels` coarser planes (factor 2,
+///   4, 8, …). Volume is preserved exactly; only resolution degrades with
+///   age. Right for `full_history`, whose views still need the old epochs.
+///
+/// Eviction is deterministic (it runs as part of every fold), so retention
+/// preserves the sampler's bit-for-bit chunked-equals-one-shot contract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RetentionPolicy {
+    /// Keep every fine bin forever (unbounded memory, exact history).
+    #[default]
+    KeepAll,
+    /// Keep only the most recent `max_bins` fine bins; evict the rest.
+    Ring {
+        /// Number of fine-resolution bins to retain (must be ≥ 1).
+        max_bins: usize,
+    },
+    /// Keep `fine_bins` recent bins at full resolution and downsample older
+    /// epochs through `levels` pairwise-merged coarse planes.
+    Pyramid {
+        /// Fine-resolution bins to retain (must be ≥ 2).
+        fine_bins: usize,
+        /// Number of coarse levels (must be in `1..=32`); the coarsest level
+        /// is unbounded but grows `2^levels`× slower than the fine plane.
+        levels: usize,
+    },
+}
+
+impl RetentionPolicy {
+    /// Checks the policy parameters without constructing a sampler.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            RetentionPolicy::KeepAll => Ok(()),
+            RetentionPolicy::Ring { max_bins } => {
+                if max_bins == 0 {
+                    Err("ring retention needs max_bins >= 1".into())
+                } else {
+                    Ok(())
+                }
+            }
+            RetentionPolicy::Pyramid { fine_bins, levels } => {
+                if fine_bins < 2 {
+                    Err("pyramid retention needs fine_bins >= 2".into())
+                } else if !(1..=32).contains(&levels) {
+                    Err("pyramid retention needs 1..=32 levels".into())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// One coarse plane of the downsampling pyramid: `factor` consecutive fine
+/// bins merged into each coarse bin, covering the logical fine-bin range
+/// `[start, start + len·factor)` immediately before the next-finer plane.
+#[derive(Clone, Debug)]
+struct CoarseLevel {
+    /// Fine bins per coarse bin (2 for level 0, doubling per level).
+    factor: usize,
+    /// Logical fine-bin index of this level's first covered bin.
+    start: usize,
+    /// Summed transferred volume per coarse bin.
+    volume: Vec<f64>,
+    /// Summed point samples per coarse bin.
+    point: Vec<f64>,
+}
+
+impl CoarseLevel {
+    /// Logical fine-bin index one past this level's coverage.
+    fn end(&self) -> usize {
+        self.start + self.volume.len() * self.factor
+    }
+}
+
 /// Incremental discretiser: the volume-preserving bandwidth signal as a
 /// growing bin buffer that new requests are *folded into*, instead of being
 /// re-derived from the full request history.
@@ -183,13 +275,28 @@ pub struct SamplerStats {
 pub struct IncrementalSampler {
     sampling_freq: f64,
     origin: Option<f64>,
-    /// Exact transferred volume (bytes) per bin.
+    /// Exact transferred volume (bytes) per retained fine bin.
     volume: Vec<f64>,
-    /// Instantaneous aggregate bandwidth at each bin's left edge.
+    /// Instantaneous aggregate bandwidth at each retained fine bin's left edge.
     point: Vec<f64>,
     /// Latest request end time folded so far.
     end_time: f64,
     stats: SamplerStats,
+    /// Memory-bounding policy for the bin planes.
+    retention: RetentionPolicy,
+    /// Logical fine-bin index of `volume[0]`: bins `[0, base)` have been
+    /// evicted (Ring) or merged into the pyramid. The origin stays the grid
+    /// anchor of logical bin 0, so bin edges never move.
+    base: usize,
+    /// Coarse history planes, ordered finest (factor 2, adjacent to the fine
+    /// plane) to coarsest. Contiguous: `pyramid[0].end() == base` and
+    /// `pyramid[i+1].end() == pyramid[i].start`.
+    pyramid: Vec<CoarseLevel>,
+    /// Volume (bytes) of folded data that fell before the retained window and
+    /// was dropped by the Ring policy rather than binned.
+    dropped_volume: f64,
+    /// High-water mark of `bin_buffer_bytes()` over this sampler's lifetime.
+    peak_bytes: usize,
 }
 
 impl IncrementalSampler {
@@ -203,7 +310,20 @@ impl IncrementalSampler {
     ///
     /// Panics if `sampling_freq` is not strictly positive.
     pub fn new(sampling_freq: f64) -> Self {
+        Self::with_retention(sampling_freq, RetentionPolicy::KeepAll)
+    }
+
+    /// Creates an empty sampler with a memory-bounding [`RetentionPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampling_freq` is not strictly positive or the retention
+    /// parameters are invalid (see [`RetentionPolicy::validate`]).
+    pub fn with_retention(sampling_freq: f64, retention: RetentionPolicy) -> Self {
         assert!(sampling_freq > 0.0, "sampling frequency must be positive");
+        if let Err(reason) = retention.validate() {
+            panic!("invalid retention policy: {reason}");
+        }
         IncrementalSampler {
             sampling_freq,
             origin: None,
@@ -211,6 +331,11 @@ impl IncrementalSampler {
             point: Vec::new(),
             end_time: f64::NEG_INFINITY,
             stats: SamplerStats::default(),
+            retention,
+            base: 0,
+            pyramid: Vec::new(),
+            dropped_volume: 0.0,
+            peak_bytes: 0,
         }
     }
 
@@ -254,6 +379,56 @@ impl IncrementalSampler {
         self.stats
     }
 
+    /// The memory-bounding policy this sampler was built with.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention
+    }
+
+    /// Current heap footprint of the bin planes in bytes (fine planes plus
+    /// every pyramid level, counting allocated capacity, not just length).
+    pub fn bin_buffer_bytes(&self) -> usize {
+        let f64_size = std::mem::size_of::<f64>();
+        let mut bytes = (self.volume.capacity() + self.point.capacity()) * f64_size;
+        for level in &self.pyramid {
+            bytes += (level.volume.capacity() + level.point.capacity()) * f64_size;
+        }
+        bytes
+    }
+
+    /// High-water mark of [`bin_buffer_bytes`](Self::bin_buffer_bytes) over
+    /// this sampler's lifetime — the observable the memory-ceiling tests pin.
+    pub fn peak_bin_buffer_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Volume (bytes) dropped by the Ring policy because it fell before the
+    /// retained window. Always 0 under `KeepAll` and `Pyramid`.
+    pub fn dropped_volume(&self) -> f64 {
+        self.dropped_volume
+    }
+
+    /// Absolute time of the oldest instant still represented (at any
+    /// resolution). Equals [`start_time`](Self::start_time) until eviction
+    /// discards history.
+    pub fn retained_start_time(&self) -> f64 {
+        match self.origin {
+            Some(origin) => origin + self.coverage_start_bin() as f64 / self.sampling_freq,
+            None => 0.0,
+        }
+    }
+
+    /// Logical index of the oldest bin still represented: the coarsest
+    /// non-empty pyramid level's start, else the fine plane's base.
+    fn coverage_start_bin(&self) -> usize {
+        let mut start = self.base;
+        for level in &self.pyramid {
+            if !level.volume.is_empty() {
+                start = level.start;
+            }
+        }
+        start
+    }
+
     /// Folds one request into the bin buffer: `O(bins overlapped)`.
     ///
     /// Invalid or zero-byte requests are skipped, mirroring both
@@ -273,12 +448,15 @@ impl IncrementalSampler {
         self.end_time = self.end_time.max(end);
         let fs = self.sampling_freq;
         let dt = 1.0 / fs;
-        if start < origin {
+        if start < origin && self.base == 0 {
             // Earlier data than anything seen so far (merged per-rank trace
             // files are explicitly allowed to interleave timestamps): extend
             // the buffer backwards on the same grid, moving the origin to an
             // earlier grid-aligned instant. O(existing bins), but only when
-            // genuinely earlier data arrives.
+            // genuinely earlier data arrives. Once retention has evicted
+            // logical bin 0 (`base > 0`), history before the retained window
+            // is gone for good, so such data is clamped and accounted below —
+            // bounded memory cannot resurrect old epochs.
             let shift = ((origin - start) * fs).ceil() as usize;
             origin -= shift as f64 * dt;
             self.origin = Some(origin);
@@ -288,24 +466,160 @@ impl IncrementalSampler {
         }
         let first = (((start - origin) * fs).floor().max(0.0)) as usize;
         let last = (((end - origin) * fs).ceil() as usize).max(first + 1);
-        if last > self.volume.len() {
-            self.stats.bins_grown += (last - self.volume.len()) as u64;
-            self.volume.resize(last, 0.0);
-            self.point.resize(last, 0.0);
+        let held = self.base + self.volume.len();
+        if last > held {
+            self.stats.bins_grown += (last - held) as u64;
+            self.volume.resize(last - self.base, 0.0);
+            self.point.resize(last - self.base, 0.0);
         }
-        for b in first..last {
+        let retained_first = first.max(self.base);
+        if first < retained_first {
+            // The request reaches into evicted bins: its volume there is
+            // dropped, not binned. Account it so operators can see the loss.
+            let retained_lo = origin + retained_first as f64 * dt;
+            let dropped_span = (end.min(retained_lo) - start).max(0.0);
+            self.dropped_volume += bw * dropped_span;
+        }
+        for b in retained_first..last {
             let bin_lo = origin + b as f64 * dt;
             let overlap = end.min(bin_lo + dt) - start.max(bin_lo);
             if overlap > 0.0 {
-                self.volume[b] += bw * overlap;
+                self.volume[b - self.base] += bw * overlap;
                 self.stats.bins_touched += 1;
             }
             // Point sample at the bin's left edge: the request is active there
             // iff the edge lies in [start, end) — the same breakpoint
             // semantics as `BandwidthTimeline::bandwidth_at`.
             if bin_lo >= start && bin_lo < end {
-                self.point[b] += bw;
+                self.point[b - self.base] += bw;
             }
+        }
+        self.enforce_retention();
+        self.peak_bytes = self.peak_bytes.max(self.bin_buffer_bytes());
+    }
+
+    /// Hysteresis slack before eviction triggers: evicting on every fold
+    /// would turn the ring into a per-fold `O(len)` memmove; batching
+    /// evictions keeps the amortised cost `O(1)` per bin while bounding the
+    /// plane length at `cap + slack`.
+    fn retention_slack(cap: usize) -> usize {
+        (cap / 4).max(16)
+    }
+
+    /// Applies the retention policy after a fold. Deterministic: depends only
+    /// on the current plane lengths, never on timing or batch boundaries.
+    fn enforce_retention(&mut self) {
+        match self.retention {
+            RetentionPolicy::KeepAll => {}
+            RetentionPolicy::Ring { max_bins } => {
+                if self.volume.len() > max_bins + Self::retention_slack(max_bins) {
+                    let evict = self.volume.len() - max_bins;
+                    self.volume.drain(..evict);
+                    self.point.drain(..evict);
+                    self.base += evict;
+                }
+            }
+            RetentionPolicy::Pyramid { fine_bins, levels } => {
+                if self.volume.len() > fine_bins + Self::retention_slack(fine_bins) {
+                    // Merge whole pairs only, so coarse bins always cover
+                    // exactly `factor` fine bins.
+                    let evict = (self.volume.len() - fine_bins) & !1;
+                    if evict > 0 {
+                        self.spill_fine(evict);
+                    }
+                }
+                // Cascade: every level but the coarsest spills pairwise into
+                // the next level when it outgrows the same cap.
+                for level in 0..self.pyramid.len() {
+                    if level + 1 < levels
+                        && self.pyramid[level].volume.len()
+                            > fine_bins + Self::retention_slack(fine_bins)
+                    {
+                        let evict = (self.pyramid[level].volume.len() - fine_bins) & !1;
+                        if evict > 0 {
+                            self.spill_level(level, evict);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Moves the oldest `evict` fine bins (an even count) into pyramid level
+    /// 0, merging pairs.
+    fn spill_fine(&mut self, evict: usize) {
+        debug_assert!(evict % 2 == 0 && evict <= self.volume.len());
+        if self.pyramid.is_empty() {
+            self.pyramid.push(CoarseLevel {
+                factor: 2,
+                start: self.base,
+                volume: Vec::new(),
+                point: Vec::new(),
+            });
+        }
+        let level = &mut self.pyramid[0];
+        debug_assert_eq!(level.end(), self.base, "pyramid/fine contiguity");
+        for pair in self.volume[..evict].chunks_exact(2) {
+            level.volume.push(pair[0] + pair[1]);
+        }
+        for pair in self.point[..evict].chunks_exact(2) {
+            level.point.push(pair[0] + pair[1]);
+        }
+        self.volume.drain(..evict);
+        self.point.drain(..evict);
+        self.base += evict;
+    }
+
+    /// Moves the oldest `evict` coarse bins (an even count) of pyramid level
+    /// `index` into level `index + 1`, merging pairs.
+    fn spill_level(&mut self, index: usize, evict: usize) {
+        debug_assert!(evict % 2 == 0 && evict <= self.pyramid[index].volume.len());
+        if index + 1 == self.pyramid.len() {
+            let coarser = CoarseLevel {
+                factor: self.pyramid[index].factor * 2,
+                start: self.pyramid[index].start,
+                volume: Vec::new(),
+                point: Vec::new(),
+            };
+            self.pyramid.push(coarser);
+        }
+        let (finer, coarser) = {
+            let (head, tail) = self.pyramid.split_at_mut(index + 1);
+            (&mut head[index], &mut tail[0])
+        };
+        debug_assert_eq!(coarser.end(), finer.start, "pyramid level contiguity");
+        for pair in finer.volume[..evict].chunks_exact(2) {
+            coarser.volume.push(pair[0] + pair[1]);
+        }
+        for pair in finer.point[..evict].chunks_exact(2) {
+            coarser.point.push(pair[0] + pair[1]);
+        }
+        finer.volume.drain(..evict);
+        finer.point.drain(..evict);
+        finer.start += evict * finer.factor;
+    }
+
+    /// The (volume, point) planes of logical bin `b`, resolving evicted bins
+    /// through the pyramid (a coarse bin's value is spread evenly across the
+    /// fine bins it covers, preserving volume) and reading uncovered bins as
+    /// zero.
+    fn bin_planes(&self, b: usize) -> (f64, f64) {
+        if b >= self.base {
+            let i = b - self.base;
+            if i < self.volume.len() {
+                (self.volume[i], self.point[i])
+            } else {
+                (0.0, 0.0)
+            }
+        } else {
+            for level in &self.pyramid {
+                if b >= level.start && b < level.end() {
+                    let i = (b - level.start) / level.factor;
+                    let factor = level.factor as f64;
+                    return (level.volume[i] / factor, level.point[i] / factor);
+                }
+            }
+            (0.0, 0.0)
         }
     }
 
@@ -341,31 +655,31 @@ impl IncrementalSampler {
         self.view_bins(first, last)
     }
 
-    /// A view over **every** bin folded so far, including a partial trailing
-    /// bin (its averaged bandwidth covers only the recorded fraction) — so
-    /// the viewed volume equals the total folded volume exactly.
+    /// A view over **every** bin still represented, including a partial
+    /// trailing bin (its averaged bandwidth covers only the recorded
+    /// fraction) — so under `KeepAll` the viewed volume equals the total
+    /// folded volume exactly. Under `Pyramid` the view starts at the coarsest
+    /// retained epoch (volume still exact, resolution degraded); under `Ring`
+    /// it starts at the retained window (evicted volume is reported in
+    /// [`dropped_volume`](Self::dropped_volume), not zero-padded).
     pub fn full_view(&self) -> SampledSignal {
-        self.view_bins(0, self.volume.len())
+        self.view_bins(self.coverage_start_bin(), self.base + self.volume.len())
     }
 
-    /// The bin-range core of [`IncrementalSampler::view`].
+    /// The bin-range core of [`IncrementalSampler::view`]; `first..last` are
+    /// logical bin indices on the origin-anchored grid.
     fn view_bins(&self, first: usize, last: usize) -> SampledSignal {
         let fs = self.sampling_freq;
         let origin = self.origin.unwrap_or(0.0);
-        let covered = self.volume.len().min(last);
         let mut samples = Vec::with_capacity(last.saturating_sub(first));
         let mut true_volume = 0.0;
         let mut point_volume = 0.0;
-        if first < covered {
-            for &v in &self.volume[first..covered] {
-                samples.push(v * fs);
-                true_volume += v;
-            }
-            for &p in &self.point[first..covered] {
-                point_volume += p / fs;
-            }
+        for b in first..last {
+            let (v, p) = self.bin_planes(b);
+            samples.push(v * fs);
+            true_volume += v;
+            point_volume += p / fs;
         }
-        samples.resize(last.saturating_sub(first), 0.0);
         let abstraction_error = if true_volume > 0.0 {
             (point_volume - true_volume).abs() / true_volume
         } else {
@@ -377,6 +691,106 @@ impl IncrementalSampler {
             start_time: origin + first as f64 / fs,
             abstraction_error,
         }
+    }
+
+    /// Serialises the full sampler state (grid anchor, both planes, pyramid,
+    /// counters) as msgpack for [`crate::checkpoint`] snapshots. Floats are
+    /// written bit-exactly, so a decoded sampler continues bit-for-bit.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        write_f64(out, self.sampling_freq);
+        checkpoint::write_opt_f64(out, self.origin);
+        write_uint(out, self.base as u64);
+        write_f64(out, self.end_time);
+        write_uint(out, self.stats.requests_folded);
+        write_uint(out, self.stats.bins_touched);
+        write_uint(out, self.stats.bins_grown);
+        checkpoint::encode_retention(out, &self.retention);
+        write_f64(out, self.dropped_volume);
+        checkpoint::write_f64_slice(out, &self.volume);
+        checkpoint::write_f64_slice(out, &self.point);
+        write_array_header(out, self.pyramid.len());
+        for level in &self.pyramid {
+            write_uint(out, level.factor as u64);
+            write_uint(out, level.start as u64);
+            checkpoint::write_f64_slice(out, &level.volume);
+            checkpoint::write_f64_slice(out, &level.point);
+        }
+    }
+
+    /// Decodes a sampler state written by [`encode_state`](Self::encode_state).
+    /// Never panics: structural damage surfaces as a positioned
+    /// [`ftio_trace::TraceError`].
+    pub(crate) fn decode_state(reader: &mut Reader<'_>) -> TraceResult<Self> {
+        let sampling_freq = reader.read_f64()?;
+        if !sampling_freq.is_finite() || sampling_freq <= 0.0 {
+            return Err(checkpoint::err_at(
+                reader,
+                format!("sampling frequency {sampling_freq} must be positive and finite"),
+            ));
+        }
+        let origin = checkpoint::read_opt_f64(reader)?;
+        let base = checkpoint::read_count(reader, "bin-buffer base")?;
+        let end_time = reader.read_f64()?;
+        let stats = SamplerStats {
+            requests_folded: reader.read_uint()?,
+            bins_touched: reader.read_uint()?,
+            bins_grown: reader.read_uint()?,
+        };
+        let retention = checkpoint::decode_retention(reader)?;
+        let dropped_volume = reader.read_f64()?;
+        let volume = checkpoint::read_f64_vec(reader)?;
+        let point = checkpoint::read_f64_vec(reader)?;
+        if volume.len() != point.len() {
+            return Err(checkpoint::err_at(
+                reader,
+                format!(
+                    "bin plane length mismatch: {} volume vs {} point bins",
+                    volume.len(),
+                    point.len()
+                ),
+            ));
+        }
+        let level_count = reader.read_array_header()?;
+        let mut pyramid = Vec::with_capacity(level_count.min(64));
+        for _ in 0..level_count {
+            let factor = checkpoint::read_count(reader, "pyramid factor")?;
+            if factor < 2 {
+                return Err(checkpoint::err_at(
+                    reader,
+                    format!("pyramid factor {factor} must be at least 2"),
+                ));
+            }
+            let start = checkpoint::read_count(reader, "pyramid level start")?;
+            let level_volume = checkpoint::read_f64_vec(reader)?;
+            let level_point = checkpoint::read_f64_vec(reader)?;
+            if level_volume.len() != level_point.len() {
+                return Err(checkpoint::err_at(
+                    reader,
+                    "pyramid level plane length mismatch",
+                ));
+            }
+            pyramid.push(CoarseLevel {
+                factor,
+                start,
+                volume: level_volume,
+                point: level_point,
+            });
+        }
+        let mut sampler = IncrementalSampler {
+            sampling_freq,
+            origin,
+            volume,
+            point,
+            end_time,
+            stats,
+            retention,
+            base,
+            pyramid,
+            dropped_volume,
+            peak_bytes: 0,
+        };
+        sampler.peak_bytes = sampler.bin_buffer_bytes();
+        Ok(sampler)
     }
 }
 
@@ -657,5 +1071,202 @@ mod tests {
         assert!(signal.is_empty());
         assert_eq!(signal.abstraction_error, 0.0);
         assert_eq!(signal.mean_bandwidth(), 0.0);
+    }
+
+    #[test]
+    fn ring_retention_holds_peak_memory_flat_while_history_grows() {
+        let mut ring =
+            IncrementalSampler::with_retention(1.0, RetentionPolicy::Ring { max_bins: 64 });
+        let mut unbounded = IncrementalSampler::new(1.0);
+        let mut peak_after_warmup = 0;
+        for i in 0..4000usize {
+            let start = i as f64 * 10.0;
+            let r = IoRequest::write(0, start, start + 2.0, 1000);
+            ring.fold(&r);
+            unbounded.fold(&r);
+            if i == 500 {
+                peak_after_warmup = ring.peak_bin_buffer_bytes();
+            }
+        }
+        // 8× more history after warm-up: the ring's high-water mark must not move.
+        assert_eq!(
+            ring.peak_bin_buffer_bytes(),
+            peak_after_warmup,
+            "ring peak grew with history"
+        );
+        assert!(unbounded.peak_bin_buffer_bytes() > 8 * ring.peak_bin_buffer_bytes());
+        // The evicted volume is accounted, not silently lost: nothing is
+        // dropped here (all folds land at the fresh end), so retained volume
+        // only reflects eviction of *binned* history.
+        assert_eq!(ring.dropped_volume(), 0.0);
+        assert_eq!(ring.requests_folded(), 4000);
+        assert!(ring.len() <= 64 + 16 + 64 / 4);
+        assert!(ring.retained_start_time() > ring.start_time());
+    }
+
+    #[test]
+    fn ring_matches_keepall_over_the_retained_window() {
+        let trace = bursty_trace(7.0, 1.3, 300, 12345);
+        let mut ring =
+            IncrementalSampler::with_retention(2.0, RetentionPolicy::Ring { max_bins: 128 });
+        let mut keep_all = IncrementalSampler::new(2.0);
+        ring.fold_all(trace.requests());
+        keep_all.fold_all(trace.requests());
+        // A recent window entirely inside the retained bins is bit-for-bit
+        // what the unbounded sampler holds.
+        let t1 = keep_all.end_time();
+        let t0 = ring.retained_start_time().max(t1 - 40.0);
+        let a = ring.view(t0, t1);
+        let b = keep_all.view(t0, t1);
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (i, (x, y)) in a.samples.iter().zip(&b.samples).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "bin {i}");
+        }
+        assert_eq!(a.start_time, b.start_time);
+    }
+
+    #[test]
+    fn ring_accounts_volume_that_falls_before_the_retained_window() {
+        let mut ring =
+            IncrementalSampler::with_retention(1.0, RetentionPolicy::Ring { max_bins: 32 });
+        for i in 0..500usize {
+            let start = i as f64 * 2.0;
+            ring.fold(&IoRequest::write(0, start, start + 1.0, 100));
+        }
+        assert_eq!(ring.dropped_volume(), 0.0);
+        // A laggard lands entirely in the evicted past: fully dropped.
+        ring.fold(&IoRequest::write(0, 3.0, 4.0, 777));
+        assert!((ring.dropped_volume() - 777.0).abs() < 1e-9);
+        // A straddler is split: the part inside the retained window is binned.
+        let lo = ring.retained_start_time();
+        let before = ring.full_view().volume();
+        ring.fold(&IoRequest::write(0, lo - 1.0, lo + 1.0, 200));
+        assert!((ring.dropped_volume() - 877.0).abs() < 1e-9);
+        assert!((ring.full_view().volume() - before - 100.0).abs() < 1e-9);
+        // The grid anchor never moves once bins are evicted.
+        assert_eq!(ring.start_time(), 0.0);
+    }
+
+    #[test]
+    fn pyramid_preserves_total_volume_at_degraded_resolution() {
+        let mut pyramid = IncrementalSampler::with_retention(
+            1.0,
+            RetentionPolicy::Pyramid {
+                fine_bins: 64,
+                levels: 3,
+            },
+        );
+        let mut keep_all = IncrementalSampler::new(1.0);
+        let mut total = 0.0f64;
+        for i in 0..3000usize {
+            let start = i as f64 * 5.0;
+            let r = IoRequest::write(0, start, start + 1.5, 4321);
+            pyramid.fold(&r);
+            keep_all.fold(&r);
+            total += 4321.0;
+        }
+        // Nothing is ever dropped: old epochs are merged, not discarded.
+        assert_eq!(pyramid.dropped_volume(), 0.0);
+        let full = pyramid.full_view();
+        assert!(
+            (full.volume() - total).abs() / total < 1e-9,
+            "pyramid volume {} vs {}",
+            full.volume(),
+            total
+        );
+        // Coverage still reaches back to the very first bin…
+        assert_eq!(full.start_time, pyramid.start_time());
+        assert_eq!(pyramid.retained_start_time(), pyramid.start_time());
+        // …but memory is far below the unbounded sampler (15000 bins): the
+        // fine plane plus 3 coarse levels, the coarsest growing 8× slower.
+        assert!(pyramid.bin_buffer_bytes() < keep_all.bin_buffer_bytes() / 3);
+        // Recent bins are still exact.
+        let t1 = keep_all.end_time();
+        let a = pyramid.view(t1 - 30.0, t1);
+        let b = keep_all.view(t1 - 30.0, t1);
+        for (i, (x, y)) in a.samples.iter().zip(&b.samples).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "recent bin {i}");
+        }
+    }
+
+    #[test]
+    fn retention_is_deterministic_across_chunk_boundaries() {
+        let trace = bursty_trace(3.0, 0.8, 600, 999);
+        for retention in [
+            RetentionPolicy::Ring { max_bins: 48 },
+            RetentionPolicy::Pyramid {
+                fine_bins: 32,
+                levels: 2,
+            },
+        ] {
+            let mut one_shot = IncrementalSampler::with_retention(2.0, retention);
+            one_shot.fold_all(trace.requests());
+            let mut chunked = IncrementalSampler::with_retention(2.0, retention);
+            let mut rest = trace.requests();
+            for chunk_len in [1usize, 13, 113, 7, 301] {
+                let take = chunk_len.min(rest.len());
+                chunked.fold_all(&rest[..take]);
+                rest = &rest[take..];
+            }
+            chunked.fold_all(rest);
+            let a = one_shot.full_view();
+            let b = chunked.full_view();
+            assert_eq!(a.samples.len(), b.samples.len(), "{retention:?}");
+            for (i, (x, y)) in a.samples.iter().zip(&b.samples).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{retention:?} bin {i}");
+            }
+            assert_eq!(one_shot.stats(), chunked.stats(), "{retention:?}");
+            assert_eq!(
+                one_shot.dropped_volume().to_bits(),
+                chunked.dropped_volume().to_bits(),
+                "{retention:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_state_round_trips_through_the_codec_and_continues_identically() {
+        let trace = bursty_trace(5.0, 1.1, 400, 31337);
+        let (head, tail) = trace.requests().split_at(250);
+        for retention in [
+            RetentionPolicy::KeepAll,
+            RetentionPolicy::Ring { max_bins: 40 },
+            RetentionPolicy::Pyramid {
+                fine_bins: 32,
+                levels: 3,
+            },
+        ] {
+            let mut live = IncrementalSampler::with_retention(2.0, retention);
+            live.fold_all(head);
+            let mut bytes = Vec::new();
+            live.encode_state(&mut bytes);
+            let mut reader = Reader::new(&bytes);
+            let mut restored = IncrementalSampler::decode_state(&mut reader).unwrap();
+            assert!(reader.is_at_end(), "{retention:?}: trailing bytes");
+            assert_eq!(restored.retention(), retention);
+            assert_eq!(restored.stats(), live.stats());
+            // Continue folding on both sides: bit-for-bit equivalence.
+            live.fold_all(tail);
+            restored.fold_all(tail);
+            let a = live.full_view();
+            let b = restored.full_view();
+            assert_eq!(a.samples.len(), b.samples.len(), "{retention:?}");
+            for (i, (x, y)) in a.samples.iter().zip(&b.samples).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{retention:?} bin {i}");
+            }
+            assert_eq!(
+                a.abstraction_error.to_bits(),
+                b.abstraction_error.to_bits(),
+                "{retention:?}"
+            );
+            assert_eq!(live.stats(), restored.stats(), "{retention:?}");
+            assert_eq!(live.end_time().to_bits(), restored.end_time().to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid retention policy")]
+    fn zero_capacity_ring_is_rejected() {
+        IncrementalSampler::with_retention(1.0, RetentionPolicy::Ring { max_bins: 0 });
     }
 }

@@ -51,6 +51,7 @@ pub mod jsonl;
 pub mod msgpack;
 pub mod recorder;
 pub mod request;
+pub mod snapshot;
 pub mod source;
 pub mod tmio;
 pub mod truth;

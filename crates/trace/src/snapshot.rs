@@ -1,0 +1,217 @@
+//! Versioned, integrity-checked container for FTIO state snapshots.
+//!
+//! Checkpoint files let a long-running deployment restart without replaying
+//! the trace: the online layer serialises its state (sampler bins, predictor
+//! history, engine counters) as a msgpack payload, and this module wraps that
+//! payload in a fixed-width header so a restore can tell *structurally* broken
+//! files from merely stale ones:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"FTIOSNAP"
+//! 8       4     format version, u32 big-endian (currently 1)
+//! 12      8     payload length in bytes, u64 big-endian
+//! 20      8     FNV-1a 64 checksum of the payload, u64 big-endian
+//! 28      n     msgpack payload (see `ftio_core::checkpoint`)
+//! ```
+//!
+//! The header is deliberately *not* msgpack: fixed offsets mean a corrupted
+//! length byte cannot shift every later field, and every validation failure
+//! can name the exact byte offset it happened at. [`open`] never panics on
+//! hostile input — truncation, a flipped bit, or a wrong magic all surface as
+//! a structured [`TraceError::Malformed`] carrying the byte offset and a hex
+//! snippet of the offending region (the same machinery the streaming msgpack
+//! readers use).
+//!
+//! Version policy: the version is bumped whenever the payload layout changes
+//! incompatibly; [`open`] rejects versions it does not know with an error that
+//! names both versions, rather than misdecoding. There is no in-place
+//! migration — a snapshot is a cache of replayable state, so the recovery
+//! path for an old snapshot is simply a fresh replay.
+
+use crate::errors::{snippet_of_bytes, TraceError, TraceResult};
+
+/// Magic bytes every FTIO snapshot file starts with.
+pub const MAGIC: [u8; 8] = *b"FTIOSNAP";
+
+/// Current snapshot format version.
+pub const VERSION: u32 = 1;
+
+/// Total header size in bytes (magic + version + length + checksum).
+pub const HEADER_LEN: usize = 28;
+
+/// File extension conventionally used for snapshot files.
+pub const EXTENSION: &str = "ftiosnap";
+
+/// FNV-1a 64-bit hash — the payload checksum. Not cryptographic; it exists to
+/// catch truncation and bit flips, not tampering.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Whether `data` starts with the snapshot magic (cheap format sniff).
+pub fn is_snapshot(data: &[u8]) -> bool {
+    data.len() >= MAGIC.len() && data[..MAGIC.len()] == MAGIC
+}
+
+/// Wraps a msgpack payload in the versioned, checksummed snapshot header.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_be_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates the header and returns the payload slice.
+///
+/// Every failure is a structured [`TraceError::Malformed`] with the byte
+/// offset of the problem and a hex snippet; this function never panics on
+/// corrupt input.
+pub fn open(data: &[u8]) -> TraceResult<&[u8]> {
+    if data.len() < HEADER_LEN {
+        return Err(TraceError::malformed_snippet(
+            format!(
+                "snapshot truncated: {} bytes is shorter than the {HEADER_LEN}-byte header",
+                data.len()
+            ),
+            data.len(),
+            snippet_of_bytes(data, data.len()),
+        ));
+    }
+    if data[..MAGIC.len()] != MAGIC {
+        return Err(TraceError::malformed_snippet(
+            "not an FTIO snapshot (bad magic; expected `FTIOSNAP`)",
+            0,
+            snippet_of_bytes(data, 0),
+        ));
+    }
+    let version = u32::from_be_bytes([data[8], data[9], data[10], data[11]]);
+    if version != VERSION {
+        return Err(TraceError::malformed_snippet(
+            format!("unsupported snapshot version {version} (this build reads version {VERSION})"),
+            8,
+            snippet_of_bytes(data, 8),
+        ));
+    }
+    let declared = u64::from_be_bytes([
+        data[12], data[13], data[14], data[15], data[16], data[17], data[18], data[19],
+    ]);
+    let available = (data.len() - HEADER_LEN) as u64;
+    if declared != available {
+        return Err(TraceError::malformed_snippet(
+            format!(
+                "snapshot payload length mismatch: header declares {declared} bytes, \
+                 file holds {available}"
+            ),
+            12,
+            snippet_of_bytes(data, 12),
+        ));
+    }
+    let declared_sum = u64::from_be_bytes([
+        data[20], data[21], data[22], data[23], data[24], data[25], data[26], data[27],
+    ]);
+    let payload = &data[HEADER_LEN..];
+    let actual_sum = fnv1a64(payload);
+    if declared_sum != actual_sum {
+        return Err(TraceError::malformed_snippet(
+            format!(
+                "snapshot payload corrupted: checksum {actual_sum:#018x} does not match \
+                 header {declared_sum:#018x}"
+            ),
+            HEADER_LEN,
+            snippet_of_bytes(data, HEADER_LEN),
+        ));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_open_round_trips() {
+        let payload = b"arbitrary msgpack bytes".to_vec();
+        let sealed = seal(&payload);
+        assert!(is_snapshot(&sealed));
+        assert_eq!(open(&sealed).unwrap(), &payload[..]);
+        // Empty payloads are legal.
+        let empty = seal(&[]);
+        assert_eq!(open(&empty).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn every_truncation_is_a_positioned_error_never_a_panic() {
+        let sealed = seal(b"payload bytes for truncation sweep");
+        for cut in 0..sealed.len() {
+            let err = open(&sealed[..cut]).unwrap_err();
+            match err {
+                TraceError::Malformed { position, .. } => {
+                    assert!(position <= sealed.len(), "cut {cut}: position {position}")
+                }
+                other => panic!("cut {cut}: unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let sealed = seal(b"some state worth protecting");
+        for byte in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut bad = sealed.clone();
+                bad[byte] ^= 1 << bit;
+                let err = open(&bad).unwrap_err();
+                assert!(
+                    matches!(err, TraceError::Malformed { .. }),
+                    "byte {byte} bit {bit}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn errors_name_the_failure_and_the_offset() {
+        // Bad magic.
+        let mut bad = seal(b"x");
+        bad[0] = b'X';
+        let msg = open(&bad).unwrap_err().to_string();
+        assert!(msg.contains("bad magic"), "{msg}");
+        assert!(msg.contains("position 0"), "{msg}");
+
+        // Unknown version.
+        let mut bad = seal(b"x");
+        bad[11] = 99;
+        let msg = open(&bad).unwrap_err().to_string();
+        assert!(msg.contains("version 99"), "{msg}");
+        assert!(msg.contains("position 8"), "{msg}");
+
+        // Truncated payload.
+        let sealed = seal(b"0123456789");
+        let msg = open(&sealed[..sealed.len() - 3]).unwrap_err().to_string();
+        assert!(msg.contains("length mismatch"), "{msg}");
+
+        // Flipped payload byte: checksum failure at the payload offset.
+        let mut bad = seal(b"0123456789");
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        let msg = open(&bad).unwrap_err().to_string();
+        assert!(msg.contains("checksum"), "{msg}");
+        assert!(msg.contains(&format!("position {HEADER_LEN}")), "{msg}");
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned so the on-disk format cannot drift silently.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

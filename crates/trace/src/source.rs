@@ -830,6 +830,19 @@ pub fn open_path_as(
     path: &Path,
     format: Option<SourceFormat>,
 ) -> TraceResult<(SourceFormat, Box<dyn TraceSource + Send>)> {
+    open_path_sized(path, format, DEFAULT_BATCH_SIZE)
+}
+
+/// Like [`open_path_as`], with an explicit batch size (requests or bins per
+/// [`TraceBatch`]) instead of [`DEFAULT_BATCH_SIZE`]. Smaller batches give a
+/// replay driver finer-grained control — more checkpoint opportunities, finer
+/// `--limit` cuts — at the cost of more dispatch overhead per request.
+pub fn open_path_sized(
+    path: &Path,
+    format: Option<SourceFormat>,
+    batch_size: usize,
+) -> TraceResult<(SourceFormat, Box<dyn TraceSource + Send>)> {
+    let batch_size = batch_size.max(1);
     let app = AppId::from_name(path.file_name().and_then(|n| n.to_str()).unwrap_or("trace"));
     let mut file = std::fs::File::open(path)?;
     let format = match format {
@@ -863,32 +876,26 @@ pub fn open_path_as(
     // The readers want to see the file from the beginning again.
     file.rewind()?;
     let source: Box<dyn TraceSource + Send> = match format {
-        SourceFormat::Jsonl => Box::new(JsonlSource::new(
-            BufReader::new(file),
-            app,
-            DEFAULT_BATCH_SIZE,
-        )),
-        SourceFormat::Recorder => Box::new(RecorderSource::new(
-            BufReader::new(file),
-            app,
-            DEFAULT_BATCH_SIZE,
-        )),
+        SourceFormat::Jsonl => Box::new(JsonlSource::new(BufReader::new(file), app, batch_size)),
+        SourceFormat::Recorder => {
+            Box::new(RecorderSource::new(BufReader::new(file), app, batch_size))
+        }
         SourceFormat::HeatmapText => Box::new(HeatmapTextSource::new(
             BufReader::new(file),
             app,
-            DEFAULT_BATCH_SIZE,
+            batch_size,
         )),
         SourceFormat::DarshanParser => Box::new(crate::darshan_parser::DarshanParserSource::new(
             BufReader::new(file),
             app,
-            DEFAULT_BATCH_SIZE,
+            batch_size,
         )),
         SourceFormat::Msgpack | SourceFormat::TmioJson | SourceFormat::TmioMsgpack => {
             // Random-access decoding: one buffer, read through the handle we
             // already hold.
             let mut bytes = Vec::new();
             file.read_to_end(&mut bytes)?;
-            from_bytes(format, app, bytes, DEFAULT_BATCH_SIZE)?
+            from_bytes(format, app, bytes, batch_size)?
         }
     };
     Ok((format, source))

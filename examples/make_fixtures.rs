@@ -13,6 +13,7 @@
 //! seeds, no clocks — so re-running this example after a format change leaves
 //! an intentional, reviewable diff.
 
+use ftio_core::{FtioConfig, OnlinePredictor, WindowStrategy};
 use ftio_synth::drift::{scenario_for, ScenarioFamily};
 use ftio_trace::{darshan_parser, jsonl, msgpack, recorder, tmio, Heatmap, IoRequest};
 
@@ -109,4 +110,22 @@ fn main() {
         let trace = scenario_for(family, 42).merged_trace();
         write(name, jsonl::encode_requests(trace.requests()).into_bytes());
     }
+
+    // Crash-safe checkpoint fixture: a predictor that has *ingested* the IOR
+    // workload but never ticked. Ingest-only state (bin buffer, counters) is
+    // byte-stable across platforms, while FFT outputs are not — so this
+    // snapshot stays deterministic under the fixture diff check, and the
+    // restart-recovery CI lane restores it and runs the prediction ticks
+    // itself. This is NOT a trace source: ingestion consumers skip the
+    // `.ftiosnap` extension.
+    let mut predictor = OnlinePredictor::new(
+        FtioConfig {
+            sampling_freq: 2.0,
+            use_autocorrelation: false,
+            ..Default::default()
+        },
+        WindowStrategy::Adaptive { multiple: 3 },
+    );
+    predictor.ingest(ior.iter().copied());
+    write("checkpoint_predictor.ftiosnap", predictor.snapshot());
 }
