@@ -8,6 +8,9 @@
 //! ftio replay <trace-file> [replay options]
 //! ftio cluster [cluster options]
 //! ftio eval <scenario>|--all [eval options]
+//! ftio serve --unix <path>|--tcp <host:port> [serve options]
+//! ftio client --unix <path>|--tcp <host:port> [client options]
+//! ftio watch <trace-file> [watch options]
 //!
 //! options:
 //!   --format auto|jsonl|msgpack|tmio-json|tmio-msgpack|darshan-parser|heatmap|recorder
@@ -33,6 +36,10 @@ use std::process::ExitCode;
 use ftio_cli::cluster::{parse_cluster_options, run_cluster, CLUSTER_USAGE};
 use ftio_cli::eval::{parse_eval_options, run_eval, EVAL_USAGE};
 use ftio_cli::replay::{parse_replay_options, run_replay, REPLAY_USAGE};
+use ftio_cli::serve::{
+    parse_client_options, parse_serve_options, run_client, run_serve, CLIENT_USAGE, SERVE_USAGE,
+};
+use ftio_cli::watch::{parse_watch_options, run_watch, WATCH_USAGE};
 use ftio_cli::{load_trace, parse_common_options, print_usage_and_exit};
 use ftio_core::{detect_heatmap, detect_signal, report, sample_trace, sample_trace_window};
 
@@ -42,6 +49,9 @@ fn main() -> ExitCode {
         Some("cluster") => return run_cluster_command(&args[1..]),
         Some("replay") => return run_replay_command(&args[1..]),
         Some("eval") => return run_eval_command(&args[1..]),
+        Some("serve") => return run_serve_command(&args[1..]),
+        Some("client") => return run_client_command(&args[1..]),
+        Some("watch") => return run_watch_command(&args[1..]),
         // `ftio detect <file>` is the explicit spelling of the bare form.
         Some("detect") => {
             args.remove(0);
@@ -143,6 +153,83 @@ fn run_eval_command(args: &[String]) -> ExitCode {
         }
     };
     match run_eval(&options) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `ftio serve ...`: run the socket-facing prediction daemon until a client
+/// sends a Shutdown frame, then print the drained report.
+fn run_serve_command(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{SERVE_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let options = match parse_serve_options(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_serve(&options) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `ftio client ...`: stream a trace file into a running daemon over the
+/// framed wire protocol and print what it answers.
+fn run_client_command(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{CLIENT_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let options = match parse_client_options(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_client(&options) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `ftio watch ...`: tail a growing trace file and print live predictions.
+fn run_watch_command(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{WATCH_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let options = match parse_watch_options(args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_watch(&options) {
         Ok(report) => {
             println!("{report}");
             ExitCode::SUCCESS

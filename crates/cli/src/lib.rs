@@ -2,15 +2,18 @@
 //!
 //! Shared plumbing of the command-line tools `ftio` (offline detection via
 //! `ftio detect`, file replay via `ftio replay`, the `cluster` fleet driver,
-//! the `eval` adversarial-scenario harness) and `predictor` (online
+//! the `eval` adversarial-scenario harness, the `serve` socket daemon with
+//! its `client` counterpart, the `watch` file tail) and `predictor` (online
 //! prediction): argument parsing, the streaming trace-ingestion front-end
 //! (`ftio_trace::source` with `--format auto` content sniffing), a generated
 //! demo workload for quick experimentation, and the [`cluster`] / [`replay`]
-//! / [`eval`] drivers.
+//! / [`eval`] / [`serve`] / [`watch`] drivers.
 
 pub mod cluster;
 pub mod eval;
 pub mod replay;
+pub mod serve;
+pub mod watch;
 
 use std::path::Path;
 
@@ -81,7 +84,13 @@ pub fn print_usage_and_exit(tool: &str) -> ! {
              \x20 cluster    drive a synthetic multi-application fleet through the\n\
              \x20            sharded online engine (see `ftio cluster --help`)\n\
              \x20 eval       run the adversarial scenario harness and score the\n\
-             \x20            predictor against ground truth (see `ftio eval --help`)"
+             \x20            predictor against ground truth (see `ftio eval --help`)\n\
+             \x20 serve      run the socket-facing prediction daemon\n\
+             \x20            (see `ftio serve --help`)\n\
+             \x20 client     stream a trace into a running daemon and print its\n\
+             \x20            predictions (see `ftio client --help`)\n\
+             \x20 watch      tail a growing trace file and predict live\n\
+             \x20            (see `ftio watch --help`)"
         );
     }
     std::process::exit(0);

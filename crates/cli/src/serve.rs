@@ -1,0 +1,601 @@
+//! The `ftio serve` and `ftio client` subcommands: the socket-facing
+//! prediction daemon and its bundled test client.
+//!
+//! `ftio serve` binds a Unix-domain socket or TCP address and multiplexes any
+//! number of trace streams into one shared
+//! [`ClusterEngine`](ftio_core::ClusterEngine) (see
+//! [`ftio_core::server`]). It runs until a client sends a `Shutdown` frame,
+//! then drains the shard queues and prints the final cluster report.
+//!
+//! `ftio client` is the matching sender: it connects, names its application,
+//! optionally subscribes to live predictions, streams a trace file as `Data`
+//! frames, waits for the flush `Ack`, and prints every prediction the server
+//! pushed. With `--shutdown` it instead (or additionally) asks the daemon to
+//! drain and prints the final stats frame — the CI smoke lane is exactly
+//! these two commands run against each other.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+use ftio_core::server::{Server, ServerConfig, ServerListener};
+use ftio_core::{BackpressurePolicy, ClusterConfig, FtioConfig};
+use ftio_trace::source::DEFAULT_BATCH_SIZE;
+use ftio_trace::wire::{Frame, FrameReader};
+use ftio_trace::AppId;
+
+use crate::next_value;
+
+/// Options of the `ftio serve` subcommand.
+#[derive(Clone, Debug)]
+pub struct ServeCliOptions {
+    /// Unix-domain socket path to listen on.
+    pub unix: Option<String>,
+    /// TCP address to listen on (`host:port`; port 0 picks one).
+    pub tcp: Option<String>,
+    /// Maximum concurrently served connections.
+    pub max_conns: usize,
+    /// Number of predictor shards.
+    pub shards: usize,
+    /// Bounded queue capacity per shard.
+    pub capacity: usize,
+    /// Maximum submissions of one application coalesced into a tick.
+    pub batch: usize,
+    /// Backpressure policy.
+    pub policy: BackpressurePolicy,
+    /// Sampling frequency of the analysis.
+    pub freq: f64,
+    /// Requests per decoded source batch.
+    pub batch_size: usize,
+}
+
+impl Default for ServeCliOptions {
+    fn default() -> Self {
+        ServeCliOptions {
+            unix: None,
+            tcp: None,
+            max_conns: 64,
+            shards: 4,
+            capacity: 256,
+            batch: 8,
+            policy: BackpressurePolicy::Block,
+            freq: 2.0,
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
+/// Usage text of `ftio serve`.
+pub const SERVE_USAGE: &str = "usage: ftio serve --unix <path> | --tcp <host:port> [options]\n\
+     \n\
+     Run the prediction daemon: accept framed or raw trace streams on a\n\
+     socket, route them through the sharded cluster engine, push live\n\
+     predictions to subscribed clients, and drain cleanly when a client\n\
+     sends a Shutdown frame (`ftio client --shutdown`).\n\
+     \n\
+     Raw mode needs no client at all:  nc -U <path> < trace.jsonl\n\
+     (gzipped traces are decompressed transparently).\n\
+     \n\
+     options:\n\
+     \x20 --unix <path>               listen on a Unix-domain socket\n\
+     \x20 --tcp <host:port>           listen on a TCP address (port 0 = pick one)\n\
+     \x20 --max-conns <n>             concurrent connection limit (default 64)\n\
+     \x20 --shards <n>                predictor shards (default 4)\n\
+     \x20 --capacity <n>              per-shard queue capacity (default 256)\n\
+     \x20 --batch <n>                 max coalesced submissions per tick (default 8)\n\
+     \x20 --policy block|drop-oldest|reject   backpressure policy (default block)\n\
+     \x20 --freq <hz>                 sampling frequency (default 2)\n\
+     \x20 --batch-size <n>            requests per decoded batch (default 1024)";
+
+/// Parses the arguments following `ftio serve`.
+pub fn parse_serve_options(args: &[String]) -> Result<ServeCliOptions, String> {
+    let mut options = ServeCliOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--unix" => options.unix = Some(next_value(args, &mut i, "--unix")?),
+            "--tcp" => options.tcp = Some(next_value(args, &mut i, "--tcp")?),
+            "--max-conns" => options.max_conns = parse_count(args, &mut i, "--max-conns")?,
+            "--shards" => options.shards = parse_count(args, &mut i, "--shards")?,
+            "--capacity" => options.capacity = parse_count(args, &mut i, "--capacity")?,
+            "--batch" => options.batch = parse_count(args, &mut i, "--batch")?,
+            "--policy" => {
+                let value = next_value(args, &mut i, "--policy")?;
+                options.policy = BackpressurePolicy::parse(&value)
+                    .ok_or(format!("unknown backpressure policy `{value}`"))?;
+            }
+            "--freq" => {
+                let value = next_value(args, &mut i, "--freq")?;
+                options.freq = value
+                    .parse()
+                    .map_err(|_| format!("invalid sampling frequency `{value}`"))?;
+                if !(options.freq.is_finite() && options.freq > 0.0) {
+                    return Err(format!("invalid sampling frequency `{value}`"));
+                }
+            }
+            "--batch-size" => options.batch_size = parse_count(args, &mut i, "--batch-size")?,
+            other => {
+                return Err(format!(
+                    "unknown serve option `{other}` (see `ftio serve --help`)"
+                ))
+            }
+        }
+        i += 1;
+    }
+    match (&options.unix, &options.tcp) {
+        (None, None) => return Err("give --unix <path> or --tcp <host:port>".into()),
+        (Some(_), Some(_)) => return Err("--unix and --tcp are mutually exclusive".into()),
+        _ => {}
+    }
+    #[cfg(not(unix))]
+    if options.unix.is_some() {
+        return Err("--unix is not supported on this platform (use --tcp)".into());
+    }
+    if options.max_conns == 0 {
+        return Err("--max-conns must be at least 1".into());
+    }
+    if options.shards == 0 || options.capacity == 0 || options.batch == 0 {
+        return Err("--shards, --capacity and --batch must be at least 1".into());
+    }
+    if options.batch_size == 0 {
+        return Err("--batch-size must be at least 1".into());
+    }
+    Ok(options)
+}
+
+/// Builds the [`ServerConfig`] the options describe.
+pub fn server_config(options: &ServeCliOptions) -> Result<ServerConfig, String> {
+    let ftio = FtioConfig {
+        sampling_freq: options.freq,
+        use_autocorrelation: false,
+        ..Default::default()
+    };
+    ftio.validate()?;
+    Ok(ServerConfig {
+        max_connections: options.max_conns,
+        batch_size: options.batch_size,
+        cluster: ClusterConfig {
+            shards: options.shards,
+            queue_capacity: options.capacity,
+            max_batch: options.batch,
+            policy: options.policy,
+            ftio,
+            ..ClusterConfig::default()
+        },
+    })
+}
+
+/// Boots the daemon, serves until a client shuts it down, and renders the
+/// drained report. Prints a `listening on ...` line (and flushes it) as soon
+/// as the socket is bound, so a supervising script knows when to connect.
+pub fn run_serve(options: &ServeCliOptions) -> Result<String, String> {
+    let config = server_config(options)?;
+    let listener = bind_listener(options)?;
+    let server = Server::start(listener, config).map_err(|e| format!("cannot serve: {e}"))?;
+    println!("ftio serve: listening on {}", server.address());
+    let _ = std::io::stdout().flush();
+    let report = server.wait();
+    let stats = &report.cluster;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "served: {} connections ({} raw), {} rejected at the limit, {} protocol errors\n",
+        report.server.accepted,
+        report.server.raw_connections,
+        report.server.rejected_connections,
+        report.server.protocol_errors
+    ));
+    out.push_str(&format!(
+        "engine: submitted {}  ticks {}  coalesced {}  dropped {}  rejected {}  panicked {}\n",
+        stats.submitted,
+        stats.ticks,
+        stats.coalesced,
+        stats.dropped,
+        stats.rejected,
+        stats.panicked
+    ));
+    let mut apps: Vec<_> = report.predictions.iter().collect();
+    apps.sort_by_key(|(app, _)| **app);
+    for (app, history) in apps {
+        // Render the hello name when the client announced one; the bare
+        // AppId only appears for streams that never said hello.
+        let name = report
+            .names
+            .get(app)
+            .cloned()
+            .unwrap_or_else(|| app.to_string());
+        match history.last().and_then(|p| p.period()) {
+            Some(period) => out.push_str(&format!(
+                "{name}: {} predictions, period {period:.2} s (confidence {:.1} %)\n",
+                history.len(),
+                history
+                    .last()
+                    .map(|p| p.confidence() * 100.0)
+                    .unwrap_or(0.0)
+            )),
+            None => out.push_str(&format!(
+                "{name}: {} predictions, no dominant frequency\n",
+                history.len()
+            )),
+        }
+    }
+    Ok(out)
+}
+
+fn bind_listener(options: &ServeCliOptions) -> Result<ServerListener, String> {
+    #[cfg(unix)]
+    if let Some(path) = &options.unix {
+        return ServerListener::unix(path).map_err(|e| format!("cannot bind `{path}`: {e}"));
+    }
+    let addr = options
+        .tcp
+        .as_ref()
+        .expect("validated by parse_serve_options");
+    ServerListener::tcp(addr).map_err(|e| format!("cannot bind `{addr}`: {e}"))
+}
+
+/// Options of the `ftio client` subcommand.
+#[derive(Clone, Debug, Default)]
+pub struct ClientCliOptions {
+    /// Unix-domain socket path of the daemon.
+    pub unix: Option<String>,
+    /// TCP address of the daemon.
+    pub tcp: Option<String>,
+    /// Application name sent in the `Hello` frame.
+    pub name: String,
+    /// Trace file streamed as `Data` frames (optional with `--shutdown`).
+    pub file: Option<String>,
+    /// Whether to subscribe to live predictions for this application.
+    pub subscribe: bool,
+    /// Whether to send a `Shutdown` frame after the stream (or immediately
+    /// when no file was given) and print the daemon's final stats.
+    pub shutdown: bool,
+}
+
+/// Usage text of `ftio client`.
+pub const CLIENT_USAGE: &str = "usage: ftio client --unix <path> | --tcp <host:port> [options]\n\
+     \n\
+     Stream a trace file into a running `ftio serve` daemon over the framed\n\
+     wire protocol and print the predictions it answers with.\n\
+     \n\
+     options:\n\
+     \x20 --unix <path>               connect to a Unix-domain socket\n\
+     \x20 --tcp <host:port>           connect to a TCP address\n\
+     \x20 --name <app>                application name in the hello frame (default: the file name)\n\
+     \x20 --file <trace>              trace file to stream (jsonl/msgpack/..., gzip ok)\n\
+     \x20 --subscribe                 receive live predictions for this application\n\
+     \x20 --shutdown                  ask the daemon to drain and print its final stats";
+
+/// Parses the arguments following `ftio client`.
+pub fn parse_client_options(args: &[String]) -> Result<ClientCliOptions, String> {
+    let mut options = ClientCliOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--unix" => options.unix = Some(next_value(args, &mut i, "--unix")?),
+            "--tcp" => options.tcp = Some(next_value(args, &mut i, "--tcp")?),
+            "--name" => options.name = next_value(args, &mut i, "--name")?,
+            "--file" => options.file = Some(next_value(args, &mut i, "--file")?),
+            "--subscribe" => options.subscribe = true,
+            "--shutdown" => options.shutdown = true,
+            other => {
+                return Err(format!(
+                    "unknown client option `{other}` (see `ftio client --help`)"
+                ))
+            }
+        }
+        i += 1;
+    }
+    match (&options.unix, &options.tcp) {
+        (None, None) => return Err("give --unix <path> or --tcp <host:port>".into()),
+        (Some(_), Some(_)) => return Err("--unix and --tcp are mutually exclusive".into()),
+        _ => {}
+    }
+    if options.file.is_none() && !options.shutdown {
+        return Err("give --file <trace> to stream, or --shutdown to stop the daemon".into());
+    }
+    if options.name.is_empty() {
+        if let Some(file) = &options.file {
+            options.name = std::path::Path::new(file)
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| file.clone());
+        } else {
+            options.name = "ftio-client".into();
+        }
+    }
+    Ok(options)
+}
+
+enum ClientStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ClientStream {
+    fn connect(options: &ClientCliOptions) -> Result<ClientStream, String> {
+        #[cfg(unix)]
+        if let Some(path) = &options.unix {
+            return UnixStream::connect(path)
+                .map(ClientStream::Unix)
+                .map_err(|e| format!("cannot connect to `{path}`: {e}"));
+        }
+        #[cfg(not(unix))]
+        if options.unix.is_some() {
+            return Err("--unix is not supported on this platform (use --tcp)".into());
+        }
+        let addr = options.tcp.as_ref().expect("validated by parse");
+        TcpStream::connect(addr)
+            .map(ClientStream::Tcp)
+            .map_err(|e| format!("cannot connect to `{addr}`: {e}"))
+    }
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Runs one framed client session and renders what the daemon answered.
+pub fn run_client(options: &ClientCliOptions) -> Result<String, String> {
+    let mut stream = ClientStream::connect(options)?;
+    let send = |stream: &mut ClientStream, frame: Frame| -> Result<(), String> {
+        frame
+            .write_to(stream)
+            .map_err(|e| format!("cannot send to the daemon: {e}"))
+    };
+    send(
+        &mut stream,
+        Frame::Hello {
+            name: options.name.clone(),
+        },
+    )?;
+    if options.subscribe {
+        send(
+            &mut stream,
+            Frame::Subscribe {
+                app: Some(AppId::from_name(&options.name)),
+            },
+        )?;
+    }
+    let mut out = String::new();
+    if let Some(file) = &options.file {
+        let bytes = std::fs::read(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+        out.push_str(&format!(
+            "{}: streamed {} bytes as `{}`\n",
+            file,
+            bytes.len(),
+            options.name
+        ));
+        send(&mut stream, Frame::Data(bytes))?;
+        send(&mut stream, Frame::End)?;
+        stream
+            .flush()
+            .map_err(|e| format!("cannot send to the daemon: {e}"))?;
+        // Collect pushed predictions until the flush Ack.
+        let mut frames = FrameReader::new(&mut stream);
+        loop {
+            match read_server_frame(&mut frames)? {
+                Frame::Prediction(update) => {
+                    let period = match update.period {
+                        Some(seconds) => format!("{seconds:.3} s"),
+                        None => "none".into(),
+                    };
+                    out.push_str(&format!(
+                        "prediction @ {:.1} s: period {period} (confidence {:.1} %)\n",
+                        update.time,
+                        update.confidence * 100.0
+                    ));
+                }
+                Frame::Ack => break,
+                other => return Err(format!("unexpected frame from the daemon: {other:?}")),
+            }
+        }
+        out.push_str("acknowledged: all predictions for the stream were delivered\n");
+    }
+    if options.shutdown {
+        send(&mut stream, Frame::Shutdown)?;
+        stream
+            .flush()
+            .map_err(|e| format!("cannot send to the daemon: {e}"))?;
+        let mut frames = FrameReader::new(&mut stream);
+        loop {
+            match read_server_frame(&mut frames)? {
+                // A subscribed shutdown can still be drained predictions.
+                Frame::Prediction(_) => continue,
+                Frame::Stats(stats) => {
+                    out.push_str(&format!(
+                        "daemon drained: submitted {}  ticks {}  coalesced {}  dropped {}  rejected {}  (balanced: {})\n",
+                        stats.submitted,
+                        stats.ticks,
+                        stats.coalesced,
+                        stats.dropped,
+                        stats.rejected,
+                        stats.is_balanced()
+                    ));
+                    break;
+                }
+                other => return Err(format!("unexpected frame from the daemon: {other:?}")),
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn read_server_frame<R: Read>(frames: &mut FrameReader<R>) -> Result<Frame, String> {
+    match frames.read_frame() {
+        Ok(Some(Frame::Error { message })) => Err(format!("daemon error: {message}")),
+        Ok(Some(frame)) => Ok(frame),
+        Ok(None) => Err("the daemon closed the connection".into()),
+        Err(e) => Err(format!("broken reply from the daemon: {e}")),
+    }
+}
+
+fn parse_count(args: &[String], i: &mut usize, flag: &str) -> Result<usize, String> {
+    let value = next_value(args, i, flag)?;
+    value
+        .parse()
+        .map_err(|_| format!("invalid value `{value}` for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_options_are_parsed() {
+        let options = parse_serve_options(&strings(&[
+            "--tcp",
+            "127.0.0.1:0",
+            "--max-conns",
+            "3",
+            "--shards",
+            "2",
+            "--capacity",
+            "64",
+            "--batch",
+            "1",
+            "--policy",
+            "reject",
+            "--freq",
+            "1.5",
+            "--batch-size",
+            "32",
+        ]))
+        .unwrap();
+        assert_eq!(options.tcp.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(options.max_conns, 3);
+        assert_eq!(options.shards, 2);
+        assert_eq!(options.capacity, 64);
+        assert_eq!(options.batch, 1);
+        assert_eq!(options.policy, BackpressurePolicy::Reject);
+        assert_eq!(options.freq, 1.5);
+        assert_eq!(options.batch_size, 32);
+        assert!(server_config(&options).is_ok());
+    }
+
+    #[test]
+    fn serve_options_errors() {
+        assert!(parse_serve_options(&[]).is_err());
+        assert!(parse_serve_options(&strings(&["--unix", "a", "--tcp", "b"])).is_err());
+        assert!(parse_serve_options(&strings(&["--tcp", "a", "--max-conns", "0"])).is_err());
+        assert!(parse_serve_options(&strings(&["--tcp", "a", "--shards", "0"])).is_err());
+        assert!(parse_serve_options(&strings(&["--tcp", "a", "--freq", "-2"])).is_err());
+        assert!(parse_serve_options(&strings(&["--tcp", "a", "--bogus"])).is_err());
+        assert!(parse_serve_options(&strings(&["--tcp", "a", "--batch-size", "0"])).is_err());
+    }
+
+    #[test]
+    fn client_options_are_parsed() {
+        let options = parse_client_options(&strings(&[
+            "--unix",
+            "/tmp/ftio.sock",
+            "--file",
+            "tests/data/ior_small.jsonl",
+            "--subscribe",
+        ]))
+        .unwrap();
+        assert_eq!(options.unix.as_deref(), Some("/tmp/ftio.sock"));
+        assert_eq!(options.name, "ior_small.jsonl"); // defaults to the file name
+        assert!(options.subscribe);
+        assert!(!options.shutdown);
+
+        let options =
+            parse_client_options(&strings(&["--tcp", "127.0.0.1:7000", "--shutdown"])).unwrap();
+        assert!(options.file.is_none());
+        assert_eq!(options.name, "ftio-client");
+        assert!(options.shutdown);
+    }
+
+    #[test]
+    fn client_options_errors() {
+        assert!(parse_client_options(&[]).is_err());
+        assert!(parse_client_options(&strings(&["--unix", "a", "--tcp", "b"])).is_err());
+        // Neither a file nor a shutdown: the session would do nothing.
+        assert!(parse_client_options(&strings(&["--unix", "a"])).is_err());
+        assert!(parse_client_options(&strings(&["--unix", "a", "--weird"])).is_err());
+    }
+
+    /// An in-process end-to-end pass: `run_client` (stream + subscribe, then
+    /// shutdown) against a `Server` booted with `server_config`, over TCP.
+    #[test]
+    fn client_round_trips_against_a_served_engine() {
+        use ftio_trace::{jsonl, IoRequest};
+
+        let requests: Vec<IoRequest> = (0..12)
+            .map(|i| {
+                let start = i as f64 * 10.0;
+                IoRequest::write(0, start, start + 2.0, 1_000_000_000)
+            })
+            .collect();
+        let file = std::env::temp_dir().join("ftio_serve_cli_test.jsonl");
+        std::fs::write(&file, jsonl::encode_requests(&requests)).unwrap();
+
+        let serve_options = ServeCliOptions {
+            tcp: Some("127.0.0.1:0".into()),
+            shards: 2,
+            batch: 1,
+            ..Default::default()
+        };
+        let server = Server::start(
+            bind_listener(&serve_options).unwrap(),
+            server_config(&serve_options).unwrap(),
+        )
+        .unwrap();
+
+        let client_options = ClientCliOptions {
+            tcp: Some(server.address().to_string()),
+            name: "cli-app".into(),
+            file: Some(file.to_str().unwrap().to_string()),
+            subscribe: true,
+            ..Default::default()
+        };
+        let report = run_client(&client_options).unwrap();
+        assert!(report.contains("prediction @"), "{report}");
+        assert!(report.contains("period 10."), "{report}");
+        assert!(report.contains("acknowledged"), "{report}");
+
+        let stop = ClientCliOptions {
+            tcp: Some(server.address().to_string()),
+            name: "stopper".into(),
+            shutdown: true,
+            ..Default::default()
+        };
+        let report = run_client(&stop).unwrap();
+        assert!(report.contains("daemon drained"), "{report}");
+        assert!(report.contains("balanced: true"), "{report}");
+
+        let report = server.wait();
+        assert_eq!(report.server.accepted, 2);
+        assert_eq!(report.server.protocol_errors, 0);
+        let _ = std::fs::remove_file(file);
+    }
+}

@@ -33,7 +33,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use ftio_dsp::plan_cache::{self, PlanCacheStats};
@@ -54,7 +54,7 @@ use crate::online::{MemoryPolicy, OnlinePrediction, OnlinePredictor, WindowStrat
 /// means "some thread died elsewhere" — the data behind it is still valid,
 /// and the remaining shards must keep serving rather than propagate the
 /// crash to every caller.
-fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -235,6 +235,14 @@ pub struct ClusterStats {
 /// Per-application prediction history, as returned by
 /// [`ClusterEngine::finish`].
 pub type AppPredictions = HashMap<AppId, Vec<OnlinePrediction>>;
+
+/// One prediction pushed to a [`ClusterEngine::subscribe`] receiver.
+pub type PredictionEvent = (AppId, OnlinePrediction);
+
+/// A registered subscription: the filter (`None` = every application) and the
+/// sending half of the subscriber's channel. Dead receivers are pruned by the
+/// shard workers on the next publish.
+type Subscriber = (Option<AppId>, mpsc::Sender<PredictionEvent>);
 
 /// One queued unit of work: freshly appended requests plus the time at which
 /// the application asked for a prediction.
@@ -429,6 +437,7 @@ pub struct ClusterEngine {
     results: Arc<Mutex<AppPredictions>>,
     counters: Arc<SharedCounters>,
     plan_stats: Arc<Mutex<Vec<PlanCacheStats>>>,
+    subscribers: Arc<Mutex<Vec<Subscriber>>>,
     config: ClusterConfig,
 }
 
@@ -439,6 +448,7 @@ impl ClusterEngine {
         let results: Arc<Mutex<AppPredictions>> = Arc::new(Mutex::new(HashMap::new()));
         let counters = Arc::new(SharedCounters::default());
         let plan_stats = Arc::new(Mutex::new(vec![PlanCacheStats::default(); shards]));
+        let subscribers: Arc<Mutex<Vec<Subscriber>>> = Arc::new(Mutex::new(Vec::new()));
         let mut queues = Vec::with_capacity(shards);
         let mut predictor_maps = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
@@ -451,6 +461,7 @@ impl ClusterEngine {
             let results = results.clone();
             let counters = counters.clone();
             let plan_stats = plan_stats.clone();
+            let subscribers = subscribers.clone();
             handles.push(std::thread::spawn(move || {
                 shard_worker(
                     shard_index,
@@ -460,6 +471,7 @@ impl ClusterEngine {
                     &results,
                     &counters,
                     &plan_stats,
+                    &subscribers,
                 );
             }));
         }
@@ -470,6 +482,7 @@ impl ClusterEngine {
             results,
             counters,
             plan_stats,
+            subscribers,
             config,
         }
     }
@@ -575,6 +588,20 @@ impl ClusterEngine {
     /// Snapshot of all predictions computed so far, keyed by application.
     pub fn all_predictions(&self) -> AppPredictions {
         lock_recover(&self.results).clone()
+    }
+
+    /// Registers a push subscription: every prediction tick for `app` (or for
+    /// *every* application when `app` is `None`) is sent to the returned
+    /// receiver as it completes, in the order the owning shard produced it.
+    ///
+    /// The channel is unbounded — a slow subscriber buffers events rather
+    /// than stalling shard workers. Dropping the receiver unsubscribes: the
+    /// workers prune closed channels on the next matching publish. This is
+    /// the mechanism behind `ftio serve`'s subscribe frames.
+    pub fn subscribe(&self, app: Option<AppId>) -> mpsc::Receiver<PredictionEvent> {
+        let (tx, rx) = mpsc::channel();
+        lock_recover(&self.subscribers).push((app, tx));
+        rx
     }
 
     /// Aggregate engine counters (see [`ClusterStats`] for the invariant).
@@ -769,7 +796,27 @@ fn decode_cluster_config(reader: &mut Reader<'_>) -> TraceResult<ClusterConfig> 
     })
 }
 
+/// Publishes one completed tick to every matching subscriber, pruning
+/// subscribers whose receiving half is gone. The lock is only contended when
+/// subscriptions are added, and the common no-subscriber case is one
+/// uncontended lock + empty iteration.
+fn publish_prediction(
+    subscribers: &Mutex<Vec<Subscriber>>,
+    app: AppId,
+    prediction: &OnlinePrediction,
+) {
+    let mut guard = lock_recover(subscribers);
+    guard.retain(|(filter, sender)| {
+        if filter.map_or(true, |wanted| wanted == app) {
+            sender.send((app, prediction.clone())).is_ok()
+        } else {
+            true
+        }
+    });
+}
+
 /// One shard worker: drain the queue, group by application, coalesce, tick.
+#[allow(clippy::too_many_arguments)]
 fn shard_worker(
     shard_index: usize,
     queue: &ShardQueue,
@@ -778,6 +825,7 @@ fn shard_worker(
     results: &Mutex<AppPredictions>,
     counters: &SharedCounters,
     plan_stats: &Mutex<Vec<PlanCacheStats>>,
+    subscribers: &Mutex<Vec<Subscriber>>,
 ) {
     let max_batch = config.max_batch.max(1);
     while let Some(batch) = queue.pop_all() {
@@ -833,6 +881,7 @@ fn shard_worker(
                 }));
                 match outcome {
                     Ok(prediction) => {
+                        publish_prediction(subscribers, app, &prediction);
                         lock_recover(results)
                             .entry(app)
                             .or_default()
@@ -971,6 +1020,40 @@ mod tests {
                 assert!(pair[1].time > pair[0].time);
             }
         }
+    }
+
+    /// Subscriptions see every completed tick: the all-apps subscription
+    /// counts them all, the filtered one only its application, and a dropped
+    /// receiver is pruned instead of wedging the shard workers.
+    #[test]
+    fn subscriptions_push_predictions_per_app() {
+        let engine = ClusterEngine::spawn(engine_config(2, 64, BackpressurePolicy::Block));
+        let everything = engine.subscribe(None);
+        let only_app1 = engine.subscribe(Some(AppId::new(1)));
+        drop(engine.subscribe(None)); // dead receiver must not stall anyone
+        for tick in 0..6 {
+            for app in 0..3u64 {
+                let start = tick as f64 * 10.0;
+                engine.submit(
+                    AppId::new(app),
+                    burst(2, start, 2.0, 1_000_000_000),
+                    start + 2.0,
+                );
+            }
+        }
+        engine.flush();
+        let all: Vec<PredictionEvent> = everything.try_iter().collect();
+        assert_eq!(all.len(), 18, "3 apps x 6 ticks");
+        let filtered: Vec<PredictionEvent> = only_app1.try_iter().collect();
+        assert_eq!(filtered.len(), 6);
+        assert!(filtered.iter().all(|(app, _)| *app == AppId::new(1)));
+        // Per-app event order matches the result history.
+        let history = engine.predictions(AppId::new(1));
+        let times: Vec<f64> = filtered.iter().map(|(_, p)| p.time).collect();
+        assert_eq!(times, history.iter().map(|p| p.time).collect::<Vec<_>>());
+        // The dead subscriber was pruned on first publish.
+        assert_eq!(lock_recover(&engine.subscribers).len(), 2);
+        assert_accounting(&engine.stats());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! | §II-E parameter selection | [`sampling`] (abstraction error, fs recommendation) |
 //! | Figs. 2/13/14 reconstruction | [`reconstruct`] |
 //! | adversarial evaluation (this repo) | [`eval`] (tracking latency, harmonic-folded error) |
+//! | live deployment (this repo) | [`server`] (socket-facing daemon around [`cluster`]) |
 //!
 //! ## Quick example
 //!
@@ -62,13 +63,14 @@ pub mod outlier;
 pub mod reconstruct;
 pub mod report;
 pub mod sampling;
+pub mod server;
 pub mod spectrum_info;
 
 pub use autocorrelation::{analyze_acf, AcfAnalysis};
 pub use characterize::{characterize, io_ratio, Characterization};
 pub use cluster::{
     AppPredictions, BackpressurePolicy, ClusterConfig, ClusterEngine, ClusterStats, Pacing,
-    ReplayStats, SubmitOutcome,
+    PredictionEvent, ReplayStats, SubmitOutcome,
 };
 pub use config::{FtioConfig, OutlierMethod};
 pub use detection::{

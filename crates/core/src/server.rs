@@ -1,0 +1,904 @@
+//! The serving layer: a socket-facing daemon around [`ClusterEngine`].
+//!
+//! The paper's online mode is meant to run *against a live tracer*: an
+//! application-side TMIO layer flushes request records periodically, and the
+//! detector answers with period predictions while the job runs. This module
+//! is the missing network shell — everything analytical already lives in
+//! [`crate::cluster`]; the server only moves bytes:
+//!
+//! ```text
+//! listener ──accept──▶ admission (connection semaphore)
+//!     │                     │ over limit: Error frame, close
+//!     ▼                     ▼
+//!  accept loop      connection thread (one per client)
+//!  (poll, reap)        │ first byte = 0xFD? ──── framed protocol
+//!                      │        else ─────────── raw trace stream
+//!                      ▼
+//!              shard queue (`ClusterEngine::submit`, backpressure policy)
+//!                      ▼
+//!              shard worker tick ──▶ subscription channel ──▶ pusher thread
+//!                                                              │
+//!                                    Prediction frames ◀───────┘
+//! ```
+//!
+//! **Framed connections** speak the [`ftio_trace::wire`] envelope: `Hello`
+//! names the application, `Data` frames carry self-contained trace chunks in
+//! any sniffable [`ftio_trace::SourceFormat`] (gzip included), `Subscribe`
+//! attaches a live prediction feed, `End` flushes (every prediction for data
+//! sent before the `End` is written *before* the `Ack`), and `Shutdown`
+//! drains the whole daemon. **Raw connections** (`nc server.sock <
+//! trace.jsonl`) are slurped to EOF, sniffed, replayed, and answered with a
+//! one-line text summary.
+//!
+//! Fault isolation follows PR 7's discipline at the network edge: a client
+//! that sends a malformed frame or disconnects mid-frame gets its connection
+//! closed with a positioned [`Frame::Error`] while every other connection —
+//! and the engine — keeps serving. Backpressure is per-connection admission
+//! control: a connection whose application's shard queue is full blocks,
+//! sheds oldest, or is rejected per the engine's
+//! [`BackpressurePolicy`](crate::BackpressurePolicy).
+//!
+//! Graceful shutdown reuses the drain-then-join path: the accept loop stops,
+//! every live socket is shut down (unblocking its reader), connection threads
+//! are joined, the shard queues are drained, and [`Server::wait`] returns the
+//! final [`ClusterStats`] — still satisfying the accounting invariant.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ftio_trace::source::{from_bytes_auto, DEFAULT_BATCH_SIZE};
+use ftio_trace::wire::{Frame, FrameReader, PredictionUpdate, WireStats, FRAME_MAGIC};
+use ftio_trace::AppId;
+
+use crate::cluster::{
+    lock_recover, AppPredictions, ClusterConfig, ClusterEngine, ClusterStats, Pacing,
+    PredictionEvent,
+};
+
+/// How often the accept loop polls for shutdown, and the pusher threads poll
+/// their subscription channels when idle.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Safety valve on the `End` barrier: if a pusher thread died, an `End`
+/// flush gives up waiting for it after this long instead of hanging the
+/// connection.
+const BARRIER_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrently served connections; further clients are refused
+    /// with a [`Frame::Error`] (counted in
+    /// [`ServerStats::rejected_connections`]).
+    pub max_connections: usize,
+    /// Requests per [`ftio_trace::TraceBatch`] when decoding ingested bytes.
+    pub batch_size: usize,
+    /// The engine under the server: shard count, queue capacity,
+    /// backpressure policy, detection configuration.
+    pub cluster: ClusterConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            batch_size: DEFAULT_BATCH_SIZE,
+            cluster: ClusterConfig::default(),
+        }
+    }
+}
+
+/// Where the server listens: a TCP address or a Unix-domain socket path.
+pub enum ServerListener {
+    /// A bound TCP listener.
+    Tcp(TcpListener),
+    /// A bound Unix-domain socket listener and its path (unlinked when the
+    /// server finishes).
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl ServerListener {
+    /// Binds a TCP listener (`"127.0.0.1:0"` picks an ephemeral port —
+    /// read it back from [`Server::address`]).
+    pub fn tcp(addr: &str) -> io::Result<Self> {
+        Ok(ServerListener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Binds a Unix-domain socket, replacing any stale socket file at the
+    /// path.
+    #[cfg(unix)]
+    pub fn unix(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        // A previous server that died without cleanup leaves the file behind;
+        // binding over it is what a restarted daemon wants.
+        let _ = std::fs::remove_file(&path);
+        Ok(ServerListener::Unix(UnixListener::bind(&path)?, path))
+    }
+
+    fn address(&self) -> String {
+        match self {
+            ServerListener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "tcp:?".into()),
+            #[cfg(unix)]
+            ServerListener::Unix(_, path) => path.display().to_string(),
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            ServerListener::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            ServerListener::Unix(l, _) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            ServerListener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                // The listener is non-blocking (shutdown polling); the
+                // per-connection readers must block.
+                stream.set_nonblocking(false)?;
+                Ok(Stream::Tcp(stream))
+            }
+            #[cfg(unix)]
+            ServerListener::Unix(l, _) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                Ok(Stream::Unix(stream))
+            }
+        }
+    }
+}
+
+/// One accepted connection, TCP or Unix — `Read + Write` either way.
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    /// Shuts down both halves, unblocking any thread parked in a read.
+    fn close(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Serving-side counters (the engine's own numbers live in [`ClusterStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections admitted past the semaphore.
+    pub accepted: u64,
+    /// Connections refused because the limit was reached.
+    pub rejected_connections: u64,
+    /// Connections closed for a malformed frame, an undecodable payload, or
+    /// a mid-frame disconnect.
+    pub protocol_errors: u64,
+    /// `Data` frames ingested across all framed connections.
+    pub data_frames: u64,
+    /// Raw (non-framed) connections served.
+    pub raw_connections: u64,
+    /// Connections being served right now.
+    pub active: u64,
+}
+
+/// Everything [`Server::wait`] hands back after the daemon drains.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// Engine counters at drain time (the accounting invariant holds).
+    pub cluster: ClusterStats,
+    /// Serving-side counters.
+    pub server: ServerStats,
+    /// Every application's full prediction history.
+    pub predictions: AppPredictions,
+    /// Human-readable names for the [`AppId`]s seen by this daemon, as
+    /// announced in [`Frame::Hello`] (raw connections get `raw-{id}`).
+    pub names: HashMap<AppId, String>,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected_connections: AtomicU64,
+    protocol_errors: AtomicU64,
+    data_frames: AtomicU64,
+    raw_connections: AtomicU64,
+    active: AtomicU64,
+}
+
+/// State shared by the accept loop, every connection thread, and the server
+/// handle.
+struct Shared {
+    engine: ClusterEngine,
+    config: ServerConfig,
+    running: AtomicBool,
+    counters: Counters,
+    /// Clones of every live connection's stream, so shutdown can unblock
+    /// readers parked on idle sockets.
+    conns: Mutex<HashMap<u64, Stream>>,
+    /// `AppId` → hello name, so reports stay human-readable.
+    names: Mutex<HashMap<AppId, String>>,
+}
+
+impl Shared {
+    /// Stops the daemon: the accept loop exits on its next poll, and every
+    /// live connection's socket is shut down so its reader unblocks, finishes
+    /// the work it already accepted, and exits. Idempotent.
+    fn initiate_shutdown(&self) {
+        if self.running.swap(false, Ordering::SeqCst) {
+            for stream in lock_recover(&self.conns).values() {
+                stream.close();
+            }
+        }
+    }
+
+    fn server_stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            rejected_connections: self.counters.rejected_connections.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            data_frames: self.counters.data_frames.load(Ordering::Relaxed),
+            raw_connections: self.counters.raw_connections.load(Ordering::Relaxed),
+            active: self.counters.active.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Converts engine counters into their wire representation.
+pub fn wire_stats(stats: &ClusterStats) -> WireStats {
+    WireStats {
+        submitted: stats.submitted,
+        rejected: stats.rejected,
+        dropped: stats.dropped,
+        ticks: stats.ticks,
+        coalesced: stats.coalesced,
+        panicked: stats.panicked,
+    }
+}
+
+/// The running daemon: a thread-per-connection server multiplexing trace
+/// streams into a shared [`ClusterEngine`].
+///
+/// ```
+/// use ftio_core::server::{Server, ServerConfig, ServerListener};
+/// use ftio_core::{ClusterConfig, FtioConfig};
+/// use ftio_trace::wire::{Frame, FrameReader};
+/// use std::io::Write;
+///
+/// let config = ServerConfig {
+///     cluster: ClusterConfig {
+///         shards: 1,
+///         ftio: FtioConfig { sampling_freq: 2.0, ..Default::default() },
+///         ..Default::default()
+///     },
+///     ..Default::default()
+/// };
+/// let server = Server::start(ServerListener::tcp("127.0.0.1:0").unwrap(), config).unwrap();
+/// let mut client = std::net::TcpStream::connect(server.address()).unwrap();
+/// Frame::Hello { name: "demo".into() }.write_to(&mut client).unwrap();
+/// Frame::Data(b"{\"rank\":0,\"start\":0.0,\"end\":1.0,\"bytes\":1000,\"kind\":\"write\"}\n".to_vec())
+///     .write_to(&mut client)
+///     .unwrap();
+/// Frame::End.write_to(&mut client).unwrap();
+/// client.flush().unwrap();
+/// let mut frames = FrameReader::new(client);
+/// assert_eq!(frames.read_frame().unwrap(), Some(Frame::Ack));
+/// let report = server.finish();
+/// assert_eq!(report.cluster.ticks, 1);
+/// ```
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    address: String,
+}
+
+impl Server {
+    /// Binds the accept loop to `listener` and starts serving.
+    pub fn start(listener: ServerListener, config: ServerConfig) -> io::Result<Server> {
+        listener.set_nonblocking(true)?;
+        let address = listener.address();
+        let shared = Arc::new(Shared {
+            engine: ClusterEngine::spawn(config.cluster),
+            config,
+            running: AtomicBool::new(true),
+            counters: Counters::default(),
+            conns: Mutex::new(HashMap::new()),
+            names: Mutex::new(HashMap::new()),
+        });
+        let accept_shared = shared.clone();
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            address,
+        })
+    }
+
+    /// The bound address: `host:port` for TCP (with the ephemeral port
+    /// resolved), the socket path for Unix.
+    pub fn address(&self) -> &str {
+        &self.address
+    }
+
+    /// Whether the daemon is still accepting work (false once a client sent
+    /// [`Frame::Shutdown`] or [`Server::shutdown`] was called).
+    pub fn is_running(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// Serving-side counters right now.
+    pub fn server_stats(&self) -> ServerStats {
+        self.shared.server_stats()
+    }
+
+    /// Engine counters right now (see [`ClusterStats`] for the invariant).
+    pub fn cluster_stats(&self) -> ClusterStats {
+        self.shared.engine.stats()
+    }
+
+    /// Initiates shutdown without blocking (the programmatic equivalent of a
+    /// [`Frame::Shutdown`] from a client). Follow with [`Server::wait`].
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Blocks until the daemon shuts down (via a client's [`Frame::Shutdown`]
+    /// or [`Server::shutdown`]), drains the shard queues, and returns the
+    /// final report. Connection threads are joined before the queues are
+    /// drained, so the report covers every accepted byte.
+    pub fn wait(mut self) -> ServerReport {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.shared.engine.flush();
+        ServerReport {
+            cluster: self.shared.engine.stats(),
+            server: self.shared.server_stats(),
+            predictions: self.shared.engine.all_predictions(),
+            names: lock_recover(&self.shared.names).clone(),
+        }
+    }
+
+    /// [`Server::shutdown`] + [`Server::wait`] in one call.
+    pub fn finish(self) -> ServerReport {
+        self.shutdown();
+        self.wait()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Dropped without `wait()`: stop accepting and reap the threads so
+        // nothing keeps running behind the caller's back.
+        self.shared.initiate_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn accept_loop(listener: ServerListener, shared: Arc<Shared>) {
+    let mut next_id = 0u64;
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    while shared.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(stream) => {
+                next_id += 1;
+                let id = next_id;
+                // Admission control. Only this thread increments `active`, so
+                // the load-then-add pair cannot overshoot the limit.
+                let active = shared.counters.active.load(Ordering::SeqCst);
+                if active >= shared.config.max_connections as u64 {
+                    shared
+                        .counters
+                        .rejected_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut stream = stream;
+                    let _ = Frame::Error {
+                        message: format!(
+                            "connection limit reached ({} active)",
+                            shared.config.max_connections
+                        ),
+                    }
+                    .write_to(&mut stream);
+                    continue; // dropped → closed
+                }
+                shared.counters.active.fetch_add(1, Ordering::SeqCst);
+                shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    lock_recover(&shared.conns).insert(id, clone);
+                }
+                let conn_shared = shared.clone();
+                handles.push(std::thread::spawn(move || {
+                    handle_connection(&conn_shared, stream, id);
+                    lock_recover(&conn_shared.conns).remove(&id);
+                    conn_shared.counters.active.fetch_sub(1, Ordering::SeqCst);
+                }));
+                // Reap finished threads so a long-lived daemon doesn't
+                // accumulate handles (dropping a finished handle is free).
+                handles.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL_INTERVAL),
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    #[cfg(unix)]
+    if let ServerListener::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Routes one accepted connection: the first byte decides framed (wire
+/// envelope, leads with [`FRAME_MAGIC`]) vs raw (anything sniffable — JSONL,
+/// msgpack, gzip, …; no trace format starts with `0xFD`).
+fn handle_connection(shared: &Arc<Shared>, mut stream: Stream, id: u64) {
+    let mut first = [0u8; 1];
+    loop {
+        match stream.read(&mut first) {
+            Ok(0) => return, // connected and closed without a byte
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    if first[0] == FRAME_MAGIC[0] {
+        framed_connection(shared, stream, writer, first[0], id);
+    } else {
+        raw_connection(shared, stream, writer, first[0], id);
+    }
+}
+
+/// Counts a protocol error and tells the client why it is being closed.
+fn protocol_error(shared: &Shared, writer: &Mutex<Stream>, message: String) {
+    shared
+        .counters
+        .protocol_errors
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = Frame::Error { message }.write_to(&mut *lock_recover(writer));
+}
+
+fn framed_connection(
+    shared: &Arc<Shared>,
+    read_half: Stream,
+    write_half: Stream,
+    first_byte: u8,
+    id: u64,
+) {
+    let writer = Arc::new(Mutex::new(write_half));
+    let mut frames = FrameReader::new(io::Cursor::new([first_byte]).chain(read_half));
+    let mut app: Option<AppId> = None;
+    let mut pusher: Option<Pusher> = None;
+    loop {
+        let frame = match frames.read_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // clean close at a frame boundary
+            Err(e) => {
+                // Malformed frame or mid-frame disconnect: close *this*
+                // connection with the positioned error; everyone else keeps
+                // serving.
+                protocol_error(shared, &writer, format!("connection {id}: {e}"));
+                break;
+            }
+        };
+        match frame {
+            Frame::Hello { name } => {
+                let hello = AppId::from_name(&name);
+                lock_recover(&shared.names).insert(hello, name);
+                app = Some(hello);
+            }
+            Frame::Data(bytes) => {
+                let Some(app) = app else {
+                    protocol_error(
+                        shared,
+                        &writer,
+                        format!("connection {id}: data frame before hello"),
+                    );
+                    break;
+                };
+                shared.counters.data_frames.fetch_add(1, Ordering::Relaxed);
+                let decoded = from_bytes_auto(None, app, bytes, shared.config.batch_size).and_then(
+                    |(_, mut source)| shared.engine.replay(source.as_mut(), Pacing::AsFast),
+                );
+                if let Err(e) = decoded {
+                    protocol_error(shared, &writer, format!("connection {id}: {e}"));
+                    break;
+                }
+            }
+            Frame::Subscribe { app: filter } => {
+                // One pusher per connection; a second subscribe narrows or
+                // widens nothing — first filter wins.
+                if pusher.is_none() {
+                    pusher = Some(Pusher::spawn(shared, writer.clone(), filter));
+                }
+            }
+            Frame::End => {
+                shared.engine.flush();
+                if let Some(pusher) = &pusher {
+                    pusher.barrier();
+                }
+                let _ = Frame::Ack.write_to(&mut *lock_recover(&writer));
+            }
+            Frame::Shutdown => {
+                shared.engine.flush();
+                if let Some(pusher) = &pusher {
+                    pusher.barrier();
+                }
+                let stats = wire_stats(&shared.engine.stats());
+                let _ = Frame::Stats(stats).write_to(&mut *lock_recover(&writer));
+                shared.initiate_shutdown();
+                break;
+            }
+            Frame::Ack | Frame::Prediction(_) | Frame::Stats(_) | Frame::Error { .. } => {
+                protocol_error(
+                    shared,
+                    &writer,
+                    format!("connection {id}: unexpected server-side frame from a client"),
+                );
+                break;
+            }
+        }
+    }
+    if let Some(pusher) = pusher {
+        pusher.stop();
+    }
+}
+
+/// A raw connection: slurp to EOF (the client signals completion by closing
+/// its write half, `nc` style), sniff, replay, answer with one summary line.
+fn raw_connection(
+    shared: &Arc<Shared>,
+    mut read_half: Stream,
+    mut write_half: Stream,
+    first_byte: u8,
+    id: u64,
+) {
+    shared
+        .counters
+        .raw_connections
+        .fetch_add(1, Ordering::Relaxed);
+    let mut bytes = vec![first_byte];
+    if read_half.read_to_end(&mut bytes).is_err() {
+        shared
+            .counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let name = format!("raw-{id}");
+    let app = AppId::from_name(&name);
+    lock_recover(&shared.names).insert(app, name.clone());
+    let outcome = from_bytes_auto(None, app, bytes, shared.config.batch_size)
+        .and_then(|(_, mut source)| shared.engine.replay(source.as_mut(), Pacing::AsFast));
+    match outcome {
+        Ok(replay) => {
+            shared.engine.flush();
+            let history = shared.engine.predictions(app);
+            let line = match history.last() {
+                Some(last) => {
+                    let period = match last.period() {
+                        Some(seconds) => format!("{seconds:.3} s"),
+                        None => "none".into(),
+                    };
+                    format!(
+                        "# ftio {name}: {} batches, {} predictions, period {period}, confidence {:.1} %\n",
+                        replay.batches,
+                        history.len(),
+                        last.confidence() * 100.0
+                    )
+                }
+                None => format!("# ftio {name}: no accepted submissions\n"),
+            };
+            let _ = write_half.write_all(line.as_bytes());
+        }
+        Err(e) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = write_half.write_all(format!("# ftio error: {e}\n").as_bytes());
+        }
+    }
+}
+
+/// The per-connection subscription pusher: forwards [`PredictionEvent`]s from
+/// the engine's channel to the client as [`Frame::Prediction`]s, and answers
+/// flush barriers so `End` can guarantee every prediction for already-sent
+/// data is on the wire before the `Ack`.
+struct Pusher {
+    handle: JoinHandle<()>,
+    /// `(requested, completed)` barrier sequence numbers.
+    barrier: Arc<(Mutex<(u64, u64)>, Condvar)>,
+    open: Arc<AtomicBool>,
+}
+
+impl Pusher {
+    fn spawn(shared: &Arc<Shared>, writer: Arc<Mutex<Stream>>, filter: Option<AppId>) -> Pusher {
+        let rx = shared.engine.subscribe(filter);
+        let barrier = Arc::new((Mutex::new((0u64, 0u64)), Condvar::new()));
+        let open = Arc::new(AtomicBool::new(true));
+        let shared = shared.clone();
+        let thread_barrier = barrier.clone();
+        let thread_open = open.clone();
+        let handle = std::thread::spawn(move || {
+            pusher_loop(&shared, rx, &writer, &thread_barrier, &thread_open);
+        });
+        Pusher {
+            handle,
+            barrier,
+            open,
+        }
+    }
+
+    /// Blocks until every event already in the subscription channel has been
+    /// written to the client. Call after [`ClusterEngine::flush`], which
+    /// guarantees all ticks for prior submissions have been published.
+    fn barrier(&self) {
+        let (lock, condvar) = &*self.barrier;
+        let mut state = lock_recover(lock);
+        state.0 += 1;
+        let target = state.0;
+        let deadline = std::time::Instant::now() + BARRIER_TIMEOUT;
+        while state.1 < target {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break; // pusher died; don't hang the connection
+            }
+            let (next, _) = condvar
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+        }
+    }
+
+    /// Signals the pusher to exit and joins it.
+    fn stop(self) {
+        self.open.store(false, Ordering::SeqCst);
+        let _ = self.handle.join();
+    }
+}
+
+fn pusher_loop(
+    shared: &Shared,
+    rx: mpsc::Receiver<PredictionEvent>,
+    writer: &Mutex<Stream>,
+    barrier: &(Mutex<(u64, u64)>, Condvar),
+    open: &AtomicBool,
+) {
+    loop {
+        match rx.recv_timeout(POLL_INTERVAL) {
+            Ok((app, prediction)) => {
+                let update = PredictionUpdate {
+                    app,
+                    time: prediction.time,
+                    period: prediction.period(),
+                    confidence: prediction.confidence(),
+                };
+                if Frame::Prediction(update)
+                    .write_to(&mut *lock_recover(writer))
+                    .is_err()
+                {
+                    break; // client gone
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+        // The channel is empty: complete any pending flush barrier — the
+        // barrier is only requested after `flush()`, so emptiness here means
+        // everything the client is waiting for has been written.
+        {
+            let (lock, condvar) = barrier;
+            let mut state = lock_recover(lock);
+            if state.1 < state.0 {
+                state.1 = state.0;
+                condvar.notify_all();
+            }
+        }
+        if !open.load(Ordering::SeqCst) || !shared.running.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    // Release any waiter unconditionally on the way out.
+    let (lock, condvar) = barrier;
+    let mut state = lock_recover(lock);
+    state.1 = state.0;
+    condvar.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FtioConfig;
+    use ftio_trace::IoRequest;
+
+    fn test_config(shards: usize) -> ServerConfig {
+        ServerConfig {
+            max_connections: 8,
+            batch_size: 64,
+            cluster: ClusterConfig {
+                shards,
+                // One tick per submission — keeps frame/tick counts exact.
+                max_batch: 1,
+                ftio: FtioConfig {
+                    sampling_freq: 2.0,
+                    use_autocorrelation: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        }
+    }
+
+    fn periodic_jsonl(app_period: f64, bursts: usize) -> Vec<u8> {
+        let requests: Vec<IoRequest> = (0..bursts)
+            .map(|i| {
+                let start = i as f64 * app_period;
+                IoRequest::write(0, start, start + 2.0, 1_000_000_000)
+            })
+            .collect();
+        ftio_trace::jsonl::encode_requests(&requests).into_bytes()
+    }
+
+    #[test]
+    fn framed_tcp_session_end_to_end() {
+        let server =
+            Server::start(ServerListener::tcp("127.0.0.1:0").unwrap(), test_config(2)).unwrap();
+        let mut client = TcpStream::connect(server.address()).unwrap();
+        Frame::Hello {
+            name: "app-a".into(),
+        }
+        .write_to(&mut client)
+        .unwrap();
+        Frame::Subscribe {
+            app: Some(AppId::from_name("app-a")),
+        }
+        .write_to(&mut client)
+        .unwrap();
+        // Two data frames, then a flush.
+        let jsonl = periodic_jsonl(10.0, 12);
+        let half = jsonl.len() / 2;
+        // Frames must carry whole records: split at a line boundary.
+        let cut = jsonl[..half]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap();
+        Frame::Data(jsonl[..cut].to_vec())
+            .write_to(&mut client)
+            .unwrap();
+        Frame::Data(jsonl[cut..].to_vec())
+            .write_to(&mut client)
+            .unwrap();
+        Frame::End.write_to(&mut client).unwrap();
+        client.flush().unwrap();
+        // Every prediction for the two data frames arrives before the Ack.
+        let mut frames = FrameReader::new(client.try_clone().unwrap());
+        let mut predictions = Vec::new();
+        loop {
+            match frames.read_frame().unwrap().expect("server closed early") {
+                Frame::Prediction(update) => predictions.push(update),
+                Frame::Ack => break,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(predictions.len(), 2, "one tick per data frame");
+        assert!(predictions
+            .iter()
+            .all(|p| p.app == AppId::from_name("app-a")));
+        let last = predictions.last().unwrap();
+        let period = last.period.expect("periodic input");
+        assert!((period - 10.0).abs() < 1.5, "period {period}");
+        // Shutdown drains and reports balanced stats.
+        Frame::Shutdown.write_to(&mut client).unwrap();
+        match frames.read_frame().unwrap() {
+            Some(Frame::Stats(stats)) => {
+                assert!(stats.is_balanced(), "{stats:?}");
+                assert_eq!(stats.ticks, 2);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        let report = server.wait();
+        assert_eq!(report.server.accepted, 1);
+        assert_eq!(report.server.protocol_errors, 0);
+        assert_eq!(report.cluster.ticks, 2);
+        assert_eq!(report.predictions[&AppId::from_name("app-a")].len(), 2);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn raw_unix_connection_gets_a_summary_line() {
+        let path = std::env::temp_dir().join("ftio_server_raw_test.sock");
+        let server = Server::start(ServerListener::unix(&path).unwrap(), test_config(1)).unwrap();
+        let mut client = UnixStream::connect(&path).unwrap();
+        client.write_all(&periodic_jsonl(10.0, 12)).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        client.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("# ftio raw-"), "{reply}");
+        assert!(reply.contains("period 10."), "{reply}");
+        let report = server.finish();
+        assert_eq!(report.server.raw_connections, 1);
+        assert_eq!(report.cluster.ticks, 1);
+        assert!(!path.exists(), "socket file not cleaned up");
+    }
+
+    #[test]
+    fn gzipped_raw_stream_is_decompressed() {
+        let server =
+            Server::start(ServerListener::tcp("127.0.0.1:0").unwrap(), test_config(1)).unwrap();
+        let mut client = TcpStream::connect(server.address()).unwrap();
+        let gz = flate2::gzip_stored(&periodic_jsonl(8.0, 10));
+        client.write_all(&gz).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        client.read_to_string(&mut reply).unwrap();
+        assert!(reply.contains("period 8."), "{reply}");
+        let report = server.finish();
+        assert_eq!(report.cluster.ticks, 1);
+        assert!(report.server.protocol_errors == 0, "{:?}", report.server);
+    }
+}

@@ -27,6 +27,8 @@
 //!   (steady, phase change, AMR-style drift);
 //! * [`multi_app`] — seeded application *fleets* (many concurrent periodic
 //!   writers with ground truth) driving the cluster engine and its benches;
+//! * [`client_stream`] — fleets sliced into per-application encoded chunks,
+//!   the client-side payloads `ftio serve` sessions and benches send;
 //! * [`distributions`] — the truncated-normal and exponential samplers.
 //!
 //! # Quick example
@@ -42,6 +44,7 @@
 //! assert!(result.mean_period() > 15.0);
 //! ```
 
+pub mod client_stream;
 pub mod distributions;
 pub mod drift;
 pub mod hacc;
@@ -77,6 +80,7 @@ pub fn heatmap_source(name: &str, heatmap: &Heatmap) -> MemorySource {
     MemorySource::from_heatmap(AppId::from_name(name), heatmap, DEFAULT_BATCH_SIZE)
 }
 
+pub use client_stream::{ChunkEncoding, FleetStream, StreamChunk};
 pub use drift::{
     all_scenarios, scenario_by_name, scenario_for, DriftConfig, PhaseChangeConfig, Scenario,
     ScenarioFamily, ScenarioFlush, SteadyConfig,

@@ -155,6 +155,11 @@ impl MultiAppWorkload {
         events
     }
 
+    /// Flushes (and therefore predictions) each application makes.
+    pub fn flushes_per_app(&self) -> usize {
+        self.flushes_per_app
+    }
+
     /// Total number of flush events.
     pub fn total_flushes(&self) -> usize {
         self.apps.len() * self.flushes_per_app

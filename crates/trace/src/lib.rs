@@ -23,7 +23,9 @@
 //! * [`source`] — the streaming ingestion layer: the [`TraceSource`] trait,
 //!   chunked [`TraceBatch`]es, format sniffing and [`source::open_path`];
 //! * [`darshan_parser`] — actual `darshan-parser` / Darshan DXT text output;
-//! * [`tmio`] — TMIO-native columnar JSON/MessagePack profiles.
+//! * [`tmio`] — TMIO-native columnar JSON/MessagePack profiles;
+//! * [`wire`] — the length-framed socket envelope spoken by `ftio serve`
+//!   clients (hello/data/subscribe/prediction frames).
 //!
 //! # Quick example
 //!
@@ -55,6 +57,7 @@ pub mod snapshot;
 pub mod source;
 pub mod tmio;
 pub mod truth;
+pub mod wire;
 
 pub use app_id::AppId;
 pub use app_trace::{AppTrace, TraceMetadata};
@@ -65,6 +68,7 @@ pub use errors::{TraceError, TraceResult};
 pub use request::{IoApi, IoKind, IoRequest};
 pub use source::{BatchPayload, DrainedInput, MemorySource, SourceFormat, TraceBatch, TraceSource};
 pub use truth::{ScenarioTruth, TruthSegment};
+pub use wire::{Frame, FrameReader, PredictionUpdate, WireStats};
 
 #[cfg(test)]
 // Seeded randomized invariant tests (a property-test stand-in: the build

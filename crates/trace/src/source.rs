@@ -720,6 +720,14 @@ impl SourceFormat {
         }
     }
 
+    /// True when the input leads with the gzip magic bytes (`1f 8b`). gzip is
+    /// a *transport*, not a [`SourceFormat`] of its own: the open/ingest entry
+    /// points decompress the envelope and then sniff the inner format, so any
+    /// of the formats above can arrive gzipped.
+    pub fn is_gzip(prefix: &[u8]) -> bool {
+        prefix.len() >= 2 && prefix[..2] == flate2::GZIP_MAGIC
+    }
+
     /// Sniffs the format from the first bytes of the input (magic bytes for
     /// the binary formats, the first data line for the text formats).
     pub fn sniff(prefix: &[u8]) -> Option<Self> {
@@ -816,6 +824,48 @@ pub fn from_bytes(
     })
 }
 
+/// Builds a source over in-memory bytes where the format may be unknown and
+/// the payload may be gzip-compressed: a gzip envelope (`1f 8b` magic) is
+/// decompressed first, then the (inner) format is sniffed when `format` is
+/// `None`. Returns the detected inner format alongside the source.
+///
+/// This is the byte-level counterpart of [`open_path`], used wherever the
+/// input does not live on disk — most prominently per-connection socket
+/// ingest in `ftio_core::server`.
+pub fn from_bytes_auto(
+    format: Option<SourceFormat>,
+    app: AppId,
+    mut bytes: Vec<u8>,
+    batch_size: usize,
+) -> TraceResult<(SourceFormat, Box<dyn TraceSource + Send>)> {
+    if SourceFormat::is_gzip(&bytes) {
+        bytes = gunzip_bytes(&bytes)?;
+    }
+    let format = match format {
+        Some(f) => f,
+        None => SourceFormat::sniff(&bytes[..bytes.len().min(4096)]).ok_or_else(|| {
+            TraceError::malformed_snippet(
+                "cannot determine the trace format of the payload",
+                0,
+                crate::errors::snippet_of_bytes(&bytes, 0),
+            )
+        })?,
+    };
+    Ok((format, from_bytes(format, app, bytes, batch_size)?))
+}
+
+/// Decompresses a gzip document, mapping decode failures onto positioned
+/// [`TraceError::Malformed`] values like every other reader in this crate.
+pub(crate) fn gunzip_bytes(bytes: &[u8]) -> TraceResult<Vec<u8>> {
+    flate2::gunzip(bytes).map_err(|e| {
+        TraceError::malformed_snippet(
+            format!("gzip envelope: {}", e.message()),
+            e.offset(),
+            crate::errors::snippet_of_bytes(bytes, e.offset()),
+        )
+    })
+}
+
 /// Opens a trace file with an explicit format (or sniffs it when `None`),
 /// returning the detected format and a streaming source attributed to
 /// `AppId::from_name(<file name>)`.
@@ -845,20 +895,47 @@ pub fn open_path_sized(
     let batch_size = batch_size.max(1);
     let app = AppId::from_name(path.file_name().and_then(|n| n.to_str()).unwrap_or("trace"));
     let mut file = std::fs::File::open(path)?;
+    // Sniff on a bounded prefix only — the old sniffer read the whole
+    // file into the prefix loop before the readers slurped it *again*.
+    let mut prefix = [0u8; 4096];
+    let mut filled = 0usize;
+    while filled < prefix.len() {
+        let n = file.read(&mut prefix[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    if SourceFormat::is_gzip(&prefix[..filled]) {
+        // gzip transport: the DEFLATE stream has no random access, so slurp
+        // and decompress before dispatching over the inner bytes. The format
+        // (when not given) is sniffed from the decompressed content, falling
+        // back to the extension under the `.gz` suffix (`trace.jsonl.gz`).
+        let mut bytes = prefix[..filled].to_vec();
+        file.read_to_end(&mut bytes)?;
+        let inner = gunzip_bytes(&bytes)?;
+        let format = match format {
+            Some(f) => f,
+            None => SourceFormat::sniff(&inner[..inner.len().min(prefix.len())])
+                .or_else(|| SourceFormat::from_extension(Path::new(path.file_stem()?)))
+                .ok_or_else(|| {
+                    TraceError::malformed_snippet(
+                        format!(
+                            "cannot determine the trace format inside gzipped `{}`",
+                            path.display()
+                        ),
+                        0,
+                        snippet_of(&String::from_utf8_lossy(
+                            &inner[..inner.len().min(SNIPPET_PREFIX)],
+                        )),
+                    )
+                })?,
+        };
+        return Ok((format, from_bytes(format, app, inner, batch_size)?));
+    }
     let format = match format {
         Some(f) => f,
         None => {
-            // Sniff on a bounded prefix only — the old sniffer read the whole
-            // file into the prefix loop before the readers slurped it *again*.
-            let mut prefix = [0u8; 4096];
-            let mut filled = 0usize;
-            while filled < prefix.len() {
-                let n = file.read(&mut prefix[filled..])?;
-                if n == 0 {
-                    break;
-                }
-                filled += n;
-            }
             let sniffed = SourceFormat::sniff(&prefix[..filled]);
             sniffed
                 .or_else(|| SourceFormat::from_extension(path))
@@ -1283,6 +1360,68 @@ mod tests {
             DrainedInput::Trace(_) => panic!("expected heatmap"),
         }
         let _ = std::fs::remove_file(&hm_path);
+    }
+
+    /// gzip is a transport: a gzipped file of any sniffable format opens
+    /// transparently, the reported format is the *inner* one, and the content
+    /// matches the uncompressed original.
+    #[test]
+    fn open_path_decompresses_gzip_transparently() {
+        let dir = std::env::temp_dir();
+        let requests = sample_requests(23);
+        let jsonl = crate::jsonl::encode_requests(&requests);
+        // Sniffed from the decompressed content (extension gives nothing).
+        let path = dir.join("ftio_source_gzip_test.unknownext");
+        std::fs::write(&path, flate2::gzip_stored(jsonl.as_bytes())).unwrap();
+        assert!(SourceFormat::is_gzip(&std::fs::read(&path).unwrap()));
+        let (format, mut source) = open_path(&path).unwrap();
+        assert_eq!(format, SourceFormat::Jsonl);
+        assert_eq!(drain_requests(source.as_mut()).unwrap(), requests);
+        let _ = std::fs::remove_file(&path);
+        // Binary inner format (msgpack magic survives the envelope), and the
+        // `.gz` double-extension fallback path.
+        let packed = crate::msgpack::encode_requests(&requests);
+        let path = dir.join("ftio_source_gzip_test.msgpack.gz");
+        std::fs::write(&path, flate2::gzip_stored(&packed)).unwrap();
+        let (format, mut source) = open_path(&path).unwrap();
+        assert_eq!(format, SourceFormat::Msgpack);
+        assert_eq!(drain_requests(source.as_mut()).unwrap(), requests);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A corrupted gzip envelope surfaces as a positioned `Malformed` error,
+    /// not a panic or a silent misparse.
+    #[test]
+    fn open_path_reports_corrupt_gzip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("ftio_source_gzip_corrupt_test.jsonl.gz");
+        let mut packed = flate2::gzip_stored(b"{\"rank\":0}\n");
+        let n = packed.len();
+        packed[n - 1] ^= 0x01; // break the ISIZE trailer
+        std::fs::write(&path, packed).unwrap();
+        let err = match open_path(&path) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("corrupt gzip must not open"),
+        };
+        assert!(err.contains("gzip envelope"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// `from_bytes_auto` — the socket-side entry point — handles both the
+    /// gzip envelope and bare payloads.
+    #[test]
+    fn from_bytes_auto_sniffs_and_gunzips() {
+        let requests = sample_requests(11);
+        let jsonl = crate::jsonl::encode_requests(&requests);
+        for payload in [
+            jsonl.clone().into_bytes(),
+            flate2::gzip_stored(jsonl.as_bytes()),
+        ] {
+            let (format, mut source) = from_bytes_auto(None, AppId::new(9), payload, 4).unwrap();
+            assert_eq!(format, SourceFormat::Jsonl);
+            assert_eq!(drain_requests(source.as_mut()).unwrap(), requests);
+        }
+        assert!(from_bytes_auto(None, AppId::new(9), b"gibberish".to_vec(), 4).is_err());
     }
 
     #[test]

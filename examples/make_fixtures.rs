@@ -52,10 +52,16 @@ fn main() {
         println!("wrote {}", path.display());
     };
 
-    // IOR-like run, period 10 s: this crate's own two formats.
+    // IOR-like run, period 10 s: this crate's own two formats, plus the
+    // JSONL fixture behind the gzip transport (deterministic stored-block
+    // encoding — `flate2::gzip_stored` writes no timestamp and no OS byte).
     let ior = periodic_requests(2, 10.0, 2.0, 20, 500_000_000);
     write("ior_small.jsonl", jsonl::encode_requests(&ior).into_bytes());
     write("ior_small.msgpack", msgpack::encode_requests(&ior));
+    write(
+        "ior_small.jsonl.gz",
+        flate2::gzip_stored(jsonl::encode_requests(&ior).as_bytes()),
+    );
 
     // The same style of run in TMIO's native columnar profile layouts,
     // period 16 s, with a read stream mixed in.

@@ -106,6 +106,31 @@ fn every_fixture_parses_and_detects_a_period() {
     }
 }
 
+/// The gzip transport is transparent: the gzipped fixture sniffs to the same
+/// format as its plain sibling and produces a bit-identical detection.
+#[test]
+fn gzipped_fixture_equals_its_plain_sibling() {
+    let plain = fixture_dir().join("ior_small.jsonl");
+    let gzipped = fixture_dir().join("ior_small.jsonl.gz");
+    assert!(
+        gzipped.is_file(),
+        "gzip fixture missing (regenerate with `cargo run --example make_fixtures`)"
+    );
+    let (plain_format, mut plain_source) = open_path(&plain).unwrap();
+    let (gz_format, mut gz_source) = open_path(&gzipped).unwrap();
+    assert_eq!(plain_format, SourceFormat::Jsonl);
+    assert_eq!(
+        gz_format,
+        SourceFormat::Jsonl,
+        "transport leaked into format"
+    );
+    let config = detection_config();
+    let from_plain = detect_source(plain_source.as_mut(), &config).unwrap();
+    let from_gz = detect_source(gz_source.as_mut(), &config).unwrap();
+    assert_eq!(from_plain.num_samples, from_gz.num_samples);
+    assert_eq!(from_plain.period(), from_gz.period());
+}
+
 /// Acceptance criterion: detection over the *streamed* file equals detection
 /// over the *materialised* input, bit for bit, for every fixture.
 #[test]
