@@ -26,10 +26,15 @@ fn fleet_events(apps: usize) -> Vec<FlushEvent> {
 }
 
 fn engine_config(shards: usize, max_batch: usize) -> ClusterConfig {
+    threaded_config(shards, max_batch, 0)
+}
+
+fn threaded_config(shards: usize, max_batch: usize, threads: usize) -> ClusterConfig {
     ClusterConfig {
         shards,
         queue_capacity: 1024,
         max_batch,
+        threads,
         policy: BackpressurePolicy::Block,
         ftio: FtioConfig {
             sampling_freq: 2.0,
@@ -72,6 +77,28 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_cluster_scaling(c: &mut Criterion) {
+    // The PR 9 question: with shards (routing partitions) decoupled from the
+    // worker thread budget, how does a fixed fleet scale across both axes?
+    // threads = 0 is the historical one-worker-per-shard layout; the engine
+    // clamps the budget to the shard count, so e.g. 1x8 still runs 1 worker.
+    let mut group = c.benchmark_group("cluster_scaling");
+    group.sample_size(10);
+    let events = fleet_events(64);
+    for shards in [1usize, 4, 8, 16] {
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("shards_x_threads", format!("{shards}x{threads}")),
+                &events,
+                |b, events| {
+                    b.iter(|| black_box(replay(threaded_config(shards, 1, threads), events)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_engine_batching(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_batching");
     group.sample_size(10);
@@ -88,5 +115,10 @@ fn bench_engine_batching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_throughput, bench_engine_batching);
+criterion_group!(
+    benches,
+    bench_engine_throughput,
+    bench_cluster_scaling,
+    bench_engine_batching
+);
 criterion_main!(benches);

@@ -33,6 +33,8 @@ pub struct ClusterCliOptions {
     pub seed: u64,
     /// Sampling frequency of the analysis.
     pub freq: f64,
+    /// Engine worker threads (0 = one worker per shard).
+    pub threads: usize,
 }
 
 impl Default for ClusterCliOptions {
@@ -46,6 +48,7 @@ impl Default for ClusterCliOptions {
             policy: BackpressurePolicy::Block,
             seed: 0xF1EE7,
             freq: 2.0,
+            threads: crate::default_threads(),
         }
     }
 }
@@ -63,6 +66,9 @@ pub const CLUSTER_USAGE: &str = "usage: ftio cluster [options]\n\
      \x20 --capacity <n>              per-shard queue capacity (default 256)\n\
      \x20 --batch <n>                 max coalesced submissions per tick (default 8)\n\
      \x20 --policy block|drop-oldest|reject   backpressure policy (default block)\n\
+     \x20 --threads <n>|auto          engine worker threads, clamped to the shard\n\
+     \x20                             count (default: FTIO_THREADS, else one\n\
+     \x20                             worker per shard)\n\
      \x20 --seed <n>                  workload seed (default 0xF1EE7)\n\
      \x20 --freq <hz>                 sampling frequency (default 2)";
 
@@ -77,6 +83,10 @@ pub fn parse_cluster_options(args: &[String]) -> Result<ClusterCliOptions, Strin
             "--flushes" => options.flushes = parse_count(args, &mut i, "--flushes")?,
             "--capacity" => options.capacity = parse_count(args, &mut i, "--capacity")?,
             "--batch" => options.batch = parse_count(args, &mut i, "--batch")?,
+            "--threads" => {
+                let value = next_value(args, &mut i, "--threads")?;
+                options.threads = crate::parse_threads_flag(&value)?;
+            }
             "--policy" => {
                 let value = next_value(args, &mut i, "--policy")?;
                 options.policy = BackpressurePolicy::parse(&value)
@@ -151,11 +161,14 @@ pub fn run_cluster(options: &ClusterCliOptions) -> Result<String, String> {
         shards: options.shards,
         queue_capacity: options.capacity,
         max_batch: options.batch,
+        threads: options.threads,
         policy: options.policy,
         ftio: config,
         strategy: WindowStrategy::Adaptive { multiple: 3 },
         ..ClusterConfig::default()
     });
+
+    let workers = engine.worker_count();
 
     let started = Instant::now();
     for event in events {
@@ -168,10 +181,11 @@ pub fn run_cluster(options: &ClusterCliOptions) -> Result<String, String> {
 
     let mut out = String::new();
     out.push_str(&format!(
-        "cluster: {} apps x {} flushes, {} shards, capacity {}, batch {}, policy {}\n\n",
+        "cluster: {} apps x {} flushes, {} shards ({} workers), capacity {}, batch {}, policy {}\n\n",
         options.apps,
         options.flushes,
         options.shards,
+        workers,
         options.capacity,
         options.batch,
         options.policy.as_str()
@@ -278,6 +292,15 @@ mod tests {
         assert_eq!(options.policy, BackpressurePolicy::DropOldest);
         assert_eq!(options.seed, 99);
         assert_eq!(options.freq, 1.5);
+    }
+
+    #[test]
+    fn threads_flag_is_parsed() {
+        let options = parse_cluster_options(&strings(&["--threads", "3"])).unwrap();
+        assert_eq!(options.threads, 3);
+        // Garbage in a typed flag is an error, unlike the env variable.
+        assert!(parse_cluster_options(&strings(&["--threads", "lots"])).is_err());
+        assert!(parse_cluster_options(&strings(&["--threads"])).is_err());
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub struct EvalCliOptions {
     /// Drive the flushes through the sharded cluster engine instead of the
     /// synchronous predictor.
     pub engine: bool,
+    /// Engine worker threads with `--engine` (0 = one worker per shard).
+    pub threads: usize,
 }
 
 impl Default for EvalCliOptions {
@@ -49,6 +51,7 @@ impl Default for EvalCliOptions {
             freq: 2.0,
             rel_tolerance: EvalConfig::default().rel_tolerance,
             engine: false,
+            threads: crate::default_threads(),
         }
     }
 }
@@ -71,7 +74,9 @@ pub const EVAL_USAGE: &str = "usage: ftio eval <scenario>|--all [options]\n\
      \x20 --rel-tolerance <x>  relative period tolerance for the lock\n\
      \x20                      criterion (default 0.15)\n\
      \x20 --engine             drive flushes through the sharded cluster\n\
-     \x20                      engine instead of the synchronous predictor";
+     \x20                      engine instead of the synchronous predictor\n\
+     \x20 --threads <n>|auto   engine worker threads with --engine (default:\n\
+     \x20                      FTIO_THREADS, else one worker per shard)";
 
 /// Parses the arguments following `ftio eval`.
 pub fn parse_eval_options(args: &[String]) -> Result<EvalCliOptions, String> {
@@ -82,6 +87,10 @@ pub fn parse_eval_options(args: &[String]) -> Result<EvalCliOptions, String> {
             "--all" => options.all = true,
             "--list" => options.list = true,
             "--engine" => options.engine = true,
+            "--threads" => {
+                let value = next_value(args, &mut i, "--threads")?;
+                options.threads = crate::parse_threads_flag(&value)?;
+            }
             "--seed" => {
                 let value = next_value(args, &mut i, "--seed")?;
                 options.seed = value
@@ -153,12 +162,18 @@ pub fn run_predictor(scenario: &Scenario, app: AppId, freq: f64) -> Vec<OnlinePr
 
 /// Runs the whole scenario through the sharded cluster engine (one
 /// submission per flush, no coalescing) and returns each application's
-/// prediction ticks.
-pub fn run_engine(scenario: &Scenario, freq: f64) -> Vec<(AppId, Vec<OnlinePrediction>)> {
+/// prediction ticks. `threads` is the engine worker budget (0 = one worker
+/// per shard); the scoring is layout-independent because per-app order is.
+pub fn run_engine(
+    scenario: &Scenario,
+    freq: f64,
+    threads: usize,
+) -> Vec<(AppId, Vec<OnlinePrediction>)> {
     let engine = ClusterEngine::spawn(ClusterConfig {
         shards: 2,
         queue_capacity: 1024,
         max_batch: 1,
+        threads,
         policy: BackpressurePolicy::Block,
         ftio: analysis_config(freq),
         strategy: WindowStrategy::Adaptive { multiple: 3 },
@@ -188,7 +203,7 @@ pub fn evaluate_scenario(
         ..Default::default()
     };
     let runs: Vec<(AppId, Vec<OnlinePrediction>)> = if options.engine {
-        run_engine(scenario, options.freq)
+        run_engine(scenario, options.freq, options.threads)
     } else {
         scenario
             .apps()
@@ -259,6 +274,8 @@ mod tests {
             "--rel-tolerance",
             "0.2",
             "--engine",
+            "--threads",
+            "2",
         ]))
         .unwrap();
         assert_eq!(options.scenario.as_deref(), Some("drift"));
@@ -266,6 +283,7 @@ mod tests {
         assert_eq!(options.freq, 1.5);
         assert_eq!(options.rel_tolerance, 0.2);
         assert!(options.engine);
+        assert_eq!(options.threads, 2);
     }
 
     #[test]
@@ -275,6 +293,7 @@ mod tests {
         assert!(parse_eval_options(&strings(&["drift", "--seed", "x"])).is_err());
         assert!(parse_eval_options(&strings(&["drift", "--freq", "-2"])).is_err());
         assert!(parse_eval_options(&strings(&["drift", "--bogus"])).is_err());
+        assert!(parse_eval_options(&strings(&["drift", "--threads", "many"])).is_err());
         assert!(parse_eval_options(&strings(&["--rel-tolerance", "0.1"])).is_err());
     }
 

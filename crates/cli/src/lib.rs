@@ -36,6 +36,9 @@ pub struct CliOptions {
     pub window: Option<(f64, f64)>,
     /// Whether to analyse the built-in demo workload.
     pub demo: bool,
+    /// Explicit size for the process-wide DSP pool (the concurrent four-step
+    /// FFT); `None` leaves the `FTIO_THREADS`/core-count default.
+    pub threads: Option<usize>,
 }
 
 /// A successfully loaded input.
@@ -73,6 +76,8 @@ pub fn print_usage_and_exit(tool: &str) -> ! {
          \x20 --tolerance <0..1>                        candidate tolerance (default 0.8)\n\
          \x20 --no-autocorrelation                      skip the ACF refinement\n\
          \x20 --window <t0> <t1>                        restrict the analysis window (seconds)\n\
+         \x20 --threads <n>|auto                        size the FFT worker pool explicitly\n\
+         \x20                                           (default: FTIO_THREADS, then core count)\n\
          \x20 --demo                                    analyse a generated demo trace instead of a file"
     );
     if tool == "ftio" {
@@ -120,6 +125,18 @@ pub fn parse_common_options(args: &[String]) -> Result<CliOptions, String> {
                     .parse()
                     .map_err(|_| format!("invalid tolerance `{value}`"))?;
             }
+            "--threads" => {
+                let value = next_value(args, &mut i, "--threads")?;
+                let trimmed = value.trim();
+                if trimmed.eq_ignore_ascii_case("auto") || trimmed == "0" {
+                    options.threads = None; // keep the FTIO_THREADS/core default
+                } else {
+                    options.threads = Some(
+                        ftio_core::pool::parse_threads(Some(trimmed))
+                            .ok_or(format!("invalid value `{value}` for --threads"))?,
+                    );
+                }
+            }
             "--window" => {
                 let t0: f64 = next_value(args, &mut i, "--window")?
                     .parse()
@@ -147,6 +164,30 @@ pub fn parse_common_options(args: &[String]) -> Result<CliOptions, String> {
     }
     options.config.validate()?;
     Ok(options)
+}
+
+/// The default engine thread budget of the engine-backed subcommands
+/// (`replay`, `serve`, `cluster`, `eval --engine`): the `FTIO_THREADS`
+/// environment variable when set to a positive count, otherwise `0` — the
+/// legacy one-worker-per-shard cluster layout. An explicit `--threads` flag
+/// overrides the environment; both are clamped to the shard count by the
+/// engine itself.
+pub fn default_threads() -> usize {
+    ftio_core::pool::parse_threads(std::env::var(ftio_core::pool::THREADS_ENV).ok().as_deref())
+        .unwrap_or(0)
+}
+
+/// Parses a `--threads` option value: an explicit positive worker count wins,
+/// `auto` and `0` fall back to [`default_threads`] (the `FTIO_THREADS`
+/// environment). Garbage is an error — unlike the environment variable,
+/// which degrades to the automatic budget, a typed flag deserves a diagnosis.
+pub fn parse_threads_flag(value: &str) -> Result<usize, String> {
+    let trimmed = value.trim();
+    if trimmed.eq_ignore_ascii_case("auto") || trimmed == "0" {
+        return Ok(default_threads());
+    }
+    ftio_core::pool::parse_threads(Some(trimmed))
+        .ok_or(format!("invalid value `{value}` for --threads"))
 }
 
 pub(crate) fn next_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {

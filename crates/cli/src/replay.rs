@@ -36,6 +36,8 @@ pub struct ReplayCliOptions {
     pub batch: usize,
     /// Backpressure policy.
     pub policy: BackpressurePolicy,
+    /// Engine worker threads (0 = one worker per shard).
+    pub threads: usize,
     /// Replay pacing.
     pub pacing: Pacing,
     /// Sampling frequency of the analysis.
@@ -51,8 +53,8 @@ pub struct ReplayCliOptions {
     pub checkpoint_every: Option<u64>,
     /// Restore engine state and source position from this snapshot file
     /// before replaying. The engine configuration then comes from the
-    /// snapshot; the `shards`/`capacity`/`batch`/`policy`/`freq` options are
-    /// ignored.
+    /// snapshot; the `shards`/`capacity`/`batch`/`policy`/`threads`/`freq`
+    /// options are ignored.
     pub resume: Option<String>,
 }
 
@@ -65,6 +67,7 @@ impl Default for ReplayCliOptions {
             capacity: 256,
             batch: 8,
             policy: BackpressurePolicy::Block,
+            threads: crate::default_threads(),
             pacing: Pacing::AsFast,
             freq: 2.0,
             batch_size: DEFAULT_BATCH_SIZE,
@@ -90,6 +93,9 @@ pub const REPLAY_USAGE: &str = "usage: ftio replay <trace-file> [options]\n\
      \x20 --capacity <n>              per-shard queue capacity (default 256)\n\
      \x20 --batch <n>                 max coalesced submissions per tick (default 8)\n\
      \x20 --policy block|drop-oldest|reject   backpressure policy (default block)\n\
+     \x20 --threads <n>|auto          engine worker threads, clamped to the shard\n\
+     \x20                             count (default: FTIO_THREADS, else one\n\
+     \x20                             worker per shard; ignored with --resume)\n\
      \x20 --pacing as-fast|recorded[:<speedup>]   replay pacing (default as-fast)\n\
      \x20 --freq <hz>                 sampling frequency for request traces (default 2)\n\
      \x20 --batch-size <n>            requests per source batch (default 1024)\n\
@@ -116,6 +122,10 @@ pub fn parse_replay_options(args: &[String]) -> Result<ReplayCliOptions, String>
                 let value = next_value(args, &mut i, "--policy")?;
                 options.policy = BackpressurePolicy::parse(&value)
                     .ok_or(format!("unknown backpressure policy `{value}`"))?;
+            }
+            "--threads" => {
+                let value = next_value(args, &mut i, "--threads")?;
+                options.threads = crate::parse_threads_flag(&value)?;
             }
             "--pacing" => {
                 let value = next_value(args, &mut i, "--pacing")?;
@@ -223,6 +233,7 @@ pub fn run_replay(options: &ReplayCliOptions) -> Result<String, String> {
                 shards: options.shards,
                 queue_capacity: options.capacity,
                 max_batch: options.batch,
+                threads: options.threads,
                 policy: options.policy,
                 ftio: config,
                 strategy: WindowStrategy::Adaptive { multiple: 3 },
@@ -368,6 +379,8 @@ mod tests {
             "4",
             "--policy",
             "reject",
+            "--threads",
+            "2",
             "--pacing",
             "recorded:25",
             "--freq",
@@ -381,6 +394,7 @@ mod tests {
         assert_eq!(options.capacity, 64);
         assert_eq!(options.batch, 4);
         assert_eq!(options.policy, BackpressurePolicy::Reject);
+        assert_eq!(options.threads, 2);
         assert_eq!(options.pacing, Pacing::Recorded { speedup: 25.0 });
         assert_eq!(options.freq, 1.5);
         assert_eq!(options.format, Some(SourceFormat::Jsonl));
@@ -411,6 +425,7 @@ mod tests {
         assert!(parse_replay_options(&strings(&["a", "b"])).is_err());
         assert!(parse_replay_options(&strings(&["a", "--pacing", "warp"])).is_err());
         assert!(parse_replay_options(&strings(&["a", "--shards", "0"])).is_err());
+        assert!(parse_replay_options(&strings(&["a", "--threads", "lots"])).is_err());
         assert!(parse_replay_options(&strings(&["a", "--freq", "-1"])).is_err());
         assert!(parse_replay_options(&strings(&["a", "--bogus"])).is_err());
         assert!(parse_replay_options(&strings(&["a", "--batch-size", "0"])).is_err());

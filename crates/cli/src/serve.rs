@@ -44,6 +44,11 @@ pub struct ServeCliOptions {
     pub batch: usize,
     /// Backpressure policy.
     pub policy: BackpressurePolicy,
+    /// Engine worker threads (0 = one worker per shard). Connection handler
+    /// threads are I/O-bound and do not count against this budget; the
+    /// engine workers themselves run transforms inline (no nested pool), so
+    /// the daemon's CPU-bound parallelism is exactly this knob.
+    pub threads: usize,
     /// Sampling frequency of the analysis.
     pub freq: f64,
     /// Requests per decoded source batch.
@@ -60,6 +65,7 @@ impl Default for ServeCliOptions {
             capacity: 256,
             batch: 8,
             policy: BackpressurePolicy::Block,
+            threads: crate::default_threads(),
             freq: 2.0,
             batch_size: DEFAULT_BATCH_SIZE,
         }
@@ -85,6 +91,10 @@ pub const SERVE_USAGE: &str = "usage: ftio serve --unix <path> | --tcp <host:por
      \x20 --capacity <n>              per-shard queue capacity (default 256)\n\
      \x20 --batch <n>                 max coalesced submissions per tick (default 8)\n\
      \x20 --policy block|drop-oldest|reject   backpressure policy (default block)\n\
+     \x20 --threads <n>|auto          engine worker threads, clamped to the shard\n\
+     \x20                             count (default: FTIO_THREADS, else one\n\
+     \x20                             worker per shard); this is the daemon's\n\
+     \x20                             whole CPU budget — workers never nest a pool\n\
      \x20 --freq <hz>                 sampling frequency (default 2)\n\
      \x20 --batch-size <n>            requests per decoded batch (default 1024)";
 
@@ -104,6 +114,10 @@ pub fn parse_serve_options(args: &[String]) -> Result<ServeCliOptions, String> {
                 let value = next_value(args, &mut i, "--policy")?;
                 options.policy = BackpressurePolicy::parse(&value)
                     .ok_or(format!("unknown backpressure policy `{value}`"))?;
+            }
+            "--threads" => {
+                let value = next_value(args, &mut i, "--threads")?;
+                options.threads = crate::parse_threads_flag(&value)?;
             }
             "--freq" => {
                 let value = next_value(args, &mut i, "--freq")?;
@@ -159,6 +173,7 @@ pub fn server_config(options: &ServeCliOptions) -> Result<ServerConfig, String> 
             shards: options.shards,
             queue_capacity: options.capacity,
             max_batch: options.batch,
+            threads: options.threads,
             policy: options.policy,
             ftio,
             ..ClusterConfig::default()
@@ -485,6 +500,8 @@ mod tests {
             "1",
             "--policy",
             "reject",
+            "--threads",
+            "2",
             "--freq",
             "1.5",
             "--batch-size",
@@ -497,6 +514,7 @@ mod tests {
         assert_eq!(options.capacity, 64);
         assert_eq!(options.batch, 1);
         assert_eq!(options.policy, BackpressurePolicy::Reject);
+        assert_eq!(options.threads, 2);
         assert_eq!(options.freq, 1.5);
         assert_eq!(options.batch_size, 32);
         assert!(server_config(&options).is_ok());
@@ -508,6 +526,7 @@ mod tests {
         assert!(parse_serve_options(&strings(&["--unix", "a", "--tcp", "b"])).is_err());
         assert!(parse_serve_options(&strings(&["--tcp", "a", "--max-conns", "0"])).is_err());
         assert!(parse_serve_options(&strings(&["--tcp", "a", "--shards", "0"])).is_err());
+        assert!(parse_serve_options(&strings(&["--tcp", "a", "--threads", "many"])).is_err());
         assert!(parse_serve_options(&strings(&["--tcp", "a", "--freq", "-2"])).is_err());
         assert!(parse_serve_options(&strings(&["--tcp", "a", "--bogus"])).is_err());
         assert!(parse_serve_options(&strings(&["--tcp", "a", "--batch-size", "0"])).is_err());

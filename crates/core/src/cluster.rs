@@ -98,7 +98,9 @@ impl BackpressurePolicy {
 /// Configuration of a [`ClusterEngine`].
 #[derive(Clone, Copy, Debug)]
 pub struct ClusterConfig {
-    /// Number of predictor workers (zero is clamped to one).
+    /// Number of shards — the routing/state partitions applications hash
+    /// onto (zero is clamped to one). With [`ClusterConfig::threads`] at its
+    /// default this is also the worker-thread count.
     pub shards: usize,
     /// Bounded capacity of each shard's submission queue (zero is clamped to
     /// one).
@@ -118,6 +120,18 @@ pub struct ClusterConfig {
     /// per-application predictor — the knob that keeps a long-horizon
     /// deployment's footprint bounded.
     pub memory: MemoryPolicy,
+    /// Worker threads serving the shard queues. `0` (the default) keeps the
+    /// historical one-worker-per-shard layout; any other value spawns
+    /// `min(threads, shards)` workers, each owning the shards congruent to
+    /// its index modulo the worker count. This decouples the sharding layout
+    /// (application routing and state partitioning, which affect snapshot
+    /// compatibility and batching) from the physical parallelism (how many
+    /// OS threads actually run predictions), so a 16-shard engine can run on
+    /// a 4-core box without 16 idle threads. The field is deliberately *not*
+    /// serialised into snapshots — it is a deployment knob, not engine
+    /// state — so [`ClusterEngine::restore`] comes back in the legacy
+    /// layout unless the caller re-applies a thread budget.
+    pub threads: usize,
 }
 
 impl Default for ClusterConfig {
@@ -130,6 +144,7 @@ impl Default for ClusterConfig {
             ftio: FtioConfig::default(),
             strategy: WindowStrategy::default(),
             memory: MemoryPolicy::default(),
+            threads: 0,
         }
     }
 }
@@ -271,21 +286,74 @@ struct ShardState {
     dropped: u64,
 }
 
+/// Wakes a cluster worker that may be serving *several* shard queues: a
+/// monotonically increasing sequence number bumped whenever any of the
+/// worker's queues gains an item or closes. The worker reads the sequence,
+/// scans its queues, and only parks if the sequence has not moved — the
+/// classic seqlock-style guard against the missed-wakeup race between "all
+/// queues looked empty" and "the worker went to sleep".
+struct WorkerSignal {
+    seq: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl WorkerSignal {
+    fn new() -> Self {
+        WorkerSignal {
+            seq: Mutex::new(0),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Records an event (item enqueued, queue closed) and wakes the worker.
+    fn bump(&self) {
+        let mut seq = lock_recover(&self.seq);
+        *seq = seq.wrapping_add(1);
+        self.cond.notify_all();
+    }
+
+    /// The sequence to snapshot *before* scanning the queues.
+    fn current(&self) -> u64 {
+        *lock_recover(&self.seq)
+    }
+
+    /// Parks until the sequence moves past the pre-scan snapshot. Returns
+    /// immediately if an event already arrived while the worker was scanning.
+    fn wait_past(&self, seen: u64) {
+        let mut seq = lock_recover(&self.seq);
+        while *seq == seen {
+            seq = self.cond.wait(seq).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The three states a non-blocking queue drain can find.
+enum Drained {
+    /// Items were drained; the worker must process them and call
+    /// [`ShardQueue::complete`].
+    Batch(Vec<QueueItem>),
+    /// Nothing queued right now, but producers may still submit.
+    Empty,
+    /// Closed and fully drained — this queue will never yield work again.
+    Closed,
+}
+
 /// A bounded MPSC queue with selectable overflow behaviour, a drain-everything
 /// consumer side, and an idle signal for [`ClusterEngine::flush`].
 struct ShardQueue {
     state: Mutex<ShardState>,
-    /// Signalled when items arrive or the queue closes (consumer waits here).
-    not_empty: Condvar,
     /// Signalled when slots free up (blocked producers wait here).
     not_full: Condvar,
     /// Signalled when `pending` reaches zero (`flush` waits here).
     idle: Condvar,
+    /// Shared wakeup line of the worker serving this queue (a worker may
+    /// serve several queues, so this lives outside the per-queue condvars).
+    signal: Arc<WorkerSignal>,
     capacity: usize,
 }
 
 impl ShardQueue {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, signal: Arc<WorkerSignal>) -> Self {
         ShardQueue {
             state: Mutex::new(ShardState {
                 items: VecDeque::new(),
@@ -293,9 +361,9 @@ impl ShardQueue {
                 closed: false,
                 dropped: 0,
             }),
-            not_empty: Condvar::new(),
             not_full: Condvar::new(),
             idle: Condvar::new(),
+            signal,
             capacity: capacity.max(1),
         }
     }
@@ -328,7 +396,8 @@ impl ShardQueue {
         }
         state.items.push_back(item);
         state.pending += 1;
-        self.not_empty.notify_one();
+        drop(state);
+        self.signal.bump();
         if evicted > 0 {
             SubmitOutcome::EnqueuedAfterDrop(evicted)
         } else {
@@ -336,22 +405,21 @@ impl ShardQueue {
         }
     }
 
-    /// Blocks until work arrives, then drains the whole queue. Returns `None`
-    /// once the queue is closed *and* empty — the worker's signal to exit.
-    fn pop_all(&self) -> Option<Vec<QueueItem>> {
+    /// Drains the whole queue without blocking; [`Drained`] tells the worker
+    /// whether to process, move on, or retire this queue.
+    fn try_pop_all(&self) -> Drained {
         let mut state = lock_recover(&self.state);
-        while state.items.is_empty() && !state.closed {
-            state = self
-                .not_empty
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
         if state.items.is_empty() {
-            return None;
+            if state.closed {
+                Drained::Closed
+            } else {
+                Drained::Empty
+            }
+        } else {
+            let batch: Vec<QueueItem> = state.items.drain(..).collect();
+            self.not_full.notify_all();
+            Drained::Batch(batch)
         }
-        let batch: Vec<QueueItem> = state.items.drain(..).collect();
-        self.not_full.notify_all();
-        Some(batch)
     }
 
     /// Marks `count` drained items as fully processed (results visible).
@@ -376,8 +444,9 @@ impl ShardQueue {
     fn close(&self) {
         let mut state = lock_recover(&self.state);
         state.closed = true;
-        self.not_empty.notify_all();
         self.not_full.notify_all();
+        drop(state);
+        self.signal.bump();
     }
 
     fn dropped(&self) -> u64 {
@@ -429,45 +498,68 @@ struct SharedCounters {
 pub struct ClusterEngine {
     shards: Vec<Arc<ShardQueue>>,
     handles: Vec<JoinHandle<()>>,
-    /// Per-shard predictor state, shared with the owning shard worker. A
-    /// worker only touches its own map (and only between queue drains), so
-    /// contention is nil; sharing it with the engine handle is what makes
-    /// [`ClusterEngine::snapshot`] and [`ClusterEngine::restore`] possible.
+    /// Per-shard predictor state, shared with the owning worker. A worker
+    /// only touches the maps of its own shards (and only between queue
+    /// drains), so contention is nil; sharing them with the engine handle is
+    /// what makes [`ClusterEngine::snapshot`] and [`ClusterEngine::restore`]
+    /// possible.
     predictors: Vec<Arc<Mutex<HashMap<AppId, OnlinePredictor>>>>,
     results: Arc<Mutex<AppPredictions>>,
     counters: Arc<SharedCounters>,
     plan_stats: Arc<Mutex<Vec<PlanCacheStats>>>,
     subscribers: Arc<Mutex<Vec<Subscriber>>>,
+    workers: usize,
     config: ClusterConfig,
 }
 
 impl ClusterEngine {
-    /// Spawns the shard workers and returns the engine handle.
+    /// Spawns the cluster workers and returns the engine handle.
+    ///
+    /// [`ClusterConfig::threads`] decides the worker layout: `0` spawns one
+    /// worker per shard (the historical behaviour), `n > 0` spawns
+    /// `min(n, shards)` workers, worker `w` owning every shard `i` with
+    /// `i % workers == w`. Application routing, batching and snapshots are
+    /// identical in both layouts.
     pub fn spawn(config: ClusterConfig) -> Self {
         let shards = config.shards.max(1);
+        let workers = if config.threads == 0 {
+            shards
+        } else {
+            config.threads.min(shards).max(1)
+        };
         let results: Arc<Mutex<AppPredictions>> = Arc::new(Mutex::new(HashMap::new()));
         let counters = Arc::new(SharedCounters::default());
-        let plan_stats = Arc::new(Mutex::new(vec![PlanCacheStats::default(); shards]));
+        let plan_stats = Arc::new(Mutex::new(vec![PlanCacheStats::default(); workers]));
         let subscribers: Arc<Mutex<Vec<Subscriber>>> = Arc::new(Mutex::new(Vec::new()));
+        let signals: Vec<Arc<WorkerSignal>> = (0..workers)
+            .map(|_| Arc::new(WorkerSignal::new()))
+            .collect();
         let mut queues = Vec::with_capacity(shards);
         let mut predictor_maps = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
         for shard_index in 0..shards {
-            let queue = Arc::new(ShardQueue::new(config.queue_capacity));
-            queues.push(queue.clone());
-            let predictors: Arc<Mutex<HashMap<AppId, OnlinePredictor>>> =
-                Arc::new(Mutex::new(HashMap::new()));
-            predictor_maps.push(predictors.clone());
+            queues.push(Arc::new(ShardQueue::new(
+                config.queue_capacity,
+                signals[shard_index % workers].clone(),
+            )));
+            predictor_maps.push(Arc::new(Mutex::new(HashMap::new())));
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for (worker_index, signal) in signals.into_iter().enumerate() {
+            let owned: Vec<OwnedShard> = (0..shards)
+                .filter(|shard| shard % workers == worker_index)
+                .map(|shard| (queues[shard].clone(), predictor_maps[shard].clone()))
+                .collect();
             let results = results.clone();
             let counters = counters.clone();
             let plan_stats = plan_stats.clone();
             let subscribers = subscribers.clone();
             handles.push(std::thread::spawn(move || {
-                shard_worker(
-                    shard_index,
-                    &queue,
+                cluster_worker(
+                    worker_index,
+                    workers,
+                    owned,
+                    &signal,
                     &config,
-                    &predictors,
                     &results,
                     &counters,
                     &plan_stats,
@@ -483,6 +575,7 @@ impl ClusterEngine {
             counters,
             plan_stats,
             subscribers,
+            workers,
             config,
         }
     }
@@ -527,9 +620,16 @@ impl ClusterEngine {
         outcome
     }
 
-    /// Number of shards (worker threads).
+    /// Number of shards (routing/state partitions).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Number of worker threads actually serving the shards:
+    /// `shard_count()` in the legacy `threads == 0` layout, otherwise
+    /// `min(threads, shards)`.
+    pub fn worker_count(&self) -> usize {
+        self.workers
     }
 
     /// Replays a [`TraceSource`] through the shard queues: every batch becomes
@@ -617,10 +717,11 @@ impl ClusterEngine {
         }
     }
 
-    /// Per-shard FFT plan-cache counters, as of each worker's most recently
-    /// completed batch (`ftio_dsp`'s cache is thread-local, so the workers
-    /// export snapshots). Use with [`ClusterEngine::flush`] to pin the
-    /// zero-allocation steady state.
+    /// Per-*worker* FFT plan-cache counters (one entry per worker thread —
+    /// see [`ClusterEngine::worker_count`]), as of each worker's most
+    /// recently completed batch (`ftio_dsp`'s cache is thread-local, so the
+    /// workers export snapshots). Use with [`ClusterEngine::flush`] to pin
+    /// the zero-allocation steady state.
     pub fn plan_cache_stats(&self) -> Vec<PlanCacheStats> {
         lock_recover(&self.plan_stats).clone()
     }
@@ -793,6 +894,11 @@ fn decode_cluster_config(reader: &mut Reader<'_>) -> TraceResult<ClusterConfig> 
         ftio: checkpoint::decode_config(reader)?,
         strategy: checkpoint::decode_strategy(reader)?,
         memory: checkpoint::decode_memory_policy(reader)?,
+        // The thread budget is a deployment knob, not engine state: it is
+        // not serialised (keeping snapshots byte-identical across layouts),
+        // so a restored engine starts in the legacy one-worker-per-shard
+        // layout until the deployment re-applies its budget.
+        threads: 0,
     })
 }
 
@@ -815,94 +921,150 @@ fn publish_prediction(
     });
 }
 
-/// One shard worker: drain the queue, group by application, coalesce, tick.
+/// One worker-owned slot: a shard's queue plus its exclusive predictor map.
+type OwnedShard = (Arc<ShardQueue>, Arc<Mutex<HashMap<AppId, OnlinePredictor>>>);
+
+/// One cluster worker: round-robin over the owned shard queues, draining,
+/// grouping and ticking each, parking on the shared [`WorkerSignal`] when
+/// every owned queue is empty, exiting once every owned queue is closed.
 #[allow(clippy::too_many_arguments)]
-fn shard_worker(
-    shard_index: usize,
-    queue: &ShardQueue,
+fn cluster_worker(
+    worker_index: usize,
+    workers: usize,
+    owned: Vec<OwnedShard>,
+    signal: &WorkerSignal,
     config: &ClusterConfig,
-    predictors: &Mutex<HashMap<AppId, OnlinePredictor>>,
     results: &Mutex<AppPredictions>,
     counters: &SharedCounters,
     plan_stats: &Mutex<Vec<PlanCacheStats>>,
     subscribers: &Mutex<Vec<Subscriber>>,
 ) {
+    let body = || {
+        let mut retired = vec![false; owned.len()];
+        let mut live = owned.len();
+        while live > 0 {
+            // Snapshot the wakeup sequence *before* scanning: if a producer
+            // pushes between our scan and the park, the sequence moves and
+            // `wait_past` returns immediately.
+            let seen = signal.current();
+            let mut progressed = false;
+            for (slot, (queue, predictors)) in owned.iter().enumerate() {
+                if retired[slot] {
+                    continue;
+                }
+                match queue.try_pop_all() {
+                    Drained::Batch(batch) => {
+                        progressed = true;
+                        let drained = batch.len();
+                        process_batch(batch, config, predictors, results, counters, subscribers);
+                        // Export this thread's plan-cache counters *before*
+                        // marking the batch complete, so `flush()` +
+                        // `plan_cache_stats()` observes them.
+                        lock_recover(plan_stats)[worker_index] = plan_cache::stats();
+                        queue.complete(drained);
+                    }
+                    Drained::Empty => {}
+                    Drained::Closed => {
+                        retired[slot] = true;
+                        live -= 1;
+                    }
+                }
+            }
+            if live > 0 && !progressed {
+                signal.wait_past(seen);
+            }
+        }
+    };
+    if workers > 1 {
+        // Oversubscription guard: with several cluster workers on the box,
+        // each worker runs its FFTs inline rather than fanning out onto the
+        // shared DSP pool — the workers *are* the parallelism, and letting
+        // every one of them also schedule pool tasks would multiply threads
+        // past the budget.
+        ftio_dsp::pool::install_inline(body);
+    } else {
+        body();
+    }
+}
+
+/// Processes one drained batch: group the submissions per application
+/// (preserving arrival order of first appearance and within each
+/// application), coalesce up to `max_batch` consecutive submissions of an
+/// application into one detection tick, and publish each tick's prediction.
+fn process_batch(
+    batch: Vec<QueueItem>,
+    config: &ClusterConfig,
+    predictors: &Mutex<HashMap<AppId, OnlinePredictor>>,
+    results: &Mutex<AppPredictions>,
+    counters: &SharedCounters,
+    subscribers: &Mutex<Vec<Subscriber>>,
+) {
     let max_batch = config.max_batch.max(1);
-    while let Some(batch) = queue.pop_all() {
-        let drained = batch.len();
-        // Group the submissions per application, preserving arrival order of
-        // first appearance and within each application.
-        let mut order: Vec<AppId> = Vec::new();
-        let mut groups: HashMap<AppId, Vec<Submission>> = HashMap::new();
-        for item in batch {
-            match item {
-                QueueItem::Work(submission) => {
-                    groups
-                        .entry(submission.app)
-                        .or_insert_with(|| {
-                            order.push(submission.app);
-                            Vec::new()
-                        })
-                        .push(submission);
-                }
-                #[cfg(test)]
-                QueueItem::Stall(gate) => gate.enter_and_wait(),
+    let mut order: Vec<AppId> = Vec::new();
+    let mut groups: HashMap<AppId, Vec<Submission>> = HashMap::new();
+    for item in batch {
+        match item {
+            QueueItem::Work(submission) => {
+                groups
+                    .entry(submission.app)
+                    .or_insert_with(|| {
+                        order.push(submission.app);
+                        Vec::new()
+                    })
+                    .push(submission);
             }
+            #[cfg(test)]
+            QueueItem::Stall(gate) => gate.enter_and_wait(),
         }
-        // The predictor map is shared with the engine handle (for snapshots);
-        // the worker holds it for the whole drained batch, which costs
-        // nothing in steady state because each map has exactly one worker.
-        let mut guard = lock_recover(predictors);
-        for app in order {
-            let submissions = groups.remove(&app).expect("grouped above");
-            let mut iter = submissions.into_iter().peekable();
-            while iter.peek().is_some() {
-                let chunk: Vec<Submission> = iter.by_ref().take(max_batch).collect();
-                let chunk_len = chunk.len() as u64;
-                let tick_now = chunk
-                    .iter()
-                    .fold(f64::NEG_INFINITY, |now, s| now.max(s.now));
-                let predictor = guard.entry(app).or_insert_with(|| {
-                    OnlinePredictor::with_memory(config.ftio, config.strategy, config.memory)
-                });
-                // Fault isolation: a panicking tick must not take the shard
-                // (let alone the engine) down. The chunk counts as consumed,
-                // the owning application's predictor — possibly inconsistent
-                // mid-ingest — is discarded, and every other application
-                // keeps its state and its service.
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    for submission in chunk {
-                        if submission.poison {
-                            panic!("injected shard fault");
-                        }
-                        predictor.ingest(submission.requests);
+    }
+    // The predictor map is shared with the engine handle (for snapshots);
+    // the worker holds it for the whole drained batch, which costs
+    // nothing in steady state because each map has exactly one worker.
+    let mut guard = lock_recover(predictors);
+    for app in order {
+        let submissions = groups.remove(&app).expect("grouped above");
+        let mut iter = submissions.into_iter().peekable();
+        while iter.peek().is_some() {
+            let chunk: Vec<Submission> = iter.by_ref().take(max_batch).collect();
+            let chunk_len = chunk.len() as u64;
+            let tick_now = chunk
+                .iter()
+                .fold(f64::NEG_INFINITY, |now, s| now.max(s.now));
+            let predictor = guard.entry(app).or_insert_with(|| {
+                OnlinePredictor::with_memory(config.ftio, config.strategy, config.memory)
+            });
+            // Fault isolation: a panicking tick must not take the shard
+            // (let alone the engine) down. The chunk counts as consumed,
+            // the owning application's predictor — possibly inconsistent
+            // mid-ingest — is discarded, and every other application
+            // keeps its state and its service.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                for submission in chunk {
+                    if submission.poison {
+                        panic!("injected shard fault");
                     }
-                    predictor.predict(tick_now)
-                }));
-                match outcome {
-                    Ok(prediction) => {
-                        publish_prediction(subscribers, app, &prediction);
-                        lock_recover(results)
-                            .entry(app)
-                            .or_default()
-                            .push(prediction);
-                        counters.ticks.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        guard.remove(&app);
-                        counters.panicked.fetch_add(1, Ordering::Relaxed);
-                    }
+                    predictor.ingest(submission.requests);
                 }
-                counters
-                    .coalesced
-                    .fetch_add(chunk_len - 1, Ordering::Relaxed);
+                predictor.predict(tick_now)
+            }));
+            match outcome {
+                Ok(prediction) => {
+                    publish_prediction(subscribers, app, &prediction);
+                    lock_recover(results)
+                        .entry(app)
+                        .or_default()
+                        .push(prediction);
+                    counters.ticks.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    guard.remove(&app);
+                    counters.panicked.fetch_add(1, Ordering::Relaxed);
+                }
             }
+            counters
+                .coalesced
+                .fetch_add(chunk_len - 1, Ordering::Relaxed);
         }
-        drop(guard);
-        // Export this thread's plan-cache counters *before* marking the batch
-        // complete, so `flush()` + `plan_cache_stats()` observes them.
-        lock_recover(plan_stats)[shard_index] = plan_cache::stats();
-        queue.complete(drained);
     }
 }
 
@@ -973,6 +1135,7 @@ mod tests {
             ftio: fast_config(),
             strategy: WindowStrategy::FullHistory,
             memory: MemoryPolicy::default(),
+            threads: 0,
         }
     }
 
@@ -1019,6 +1182,70 @@ mod tests {
             for pair in history.windows(2) {
                 assert!(pair[1].time > pair[0].time);
             }
+        }
+    }
+
+    /// The worker layout derives from `threads`: 0 keeps one worker per
+    /// shard, anything else clamps to `min(threads, shards)` — and the
+    /// plan-cache export is sized to the workers actually spawned.
+    #[test]
+    fn thread_budget_decouples_workers_from_shards() {
+        let cases = [
+            (4usize, 0usize, 4usize), // legacy: one worker per shard
+            (4, 1, 1),
+            (8, 3, 3),
+            (2, 16, 2), // never more workers than shards
+        ];
+        for (shards, threads, expected) in cases {
+            let engine = ClusterEngine::spawn(ClusterConfig {
+                threads,
+                ..engine_config(shards, 64, BackpressurePolicy::Block)
+            });
+            assert_eq!(engine.shard_count(), shards);
+            assert_eq!(
+                engine.worker_count(),
+                expected,
+                "shards {shards} threads {threads}"
+            );
+            assert_eq!(engine.plan_cache_stats().len(), expected);
+        }
+    }
+
+    /// A thread-limited engine produces bit-identical predictions to the
+    /// legacy one-worker-per-shard layout: application routing, coalescing
+    /// and per-app order are functions of the *shard* layout, which the
+    /// thread budget deliberately does not touch.
+    #[test]
+    fn threaded_engine_matches_legacy_bit_for_bit() {
+        let run = |threads: usize| -> Vec<Vec<(u64, Option<u64>)>> {
+            let engine = ClusterEngine::spawn(ClusterConfig {
+                threads,
+                ..engine_config(4, 256, BackpressurePolicy::Block)
+            });
+            let periods = [8.0, 12.0, 15.0, 20.0, 9.0, 14.0];
+            for tick in 0..12 {
+                for (i, &period) in periods.iter().enumerate() {
+                    let start = tick as f64 * period;
+                    engine.submit(
+                        AppId::new(i as u64),
+                        burst(2, start, 2.0, 1_000_000_000),
+                        start + 2.0,
+                    );
+                }
+            }
+            let results = engine.finish();
+            (0..6u64)
+                .map(|app| {
+                    results[&AppId::new(app)]
+                        .iter()
+                        .map(|p| (p.time.to_bits(), p.period().map(f64::to_bits)))
+                        .collect()
+                })
+                .collect()
+        };
+        let legacy = run(0);
+        for threads in [1, 2, 3] {
+            assert_eq!(run(threads), legacy, "threads {threads} diverged");
         }
     }
 
@@ -1607,6 +1834,7 @@ mod tests {
                 ftio: fast_config(),
                 strategy: WindowStrategy::Adaptive { multiple: 3 },
                 memory: MemoryPolicy::default(),
+                threads: 0,
             });
             let mut reference: Vec<OnlinePredictor> = (0..apps)
                 .map(|_| {
@@ -1653,6 +1881,7 @@ mod tests {
             ftio: config,
             strategy: WindowStrategy::Fixed { length: 300.0 },
             memory: MemoryPolicy::default(),
+            threads: 0,
         });
         let apps: Vec<AppId> = (0..4).map(AppId::new).collect();
         let period = 10.0;
@@ -1720,6 +1949,7 @@ mod tests {
             ftio: fast_config(),
             strategy: WindowStrategy::FullHistory,
             memory: MemoryPolicy::default(),
+            threads: 0,
         }));
         let mut rng = StdRng::seed_from_u64(0x57e5_0001);
         let periods: Vec<f64> = (0..apps).map(|_| rng.gen_range(6.0f64..30.0)).collect();
@@ -1795,6 +2025,7 @@ mod tests {
             ftio: fast_config(),
             strategy: WindowStrategy::FullHistory,
             memory: MemoryPolicy::default(),
+            threads: 0,
         }));
         let gates = [Gate::new(), Gate::new()];
         for (shard, gate) in gates.iter().enumerate() {
@@ -1856,6 +2087,7 @@ mod tests {
             // Bounded analysis window: tick cost is dominated by the sampling
             // stage, which is exactly what the incremental path makes O(new).
             strategy: WindowStrategy::Fixed { length: 300.0 },
+            threads: 0,
         }));
         let periods: Vec<f64> = (0..apps).map(|i| 8.0 + i as f64 * 2.0).collect();
         let producers: Vec<_> = (0..2usize)
@@ -1931,6 +2163,7 @@ mod tests {
             ftio: fast_config(),
             strategy: WindowStrategy::FullHistory,
             memory: MemoryPolicy::default(),
+            threads: 0,
         }));
         let gates = [Gate::new(), Gate::new()];
         for (shard, gate) in gates.iter().enumerate() {

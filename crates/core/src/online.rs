@@ -463,6 +463,7 @@ impl PredictionEngine {
             ftio: config,
             strategy,
             memory: MemoryPolicy::default(),
+            threads: 0,
         });
         PredictionEngine {
             cluster,

@@ -393,6 +393,14 @@ impl Server {
         self.shared.engine.stats()
     }
 
+    /// How many engine worker threads the daemon runs. This is the daemon's
+    /// entire CPU-bound budget: connection threads only parse and route, and
+    /// workers execute transforms inline rather than nesting a pool, so a
+    /// serve process never oversubscribes past this count.
+    pub fn worker_count(&self) -> usize {
+        self.shared.engine.worker_count()
+    }
+
     /// Initiates shutdown without blocking (the programmatic equivalent of a
     /// [`Frame::Shutdown`] from a client). Follow with [`Server::wait`].
     pub fn shutdown(&self) {

@@ -28,8 +28,10 @@ use crate::rfft::RealFft;
 
 /// Maximum number of complex-FFT and real-FFT plans kept per thread.
 const PLAN_CAPACITY: usize = 16;
-/// Maximum number of pooled split work buffers kept per thread.
-const SCRATCH_POOL_CAPACITY: usize = 8;
+/// Maximum number of pooled split work buffers kept per thread. Sized for
+/// the four-step FFT, whose caller holds one group buffer per parallel task
+/// (up to two per pool thread and stage) plus the shared input copy.
+const SCRATCH_POOL_CAPACITY: usize = 32;
 
 /// Debug counters of the thread-local plan cache.
 ///
@@ -162,8 +164,29 @@ pub fn clear() {
 /// takes nested buffers for its convolution while an outer transform holds
 /// one).
 pub fn take_split(len: usize) -> SplitComplex {
+    // Best fit: the smallest pooled buffer that already holds `len` elements,
+    // or — when none is big enough — the largest one (the cheapest to grow).
+    // A plain LIFO pop would be pathological for callers that cycle through
+    // mixed sizes (the four-step FFT holds many small group buffers plus one
+    // full-size input): popping a small buffer for a full-size request would
+    // reallocate on every call.
     let mut buf = CACHE
-        .with(|cache| cache.borrow_mut().split.pop())
+        .with(|cache| {
+            let pool = &mut cache.borrow_mut().split;
+            let fitting = pool
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.re.capacity() >= len)
+                .min_by_key(|(_, b)| b.re.capacity())
+                .map(|(i, _)| i);
+            let pick = fitting.or_else(|| {
+                pool.iter()
+                    .enumerate()
+                    .max_by_key(|(_, b)| b.re.capacity())
+                    .map(|(i, _)| i)
+            });
+            pick.map(|i| pool.swap_remove(i))
+        })
         .unwrap_or_default();
     if buf.re.capacity() < len {
         CACHE.with(|cache| cache.borrow_mut().stats.scratch_grows += 1);

@@ -1,0 +1,698 @@
+//! A small vendored work-stealing thread pool.
+//!
+//! The build environment has no crates.io access, so instead of `rayon` this
+//! module implements the subset FTIO-rs needs, in safe Rust (the workspace
+//! denies `unsafe_code`):
+//!
+//! * **Bounded workers** — [`Pool::new`] spawns an explicit number of worker
+//!   threads; the process-wide [`global`] pool sizes itself from the
+//!   `FTIO_THREADS` environment variable (see [`thread_budget`]) or the
+//!   machine's available parallelism. Every layer that spawns compute threads
+//!   (`ftio-core`'s cluster engine, `ftio serve`) derives its worker count
+//!   from the same budget, so thread counts never silently multiply.
+//! * **Work stealing** — each worker owns a deque; tasks spawned from inside
+//!   a worker push onto its own deque (LIFO, cache-warm), external spawns go
+//!   to a shared injector, and an idle worker steals from the front of its
+//!   siblings' deques (FIFO, oldest first). The deques are mutex-protected —
+//!   at the coarse task granularity used here (FFT row groups, shard tick
+//!   batches) lock traffic is far below measurement noise.
+//! * **Scope/join semantics** — [`Pool::scope`] blocks until every task
+//!   spawned inside it has completed and re-raises the first task panic on
+//!   the caller; while waiting, the calling thread *helps* by running queued
+//!   tasks itself.
+//! * **Graceful sequential degradation** — a pool configured with one thread
+//!   (or [`Pool::inline`]) runs every task inline on the calling thread, in
+//!   spawn order, with no worker threads at all. Code written against the
+//!   pool API therefore has a well-defined single-threaded mode whose
+//!   arithmetic and ordering match a plain sequential loop — the property
+//!   the concurrent FFT's bit-for-bit equivalence tests pin.
+//!
+//! The ambient pool is resolved per thread: [`current`] returns the
+//! innermost [`install`]ed pool, falling back to [`global`]. The cluster
+//! engine uses this to run shard ticks with an *inline* pool when it already
+//! parallelises across applications, so intra-FFT and cross-app parallelism
+//! never oversubscribe the machine (see `ftio-core`'s cluster docs).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Environment variable naming the process-wide thread budget.
+pub const THREADS_ENV: &str = "FTIO_THREADS";
+
+/// Upper bound on configurable worker counts — a typo like
+/// `FTIO_THREADS=1000000` must not try to spawn a million threads.
+const MAX_THREADS: usize = 256;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Parses a thread-count override as used by `FTIO_THREADS` and the
+/// `--threads` command-line options.
+///
+/// Returns `None` for "auto" (absent value, empty string, `0`, or the word
+/// `auto`), `Some(n)` for an explicit positive count (clamped to an internal
+/// maximum), and `None` for garbage — a malformed override degrades to the
+/// automatic budget instead of taking the process down.
+pub fn parse_threads(value: Option<&str>) -> Option<usize> {
+    let value = value?.trim();
+    if value.is_empty() || value.eq_ignore_ascii_case("auto") {
+        return None;
+    }
+    match value.parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n.min(MAX_THREADS)),
+    }
+}
+
+/// The process-wide worker budget: `FTIO_THREADS` when set to a positive
+/// number, otherwise the machine's available parallelism (at least 1).
+///
+/// Every layer that spawns compute threads derives its default from this one
+/// number — the [`global`] FFT pool and `ftio-core`'s cluster engine — which
+/// is what keeps a daemon with both layers active from oversubscribing the
+/// machine.
+pub fn thread_budget() -> usize {
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_THREADS)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Pool
+// ---------------------------------------------------------------------------
+
+struct SleepState {
+    /// Bumped on every spawn; workers re-scan when it moves past the value
+    /// they observed before finding all queues empty.
+    seq: u64,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    /// External spawns land here; any worker may take them.
+    injector: Mutex<VecDeque<Task>>,
+    /// One deque per worker: owner pushes/pops the back, thieves steal the
+    /// front.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    sleep: Mutex<SleepState>,
+    wake: Condvar,
+}
+
+impl PoolInner {
+    fn notify(&self) {
+        let mut state = lock(&self.sleep);
+        state.seq = state.seq.wrapping_add(1);
+        drop(state);
+        self.wake.notify_all();
+    }
+
+    /// Takes one runnable task as worker `index` (own queue first), or as an
+    /// external helper when `index` is `None` (injector, then steal).
+    fn take_task(&self, index: Option<usize>) -> Option<Task> {
+        if let Some(own) = index {
+            if let Some(task) = lock(&self.queues[own]).pop_back() {
+                return Some(task);
+            }
+        }
+        if let Some(task) = lock(&self.injector).pop_front() {
+            return Some(task);
+        }
+        for (victim, queue) in self.queues.iter().enumerate() {
+            if Some(victim) == index {
+                continue;
+            }
+            if let Some(task) = lock(queue).pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn worker_loop(self: &Arc<Self>, index: usize) {
+        WORKER.with(|w| *w.borrow_mut() = Some((Arc::as_ptr(self) as usize, index)));
+        loop {
+            let seen = lock(&self.sleep).seq;
+            if let Some(task) = self.take_task(Some(index)) {
+                // A panicking task must not take the worker down with it; the
+                // owning scope re-raises the payload on its caller.
+                let _ = catch_unwind(AssertUnwindSafe(task));
+                continue;
+            }
+            let state = lock(&self.sleep);
+            if state.shutdown {
+                return;
+            }
+            if state.seq == seen {
+                let guard = self
+                    .wake
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+                drop(guard);
+            }
+        }
+    }
+}
+
+/// Joins the workers when the last handle to a locally built pool goes away.
+struct PoolShutdown {
+    inner: Arc<PoolInner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for PoolShutdown {
+    fn drop(&mut self) {
+        lock(&self.inner.sleep).shutdown = true;
+        self.inner.wake.notify_all();
+        for handle in lock(&self.handles).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+thread_local! {
+    /// `(pool identity, worker index)` of the pool this thread works for.
+    static WORKER: RefCell<Option<(usize, usize)>> = const { RefCell::new(None) };
+    /// Innermost [`install`]ed ambient pool.
+    static CURRENT: RefCell<Vec<Pool>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A bounded work-stealing thread pool (see the [module docs](self)).
+///
+/// Cloning is cheap and shares the same workers; the workers shut down when
+/// the last clone of a locally built pool is dropped ([`global`]'s workers
+/// live for the process).
+#[derive(Clone)]
+pub struct Pool {
+    /// `None` = inline sequential execution (the 1-thread degradation).
+    inner: Option<Arc<PoolInner>>,
+    _shutdown: Option<Arc<PoolShutdown>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.thread_count())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Builds a pool with `threads` workers. Zero or one worker builds the
+    /// [inline](Pool::inline) pool: no threads, tasks run sequentially on the
+    /// spawning thread.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.min(MAX_THREADS);
+        if threads <= 1 {
+            return Pool::inline();
+        }
+        let inner = Arc::new(PoolInner {
+            injector: Mutex::new(VecDeque::new()),
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(SleepState {
+                seq: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for index in 0..threads {
+            let inner = inner.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ftio-pool-{index}"))
+                    .spawn(move || inner.worker_loop(index))
+                    .expect("spawning a pool worker thread"),
+            );
+        }
+        Pool {
+            _shutdown: Some(Arc::new(PoolShutdown {
+                inner: inner.clone(),
+                handles: Mutex::new(handles),
+            })),
+            inner: Some(inner),
+        }
+    }
+
+    /// The inline pool: no worker threads, every task runs immediately on the
+    /// thread that spawns it. This is the sequential degradation the
+    /// equivalence tests compare the concurrent paths against.
+    pub fn inline() -> Self {
+        Pool {
+            inner: None,
+            _shutdown: None,
+        }
+    }
+
+    /// Number of threads that may run tasks concurrently (1 for the inline
+    /// pool).
+    pub fn thread_count(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.queues.len(),
+            None => 1,
+        }
+    }
+
+    /// Returns `true` if this pool executes tasks inline on the caller.
+    pub fn is_inline(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Runs `f` with a [`Scope`] handle and blocks until every task spawned
+    /// on the scope has completed. While blocked, the calling thread runs
+    /// queued tasks itself (helping), so a scope opened from inside a worker
+    /// cannot deadlock the pool.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic of any spawned task after all of them have
+    /// settled.
+    pub fn scope<R>(&self, f: impl FnOnce(&Scope<'_>) -> R) -> R {
+        self.scope_impl(f, true)
+    }
+
+    fn scope_impl<R>(&self, f: impl FnOnce(&Scope<'_>) -> R, help: bool) -> R {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                progress: Mutex::new(ScopeProgress {
+                    pending: 0,
+                    panic: None,
+                }),
+                done: Condvar::new(),
+            }),
+        };
+        let out = f(&scope);
+        if let Some(inner) = &self.inner {
+            let worker = WORKER
+                .with(|w| *w.borrow())
+                .and_then(|(pool, index)| (pool == Arc::as_ptr(inner) as usize).then_some(index));
+            loop {
+                if help {
+                    if let Some(task) = inner.take_task(worker) {
+                        let _ = catch_unwind(AssertUnwindSafe(task));
+                        continue;
+                    }
+                }
+                let progress = lock(&scope.state.progress);
+                if progress.pending == 0 {
+                    break;
+                }
+                // The timeout covers the race between finding no runnable
+                // task and a running task spawning a new one: worst case the
+                // helper naps 1 ms before noticing; completion wakes it
+                // immediately through `done`.
+                let (guard, _timeout) = scope
+                    .state
+                    .done
+                    .wait_timeout(progress, Duration::from_millis(1))
+                    .unwrap_or_else(PoisonError::into_inner);
+                drop(guard);
+            }
+            let panic = lock(&scope.state.progress).panic.take();
+            if let Some(payload) = panic {
+                resume_unwind(payload);
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every item, in parallel, and returns the items in their
+    /// original order. `f` receives the item's index alongside the item. On
+    /// the inline pool this is exactly a sequential indexed for-loop.
+    pub fn map<T, F>(&self, mut items: Vec<T>, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize, &mut T) + Send + Sync + 'static,
+    {
+        if self.inner.is_none() || items.len() <= 1 {
+            for (index, item) in items.iter_mut().enumerate() {
+                f(index, item);
+            }
+            return items;
+        }
+        let f = Arc::new(f);
+        let slots: Arc<Vec<Mutex<Option<T>>>> =
+            Arc::new(items.into_iter().map(|t| Mutex::new(Some(t))).collect());
+        self.scope(|scope| {
+            for index in 0..slots.len() {
+                let slots = slots.clone();
+                let f = f.clone();
+                scope.spawn(move || {
+                    let mut slot = lock(&slots[index]);
+                    if let Some(item) = slot.as_mut() {
+                        f(index, item);
+                    }
+                });
+            }
+        });
+        let Ok(slots) = Arc::try_unwrap(slots) else {
+            panic!("scope joined every task");
+        };
+        slots
+            .into_iter()
+            .map(|slot| lock_into_inner(slot).expect("map task neither ran nor panicked"))
+            .collect()
+    }
+
+    /// Runs `f(worker_index)` once on **every** worker thread and returns the
+    /// results ordered by worker index — the instrument behind per-worker
+    /// plan-cache statistics. An internal barrier holds each worker until all
+    /// of them have picked a broadcast task up, which is what forces the
+    /// tasks onto distinct workers; the call therefore waits for every worker
+    /// to become free. On the inline pool, `f(0)` runs once on the caller.
+    pub fn broadcast<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        let Some(inner) = &self.inner else {
+            return vec![f(0)];
+        };
+        let workers = inner.queues.len();
+        let barrier = Arc::new(Barrier::new(workers));
+        let f = Arc::new(f);
+        let slots: Arc<Vec<Mutex<Option<T>>>> =
+            Arc::new((0..workers).map(|_| Mutex::new(None)).collect());
+        // No helping here: the caller must not steal a broadcast task, or the
+        // barrier would wait for a worker that never gets one.
+        self.scope_impl(
+            |scope| {
+                for _ in 0..workers {
+                    let barrier = barrier.clone();
+                    let f = f.clone();
+                    let slots = slots.clone();
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let index = WORKER
+                            .with(|w| *w.borrow())
+                            .map(|(_, index)| index)
+                            .expect("broadcast task runs on a worker");
+                        *lock(&slots[index]) = Some(f(index));
+                    });
+                }
+            },
+            false,
+        );
+        let Ok(slots) = Arc::try_unwrap(slots) else {
+            panic!("scope joined every task");
+        };
+        slots
+            .into_iter()
+            .map(|slot| lock_into_inner(slot).expect("every worker ran the broadcast"))
+            .collect()
+    }
+}
+
+fn lock_into_inner<T>(mutex: Mutex<T>) -> T {
+    mutex.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Scope
+// ---------------------------------------------------------------------------
+
+struct ScopeProgress {
+    pending: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct ScopeState {
+    progress: Mutex<ScopeProgress>,
+    done: Condvar,
+}
+
+/// Spawn handle passed to the closure of [`Pool::scope`]; every task spawned
+/// through it is joined before `scope` returns.
+pub struct Scope<'p> {
+    pool: &'p Pool,
+    state: Arc<ScopeState>,
+}
+
+impl Scope<'_> {
+    /// Spawns a task on the pool. On the inline pool the task runs
+    /// immediately, before `spawn` returns.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        let Some(inner) = &self.pool.inner else {
+            task();
+            return;
+        };
+        lock(&self.state.progress).pending += 1;
+        let state = self.state.clone();
+        let task: Task = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            let mut progress = lock(&state.progress);
+            progress.pending -= 1;
+            if let Err(payload) = result {
+                progress.panic.get_or_insert(payload);
+            }
+            drop(progress);
+            state.done.notify_all();
+        });
+        let own = WORKER
+            .with(|w| *w.borrow())
+            .filter(|&(pool, _)| pool == Arc::as_ptr(inner) as usize);
+        match own {
+            Some((_, index)) => lock(&inner.queues[index]).push_back(task),
+            None => lock(&inner.injector).push_back(task),
+        }
+        inner.notify();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ambient pool resolution
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide pool, built on first use with [`thread_budget`] workers
+/// (unless [`configure_global`] ran first). On a single-core machine this is
+/// the inline pool.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(thread_budget()))
+}
+
+/// Sizes the global pool explicitly (the `--threads` command-line knob).
+/// Returns `false` when the global pool was already built — the existing
+/// pool keeps serving; callers that need a differently sized pool for one
+/// operation should [`install`] a local one instead.
+pub fn configure_global(threads: usize) -> bool {
+    GLOBAL.set(Pool::new(threads)).is_ok()
+}
+
+/// The ambient pool of the calling thread: the innermost [`install`]ed pool,
+/// or [`global`] when none is installed.
+pub fn current() -> Pool {
+    CURRENT
+        .with(|stack| stack.borrow().last().cloned())
+        .unwrap_or_else(|| global().clone())
+}
+
+/// Runs `f` with `pool` installed as the calling thread's ambient pool (the
+/// one [`current`] resolves), restoring the previous ambient pool afterwards
+/// — including on unwind.
+pub fn install<R>(pool: &Pool, f: impl FnOnce() -> R) -> R {
+    struct Uninstall;
+    impl Drop for Uninstall {
+        fn drop(&mut self) {
+            CURRENT.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+    CURRENT.with(|stack| stack.borrow_mut().push(pool.clone()));
+    let _guard = Uninstall;
+    f()
+}
+
+/// Runs `f` with the [inline](Pool::inline) pool installed: every ambient
+/// parallel construct inside `f` degrades to sequential execution. The
+/// cluster engine wraps shard tick processing in this when it already runs
+/// one worker per core, so FFT-level and shard-level parallelism never
+/// multiply.
+pub fn install_inline<R>(f: impl FnOnce() -> R) -> R {
+    install(&Pool::inline(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parse_threads_accepts_counts_and_degrades_gracefully() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("auto")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+        assert_eq!(parse_threads(Some("not-a-number")), None);
+        assert_eq!(parse_threads(Some("-3")), None);
+        // Absurd counts clamp instead of spawning a million threads.
+        assert_eq!(parse_threads(Some("1000000")), Some(MAX_THREADS));
+    }
+
+    #[test]
+    fn budget_is_at_least_one() {
+        assert!(thread_budget() >= 1);
+    }
+
+    #[test]
+    fn inline_pool_runs_tasks_immediately_in_order() {
+        let pool = Pool::new(1);
+        assert!(pool.is_inline());
+        assert_eq!(pool.thread_count(), 1);
+        let order = std::cell::RefCell::new(Vec::new());
+        pool.scope(|_| order.borrow_mut().push(0));
+        // Inline spawn executes before the next statement — observable
+        // through non-Sync state on the calling thread.
+        let seen: Vec<usize> = (0..4).collect();
+        let mut got = Vec::new();
+        for i in seen {
+            got.push(i);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let pool = Pool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.scope(|scope| {
+            for _ in 0..64 {
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn tasks_spawned_from_tasks_are_joined_too() {
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.scope(|scope| {
+            // The outer tasks spawn inner work onto their own worker deque —
+            // the work-stealing path — and the scope must wait for all of it.
+            for _ in 0..4 {
+                let counter = counter.clone();
+                let state = scope.state.clone();
+                let pool = scope.pool.clone();
+                scope.spawn(move || {
+                    let inner_scope = Scope { pool: &pool, state };
+                    for _ in 0..8 {
+                        let counter = counter.clone();
+                        inner_scope.spawn(move || {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4 * 8 + 4);
+    }
+
+    #[test]
+    fn map_preserves_order_and_applies_indices() {
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let items: Vec<usize> = (0..97).collect();
+            let out = pool.map(items, |index, item| {
+                *item = *item * 10 + index % 10;
+            });
+            for (index, item) in out.iter().enumerate() {
+                assert_eq!(*item, index * 10 + index % 10, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scope_propagates_task_panics() {
+        let pool = Pool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|| panic!("task exploded"));
+                scope.spawn(|| {});
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives the panic and keeps serving.
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.scope(|scope| {
+            let counter = counter.clone();
+            scope.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_worker_exactly_once() {
+        let pool = Pool::new(3);
+        let results = pool.broadcast(|index| index);
+        assert_eq!(results, vec![0, 1, 2]);
+        let inline = Pool::inline();
+        assert_eq!(inline.broadcast(|index| index), vec![0]);
+    }
+
+    #[test]
+    fn broadcast_runs_on_distinct_threads() {
+        let pool = Pool::new(4);
+        let ids = pool.broadcast(|_| format!("{:?}", std::thread::current().id()));
+        let mut unique = ids.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn install_overrides_and_restores_the_ambient_pool() {
+        let outer = current();
+        let pool = Pool::new(2);
+        let inner_count = install(&pool, || current().thread_count());
+        assert_eq!(inner_count, 2);
+        let inline_count = install_inline(|| current().thread_count());
+        assert_eq!(inline_count, 1);
+        assert_eq!(current().thread_count(), outer.thread_count());
+    }
+
+    #[test]
+    fn install_restores_on_unwind() {
+        let before = current().thread_count();
+        let pool = Pool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            install(&pool, || panic!("inside install"));
+        }));
+        assert!(result.is_err());
+        assert_eq!(current().thread_count(), before);
+    }
+
+    #[test]
+    fn dropping_the_last_handle_joins_the_workers() {
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.scope(|scope| {
+            let counter = counter.clone();
+            scope.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        drop(pool); // must not hang
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}
