@@ -33,6 +33,7 @@ fn server_config(shards: usize) -> ServerConfig {
             strategy: WindowStrategy::Fixed { length: 300.0 },
             ..ClusterConfig::default()
         },
+        ..ServerConfig::default()
     }
 }
 

@@ -6,6 +6,10 @@
 //! [`OnlinePredictor`], and prints a prediction per poll that saw new data.
 //! A partially written trailing line is held back until its newline arrives,
 //! and a truncated file (log rotation) restarts the tail from the beginning.
+//! Rotation by replacement — delete and recreate, the other common log
+//! rotation — is survived too: the tail tracks the file's inode, restarts
+//! from byte zero when it changes, and treats the transient gap between the
+//! unlink and the recreate as "no new data" instead of an error.
 
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
@@ -119,6 +123,14 @@ struct Tail {
     partial: Vec<u8>,
     lines_seen: usize,
     recorder_lines: bool,
+    /// The open file being tailed, held across polls. Holding it pins the
+    /// inode, so a delete-and-recreate rotation is guaranteed to produce a
+    /// *different* inode number at the path (a freshly freed inode is
+    /// otherwise immediately reused on most filesystems, which would make
+    /// the swap invisible when the new file has the same length).
+    file: Option<std::fs::File>,
+    /// Inode of the held file, compared against the path's current inode.
+    ino: Option<u64>,
 }
 
 impl Tail {
@@ -128,16 +140,52 @@ impl Tail {
             partial: Vec::new(),
             lines_seen: 0,
             recorder_lines: false,
+            file: None,
+            ino: None,
         }
     }
 
     /// Reads everything appended since the last poll and decodes the complete
-    /// lines. Returns `None` when nothing new arrived.
+    /// lines. Returns `None` when nothing new arrived (including the moment
+    /// between a rotation's unlink and recreate, when the path is briefly
+    /// missing).
     fn poll(&mut self, path: &Path) -> TraceResult<Option<Vec<IoRequest>>> {
-        let mut file = std::fs::File::open(path)?;
+        // Re-stat the path: a different inode there means the file was
+        // rotated by replacement, and everything under the new name is
+        // unread — switch to it from byte zero, dropping any partial line
+        // of the old incarnation. A missing path is the gap between the
+        // rotation's unlink and recreate: keep draining the held file.
+        match std::fs::metadata(path) {
+            Ok(metadata) => {
+                if self.file.is_some() && self.ino != file_ino(&metadata) {
+                    self.file = None;
+                    self.offset = 0;
+                    self.partial.clear();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if self.file.is_none() {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+        if self.file.is_none() {
+            match std::fs::File::open(path) {
+                Ok(file) => {
+                    self.ino = file_ino(&file.metadata()?);
+                    self.file = Some(file);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let Some(file) = self.file.as_mut() else {
+            return Ok(None);
+        };
         let len = file.metadata()?.len();
         if len < self.offset {
-            // Truncated (rotated) file: start over.
+            // Truncated (rotated in place) file: start over.
             self.offset = 0;
             self.partial.clear();
         }
@@ -180,6 +228,21 @@ impl Tail {
             return Ok(None);
         }
         Ok(Some(requests))
+    }
+}
+
+/// The file's inode where the platform has one (`None` elsewhere, which
+/// degrades to the length-based truncation heuristic only).
+fn file_ino(metadata: &std::fs::Metadata) -> Option<u64> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::MetadataExt;
+        Some(metadata.ino())
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = metadata;
+        None
     }
 }
 
@@ -333,6 +396,41 @@ mod tests {
         let after = tail.poll(&path).unwrap().expect("restarted tail");
         assert!((after[0].start - 50.0).abs() < 1e-9);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn tail_survives_inode_swap_without_double_ingesting() {
+        let dir = std::env::temp_dir().join("ftio_watch_swap_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let line = |i: usize| {
+            let start = i as f64 * 10.0;
+            jsonl::encode_requests(&[IoRequest::write(0, start, start + 1.0, 1000)])
+        };
+        // Two complete lines, fully consumed.
+        let before = format!("{}{}", line(1), line(2));
+        std::fs::write(&path, &before).unwrap();
+        let mut tail = Tail::new(0);
+        assert_eq!(tail.poll(&path).unwrap().unwrap().len(), 2);
+        assert!(tail.poll(&path).unwrap().is_none());
+
+        // Rotation by replacement: unlink, then recreate. The gap where the
+        // path is missing is "no new data", not an error…
+        std::fs::remove_file(&path).unwrap();
+        assert!(tail.poll(&path).unwrap().is_none(), "gap tolerated");
+        // …and the recreated file — same byte length as the consumed one, so
+        // the truncation heuristic alone would see nothing new — is ingested
+        // exactly once from the top.
+        let after = format!("{}{}", line(3), line(4));
+        assert_eq!(before.len(), after.len(), "lengths must match for the test");
+        std::fs::write(&path, &after).unwrap();
+        let swapped = tail.poll(&path).unwrap().expect("new inode re-read");
+        assert_eq!(swapped.len(), 2);
+        assert!((swapped[0].start - 30.0).abs() < 1e-9);
+        assert!((swapped[1].start - 40.0).abs() < 1e-9);
+        assert!(tail.poll(&path).unwrap().is_none(), "no double ingest");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

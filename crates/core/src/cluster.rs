@@ -132,7 +132,20 @@ pub struct ClusterConfig {
     /// state — so [`ClusterEngine::restore`] comes back in the legacy
     /// layout unless the caller re-applies a thread budget.
     pub threads: usize,
+    /// Per-application retention of published predictions for resumable
+    /// subscriptions: the engine keeps the last `resume_ring` predictions of
+    /// every application in a bounded in-memory ring so a reconnecting
+    /// subscriber can replay from a sequence number
+    /// ([`ClusterEngine::subscribe_from`]). `0` disables retention (live
+    /// events still carry sequence numbers). Like
+    /// [`threads`](ClusterConfig::threads) this is a deployment knob, not
+    /// engine state, and is *not* serialised into snapshots.
+    pub resume_ring: usize,
 }
+
+/// Default [`ClusterConfig::resume_ring`] capacity (predictions retained per
+/// application for subscription resume).
+pub const DEFAULT_RESUME_RING: usize = 64;
 
 impl Default for ClusterConfig {
     fn default() -> Self {
@@ -145,6 +158,7 @@ impl Default for ClusterConfig {
             strategy: WindowStrategy::default(),
             memory: MemoryPolicy::default(),
             threads: 0,
+            resume_ring: DEFAULT_RESUME_RING,
         }
     }
 }
@@ -252,12 +266,42 @@ pub struct ClusterStats {
 pub type AppPredictions = HashMap<AppId, Vec<OnlinePrediction>>;
 
 /// One prediction pushed to a [`ClusterEngine::subscribe`] receiver.
-pub type PredictionEvent = (AppId, OnlinePrediction);
+#[derive(Clone, Debug)]
+pub struct PredictionEvent {
+    /// The application the prediction belongs to.
+    pub app: AppId,
+    /// Monotonic per-application sequence number assigned at publish time.
+    /// The first prediction of an application is seq 0; a subscriber that
+    /// saw seq `n` resumes with [`ClusterEngine::subscribe_from`] at `n + 1`.
+    pub seq: u64,
+    /// The prediction itself.
+    pub prediction: OnlinePrediction,
+}
 
 /// A registered subscription: the filter (`None` = every application) and the
 /// sending half of the subscriber's channel. Dead receivers are pruned by the
 /// shard workers on the next publish.
 type Subscriber = (Option<AppId>, mpsc::Sender<PredictionEvent>);
+
+/// Sequenced publish history of one application: the next sequence number to
+/// assign plus a bounded ring of the most recently published predictions.
+#[derive(Default)]
+struct SeqRing {
+    next_seq: u64,
+    entries: VecDeque<(u64, OnlinePrediction)>,
+}
+
+/// All subscription state behind one lock: live subscribers plus the per-app
+/// resume rings. Keeping both under a single mutex is what makes
+/// [`ClusterEngine::subscribe_from`] exact — the ring replay and the
+/// registration happen atomically with respect to publishes, so a resuming
+/// subscriber can neither miss an event published in between nor receive one
+/// twice.
+struct SubscriptionHub {
+    subscribers: Vec<Subscriber>,
+    rings: HashMap<AppId, SeqRing>,
+    ring_capacity: usize,
+}
 
 /// One queued unit of work: freshly appended requests plus the time at which
 /// the application asked for a prediction.
@@ -507,7 +551,7 @@ pub struct ClusterEngine {
     results: Arc<Mutex<AppPredictions>>,
     counters: Arc<SharedCounters>,
     plan_stats: Arc<Mutex<Vec<PlanCacheStats>>>,
-    subscribers: Arc<Mutex<Vec<Subscriber>>>,
+    hub: Arc<Mutex<SubscriptionHub>>,
     workers: usize,
     config: ClusterConfig,
 }
@@ -530,7 +574,11 @@ impl ClusterEngine {
         let results: Arc<Mutex<AppPredictions>> = Arc::new(Mutex::new(HashMap::new()));
         let counters = Arc::new(SharedCounters::default());
         let plan_stats = Arc::new(Mutex::new(vec![PlanCacheStats::default(); workers]));
-        let subscribers: Arc<Mutex<Vec<Subscriber>>> = Arc::new(Mutex::new(Vec::new()));
+        let hub = Arc::new(Mutex::new(SubscriptionHub {
+            subscribers: Vec::new(),
+            rings: HashMap::new(),
+            ring_capacity: config.resume_ring,
+        }));
         let signals: Vec<Arc<WorkerSignal>> = (0..workers)
             .map(|_| Arc::new(WorkerSignal::new()))
             .collect();
@@ -552,7 +600,7 @@ impl ClusterEngine {
             let results = results.clone();
             let counters = counters.clone();
             let plan_stats = plan_stats.clone();
-            let subscribers = subscribers.clone();
+            let hub = hub.clone();
             handles.push(std::thread::spawn(move || {
                 cluster_worker(
                     worker_index,
@@ -563,7 +611,7 @@ impl ClusterEngine {
                     &results,
                     &counters,
                     &plan_stats,
-                    &subscribers,
+                    &hub,
                 );
             }));
         }
@@ -574,7 +622,7 @@ impl ClusterEngine {
             results,
             counters,
             plan_stats,
-            subscribers,
+            hub,
             workers,
             config,
         }
@@ -699,9 +747,57 @@ impl ClusterEngine {
     /// workers prune closed channels on the next matching publish. This is
     /// the mechanism behind `ftio serve`'s subscribe frames.
     pub fn subscribe(&self, app: Option<AppId>) -> mpsc::Receiver<PredictionEvent> {
+        self.subscribe_from(app, None)
+    }
+
+    /// Like [`ClusterEngine::subscribe`], optionally resuming `app`'s feed:
+    /// retained predictions with `seq >= from_seq` are replayed into the
+    /// channel before it goes live. Replay and registration are atomic with
+    /// respect to publishes, so the receiver sees every sequence number from
+    /// `max(from_seq, oldest retained)` onward exactly once, in order.
+    ///
+    /// `from_seq` needs a concrete `app` (sequence numbers are
+    /// per-application); it is ignored for all-application subscriptions.
+    /// Asking for sequence numbers older than the ring retains silently
+    /// starts at the oldest retained one — callers can detect the gap by
+    /// comparing against [`ClusterEngine::resume_window`] first.
+    pub fn subscribe_from(
+        &self,
+        app: Option<AppId>,
+        from_seq: Option<u64>,
+    ) -> mpsc::Receiver<PredictionEvent> {
         let (tx, rx) = mpsc::channel();
-        lock_recover(&self.subscribers).push((app, tx));
+        let mut hub = lock_recover(&self.hub);
+        if let (Some(app), Some(from)) = (app, from_seq) {
+            if let Some(ring) = hub.rings.get(&app) {
+                for (seq, prediction) in ring.entries.iter().filter(|(seq, _)| *seq >= from) {
+                    // The receiver is in scope, so send cannot fail.
+                    let _ = tx.send(PredictionEvent {
+                        app,
+                        seq: *seq,
+                        prediction: prediction.clone(),
+                    });
+                }
+            }
+        }
+        hub.subscribers.push((app, tx));
         rx
+    }
+
+    /// The resumable window of `app`'s prediction feed, as
+    /// `(oldest_resumable_seq, next_seq)`: a
+    /// [`subscribe_from`](ClusterEngine::subscribe_from) at or above
+    /// `oldest_resumable_seq` is gapless. Both are 0 when the application
+    /// has never published; they are equal when nothing is retained.
+    pub fn resume_window(&self, app: AppId) -> (u64, u64) {
+        let hub = lock_recover(&self.hub);
+        match hub.rings.get(&app) {
+            Some(ring) => (
+                ring.entries.front().map_or(ring.next_seq, |(seq, _)| *seq),
+                ring.next_seq,
+            ),
+            None => (0, 0),
+        }
     }
 
     /// Aggregate engine counters (see [`ClusterStats`] for the invariant).
@@ -894,27 +990,44 @@ fn decode_cluster_config(reader: &mut Reader<'_>) -> TraceResult<ClusterConfig> 
         ftio: checkpoint::decode_config(reader)?,
         strategy: checkpoint::decode_strategy(reader)?,
         memory: checkpoint::decode_memory_policy(reader)?,
-        // The thread budget is a deployment knob, not engine state: it is
-        // not serialised (keeping snapshots byte-identical across layouts),
-        // so a restored engine starts in the legacy one-worker-per-shard
-        // layout until the deployment re-applies its budget.
+        // The thread budget and resume-ring capacity are deployment knobs,
+        // not engine state: neither is serialised (keeping snapshots
+        // byte-identical across layouts), so a restored engine starts in the
+        // legacy one-worker-per-shard layout with the default ring until the
+        // deployment re-applies its knobs.
         threads: 0,
+        resume_ring: DEFAULT_RESUME_RING,
     })
 }
 
-/// Publishes one completed tick to every matching subscriber, pruning
-/// subscribers whose receiving half is gone. The lock is only contended when
-/// subscriptions are added, and the common no-subscriber case is one
-/// uncontended lock + empty iteration.
-fn publish_prediction(
-    subscribers: &Mutex<Vec<Subscriber>>,
-    app: AppId,
-    prediction: &OnlinePrediction,
-) {
-    let mut guard = lock_recover(subscribers);
-    guard.retain(|(filter, sender)| {
+/// Publishes one completed tick: assigns the application's next sequence
+/// number, retains the prediction in the bounded resume ring, and sends the
+/// event to every matching subscriber, pruning subscribers whose receiving
+/// half is gone. Sequencing, retention and delivery happen under the one hub
+/// lock, which is what makes resume replay exact. The lock is only contended
+/// when subscriptions are added, and the common no-subscriber case is one
+/// uncontended lock + a ring push.
+fn publish_prediction(hub: &Mutex<SubscriptionHub>, app: AppId, prediction: &OnlinePrediction) {
+    let mut hub = lock_recover(hub);
+    let capacity = hub.ring_capacity;
+    let ring = hub.rings.entry(app).or_default();
+    let seq = ring.next_seq;
+    ring.next_seq += 1;
+    if capacity > 0 {
+        ring.entries.push_back((seq, prediction.clone()));
+        while ring.entries.len() > capacity {
+            ring.entries.pop_front();
+        }
+    }
+    hub.subscribers.retain(|(filter, sender)| {
         if filter.map_or(true, |wanted| wanted == app) {
-            sender.send((app, prediction.clone())).is_ok()
+            sender
+                .send(PredictionEvent {
+                    app,
+                    seq,
+                    prediction: prediction.clone(),
+                })
+                .is_ok()
         } else {
             true
         }
@@ -937,7 +1050,7 @@ fn cluster_worker(
     results: &Mutex<AppPredictions>,
     counters: &SharedCounters,
     plan_stats: &Mutex<Vec<PlanCacheStats>>,
-    subscribers: &Mutex<Vec<Subscriber>>,
+    hub: &Mutex<SubscriptionHub>,
 ) {
     let body = || {
         let mut retired = vec![false; owned.len()];
@@ -956,7 +1069,7 @@ fn cluster_worker(
                     Drained::Batch(batch) => {
                         progressed = true;
                         let drained = batch.len();
-                        process_batch(batch, config, predictors, results, counters, subscribers);
+                        process_batch(batch, config, predictors, results, counters, hub);
                         // Export this thread's plan-cache counters *before*
                         // marking the batch complete, so `flush()` +
                         // `plan_cache_stats()` observes them.
@@ -997,7 +1110,7 @@ fn process_batch(
     predictors: &Mutex<HashMap<AppId, OnlinePredictor>>,
     results: &Mutex<AppPredictions>,
     counters: &SharedCounters,
-    subscribers: &Mutex<Vec<Subscriber>>,
+    hub: &Mutex<SubscriptionHub>,
 ) {
     let max_batch = config.max_batch.max(1);
     let mut order: Vec<AppId> = Vec::new();
@@ -1049,7 +1162,7 @@ fn process_batch(
             }));
             match outcome {
                 Ok(prediction) => {
-                    publish_prediction(subscribers, app, &prediction);
+                    publish_prediction(hub, app, &prediction);
                     lock_recover(results)
                         .entry(app)
                         .or_default()
@@ -1136,6 +1249,7 @@ mod tests {
             strategy: WindowStrategy::FullHistory,
             memory: MemoryPolicy::default(),
             threads: 0,
+            resume_ring: DEFAULT_RESUME_RING,
         }
     }
 
@@ -1273,14 +1387,94 @@ mod tests {
         assert_eq!(all.len(), 18, "3 apps x 6 ticks");
         let filtered: Vec<PredictionEvent> = only_app1.try_iter().collect();
         assert_eq!(filtered.len(), 6);
-        assert!(filtered.iter().all(|(app, _)| *app == AppId::new(1)));
+        assert!(filtered.iter().all(|event| event.app == AppId::new(1)));
+        // Per-app sequence numbers are dense from zero, in publish order.
+        let seqs: Vec<u64> = filtered.iter().map(|event| event.seq).collect();
+        assert_eq!(seqs, (0..6).collect::<Vec<u64>>());
         // Per-app event order matches the result history.
         let history = engine.predictions(AppId::new(1));
-        let times: Vec<f64> = filtered.iter().map(|(_, p)| p.time).collect();
+        let times: Vec<f64> = filtered.iter().map(|event| event.prediction.time).collect();
         assert_eq!(times, history.iter().map(|p| p.time).collect::<Vec<_>>());
         // The dead subscriber was pruned on first publish.
-        assert_eq!(lock_recover(&engine.subscribers).len(), 2);
+        assert_eq!(lock_recover(&engine.hub).subscribers.len(), 2);
         assert_accounting(&engine.stats());
+    }
+
+    /// `subscribe_from` replays exactly the retained predictions at or above
+    /// the requested sequence number, then goes live — no gap, no duplicate.
+    #[test]
+    fn resumed_subscriptions_replay_exactly_the_missed_predictions() {
+        let engine = ClusterEngine::spawn(engine_config(2, 64, BackpressurePolicy::Block));
+        let app = AppId::new(3);
+        let submit_phase = |range: std::ops::Range<u64>| {
+            for tick in range {
+                let start = tick as f64 * 10.0;
+                engine.submit(app, burst(2, start, 2.0, 1_000_000_000), start + 2.0);
+            }
+            engine.flush();
+        };
+
+        submit_phase(0..4);
+        assert_eq!(engine.resume_window(app), (0, 4));
+
+        // A subscriber that saw seqs 0..2 disconnects; the engine keeps
+        // publishing; the reconnect at from_seq=2 sees 2.. exactly once.
+        submit_phase(4..7);
+        let resumed = engine.subscribe_from(Some(app), Some(2));
+        submit_phase(7..9);
+        let events: Vec<PredictionEvent> = resumed.try_iter().collect();
+        let seqs: Vec<u64> = events.iter().map(|event| event.seq).collect();
+        assert_eq!(seqs, (2..9).collect::<Vec<u64>>());
+        // Replayed events carry the same predictions the history recorded.
+        let history = engine.predictions(app);
+        for event in &events {
+            assert_eq!(
+                event.prediction.time, history[event.seq as usize].time,
+                "seq {} diverged from history",
+                event.seq
+            );
+        }
+        assert_eq!(engine.resume_window(app), (0, 9));
+        assert_accounting(&engine.stats());
+    }
+
+    /// The resume ring is bounded: old entries are evicted, the advertised
+    /// window moves forward, and a too-old resume starts at the oldest
+    /// retained entry rather than erroring or gapping silently backwards.
+    #[test]
+    fn resume_ring_is_bounded_and_advertises_its_window() {
+        let engine = ClusterEngine::spawn(ClusterConfig {
+            resume_ring: 3,
+            ..engine_config(1, 64, BackpressurePolicy::Block)
+        });
+        let app = AppId::new(1);
+        for tick in 0..8u64 {
+            let start = tick as f64 * 10.0;
+            engine.submit(app, burst(2, start, 2.0, 1_000_000_000), start + 2.0);
+        }
+        engine.flush();
+        // 8 published, ring keeps the last 3: seqs 5, 6, 7.
+        assert_eq!(engine.resume_window(app), (5, 8));
+        let resumed = engine.subscribe_from(Some(app), Some(0));
+        let seqs: Vec<u64> = resumed.try_iter().map(|event| event.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7]);
+
+        // A ring of zero disables retention but keeps sequencing.
+        let bare = ClusterEngine::spawn(ClusterConfig {
+            resume_ring: 0,
+            ..engine_config(1, 64, BackpressurePolicy::Block)
+        });
+        let live = bare.subscribe(Some(app));
+        bare.submit(app, burst(2, 0.0, 2.0, 1_000_000_000), 2.0);
+        bare.flush();
+        assert_eq!(bare.resume_window(app), (1, 1));
+        let events: Vec<PredictionEvent> = live.try_iter().collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].seq, 0);
+        let nothing = bare.subscribe_from(Some(app), Some(0));
+        assert!(nothing.try_iter().next().is_none());
+        bare.finish();
+        engine.finish();
     }
 
     #[test]
@@ -1835,6 +2029,7 @@ mod tests {
                 strategy: WindowStrategy::Adaptive { multiple: 3 },
                 memory: MemoryPolicy::default(),
                 threads: 0,
+                resume_ring: DEFAULT_RESUME_RING,
             });
             let mut reference: Vec<OnlinePredictor> = (0..apps)
                 .map(|_| {
@@ -1882,6 +2077,7 @@ mod tests {
             strategy: WindowStrategy::Fixed { length: 300.0 },
             memory: MemoryPolicy::default(),
             threads: 0,
+            resume_ring: DEFAULT_RESUME_RING,
         });
         let apps: Vec<AppId> = (0..4).map(AppId::new).collect();
         let period = 10.0;
@@ -1950,6 +2146,7 @@ mod tests {
             strategy: WindowStrategy::FullHistory,
             memory: MemoryPolicy::default(),
             threads: 0,
+            resume_ring: DEFAULT_RESUME_RING,
         }));
         let mut rng = StdRng::seed_from_u64(0x57e5_0001);
         let periods: Vec<f64> = (0..apps).map(|_| rng.gen_range(6.0f64..30.0)).collect();
@@ -2026,6 +2223,7 @@ mod tests {
             strategy: WindowStrategy::FullHistory,
             memory: MemoryPolicy::default(),
             threads: 0,
+            resume_ring: DEFAULT_RESUME_RING,
         }));
         let gates = [Gate::new(), Gate::new()];
         for (shard, gate) in gates.iter().enumerate() {
@@ -2088,6 +2286,7 @@ mod tests {
             // stage, which is exactly what the incremental path makes O(new).
             strategy: WindowStrategy::Fixed { length: 300.0 },
             threads: 0,
+            resume_ring: DEFAULT_RESUME_RING,
         }));
         let periods: Vec<f64> = (0..apps).map(|i| 8.0 + i as f64 * 2.0).collect();
         let producers: Vec<_> = (0..2usize)
@@ -2164,6 +2363,7 @@ mod tests {
             strategy: WindowStrategy::FullHistory,
             memory: MemoryPolicy::default(),
             threads: 0,
+            resume_ring: DEFAULT_RESUME_RING,
         }));
         let gates = [Gate::new(), Gate::new()];
         for (shard, gate) in gates.iter().enumerate() {

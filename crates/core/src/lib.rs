@@ -75,7 +75,7 @@ pub use autocorrelation::{analyze_acf, AcfAnalysis};
 pub use characterize::{characterize, io_ratio, Characterization};
 pub use cluster::{
     AppPredictions, BackpressurePolicy, ClusterConfig, ClusterEngine, ClusterStats, Pacing,
-    PredictionEvent, ReplayStats, SubmitOutcome,
+    PredictionEvent, ReplayStats, SubmitOutcome, DEFAULT_RESUME_RING,
 };
 pub use config::{FtioConfig, OutlierMethod};
 pub use detection::{

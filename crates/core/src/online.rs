@@ -464,6 +464,7 @@ impl PredictionEngine {
             strategy,
             memory: MemoryPolicy::default(),
             threads: 0,
+            resume_ring: crate::cluster::DEFAULT_RESUME_RING,
         });
         PredictionEngine {
             cluster,

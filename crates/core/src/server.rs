@@ -7,43 +7,65 @@
 //! [`crate::cluster`]; the server only moves bytes:
 //!
 //! ```text
-//! listener ──accept──▶ admission (connection semaphore)
+//! listener ──accept──▶ admission (connection semaphore, tenant quotas)
 //!     │                     │ over limit: Error frame, close
 //!     ▼                     ▼
 //!  accept loop      connection thread (one per client)
-//!  (poll, reap)        │ first byte = 0xFD? ──── framed protocol
-//!                      │        else ─────────── raw trace stream
+//!  (poll, reap,        │ first byte = 0xFD? ──── framed protocol
+//!   idle sweep)        │        else ─────────── raw trace stream
 //!                      ▼
 //!              shard queue (`ClusterEngine::submit`, backpressure policy)
 //!                      ▼
 //!              shard worker tick ──▶ subscription channel ──▶ pusher thread
-//!                                                              │
+//!                                      (bounded push queue)    │
 //!                                    Prediction frames ◀───────┘
 //! ```
 //!
 //! **Framed connections** speak the [`ftio_trace::wire`] envelope: `Hello`
-//! names the application, `Data` frames carry self-contained trace chunks in
-//! any sniffable [`ftio_trace::SourceFormat`] (gzip included), `Subscribe`
-//! attaches a live prediction feed, `End` flushes (every prediction for data
-//! sent before the `End` is written *before* the `Ack`), and `Shutdown`
-//! drains the whole daemon. **Raw connections** (`nc server.sock <
-//! trace.jsonl`) are slurped to EOF, sniffed, replayed, and answered with a
-//! one-line text summary.
+//! names the application (answered with a [`Frame::Welcome`] advertising the
+//! resumable prediction window), `Data` frames carry self-contained trace
+//! chunks in any sniffable [`ftio_trace::SourceFormat`] (gzip included),
+//! `Subscribe` attaches a live prediction feed — optionally resuming from a
+//! sequence number — `End` flushes (every prediction for data sent before
+//! the `End` is written *before* the `Ack`), and `Shutdown` drains the whole
+//! daemon. **Raw connections** (`nc server.sock < trace.jsonl`) are slurped
+//! to EOF, sniffed, replayed, and answered with a one-line text summary.
+//!
+//! # Failure model
+//!
+//! The daemon assumes every client is hostile until proven otherwise:
+//!
+//! * **Deadlines.** Sockets carry read/write timeouts
+//!   ([`ServerConfig::read_timeout`]/[`ServerConfig::write_timeout`]); a
+//!   client stalled *mid-frame* is evicted as soon as a read times out
+//!   (counted in [`ServerStats::evicted_stalled`]), while a client idle *at
+//!   a frame boundary* is allowed [`ServerConfig::idle_timeout`] before the
+//!   accept loop's sweep closes it ([`ServerStats::evicted_idle`]).
+//! * **Slow subscribers.** Prediction pushes go through a bounded
+//!   per-connection queue ([`ServerConfig::push_queue`]); an overflow either
+//!   drops the oldest queued update or disconnects the subscriber, per
+//!   [`ServerConfig::slow_policy`].
+//! * **Overload shedding.** When the engine refuses submissions (full queue
+//!   under [`BackpressurePolicy::Reject`](crate::BackpressurePolicy) or
+//!   drain), the server answers a [`Frame::Error`] with `retry_after_ms`
+//!   instead of silently blocking, and keeps the connection open.
+//! * **Tenant quotas.** Hello names map onto per-tenant budgets
+//!   ([`TenantPolicy`]): concurrent connections, distinct applications, and
+//!   a bytes-per-second token bucket. Quota checks and reservations happen
+//!   atomically under one lock, so concurrent Hellos cannot race past a
+//!   budget.
 //!
 //! Fault isolation follows PR 7's discipline at the network edge: a client
 //! that sends a malformed frame or disconnects mid-frame gets its connection
 //! closed with a positioned [`Frame::Error`] while every other connection —
-//! and the engine — keeps serving. Backpressure is per-connection admission
-//! control: a connection whose application's shard queue is full blocks,
-//! sheds oldest, or is rejected per the engine's
-//! [`BackpressurePolicy`](crate::BackpressurePolicy).
+//! and the engine — keeps serving.
 //!
 //! Graceful shutdown reuses the drain-then-join path: the accept loop stops,
 //! every live socket is shut down (unblocking its reader), connection threads
 //! are joined, the shard queues are drained, and [`Server::wait`] returns the
 //! final [`ClusterStats`] — still satisfying the accounting invariant.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
@@ -53,7 +75,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ftio_trace::source::{from_bytes_auto, DEFAULT_BATCH_SIZE};
 use ftio_trace::wire::{Frame, FrameReader, PredictionUpdate, WireStats, FRAME_MAGIC};
@@ -64,8 +86,9 @@ use crate::cluster::{
     PredictionEvent,
 };
 
-/// How often the accept loop polls for shutdown, and the pusher threads poll
-/// their subscription channels when idle.
+/// How often the accept loop polls for shutdown (and sweeps idle
+/// connections), and the pusher threads poll their subscription channels
+/// when idle.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
 /// Safety valve on the `End` barrier: if a pusher thread died, an `End`
@@ -73,8 +96,115 @@ const POLL_INTERVAL: Duration = Duration::from_millis(20);
 /// connection.
 const BARRIER_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Configuration of a [`Server`].
+/// What to do when a subscriber cannot keep up with its prediction feed and
+/// the bounded per-connection push queue overflows.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SlowSubscriberPolicy {
+    /// Evict the oldest queued update to make room (the subscriber sees a
+    /// sequence-number gap it can repair by resubscribing with `from_seq`).
+    /// Counted in [`ServerStats::push_dropped`].
+    #[default]
+    DropOldest,
+    /// Send a final [`Frame::Error`] and disconnect the subscriber. Counted
+    /// in [`ServerStats::slow_disconnects`].
+    Disconnect,
+}
+
+impl SlowSubscriberPolicy {
+    /// Parses the CLI spelling (`drop-oldest` | `disconnect`).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "drop-oldest" => Ok(SlowSubscriberPolicy::DropOldest),
+            "disconnect" => Ok(SlowSubscriberPolicy::Disconnect),
+            other => Err(format!(
+                "unknown slow-subscriber policy `{other}` (expected drop-oldest|disconnect)"
+            )),
+        }
+    }
+
+    /// The CLI spelling of this policy.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SlowSubscriberPolicy::DropOldest => "drop-oldest",
+            SlowSubscriberPolicy::Disconnect => "disconnect",
+        }
+    }
+}
+
+/// Resource budget of one tenant (see [`TenantPolicy`]). The default is
+/// unlimited on every axis; narrow the fields you want to enforce.
 #[derive(Clone, Copy, Debug)]
+pub struct TenantQuota {
+    /// Maximum concurrently admitted framed connections.
+    pub max_connections: usize,
+    /// Maximum distinct applications the tenant may name across the daemon's
+    /// lifetime (an application keeps counting after its connections close —
+    /// engine state is retained, so the budget is cumulative).
+    pub max_apps: usize,
+    /// Sustained ingest budget in trace bytes per second (token bucket).
+    pub bytes_per_sec: f64,
+    /// Token-bucket burst capacity in bytes. When left at the default
+    /// (infinite) while `bytes_per_sec` is finite, the bucket defaults to
+    /// one second's worth of budget.
+    pub burst_bytes: f64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_connections: usize::MAX,
+            max_apps: usize::MAX,
+            bytes_per_sec: f64::INFINITY,
+            burst_bytes: f64::INFINITY,
+        }
+    }
+}
+
+impl TenantQuota {
+    fn effective_burst(&self) -> f64 {
+        if self.burst_bytes.is_finite() {
+            self.burst_bytes
+        } else if self.bytes_per_sec.is_finite() {
+            self.bytes_per_sec
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Per-tenant budgets, keyed by tenant name. A connection's tenant is the
+/// hello name up to the first `/` (`acme/run-17` → `acme`; a name without a
+/// slash is its own tenant). Connections whose tenant has no quota — no
+/// named entry and no [`TenantPolicy::default_quota`] — are exempt from
+/// tenant accounting entirely.
+#[derive(Clone, Debug, Default)]
+pub struct TenantPolicy {
+    /// Budget applied to tenants without a named entry (`None` = exempt).
+    pub default_quota: Option<TenantQuota>,
+    /// Named per-tenant budgets.
+    pub tenants: HashMap<String, TenantQuota>,
+}
+
+impl TenantPolicy {
+    /// The quota governing `tenant`, if any.
+    pub fn quota_for(&self, tenant: &str) -> Option<TenantQuota> {
+        self.tenants.get(tenant).copied().or(self.default_quota)
+    }
+
+    /// True when no tenant is subject to any budget.
+    pub fn is_empty(&self) -> bool {
+        self.default_quota.is_none() && self.tenants.is_empty()
+    }
+}
+
+/// The tenant component of a hello name: everything before the first `/`,
+/// or the whole name.
+pub fn tenant_of(name: &str) -> &str {
+    name.split('/').next().unwrap_or(name)
+}
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Maximum concurrently served connections; further clients are refused
     /// with a [`Frame::Error`] (counted in
@@ -82,6 +212,30 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Requests per [`ftio_trace::TraceBatch`] when decoding ingested bytes.
     pub batch_size: usize,
+    /// Socket read timeout. This is the *stall deadline*: a read that times
+    /// out mid-frame evicts the connection immediately; at a frame boundary
+    /// it merely bounds how long the reader sleeps between liveness checks.
+    /// `None` disables socket read timeouts (stalled clients then hold
+    /// their handler thread until the idle sweep closes the socket).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout — bounds how long a wedged client can pin a
+    /// handler or pusher thread inside a write.
+    pub write_timeout: Option<Duration>,
+    /// How long a connection may go without completing any frame (or, for
+    /// raw connections, receiving any byte; for subscribers, being pushed
+    /// any prediction) before the accept loop's sweep evicts it. `None`
+    /// disables the sweep.
+    pub idle_timeout: Option<Duration>,
+    /// Capacity of the bounded per-connection prediction push queue (values
+    /// below 1 are clamped to 1).
+    pub push_queue: usize,
+    /// What happens when the push queue overflows.
+    pub slow_policy: SlowSubscriberPolicy,
+    /// The backoff suggested in `retry_after_ms` when submissions are shed
+    /// or a tenant byte budget is exhausted.
+    pub retry_after: Duration,
+    /// Per-tenant budgets (empty = no tenant enforcement).
+    pub tenants: TenantPolicy,
     /// The engine under the server: shard count, queue capacity,
     /// backpressure policy, detection configuration.
     pub cluster: ClusterConfig,
@@ -92,6 +246,13 @@ impl Default for ServerConfig {
         ServerConfig {
             max_connections: 64,
             batch_size: DEFAULT_BATCH_SIZE,
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Some(Duration::from_secs(5)),
+            idle_timeout: Some(Duration::from_secs(60)),
+            push_queue: 1024,
+            slow_policy: SlowSubscriberPolicy::default(),
+            retry_after: Duration::from_millis(100),
+            tenants: TenantPolicy::default(),
             cluster: ClusterConfig::default(),
         }
     }
@@ -149,7 +310,7 @@ impl ServerListener {
             ServerListener::Tcp(l) => {
                 let (stream, _) = l.accept()?;
                 // The listener is non-blocking (shutdown polling); the
-                // per-connection readers must block.
+                // per-connection readers must block (modulo timeouts).
                 stream.set_nonblocking(false)?;
                 Ok(Stream::Tcp(stream))
             }
@@ -176,6 +337,21 @@ impl Stream {
             Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
             #[cfg(unix)]
             Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    /// Applies the configured socket deadlines.
+    fn set_timeouts(&self, read: Option<Duration>, write: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => {
+                s.set_read_timeout(read)?;
+                s.set_write_timeout(write)
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                s.set_read_timeout(read)?;
+                s.set_write_timeout(write)
+            }
         }
     }
 
@@ -221,6 +397,11 @@ impl Write for Stream {
     }
 }
 
+/// A socket timeout, as either of the kinds platforms use for it.
+fn is_timeout_kind(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
 /// Serving-side counters (the engine's own numbers live in [`ClusterStats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
@@ -237,6 +418,27 @@ pub struct ServerStats {
     pub raw_connections: u64,
     /// Connections being served right now.
     pub active: u64,
+    /// Connections evicted by the idle sweep (no progress for
+    /// [`ServerConfig::idle_timeout`]).
+    pub evicted_idle: u64,
+    /// Connections evicted for stalling mid-frame (read timeout inside a
+    /// partially received frame).
+    pub evicted_stalled: u64,
+    /// Submissions refused by the engine and answered with a retryable
+    /// [`Frame::Error`] instead of blocking.
+    pub shed: u64,
+    /// `Data` frames refused because a tenant's byte budget was exhausted.
+    pub rate_limited: u64,
+    /// Hellos refused by tenant connection/application quotas.
+    pub quota_rejections: u64,
+    /// Prediction updates dropped by the slow-subscriber
+    /// [`SlowSubscriberPolicy::DropOldest`] policy.
+    pub push_dropped: u64,
+    /// Subscribers disconnected by the slow-subscriber
+    /// [`SlowSubscriberPolicy::Disconnect`] policy.
+    pub slow_disconnects: u64,
+    /// Subscriptions that resumed with `Subscribe{from_seq}`.
+    pub resumed_subscriptions: u64,
 }
 
 /// Everything [`Server::wait`] hands back after the daemon drains.
@@ -261,6 +463,59 @@ struct Counters {
     data_frames: AtomicU64,
     raw_connections: AtomicU64,
     active: AtomicU64,
+    evicted_idle: AtomicU64,
+    evicted_stalled: AtomicU64,
+    shed: AtomicU64,
+    rate_limited: AtomicU64,
+    quota_rejections: AtomicU64,
+    push_dropped: AtomicU64,
+    slow_disconnects: AtomicU64,
+    resumed_subscriptions: AtomicU64,
+}
+
+/// Liveness state of one connection, shared between its handler thread(s)
+/// and the accept loop's idle sweep.
+struct ConnMeta {
+    /// Milliseconds (on the server's clock) of the last observed progress:
+    /// a completed frame, a raw byte received, or a prediction pushed.
+    last_activity_ms: AtomicU64,
+    /// Set by whichever side kills the connection first (sweep, slow-
+    /// subscriber disconnect), so the reader knows its failing socket was
+    /// an eviction, not a client protocol error.
+    evicted: AtomicBool,
+}
+
+impl ConnMeta {
+    fn new(now_ms: u64) -> Self {
+        ConnMeta {
+            last_activity_ms: AtomicU64::new(now_ms),
+            evicted: AtomicBool::new(false),
+        }
+    }
+
+    fn touch(&self, now_ms: u64) {
+        self.last_activity_ms.store(now_ms, Ordering::Release);
+    }
+
+    fn evicted(&self) -> bool {
+        self.evicted.load(Ordering::Acquire)
+    }
+}
+
+/// One live connection as the accept loop tracks it: a stream clone (for
+/// shutdown/eviction) plus the shared liveness state.
+struct ConnEntry {
+    stream: Stream,
+    meta: Arc<ConnMeta>,
+}
+
+/// Runtime accounting of one tenant.
+struct TenantState {
+    active_connections: usize,
+    apps: HashSet<AppId>,
+    /// Token bucket for the byte budget.
+    tokens: f64,
+    last_refill: Instant,
 }
 
 /// State shared by the accept loop, every connection thread, and the server
@@ -270,22 +525,131 @@ struct Shared {
     config: ServerConfig,
     running: AtomicBool,
     counters: Counters,
-    /// Clones of every live connection's stream, so shutdown can unblock
-    /// readers parked on idle sockets.
-    conns: Mutex<HashMap<u64, Stream>>,
+    /// Every live connection's stream clone + liveness state, so shutdown
+    /// and the idle sweep can unblock readers parked on idle sockets.
+    conns: Mutex<HashMap<u64, ConnEntry>>,
     /// `AppId` → hello name, so reports stay human-readable.
     names: Mutex<HashMap<AppId, String>>,
+    /// Tenant accounting (admissions and token buckets).
+    tenants: Mutex<HashMap<String, TenantState>>,
+    /// The server's clock origin for `ConnMeta` millisecond stamps.
+    epoch: Instant,
 }
 
 impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
     /// Stops the daemon: the accept loop exits on its next poll, and every
     /// live connection's socket is shut down so its reader unblocks, finishes
     /// the work it already accepted, and exits. Idempotent.
     fn initiate_shutdown(&self) {
+        self.initiate_shutdown_except(None);
+    }
+
+    /// [`Shared::initiate_shutdown`], sparing one connection. The connection
+    /// that carried a [`Frame::Shutdown`] must outlive the stop so its
+    /// [`Frame::Stats`] reply has a socket to travel on — and the stop must
+    /// happen *before* the drain, or connections still ingesting keep the
+    /// shard queues topped up and the drain never converges.
+    fn initiate_shutdown_except(&self, spare: Option<u64>) {
         if self.running.swap(false, Ordering::SeqCst) {
-            for stream in lock_recover(&self.conns).values() {
-                stream.close();
+            for (id, entry) in lock_recover(&self.conns).iter() {
+                if Some(*id) != spare {
+                    entry.stream.close();
+                }
             }
+        }
+    }
+
+    /// Closes every connection that has made no progress for
+    /// [`ServerConfig::idle_timeout`]. Runs on the accept thread each poll;
+    /// the handler thread observes the closed socket, sees the eviction
+    /// flag, and exits without charging a protocol error.
+    fn sweep_idle(&self) {
+        let Some(idle) = self.config.idle_timeout else {
+            return;
+        };
+        let idle_ms = idle.as_millis() as u64;
+        let now = self.now_ms();
+        for entry in lock_recover(&self.conns).values() {
+            let last = entry.meta.last_activity_ms.load(Ordering::Acquire);
+            if now.saturating_sub(last) > idle_ms
+                && !entry.meta.evicted.swap(true, Ordering::SeqCst)
+            {
+                self.counters.evicted_idle.fetch_add(1, Ordering::Relaxed);
+                entry.stream.close();
+            }
+        }
+    }
+
+    /// Atomically checks and reserves a tenant connection slot (and the
+    /// application, if new). `Ok(true)` means a reservation was made and
+    /// must be released; `Ok(false)` means the tenant is exempt from
+    /// quotas; `Err` carries the client-facing rejection message.
+    fn tenant_admit(&self, tenant: &str, app: AppId) -> Result<bool, String> {
+        let Some(quota) = self.config.tenants.quota_for(tenant) else {
+            return Ok(false);
+        };
+        let mut tenants = lock_recover(&self.tenants);
+        let state = tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantState {
+                active_connections: 0,
+                apps: HashSet::new(),
+                tokens: quota.effective_burst(),
+                last_refill: Instant::now(),
+            });
+        if state.active_connections >= quota.max_connections {
+            return Err(format!(
+                "tenant `{tenant}` connection quota reached ({} active)",
+                quota.max_connections
+            ));
+        }
+        if !state.apps.contains(&app) && state.apps.len() >= quota.max_apps {
+            return Err(format!(
+                "tenant `{tenant}` application quota reached ({} apps)",
+                quota.max_apps
+            ));
+        }
+        state.active_connections += 1;
+        state.apps.insert(app);
+        Ok(true)
+    }
+
+    /// Releases a connection slot reserved by [`Shared::tenant_admit`].
+    fn tenant_release(&self, tenant: &str) {
+        if let Some(state) = lock_recover(&self.tenants).get_mut(tenant) {
+            state.active_connections = state.active_connections.saturating_sub(1);
+        }
+    }
+
+    /// Debits `bytes` from the tenant's token bucket. On an exhausted
+    /// budget returns the suggested wait in milliseconds before retrying.
+    fn tenant_debit(&self, tenant: &str, bytes: u64) -> Result<(), u64> {
+        let Some(quota) = self.config.tenants.quota_for(tenant) else {
+            return Ok(());
+        };
+        if !quota.bytes_per_sec.is_finite() {
+            return Ok(());
+        }
+        let mut tenants = lock_recover(&self.tenants);
+        let Some(state) = tenants.get_mut(tenant) else {
+            return Ok(());
+        };
+        let now = Instant::now();
+        let elapsed = now.duration_since(state.last_refill).as_secs_f64();
+        state.last_refill = now;
+        state.tokens = (state.tokens + elapsed * quota.bytes_per_sec).min(quota.effective_burst());
+        let need = bytes as f64;
+        if state.tokens >= need {
+            state.tokens -= need;
+            Ok(())
+        } else {
+            let deficit = need - state.tokens;
+            let wait_ms = (deficit / quota.bytes_per_sec * 1000.0).ceil().max(1.0);
+            Err(wait_ms.min(u64::MAX as f64) as u64)
         }
     }
 
@@ -297,6 +661,14 @@ impl Shared {
             data_frames: self.counters.data_frames.load(Ordering::Relaxed),
             raw_connections: self.counters.raw_connections.load(Ordering::Relaxed),
             active: self.counters.active.load(Ordering::Relaxed),
+            evicted_idle: self.counters.evicted_idle.load(Ordering::Relaxed),
+            evicted_stalled: self.counters.evicted_stalled.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            rate_limited: self.counters.rate_limited.load(Ordering::Relaxed),
+            quota_rejections: self.counters.quota_rejections.load(Ordering::Relaxed),
+            push_dropped: self.counters.push_dropped.load(Ordering::Relaxed),
+            slow_disconnects: self.counters.slow_disconnects.load(Ordering::Relaxed),
+            resumed_subscriptions: self.counters.resumed_subscriptions.load(Ordering::Relaxed),
         }
     }
 }
@@ -339,6 +711,9 @@ pub fn wire_stats(stats: &ClusterStats) -> WireStats {
 /// Frame::End.write_to(&mut client).unwrap();
 /// client.flush().unwrap();
 /// let mut frames = FrameReader::new(client);
+/// // Hello is acked with the resumable subscription window…
+/// assert!(matches!(frames.read_frame().unwrap(), Some(Frame::Welcome { .. })));
+/// // …and End with an Ack once every prior prediction is on the wire.
 /// assert_eq!(frames.read_frame().unwrap(), Some(Frame::Ack));
 /// let report = server.finish();
 /// assert_eq!(report.cluster.ticks, 1);
@@ -361,6 +736,8 @@ impl Server {
             counters: Counters::default(),
             conns: Mutex::new(HashMap::new()),
             names: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(HashMap::new()),
+            epoch: Instant::now(),
         });
         let accept_shared = shared.clone();
         let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
@@ -446,6 +823,7 @@ fn accept_loop(listener: ServerListener, shared: Arc<Shared>) {
     let mut next_id = 0u64;
     let mut handles: Vec<JoinHandle<()>> = Vec::new();
     while shared.running.load(Ordering::SeqCst) {
+        shared.sweep_idle();
         match listener.accept() {
             Ok(stream) => {
                 next_id += 1;
@@ -459,23 +837,39 @@ fn accept_loop(listener: ServerListener, shared: Arc<Shared>) {
                         .rejected_connections
                         .fetch_add(1, Ordering::Relaxed);
                     let mut stream = stream;
+                    let _ = stream.set_timeouts(None, shared.config.write_timeout);
                     let _ = Frame::Error {
                         message: format!(
                             "connection limit reached ({} active)",
                             shared.config.max_connections
                         ),
+                        retry_after_ms: Some(shared.config.retry_after.as_millis() as u64),
                     }
                     .write_to(&mut stream);
                     continue; // dropped → closed
                 }
+                // Socket deadlines from the first byte onwards.
+                if stream
+                    .set_timeouts(shared.config.read_timeout, shared.config.write_timeout)
+                    .is_err()
+                {
+                    continue;
+                }
                 shared.counters.active.fetch_add(1, Ordering::SeqCst);
                 shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                let meta = Arc::new(ConnMeta::new(shared.now_ms()));
                 if let Ok(clone) = stream.try_clone() {
-                    lock_recover(&shared.conns).insert(id, clone);
+                    lock_recover(&shared.conns).insert(
+                        id,
+                        ConnEntry {
+                            stream: clone,
+                            meta: meta.clone(),
+                        },
+                    );
                 }
                 let conn_shared = shared.clone();
                 handles.push(std::thread::spawn(move || {
-                    handle_connection(&conn_shared, stream, id);
+                    handle_connection(&conn_shared, stream, id, &meta);
                     lock_recover(&conn_shared.conns).remove(&id);
                     conn_shared.counters.active.fetch_sub(1, Ordering::SeqCst);
                 }));
@@ -499,23 +893,31 @@ fn accept_loop(listener: ServerListener, shared: Arc<Shared>) {
 /// Routes one accepted connection: the first byte decides framed (wire
 /// envelope, leads with [`FRAME_MAGIC`]) vs raw (anything sniffable — JSONL,
 /// msgpack, gzip, …; no trace format starts with `0xFD`).
-fn handle_connection(shared: &Arc<Shared>, mut stream: Stream, id: u64) {
+fn handle_connection(shared: &Arc<Shared>, mut stream: Stream, id: u64, meta: &Arc<ConnMeta>) {
     let mut first = [0u8; 1];
     loop {
         match stream.read(&mut first) {
             Ok(0) => return, // connected and closed without a byte
             Ok(_) => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout_kind(e.kind()) => {
+                // No first byte yet: idle. The sweep owns the deadline.
+                if meta.evicted() || !shared.running.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
             Err(_) => return,
         }
     }
+    meta.touch(shared.now_ms());
     let Ok(writer) = stream.try_clone() else {
         return;
     };
     if first[0] == FRAME_MAGIC[0] {
-        framed_connection(shared, stream, writer, first[0], id);
+        framed_connection(shared, stream, writer, first[0], id, meta);
     } else {
-        raw_connection(shared, stream, writer, first[0], id);
+        raw_connection(shared, stream, writer, first[0], id, meta);
     }
 }
 
@@ -525,7 +927,17 @@ fn protocol_error(shared: &Shared, writer: &Mutex<Stream>, message: String) {
         .counters
         .protocol_errors
         .fetch_add(1, Ordering::Relaxed);
-    let _ = Frame::Error { message }.write_to(&mut *lock_recover(writer));
+    let _ = Frame::Error {
+        message,
+        retry_after_ms: None,
+    }
+    .write_to(&mut *lock_recover(writer));
+}
+
+/// Sends a frame to the client. `false` means the socket is gone and the
+/// connection loop should end — never unwrap a peer-facing write.
+fn send_frame(writer: &Mutex<Stream>, frame: &Frame) -> bool {
+    frame.write_to(&mut *lock_recover(writer)).is_ok()
 }
 
 fn framed_connection(
@@ -534,16 +946,54 @@ fn framed_connection(
     write_half: Stream,
     first_byte: u8,
     id: u64,
+    meta: &Arc<ConnMeta>,
 ) {
     let writer = Arc::new(Mutex::new(write_half));
     let mut frames = FrameReader::new(io::Cursor::new([first_byte]).chain(read_half));
     let mut app: Option<AppId> = None;
+    let mut tenant: Option<String> = None;
     let mut pusher: Option<Pusher> = None;
+    let retry_after_ms = shared.config.retry_after.as_millis() as u64;
     loop {
+        let boundary = frames.offset();
         let frame = match frames.read_frame() {
-            Ok(Some(frame)) => frame,
+            Ok(Some(frame)) => {
+                meta.touch(shared.now_ms());
+                frame
+            }
             Ok(None) => break, // clean close at a frame boundary
+            Err(e) if e.io_kind().is_some_and(is_timeout_kind) => {
+                if meta.evicted() || !shared.running.load(Ordering::SeqCst) {
+                    break; // swept or shutting down
+                }
+                if frames.offset() == boundary {
+                    // Idle between frames: legal. The sweep enforces the
+                    // idle deadline; we just keep listening.
+                    continue;
+                }
+                // Stalled mid-frame: the client started a frame and stopped
+                // feeding it within the read deadline. Evict immediately
+                // with a positioned error.
+                shared
+                    .counters
+                    .evicted_stalled
+                    .fetch_add(1, Ordering::Relaxed);
+                send_frame(
+                    &writer,
+                    &Frame::Error {
+                        message: format!(
+                            "connection {id}: stalled mid-frame at byte {} (read deadline exceeded)",
+                            frames.offset()
+                        ),
+                        retry_after_ms: None,
+                    },
+                );
+                break;
+            }
             Err(e) => {
+                if meta.evicted() || !shared.running.load(Ordering::SeqCst) {
+                    break; // the failing socket was closed on purpose
+                }
                 // Malformed frame or mid-frame disconnect: close *this*
                 // connection with the positioned error; everyone else keeps
                 // serving.
@@ -553,9 +1003,47 @@ fn framed_connection(
         };
         match frame {
             Frame::Hello { name } => {
+                if app.is_some() {
+                    protocol_error(
+                        shared,
+                        &writer,
+                        format!("connection {id}: second hello on one connection"),
+                    );
+                    break;
+                }
                 let hello = AppId::from_name(&name);
+                let tenant_name = tenant_of(&name).to_string();
+                match shared.tenant_admit(&tenant_name, hello) {
+                    Ok(true) => tenant = Some(tenant_name),
+                    Ok(false) => {}
+                    Err(message) => {
+                        shared
+                            .counters
+                            .quota_rejections
+                            .fetch_add(1, Ordering::Relaxed);
+                        send_frame(
+                            &writer,
+                            &Frame::Error {
+                                message: format!("connection {id}: {message}"),
+                                retry_after_ms: None,
+                            },
+                        );
+                        break;
+                    }
+                }
                 lock_recover(&shared.names).insert(hello, name);
                 app = Some(hello);
+                let (oldest_seq, next_seq) = shared.engine.resume_window(hello);
+                if !send_frame(
+                    &writer,
+                    &Frame::Welcome {
+                        app: hello,
+                        oldest_seq,
+                        next_seq,
+                    },
+                ) {
+                    break;
+                }
             }
             Frame::Data(bytes) => {
                 let Some(app) = app else {
@@ -566,20 +1054,93 @@ fn framed_connection(
                     );
                     break;
                 };
+                if let Some(tenant) = tenant.as_deref() {
+                    if let Err(wait_ms) = shared.tenant_debit(tenant, bytes.len() as u64) {
+                        shared.counters.rate_limited.fetch_add(1, Ordering::Relaxed);
+                        if !send_frame(
+                            &writer,
+                            &Frame::Error {
+                                message: format!(
+                                    "connection {id}: tenant `{tenant}` byte budget exhausted \
+                                     ({} bytes refused)",
+                                    bytes.len()
+                                ),
+                                retry_after_ms: Some(wait_ms.max(retry_after_ms)),
+                            },
+                        ) {
+                            break;
+                        }
+                        continue; // frame shed; the connection stays open
+                    }
+                }
                 shared.counters.data_frames.fetch_add(1, Ordering::Relaxed);
                 let decoded = from_bytes_auto(None, app, bytes, shared.config.batch_size).and_then(
                     |(_, mut source)| shared.engine.replay(source.as_mut(), Pacing::AsFast),
                 );
-                if let Err(e) = decoded {
-                    protocol_error(shared, &writer, format!("connection {id}: {e}"));
-                    break;
+                match decoded {
+                    Ok(replay) if replay.rejected > 0 => {
+                        // Overload shedding: the engine refused submissions
+                        // (full queue under Reject, or drain). Tell the
+                        // client instead of silently losing them, and keep
+                        // the connection alive — the work it already sent
+                        // is preserved.
+                        shared
+                            .counters
+                            .shed
+                            .fetch_add(replay.rejected, Ordering::Relaxed);
+                        let draining = !shared.running.load(Ordering::SeqCst);
+                        if !send_frame(
+                            &writer,
+                            &Frame::Error {
+                                message: format!(
+                                    "connection {id}: {} submissions shed ({})",
+                                    replay.rejected,
+                                    if draining { "draining" } else { "queue full" }
+                                ),
+                                retry_after_ms: (!draining).then_some(retry_after_ms),
+                            },
+                        ) {
+                            break;
+                        }
+                        if draining {
+                            break;
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        protocol_error(shared, &writer, format!("connection {id}: {e}"));
+                        break;
+                    }
                 }
             }
-            Frame::Subscribe { app: filter } => {
+            Frame::Subscribe {
+                app: filter,
+                from_seq,
+            } => {
+                if from_seq.is_some() && filter.is_none() {
+                    protocol_error(
+                        shared,
+                        &writer,
+                        format!("connection {id}: subscribe with from_seq requires an application"),
+                    );
+                    break;
+                }
                 // One pusher per connection; a second subscribe narrows or
                 // widens nothing — first filter wins.
                 if pusher.is_none() {
-                    pusher = Some(Pusher::spawn(shared, writer.clone(), filter));
+                    if from_seq.is_some() {
+                        shared
+                            .counters
+                            .resumed_subscriptions
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    pusher = Some(Pusher::spawn(
+                        shared,
+                        writer.clone(),
+                        filter,
+                        from_seq,
+                        meta.clone(),
+                    ));
                 }
             }
             Frame::End => {
@@ -587,19 +1148,44 @@ fn framed_connection(
                 if let Some(pusher) = &pusher {
                     pusher.barrier();
                 }
-                let _ = Frame::Ack.write_to(&mut *lock_recover(&writer));
+                if !send_frame(&writer, &Frame::Ack) {
+                    break;
+                }
+                meta.touch(shared.now_ms());
             }
             Frame::Shutdown => {
+                // Stop the world first: close every other connection so no
+                // new submissions arrive, *then* drain. Draining before the
+                // stop livelocks under active ingest — feeders refill the
+                // shard queues as fast as the flush empties them — and also
+                // leaves this connection exposed to the idle sweep (the
+                // sweep runs on the accept loop, which exits once `running`
+                // flips). The Stats reply then reports a fully drained
+                // engine on the one socket that was spared.
+                shared.initiate_shutdown_except(Some(id));
+                // Let the evicted peers wind down before draining: a peer
+                // that had already read a frame may still be submitting it,
+                // and a submission landing after the flush would make the
+                // Stats reply unbalanced. Bounded, so one peer stuck in a
+                // deadline-free write cannot wedge shutdown.
+                let deadline = Instant::now() + BARRIER_TIMEOUT;
+                while shared.counters.active.load(Ordering::SeqCst) > 1 && Instant::now() < deadline
+                {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
                 shared.engine.flush();
                 if let Some(pusher) = &pusher {
                     pusher.barrier();
                 }
                 let stats = wire_stats(&shared.engine.stats());
-                let _ = Frame::Stats(stats).write_to(&mut *lock_recover(&writer));
-                shared.initiate_shutdown();
+                send_frame(&writer, &Frame::Stats(stats));
                 break;
             }
-            Frame::Ack | Frame::Prediction(_) | Frame::Stats(_) | Frame::Error { .. } => {
+            Frame::Ack
+            | Frame::Prediction(_)
+            | Frame::Stats(_)
+            | Frame::Welcome { .. }
+            | Frame::Error { .. } => {
                 protocol_error(
                     shared,
                     &writer,
@@ -612,28 +1198,54 @@ fn framed_connection(
     if let Some(pusher) = pusher {
         pusher.stop();
     }
+    if let Some(tenant) = tenant {
+        shared.tenant_release(&tenant);
+    }
 }
 
 /// A raw connection: slurp to EOF (the client signals completion by closing
 /// its write half, `nc` style), sniff, replay, answer with one summary line.
+/// Reads go through the socket deadline; a connection that stops sending is
+/// closed by the idle sweep and its partial stream is discarded.
 fn raw_connection(
     shared: &Arc<Shared>,
     mut read_half: Stream,
     mut write_half: Stream,
     first_byte: u8,
     id: u64,
+    meta: &Arc<ConnMeta>,
 ) {
     shared
         .counters
         .raw_connections
         .fetch_add(1, Ordering::Relaxed);
     let mut bytes = vec![first_byte];
-    if read_half.read_to_end(&mut bytes).is_err() {
-        shared
-            .counters
-            .protocol_errors
-            .fetch_add(1, Ordering::Relaxed);
-        return;
+    let mut buf = [0u8; 8192];
+    loop {
+        match read_half.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                bytes.extend_from_slice(&buf[..n]);
+                meta.touch(shared.now_ms());
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout_kind(e.kind()) => {
+                if meta.evicted() || !shared.running.load(Ordering::SeqCst) {
+                    return; // swept while idle: discard the partial stream
+                }
+                continue; // the sweep owns the idle deadline
+            }
+            Err(_) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+    if meta.evicted() {
+        return; // the EOF was our own eviction, not a client close
     }
     let name = format!("raw-{id}");
     let app = AppId::from_name(&name);
@@ -675,6 +1287,13 @@ fn raw_connection(
 /// the engine's channel to the client as [`Frame::Prediction`]s, and answers
 /// flush barriers so `End` can guarantee every prediction for already-sent
 /// data is on the wire before the `Ack`.
+///
+/// Between the engine's unbounded channel and the socket sits a *bounded*
+/// queue of [`ServerConfig::push_queue`] events: a subscriber that reads
+/// slower than its feed either loses the oldest queued updates
+/// ([`SlowSubscriberPolicy::DropOldest`]) or is disconnected
+/// ([`SlowSubscriberPolicy::Disconnect`]) — it can never grow server memory
+/// without bound or wedge a shard worker.
 struct Pusher {
     handle: JoinHandle<()>,
     /// `(requested, completed)` barrier sequence numbers.
@@ -683,15 +1302,21 @@ struct Pusher {
 }
 
 impl Pusher {
-    fn spawn(shared: &Arc<Shared>, writer: Arc<Mutex<Stream>>, filter: Option<AppId>) -> Pusher {
-        let rx = shared.engine.subscribe(filter);
+    fn spawn(
+        shared: &Arc<Shared>,
+        writer: Arc<Mutex<Stream>>,
+        filter: Option<AppId>,
+        from_seq: Option<u64>,
+        meta: Arc<ConnMeta>,
+    ) -> Pusher {
+        let rx = shared.engine.subscribe_from(filter, from_seq);
         let barrier = Arc::new((Mutex::new((0u64, 0u64)), Condvar::new()));
         let open = Arc::new(AtomicBool::new(true));
         let shared = shared.clone();
         let thread_barrier = barrier.clone();
         let thread_open = open.clone();
         let handle = std::thread::spawn(move || {
-            pusher_loop(&shared, rx, &writer, &thread_barrier, &thread_open);
+            pusher_loop(&shared, rx, &writer, &thread_barrier, &thread_open, &meta);
         });
         Pusher {
             handle,
@@ -734,30 +1359,89 @@ fn pusher_loop(
     writer: &Mutex<Stream>,
     barrier: &(Mutex<(u64, u64)>, Condvar),
     open: &AtomicBool,
+    meta: &ConnMeta,
 ) {
-    loop {
-        match rx.recv_timeout(POLL_INTERVAL) {
-            Ok((app, prediction)) => {
-                let update = PredictionUpdate {
-                    app,
-                    time: prediction.time,
-                    period: prediction.period(),
-                    confidence: prediction.confidence(),
-                };
-                if Frame::Prediction(update)
-                    .write_to(&mut *lock_recover(writer))
-                    .is_err()
-                {
-                    break; // client gone
+    let capacity = shared.config.push_queue.max(1);
+    let policy = shared.config.slow_policy;
+    let mut queue: VecDeque<PredictionEvent> = VecDeque::with_capacity(capacity.min(64));
+    let mut channel_alive = true;
+    'conn: loop {
+        // Move everything currently in the unbounded channel into the
+        // bounded queue, applying the slow-subscriber policy on overflow.
+        loop {
+            match rx.try_recv() {
+                Ok(event) => {
+                    if queue.len() >= capacity {
+                        match policy {
+                            SlowSubscriberPolicy::DropOldest => {
+                                queue.pop_front();
+                                shared.counters.push_dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                            SlowSubscriberPolicy::Disconnect => {
+                                shared
+                                    .counters
+                                    .slow_disconnects
+                                    .fetch_add(1, Ordering::Relaxed);
+                                meta.evicted.store(true, Ordering::SeqCst);
+                                let guard = lock_recover(writer);
+                                let _ = Frame::Error {
+                                    message: format!(
+                                        "slow subscriber: push queue overflow at {capacity} \
+                                         queued predictions"
+                                    ),
+                                    retry_after_ms: None,
+                                }
+                                .write_to(&mut *{ guard });
+                                // Shut the socket down so the reader side
+                                // unblocks and the connection dies whole.
+                                lock_recover(writer).close();
+                                break 'conn;
+                            }
+                        }
+                    }
+                    queue.push_back(event);
                 }
-                continue;
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    channel_alive = false;
+                    break;
+                }
             }
-            Err(mpsc::RecvTimeoutError::Timeout) => {}
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
-        // The channel is empty: complete any pending flush barrier — the
-        // barrier is only requested after `flush()`, so emptiness here means
-        // everything the client is waiting for has been written.
+        // Write one queued event per pass, so draining the channel and
+        // writing interleave and the queue bound is honest.
+        if let Some(event) = queue.pop_front() {
+            let update = PredictionUpdate {
+                app: event.app,
+                seq: event.seq,
+                time: event.prediction.time,
+                period: event.prediction.period(),
+                confidence: event.prediction.confidence(),
+            };
+            match Frame::Prediction(update).write_to(&mut *lock_recover(writer)) {
+                Ok(()) => {
+                    meta.touch(shared.now_ms());
+                    continue;
+                }
+                Err(e) if is_timeout_kind(e.kind()) => {
+                    // The write deadline expired with the frame half on the
+                    // wire: the subscriber is alive but not reading. The
+                    // stream is no longer frame-aligned, so the only sound
+                    // policy — whichever was configured — is to disconnect.
+                    shared
+                        .counters
+                        .slow_disconnects
+                        .fetch_add(1, Ordering::Relaxed);
+                    meta.evicted.store(true, Ordering::SeqCst);
+                    lock_recover(writer).close();
+                    break;
+                }
+                Err(_) => break, // client gone
+            }
+        }
+        // Channel and queue are both empty: complete any pending flush
+        // barrier — the barrier is only requested after `flush()`, so
+        // emptiness here means everything the client waits for is written.
         {
             let (lock, condvar) = barrier;
             let mut state = lock_recover(lock);
@@ -766,8 +1450,14 @@ fn pusher_loop(
                 condvar.notify_all();
             }
         }
-        if !open.load(Ordering::SeqCst) || !shared.running.load(Ordering::SeqCst) {
+        if !channel_alive || !open.load(Ordering::SeqCst) || !shared.running.load(Ordering::SeqCst)
+        {
             break;
+        }
+        match rx.recv_timeout(POLL_INTERVAL) {
+            Ok(event) => queue.push_back(event), // empty queue; capacity ≥ 1
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => channel_alive = false,
         }
     }
     // Release any waiter unconditionally on the way out.
@@ -798,6 +1488,7 @@ mod tests {
                 },
                 ..Default::default()
             },
+            ..Default::default()
         }
     }
 
@@ -823,6 +1514,7 @@ mod tests {
         .unwrap();
         Frame::Subscribe {
             app: Some(AppId::from_name("app-a")),
+            from_seq: None,
         }
         .write_to(&mut client)
         .unwrap();
@@ -843,8 +1535,20 @@ mod tests {
             .unwrap();
         Frame::End.write_to(&mut client).unwrap();
         client.flush().unwrap();
-        // Every prediction for the two data frames arrives before the Ack.
         let mut frames = FrameReader::new(client.try_clone().unwrap());
+        // Hello is acknowledged with the (empty) resume window.
+        match frames.read_frame().unwrap() {
+            Some(Frame::Welcome {
+                app,
+                oldest_seq,
+                next_seq,
+            }) => {
+                assert_eq!(app, AppId::from_name("app-a"));
+                assert_eq!((oldest_seq, next_seq), (0, 0));
+            }
+            other => panic!("expected welcome, got {other:?}"),
+        }
+        // Every prediction for the two data frames arrives before the Ack.
         let mut predictions = Vec::new();
         loop {
             match frames.read_frame().unwrap().expect("server closed early") {
@@ -857,6 +1561,11 @@ mod tests {
         assert!(predictions
             .iter()
             .all(|p| p.app == AppId::from_name("app-a")));
+        // Sequence numbers are dense from zero.
+        assert_eq!(
+            predictions.iter().map(|p| p.seq).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
         let last = predictions.last().unwrap();
         let period = last.period.expect("periodic input");
         assert!((period - 10.0).abs() < 1.5, "period {period}");
@@ -908,5 +1617,104 @@ mod tests {
         let report = server.finish();
         assert_eq!(report.cluster.ticks, 1);
         assert!(report.server.protocol_errors == 0, "{:?}", report.server);
+    }
+
+    #[test]
+    fn slow_subscriber_policies_parse_and_render() {
+        for policy in [
+            SlowSubscriberPolicy::DropOldest,
+            SlowSubscriberPolicy::Disconnect,
+        ] {
+            assert_eq!(SlowSubscriberPolicy::parse(policy.as_str()), Ok(policy));
+        }
+        assert!(SlowSubscriberPolicy::parse("never").is_err());
+    }
+
+    #[test]
+    fn tenant_names_derive_from_hello_names() {
+        assert_eq!(tenant_of("acme/run-17"), "acme");
+        assert_eq!(tenant_of("acme"), "acme");
+        assert_eq!(tenant_of("a/b/c"), "a");
+        assert_eq!(tenant_of(""), "");
+    }
+
+    #[test]
+    fn tenant_quotas_are_enforced_atomically() {
+        let mut policy = TenantPolicy::default();
+        policy.tenants.insert(
+            "acme".into(),
+            TenantQuota {
+                max_connections: 1,
+                max_apps: 2,
+                ..Default::default()
+            },
+        );
+        let config = ServerConfig {
+            tenants: policy,
+            ..test_config(1)
+        };
+        let shared = Shared {
+            engine: ClusterEngine::spawn(config.cluster),
+            config,
+            running: AtomicBool::new(true),
+            counters: Counters::default(),
+            conns: Mutex::new(HashMap::new()),
+            names: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(HashMap::new()),
+            epoch: Instant::now(),
+        };
+        let app_a = AppId::from_name("acme/a");
+        let app_b = AppId::from_name("acme/b");
+        // First connection admitted; second bounces off the conn quota.
+        assert_eq!(shared.tenant_admit("acme", app_a), Ok(true));
+        let err = shared.tenant_admit("acme", app_a).unwrap_err();
+        assert!(err.contains("connection quota"), "{err}");
+        // Releasing frees the slot; a second distinct app fits (quota 2)…
+        shared.tenant_release("acme");
+        assert_eq!(shared.tenant_admit("acme", app_b), Ok(true));
+        shared.tenant_release("acme");
+        // …but a third distinct app exceeds max_apps even with free slots.
+        let app_c = AppId::from_name("acme/c");
+        let err = shared.tenant_admit("acme", app_c).unwrap_err();
+        assert!(err.contains("application quota"), "{err}");
+        // Tenants without any quota are exempt.
+        assert_eq!(shared.tenant_admit("other", app_c), Ok(false));
+    }
+
+    #[test]
+    fn tenant_token_bucket_debits_and_refills() {
+        let mut policy = TenantPolicy::default();
+        policy.tenants.insert(
+            "metered".into(),
+            TenantQuota {
+                bytes_per_sec: 1000.0,
+                burst_bytes: 1000.0,
+                ..Default::default()
+            },
+        );
+        let config = ServerConfig {
+            tenants: policy,
+            ..test_config(1)
+        };
+        let shared = Shared {
+            engine: ClusterEngine::spawn(config.cluster),
+            config,
+            running: AtomicBool::new(true),
+            counters: Counters::default(),
+            conns: Mutex::new(HashMap::new()),
+            names: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(HashMap::new()),
+            epoch: Instant::now(),
+        };
+        let app = AppId::from_name("metered/app");
+        assert_eq!(shared.tenant_admit("metered", app), Ok(true));
+        // The burst allows 1000 bytes up front; the next debit is refused
+        // with a wait proportional to the deficit.
+        assert!(shared.tenant_debit("metered", 800).is_ok());
+        let wait = shared.tenant_debit("metered", 800).unwrap_err();
+        assert!(wait >= 1, "wait {wait}ms");
+        // After enough simulated refill time the debit succeeds again.
+        std::thread::sleep(Duration::from_millis(700));
+        assert!(shared.tenant_debit("metered", 600).is_ok());
     }
 }

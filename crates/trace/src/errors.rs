@@ -83,6 +83,17 @@ impl TraceError {
         }
     }
 
+    /// The [`std::io::ErrorKind`] behind this error, when it wraps an I/O
+    /// error. The serving layer uses this to tell a socket read timeout
+    /// (`WouldBlock`/`TimedOut`, which it handles by checking deadlines)
+    /// from a genuine transport failure.
+    pub fn io_kind(&self) -> Option<std::io::ErrorKind> {
+        match self {
+            TraceError::Io(e) => Some(e.kind()),
+            _ => None,
+        }
+    }
+
     /// Enriches an error raised while decoding one record with the position
     /// (line number or byte offset) and the offending input. Used by the
     /// streaming readers so that *every* decode error names where it happened:

@@ -1,0 +1,433 @@
+//! Deterministic fault injection for byte streams.
+//!
+//! Robustness claims about the serving layer are only as good as the failure
+//! paths that have actually been executed. This module makes those paths
+//! reachable on demand: [`FaultStream`] wraps any [`Read`]/[`Write`] and
+//! perturbs the traffic flowing through it according to a seeded
+//! [`FaultPlan`] — short reads and writes, `Interrupted`/`WouldBlock`
+//! storms, mid-stream truncation, single-bit corruption, and stalls.
+//!
+//! Everything is driven by a [`rand::rngs::StdRng`] seeded from the plan, so
+//! a failing chaos run reproduces from its plan string alone. The same plans
+//! are used by `tests/chaos.rs` (wrapping the client side of real daemon
+//! sessions) and by `ftio client --inject <plan>` for manual poking.
+//!
+//! # Plan DSL
+//!
+//! A plan is a comma-separated list of `key=value` fields:
+//!
+//! ```text
+//! seed=42,short=0.3,interrupt=0.2,corrupt=0.01,truncate=512,stall=128x5
+//! ```
+//!
+//! | field        | meaning                                                         |
+//! |--------------|-----------------------------------------------------------------|
+//! | `seed=N`     | RNG seed (default 0)                                            |
+//! | `short=P`    | probability an op transfers only 1 byte                         |
+//! | `interrupt=P`| probability an op fails with `ErrorKind::Interrupted` first     |
+//! | `wouldblock=P`| probability an op fails with `ErrorKind::WouldBlock` first     |
+//! | `corrupt=P`  | probability an op flips one random bit in its chunk             |
+//! | `truncate=N` | after N bytes: reads see EOF, writes see `BrokenPipe`           |
+//! | `stall=NxM`  | sleep M milliseconds every N transferred bytes                  |
+//!
+//! Probabilities are in `[0, 1]`. Read and write directions keep independent
+//! byte counters but share the RNG, so interleaving affects the draw order —
+//! determinism holds for a fixed call sequence, which is what a test makes.
+
+use std::io::{ErrorKind, Read, Write};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A parsed, seeded description of which faults to inject and how often.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed; two streams built from equal plans behave identically.
+    pub seed: u64,
+    /// Probability that a read/write transfers only a single byte.
+    pub short: f64,
+    /// Probability that an op returns [`ErrorKind::Interrupted`] before
+    /// doing any work.
+    pub interrupt: f64,
+    /// Probability that an op returns [`ErrorKind::WouldBlock`] before
+    /// doing any work.
+    pub would_block: f64,
+    /// Probability that an op flips one random bit in the transferred chunk.
+    pub corrupt: f64,
+    /// Hard cut: once this many bytes have moved in a direction, reads
+    /// return EOF and writes return [`ErrorKind::BrokenPipe`].
+    pub truncate_after: Option<u64>,
+    /// `Some((every, millis))`: sleep `millis` each time another `every`
+    /// bytes have been transferred in a direction.
+    pub stall: Option<(u64, u64)>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            short: 0.0,
+            interrupt: 0.0,
+            would_block: 0.0,
+            corrupt: 0.0,
+            truncate_after: None,
+            stall: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses the `key=value,...` DSL described in the module docs.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for field in spec.split(',') {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan field `{field}` is not key=value"))?;
+            let prob = |what: &str| -> Result<f64, String> {
+                let p: f64 = value
+                    .parse()
+                    .map_err(|_| format!("fault plan {what}=`{value}` is not a number"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault plan {what}={value} outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault plan seed=`{value}` is not an integer"))?;
+                }
+                "short" => plan.short = prob("short")?,
+                "interrupt" => plan.interrupt = prob("interrupt")?,
+                "wouldblock" => plan.would_block = prob("wouldblock")?,
+                "corrupt" => plan.corrupt = prob("corrupt")?,
+                "truncate" => {
+                    plan.truncate_after =
+                        Some(value.parse().map_err(|_| {
+                            format!("fault plan truncate=`{value}` is not an integer")
+                        })?);
+                }
+                "stall" => {
+                    let (every, ms) = value.split_once('x').ok_or_else(|| {
+                        format!("fault plan stall=`{value}` is not <bytes>x<millis>")
+                    })?;
+                    let every: u64 = every.parse().map_err(|_| {
+                        format!("fault plan stall bytes `{every}` is not an integer")
+                    })?;
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| format!("fault plan stall millis `{ms}` is not an integer"))?;
+                    if every == 0 {
+                        return Err("fault plan stall byte interval must be > 0".into());
+                    }
+                    plan.stall = Some((every, ms));
+                }
+                other => return Err(format!("unknown fault plan field `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True when the plan injects nothing (every knob at its default).
+    pub fn is_noop(&self) -> bool {
+        let FaultPlan {
+            seed: _,
+            short,
+            interrupt,
+            would_block,
+            corrupt,
+            truncate_after,
+            stall,
+        } = self;
+        *short == 0.0
+            && *interrupt == 0.0
+            && *would_block == 0.0
+            && *corrupt == 0.0
+            && truncate_after.is_none()
+            && stall.is_none()
+    }
+}
+
+/// Per-direction transfer accounting for a [`FaultStream`].
+#[derive(Clone, Copy, Debug, Default)]
+struct DirectionState {
+    /// Bytes actually transferred in this direction.
+    bytes: u64,
+    /// Bytes transferred at the last stall, for the `stall=NxM` schedule.
+    last_stall: u64,
+}
+
+/// A [`Read`]+[`Write`] wrapper that injects the faults described by a
+/// [`FaultPlan`] into every operation on the inner stream.
+pub struct FaultStream<S> {
+    inner: S,
+    plan: FaultPlan,
+    rng: StdRng,
+    read_state: DirectionState,
+    write_state: DirectionState,
+}
+
+impl<S> FaultStream<S> {
+    /// Wraps `inner`, seeding the fault RNG from the plan.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultStream {
+            inner,
+            plan,
+            rng,
+            read_state: DirectionState::default(),
+            write_state: DirectionState::default(),
+        }
+    }
+
+    /// Bytes actually read through the wrapper so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.read_state.bytes
+    }
+
+    /// Bytes actually written through the wrapper so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.write_state.bytes
+    }
+
+    /// Consumes the wrapper, returning the inner stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Rolls the pre-transfer faults shared by both directions. Returns the
+    /// error to surface, if any.
+    fn roll_pre_faults(&mut self) -> Option<std::io::Error> {
+        if self.plan.interrupt > 0.0 && self.rng.gen_bool(self.plan.interrupt) {
+            return Some(std::io::Error::new(
+                ErrorKind::Interrupted,
+                "injected interrupt",
+            ));
+        }
+        if self.plan.would_block > 0.0 && self.rng.gen_bool(self.plan.would_block) {
+            return Some(std::io::Error::new(
+                ErrorKind::WouldBlock,
+                "injected would-block",
+            ));
+        }
+        None
+    }
+
+    /// Caps an op's length to 1 byte with probability `short`, and to the
+    /// remaining pre-truncation budget always. `len` must be > 0.
+    fn cap_len(&mut self, len: usize, transferred: u64) -> usize {
+        let mut cap = len;
+        if self.plan.short > 0.0 && self.rng.gen_bool(self.plan.short) {
+            cap = 1;
+        }
+        if let Some(limit) = self.plan.truncate_after {
+            let left = limit.saturating_sub(transferred);
+            cap = cap.min(left as usize);
+        }
+        cap
+    }
+
+    /// Applies the post-transfer stall schedule for one direction.
+    fn maybe_stall(stall: Option<(u64, u64)>, state: &mut DirectionState) {
+        if let Some((every, ms)) = stall {
+            if state.bytes - state.last_stall >= every {
+                state.last_stall = state.bytes;
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+    }
+
+    /// Flips one random bit of `chunk` with probability `corrupt`.
+    fn maybe_corrupt(&mut self, chunk: &mut [u8]) {
+        if chunk.is_empty() || self.plan.corrupt == 0.0 {
+            return;
+        }
+        if self.rng.gen_bool(self.plan.corrupt) {
+            let byte = self.rng.gen_range(0..chunk.len());
+            let bit = self.rng.gen_range(0..8u32);
+            chunk[byte] ^= 1u8 << bit;
+        }
+    }
+}
+
+impl<S: Read> Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.read(buf);
+        }
+        if let Some(limit) = self.plan.truncate_after {
+            if self.read_state.bytes >= limit {
+                return Ok(0); // injected EOF
+            }
+        }
+        if let Some(err) = self.roll_pre_faults() {
+            return Err(err);
+        }
+        let cap = self.cap_len(buf.len(), self.read_state.bytes).max(1);
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.maybe_corrupt(&mut buf[..n]);
+        self.read_state.bytes += n as u64;
+        Self::maybe_stall(self.plan.stall, &mut self.read_state);
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for FaultStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        if let Some(limit) = self.plan.truncate_after {
+            if self.write_state.bytes >= limit {
+                return Err(std::io::Error::new(
+                    ErrorKind::BrokenPipe,
+                    "injected truncation",
+                ));
+            }
+        }
+        if let Some(err) = self.roll_pre_faults() {
+            return Err(err);
+        }
+        let cap = self.cap_len(buf.len(), self.write_state.bytes).max(1);
+        let mut chunk = buf[..cap].to_vec();
+        self.maybe_corrupt(&mut chunk);
+        let n = self.inner.write(&chunk)?;
+        self.write_state.bytes += n as u64;
+        Self::maybe_stall(self.plan.stall, &mut self.write_state);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn the_dsl_round_trips_every_field() {
+        let plan = FaultPlan::parse(
+            "seed=42,short=0.3,interrupt=0.2,wouldblock=0.1,corrupt=0.01,truncate=512,stall=128x5",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.short, 0.3);
+        assert_eq!(plan.interrupt, 0.2);
+        assert_eq!(plan.would_block, 0.1);
+        assert_eq!(plan.corrupt, 0.01);
+        assert_eq!(plan.truncate_after, Some(512));
+        assert_eq!(plan.stall, Some((128, 5)));
+        assert!(!plan.is_noop());
+        assert!(FaultPlan::parse("seed=7").unwrap().is_noop());
+        assert!(FaultPlan::parse("").unwrap().is_noop());
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected_with_the_field_named() {
+        for (spec, needle) in [
+            ("bogus=1", "unknown fault plan field"),
+            ("short=2.0", "outside [0, 1]"),
+            ("short=x", "not a number"),
+            ("seed=abc", "not an integer"),
+            ("stall=128", "<bytes>x<millis>"),
+            ("stall=0x5", "must be > 0"),
+            ("short", "not key=value"),
+        ] {
+            let err = FaultPlan::parse(spec).expect_err(spec);
+            assert!(err.contains(needle), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn same_seed_means_same_faults() {
+        let plan = FaultPlan::parse("seed=9,short=0.5,interrupt=0.3").unwrap();
+        let data: Vec<u8> = (0..=255u8).collect();
+        let run = || {
+            let mut stream = FaultStream::new(Cursor::new(data.clone()), plan.clone());
+            let mut log = Vec::new();
+            let mut buf = [0u8; 16];
+            loop {
+                match stream.read(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => log.push(Ok(n)),
+                    Err(e) => log.push(Err(e.kind())),
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn interrupt_and_short_read_storms_do_not_lose_bytes() {
+        let data: Vec<u8> = (0..200u32).map(|i| (i % 251) as u8).collect();
+        let plan = FaultPlan::parse("seed=3,short=0.7,interrupt=0.4").unwrap();
+        let mut stream = FaultStream::new(Cursor::new(data.clone()), plan);
+        let mut out = Vec::new();
+        let mut buf = [0u8; 32];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(out, data);
+        assert_eq!(stream.bytes_read(), data.len() as u64);
+    }
+
+    #[test]
+    fn truncation_cuts_reads_to_eof_and_writes_to_broken_pipe() {
+        let plan = FaultPlan::parse("truncate=10").unwrap();
+        let mut stream = FaultStream::new(Cursor::new(vec![7u8; 64]), plan.clone());
+        let mut out = Vec::new();
+        std::io::Read::read_to_end(&mut stream, &mut out).unwrap();
+        assert_eq!(out.len(), 10);
+
+        let mut stream = FaultStream::new(Vec::new(), plan);
+        assert!(stream.write_all(&[1u8; 10]).is_ok());
+        let err = stream.write_all(&[2u8; 1]).expect_err("past the cut");
+        assert_eq!(err.kind(), ErrorKind::BrokenPipe);
+        assert_eq!(stream.bytes_written(), 10);
+    }
+
+    #[test]
+    fn corruption_flips_bits_deterministically() {
+        let data = vec![0u8; 256];
+        // `short=1.0` forces single-byte reads so corruption gets many rolls.
+        let plan = FaultPlan::parse("seed=11,corrupt=0.5,short=1.0").unwrap();
+        let mut stream = FaultStream::new(Cursor::new(data.clone()), plan.clone());
+        let mut out = Vec::new();
+        std::io::Read::read_to_end(&mut stream, &mut out).unwrap();
+        assert_eq!(out.len(), data.len());
+        assert!(out.iter().any(|&b| b != 0), "no bit was flipped");
+
+        let mut again = FaultStream::new(Cursor::new(data), plan);
+        let mut out2 = Vec::new();
+        std::io::Read::read_to_end(&mut again, &mut out2).unwrap();
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn write_side_corruption_never_changes_the_inner_length() {
+        let plan = FaultPlan::parse("seed=5,corrupt=1.0,short=0.5").unwrap();
+        let mut stream = FaultStream::new(Vec::new(), plan);
+        let payload = vec![0xAAu8; 100];
+        stream.write_all(&payload).unwrap();
+        assert_eq!(stream.bytes_written(), 100);
+        let inner = stream.into_inner();
+        assert_eq!(inner.len(), 100);
+        assert!(inner.iter().any(|&b| b != 0xAA), "no corruption happened");
+    }
+}

@@ -25,7 +25,10 @@
 //! * [`darshan_parser`] — actual `darshan-parser` / Darshan DXT text output;
 //! * [`tmio`] — TMIO-native columnar JSON/MessagePack profiles;
 //! * [`wire`] — the length-framed socket envelope spoken by `ftio serve`
-//!   clients (hello/data/subscribe/prediction frames).
+//!   clients (hello/data/subscribe/prediction frames, sequenced so
+//!   subscribers can resume);
+//! * [`faultio`] — deterministic, seeded fault injection over any
+//!   `Read`/`Write` (the chaos-test substrate and `ftio client --inject`).
 //!
 //! # Quick example
 //!
@@ -49,6 +52,7 @@ pub mod collector;
 pub mod darshan;
 pub mod darshan_parser;
 pub mod errors;
+pub mod faultio;
 pub mod jsonl;
 pub mod msgpack;
 pub mod recorder;
@@ -65,6 +69,7 @@ pub use bandwidth::BandwidthTimeline;
 pub use collector::{Collector, CollectorStats, FlushMode, MemorySink, TraceFormat, TraceSink};
 pub use darshan::Heatmap;
 pub use errors::{TraceError, TraceResult};
+pub use faultio::{FaultPlan, FaultStream};
 pub use request::{IoApi, IoKind, IoRequest};
 pub use source::{BatchPayload, DrainedInput, MemorySource, SourceFormat, TraceBatch, TraceSource};
 pub use truth::{ScenarioTruth, TruthSegment};

@@ -50,12 +50,18 @@ const KIND_ACK: u8 = 16;
 const KIND_PREDICTION: u8 = 17;
 const KIND_STATS: u8 = 18;
 const KIND_ERROR: u8 = 19;
+const KIND_WELCOME: u8 = 20;
 
 /// One prediction update pushed to a subscribed connection.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PredictionUpdate {
     /// The application the prediction belongs to.
     pub app: AppId,
+    /// Monotonically increasing per-application sequence number, assigned by
+    /// the engine when the prediction is published. A reconnecting
+    /// subscriber passes the next seq it has not seen as
+    /// [`Frame::Subscribe::from_seq`] to resume without gaps or duplicates.
+    pub seq: u64,
     /// The submission time that triggered the tick (seconds).
     pub time: f64,
     /// Dominant period in seconds, when the detector found one.
@@ -112,6 +118,11 @@ pub enum Frame {
     Subscribe {
         /// The application to follow (`None` = every application).
         app: Option<AppId>,
+        /// Resume point: replay retained predictions with `seq >=
+        /// from_seq` before going live. Requires `app` (the sequence space
+        /// is per-application); the server rejects `from_seq` without an
+        /// app as a protocol error.
+        from_seq: Option<u64>,
     },
     /// Client→server: flush — the server forces pending work through the
     /// engine and replies with [`Frame::Ack`].
@@ -125,10 +136,27 @@ pub enum Frame {
     Prediction(PredictionUpdate),
     /// Server→client: engine counters (the [`Frame::Shutdown`] reply).
     Stats(WireStats),
-    /// Server→client: the connection is being closed because of this error.
+    /// Server→client: acknowledges [`Frame::Hello`], advertising the
+    /// resume window for the named application's prediction feed.
+    Welcome {
+        /// The [`AppId`] the server derived from the hello name.
+        app: AppId,
+        /// Oldest sequence number still replayable via
+        /// [`Frame::Subscribe::from_seq`] (equals `next_seq` when nothing
+        /// is retained).
+        oldest_seq: u64,
+        /// The sequence number the next published prediction will carry.
+        next_seq: u64,
+    },
+    /// Server→client: something went wrong. When `retry_after_ms` is set
+    /// the condition is transient (overload shedding, rate quota) and the
+    /// connection stays open — the client should back off and retry.
+    /// Without it the error is fatal and the server closes the connection.
     Error {
         /// Human-readable description, with the input position when known.
         message: String,
+        /// Suggested backoff before retrying, for transient errors.
+        retry_after_ms: Option<u64>,
     },
 }
 
@@ -143,6 +171,7 @@ impl Frame {
             Frame::Ack => KIND_ACK,
             Frame::Prediction(_) => KIND_PREDICTION,
             Frame::Stats(_) => KIND_STATS,
+            Frame::Welcome { .. } => KIND_WELCOME,
             Frame::Error { .. } => KIND_ERROR,
         }
     }
@@ -152,17 +181,20 @@ impl Frame {
         match self {
             Frame::Hello { name } => msgpack::write_str(&mut out, name),
             Frame::Data(bytes) => out.extend_from_slice(bytes),
-            Frame::Subscribe { app } => match app {
-                Some(app) => {
-                    msgpack::write_array_header(&mut out, 1);
-                    msgpack::write_uint(&mut out, app.raw());
-                }
-                None => msgpack::write_array_header(&mut out, 0),
-            },
+            Frame::Subscribe { app, from_seq } => {
+                // [has_app, app, has_from_seq, from_seq]; decode also accepts
+                // the 0-/1-entry forms emitted before resume existed.
+                msgpack::write_array_header(&mut out, 4);
+                msgpack::write_uint(&mut out, u64::from(app.is_some()));
+                msgpack::write_uint(&mut out, app.map_or(0, |a| a.raw()));
+                msgpack::write_uint(&mut out, u64::from(from_seq.is_some()));
+                msgpack::write_uint(&mut out, from_seq.unwrap_or(0));
+            }
             Frame::End | Frame::Shutdown | Frame::Ack => {}
             Frame::Prediction(p) => {
-                msgpack::write_array_header(&mut out, 5);
+                msgpack::write_array_header(&mut out, 6);
                 msgpack::write_uint(&mut out, p.app.raw());
+                msgpack::write_uint(&mut out, p.seq);
                 msgpack::write_f64(&mut out, p.time);
                 msgpack::write_uint(&mut out, u64::from(p.period.is_some()));
                 msgpack::write_f64(&mut out, p.period.unwrap_or(0.0));
@@ -181,7 +213,25 @@ impl Frame {
                     msgpack::write_uint(&mut out, value);
                 }
             }
-            Frame::Error { message } => msgpack::write_str(&mut out, message),
+            Frame::Welcome {
+                app,
+                oldest_seq,
+                next_seq,
+            } => {
+                msgpack::write_array_header(&mut out, 3);
+                msgpack::write_uint(&mut out, app.raw());
+                msgpack::write_uint(&mut out, *oldest_seq);
+                msgpack::write_uint(&mut out, *next_seq);
+            }
+            Frame::Error {
+                message,
+                retry_after_ms,
+            } => {
+                msgpack::write_array_header(&mut out, 3);
+                msgpack::write_str(&mut out, message);
+                msgpack::write_uint(&mut out, u64::from(retry_after_ms.is_some()));
+                msgpack::write_uint(&mut out, retry_after_ms.unwrap_or(0));
+            }
         }
         out
     }
@@ -219,10 +269,25 @@ impl Frame {
             KIND_SUBSCRIBE => {
                 let len = reader.read_array_header()?;
                 match len {
-                    0 => Frame::Subscribe { app: None },
+                    // Legacy forms from before resumable subscriptions.
+                    0 => Frame::Subscribe {
+                        app: None,
+                        from_seq: None,
+                    },
                     1 => Frame::Subscribe {
                         app: Some(AppId::new(reader.read_uint()?)),
+                        from_seq: None,
                     },
+                    4 => {
+                        let has_app = reader.read_uint()? != 0;
+                        let app = reader.read_uint()?;
+                        let has_from = reader.read_uint()? != 0;
+                        let from_seq = reader.read_uint()?;
+                        Frame::Subscribe {
+                            app: has_app.then(|| AppId::new(app)),
+                            from_seq: has_from.then_some(from_seq),
+                        }
+                    }
                     n => return Err(err(format!("subscribe frame with {n} entries"))),
                 }
             }
@@ -231,15 +296,17 @@ impl Frame {
             KIND_ACK => Frame::Ack,
             KIND_PREDICTION => {
                 let len = reader.read_array_header()?;
-                if len != 5 {
+                if len != 6 {
                     return Err(err(format!("prediction frame with {len} fields")));
                 }
                 let app = AppId::new(reader.read_uint()?);
+                let seq = reader.read_uint()?;
                 let time = reader.read_f64()?;
                 let has_period = reader.read_uint()? != 0;
                 let period = reader.read_f64()?;
                 Frame::Prediction(PredictionUpdate {
                     app,
+                    seq,
                     time,
                     period: has_period.then_some(period),
                     confidence: reader.read_f64()?,
@@ -263,8 +330,37 @@ impl Frame {
                     panicked: values[5],
                 })
             }
-            KIND_ERROR => Frame::Error {
-                message: reader.read_str()?,
+            KIND_WELCOME => {
+                let len = reader.read_array_header()?;
+                if len != 3 {
+                    return Err(err(format!("welcome frame with {len} fields")));
+                }
+                Frame::Welcome {
+                    app: AppId::new(reader.read_uint()?),
+                    oldest_seq: reader.read_uint()?,
+                    next_seq: reader.read_uint()?,
+                }
+            }
+            // Error payloads were a bare string before `retry_after_ms`;
+            // accept both (a msgpack str never starts with an array header).
+            KIND_ERROR => match payload.first() {
+                Some(0x90..=0x9f | 0xdc | 0xdd) => {
+                    let len = reader.read_array_header()?;
+                    if len != 3 {
+                        return Err(err(format!("error frame with {len} fields")));
+                    }
+                    let message = reader.read_str()?;
+                    let has_retry = reader.read_uint()? != 0;
+                    let retry = reader.read_uint()?;
+                    Frame::Error {
+                        message,
+                        retry_after_ms: has_retry.then_some(retry),
+                    }
+                }
+                _ => Frame::Error {
+                    message: reader.read_str()?,
+                    retry_after_ms: None,
+                },
             },
             other => return Err(err(format!("unknown frame kind 0x{other:02x}"))),
         };
@@ -303,10 +399,13 @@ impl<R: Read> FrameReader<R> {
     fn fill(&mut self, buf: &mut [u8], what: &str) -> TraceResult<()> {
         let mut filled = 0usize;
         while filled < buf.len() {
-            let n = self
-                .inner
-                .read(&mut buf[filled..])
-                .map_err(TraceError::from)?;
+            let n = match self.inner.read(&mut buf[filled..]) {
+                Ok(n) => n,
+                // Interrupted is retriable by contract; a storm of them
+                // (see `crate::faultio`) must not kill the connection.
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TraceError::from(e)),
+            };
             if n == 0 {
                 return Err(TraceError::malformed_snippet(
                     format!("connection closed mid-frame (reading {what})"),
@@ -375,25 +474,40 @@ mod tests {
             },
             Frame::Data(b"{\"rank\":0}\n".to_vec()),
             Frame::Data(Vec::new()),
-            Frame::Subscribe { app: None },
+            Frame::Subscribe {
+                app: None,
+                from_seq: None,
+            },
             Frame::Subscribe {
                 app: Some(AppId::from_name("ior-run")),
+                from_seq: None,
+            },
+            Frame::Subscribe {
+                app: Some(AppId::from_name("ior-run")),
+                from_seq: Some(17),
             },
             Frame::End,
             Frame::Shutdown,
             Frame::Ack,
             Frame::Prediction(PredictionUpdate {
                 app: AppId::new(42),
+                seq: 3,
                 time: 12.5,
                 period: Some(10.0),
                 confidence: 0.875,
             }),
             Frame::Prediction(PredictionUpdate {
                 app: AppId::new(7),
+                seq: 0,
                 time: 3.0,
                 period: None,
                 confidence: 0.0,
             }),
+            Frame::Welcome {
+                app: AppId::new(42),
+                oldest_seq: 5,
+                next_seq: 12,
+            },
             Frame::Stats(WireStats {
                 submitted: 10,
                 rejected: 1,
@@ -404,6 +518,11 @@ mod tests {
             }),
             Frame::Error {
                 message: "malformed frame at byte 12".into(),
+                retry_after_ms: None,
+            },
+            Frame::Error {
+                message: "queue full".into(),
+                retry_after_ms: Some(250),
             },
         ]
     }
@@ -506,6 +625,80 @@ mod tests {
             err.to_string().contains(&format!("position {good_len}")),
             "{err}"
         );
+    }
+
+    fn raw_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::from(FRAME_MAGIC);
+        out.push(kind);
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn legacy_subscribe_and_error_payloads_still_decode() {
+        // Subscribe frames from before resume support: 0- or 1-entry arrays.
+        let mut all = msgpack_payload(|out| msgpack::write_array_header(out, 0));
+        let mut bytes = raw_frame(3, &all);
+        let mut reader = FrameReader::new(&bytes[..]);
+        assert_eq!(
+            reader.read_frame().unwrap(),
+            Some(Frame::Subscribe {
+                app: None,
+                from_seq: None
+            })
+        );
+
+        all = msgpack_payload(|out| {
+            msgpack::write_array_header(out, 1);
+            msgpack::write_uint(out, 99);
+        });
+        bytes = raw_frame(3, &all);
+        let mut reader = FrameReader::new(&bytes[..]);
+        assert_eq!(
+            reader.read_frame().unwrap(),
+            Some(Frame::Subscribe {
+                app: Some(AppId::new(99)),
+                from_seq: None
+            })
+        );
+
+        // Error frames used to be a bare msgpack string.
+        let legacy = msgpack_payload(|out| msgpack::write_str(out, "boom at byte 9"));
+        bytes = raw_frame(19, &legacy);
+        let mut reader = FrameReader::new(&bytes[..]);
+        assert_eq!(
+            reader.read_frame().unwrap(),
+            Some(Frame::Error {
+                message: "boom at byte 9".into(),
+                retry_after_ms: None
+            })
+        );
+    }
+
+    fn msgpack_payload(build: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
+        let mut out = Vec::new();
+        build(&mut out);
+        out
+    }
+
+    #[test]
+    fn interrupted_storms_do_not_break_frame_reads() {
+        use crate::faultio::{FaultPlan, FaultStream};
+        let frames = all_frames();
+        let mut stream = Vec::new();
+        for frame in &frames {
+            frame.write_to(&mut stream).unwrap();
+        }
+        let plan = FaultPlan::parse("seed=21,interrupt=0.4,short=0.6").unwrap();
+        let faulty = FaultStream::new(&stream[..], plan);
+        let mut reader = FrameReader::new(faulty);
+        // `read_frame` must absorb every injected Interrupted and short read
+        // and still produce the exact frame sequence.
+        for expected in &frames {
+            assert_eq!(reader.read_frame().unwrap().as_ref(), Some(expected));
+        }
+        assert!(reader.read_frame().unwrap().is_none());
     }
 
     #[test]

@@ -214,6 +214,7 @@ fn serve_worker_budget_follows_the_thread_knob() {
                     },
                     ..ClusterConfig::default()
                 },
+                ..ServerConfig::default()
             },
         )
         .expect("server boots");

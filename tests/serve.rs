@@ -39,6 +39,7 @@ fn test_config(shards: usize, max_connections: usize) -> ServerConfig {
             },
             ..Default::default()
         },
+        ..Default::default()
     }
 }
 
@@ -80,6 +81,7 @@ fn framed_session<S: Read + Write>(
         .unwrap();
     Frame::Subscribe {
         app: Some(AppId::from_name(name)),
+        from_seq: None,
     }
     .write_to(&mut stream)
     .unwrap();
@@ -106,6 +108,7 @@ fn framed_session<S: Read + Write>(
     let mut predictions = Vec::new();
     loop {
         match reader.read_frame().unwrap().expect("server closed early") {
+            Frame::Welcome { .. } => {} // the hello's ack
             Frame::Prediction(update) => predictions.push(update),
             Frame::Ack => break,
             other => panic!("unexpected frame {other:?}"),
@@ -123,9 +126,12 @@ fn shutdown_via_client<S: Read + Write>(mut stream: S) -> ftio_trace::wire::Wire
     Frame::Shutdown.write_to(&mut stream).unwrap();
     stream.flush().unwrap();
     let mut reader = FrameReader::new(stream);
-    match reader.read_frame().unwrap() {
-        Some(Frame::Stats(stats)) => stats,
-        other => panic!("expected stats, got {other:?}"),
+    loop {
+        match reader.read_frame().unwrap() {
+            Some(Frame::Welcome { .. }) => continue, // the hello's ack
+            Some(Frame::Stats(stats)) => return stats,
+            other => panic!("expected stats, got {other:?}"),
+        }
     }
 }
 
@@ -241,9 +247,12 @@ fn gzipped_data_frame_is_decompressed() {
     }
     .write_to(&mut stream)
     .unwrap();
-    Frame::Subscribe { app: None }
-        .write_to(&mut stream)
-        .unwrap();
+    Frame::Subscribe {
+        app: None,
+        from_seq: None,
+    }
+    .write_to(&mut stream)
+    .unwrap();
     Frame::Data(gz).write_to(&mut stream).unwrap();
     Frame::End.write_to(&mut stream).unwrap();
     stream.flush().unwrap();
@@ -251,6 +260,7 @@ fn gzipped_data_frame_is_decompressed() {
     let mut saw_prediction = false;
     loop {
         match reader.read_frame().unwrap().expect("server closed early") {
+            Frame::Welcome { .. } => {}
             Frame::Prediction(update) => {
                 saw_prediction = true;
                 let period = update.period.expect("periodic input");
@@ -295,8 +305,13 @@ fn malformed_frame_closes_only_the_offending_connection() {
         .unwrap();
     bad.flush().unwrap();
     let mut reader = FrameReader::new(&mut bad);
+    // The hello's Welcome arrives first, then the positioned error.
+    assert!(matches!(
+        reader.read_frame().unwrap(),
+        Some(Frame::Welcome { .. })
+    ));
     match reader.read_frame().unwrap() {
-        Some(Frame::Error { message }) => {
+        Some(Frame::Error { message, .. }) => {
             assert!(
                 message.contains("position"),
                 "unpositioned error: {message}"
@@ -340,7 +355,9 @@ fn disconnect_mid_frame_does_not_disturb_other_connections() {
     let encoded = Frame::Data(payload).encode();
     ghost.write_all(&encoded[..encoded.len() / 2]).unwrap();
     ghost.flush().unwrap();
-    drop(ghost); // mid-frame EOF
+    // Half-close: the server sees EOF mid-frame (keeping our read half open
+    // lets its Welcome and the positioned error frame go out normally).
+    ghost.shutdown(std::net::Shutdown::Write).unwrap();
 
     // A full session on a second connection still works end to end.
     let predictions = framed_session(
@@ -353,6 +370,7 @@ fn disconnect_mid_frame_does_not_disturb_other_connections() {
 
     let stats = shutdown_via_client(UnixStream::connect(&path).unwrap());
     assert!(stats.is_balanced(), "{stats:?}");
+    drop(ghost);
     let report = finish_and_check(server);
     // The mid-frame EOF is a protocol error; the ghost's half-frame never
     // reached the engine.
@@ -390,8 +408,12 @@ fn connections_over_the_limit_are_rejected_with_an_error_frame() {
     let rejected = UnixStream::connect(&path).unwrap();
     let mut reader = FrameReader::new(rejected);
     match reader.read_frame().unwrap() {
-        Some(Frame::Error { message }) => {
+        Some(Frame::Error {
+            message,
+            retry_after_ms,
+        }) => {
             assert!(message.contains("connection limit"), "{message}");
+            assert!(retry_after_ms.is_some(), "limit rejections hint a retry");
         }
         other => panic!("expected a limit error, got {other:?}"),
     }
